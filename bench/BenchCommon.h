@@ -1,0 +1,78 @@
+//===- bench/BenchCommon.h - Shared bench-harness helpers ---------*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the table/figure reproduction binaries: domain
+/// construction, full-dataset runs for both synthesizers, and header
+/// printing. Every binary prints the paper row/series it regenerates and
+/// the corresponding measured values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_BENCH_BENCHCOMMON_H
+#define DGGT_BENCH_BENCHCOMMON_H
+
+#include "domains/Domain.h"
+#include "eval/Distribution.h"
+#include "eval/Harness.h"
+#include "eval/Metrics.h"
+#include "support/Table.h"
+#include "synth/dggt/DggtSynthesizer.h"
+#include "synth/hisyn/HisynSynthesizer.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dggt::bench {
+
+/// Both evaluation domains, built once.
+struct Domains {
+  std::unique_ptr<Domain> TextEditing = makeTextEditingDomain();
+  std::unique_ptr<Domain> AstMatcher = makeAstMatcherDomain();
+
+  std::vector<const Domain *> all() const {
+    return {TextEditing.get(), AstMatcher.get()};
+  }
+};
+
+/// Dataset outcomes for one domain under both synthesizers.
+struct DomainRun {
+  const Domain *D = nullptr;
+  std::vector<CaseOutcome> Hisyn;
+  std::vector<CaseOutcome> Dggt;
+  double TimeoutSeconds = 0;
+};
+
+/// Runs both synthesizers over \p D's full dataset under the harness
+/// timeout, with a one-line progress note to stderr.
+inline DomainRun runDomain(const Domain &D) {
+  DomainRun Run;
+  Run.D = &D;
+  EvalHarness H(D, harnessTimeoutMs());
+  Run.TimeoutSeconds = H.timeoutSeconds();
+  HisynSynthesizer Hisyn;
+  DggtSynthesizer Dggt;
+  std::fprintf(stderr, "[bench] %s: running HISyn over %zu queries...\n",
+               D.name().c_str(), D.queries().size());
+  Run.Hisyn = H.runAll(Hisyn);
+  std::fprintf(stderr, "[bench] %s: running DGGT over %zu queries...\n",
+               D.name().c_str(), D.queries().size());
+  Run.Dggt = H.runAll(Dggt);
+  return Run;
+}
+
+/// Prints the standard bench banner.
+inline void banner(const char *What, const char *PaperRef) {
+  std::printf("==============================================================="
+              "=\n%s\n(reproduces %s; timeout %llu ms, override with "
+              "DGGT_TIMEOUT_MS)\n"
+              "================================================================"
+              "\n",
+              What, PaperRef,
+              static_cast<unsigned long long>(harnessTimeoutMs()));
+}
+
+} // namespace dggt::bench
+
+#endif // DGGT_BENCH_BENCHCOMMON_H

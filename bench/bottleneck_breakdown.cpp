@@ -1,0 +1,55 @@
+//===- bench/bottleneck_breakdown.cpp - Section III-A bottleneck check ----===//
+//
+// Validates the bottleneck measurement of Section III-A: for queries the
+// baseline takes long to process, step 5 (PathMerging) dominates the
+// execution time — the paper measures 90.24% for queries over two
+// seconds. Steps 1-4 (parse, prune, WordToAPI, EdgeToPath) are timed as
+// "front end"; the enumerative merge is timed as "step 5+6".
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace dggt;
+using namespace dggt::bench;
+
+int main() {
+  banner("Bottleneck breakdown: share of step 5 in HISyn's time",
+         "paper Section III-A (90.24% on slow queries)");
+  Domains Ds;
+
+  TextTable T;
+  T.setHeader({"Domain", "Queries", "front-end s", "step-5/6 s", "share",
+               "slow-only share"});
+  for (const Domain *D : Ds.all()) {
+    HisynSynthesizer Hisyn;
+    double FrontEnd = 0, Merge = 0, SlowFrontEnd = 0, SlowMerge = 0;
+    for (const QueryCase &QC : D->queries()) {
+      WallTimer T1;
+      PreparedQuery Q = D->frontEnd().prepare(QC.Query);
+      double Prep = T1.seconds();
+      Budget B(harnessTimeoutMs());
+      WallTimer T2;
+      (void)Hisyn.synthesize(Q, B);
+      double Synth = T2.seconds();
+      FrontEnd += Prep;
+      Merge += Synth;
+      // The paper's slow bucket: total over 10% of the timeout.
+      if (Prep + Synth >
+          0.1 * static_cast<double>(harnessTimeoutMs()) / 1000.0) {
+        SlowFrontEnd += Prep;
+        SlowMerge += Synth;
+      }
+    }
+    double Share = Merge / std::max(FrontEnd + Merge, 1e-9);
+    double SlowShare = SlowMerge / std::max(SlowFrontEnd + SlowMerge, 1e-9);
+    T.addRow({D->name(), std::to_string(D->queries().size()),
+              formatDouble(FrontEnd, 2), formatDouble(Merge, 2),
+              formatDouble(100 * Share, 1) + "%",
+              formatDouble(100 * SlowShare, 1) + "%"});
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf("Paper reference: step 5 weighs 90.24%% of total time on "
+              "queries over 2 seconds.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+//===- bench/micro_components.cpp - Component micro-benchmarks ------------===//
+//
+// google-benchmark micro-benchmarks for the pipeline's building blocks:
+// tokenizing, stemming, dependency parsing, WordToAPI matching, reversed
+// all-path search, CGT merging/validation and one full end-to-end DGGT
+// synthesis. These are not paper figures; they track where the
+// sub-100 ms interactive budget (Figure 7's first bucket) is spent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/Domain.h"
+#include "eval/Harness.h"
+#include "nlp/DependencyParser.h"
+#include "nlp/GraphPruner.h"
+#include "synth/Expression.h"
+#include "synth/dggt/DggtSynthesizer.h"
+#include "text/PorterStemmer.h"
+#include "text/Tokenizer.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dggt;
+
+namespace {
+
+const char *Query = "insert ';' at the end of every line containing numbers";
+
+const Domain &textEditing() {
+  static std::unique_ptr<Domain> D = makeTextEditingDomain();
+  return *D;
+}
+
+void BM_Tokenize(benchmark::State &State) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(tokenize(Query));
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_PorterStem(benchmark::State &State) {
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(porterStem("iterations"));
+    benchmark::DoNotOptimize(porterStem("containing"));
+    benchmark::DoNotOptimize(porterStem("declarations"));
+  }
+}
+BENCHMARK(BM_PorterStem);
+
+void BM_DependencyParse(benchmark::State &State) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(parseDependencies(Query));
+}
+BENCHMARK(BM_DependencyParse);
+
+void BM_PruneGraph(benchmark::State &State) {
+  DependencyGraph Raw = parseDependencies(Query);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(pruneQueryGraph(Raw));
+}
+BENCHMARK(BM_PruneGraph);
+
+void BM_WordToApi(benchmark::State &State) {
+  const Domain &D = textEditing();
+  DependencyGraph Pruned =
+      pruneQueryGraph(parseDependencies(Query), D.frontEnd().pruneOptions());
+  for (auto _ : State)
+    benchmark::DoNotOptimize(D.frontEnd().matcher().mapGraph(Pruned));
+}
+BENCHMARK(BM_WordToApi);
+
+void BM_EdgeToPath(benchmark::State &State) {
+  const Domain &D = textEditing();
+  DependencyGraph Pruned =
+      pruneQueryGraph(parseDependencies(Query), D.frontEnd().pruneOptions());
+  WordToApiMap Words = D.frontEnd().matcher().mapGraph(Pruned);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        buildEdgeToPath(D.grammarGraph(), D.document(), Pruned, Words));
+}
+BENCHMARK(BM_EdgeToPath);
+
+void BM_CgtMergeValidate(benchmark::State &State) {
+  const Domain &D = textEditing();
+  PreparedQuery Q = D.frontEnd().prepare(Query);
+  // Merge the first path of every edge; validity-check the result.
+  for (auto _ : State) {
+    Cgt Tree;
+    for (const EdgePaths &EP : Q.Edges.Edges)
+      if (!EP.Paths.empty())
+        Tree.addPath(EP.Paths.front());
+    benchmark::DoNotOptimize(Tree.isValid(D.grammarGraph()));
+  }
+}
+BENCHMARK(BM_CgtMergeValidate);
+
+void BM_DggtEndToEnd(benchmark::State &State) {
+  const Domain &D = textEditing();
+  DggtSynthesizer S;
+  for (auto _ : State) {
+    PreparedQuery Q = D.frontEnd().prepare(Query);
+    Budget B(0);
+    benchmark::DoNotOptimize(S.synthesize(Q, B));
+  }
+}
+BENCHMARK(BM_DggtEndToEnd);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+//===- bench/table3_casestudy.cpp - Table III reproduction ----------------===//
+//
+// Regenerates Table III: the per-case optimization funnel for four hard
+// queries — dependency edges, original paths and combinations, paths and
+// combinations after orphan relocation, combinations removed by
+// grammar-based and size-based pruning, remaining combinations, and the
+// HISyn/DGGT speedup. All counters come from the synthesizers' own
+// SynthesisStats, not estimates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace dggt;
+using namespace dggt::bench;
+
+namespace {
+
+struct CaseSpec {
+  const Domain *D;
+  const char *Query;
+};
+
+} // namespace
+
+int main() {
+  banner("Table III: detailed results of the DGGT algorithm on 4 cases",
+         "paper Table III");
+  Domains Ds;
+
+  // Four orphan-heavy queries in the spirit of the paper's examples 1-4:
+  // quantifiers, ordinals and condition clauses the parser mis-attaches,
+  // plus a sibling-rich matcher query with a 9e9-combination cross
+  // product.
+  const CaseSpec Cases[] = {
+      {Ds.TextEditing.get(),
+       "insert ';' at the end of every line containing numbers and tabs"},
+      {Ds.TextEditing.get(),
+       "replace the first word with 'X' in every line containing numbers"},
+      {Ds.TextEditing.get(),
+       "delete the last number in every sentence starting with 'sum'"},
+      {Ds.AstMatcher.get(),
+       "find virtual const cxx methods named 'clone'"},
+  };
+
+  TextTable T;
+  T.setHeader({"Ex", "#edges", "orig paths", "orig comb.", "reloc paths",
+               "reloc comb.", "gram-pruned", "size-pruned", "remain",
+               "speedup"});
+  int Index = 1;
+  for (const CaseSpec &C : Cases) {
+    EvalHarness H(*C.D, harnessTimeoutMs());
+    HisynSynthesizer Hisyn;
+    DggtSynthesizer Dggt;
+    QueryCase QC{C.Query, ""};
+    CaseOutcome HO = H.runCase(Hisyn, QC);
+    CaseOutcome DO_ = H.runCase(Dggt, QC);
+    const SynthesisStats &S = DO_.Result.Stats;
+    double Speedup = HO.Seconds / std::max(DO_.Seconds, 1e-6);
+    std::string SpeedupText = formatDouble(Speedup, 1);
+    if (HO.Result.St == SynthesisResult::Status::Timeout)
+      SpeedupText = ">" + SpeedupText; // Baseline was cut off.
+    T.addRow({std::to_string(Index++), std::to_string(S.DepEdges),
+              std::to_string(S.OriginalPaths), formatCount(S.OriginalCombos),
+              std::to_string(S.PathsAfterReloc),
+              formatCount(S.CombosAfterReloc),
+              std::to_string(S.PrunedByGrammar),
+              std::to_string(S.PrunedBySize),
+              std::to_string(S.RemainingCombos), SpeedupText});
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf("Per-case queries:\n");
+  Index = 1;
+  for (const CaseSpec &C : Cases)
+    std::printf("  %d. [%s] %s\n", Index++, C.D->name().c_str(), C.Query);
+  std::printf("\nPaper reference (case 1): 5 edges, 388 paths, 3.8e6 comb., "
+              "71 paths / 3744 comb. after relocation, 3545 grammar-pruned, "
+              "182 size-pruned, 17 remaining, 8186x speedup.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+//===- examples/astmatcher_helper.cpp - Clang ASTMatcher helper -----------===//
+//
+// The compiler-tooling scenario from the paper's introduction: Clang's
+// ASTMatcher DSL has hundreds of API functions that are hard to memorize;
+// this helper turns an NL description of a code pattern into a matcher
+// expression ready to paste into clang-query or a ClangTool, with ranked
+// alternatives.
+//
+//   $ astmatcher_helper "find calls calling a function named 'malloc'"
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/Domain.h"
+#include "eval/Harness.h"
+#include "synth/dggt/RankedSynthesis.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace dggt;
+
+int main(int Argc, char **Argv) {
+  std::unique_ptr<Domain> D = makeAstMatcherDomain();
+
+  std::vector<std::string> Queries;
+  if (Argc > 1) {
+    for (int I = 1; I < Argc; ++I)
+      Queries.push_back(Argv[I]);
+  } else {
+    Queries = {
+        "find virtual cxx methods",
+        "find calls calling a function named 'malloc'",
+        "find for loops whose condition is a binary operator",
+        "find classes derived from a class named 'QObject'",
+    };
+    std::printf("(no arguments given; showing built-in demos)\n\n");
+  }
+
+  for (const std::string &Query : Queries) {
+    std::printf("intent : %s\n", Query.c_str());
+    WallTimer Timer;
+    PreparedQuery Prepared = D->frontEnd().prepare(Query);
+    Budget Deadline(harnessTimeoutMs());
+    std::vector<RankedCandidate> Candidates =
+        synthesizeRanked(Prepared, Deadline, /*K=*/3);
+    double Ms = Timer.seconds() * 1000.0;
+    if (Candidates.empty()) {
+      std::printf("matcher: <none found>   [%.1f ms]\n\n", Ms);
+      continue;
+    }
+    std::printf("matcher: %s   [%.1f ms]\n", Candidates[0].Expression.c_str(),
+                Ms);
+    std::printf("usage  : clang-query> match %s\n",
+                Candidates[0].Expression.c_str());
+    for (size_t I = 1; I < Candidates.size(); ++I)
+      std::printf("alt %zu  : %s\n", I + 1, Candidates[I].Expression.c_str());
+    std::printf("\n");
+  }
+  return 0;
+}

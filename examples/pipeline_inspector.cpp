@@ -1,0 +1,161 @@
+//===- examples/pipeline_inspector.cpp - Stage-by-stage inspector ---------===//
+//
+// Example: walk one NL query through every stage of the NLU-driven
+// pipeline and print the intermediate artifacts — the dependency graph,
+// the pruned graph, the WordToAPI map, the EdgeToPath map, and both
+// synthesizers' outputs with their statistics. This is the tool to reach
+// for when a query synthesizes the wrong codelet.
+//
+// Usage:
+//   pipeline_inspector [--domain textediting|astmatcher] "<query>"
+//   pipeline_inspector --dataset [--domain ...]   # sweep the dataset
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/Domain.h"
+#include "eval/Harness.h"
+#include "eval/Metrics.h"
+#include "nlp/DependencyParser.h"
+#include "nlp/GraphPruner.h"
+#include "synth/Expression.h"
+#include "synth/dggt/DggtSynthesizer.h"
+#include "synth/dggt/DotExport.h"
+#include "synth/dggt/OrphanRelocation.h"
+#include "synth/hisyn/HisynSynthesizer.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace dggt;
+
+namespace {
+
+void inspectQuery(const Domain &D, const std::string &Query) {
+  std::printf("query: %s\n\n", Query.c_str());
+
+  DependencyGraph Raw = parseDependencies(Query);
+  std::printf("-- step 1: dependency graph --\n%s\n", Raw.dump().c_str());
+
+  DependencyGraph Pruned = pruneQueryGraph(Raw, D.frontEnd().pruneOptions());
+  std::printf("-- step 2: pruned graph --\n%s\n", Pruned.dump().c_str());
+
+  PreparedQuery Q = D.frontEnd().prepareFromGraph(Pruned);
+  std::printf("-- step 3: WordToAPI --\n");
+  for (unsigned N = 0; N < Q.Pruned.size(); ++N) {
+    std::printf("  %-14s ->", Q.Pruned.node(N).Word.c_str());
+    for (const ApiCandidate &C : Q.Words.forNode(N))
+      std::printf(" %s(%.2f)", D.document().api(C.ApiIndex).Name.c_str(),
+                  C.Score);
+    std::printf("\n");
+  }
+
+  std::printf("\n-- step 4: EdgeToPath --\n");
+  for (const EdgePaths &EP : Q.Edges.Edges) {
+    std::string Gov = EP.Edge.GovNode
+                          ? Q.Pruned.node(*EP.Edge.GovNode).Word
+                          : std::string("<grammar-root>");
+    std::printf("  %s -> %s: %zu paths%s\n", Gov.c_str(),
+                Q.Pruned.node(EP.Edge.DepNode).Word.c_str(),
+                EP.Paths.size(), EP.isOrphanEdge() ? "  [orphan]" : "");
+  }
+  std::printf("  total paths: %u, combinations: %.3g\n\n",
+              Q.Edges.totalPaths(), Q.Edges.totalCombinations());
+
+  uint64_t TimeoutMs = harnessTimeoutMs();
+  for (int Algo = 0; Algo < 2; ++Algo) {
+    HisynSynthesizer Hisyn;
+    DggtSynthesizer Dggt;
+    const Synthesizer &S =
+        Algo == 0 ? static_cast<const Synthesizer &>(Hisyn)
+                  : static_cast<const Synthesizer &>(Dggt);
+    Budget B(TimeoutMs);
+    WallTimer T;
+    SynthesisResult R = S.synthesize(Q, B);
+    double Sec = T.seconds();
+    std::printf("-- %s: %s (%.4fs)\n", std::string(S.name()).c_str(),
+                std::string(statusName(R.St)).c_str(), Sec);
+    if (R.ok())
+      std::printf("   %s   (size %u)\n", R.Expression.c_str(), R.CgtSize);
+    std::printf("   paths %u->%u  combos %.3g->%.3g  pruned(gram %llu, "
+                "size %llu)  remaining %llu  examined %llu\n",
+                R.Stats.OriginalPaths, R.Stats.PathsAfterReloc,
+                R.Stats.OriginalCombos, R.Stats.CombosAfterReloc,
+                static_cast<unsigned long long>(R.Stats.PrunedByGrammar),
+                static_cast<unsigned long long>(R.Stats.PrunedBySize),
+                static_cast<unsigned long long>(R.Stats.RemainingCombos),
+                static_cast<unsigned long long>(R.Stats.ExaminedCombos));
+  }
+}
+
+void sweepDataset(const Domain &D) {
+  EvalHarness H(D, harnessTimeoutMs());
+  DggtSynthesizer Dggt;
+  size_t Correct = 0, Index = 0;
+  for (const QueryCase &QC : D.queries()) {
+    CaseOutcome O = H.runCase(Dggt, QC);
+    if (O.Correct) {
+      ++Correct;
+    } else {
+      std::printf("[%3zu] %s\n      query : %s\n      truth : %s\n"
+                  "      got   : %s\n",
+                  Index, std::string(statusName(O.Result.St)).c_str(),
+                  QC.Query.c_str(), QC.GroundTruth.c_str(),
+                  O.Result.Expression.c_str());
+    }
+    ++Index;
+  }
+  std::printf("\nDGGT accuracy: %zu/%zu = %.3f\n", Correct,
+              D.queries().size(),
+              static_cast<double>(Correct) /
+                  static_cast<double>(D.queries().size()));
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string DomainName = "textediting";
+  bool Dataset = false, Dot = false;
+  std::string Query;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--domain" && I + 1 < Argc)
+      DomainName = Argv[++I];
+    else if (Arg == "--dataset")
+      Dataset = true;
+    else if (Arg == "--dot")
+      Dot = true;
+    else
+      Query = Arg;
+  }
+
+  std::unique_ptr<Domain> D = DomainName == "astmatcher"
+                                  ? makeAstMatcherDomain()
+                                  : makeTextEditingDomain();
+  if (Dataset) {
+    sweepDataset(*D);
+    return 0;
+  }
+  if (Query.empty()) {
+    std::fprintf(stderr,
+                 "usage: pipeline_inspector [--domain textediting|astmatcher]"
+                 " [--dot] \"<query>\" | --dataset\n");
+    return 1;
+  }
+  if (Dot) {
+    // Emit the dynamic grammar graph of the best relocated variant as
+    // GraphViz (pipe through `dot -Tsvg`), mirroring the paper's Figure 5.
+    PreparedQuery Q = D->frontEnd().prepare(Query);
+    RelocationResult Reloc = relocateOrphans(Q);
+    EdgeToPathMap Edges = buildEdgeToPath(
+        D->grammarGraph(), D->document(), Reloc.Variants[0], Q.Words,
+        Q.Limits);
+    DggtSynthesizer S;
+    Budget B(harnessTimeoutMs());
+    DynamicGrammarGraph Dyn;
+    (void)S.synthesizeVariant(Q, Reloc.Variants[0], Edges, B, &Dyn);
+    std::printf("%s", toDot(Dyn, D->grammarGraph()).c_str());
+    return 0;
+  }
+  inspectQuery(*D, Query);
+  return 0;
+}

@@ -1,0 +1,48 @@
+//===- examples/quickstart.cpp - Five-minute tour -------------------------===//
+//
+// The shortest possible use of the library: load a built-in domain, run
+// one NL query through the NLU-driven pipeline with the DGGT synthesizer,
+// and print the codelet.
+//
+//   $ quickstart
+//   $ quickstart "delete all numbers in each line"
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/Domain.h"
+#include "eval/Harness.h"
+#include "synth/dggt/DggtSynthesizer.h"
+
+#include <cstdio>
+
+using namespace dggt;
+
+int main(int Argc, char **Argv) {
+  const char *Query = Argc > 1
+                          ? Argv[1]
+                          : "insert ';' at the end of every line containing "
+                            "numbers";
+
+  // 1. A Domain bundles the three inputs of an NLU-driven synthesizer:
+  //    the DSL grammar (BNF), the API document, and tuning options.
+  std::unique_ptr<Domain> D = makeTextEditingDomain();
+
+  // 2. Steps 1-4 of the pipeline: dependency parsing, pruning, WordToAPI,
+  //    EdgeToPath.
+  PreparedQuery Prepared = D->frontEnd().prepare(Query);
+
+  // 3. Step 5-6 with the DGGT algorithm, under an interactive deadline.
+  DggtSynthesizer Synthesizer;
+  Budget Deadline(/*Ms=*/2000);
+  SynthesisResult R = Synthesizer.synthesize(Prepared, Deadline);
+
+  std::printf("query : %s\n", Query);
+  if (R.ok()) {
+    std::printf("code  : %s\n", R.Expression.c_str());
+    std::printf("        (CGT size %u, %u grammar paths considered)\n",
+                R.CgtSize, R.Stats.PathsAfterReloc);
+    return 0;
+  }
+  std::printf("failed: %s\n", std::string(statusName(R.St)).c_str());
+  return 1;
+}

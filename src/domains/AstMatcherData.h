@@ -1,0 +1,57 @@
+//===- domains/AstMatcherData.h - ASTMatcher API table ------------*- C++ -*-===//
+///
+/// \file
+/// The raw API table of the ASTMatcher domain (505 entries) and the
+/// category/kind scheme the grammar generator consumes. Kept separate
+/// from the generator so the table reads like the reference document it
+/// stands in for (clang's LibASTMatchersReference).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_DOMAINS_ASTMATCHERDATA_H
+#define DGGT_DOMAINS_ASTMATCHERDATA_H
+
+#include <cstdint>
+#include <vector>
+
+namespace dggt {
+
+/// Matcher category: which kind of AST node a matcher applies to or
+/// produces.
+enum class MatcherCategory : uint8_t {
+  Decl,
+  Stmt,
+  Expr,
+  Type,
+};
+
+/// Matcher role in the grammar.
+enum class MatcherKind : uint8_t {
+  Node,        ///< Node matcher: functionDecl(...), callExpr(...).
+  Narrow,      ///< Narrowing matcher with no argument: isVirtual().
+  NarrowStr,   ///< Narrowing matcher with a string: hasName("x").
+  NarrowNum,   ///< Narrowing matcher with a number: parameterCountIs(2).
+  Traverse,    ///< Traversal matcher; Target names the inner category.
+};
+
+/// One row of the matcher reference.
+struct MatcherSpec {
+  const char *Name;          ///< camelCase clang-style name.
+  MatcherCategory Category;  ///< Category it applies to.
+  MatcherKind Kind;
+  MatcherCategory Target;    ///< Traverse only: inner matcher category.
+  const char *Description;   ///< nullptr: generated from the name.
+  /// Extra space-separated words treated as part of the name for NLU
+  /// matching ("class" for cxxRecordDecl); nullptr for none.
+  const char *ExtraNameWords = nullptr;
+  /// Matching bias for canonical matchers (see ApiInfo::Bias).
+  double Bias = 0.0;
+};
+
+/// The full table (505 entries minus the two literal pseudo-APIs that the
+/// domain adds itself).
+const std::vector<MatcherSpec> &astMatcherTable();
+
+} // namespace dggt
+
+#endif // DGGT_DOMAINS_ASTMATCHERDATA_H

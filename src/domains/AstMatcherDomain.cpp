@@ -1,0 +1,191 @@
+//===- domains/AstMatcherDomain.cpp - ASTMatcher domain (Table I) ---------===//
+//
+// Clang's ASTMatcher expression DSL (Table I row 2): 505 APIs. The
+// grammar is generated from the matcher table: four category
+// non-terminals (decl_m/stmt_m/expr_m/type_m), one alternative per node
+// matcher with two inner-matcher slots, and per-slot alternatives for
+// every narrowing and traversal matcher of that category. Codelets look
+// like
+//
+//   cxxConstructExpr(hasDeclaration(cxxMethodDecl(hasName("PI"))))
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/Domain.h"
+
+#include "domains/AstMatcherData.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace dggt;
+
+namespace {
+
+const char *categoryNt(MatcherCategory C) {
+  switch (C) {
+  case MatcherCategory::Decl:
+    return "decl_m";
+  case MatcherCategory::Stmt:
+    return "stmt_m";
+  case MatcherCategory::Expr:
+    return "expr_m";
+  case MatcherCategory::Type:
+    return "type_m";
+  }
+  return "decl_m";
+}
+
+std::string slotNt(MatcherCategory C, char Slot) {
+  std::string Base = categoryNt(C);
+  Base.resize(Base.size() - 2); // Drop "_m".
+  return Base + "_" + Slot;
+}
+
+/// The top-level entry non-terminal of a category ("root_decl").
+std::string rootNt(MatcherCategory C) {
+  std::string Base = categoryNt(C);
+  Base.resize(Base.size() - 2);
+  return "root_" + Base;
+}
+
+/// Human description generated from the camelCase name when the table has
+/// none ("cxxMethodDecl" -> "matches cxx method decl nodes").
+std::string generatedDescription(const MatcherSpec &Spec) {
+  std::string Desc = "matches";
+  for (const std::string &W : splitIdentifier(Spec.Name))
+    Desc += " " + W;
+  Desc += " nodes";
+  return Desc;
+}
+
+Grammar buildGrammar() {
+  const std::vector<MatcherSpec> &Table = astMatcherTable();
+  Grammar G;
+  G.addProduction("matcher", {{"root_decl"}, {"root_stmt"}, {"root_expr"},
+                              {"root_type"}});
+
+  const MatcherCategory Cats[] = {MatcherCategory::Decl, MatcherCategory::Stmt,
+                                  MatcherCategory::Expr,
+                                  MatcherCategory::Type};
+  for (MatcherCategory Cat : Cats) {
+    // Node matchers: CATNAME slot_a slot_b. The top-level entry gets its
+    // own copy of the alternatives AND its own slot non-terminals
+    // (distinct occurrences), so a top-level matcher can nest another
+    // matcher of the same category — with its own narrowing — without any
+    // non-terminal needing two parents or two derivations in one CGT.
+    std::vector<std::vector<std::string>> NodeAlts, RootAlts;
+    for (const MatcherSpec &Spec : Table)
+      if (Spec.Kind == MatcherKind::Node && Spec.Category == Cat) {
+        NodeAlts.push_back(
+            {toUpper(Spec.Name), slotNt(Cat, 'a'), slotNt(Cat, 'b')});
+        RootAlts.push_back({toUpper(Spec.Name), rootNt(Cat) + "_a",
+                            rootNt(Cat) + "_b"});
+      }
+    G.addProduction(rootNt(Cat), std::move(RootAlts));
+    G.addProduction(categoryNt(Cat), std::move(NodeAlts));
+
+    // Slot alternatives: every narrowing / traversal matcher of the
+    // category, duplicated per slot so each slot owns distinct grammar
+    // occurrences. Traversal targets always descend into the shared
+    // category non-terminals.
+    auto SlotAlternatives = [&] {
+      std::vector<std::vector<std::string>> SlotAlts;
+      for (const MatcherSpec &Spec : Table) {
+        if (Spec.Category != Cat)
+          continue;
+        switch (Spec.Kind) {
+        case MatcherKind::Node:
+          break;
+        case MatcherKind::Narrow:
+          SlotAlts.push_back({toUpper(Spec.Name)});
+          break;
+        case MatcherKind::NarrowStr:
+          SlotAlts.push_back({toUpper(Spec.Name), "LITSTR"});
+          break;
+        case MatcherKind::NarrowNum:
+          SlotAlts.push_back({toUpper(Spec.Name), "LITNUM"});
+          break;
+        case MatcherKind::Traverse:
+          SlotAlts.push_back({toUpper(Spec.Name), categoryNt(Spec.Target)});
+          break;
+        }
+      }
+      return SlotAlts;
+    };
+    for (char Slot : {'a', 'b'}) {
+      G.addProduction(slotNt(Cat, Slot), SlotAlternatives());
+      G.addProduction(rootNt(Cat) + "_" + Slot, SlotAlternatives());
+    }
+  }
+  return G;
+}
+
+ApiDocument buildDocument() {
+  ApiDocument Doc;
+  for (const MatcherSpec &Spec : astMatcherTable()) {
+    ApiInfo Info;
+    Info.Name = toUpper(Spec.Name);
+    Info.RenderAs = Spec.Name;
+    for (const std::string &W : splitIdentifier(Spec.Name))
+      Info.NameWords.push_back(W);
+    if (Spec.ExtraNameWords)
+      for (const std::string &W : split(Spec.ExtraNameWords, " "))
+        Info.NameWords.push_back(W);
+    Info.Bias = Spec.Bias;
+    Info.Description =
+        Spec.Description ? Spec.Description : generatedDescription(Spec);
+    if (Spec.Kind == MatcherKind::NarrowStr) {
+      Info.Lit = LitKind::String;
+      Info.QuoteLiteral = true;
+    } else if (Spec.Kind == MatcherKind::NarrowNum) {
+      Info.Lit = LitKind::Number;
+    }
+    Doc.add(std::move(Info));
+  }
+
+  ApiInfo LitStr;
+  LitStr.Name = "LITSTR";
+  LitStr.Description = "a user supplied string value";
+  LitStr.Lit = LitKind::String;
+  LitStr.LiteralOnly = true;
+  LitStr.QuoteLiteral = true;
+  Doc.add(std::move(LitStr));
+
+  ApiInfo LitNum;
+  LitNum.Name = "LITNUM";
+  LitNum.Description = "a user supplied number value";
+  LitNum.Lit = LitKind::Number;
+  LitNum.LiteralOnly = true;
+  Doc.add(std::move(LitNum));
+
+  assert(Doc.size() == 505 && "ASTMatcher must have exactly 505 APIs");
+  return Doc;
+}
+
+} // namespace
+
+std::unique_ptr<Domain> dggt::makeAstMatcherDomain() {
+  MatcherOptions MatchOpts;
+  MatchOpts.MaxCandidates = 8;
+  // The matcher vocabulary is dense with near-synonyms; a looser cutoff
+  // keeps the structurally-right candidate in play (ambiguity is resolved
+  // by path search and CGT minimality, as the paper intends).
+  MatchOpts.RelativeCutoff = 0.7;
+  PathSearchLimits Limits;
+  // Matcher chains step through (non-terminal, derivation, API) triples;
+  // 10 nodes allow one unmentioned intermediate matcher per dependency
+  // edge while keeping the heavy-fan-in backward walk bounded.
+  Limits.MaxPathNodes = 10;
+  Limits.MaxPaths = 64;
+  Limits.MaxVisits = 50000;
+  PruneOptions Prune;
+  // Code-search queries open with a framing verb that names no matcher.
+  Prune.FramingRootVerbs = {"find", "search", "serach", "list",
+                            "show", "locate",  "get",   "lookup",
+                            "give", "display"};
+  Prune.DropQuantifiers = true;
+  return std::make_unique<Domain>("ASTMatcher", buildGrammar(),
+                                  buildDocument(), astMatcherQueries(),
+                                  MatchOpts, Limits, std::move(Prune));
+}

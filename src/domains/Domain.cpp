@@ -1,0 +1,19 @@
+//===- domains/Domain.cpp - Evaluation domain bundle ----------------------===//
+
+#include "domains/Domain.h"
+
+#include <cassert>
+
+using namespace dggt;
+
+Domain::Domain(std::string Name, Grammar Gr, ApiDocument Doc,
+               std::vector<QueryCase> Queries, MatcherOptions MatchOpts,
+               PathSearchLimits Limits, PruneOptions Prune)
+    : Name(std::move(Name)), G(std::make_unique<Grammar>(std::move(Gr))),
+      Doc(std::move(Doc)), Queries(std::move(Queries)) {
+  assert(G->validate().empty() && "domain grammar must validate");
+  GG = std::make_unique<GrammarGraph>(*G);
+  FrontEnd = std::make_unique<SynthesisFrontEnd>(
+      *GG, this->Doc, Thesaurus::builtin(), MatchOpts, Limits,
+      std::move(Prune));
+}

@@ -1,0 +1,73 @@
+//===- domains/Domain.h - Evaluation domain bundle ----------------*- C++ -*-===//
+///
+/// \file
+/// A *domain* packages everything an NLU-driven synthesizer needs for one
+/// target DSL (Section II): the context-free grammar, the API document,
+/// and — for evaluation — the query dataset with ground-truth codelets.
+/// The two evaluation domains of the paper (Table I) are provided:
+/// TextEditing (52 APIs, 200 queries) and ASTMatcher (505 APIs,
+/// 100 queries); see DESIGN.md for how they were reconstructed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_DOMAINS_DOMAIN_H
+#define DGGT_DOMAINS_DOMAIN_H
+
+#include "grammar/GrammarGraph.h"
+#include "nlu/WordToApiMatcher.h"
+#include "synth/Pipeline.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dggt {
+
+/// One evaluation query with its intended codelet.
+struct QueryCase {
+  std::string Query;
+  std::string GroundTruth;
+};
+
+/// A target DSL bundle. Construct via the factory functions below; the
+/// class keeps grammar and graph at stable addresses.
+class Domain {
+public:
+  Domain(std::string Name, Grammar G, ApiDocument Doc,
+         std::vector<QueryCase> Queries, MatcherOptions MatchOpts = {},
+         PathSearchLimits Limits = {}, PruneOptions Prune = {});
+
+  const std::string &name() const { return Name; }
+  const Grammar &grammar() const { return *G; }
+  const GrammarGraph &grammarGraph() const { return *GG; }
+  const ApiDocument &document() const { return Doc; }
+  const std::vector<QueryCase> &queries() const { return Queries; }
+  const SynthesisFrontEnd &frontEnd() const { return *FrontEnd; }
+
+private:
+  std::string Name;
+  std::unique_ptr<Grammar> G;
+  std::unique_ptr<GrammarGraph> GG;
+  ApiDocument Doc;
+  std::vector<QueryCase> Queries;
+  std::unique_ptr<SynthesisFrontEnd> FrontEnd;
+};
+
+/// Builds the TextEditing domain (52 APIs, 200 queries): a command
+/// language freeing Office end-users from regular expressions,
+/// conditionals and loops (Table I row 1).
+std::unique_ptr<Domain> makeTextEditingDomain();
+
+/// Builds the ASTMatcher domain (505 APIs, 100 queries): Clang/LLVM's
+/// AST-matching expression DSL (Table I row 2).
+std::unique_ptr<Domain> makeAstMatcherDomain();
+
+/// The TextEditing query dataset (defined in TextEditingQueries.cpp).
+std::vector<QueryCase> textEditingQueries();
+
+/// The ASTMatcher query dataset (defined in AstMatcherQueries.cpp).
+std::vector<QueryCase> astMatcherQueries();
+
+} // namespace dggt
+
+#endif // DGGT_DOMAINS_DOMAIN_H

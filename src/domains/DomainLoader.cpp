@@ -1,0 +1,170 @@
+//===- domains/DomainLoader.cpp - Domains from text files -----------------===//
+
+#include "domains/DomainLoader.h"
+
+#include "grammar/BnfParser.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace dggt;
+
+namespace {
+
+/// Splits "a | b | c" into exactly trimmed fields (empty fields kept).
+std::vector<std::string> splitFields(std::string_view Line) {
+  std::vector<std::string> Fields;
+  size_t Begin = 0;
+  while (true) {
+    size_t End = Line.find('|', Begin);
+    std::string_view Piece = End == std::string_view::npos
+                                 ? Line.substr(Begin)
+                                 : Line.substr(Begin, End - Begin);
+    Fields.emplace_back(trim(Piece));
+    if (End == std::string_view::npos)
+      break;
+    Begin = End + 1;
+  }
+  return Fields;
+}
+
+/// Applies one comma-separated flag to \p Info; returns false on an
+/// unknown flag.
+bool applyFlag(std::string_view Flag, ApiInfo &Info) {
+  if (Flag == "literal-only") {
+    Info.LiteralOnly = true;
+    return true;
+  }
+  if (Flag == "quote") {
+    Info.QuoteLiteral = true;
+    return true;
+  }
+  if (startsWith(Flag, "lit=")) {
+    std::string_view Kind = Flag.substr(4);
+    if (Kind == "str")
+      Info.Lit = LitKind::String;
+    else if (Kind == "num")
+      Info.Lit = LitKind::Number;
+    else if (Kind == "any")
+      Info.Lit = LitKind::Any;
+    else
+      return false;
+    return true;
+  }
+  if (startsWith(Flag, "render=")) {
+    Info.RenderAs = std::string(Flag.substr(7));
+    return true;
+  }
+  if (startsWith(Flag, "bias=")) {
+    Info.Bias = std::atof(std::string(Flag.substr(5)).c_str());
+    return true;
+  }
+  return false;
+}
+
+std::string readFile(const std::string &Path, std::string &Error) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    Error = "cannot open '" + Path + "'";
+    return "";
+  }
+  std::string Out;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Out.append(Buf, N);
+  std::fclose(File);
+  return Out;
+}
+
+} // namespace
+
+bool dggt::parseApiDocument(std::string_view Text, ApiDocument &Doc,
+                            std::string &Error) {
+  size_t LineNo = 0;
+  for (const std::string &Line : split(Text, "\n")) {
+    ++LineNo;
+    std::string_view Trimmed = trim(Line);
+    if (Trimmed.empty() || Trimmed.front() == '#')
+      continue;
+    std::vector<std::string> Fields = splitFields(Trimmed);
+    if (Fields.size() != 4) {
+      Error = "line " + std::to_string(LineNo) +
+              ": expected 4 '|' separated fields, got " +
+              std::to_string(Fields.size());
+      return false;
+    }
+    ApiInfo Info;
+    Info.Name = Fields[0];
+    if (Info.Name.empty()) {
+      Error = "line " + std::to_string(LineNo) + ": empty API name";
+      return false;
+    }
+    for (const std::string &Flag : split(Fields[1], ",")) {
+      if (!applyFlag(trim(Flag), Info)) {
+        Error = "line " + std::to_string(LineNo) + ": unknown flag '" +
+                Flag + "'";
+        return false;
+      }
+    }
+    for (const std::string &W : split(Fields[2], " "))
+      Info.NameWords.push_back(toLower(W));
+    Info.Description = Fields[3];
+    if (Doc.byName(Info.Name)) {
+      Error = "line " + std::to_string(LineNo) + ": duplicate API '" +
+              Info.Name + "'";
+      return false;
+    }
+    Doc.add(std::move(Info));
+  }
+  return true;
+}
+
+DomainLoadResult dggt::loadDomainFromText(std::string Name,
+                                          std::string_view GrammarBnf,
+                                          std::string_view ApiDocText,
+                                          MatcherOptions MatchOpts,
+                                          PathSearchLimits Limits,
+                                          PruneOptions Prune) {
+  DomainLoadResult Result;
+  BnfParseResult Parsed = parseBnf(GrammarBnf);
+  if (!Parsed.ok()) {
+    Result.Error = "grammar: " + Parsed.Error;
+    return Result;
+  }
+  ApiDocument Doc;
+  if (!parseApiDocument(ApiDocText, Doc, Result.Error)) {
+    Result.Error = "api document: " + Result.Error;
+    return Result;
+  }
+  // Cross-check: every grammar terminal must be documented.
+  for (const std::string &Api : Parsed.G.apiTerminals()) {
+    if (!Doc.byName(Api)) {
+      Result.Error = "grammar terminal '" + Api +
+                     "' is missing from the API document";
+      return Result;
+    }
+  }
+  Result.D = std::make_unique<Domain>(std::move(Name), std::move(Parsed.G),
+                                      std::move(Doc),
+                                      std::vector<QueryCase>{}, MatchOpts,
+                                      Limits, std::move(Prune));
+  return Result;
+}
+
+DomainLoadResult dggt::loadDomainFromFiles(std::string Name,
+                                           const std::string &GrammarPath,
+                                           const std::string &ApiDocPath,
+                                           MatcherOptions MatchOpts,
+                                           PathSearchLimits Limits,
+                                           PruneOptions Prune) {
+  DomainLoadResult Result;
+  std::string Grammar = readFile(GrammarPath, Result.Error);
+  if (!Result.Error.empty())
+    return Result;
+  std::string ApiDoc = readFile(ApiDocPath, Result.Error);
+  if (!Result.Error.empty())
+    return Result;
+  return loadDomainFromText(std::move(Name), Grammar, ApiDoc, MatchOpts,
+                            Limits, std::move(Prune));
+}

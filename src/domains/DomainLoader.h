@@ -1,0 +1,66 @@
+//===- domains/DomainLoader.h - Domains from text files ----------*- C++ -*-===//
+///
+/// \file
+/// Loads a Domain from plain-text inputs, so downstream users can target
+/// a new DSL without recompiling — matching the paper's input model
+/// exactly: a BNF grammar plus an API reference document (Section II).
+///
+/// API document format, one entry per line:
+///
+/// \code
+///   # name | flags | name-words | description
+///   INSERT    |         | insert       | insert a new string at a position
+///   STRING    | lit=str |              | a string constant of characters
+///   LIT       | lit=str,literal-only | | a user supplied string value
+///   HASNAME   | lit=str,quote,render=hasName | has name | matches ...
+/// \endcode
+///
+/// Flags: `lit=str|num|any`, `literal-only`, `quote`, `render=<name>`,
+/// `bias=<float>`. Empty name-words default to splitting the name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_DOMAINS_DOMAINLOADER_H
+#define DGGT_DOMAINS_DOMAINLOADER_H
+
+#include "domains/Domain.h"
+
+#include <string>
+#include <string_view>
+
+namespace dggt {
+
+/// Result of loading; Error empty on success.
+struct DomainLoadResult {
+  std::unique_ptr<Domain> D;
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Parses an API document from its text form.
+///
+/// Returns an error string in \p Error (first failing line) or fills
+/// \p Doc. Lines starting with '#' and blank lines are skipped.
+bool parseApiDocument(std::string_view Text, ApiDocument &Doc,
+                      std::string &Error);
+
+/// Builds a domain from in-memory grammar BNF and API document text.
+DomainLoadResult loadDomainFromText(std::string Name,
+                                    std::string_view GrammarBnf,
+                                    std::string_view ApiDocText,
+                                    MatcherOptions MatchOpts = {},
+                                    PathSearchLimits Limits = {},
+                                    PruneOptions Prune = {});
+
+/// Builds a domain from two files on disk.
+DomainLoadResult loadDomainFromFiles(std::string Name,
+                                     const std::string &GrammarPath,
+                                     const std::string &ApiDocPath,
+                                     MatcherOptions MatchOpts = {},
+                                     PathSearchLimits Limits = {},
+                                     PruneOptions Prune = {});
+
+} // namespace dggt
+
+#endif // DGGT_DOMAINS_DOMAINLOADER_H

@@ -1,0 +1,227 @@
+//===- domains/TextEditingDomain.cpp - TextEditing domain (Table I) -------===//
+//
+// A 52-API command DSL for text editing, reconstructed after the DSL of
+// Desai et al. [9] that the paper evaluates on. Codelets look like
+//
+//   INSERT(STRING(:), END(), IterationScope(LINESCOPE(),
+//          BConditionOccurrence(CONTAINS(NUMBERTOKEN()), ALL())))
+//
+// matching the style of the paper's Table I examples.
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/Domain.h"
+
+#include "grammar/BnfParser.h"
+
+#include <cassert>
+
+using namespace dggt;
+
+namespace {
+
+/// The DSL grammar. Literal-accepting positions inline the LIT / NUMLIT
+/// pseudo-terminals so every literal slot is its own grammar occurrence.
+const char *TextEditingBnf = R"bnf(
+# ---- commands ---------------------------------------------------------
+cmd     ::= insert | delete | replace | copy | move | selectc
+          | print | count | convert | sortc | mergec | splitc
+insert  ::= INSERT istring pos iter
+istring ::= STRING LIT
+delete  ::= DELETE target iter
+replace ::= REPLACE otarget nstring iter
+otarget ::= toktypes | ostring
+ostring ::= STRING LIT
+nstring ::= STRING LIT
+copy    ::= COPY target iter
+move    ::= MOVE target pos iter
+selectc ::= SELECT target iter
+print   ::= PRINT target iter
+count   ::= COUNT target iter
+convert ::= CONVERTCASE target casearg iter
+sortc   ::= SORTLINES scope order
+mergec  ::= MERGELINES scope mstring
+mstring ::= STRING LIT
+splitc  ::= SPLITLINES target sstring
+sstring ::= STRING LIT
+target  ::= toktypes | tstring
+tstring ::= STRING LIT
+# Each token-accepting site derives the token terminals through its own
+# occurrences (via toktypes, duplicated below), so a command target and a
+# CONTAINS argument can coexist in one CGT.
+toktypes ::= NUMBERTOKEN | WORDTOKEN | LINETOKEN | CHARTOKEN
+           | SENTENCETOKEN | TABTOKEN | SPACETOKEN | PUNCTTOKEN
+# ---- positions --------------------------------------------------------
+pos     ::= START | END | AFTER measure | BEFORE measure
+          | STARTFROM measure | POSITION measure
+measure ::= charnum | wordnum | linenum | pstring
+pstring ::= STRING LIT
+charnum ::= CHARNUMBER NUMLIT
+wordnum ::= WORDNUMBER NUMLIT
+linenum ::= LINENUMBER NUMLIT
+# ---- iteration --------------------------------------------------------
+iter    ::= ITERATIONSCOPE scope bcond
+scope   ::= LINESCOPE | SENTENCESCOPE | WORDSCOPE | PARAGRAPHSCOPE
+          | DOCUMENTSCOPE
+bcond   ::= BCONDITIONOCCURRENCE cond occ
+cond    ::= CONTAINS ctoken | STARTSWITH LIT | ENDSWITH LIT
+          | EQUALS LIT | ISEMPTY
+ctoken  ::= NUMBERTOKEN | WORDTOKEN | LINETOKEN | CHARTOKEN
+          | SENTENCETOKEN | TABTOKEN | SPACETOKEN | PUNCTTOKEN
+          | LIT
+occ     ::= ALL | FIRST | LAST | NTH NUMLIT
+casearg ::= TOUPPER | TOLOWER
+order   ::= ASCENDING | DESCENDING
+)bnf";
+
+/// Builds the 52-entry API document. NameWords give the NLU matcher the
+/// word decomposition of the ALLCAPS names; descriptions use the
+/// vocabulary the query set (and its synonyms) draws on.
+ApiDocument buildDocument() {
+  ApiDocument Doc;
+  auto Add = [&](const char *Name, std::vector<std::string> Words,
+                 const char *Desc, LitKind Lit = LitKind::None,
+                 const char *RenderAs = "") {
+    ApiInfo Info;
+    Info.Name = Name;
+    Info.NameWords = std::move(Words);
+    Info.Description = Desc;
+    Info.Lit = Lit;
+    Info.RenderAs = RenderAs;
+    Doc.add(std::move(Info));
+  };
+
+  // Commands (12).
+  Add("INSERT", {"insert"}, "insert a new string at a position in the text");
+  Add("DELETE", {"delete"}, "delete a string or token from the text");
+  Add("REPLACE", {"replace"},
+      "replace a string or token with a new string");
+  Add("COPY", {"copy"}, "copy a string or token to the clipboard");
+  Add("MOVE", {"move"}, "move a string or token to a position");
+  Add("SELECT", {"select"}, "select and highlight a string or token");
+  Add("PRINT", {"print"}, "print and show a string or token");
+  Add("COUNT", {"count"}, "count the occurrences of a string or token");
+  Add("CONVERTCASE", {"convert", "case"},
+      "convert the case of a string or token");
+  Add("SORTLINES", {"sort", "lines"},
+      "sort the lines of a scope in an order");
+  Add("MERGELINES", {"merge", "lines"},
+      "merge and join the lines of a scope with a separator");
+  Add("SPLITLINES", {"split", "lines"}, "split a line at a separator string");
+
+  // Literal pseudo-APIs (2) and the string constructor (1).
+  {
+    ApiInfo Lit;
+    Lit.Name = "LIT";
+    Lit.Description = "a user supplied string value";
+    Lit.Lit = LitKind::String;
+    Lit.LiteralOnly = true;
+    Doc.add(std::move(Lit));
+
+    ApiInfo Num;
+    Num.Name = "NUMLIT";
+    Num.Description = "a user supplied number value";
+    Num.Lit = LitKind::Number;
+    Num.LiteralOnly = true;
+    Doc.add(std::move(Num));
+  }
+  Add("STRING", {"string"}, "a string constant of characters",
+      LitKind::String);
+
+  // Positions (6).
+  Add("START", {"start"}, "the start and beginning of the scope");
+  Add("END", {"end"}, "the end and tail of the scope");
+  Add("AFTER", {"after"}, "the position directly after a place in the text");
+  Add("BEFORE", {"before"},
+      "the position directly before a place in the text");
+  Add("STARTFROM", {"start"},
+      "the position starting from a place in the text");
+  Add("POSITION", {"position"},
+      "an absolute position located at a place in the text",
+      LitKind::Number);
+
+  // Measures (3).
+  Add("CHARNUMBER", {"char", "number"},
+      "a distance measured in characters and letters", LitKind::Number);
+  Add("WORDNUMBER", {"word", "number"}, "a distance measured in words",
+      LitKind::Number);
+  Add("LINENUMBER", {"line", "number"}, "a distance measured in lines",
+      LitKind::Number);
+
+  // Iteration (2).
+  Add("ITERATIONSCOPE", {"iteration", "scope"},
+      "iterate over the parts of a scope", LitKind::None, "IterationScope");
+  Add("BCONDITIONOCCURRENCE", {"condition", "occurrence"},
+      "filter iterated parts by a condition and an occurrence selector",
+      LitKind::None, "BConditionOccurrence");
+
+  // Scopes (5).
+  Add("LINESCOPE", {"line", "scope"}, "iterate the lines of the text");
+  Add("SENTENCESCOPE", {"sentence", "scope"},
+      "iterate the sentences of the text");
+  Add("WORDSCOPE", {"word", "scope"}, "iterate the words of the text");
+  Add("PARAGRAPHSCOPE", {"paragraph", "scope"},
+      "iterate the paragraphs of the text");
+  Add("DOCUMENTSCOPE", {"document", "scope"}, "the whole document file");
+
+  // Conditions (5).
+  Add("CONTAINS", {"contains"},
+      "the part contains and includes a token or string");
+  Add("STARTSWITH", {"starts", "with"},
+      "the part starts and begins with a string", LitKind::String);
+  Add("ENDSWITH", {"ends", "with"},
+      "the part ends and finishes with a string", LitKind::String);
+  Add("EQUALS", {"equals"}, "the part equals and matches a string exactly",
+      LitKind::String);
+  Add("ISEMPTY", {"is", "empty"}, "the part is empty and blank");
+
+  // Tokens (8).
+  Add("NUMBERTOKEN", {"number", "token"},
+      "a number and numeral and digit token");
+  Add("WORDTOKEN", {"word", "token"}, "a word token");
+  Add("LINETOKEN", {"line", "token"}, "a line token");
+  Add("CHARTOKEN", {"char", "token"}, "a character and letter token");
+  Add("SENTENCETOKEN", {"sentence", "token"}, "a sentence token");
+  Add("TABTOKEN", {"tab", "token"}, "a tab token");
+  Add("SPACETOKEN", {"space", "token"}, "a space and whitespace token");
+  Add("PUNCTTOKEN", {"punctuation", "token"},
+      "a punctuation token comma or period or colon");
+
+  // Occurrence selectors (4).
+  Add("ALL", {"all"}, "select all and every occurrence");
+  Add("FIRST", {"first"}, "select the first occurrence");
+  Add("LAST", {"last"}, "select the last occurrence");
+  Add("NTH", {"nth"}, "select the nth numbered occurrence",
+      LitKind::Number);
+
+  // Case arguments (2).
+  Add("TOUPPER", {"upper"}, "convert to upper case capital letters");
+  Add("TOLOWER", {"lower"}, "convert to lower case small letters");
+
+  // Sort orders (2).
+  Add("ASCENDING", {"ascending"}, "sort in ascending increasing order");
+  Add("DESCENDING", {"descending"},
+      "sort in descending decreasing reverse order");
+
+  assert(Doc.size() == 52 && "TextEditing must have exactly 52 APIs");
+  return Doc;
+}
+
+} // namespace
+
+std::unique_ptr<Domain> dggt::makeTextEditingDomain() {
+  BnfParseResult Parsed = parseBnf(TextEditingBnf);
+  assert(Parsed.ok() && "TextEditing BNF must parse");
+  MatcherOptions MatchOpts;
+  MatchOpts.LocativeNameWord = "scope";
+  // Generous candidate lists recreate the paper's workload: HISyn's
+  // cross product grows with every extra candidate path while DGGT's
+  // per-group enumeration barely notices.
+  MatchOpts.MaxCandidates = 6;
+  MatchOpts.RelativeCutoff = 0.8;
+  PathSearchLimits Limits;
+  Limits.MaxPathNodes = 16;
+  return std::make_unique<Domain>("TextEditing", std::move(Parsed.G),
+                                  buildDocument(), textEditingQueries(),
+                                  MatchOpts, Limits);
+}

@@ -1,0 +1,609 @@
+//===- domains/TextEditingQueries.cpp - TextEditing dataset (200 queries) -===//
+//
+// The evaluation query set of the TextEditing domain: 200 NL commands
+// with ground-truth codelets (Table I row 1). Families: insertion (plain,
+// conditional, positional), deletion, replacement, copy/move/select/
+// print/count, case/sort/merge/split, conditional "if ..." phrasings,
+// and a hard multi-orphan family whose quantifiers, ordinals and
+// conjuncts the rule-based parser systematically mis-attaches — the
+// workload orphan relocation (Section V-B) targets. Several ground
+// truths are deliberately beyond the synthesizers (conjoined conditions,
+// nested scopes): those queries are the intentional error cases that
+// keep measured accuracy in the paper's band rather than at 100%.
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/Domain.h"
+
+using namespace dggt;
+
+std::vector<QueryCase> dggt::textEditingQueries() {
+  return {
+      {"insert ';' at the end of each line",
+       "INSERT(STRING(;), END(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"insert '-' at the start of each line",
+       "INSERT(STRING(-), START(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"add '>' at the start of every line",
+       "INSERT(STRING(>), START(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"append '!' at the end of every sentence",
+       "INSERT(STRING(!), END(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"insert '*' at the end of each paragraph",
+       "INSERT(STRING(*), END(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"add '##' at the start of each paragraph",
+       "INSERT(STRING(##), START(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"put ':' at the end of every line",
+       "INSERT(STRING(:), END(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"insert '--' at the start of each sentence",
+       "INSERT(STRING(--), START(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"append '.' at the end of each sentence",
+       "INSERT(STRING(.), END(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"add '//' at the start of every paragraph",
+       "INSERT(STRING(//), START(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"insert '$' at the end of every word",
+       "INSERT(STRING($), END(), IterationScope(WORDSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"add '~' at the start of each word",
+       "INSERT(STRING(~), START(), IterationScope(WORDSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"append ';;' at the end of each document",
+       "INSERT(STRING(;;), END(), IterationScope(DOCUMENTSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"insert '&' at the start of the document",
+       "INSERT(STRING(&), START(), IterationScope(DOCUMENTSCOPE()))"},
+      {"put '%' at the end of each sentence",
+       "INSERT(STRING(%), END(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"add '@' at the start of every sentence",
+       "INSERT(STRING(@), START(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"insert ';' at the end of every line containing numbers",
+       "INSERT(STRING(;), END(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(CONTAINS(NUMBERTOKEN()), ALL())))"},
+      {"add ':' at the start of every line containing words",
+       "INSERT(STRING(:), START(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(CONTAINS(WORDTOKEN()), ALL())))"},
+      {"append '#' at the end of every sentence containing tabs",
+       "INSERT(STRING(#), END(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(CONTAINS(TABTOKEN()), ALL())))"},
+      {"insert '-' at the start of every line containing spaces",
+       "INSERT(STRING(-), START(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(CONTAINS(SPACETOKEN()), ALL())))"},
+      {"add '!' at the end of every sentence containing 'TODO'",
+       "INSERT(STRING(!), END(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(CONTAINS(TODO), ALL())))"},
+      {"insert '?' at the end of every line containing 'FIXME'",
+       "INSERT(STRING(?), END(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(CONTAINS(FIXME), ALL())))"},
+      {"add '>' at the start of every line starting with '-'",
+       "INSERT(STRING(>), START(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(STARTSWITH(-), ALL())))"},
+      {"insert '<' at the end of every line ending with ';'",
+       "INSERT(STRING(<), END(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ENDSWITH(;), ALL())))"},
+      {"append '*' at the end of every sentence starting with 'note'",
+       "INSERT(STRING(*), END(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(STARTSWITH(note), ALL())))"},
+      {"add '+' at the start of every paragraph containing numbers",
+       "INSERT(STRING(+), START(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(CONTAINS(NUMBERTOKEN()), ALL())))"},
+      {"insert '=' at the end of every paragraph containing words",
+       "INSERT(STRING(=), END(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(CONTAINS(WORDTOKEN()), ALL())))"},
+      {"add '|' at the start of every sentence ending with '?'",
+       "INSERT(STRING(|), START(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(ENDSWITH(?), ALL())))"},
+      {"insert ',' after 14 characters in each sentence",
+       "INSERT(STRING(,), AFTER(CHARNUMBER(14)), "
+       "IterationScope(SENTENCESCOPE(), BConditionOccurrence(ALL())))"},
+      {"insert '.' before 3 words in each sentence",
+       "INSERT(STRING(.), BEFORE(WORDNUMBER(3)), "
+       "IterationScope(SENTENCESCOPE(), BConditionOccurrence(ALL())))"},
+      {"add ';' after 5 words in each line",
+       "INSERT(STRING(;), AFTER(WORDNUMBER(5)), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"insert ':' before 8 characters in each line",
+       "INSERT(STRING(:), BEFORE(CHARNUMBER(8)), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"append '-' after 2 lines in each paragraph",
+       "INSERT(STRING(-), AFTER(LINENUMBER(2)), "
+       "IterationScope(PARAGRAPHSCOPE(), BConditionOccurrence(ALL())))"},
+      {"insert '#' after 40 characters in each paragraph",
+       "INSERT(STRING(#), AFTER(CHARNUMBER(40)), "
+       "IterationScope(PARAGRAPHSCOPE(), BConditionOccurrence(ALL())))"},
+      {"add '!' before 1 words in each sentence",
+       "INSERT(STRING(!), BEFORE(WORDNUMBER(1)), "
+       "IterationScope(SENTENCESCOPE(), BConditionOccurrence(ALL())))"},
+      {"insert '*' after 10 words in each document",
+       "INSERT(STRING(*), AFTER(WORDNUMBER(10)), "
+       "IterationScope(DOCUMENTSCOPE(), BConditionOccurrence(ALL())))"},
+      {"add '&' before 6 characters in each sentence",
+       "INSERT(STRING(&), BEFORE(CHARNUMBER(6)), "
+       "IterationScope(SENTENCESCOPE(), BConditionOccurrence(ALL())))"},
+      {"insert '~' after 25 characters in each line",
+       "INSERT(STRING(~), AFTER(CHARNUMBER(25)), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"delete all numbers in each line",
+       "DELETE(NUMBERTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"remove all tabs in every document",
+       "DELETE(TABTOKEN(), IterationScope(DOCUMENTSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"delete all spaces in each sentence",
+       "DELETE(SPACETOKEN(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"erase all words in every line",
+       "DELETE(WORDTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"remove all numbers in each paragraph",
+       "DELETE(NUMBERTOKEN(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"delete all tabs in every line",
+       "DELETE(TABTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"erase all spaces in each document",
+       "DELETE(SPACETOKEN(), IterationScope(DOCUMENTSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"remove all words in every sentence",
+       "DELETE(WORDTOKEN(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"delete all characters in each word",
+       "DELETE(CHARTOKEN(), IterationScope(WORDSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"remove all spaces in every paragraph",
+       "DELETE(SPACETOKEN(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"delete all numbers in every line starting with '-'",
+       "DELETE(NUMBERTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(STARTSWITH(-), ALL())))"},
+      {"remove all spaces in every line ending with ';'",
+       "DELETE(SPACETOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ENDSWITH(;), ALL())))"},
+      {"delete all words in every sentence containing 'DRAFT'",
+       "DELETE(WORDTOKEN(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(CONTAINS(DRAFT), ALL())))"},
+      {"erase all tabs in every line containing numbers",
+       "DELETE(TABTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(CONTAINS(NUMBERTOKEN()), ALL())))"},
+      {"remove all numbers in every sentence starting with 'total'",
+       "DELETE(NUMBERTOKEN(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(STARTSWITH(total), ALL())))"},
+      {"delete all spaces in every paragraph containing tabs",
+       "DELETE(SPACETOKEN(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(CONTAINS(TABTOKEN()), ALL())))"},
+      {"delete 'foo' in every line",
+       "DELETE(STRING(foo), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"remove 'bar' in each sentence",
+       "DELETE(STRING(bar), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"delete 'TODO' in every paragraph",
+       "DELETE(STRING(TODO), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"erase '...' in each line",
+       "DELETE(STRING(...), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"remove 'temp' in every document",
+       "DELETE(STRING(temp), IterationScope(DOCUMENTSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"delete 'xxx' in each sentence",
+       "DELETE(STRING(xxx), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"replace 'foo' with 'bar' in each line",
+       "REPLACE(STRING(foo), STRING(bar), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"substitute ';' with ',' in every sentence",
+       "REPLACE(STRING(;), STRING(,), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"replace 'colour' with 'color' in each document",
+       "REPLACE(STRING(colour), STRING(color), "
+       "IterationScope(DOCUMENTSCOPE(), BConditionOccurrence(ALL())))"},
+      {"swap 'yes' with 'no' in every line",
+       "REPLACE(STRING(yes), STRING(no), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"replace 'old' with 'new' in each paragraph",
+       "REPLACE(STRING(old), STRING(new), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"substitute '&' with 'and' in each sentence",
+       "REPLACE(STRING(&), STRING(and), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"replace '...' with '.' in every line",
+       "REPLACE(STRING(...), STRING(.), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"change 'ms' with 'milliseconds' in each document",
+       "REPLACE(STRING(ms), STRING(milliseconds), "
+       "IterationScope(DOCUMENTSCOPE(), BConditionOccurrence(ALL())))"},
+      {"replace all tabs with ' ' in each line",
+       "REPLACE(TABTOKEN(), STRING( ), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"replace all numbers with 'N' in every sentence",
+       "REPLACE(NUMBERTOKEN(), STRING(N), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"substitute all spaces with '_' in each line",
+       "REPLACE(SPACETOKEN(), STRING(_), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"replace all tabs with '    ' in every document",
+       "REPLACE(TABTOKEN(), STRING(    ), IterationScope(DOCUMENTSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"replace 'foo' with 'bar' in every line starting with '#'",
+       "REPLACE(STRING(foo), STRING(bar), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(STARTSWITH(#), ALL())))"},
+      {"substitute ',' with ';' in every sentence containing numbers",
+       "REPLACE(STRING(,), STRING(;), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(CONTAINS(NUMBERTOKEN()), ALL())))"},
+      {"replace 'x' with 'y' in every line ending with ':'",
+       "REPLACE(STRING(x), STRING(y), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ENDSWITH(:), ALL())))"},
+      {"replace 'a' with 'b' in every paragraph containing 'legacy'",
+       "REPLACE(STRING(a), STRING(b), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(CONTAINS(legacy), ALL())))"},
+      {"copy all numbers in each line",
+       "COPY(NUMBERTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"copy all words in every sentence",
+       "COPY(WORDTOKEN(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"duplicate all lines in each paragraph",
+       "COPY(LINETOKEN(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"select all words in each paragraph",
+       "SELECT(WORDTOKEN(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"select all numbers in every document",
+       "SELECT(NUMBERTOKEN(), IterationScope(DOCUMENTSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"highlight all tabs in each line",
+       "SELECT(TABTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"print all words in each line",
+       "PRINT(WORDTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"show all numbers in every sentence",
+       "PRINT(NUMBERTOKEN(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"print all sentences in each paragraph",
+       "PRINT(SENTENCETOKEN(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"count all words in each sentence",
+       "COUNT(WORDTOKEN(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"count all numbers in every line",
+       "COUNT(NUMBERTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"count all characters in each word",
+       "COUNT(CHARTOKEN(), IterationScope(WORDSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"count all spaces in every line",
+       "COUNT(SPACETOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"count all sentences in each paragraph",
+       "COUNT(SENTENCETOKEN(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"move 'abc' to the end of each line",
+       "MOVE(STRING(abc), END(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"move 'figure' to the start of each paragraph",
+       "MOVE(STRING(figure), START(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"move 'note' to the end of each sentence",
+       "MOVE(STRING(note), END(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"move 'header' to the start of each document",
+       "MOVE(STRING(header), START(), IterationScope(DOCUMENTSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"copy the first word in each line",
+       "COPY(WORDTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(FIRST())))"},
+      {"copy the last number in each sentence",
+       "COPY(NUMBERTOKEN(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(LAST())))"},
+      {"select the first sentence in each paragraph",
+       "SELECT(SENTENCETOKEN(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(FIRST())))"},
+      {"delete the last word in each sentence",
+       "DELETE(WORDTOKEN(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(LAST())))"},
+      {"print the first line in each paragraph",
+       "PRINT(LINETOKEN(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(FIRST())))"},
+      {"delete the first number in each line",
+       "DELETE(NUMBERTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(FIRST())))"},
+      {"select the last line in each document",
+       "SELECT(LINETOKEN(), IterationScope(DOCUMENTSCOPE(), "
+       "BConditionOccurrence(LAST())))"},
+      {"print all lines containing 'error'",
+       "PRINT(LINETOKEN(), "
+       "IterationScope(BConditionOccurrence(CONTAINS(error), ALL())))"},
+      {"print all lines containing 'warning'",
+       "PRINT(LINETOKEN(), "
+       "IterationScope(BConditionOccurrence(CONTAINS(warning), ALL())))"},
+      {"show all lines starting with '>'",
+       "PRINT(LINETOKEN(), IterationScope(BConditionOccurrence(STARTSWITH(>), "
+       "ALL())))"},
+      {"select all sentences containing 'TODO'",
+       "SELECT(SENTENCETOKEN(), "
+       "IterationScope(BConditionOccurrence(CONTAINS(TODO), ALL())))"},
+      {"print all lines ending with '\\\\'",
+       "PRINT(LINETOKEN(), "
+       "IterationScope(BConditionOccurrence(ENDSWITH(\\\\), ALL())))"},
+      {"copy all lines containing numbers",
+       "COPY(LINETOKEN(), "
+       "IterationScope(BConditionOccurrence(CONTAINS(NUMBERTOKEN()), ALL())))"},
+      {"select all lines containing tabs",
+       "SELECT(LINETOKEN(), "
+       "IterationScope(BConditionOccurrence(CONTAINS(TABTOKEN()), ALL())))"},
+      {"count all lines starting with '#'",
+       "COUNT(LINETOKEN(), IterationScope(BConditionOccurrence(STARTSWITH(#), "
+       "ALL())))"},
+      {"print all sentences ending with '!'",
+       "PRINT(SENTENCETOKEN(), "
+       "IterationScope(BConditionOccurrence(ENDSWITH(!), ALL())))"},
+      {"convert all words to uppercase in each line",
+       "CONVERTCASE(WORDTOKEN(), TOUPPER(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"convert all words to lowercase in every sentence",
+       "CONVERTCASE(WORDTOKEN(), TOLOWER(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"convert all characters to uppercase in each word",
+       "CONVERTCASE(CHARTOKEN(), TOUPPER(), IterationScope(WORDSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"convert all lines to lowercase in each paragraph",
+       "CONVERTCASE(LINETOKEN(), TOLOWER(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"convert all sentences to uppercase in every document",
+       "CONVERTCASE(SENTENCETOKEN(), TOUPPER(), "
+       "IterationScope(DOCUMENTSCOPE(), BConditionOccurrence(ALL())))"},
+      {"convert all words to lowercase in each paragraph",
+       "CONVERTCASE(WORDTOKEN(), TOLOWER(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"sort all lines in ascending order",
+       "SORTLINES(LINESCOPE(), ASCENDING())"},
+      {"sort all lines in descending order",
+       "SORTLINES(LINESCOPE(), DESCENDING())"},
+      {"sort all sentences in ascending order",
+       "SORTLINES(SENTENCESCOPE(), ASCENDING())"},
+      {"sort all paragraphs in descending order",
+       "SORTLINES(PARAGRAPHSCOPE(), DESCENDING())"},
+      {"sort all words in ascending order",
+       "SORTLINES(WORDSCOPE(), ASCENDING())"},
+      {"merge the lines with ';'",
+       "MERGELINES(LINESCOPE(), STRING(;))"},
+      {"merge the sentences with ' '",
+       "MERGELINES(SENTENCESCOPE(), STRING( ))"},
+      {"merge the paragraphs with '\\n\\n'",
+       "MERGELINES(PARAGRAPHSCOPE(), STRING(\\n\\n))"},
+      {"merge the lines with ', '",
+       "MERGELINES(LINESCOPE(), STRING(, ))"},
+      {"split all lines at ','",
+       "SPLITLINES(LINETOKEN(), STRING(,))"},
+      {"split all lines at ';'",
+       "SPLITLINES(LINETOKEN(), STRING(;))"},
+      {"split all lines at ' - '",
+       "SPLITLINES(LINETOKEN(), STRING( - ))"},
+      {"split all lines at '|'",
+       "SPLITLINES(LINETOKEN(), STRING(|))"},
+      {"split all lines at '\\t'",
+       "SPLITLINES(LINETOKEN(), STRING(\\t))"},
+      {"if a sentence starts with '-', add ':' after 14 characters",
+       "INSERT(STRING(:), AFTER(CHARNUMBER(14)), "
+       "IterationScope(SENTENCESCOPE(), BConditionOccurrence(STARTSWITH(-))))"},
+      {"if a line starts with '#', insert ' ' after 1 characters",
+       "INSERT(STRING( ), AFTER(CHARNUMBER(1)), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(STARTSWITH(#))))"},
+      {"if a sentence ends with '.', add ' ' after 3 words",
+       "INSERT(STRING( ), AFTER(WORDNUMBER(3)), "
+       "IterationScope(SENTENCESCOPE(), BConditionOccurrence(ENDSWITH(.))))"},
+      {"if a line ends with ';', insert '#' before 2 characters",
+       "INSERT(STRING(#), BEFORE(CHARNUMBER(2)), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ENDSWITH(;))))"},
+      {"if a paragraph starts with 'note', add '*' before 1 words",
+       "INSERT(STRING(*), BEFORE(WORDNUMBER(1)), "
+       "IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(STARTSWITH(note))))"},
+      {"if a line contains numbers, insert '!' after 5 characters",
+       "INSERT(STRING(!), AFTER(CHARNUMBER(5)), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(CONTAINS(NUMBERTOKEN()))))"},
+      {"if a line starts with '>', delete all spaces",
+       "DELETE(SPACETOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(STARTSWITH(>), ALL())))"},
+      {"if a sentence contains 'obsolete', remove all words",
+       "DELETE(WORDTOKEN(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(CONTAINS(obsolete), ALL())))"},
+      {"if a line ends with '\\\\', delete all tabs",
+       "DELETE(TABTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ENDSWITH(\\\\), ALL())))"},
+      {"if a paragraph contains tabs, remove all spaces",
+       "DELETE(SPACETOKEN(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(CONTAINS(TABTOKEN()), ALL())))"},
+      {"if a line contains 'debug', delete all numbers",
+       "DELETE(NUMBERTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(CONTAINS(debug), ALL())))"},
+      {"if a sentence starts with 'old', erase all words",
+       "DELETE(WORDTOKEN(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(STARTSWITH(old), ALL())))"},
+      {"insert ';' at the end of every line containing numbers and tabs",
+       "INSERT(STRING(;), END(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(CONTAINS(NUMBERTOKEN()), ALL())))"},
+      {"replace the first word with 'X' in every line containing numbers",
+       "REPLACE(WORDTOKEN(), STRING(X), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(CONTAINS(NUMBERTOKEN()), FIRST())))"},
+      {"delete the last number in every sentence starting with 'sum'",
+       "DELETE(NUMBERTOKEN(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(STARTSWITH(sum), LAST())))"},
+      {"add '>' at the start of each line containing words and spaces",
+       "INSERT(STRING(>), START(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(CONTAINS(WORDTOKEN()), ALL())))"},
+      {"copy the first sentence in every paragraph containing 'abstract'",
+       "COPY(SENTENCETOKEN(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(CONTAINS(abstract), FIRST())))"},
+      {"print the last word in each line ending with '.'",
+       "PRINT(WORDTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ENDSWITH(.), LAST())))"},
+      {"count all numbers in every line starting with '+'",
+       "COUNT(NUMBERTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(STARTSWITH(+), ALL())))"},
+      {"select the first number in each sentence containing 'total'",
+       "SELECT(NUMBERTOKEN(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(CONTAINS(total), FIRST())))"},
+      {"move 'sig' to the end of every sentence containing 'regards'",
+       "MOVE(STRING(sig), END(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(CONTAINS(regards), ALL())))"},
+      {"remove all tabs in the first line of each paragraph",
+       "DELETE(TABTOKEN(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(FIRST())))"},
+      {"insert '-' at the start of the last line in each paragraph",
+       "INSERT(STRING(-), START(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(LAST())))"},
+      {"delete every word containing numbers in each line",
+       "DELETE(WORDTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(CONTAINS(NUMBERTOKEN()), ALL())))"},
+      {"replace ';' with ',' in the first sentence of every paragraph",
+       "REPLACE(STRING(;), STRING(,), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(FIRST())))"},
+      {"convert the first word to uppercase in each sentence",
+       "CONVERTCASE(WORDTOKEN(), TOUPPER(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(FIRST())))"},
+      {"erase all spaces in every empty line",
+       "DELETE(SPACETOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ISEMPTY(), ALL())))"},
+      {"append ':' in every line containing numerals",
+       "INSERT(STRING(:), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(CONTAINS(NUMBERTOKEN()), ALL())))"},
+      {"add '#' at the start of the first line containing numbers",
+       "INSERT(STRING(#), START(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(CONTAINS(NUMBERTOKEN()), FIRST())))"},
+      {"insert '!' at the end of the last sentence",
+       "INSERT(STRING(!), END(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(LAST())))"},
+      {"remove all words in each empty line",
+       "DELETE(WORDTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ISEMPTY(), ALL())))"},
+      {"select every word in the first paragraph",
+       "SELECT(WORDTOKEN(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"count all words in every sentence containing numbers and tabs",
+       "COUNT(WORDTOKEN(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(CONTAINS(NUMBERTOKEN()), ALL())))"},
+      {"print all lines starting with '-' and ending with ';'",
+       "PRINT(LINETOKEN(), IterationScope(BConditionOccurrence(STARTSWITH(-), "
+       "ALL())))"},
+      {"delete the first word and the last word in each line",
+       "DELETE(WORDTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(FIRST())))"},
+      {"copy every number in the last sentence of each paragraph",
+       "COPY(NUMBERTOKEN(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(LAST())))"},
+      {"insert ';' after the last word in every line",
+       "INSERT(STRING(;), END(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"insert '|' at position 10 in each line",
+       "INSERT(STRING(|), POSITION(CHARNUMBER(10)), "
+       "IterationScope(LINESCOPE(), BConditionOccurrence(ALL())))"},
+      {"insert '^' at position 5 in each sentence",
+       "INSERT(STRING(^), POSITION(CHARNUMBER(5)), "
+       "IterationScope(SENTENCESCOPE(), BConditionOccurrence(ALL())))"},
+      {"insert '@' at position 20 in each line",
+       "INSERT(STRING(@), POSITION(CHARNUMBER(20)), "
+       "IterationScope(LINESCOPE(), BConditionOccurrence(ALL())))"},
+      {"insert '%' at position 1 in each word",
+       "INSERT(STRING(%), POSITION(CHARNUMBER(1)), "
+       "IterationScope(WORDSCOPE(), BConditionOccurrence(ALL())))"},
+      {"insert '*' at position 30 in each paragraph",
+       "INSERT(STRING(*), POSITION(CHARNUMBER(30)), "
+       "IterationScope(PARAGRAPHSCOPE(), BConditionOccurrence(ALL())))"},
+      {"insert '::' at position 12 in each line",
+       "INSERT(STRING(::), POSITION(CHARNUMBER(12)), "
+       "IterationScope(LINESCOPE(), BConditionOccurrence(ALL())))"},
+      {"insert '+' at position 7 in each sentence",
+       "INSERT(STRING(+), POSITION(CHARNUMBER(7)), "
+       "IterationScope(SENTENCESCOPE(), BConditionOccurrence(ALL())))"},
+      {"insert '$$' at position 64 in each document",
+       "INSERT(STRING($$), POSITION(CHARNUMBER(64)), "
+       "IterationScope(DOCUMENTSCOPE(), BConditionOccurrence(ALL())))"},
+      {"delete all punctuation in each sentence",
+       "DELETE(PUNCTTOKEN(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"remove all punctuation in every line",
+       "DELETE(PUNCTTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"erase all punctuation in each paragraph",
+       "DELETE(PUNCTTOKEN(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"delete all punctuation in every document",
+       "DELETE(PUNCTTOKEN(), IterationScope(DOCUMENTSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"remove all punctuation in each word",
+       "DELETE(PUNCTTOKEN(), IterationScope(WORDSCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"delete all punctuation in each line",
+       "DELETE(PUNCTTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ALL())))"},
+      {"copy all numbers in every line starting with '$'",
+       "COPY(NUMBERTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(STARTSWITH($), ALL())))"},
+      {"select all words in every sentence containing 'act'",
+       "SELECT(WORDTOKEN(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(CONTAINS(act), ALL())))"},
+      {"print all numbers in every line ending with '%'",
+       "PRINT(NUMBERTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ENDSWITH(%), ALL())))"},
+      {"count all tabs in every line containing words",
+       "COUNT(TABTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(CONTAINS(WORDTOKEN()), ALL())))"},
+      {"copy all words in every paragraph containing 'summary'",
+       "COPY(WORDTOKEN(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(CONTAINS(summary), ALL())))"},
+      {"select all spaces in every line starting with ' '",
+       "SELECT(SPACETOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(STARTSWITH( ), ALL())))"},
+      {"print all characters in every word containing numbers",
+       "PRINT(CHARTOKEN(), IterationScope(WORDSCOPE(), "
+       "BConditionOccurrence(CONTAINS(NUMBERTOKEN()), ALL())))"},
+      {"count all numbers in every sentence ending with '.'",
+       "COUNT(NUMBERTOKEN(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(ENDSWITH(.), ALL())))"},
+      {"copy all tabs in every paragraph containing spaces",
+       "COPY(TABTOKEN(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(CONTAINS(SPACETOKEN()), ALL())))"},
+      {"select all numbers in every document containing 'sum'",
+       "SELECT(NUMBERTOKEN(), IterationScope(DOCUMENTSCOPE(), "
+       "BConditionOccurrence(CONTAINS(sum), ALL())))"},
+      {"delete all spaces in every empty line",
+       "DELETE(SPACETOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(ISEMPTY(), ALL())))"},
+      {"remove all tabs in every empty sentence",
+       "DELETE(TABTOKEN(), IterationScope(SENTENCESCOPE(), "
+       "BConditionOccurrence(ISEMPTY(), ALL())))"},
+      {"print all lines in every empty paragraph",
+       "PRINT(LINETOKEN(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(ISEMPTY(), ALL())))"},
+      {"count all lines in every empty document",
+       "COUNT(LINETOKEN(), IterationScope(DOCUMENTSCOPE(), "
+       "BConditionOccurrence(ISEMPTY(), ALL())))"},
+      {"delete all words in every line equal to 'eof'",
+       "DELETE(WORDTOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(EQUALS(eof), ALL())))"},
+      {"print all lines in every document equal to 'end'",
+       "PRINT(LINETOKEN(), IterationScope(DOCUMENTSCOPE(), "
+       "BConditionOccurrence(EQUALS(end), ALL())))"},
+      {"select all sentences in every paragraph equal to 'done'",
+       "SELECT(SENTENCETOKEN(), IterationScope(PARAGRAPHSCOPE(), "
+       "BConditionOccurrence(EQUALS(done), ALL())))"},
+      {"copy all lines in every document equal to 'begin'",
+       "COPY(LINETOKEN(), IterationScope(DOCUMENTSCOPE(), "
+       "BConditionOccurrence(EQUALS(begin), ALL())))"},
+      {"remove all spaces in every line equal to 'gap'",
+       "DELETE(SPACETOKEN(), IterationScope(LINESCOPE(), "
+       "BConditionOccurrence(EQUALS(gap), ALL())))"},
+  };
+}

@@ -1,0 +1,38 @@
+//===- eval/Distribution.cpp - Response-time distribution -----------------===//
+
+#include "eval/Distribution.h"
+
+using namespace dggt;
+
+namespace {
+double frac(size_t Part, size_t Total) {
+  return Total == 0 ? 0.0
+                    : static_cast<double>(Part) / static_cast<double>(Total);
+}
+} // namespace
+
+double TimeDistribution::fracUnder100ms() const {
+  return frac(Under100ms, Total);
+}
+double TimeDistribution::fracUnder1s() const { return frac(Under1s, Total); }
+double TimeDistribution::fracOver1s() const { return frac(Over1s, Total); }
+double TimeDistribution::fracTimeouts() const { return frac(Timeouts, Total); }
+
+TimeDistribution
+dggt::bucketOutcomes(const std::vector<CaseOutcome> &Outcomes) {
+  TimeDistribution D;
+  D.Total = Outcomes.size();
+  for (const CaseOutcome &O : Outcomes) {
+    if (O.Result.St == SynthesisResult::Status::Timeout) {
+      ++D.Timeouts;
+      continue;
+    }
+    if (O.Seconds < 0.1)
+      ++D.Under100ms;
+    else if (O.Seconds < 1.0)
+      ++D.Under1s;
+    else
+      ++D.Over1s;
+  }
+  return D;
+}

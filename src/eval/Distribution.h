@@ -1,0 +1,37 @@
+//===- eval/Distribution.h - Response-time distribution -----------*- C++ -*-===//
+///
+/// \file
+/// The response-time buckets of Figure 7: fraction of cases finishing in
+/// under 0.1 s, between 0.1 s and 1 s, over 1 s, and timing out. The
+/// bucket edges are the paper's (they bracket the interactive-use comfort
+/// thresholds of Section VII-B1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_EVAL_DISTRIBUTION_H
+#define DGGT_EVAL_DISTRIBUTION_H
+
+#include "eval/Harness.h"
+
+namespace dggt {
+
+/// Figure 7's histogram for one (algorithm, domain) pair.
+struct TimeDistribution {
+  size_t Under100ms = 0;
+  size_t Under1s = 0; ///< In [0.1 s, 1 s).
+  size_t Over1s = 0;  ///< Finished, but took >= 1 s.
+  size_t Timeouts = 0;
+  size_t Total = 0;
+
+  double fracUnder100ms() const;
+  double fracUnder1s() const;
+  double fracOver1s() const;
+  double fracTimeouts() const;
+};
+
+/// Buckets \p Outcomes per Figure 7.
+TimeDistribution bucketOutcomes(const std::vector<CaseOutcome> &Outcomes);
+
+} // namespace dggt
+
+#endif // DGGT_EVAL_DISTRIBUTION_H

@@ -1,0 +1,46 @@
+//===- eval/Harness.cpp - Timed evaluation harness ------------------------===//
+
+#include "eval/Harness.h"
+
+#include "synth/Expression.h"
+
+#include <cstdlib>
+
+using namespace dggt;
+
+uint64_t dggt::harnessTimeoutMs(uint64_t DefaultMs) {
+  if (const char *Env = std::getenv("DGGT_TIMEOUT_MS")) {
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(Env, &End, 10);
+    if (End != Env && V > 0)
+      return static_cast<uint64_t>(V);
+  }
+  return DefaultMs;
+}
+
+EvalHarness::EvalHarness(const Domain &D, uint64_t TimeoutMs)
+    : D(D), TimeoutMs(TimeoutMs) {}
+
+CaseOutcome EvalHarness::runCase(const Synthesizer &S,
+                                 const QueryCase &Q) const {
+  CaseOutcome Out;
+  Budget B(TimeoutMs);
+  WallTimer Timer;
+  PreparedQuery Prepared = D.frontEnd().prepare(Q.Query);
+  Out.Result = S.synthesize(Prepared, B);
+  Out.Seconds = Timer.seconds();
+  if (Out.Result.St == SynthesisResult::Status::Timeout)
+    Out.Seconds = timeoutSeconds(); // The paper records the full timeout.
+  Out.Correct = Out.Result.ok() &&
+                normalizeExpression(Out.Result.Expression) ==
+                    normalizeExpression(Q.GroundTruth);
+  return Out;
+}
+
+std::vector<CaseOutcome> EvalHarness::runAll(const Synthesizer &S) const {
+  std::vector<CaseOutcome> Out;
+  Out.reserve(D.queries().size());
+  for (const QueryCase &Q : D.queries())
+    Out.push_back(runCase(S, Q));
+  return Out;
+}

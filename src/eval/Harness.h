@@ -1,0 +1,61 @@
+//===- eval/Harness.h - Timed evaluation harness ------------------*- C++ -*-===//
+///
+/// \file
+/// Runs synthesizers over a domain's query set under the interactive
+/// timeout of Section VII-B1. A timed-out query is an error and its
+/// execution time is recorded as the full timeout, exactly as the paper
+/// accounts it. The timeout defaults to 2000 ms (scaled from the paper's
+/// 20 s; see EXPERIMENTS.md) and is overridable via DGGT_TIMEOUT_MS.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_EVAL_HARNESS_H
+#define DGGT_EVAL_HARNESS_H
+
+#include "domains/Domain.h"
+#include "synth/Synthesizer.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dggt {
+
+/// Outcome of one (synthesizer, query) run.
+struct CaseOutcome {
+  SynthesisResult Result;
+  /// Wall-clock seconds for steps 1-6; the timeout value for timeouts.
+  double Seconds = 0;
+  /// Expression matches the ground truth (normalized); false on any
+  /// non-success status.
+  bool Correct = false;
+};
+
+/// The timeout to use: DGGT_TIMEOUT_MS from the environment, else
+/// \p DefaultMs.
+uint64_t harnessTimeoutMs(uint64_t DefaultMs = 2000);
+
+/// Evaluation harness for one domain.
+class EvalHarness {
+public:
+  EvalHarness(const Domain &D, uint64_t TimeoutMs);
+
+  /// Runs one query end-to-end (steps 1-6) under the timeout.
+  CaseOutcome runCase(const Synthesizer &S, const QueryCase &Q) const;
+
+  /// Runs the whole dataset.
+  std::vector<CaseOutcome> runAll(const Synthesizer &S) const;
+
+  uint64_t timeoutMs() const { return TimeoutMs; }
+  double timeoutSeconds() const {
+    return static_cast<double>(TimeoutMs) / 1000.0;
+  }
+  const Domain &domain() const { return D; }
+
+private:
+  const Domain &D;
+  uint64_t TimeoutMs;
+};
+
+} // namespace dggt
+
+#endif // DGGT_EVAL_HARNESS_H

@@ -1,0 +1,68 @@
+//===- eval/Metrics.cpp - Speedup and accuracy metrics --------------------===//
+
+#include "eval/Metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dggt;
+
+double dggt::accuracy(const std::vector<CaseOutcome> &Outcomes) {
+  if (Outcomes.empty())
+    return 0;
+  size_t Correct = 0;
+  for (const CaseOutcome &O : Outcomes)
+    if (O.Correct)
+      ++Correct;
+  return static_cast<double>(Correct) / static_cast<double>(Outcomes.size());
+}
+
+size_t dggt::timeoutCount(const std::vector<CaseOutcome> &Outcomes) {
+  size_t N = 0;
+  for (const CaseOutcome &O : Outcomes)
+    if (O.Result.St == SynthesisResult::Status::Timeout)
+      ++N;
+  return N;
+}
+
+SampleStats dggt::speedups(const std::vector<CaseOutcome> &Baseline,
+                           const std::vector<CaseOutcome> &Dggt) {
+  assert(Baseline.size() == Dggt.size() && "outcome vectors must align");
+  SampleStats S;
+  for (size_t I = 0; I < Baseline.size(); ++I) {
+    // Guard against clock quantization on near-instant cases.
+    double Denom = std::max(Dggt[I].Seconds, 1e-6);
+    S.add(Baseline[I].Seconds / Denom);
+  }
+  return S;
+}
+
+ComparisonSummary
+dggt::summarizeComparison(const std::vector<CaseOutcome> &Baseline,
+                          const std::vector<CaseOutcome> &Dggt) {
+  ComparisonSummary Sum;
+  Sum.Cases = Baseline.size();
+  if (Baseline.empty())
+    return Sum;
+  SampleStats S = speedups(Baseline, Dggt);
+  Sum.MaxSpeedup = S.max();
+  Sum.MeanSpeedup = S.mean();
+  Sum.MedianSpeedup = S.median();
+  Sum.BaselineAccuracy = accuracy(Baseline);
+  Sum.DggtAccuracy = accuracy(Dggt);
+  Sum.BaselineTimeouts = timeoutCount(Baseline);
+  Sum.DggtTimeouts = timeoutCount(Dggt);
+  return Sum;
+}
+
+std::vector<double>
+dggt::accumulatedSeconds(const std::vector<CaseOutcome> &O) {
+  std::vector<double> Acc;
+  Acc.reserve(O.size());
+  double Total = 0;
+  for (const CaseOutcome &C : O) {
+    Total += C.Seconds;
+    Acc.push_back(Total);
+  }
+  return Acc;
+}

@@ -1,0 +1,52 @@
+//===- eval/Metrics.h - Speedup and accuracy metrics --------------*- C++ -*-===//
+///
+/// \file
+/// The evaluation metrics of Section VII-A: per-case speedup
+/// t(HISyn)/t(DGGT) summarized as max/mean/median (Table II), and DSL
+/// code synthesis accuracy — correctly synthesized over total, with
+/// timeouts counted as errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_EVAL_METRICS_H
+#define DGGT_EVAL_METRICS_H
+
+#include "eval/Harness.h"
+#include "support/Statistics.h"
+
+namespace dggt {
+
+/// Table II's per-domain row: speedups of DGGT over the baseline plus
+/// both accuracies.
+struct ComparisonSummary {
+  double MaxSpeedup = 0;
+  double MeanSpeedup = 0;
+  double MedianSpeedup = 0;
+  double BaselineAccuracy = 0;
+  double DggtAccuracy = 0;
+  size_t Cases = 0;
+  /// Timeout counts (explain the accuracy gap).
+  size_t BaselineTimeouts = 0;
+  size_t DggtTimeouts = 0;
+};
+
+/// Fraction of correct cases.
+double accuracy(const std::vector<CaseOutcome> &Outcomes);
+
+/// Number of timeouts.
+size_t timeoutCount(const std::vector<CaseOutcome> &Outcomes);
+
+/// Per-case speedups Baseline.Seconds / Dggt.Seconds (sizes must match).
+SampleStats speedups(const std::vector<CaseOutcome> &Baseline,
+                     const std::vector<CaseOutcome> &Dggt);
+
+/// Builds the Table II row from two parallel outcome vectors.
+ComparisonSummary summarizeComparison(const std::vector<CaseOutcome> &Baseline,
+                                      const std::vector<CaseOutcome> &Dggt);
+
+/// Accumulated execution time after each case (Figure 8's series).
+std::vector<double> accumulatedSeconds(const std::vector<CaseOutcome> &O);
+
+} // namespace dggt
+
+#endif // DGGT_EVAL_METRICS_H

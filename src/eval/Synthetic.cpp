@@ -1,0 +1,139 @@
+//===- eval/Synthetic.cpp - Synthetic synthesis instances -----------------===//
+
+#include "eval/Synthetic.h"
+
+#include <cassert>
+#include <random>
+
+using namespace dggt;
+
+namespace {
+
+/// Builder for one instance; the grammar is a tree, so every synthesized
+/// name is unique and the level-independence assumption holds.
+class Builder {
+public:
+  Builder(const SyntheticSpec &Spec) : Spec(Spec), Rng(Spec.Seed) {}
+
+  void build(Grammar &G, ApiDocument &Doc, DependencyGraph &Dep,
+             WordToApiMap &Words, unsigned &OptimalSize) {
+    // Dependency tree, BFS; position strings name everything.
+    struct Node {
+      std::string Pos;
+      unsigned DepId;
+      unsigned Depth;
+    };
+    std::vector<Node> Todo;
+
+    G.addProduction("root", {{ntName("R")}});
+    unsigned RootId = addDepNode(Dep, Doc, Words, "R");
+    Dep.setRoot(RootId);
+    Todo.push_back({"R", RootId, 0});
+    OptimalSize = 1; // The root API.
+
+    while (!Todo.empty()) {
+      Node Cur = Todo.back();
+      Todo.pop_back();
+      bool Leaf = Cur.Depth + 1 >= Spec.Levels;
+
+      // nt(pos) ::= API [slots...]
+      std::vector<std::string> Alt{apiName(Cur.Pos)};
+      if (!Leaf)
+        for (unsigned C = 0; C < Spec.EdgesPerNode; ++C)
+          Alt.push_back(slotName(Cur.Pos, C));
+      G.addProduction(ntName(Cur.Pos), {Alt});
+      if (Leaf)
+        continue;
+
+      for (unsigned C = 0; C < Spec.EdgesPerNode; ++C) {
+        std::string ChildPos = Cur.Pos + std::to_string(C);
+        unsigned ChildId = addDepNode(Dep, Doc, Words, ChildPos);
+        Dep.addEdge(Cur.DepId, ChildId, DepType::Obj);
+        ++OptimalSize;
+
+        // slot ::= one alternative per candidate path; each alternative
+        // wraps the child non-terminal in 0..MaxExtraWrappers APIs.
+        std::vector<std::vector<std::string>> Alts;
+        unsigned MinWrappers = ~0u;
+        for (unsigned K = 0; K < Spec.PathsPerEdge; ++K) {
+          unsigned Wrappers =
+              Spec.MaxExtraWrappers == 0
+                  ? 0
+                  : std::uniform_int_distribution<unsigned>(
+                        0, Spec.MaxExtraWrappers)(Rng);
+          MinWrappers = std::min(MinWrappers, Wrappers);
+          std::string Next = ntName(ChildPos);
+          // Build the wrapper chain bottom-up.
+          for (unsigned J = Wrappers; J > 0; --J) {
+            std::string WrapNt = wrapName(Cur.Pos, C, K, J - 1) + "nt";
+            std::string WrapApi = wrapName(Cur.Pos, C, K, J - 1);
+            addApi(Doc, WrapApi);
+            G.addProduction(WrapNt, {{WrapApi, Next}});
+            Next = WrapNt;
+          }
+          Alts.push_back({Next});
+        }
+        G.addProduction(slotName(Cur.Pos, C), std::move(Alts));
+        OptimalSize += MinWrappers;
+        Todo.push_back({ChildPos, ChildId, Cur.Depth + 1});
+      }
+    }
+  }
+
+private:
+  static std::string apiName(const std::string &Pos) { return "A" + Pos; }
+  static std::string ntName(const std::string &Pos) { return "n" + Pos; }
+  static std::string slotName(const std::string &Pos, unsigned C) {
+    return "s" + Pos + "_" + std::to_string(C);
+  }
+  static std::string wrapName(const std::string &Pos, unsigned C, unsigned K,
+                              unsigned J) {
+    return "W" + Pos + std::to_string(C) + "X" + std::to_string(K) + "X" +
+           std::to_string(J);
+  }
+
+  void addApi(ApiDocument &Doc, const std::string &Name) {
+    ApiInfo Info;
+    Info.Name = Name;
+    Info.Description = "synthetic api " + Name;
+    Doc.add(std::move(Info));
+  }
+
+  unsigned addDepNode(DependencyGraph &Dep, ApiDocument &Doc,
+                      WordToApiMap &Words, const std::string &PosStr) {
+    addApi(Doc, apiName(PosStr));
+    DepNode N;
+    N.Word = "w" + PosStr;
+    N.Tag = Pos::Noun;
+    unsigned Id = Dep.addNode(std::move(N));
+    // Identity WordToAPI: the node's only candidate is its own API.
+    Words.Candidates.resize(Id + 1);
+    Words.Candidates[Id].push_back(
+        {static_cast<unsigned>(Doc.size() - 1), 1.0});
+    return Id;
+  }
+
+  const SyntheticSpec &Spec;
+  std::mt19937 Rng;
+};
+
+} // namespace
+
+SyntheticInstance::SyntheticInstance(const SyntheticSpec &Spec) {
+  assert(Spec.Levels >= 1 && Spec.PathsPerEdge >= 1 && "degenerate spec");
+  G = std::make_unique<Grammar>();
+  DependencyGraph Dep;
+  WordToApiMap Words;
+  Builder B(Spec);
+  B.build(*G, Doc, Dep, Words, OptimalSize);
+  assert(G->validate().empty() && "synthetic grammar must validate");
+  GG = std::make_unique<GrammarGraph>(*G);
+
+  Query.GG = GG.get();
+  Query.Doc = &Doc;
+  Query.Pruned = std::move(Dep);
+  Query.Words = std::move(Words);
+  Query.Limits.MaxPathNodes = 8 + 3 * Spec.MaxExtraWrappers;
+  Query.Edges = buildEdgeToPath(*GG, Doc, Query.Pruned, Query.Words,
+                                Query.Limits);
+}

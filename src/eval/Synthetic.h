@@ -1,0 +1,67 @@
+//===- eval/Synthetic.h - Synthetic synthesis instances -----------*- C++ -*-===//
+///
+/// \file
+/// Generator for synthetic (grammar, dependency graph, WordToAPI)
+/// instances with controlled shape: L dependency levels, E edges per
+/// governor, P candidate grammar paths per edge. Path lengths can be
+/// randomized (seeded) so CGT minimality is non-trivial.
+///
+/// Used by the complexity-sweep bench (Section VI: O(prod_l p^e) vs
+/// O(sum_l p^e)) and by the property tests that check DGGT finds exactly
+/// the baseline's optimum (the paper's losslessness claim). The generated
+/// grammar is tree-shaped — every non-terminal has one use — so the
+/// paper's level-independence assumption holds by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_EVAL_SYNTHETIC_H
+#define DGGT_EVAL_SYNTHETIC_H
+
+#include "synth/Pipeline.h"
+
+#include <memory>
+
+namespace dggt {
+
+/// Shape of a synthetic instance.
+struct SyntheticSpec {
+  unsigned Levels = 2;       ///< Depth of the dependency tree.
+  unsigned EdgesPerNode = 2; ///< Children per internal dependency node.
+  unsigned PathsPerEdge = 2; ///< Candidate grammar paths per edge.
+  /// Maximum number of extra wrapper APIs per candidate path; wrapper
+  /// counts are drawn uniformly in [0, MaxExtraWrappers] from Seed. Zero
+  /// makes all candidates the same size (worst case for enumeration).
+  unsigned MaxExtraWrappers = 0;
+  unsigned Seed = 1;
+};
+
+/// One generated instance, self-contained and prepared for synthesis.
+class SyntheticInstance {
+public:
+  explicit SyntheticInstance(const SyntheticSpec &Spec);
+
+  /// The prepared query (steps 1-4 equivalent, with an identity
+  /// WordToAPI map).
+  const PreparedQuery &query() const { return Query; }
+
+  const GrammarGraph &grammarGraph() const { return *GG; }
+  const ApiDocument &document() const { return Doc; }
+
+  /// Total dependency edges including the root pseudo-edge.
+  size_t numEdges() const { return Query.Edges.Edges.size(); }
+
+  /// The smallest possible CGT size, computed from the generated wrapper
+  /// counts (ground truth for optimality checks).
+  unsigned optimalCgtSize() const { return OptimalSize; }
+
+private:
+  std::unique_ptr<Grammar> G;
+  std::unique_ptr<GrammarGraph> GG;
+  ApiDocument Doc;
+  PreparedQuery Query;
+  unsigned OptimalSize = 0;
+};
+
+} // namespace dggt
+
+#endif // DGGT_EVAL_SYNTHETIC_H

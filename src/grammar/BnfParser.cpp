@@ -1,0 +1,86 @@
+//===- grammar/BnfParser.cpp - BNF text -> Grammar ------------------------===//
+
+#include "grammar/BnfParser.h"
+
+#include "support/StringUtils.h"
+
+using namespace dggt;
+
+namespace {
+
+/// Splits a logical rule line "lhs ::= a b | c" and feeds it to \p G.
+/// Returns an error string or "".
+std::string parseRule(std::string_view Line, Grammar &G) {
+  size_t Sep = Line.find("::=");
+  if (Sep == std::string_view::npos)
+    return "rule is missing '::=': '" + std::string(Line) + "'";
+  std::string Lhs(trim(Line.substr(0, Sep)));
+  if (Lhs.empty() || Lhs.find_first_of(" \t") != std::string::npos)
+    return "bad rule LHS: '" + Lhs + "'";
+  std::string_view Rhs = trim(Line.substr(Sep + 3));
+  if (Rhs.empty())
+    return "rule '" + Lhs + "' has an empty right-hand side";
+
+  std::vector<std::vector<std::string>> Alternatives;
+  for (const std::string &Alt : split(Rhs, "|")) {
+    std::vector<std::string> Symbols = split(Alt, " \t");
+    if (Symbols.empty())
+      return "rule '" + Lhs + "' has an empty alternative";
+    Alternatives.push_back(std::move(Symbols));
+  }
+  G.addProduction(std::move(Lhs), std::move(Alternatives));
+  return "";
+}
+
+} // namespace
+
+BnfParseResult dggt::parseBnf(std::string_view Text) {
+  BnfParseResult Result;
+
+  // Assemble logical lines: physical lines starting with whitespace or '|'
+  // continue the previous rule; '#' starts a comment.
+  std::vector<std::string> Logical;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string_view::npos)
+      End = Text.size();
+    std::string_view Raw = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (size_t Hash = Raw.find('#'); Hash != std::string_view::npos)
+      Raw = Raw.substr(0, Hash);
+    if (trim(Raw).empty()) {
+      if (Pos > Text.size())
+        break;
+      continue;
+    }
+    bool Continuation =
+        !Logical.empty() &&
+        (std::isspace(static_cast<unsigned char>(Raw.front())) ||
+         trim(Raw).front() == '|') &&
+        trim(Raw).find("::=") == std::string_view::npos;
+    if (Continuation) {
+      std::string_view Part = trim(Raw);
+      if (Part.front() != '|')
+        Logical.back() += " | ";
+      else {
+        Logical.back() += " ";
+      }
+      Logical.back() += std::string(Part);
+    } else {
+      Logical.emplace_back(trim(Raw));
+    }
+    if (Pos > Text.size())
+      break;
+  }
+
+  for (const std::string &Line : Logical) {
+    std::string Err = parseRule(Line, Result.G);
+    if (!Err.empty()) {
+      Result.Error = Err;
+      return Result;
+    }
+  }
+  Result.Error = Result.G.validate();
+  return Result;
+}

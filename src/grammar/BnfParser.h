@@ -1,0 +1,46 @@
+//===- grammar/BnfParser.h - BNF text -> Grammar ------------------*- C++ -*-===//
+///
+/// \file
+/// Parses the Backus-Naur-form grammar text a domain ships (Section II:
+/// "the context-free grammar of the target domain, written in BNF").
+///
+/// Syntax accepted:
+///
+/// \code
+///   # comment
+///   insert_arg ::= string pos iter
+///   pos        ::= POSITION | START
+///   string     ::= STRING lit
+/// \endcode
+///
+/// A rule is one logical line `lhs ::= alt ( '|' alt )*`; a line that
+/// starts with whitespace (or with '|') continues the previous rule.
+/// Symbols are whitespace-separated. ALLCAPS symbols are API terminals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_GRAMMAR_BNFPARSER_H
+#define DGGT_GRAMMAR_BNFPARSER_H
+
+#include "grammar/Grammar.h"
+
+#include <string>
+#include <string_view>
+
+namespace dggt {
+
+/// Outcome of BNF parsing; Error is empty on success.
+struct BnfParseResult {
+  Grammar G;
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Parses \p Text into a grammar. The first rule's LHS is the start
+/// symbol. Also runs Grammar::validate().
+BnfParseResult parseBnf(std::string_view Text);
+
+} // namespace dggt
+
+#endif // DGGT_GRAMMAR_BNFPARSER_H

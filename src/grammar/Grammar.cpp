@@ -1,0 +1,75 @@
+//===- grammar/Grammar.cpp - Context-free grammar -------------------------===//
+
+#include "grammar/Grammar.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace dggt;
+
+void Grammar::addProduction(std::string Lhs,
+                            std::vector<std::vector<std::string>> Alts) {
+  assert(!Lhs.empty() && "empty production LHS");
+  if (Start.empty())
+    Start = Lhs;
+  auto It = LhsIndex.find(Lhs);
+  if (It != LhsIndex.end()) {
+    Production &P = Productions[It->second];
+    for (auto &Alt : Alts)
+      P.Alternatives.push_back(std::move(Alt));
+    return;
+  }
+  LhsIndex.emplace(Lhs, Productions.size());
+  Productions.push_back({std::move(Lhs), std::move(Alts)});
+}
+
+void Grammar::setStartSymbol(std::string Symbol) { Start = std::move(Symbol); }
+
+bool Grammar::isNonTerminal(std::string_view Symbol) const {
+  return LhsIndex.count(std::string(Symbol)) != 0;
+}
+
+bool Grammar::isApiTerminal(std::string_view Symbol) const {
+  return !isNonTerminal(Symbol) && isAllCaps(Symbol);
+}
+
+const Production *Grammar::productionFor(std::string_view Lhs) const {
+  auto It = LhsIndex.find(std::string(Lhs));
+  if (It == LhsIndex.end())
+    return nullptr;
+  return &Productions[It->second];
+}
+
+std::vector<std::string> Grammar::apiTerminals() const {
+  std::vector<std::string> Apis;
+  std::unordered_map<std::string, bool> Seen;
+  for (const Production &P : Productions)
+    for (const auto &Alt : P.Alternatives)
+      for (const std::string &Sym : Alt)
+        if (isApiTerminal(Sym) && !Seen[Sym]) {
+          Seen[Sym] = true;
+          Apis.push_back(Sym);
+        }
+  return Apis;
+}
+
+std::string Grammar::validate() const {
+  if (Start.empty())
+    return "grammar has no start symbol";
+  if (!isNonTerminal(Start))
+    return "start symbol '" + Start + "' has no production";
+  for (const Production &P : Productions) {
+    if (P.Alternatives.empty())
+      return "production '" + P.Lhs + "' has no alternatives";
+    for (const auto &Alt : P.Alternatives) {
+      if (Alt.empty())
+        return "production '" + P.Lhs + "' has an empty alternative";
+      for (const std::string &Sym : Alt)
+        if (!isNonTerminal(Sym) && !isApiTerminal(Sym))
+          return "symbol '" + Sym + "' in production '" + P.Lhs +
+                 "' is neither a non-terminal nor an API terminal";
+    }
+  }
+  return "";
+}

@@ -1,0 +1,72 @@
+//===- grammar/Grammar.h - Context-free grammar ------------------*- C++ -*-===//
+///
+/// \file
+/// The context-free grammar of a target DSL (Section II): terminals,
+/// non-terminals, a start symbol and production rules. Terminals spelled
+/// in ALLCAPS are *API terminals* — names of API functions of the DSL.
+///
+/// Call-structure convention: in a production alternative whose first
+/// symbol is an API terminal, the remaining symbols are the arguments of
+/// that API (`insert ::= INSERT insert_arg` reads "INSERT(insert_arg)").
+/// This is what lets the grammar graph make an API node an ancestor of
+/// its arguments' API nodes, as the paper's Figure 4 requires.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_GRAMMAR_GRAMMAR_H
+#define DGGT_GRAMMAR_GRAMMAR_H
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dggt {
+
+/// One production rule: `Lhs ::= Alternatives[0] | Alternatives[1] | ...`.
+struct Production {
+  std::string Lhs;
+  /// Each alternative is a sequence of symbol names (non-terminals or
+  /// API terminals).
+  std::vector<std::vector<std::string>> Alternatives;
+};
+
+/// A context-free grammar.
+class Grammar {
+public:
+  /// Adds a production. If \p Lhs already has a rule, the alternatives
+  /// are appended to it. The first production's LHS becomes the start
+  /// symbol unless setStartSymbol() was called.
+  void addProduction(std::string Lhs,
+                     std::vector<std::vector<std::string>> Alternatives);
+
+  void setStartSymbol(std::string Symbol);
+  const std::string &startSymbol() const { return Start; }
+
+  bool isNonTerminal(std::string_view Symbol) const;
+
+  /// API terminals are spelled in ALLCAPS and have no production.
+  bool isApiTerminal(std::string_view Symbol) const;
+
+  const std::vector<Production> &productions() const { return Productions; }
+
+  /// The production for \p Lhs, or nullptr.
+  const Production *productionFor(std::string_view Lhs) const;
+
+  /// All distinct API terminal names, in first-appearance order.
+  std::vector<std::string> apiTerminals() const;
+
+  /// Checks structural sanity: a start symbol exists and every RHS symbol
+  /// is either a non-terminal with a rule or an API terminal. Returns an
+  /// empty string on success, else a diagnostic.
+  std::string validate() const;
+
+private:
+  std::string Start;
+  std::vector<Production> Productions;
+  std::unordered_map<std::string, size_t> LhsIndex;
+};
+
+} // namespace dggt
+
+#endif // DGGT_GRAMMAR_GRAMMAR_H

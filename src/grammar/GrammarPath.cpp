@@ -1,0 +1,24 @@
+//===- grammar/GrammarPath.cpp - Paths on the grammar graph ---------------===//
+
+#include "grammar/GrammarPath.h"
+
+using namespace dggt;
+
+unsigned dggt::countApisOnPath(const GrammarGraph &GG,
+                               const std::vector<GgNodeId> &Nodes) {
+  unsigned Count = 0;
+  for (GgNodeId Id : Nodes)
+    if (GG.node(Id).Kind == GgNodeKind::Api)
+      ++Count;
+  return Count;
+}
+
+std::string dggt::renderPath(const GrammarGraph &GG, const GrammarPath &P) {
+  std::string Out;
+  for (size_t I = 0; I < P.Nodes.size(); ++I) {
+    if (I != 0)
+      Out += " -> ";
+    Out += GG.node(P.Nodes[I]).Name;
+  }
+  return Out;
+}

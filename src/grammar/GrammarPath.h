@@ -1,0 +1,49 @@
+//===- grammar/GrammarPath.h - Paths on the grammar graph --------*- C++ -*-===//
+///
+/// \file
+/// A *grammar path*: a downward path on the grammar graph from a governor
+/// endpoint (an API occurrence, or the start non-terminal for the root
+/// pseudo-edge) to a dependent API occurrence (Section IV-A). A path's
+/// size is the number of API nodes on it, which is what CGT minimality
+/// counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_GRAMMAR_GRAMMARPATH_H
+#define DGGT_GRAMMAR_GRAMMARPATH_H
+
+#include "grammar/GrammarGraph.h"
+
+#include <string>
+#include <vector>
+
+namespace dggt {
+
+/// A downward simple path Nodes[0] -> Nodes[1] -> ... -> Nodes.back().
+struct GrammarPath {
+  /// Global id assigned by the EdgeToPath map ("2.1" in the paper becomes
+  /// a flat integer here; rendering reconstructs dotted labels).
+  unsigned Id = 0;
+  /// Node sequence, governor end first.
+  std::vector<GgNodeId> Nodes;
+  /// Number of API-kind nodes on the path (cached at construction).
+  unsigned ApiCount = 0;
+  /// WordToAPI score of the dependent-endpoint candidate this path
+  /// realizes (set by the EdgeToPath builder; used as the secondary
+  /// objective tier).
+  double DepScore = 0.0;
+
+  GgNodeId governorEnd() const { return Nodes.front(); }
+  GgNodeId dependentEnd() const { return Nodes.back(); }
+};
+
+/// Counts the API nodes of \p Nodes in \p GG.
+unsigned countApisOnPath(const GrammarGraph &GG,
+                         const std::vector<GgNodeId> &Nodes);
+
+/// Renders "A -> b -> C" using node names, for diagnostics.
+std::string renderPath(const GrammarGraph &GG, const GrammarPath &P);
+
+} // namespace dggt
+
+#endif // DGGT_GRAMMAR_GRAMMARPATH_H

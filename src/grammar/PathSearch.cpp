@@ -1,0 +1,116 @@
+//===- grammar/PathSearch.cpp - Reversed all-path search ------------------===//
+
+#include "grammar/PathSearch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+using namespace dggt;
+
+namespace {
+
+/// DFS state for the backward walk. Paths are built dependent-first and
+/// reversed on recording.
+class ReversedSearch {
+public:
+  ReversedSearch(const GrammarGraph &GG,
+                 const std::vector<GgNodeId> &GovernorTargets,
+                 const PathSearchLimits &Limits)
+      : GG(GG), Limits(Limits),
+        Targets(GovernorTargets.begin(), GovernorTargets.end()) {
+    // Every node on a recorded path is a forward-descendant of the target
+    // ending that path, so the backward walk can skip any node no target
+    // reaches. This filter is exact (it never changes the path set) and
+    // tames grammars with heavy non-terminal fan-in.
+    Useful.assign(GG.numNodes(), false);
+    for (GgNodeId T : Targets) {
+      const std::vector<bool> &Desc = GG.descendantSet(T);
+      for (size_t I = 0; I < Desc.size(); ++I)
+        if (Desc[I])
+          Useful[I] = true;
+    }
+  }
+
+  PathSearchResult run(GgNodeId DependentStart) {
+    OnPath.assign(GG.numNodes(), false);
+    Stack.clear();
+    visit(DependentStart);
+    return std::move(Result);
+  }
+
+private:
+  const GrammarGraph &GG;
+  const PathSearchLimits &Limits;
+  std::unordered_set<GgNodeId> Targets;
+  std::vector<bool> Useful;
+  std::vector<bool> OnPath;
+  std::vector<GgNodeId> Stack;
+  PathSearchResult Result;
+  uint64_t Visits = 0;
+
+  void record() {
+    if (Result.Paths.size() >= Limits.MaxPaths) {
+      Result.Truncated = true;
+      return;
+    }
+    GrammarPath P;
+    P.Nodes.assign(Stack.rbegin(), Stack.rend());
+    P.ApiCount = countApisOnPath(GG, P.Nodes);
+    Result.Paths.push_back(std::move(P));
+  }
+
+  void visit(GgNodeId Node) {
+    if (Result.Truncated || Stack.size() >= Limits.MaxPathNodes)
+      return;
+    if (++Visits > Limits.MaxVisits) {
+      Result.Truncated = true;
+      return;
+    }
+    assert(!OnPath[Node] && "caller filters on-path nodes");
+    OnPath[Node] = true;
+    Stack.push_back(Node);
+
+    // Stop at the first governor target on this branch; do not extend
+    // beyond it. A target only counts once the path is non-trivial.
+    if (Stack.size() > 1 && Targets.count(Node)) {
+      record();
+    } else {
+      // Visit target predecessors first so the shortest paths are on
+      // record before any visit budget runs out.
+      for (int Pass = 0; Pass < 2 && !Result.Truncated; ++Pass) {
+        for (const GgEdge &E : GG.inEdges(Node)) {
+          if (OnPath[E.From])
+            continue; // Simple paths only (grammar recursion).
+          if (!Useful[E.From])
+            continue; // No target reaches this node.
+          bool IsTarget = Targets.count(E.From) != 0;
+          if (IsTarget != (Pass == 0))
+            continue;
+          visit(E.From);
+          if (Result.Truncated)
+            break;
+        }
+      }
+    }
+
+    Stack.pop_back();
+    OnPath[Node] = false;
+  }
+};
+
+} // namespace
+
+PathSearchResult
+dggt::findPathsBetween(const GrammarGraph &GG, GgNodeId DependentStart,
+                       const std::vector<GgNodeId> &GovernorTargets,
+                       const PathSearchLimits &Limits) {
+  ReversedSearch Search(GG, GovernorTargets, Limits);
+  return Search.run(DependentStart);
+}
+
+PathSearchResult dggt::findPathsFromStart(const GrammarGraph &GG,
+                                          GgNodeId DependentStart,
+                                          const PathSearchLimits &Limits) {
+  return findPathsBetween(GG, DependentStart, {GG.startNode()}, Limits);
+}

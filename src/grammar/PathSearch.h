@@ -1,0 +1,62 @@
+//===- grammar/PathSearch.h - Reversed all-path search -----------*- C++ -*-===//
+///
+/// \file
+/// Step 4 of the HISyn pipeline (EdgeToPath): for a dependency edge
+/// w1 -> w2, find every grammar path that starts at an occurrence of one
+/// of w1's candidate APIs and ends at an occurrence of one of w2's
+/// candidate APIs. The search walks *backward* (dependent to governor)
+/// over the grammar graph's in-edges, which is why the paper calls it a
+/// reversed all-path search (Section II, step 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_GRAMMAR_PATHSEARCH_H
+#define DGGT_GRAMMAR_PATHSEARCH_H
+
+#include "grammar/GrammarPath.h"
+
+#include <cstdint>
+
+namespace dggt {
+
+/// Bounds for the all-path search; defaults match a medium-size domain.
+struct PathSearchLimits {
+  /// Maximum number of nodes on a path (APIs + non-terminals +
+  /// derivations).
+  unsigned MaxPathNodes = 16;
+  /// Cap on recorded paths per (dependent occurrence, governor set) query;
+  /// hitting it truncates the candidate set (recorded in the result).
+  unsigned MaxPaths = 512;
+  /// Cap on DFS node visits per query, bounding the backward walk on
+  /// grammars with heavy fan-in (ASTMatcher's category non-terminals).
+  unsigned MaxVisits = 200000;
+};
+
+/// Result of one all-path search.
+struct PathSearchResult {
+  std::vector<GrammarPath> Paths; ///< Governor end first; Id unassigned (0).
+  bool Truncated = false;         ///< MaxPaths was hit.
+};
+
+/// Finds all simple downward paths from any node in \p GovernorTargets to
+/// \p DependentStart by walking in-edges backward from \p DependentStart.
+///
+/// A path stops at the *first* governor target encountered on a branch
+/// (the paper's "follows the grammar graph backward until reaching" a
+/// governor candidate). \p GovernorTargets may contain API occurrence
+/// nodes or the start non-terminal node.
+PathSearchResult findPathsBetween(const GrammarGraph &GG,
+                                  GgNodeId DependentStart,
+                                  const std::vector<GgNodeId> &GovernorTargets,
+                                  const PathSearchLimits &Limits = {});
+
+/// Finds all simple paths from the grammar start node down to
+/// \p DependentStart (used for the root pseudo-edge and for HISyn's
+/// orphan treatment).
+PathSearchResult findPathsFromStart(const GrammarGraph &GG,
+                                    GgNodeId DependentStart,
+                                    const PathSearchLimits &Limits = {});
+
+} // namespace dggt
+
+#endif // DGGT_GRAMMAR_PATHSEARCH_H

@@ -1,0 +1,163 @@
+//===- nlp/DependencyGraph.cpp - Query dependency graphs ------------------===//
+
+#include "nlp/DependencyGraph.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dggt;
+
+std::string_view dggt::depTypeName(DepType T) {
+  switch (T) {
+  case DepType::Root:
+    return "root";
+  case DepType::Obj:
+    return "obj";
+  case DepType::Nmod:
+    return "nmod";
+  case DepType::Acl:
+    return "acl";
+  case DepType::Det:
+    return "det";
+  case DepType::Amod:
+    return "amod";
+  case DepType::Compound:
+    return "compound";
+  case DepType::Conj:
+    return "conj";
+  case DepType::NumMod:
+    return "nummod";
+  case DepType::Lit:
+    return "lit";
+  case DepType::Case:
+    return "case";
+  case DepType::Aux:
+    return "aux";
+  case DepType::Advcl:
+    return "advcl";
+  case DepType::Nsubj:
+    return "nsubj";
+  case DepType::Advmod:
+    return "advmod";
+  case DepType::Dep:
+    return "dep";
+  }
+  return "dep";
+}
+
+unsigned DependencyGraph::addNode(DepNode Node) {
+  if (Node.Phrase.empty())
+    Node.Phrase.push_back(Node.Word);
+  Nodes.push_back(std::move(Node));
+  return static_cast<unsigned>(Nodes.size() - 1);
+}
+
+void DependencyGraph::addEdge(unsigned Governor, unsigned Dependent,
+                              DepType Type) {
+  assert(Governor < Nodes.size() && Dependent < Nodes.size() &&
+         "edge endpoint out of range");
+  assert(Governor != Dependent && "self dependency");
+  assert(!governorOf(Dependent).has_value() &&
+         "dependent already has a governor");
+  Edges.push_back({Governor, Dependent, Type});
+}
+
+void DependencyGraph::reattach(unsigned Dependent, unsigned NewGovernor,
+                               DepType Type) {
+  assert(NewGovernor < Nodes.size() && Dependent < Nodes.size() &&
+         "edge endpoint out of range");
+  Edges.erase(std::remove_if(Edges.begin(), Edges.end(),
+                             [&](const DepEdge &E) {
+                               return E.Dependent == Dependent;
+                             }),
+              Edges.end());
+  Edges.push_back({NewGovernor, Dependent, Type});
+}
+
+void DependencyGraph::setRoot(unsigned Node) {
+  assert(Node < Nodes.size() && "root out of range");
+  Root = Node;
+}
+
+std::vector<unsigned> DependencyGraph::childrenOf(unsigned Governor) const {
+  std::vector<unsigned> Children;
+  for (const DepEdge &E : Edges)
+    if (E.Governor == Governor)
+      Children.push_back(E.Dependent);
+  return Children;
+}
+
+std::optional<unsigned> DependencyGraph::governorOf(unsigned Dependent) const {
+  for (const DepEdge &E : Edges)
+    if (E.Dependent == Dependent)
+      return E.Governor;
+  return std::nullopt;
+}
+
+std::optional<DepEdge> DependencyGraph::incomingEdge(unsigned Dependent) const {
+  for (const DepEdge &E : Edges)
+    if (E.Dependent == Dependent)
+      return E;
+  return std::nullopt;
+}
+
+unsigned DependencyGraph::depthOf(unsigned Node) const {
+  unsigned Depth = 0;
+  unsigned Cur = Node;
+  // Bounded walk; the parser guarantees acyclicity but stay safe anyway.
+  for (size_t Steps = 0; Steps <= Nodes.size(); ++Steps) {
+    if (Cur == Root)
+      return Depth;
+    std::optional<unsigned> Gov = governorOf(Cur);
+    if (!Gov)
+      return Depth + 1; // Unattached: HISyn hangs it off the root.
+    Cur = *Gov;
+    ++Depth;
+  }
+  assert(false && "cycle in dependency graph");
+  return Depth;
+}
+
+unsigned DependencyGraph::maxLevel() const {
+  unsigned Max = 0;
+  for (const DepEdge &E : Edges)
+    Max = std::max(Max, depthOf(E.Dependent));
+  return Max;
+}
+
+std::vector<DepEdge> DependencyGraph::edgesAtLevel(unsigned Level) const {
+  std::vector<DepEdge> Out;
+  for (const DepEdge &E : Edges)
+    if (depthOf(E.Dependent) == Level)
+      Out.push_back(E);
+  return Out;
+}
+
+std::vector<unsigned> DependencyGraph::unattachedNodes() const {
+  std::vector<unsigned> Out;
+  for (unsigned Id = 0; Id < Nodes.size(); ++Id)
+    if (Id != Root && !governorOf(Id).has_value())
+      Out.push_back(Id);
+  return Out;
+}
+
+std::string DependencyGraph::dump() const {
+  std::string Out;
+  for (unsigned Id = 0; Id < Nodes.size(); ++Id) {
+    const DepNode &N = Nodes[Id];
+    Out += "[" + std::to_string(Id) + "] " + join(N.Phrase, " ");
+    if (N.Literal)
+      Out += " lit='" + *N.Literal + "'";
+    Out += " (" + std::string(posName(N.Tag)) + ")";
+    if (Id == Root)
+      Out += " <root>";
+    Out += "\n";
+  }
+  for (const DepEdge &E : Edges)
+    Out += "  " + Nodes[E.Governor].Word + " -" +
+           std::string(depTypeName(E.Type)) + "-> " + Nodes[E.Dependent].Word +
+           "\n";
+  return Out;
+}

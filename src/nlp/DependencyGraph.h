@@ -1,0 +1,137 @@
+//===- nlp/DependencyGraph.h - Query dependency graphs ----------*- C++ -*-===//
+///
+/// \file
+/// The query dependency graph of HISyn's step 1 and its pruned form
+/// (step 2). A dependency relation is an arrow from a governor word to a
+/// dependent word labelled with a dependency type (Section II).
+///
+/// The same structure serves both the raw parse and the pruned graph; in
+/// the pruned graph a node may carry a multi-word phrase (compound and
+/// adjective modifiers collapsed into their head, e.g. "binary operators"
+/// becomes one node with phrase {binary, operator}).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_NLP_DEPENDENCYGRAPH_H
+#define DGGT_NLP_DEPENDENCYGRAPH_H
+
+#include "text/PosTagger.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dggt {
+
+/// Dependency relation types (Universal-Dependencies-inspired subset).
+enum class DepType {
+  Root,     ///< Virtual relation marking the root word.
+  Obj,      ///< Direct object: "insert" -> "string".
+  Nmod,     ///< Preposition-mediated nominal modifier: "start" -of-> "line".
+  Acl,      ///< Clausal modifier of a noun: "line" -> "containing".
+  Det,      ///< Determiner/quantifier: "line" -> "every".
+  Amod,     ///< Adjectival modifier: "operators" -> "binary".
+  Compound, ///< Noun compound: "expressions" -> "call".
+  Conj,     ///< Conjunct: "words" -and-> "numbers".
+  NumMod,   ///< Numeric modifier: "characters" -> "14".
+  Lit,      ///< Literal argument: "named" -> "PI".
+  Case,     ///< Preposition marking a nominal: "start" -> "at".
+  Aux,      ///< Auxiliary/copula: "literal" -> "is".
+  Advcl,    ///< Adverbial (e.g. conditional) clause: "add" -> "starts".
+  Nsubj,    ///< Nominal subject: "starts" -> "sentence".
+  Advmod,   ///< Adverbial modifier: "containing" -> "not".
+  Dep,      ///< Unclassified attachment (parser fallback).
+};
+
+/// Returns a short name for \p T ("obj", "nmod", ...).
+std::string_view depTypeName(DepType T);
+
+/// One word (or collapsed phrase) of a dependency graph.
+struct DepNode {
+  /// Head word, lower-cased ("operators").
+  std::string Word;
+  /// Full phrase including collapsed modifiers ({"binary", "operator"});
+  /// equals {Word} when nothing was collapsed. Kept singular-stemmed for
+  /// matching.
+  std::vector<std::string> Phrase;
+  /// POS of the head word.
+  Pos Tag = Pos::Other;
+  /// Literal payload: quoted strings and collapsed numeric modifiers.
+  std::optional<std::string> Literal;
+  /// Preposition that case-marked this nominal ("in each line" -> "in"),
+  /// recorded by the pruner before the Case node is dropped. NLU matching
+  /// uses it as semantic-role context.
+  std::optional<std::string> CasePrep;
+  /// Index of the head token in the original query (for diagnostics).
+  unsigned TokenIndex = 0;
+};
+
+/// One dependency relation.
+struct DepEdge {
+  unsigned Governor = 0;
+  unsigned Dependent = 0;
+  DepType Type = DepType::Dep;
+};
+
+/// A rooted dependency graph over words.
+///
+/// Invariants maintained by the parser and pruner: every node except the
+/// root has exactly one incoming edge, and the graph is acyclic (a tree).
+class DependencyGraph {
+public:
+  /// Adds a node and returns its id.
+  unsigned addNode(DepNode Node);
+
+  /// Adds an edge. Asserts both endpoints exist and \p Dependent does not
+  /// already have a governor.
+  void addEdge(unsigned Governor, unsigned Dependent, DepType Type);
+
+  /// Reattaches \p Dependent under \p NewGovernor with \p Type (used by
+  /// orphan relocation). The old incoming edge is removed.
+  void reattach(unsigned Dependent, unsigned NewGovernor, DepType Type);
+
+  void setRoot(unsigned Node);
+  unsigned root() const { return Root; }
+  bool hasRoot() const { return Root != ~0u; }
+
+  size_t size() const { return Nodes.size(); }
+  const DepNode &node(unsigned Id) const { return Nodes[Id]; }
+  DepNode &node(unsigned Id) { return Nodes[Id]; }
+  const std::vector<DepEdge> &edges() const { return Edges; }
+
+  /// Ids of the direct dependents of \p Governor.
+  std::vector<unsigned> childrenOf(unsigned Governor) const;
+
+  /// Id of the governor of \p Dependent, or nullopt for the root or
+  /// unattached nodes.
+  std::optional<unsigned> governorOf(unsigned Dependent) const;
+
+  /// The edge whose dependent is \p Dependent, if any.
+  std::optional<DepEdge> incomingEdge(unsigned Dependent) const;
+
+  /// Depth of \p Node below the root (root is 0). Unattached nodes report
+  /// depth 1 (HISyn treats them as children of the root).
+  unsigned depthOf(unsigned Node) const;
+
+  /// Largest edge level in the graph; the level of an edge is the depth of
+  /// its dependent (Section IV-B traverses levels bottom-up).
+  unsigned maxLevel() const;
+
+  /// All edges whose dependent sits at depth \p Level.
+  std::vector<DepEdge> edgesAtLevel(unsigned Level) const;
+
+  /// Nodes without an incoming edge that are not the root.
+  std::vector<unsigned> unattachedNodes() const;
+
+  /// Multi-line debug rendering ("insert -obj-> string").
+  std::string dump() const;
+
+private:
+  std::vector<DepNode> Nodes;
+  std::vector<DepEdge> Edges;
+  unsigned Root = ~0u;
+};
+
+} // namespace dggt
+
+#endif // DGGT_NLP_DEPENDENCYGRAPH_H

@@ -1,0 +1,442 @@
+//===- nlp/DependencyParser.cpp - Rule-based dependency parser ------------===//
+
+#include "nlp/DependencyParser.h"
+
+#include "support/StringUtils.h"
+#include "text/Tokenizer.h"
+
+#include <cassert>
+#include <optional>
+#include <unordered_set>
+
+using namespace dggt;
+
+namespace {
+
+/// Adjectives that denote checkable properties and therefore stay separate
+/// dependency nodes (they map to their own APIs: "virtual" -> isVirtual).
+/// Everything else collapses into the head noun's phrase ("binary
+/// operators" -> one node).
+bool isPropertyAdjective(std::string_view W) {
+  static const std::unordered_set<std::string_view> Set = {
+      "virtual",  "const",     "constant",  "static", "public",
+      "private",  "protected", "pure",      "empty",  "blank",
+      "explicit", "implicit",  "default",   "global", "local",
+      "signed",   "unsigned",  "uppercase", "lowercase",
+      // Ordinals select occurrences ("the first line" -> FIRST()).
+      "first",    "last",      "second",    "third",
+      // Code-analysis property words that map to narrowing matchers.
+      "variadic", "inline",    "constexpr", "abstract", "polymorphic",
+      "final",    "prefix",    "postfix",   "deleted",  "defaulted",
+      "anonymous","trivial",   "scoped",    "weak",     "mutable",
+      "noexcept",
+  };
+  return Set.count(W) != 0;
+}
+
+/// Quantifier determiners are kept as nodes: they carry iteration
+/// semantics ("every line" -> ALL()). Articles are droppable.
+bool isQuantifier(std::string_view W) {
+  static const std::unordered_set<std::string_view> Set = {
+      "each", "every", "all", "any",
+  };
+  return Set.count(W) != 0;
+}
+
+/// Participle verbs that modify the preceding noun ("lines *containing*
+/// numerals", "a method *named* PI").
+bool isParticiple(std::string_view W) {
+  if (endsWith(W, "ing"))
+    return true;
+  static const std::unordered_set<std::string_view> Set = {
+      "named", "called", "declared", "defined", "derived", "marked",
+  };
+  return Set.count(W) != 0;
+}
+
+/// Incremental parser state. Nodes are created eagerly; attachments that
+/// need a future head are parked in Pending* members.
+class Parser {
+public:
+  explicit Parser(const std::vector<TaggedToken> &Tagged) : Tagged(Tagged) {}
+
+  DependencyGraph run() {
+    for (size_t I = 0; I < Tagged.size(); ++I)
+      step(I);
+    finish();
+    return std::move(G);
+  }
+
+private:
+  const std::vector<TaggedToken> &Tagged;
+  DependencyGraph G;
+
+  std::optional<unsigned> RootVerb;
+  bool RootIsConditional = false;
+  std::optional<unsigned> ClauseVerb;
+  std::optional<unsigned> LastNoun;
+  unsigned LastNounToken = 0;
+  unsigned ClauseVerbToken = 0;
+
+  bool RelPending = false;   ///< Saw "which"/"that"/"who".
+  bool WhoseActive = false;  ///< Saw "whose": next noun is a possessive.
+  bool CondOpen = false;     ///< Inside an "if"/"when" clause.
+  bool ConjPending = false;  ///< Saw "and"/"or".
+  std::optional<unsigned> CopulaSubject; ///< "X is ...": predicate goes here.
+
+  std::vector<unsigned> PendingFunction;  ///< Articles/preps/aux awaiting head.
+  std::vector<DepType> PendingFunctionTy; ///< Matching edge types.
+  std::vector<unsigned> PendingQuant;     ///< Quantifier nodes awaiting noun.
+  std::vector<unsigned> PendingAdj;       ///< Property adjectives awaiting noun.
+  std::vector<std::string> PendingMods;   ///< Collapsible modifier words.
+  std::optional<std::string> PendingNumber;
+  std::vector<unsigned> PendingSubjects;  ///< Nouns seen before any verb.
+
+  unsigned makeNode(const TaggedToken &TT) {
+    DepNode N;
+    N.Word = TT.Tok.Text;
+    N.Tag = TT.Tag;
+    N.TokenIndex = TT.Tok.Index;
+    if (TT.Tok.Kind == TokenKind::Literal || TT.Tok.Kind == TokenKind::Number)
+      N.Literal = TT.Tok.Text;
+    return G.addNode(std::move(N));
+  }
+
+  Pos tagAt(size_t I) const {
+    return I < Tagged.size() ? Tagged[I].Tag : Pos::Other;
+  }
+
+  /// True when the token at \p I acts as part of a noun phrase that is
+  /// still being assembled (so a verb-tagged word like "call" in "call
+  /// expressions" is really a compound modifier).
+  bool looksLikeCompoundModifier(size_t I) const {
+    if (tagAt(I + 1) != Pos::Noun && tagAt(I + 1) != Pos::Adjective)
+      return false;
+    // Participles modify the preceding noun ("lines containing numerals"),
+    // they never compound with the following one.
+    if (isParticiple(Tagged[I].Tok.Text))
+      return false;
+    // Only once a clause verb exists; sentence-initial verbs stay verbs.
+    return ClauseVerb.has_value() && !RelPending;
+  }
+
+  void flushFunctionWordsTo(unsigned Head) {
+    for (size_t I = 0; I < PendingFunction.size(); ++I)
+      G.addEdge(Head, PendingFunction[I], PendingFunctionTy[I]);
+    PendingFunction.clear();
+    PendingFunctionTy.clear();
+  }
+
+  void attachNounModifiers(unsigned NounId) {
+    flushFunctionWordsTo(NounId);
+    for (unsigned Q : PendingQuant)
+      G.addEdge(NounId, Q, DepType::Det);
+    PendingQuant.clear();
+    for (unsigned A : PendingAdj)
+      G.addEdge(NounId, A, DepType::Amod);
+    PendingAdj.clear();
+    if (!PendingMods.empty()) {
+      DepNode &N = G.node(NounId);
+      std::vector<std::string> Phrase = PendingMods;
+      Phrase.push_back(N.Word);
+      N.Phrase = std::move(Phrase);
+      PendingMods.clear();
+    }
+    if (PendingNumber) {
+      G.node(NounId).Literal = *PendingNumber;
+      PendingNumber.reset();
+    }
+  }
+
+  void handleNoun(size_t I) {
+    const TaggedToken &TT = Tagged[I];
+    // Noun directly followed by another noun/adjective-noun is a compound
+    // modifier: "call expressions", "float literal". A verb-tagged word
+    // continues the compound when it is not a participle and a noun
+    // follows it ("declaration *reference* expressions").
+    bool NextContinues =
+        tagAt(I + 1) == Pos::Noun ||
+        (tagAt(I + 1) == Pos::Adjective && tagAt(I + 2) == Pos::Noun) ||
+        (tagAt(I + 1) == Pos::Verb && ClauseVerb.has_value() &&
+         !isParticiple(Tagged[I + 1].Tok.Text) &&
+         tagAt(I + 2) == Pos::Noun);
+    if (NextContinues && !isPropertyAdjective(TT.Tok.Text)) {
+      PendingMods.push_back(TT.Tok.Text);
+      return;
+    }
+
+    unsigned N = makeNode(TT);
+    attachNounModifiers(N);
+
+    if (CopulaSubject) {
+      G.addEdge(*CopulaSubject, N, DepType::Obj);
+      CopulaSubject.reset();
+    } else if (WhoseActive && LastNoun) {
+      G.addEdge(*LastNoun, N, DepType::Nmod);
+      WhoseActive = false;
+    } else if (ConjPending && LastNoun) {
+      G.addEdge(*LastNoun, N, DepType::Conj);
+      ConjPending = false;
+    } else if (PendingPrep && ClauseVerb) {
+      G.addEdge(*ClauseVerb, N, DepType::Nmod);
+      PendingPrep.reset();
+    } else if (PendingPrep && LastNoun) {
+      G.addEdge(*LastNoun, N, DepType::Nmod);
+      PendingPrep.reset();
+    } else if (ClauseVerb) {
+      G.addEdge(*ClauseVerb, N, DepType::Obj);
+    } else {
+      PendingSubjects.push_back(N);
+    }
+    LastNoun = N;
+    LastNounToken = TT.Tok.Index;
+  }
+
+  void handleVerb(size_t I) {
+    const TaggedToken &TT = Tagged[I];
+    if (looksLikeCompoundModifier(I)) {
+      PendingMods.push_back(TT.Tok.Text);
+      return;
+    }
+
+    unsigned V = makeNode(TT);
+    flushFunctionWordsTo(V);
+
+    bool NounIsFresher = LastNoun && (!ClauseVerb ||
+                                      LastNounToken > ClauseVerbToken);
+    if (RelPending && LastNoun) {
+      G.addEdge(*LastNoun, V, DepType::Acl);
+      RelPending = false;
+    } else if (isParticiple(TT.Tok.Text) && NounIsFresher) {
+      G.addEdge(*LastNoun, V, DepType::Acl);
+    } else if (!RootVerb) {
+      RootVerb = V;
+      RootIsConditional = CondOpen;
+      G.setRoot(V);
+      for (unsigned S : PendingSubjects)
+        G.addEdge(V, S, DepType::Nsubj);
+      PendingSubjects.clear();
+    } else if (RootIsConditional && !CondOpen) {
+      // The conditional clause parsed first; this verb is the real main
+      // verb. Promote it, demote the old root to an adverbial clause, and
+      // lift the clause's subject ("a line" in "if a line contains X,
+      // ...") to the new root — it names the iteration scope of the main
+      // command, not an argument of the condition.
+      G.setRoot(V);
+      G.addEdge(V, *RootVerb, DepType::Advcl);
+      for (unsigned Child : G.childrenOf(*RootVerb)) {
+        std::optional<DepEdge> E = G.incomingEdge(Child);
+        if (E && E->Type == DepType::Nsubj)
+          G.reattach(Child, V, DepType::Nmod);
+      }
+      RootVerb = V;
+      RootIsConditional = false;
+    } else if (ConjPending && ClauseVerb) {
+      G.addEdge(*ClauseVerb, V, DepType::Conj);
+      ConjPending = false;
+    } else {
+      G.addEdge(*RootVerb, V, DepType::Dep);
+    }
+    ClauseVerb = V;
+    ClauseVerbToken = TT.Tok.Index;
+    PendingPrep.reset();
+  }
+
+  void handleLiteralNode(size_t I) {
+    const TaggedToken &TT = Tagged[I];
+    unsigned L = makeNode(TT);
+    flushFunctionWordsTo(L);
+    // Attach to the most recently seen content head.
+    if (CopulaSubject) {
+      G.addEdge(*CopulaSubject, L, DepType::Obj);
+      CopulaSubject.reset();
+    } else if (LastNoun && (!ClauseVerb || LastNounToken > ClauseVerbToken)) {
+      G.addEdge(*LastNoun, L, DepType::Lit);
+    } else if (ClauseVerb) {
+      G.addEdge(*ClauseVerb, L, DepType::Lit);
+    } else {
+      PendingSubjects.push_back(L);
+    }
+    PendingPrep.reset();
+  }
+
+  void step(size_t I) {
+    const TaggedToken &TT = Tagged[I];
+    switch (TT.Tag) {
+    case Pos::Verb:
+      handleVerb(I);
+      return;
+    case Pos::Noun:
+      handleNoun(I);
+      return;
+    case Pos::Literal:
+      handleLiteralNode(I);
+      return;
+    case Pos::Number:
+      // "14 characters": collapse into the following noun. A standalone
+      // number behaves like a literal ("after 14").
+      if (tagAt(I + 1) == Pos::Noun)
+        PendingNumber = TT.Tok.Text;
+      else
+        handleLiteralNode(I);
+      return;
+    case Pos::Determiner: {
+      if (isQuantifier(TT.Tok.Text)) {
+        PendingQuant.push_back(makeNode(Tagged[I]));
+        return;
+      }
+      if ((TT.Tok.Text == "that" || TT.Tok.Text == "this") &&
+          tagAt(I + 1) == Pos::Verb) {
+        RelPending = true; // "expressions that call ..."
+        return;
+      }
+      unsigned D = makeNode(TT);
+      PendingFunction.push_back(D);
+      PendingFunctionTy.push_back(DepType::Det);
+      return;
+    }
+    case Pos::Preposition: {
+      // "for loops" / "while loops": the keyword is part of the noun
+      // phrase naming the construct, not a case marker.
+      if (TT.Tok.Text == "for" &&
+          (I + 1 < Tagged.size() &&
+           (Tagged[I + 1].Tok.Text == "loop" ||
+            Tagged[I + 1].Tok.Text == "loops"))) {
+        PendingMods.push_back(TT.Tok.Text);
+        return;
+      }
+      // Phrasal verbs: "starts with", "begins with", "ends with" — the
+      // particle joins the verb's phrase instead of case-marking a noun.
+      if (ClauseVerb && TT.Tok.Index == ClauseVerbToken + 1 &&
+          (TT.Tok.Text == "with" || TT.Tok.Text == "from" ||
+           TT.Tok.Text == "on" || TT.Tok.Text == "off") &&
+          tagAt(I + 1) != Pos::Noun) {
+        G.node(*ClauseVerb).Phrase.push_back(TT.Tok.Text);
+        return;
+      }
+      unsigned P = makeNode(TT);
+      PendingFunction.push_back(P);
+      PendingFunctionTy.push_back(DepType::Case);
+      PendingPrep = TT.Tok.Text;
+      return;
+    }
+    case Pos::Auxiliary: {
+      unsigned A = makeNode(TT);
+      PendingFunction.push_back(A);
+      PendingFunctionTy.push_back(DepType::Aux);
+      if (LastNoun)
+        CopulaSubject = LastNoun;
+      return;
+    }
+    case Pos::Pronoun:
+      if (TT.Tok.Text == "whose") {
+        WhoseActive = true;
+        return;
+      }
+      if (TT.Tok.Text == "which" || TT.Tok.Text == "who" ||
+          TT.Tok.Text == "what") {
+        RelPending = true;
+        return;
+      }
+      return; // it/they/them carry no content here.
+    case Pos::Conjunction:
+      if (TT.Tok.Text == "and" || TT.Tok.Text == "or") {
+        ConjPending = true;
+        return;
+      }
+      if (TT.Tok.Text == "if" || TT.Tok.Text == "when") {
+        // "if statements" names a construct, not a conditional clause.
+        if (TT.Tok.Text == "if" && tagAt(I + 1) == Pos::Noun) {
+          PendingMods.push_back(TT.Tok.Text);
+          return;
+        }
+        CondOpen = true;
+        return;
+      }
+      if (TT.Tok.Text == "then") {
+        CondOpen = false;
+        return;
+      }
+      return;
+    case Pos::Adjective:
+      if (isPropertyAdjective(TT.Tok.Text)) {
+        PendingAdj.push_back(makeNode(TT));
+        return;
+      }
+      PendingMods.push_back(TT.Tok.Text);
+      return;
+    case Pos::Adverb: {
+      if (TT.Tok.Text == "not" || TT.Tok.Text == "only") {
+        unsigned A = makeNode(TT);
+        if (ClauseVerb)
+          G.addEdge(*ClauseVerb, A, DepType::Advmod);
+        else
+          PendingSubjects.push_back(A);
+      }
+      return; // Other adverbs carry no synthesis content.
+    }
+    case Pos::Punct:
+      if (TT.Tok.Text == ",") {
+        CondOpen = false;
+        ConjPending = false;
+        PendingPrep.reset();
+      }
+      return;
+    case Pos::Other:
+      return;
+    }
+  }
+
+  void finish() {
+    // Dangling modifiers with no following noun become nodes of their own
+    // so no query content is silently lost.
+    for (const std::string &M : PendingMods) {
+      DepNode N;
+      N.Word = M;
+      N.Tag = Pos::Noun;
+      unsigned Id = G.addNode(std::move(N));
+      if (ClauseVerb)
+        G.addEdge(*ClauseVerb, Id, DepType::Obj);
+      else
+        PendingSubjects.push_back(Id);
+      LastNoun = Id;
+    }
+    PendingMods.clear();
+
+    for (unsigned Q : PendingQuant) {
+      if (LastNoun && *LastNoun != Q)
+        G.addEdge(*LastNoun, Q, DepType::Det);
+    }
+    PendingQuant.clear();
+
+    if (!G.hasRoot()) {
+      // Verbless query ("all lines containing numbers"): root at the
+      // first subject noun.
+      if (!PendingSubjects.empty()) {
+        G.setRoot(PendingSubjects.front());
+        for (size_t I = 1; I < PendingSubjects.size(); ++I)
+          G.addEdge(PendingSubjects.front(), PendingSubjects[I],
+                    DepType::Dep);
+        PendingSubjects.clear();
+      } else if (G.size() > 0) {
+        G.setRoot(0);
+      }
+    }
+    if (G.hasRoot())
+      for (unsigned S : PendingSubjects)
+        if (S != G.root())
+          G.addEdge(G.root(), S, DepType::Nsubj);
+  }
+
+  std::optional<std::string> PendingPrep;
+};
+
+} // namespace
+
+DependencyGraph dggt::parseDependencies(const std::vector<TaggedToken> &Tagged) {
+  return Parser(Tagged).run();
+}
+
+DependencyGraph dggt::parseDependencies(std::string_view Query) {
+  return parseDependencies(tagTokens(tokenize(Query)));
+}

@@ -1,0 +1,39 @@
+//===- nlp/DependencyParser.h - Rule-based dependency parser ----*- C++ -*-===//
+///
+/// \file
+/// Step 1 of the HISyn pipeline: dependency parsing of the NL query.
+///
+/// This is the deterministic stand-in for the external NLP parser the
+/// paper wraps (Stanford CoreNLP); see DESIGN.md. It is a left-to-right
+/// rule-based parser specialised for imperative programming queries
+/// ("insert X at Y", "find Zs whose W is V"). Like a statistical parser
+/// it makes systematic attachment mistakes (quantifiers, conjuncts,
+/// condition subjects), which downstream shows up as *orphan nodes* —
+/// exactly the phenomenon the paper's orphan-node-relocation
+/// optimization targets (Section V-B).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_NLP_DEPENDENCYPARSER_H
+#define DGGT_NLP_DEPENDENCYPARSER_H
+
+#include "nlp/DependencyGraph.h"
+
+#include <string_view>
+
+namespace dggt {
+
+/// Parses \p Query into a query dependency graph.
+///
+/// Every token becomes a node (function words included; step 2 prunes
+/// them). The result is a tree rooted at the main imperative verb, or at
+/// the first content word for verbless queries. Never fails; an empty
+/// query yields an empty graph without a root.
+DependencyGraph parseDependencies(std::string_view Query);
+
+/// Parses pre-tagged tokens (used by tests to bypass the tagger).
+DependencyGraph parseDependencies(const std::vector<TaggedToken> &Tagged);
+
+} // namespace dggt
+
+#endif // DGGT_NLP_DEPENDENCYPARSER_H

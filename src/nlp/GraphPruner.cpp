@@ -1,0 +1,140 @@
+//===- nlp/GraphPruner.cpp - Query-graph pruning (step 2) -----------------===//
+
+#include "nlp/GraphPruner.h"
+
+#include "nlp/DependencyParser.h"
+
+#include <cassert>
+#include <unordered_set>
+
+using namespace dggt;
+
+namespace {
+
+bool isQuantifierWord(std::string_view W) {
+  static const std::unordered_set<std::string_view> Set = {"each", "every",
+                                                           "all", "any"};
+  return Set.count(W) != 0;
+}
+
+/// Positional prepositions carry API semantics of their own ("before 3
+/// words" -> BEFORE(WORDNUMBER(3))) and survive pruning; downstream they
+/// become orphans that relocation places correctly.
+bool isPositionalPreposition(std::string_view W) {
+  return W == "after" || W == "before";
+}
+
+/// Decides whether a node survives pruning based on POS, dependency type
+/// and (for determiners) the word itself.
+bool survives(const DepNode &N, const std::optional<DepEdge> &Incoming,
+              const PruneOptions &Opts) {
+  switch (N.Tag) {
+  case Pos::Verb:
+  case Pos::Noun:
+  case Pos::Literal:
+  case Pos::Number:
+  case Pos::Adjective:
+    break;
+  case Pos::Determiner:
+    return !Opts.DropQuantifiers && isQuantifierWord(N.Word);
+  case Pos::Adverb:
+    return N.Word == "not";
+  case Pos::Preposition:
+    return isPositionalPreposition(N.Word);
+  case Pos::Auxiliary:
+  case Pos::Pronoun:
+  case Pos::Conjunction:
+  case Pos::Punct:
+  case Pos::Other:
+    return false;
+  }
+  if (!Incoming)
+    return true;
+  // Content-tagged words hanging off function-word relations (e.g. a noun
+  // the parser attached as Case) still get dropped.
+  if (N.Tag == Pos::Preposition)
+    return true; // Positional prepositions survive their Case edge.
+  return Incoming->Type != DepType::Case && Incoming->Type != DepType::Aux;
+}
+
+} // namespace
+
+DependencyGraph dggt::pruneQueryGraph(const DependencyGraph &Raw,
+                                      const PruneOptions &Opts) {
+  DependencyGraph Pruned;
+  if (Raw.size() == 0)
+    return Pruned;
+
+  std::vector<int> Remap(Raw.size(), -1);
+  for (unsigned Id = 0; Id < Raw.size(); ++Id) {
+    DepNode N = Raw.node(Id);
+    bool FramingRoot = Raw.hasRoot() && Id == Raw.root() &&
+                       Opts.FramingRootVerbs.count(N.Word) != 0;
+    if (FramingRoot || !survives(N, Raw.incomingEdge(Id), Opts))
+      continue;
+    // Record the case-marking preposition before its node is dropped.
+    for (unsigned Child : Raw.childrenOf(Id)) {
+      std::optional<DepEdge> E = Raw.incomingEdge(Child);
+      if (E && E->Type == DepType::Case &&
+          Raw.node(Child).Tag == Pos::Preposition)
+        N.CasePrep = Raw.node(Child).Word;
+    }
+    Remap[Id] = static_cast<int>(Pruned.addNode(std::move(N)));
+  }
+
+  // Root: the raw root if it survived; else promote its object/subject
+  // child (framing-verb case); else the first survivor.
+  unsigned Root = ~0u;
+  if (Raw.hasRoot() && Remap[Raw.root()] >= 0) {
+    Root = static_cast<unsigned>(Remap[Raw.root()]);
+  } else if (Raw.hasRoot()) {
+    for (DepType Preferred : {DepType::Obj, DepType::Nsubj, DepType::Nmod})
+      for (const DepEdge &E : Raw.edges()) {
+        if (Root == ~0u && E.Governor == Raw.root() &&
+            E.Type == Preferred && Remap[E.Dependent] >= 0)
+          Root = static_cast<unsigned>(Remap[E.Dependent]);
+      }
+  }
+  for (unsigned Id = 0; Id < Raw.size() && Root == ~0u; ++Id)
+    if (Remap[Id] >= 0)
+      Root = static_cast<unsigned>(Remap[Id]);
+  if (Root == ~0u)
+    return Pruned; // Everything pruned away.
+  Pruned.setRoot(Root);
+
+  // Copy edges whose nearest surviving ancestor stands in for a pruned
+  // governor, so children of dropped nodes are not lost.
+  auto SurvivingAncestor = [&](unsigned Id) -> int {
+    unsigned Cur = Id;
+    for (size_t Steps = 0; Steps <= Raw.size(); ++Steps) {
+      std::optional<unsigned> Gov = Raw.governorOf(Cur);
+      if (!Gov)
+        return -1;
+      if (Remap[*Gov] >= 0)
+        return Remap[*Gov];
+      Cur = *Gov;
+    }
+    return -1;
+  };
+
+  for (unsigned Id = 0; Id < Raw.size(); ++Id) {
+    if (Remap[Id] < 0 || static_cast<unsigned>(Remap[Id]) == Root)
+      continue;
+    std::optional<DepEdge> In = Raw.incomingEdge(Id);
+    int NewGov = SurvivingAncestor(Id);
+    unsigned NewDep = static_cast<unsigned>(Remap[Id]);
+    if (NewGov >= 0 && static_cast<unsigned>(NewGov) != NewDep) {
+      DepType Ty = In ? In->Type : DepType::Dep;
+      Pruned.addEdge(static_cast<unsigned>(NewGov), NewDep, Ty);
+    } else {
+      // Unattached content: HISyn hangs it off the root.
+      Pruned.addEdge(Root, NewDep, DepType::Dep);
+    }
+  }
+  return Pruned;
+}
+
+DependencyGraph dggt::parseAndPrune(std::string_view Query,
+                                    const PruneOptions &Opts) {
+  return pruneQueryGraph(parseDependencies(Query), Opts);
+}

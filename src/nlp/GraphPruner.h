@@ -1,0 +1,51 @@
+//===- nlp/GraphPruner.h - Query-graph pruning (step 2) ---------*- C++ -*-===//
+///
+/// \file
+/// Step 2 of the HISyn pipeline: prunes non-essential words from the
+/// query dependency graph based on POS and dependency type, producing
+/// the *pruned dependency graph* the synthesizers consume.
+///
+/// Dropped: prepositions (Case), auxiliaries (Aux), article determiners,
+/// punctuation. Kept: verbs, nouns/phrases, literals, quantifier
+/// determiners ("every"), property adjectives ("virtual"), and negations
+/// ("not") — everything that can map to an API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_NLP_GRAPHPRUNER_H
+#define DGGT_NLP_GRAPHPRUNER_H
+
+#include "nlp/DependencyGraph.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace dggt {
+
+/// Domain-tunable pruning knobs.
+struct PruneOptions {
+  /// Imperative root verbs that merely frame a query ("find", "list" in a
+  /// code-search domain) and carry no API semantics; the root moves to
+  /// the verb's object. Matched on the root node only.
+  std::unordered_set<std::string> FramingRootVerbs;
+  /// Drop quantifier determiners ("all", "every"). Domains without
+  /// occurrence-selector APIs (ASTMatcher) set this; TextEditing keeps
+  /// quantifiers because they map to ALL().
+  bool DropQuantifiers = false;
+};
+
+/// Prunes \p Raw into the graph used for synthesis.
+///
+/// Nodes the parser left unattached are hung off the root with a Dep
+/// edge, matching HISyn's treatment of parse leftovers. The result is a
+/// tree whenever \p Raw was one.
+DependencyGraph pruneQueryGraph(const DependencyGraph &Raw,
+                                const PruneOptions &Opts = {});
+
+/// Convenience: parse + prune.
+DependencyGraph parseAndPrune(std::string_view Query,
+                              const PruneOptions &Opts = {});
+
+} // namespace dggt
+
+#endif // DGGT_NLP_GRAPHPRUNER_H

@@ -1,0 +1,25 @@
+//===- nlu/ApiDocument.cpp - API reference document -----------------------===//
+
+#include "nlu/ApiDocument.h"
+
+#include <cassert>
+
+using namespace dggt;
+
+void ApiDocument::add(ApiInfo Info) {
+  assert(!Info.Name.empty() && "API needs a name");
+  [[maybe_unused]] auto Inserted =
+      NameIndex.emplace(Info.Name, Apis.size()).second;
+  assert(Inserted && "duplicate API name");
+  Apis.push_back(std::move(Info));
+}
+
+const ApiInfo *ApiDocument::byName(std::string_view Name) const {
+  auto It = NameIndex.find(std::string(Name));
+  return It == NameIndex.end() ? nullptr : &Apis[It->second];
+}
+
+int ApiDocument::indexOf(std::string_view Name) const {
+  auto It = NameIndex.find(std::string(Name));
+  return It == NameIndex.end() ? -1 : static_cast<int>(It->second);
+}

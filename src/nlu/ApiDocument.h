@@ -1,0 +1,84 @@
+//===- nlu/ApiDocument.h - API reference document ----------------*- C++ -*-===//
+///
+/// \file
+/// The *document* input of an NLU-driven synthesizer (Section II): every
+/// API of the target DSL with a natural-language description. WordToAPI
+/// matches query words against these entries; TreeToExpression consults
+/// the per-API rendering flags when emitting codelets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_NLU_APIDOCUMENT_H
+#define DGGT_NLU_APIDOCUMENT_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dggt {
+
+/// Kind of literal a literal-carrying API accepts.
+enum class LitKind : uint8_t {
+  None,   ///< Does not accept a literal.
+  String, ///< Quoted strings (and punctuation): STRING(:), hasName("PI").
+  Number, ///< Numerals: CHARNUMBER(14).
+  Any,    ///< Accepts either.
+};
+
+/// One API entry of the document.
+struct ApiInfo {
+  /// DSL spelling, e.g. "INSERT" or "hasArgument". Must match the API
+  /// terminal spelling used in the grammar (grammar terminals are ALLCAPS;
+  /// CamelCase DSLs map via ApiDocument::terminalFor).
+  std::string Name;
+  /// One-sentence natural-language description (the matcher's corpus).
+  std::string Description;
+  /// Literal acceptance; a node with LitKind != None may absorb a literal
+  /// dependency value as its argument.
+  LitKind Lit = LitKind::None;
+  /// Renders as the bare literal instead of Name(...): pseudo-APIs like
+  /// LITSTRING that stand for a user-supplied string in the grammar.
+  bool LiteralOnly = false;
+  /// Quote the literal in output ("PI" vs :).
+  bool QuoteLiteral = false;
+  /// Surface spelling for codelets when it differs from Name (e.g. grammar
+  /// terminal "HASNAME" renders as "hasName"). Empty means use Name.
+  std::string RenderAs;
+  /// The name's constituent words for NLU matching ("STARTFROM" ->
+  /// {"start", "from"}). Empty means camelCase/underscore-split the Name.
+  std::vector<std::string> NameWords;
+  /// Additive matching bias for canonical APIs that near-tie with more
+  /// specialized ones (cxxRecordDecl is *the* class matcher).
+  double Bias = 0.0;
+
+  std::string_view renderedName() const {
+    return RenderAs.empty() ? std::string_view(Name) : RenderAs;
+  }
+};
+
+/// The full API document of a domain.
+class ApiDocument {
+public:
+  /// Adds an entry; names must be unique (asserted).
+  void add(ApiInfo Info);
+
+  size_t size() const { return Apis.size(); }
+  const ApiInfo &api(size_t Index) const { return Apis[Index]; }
+  const std::vector<ApiInfo> &apis() const { return Apis; }
+
+  /// Looks up an entry by grammar-terminal name; nullptr if absent.
+  const ApiInfo *byName(std::string_view Name) const;
+
+  /// Index of \p Name, or -1.
+  int indexOf(std::string_view Name) const;
+
+private:
+  std::vector<ApiInfo> Apis;
+  std::unordered_map<std::string, size_t> NameIndex;
+};
+
+} // namespace dggt
+
+#endif // DGGT_NLU_APIDOCUMENT_H

@@ -1,0 +1,205 @@
+//===- nlu/WordToApiMatcher.cpp - WordToAPI (step 3) ----------------------===//
+
+#include "nlu/WordToApiMatcher.h"
+
+#include "support/StringUtils.h"
+#include "text/PorterStemmer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+
+using namespace dggt;
+
+namespace {
+
+/// Stems every identifier-split token of \p Text.
+std::vector<std::string> stemTokens(std::string_view Text) {
+  std::vector<std::string> Stems;
+  for (const std::string &Word : split(Text, " \t,.;:()'\"-/")) {
+    for (const std::string &Part : splitIdentifier(Word))
+      Stems.push_back(porterStem(Part));
+  }
+  return Stems;
+}
+
+bool isNumeric(std::string_view S) {
+  if (S.empty())
+    return false;
+  return std::all_of(S.begin(), S.end(), [](unsigned char C) {
+    return std::isdigit(C) != 0;
+  });
+}
+
+} // namespace
+
+WordToApiMatcher::WordToApiMatcher(const ApiDocument &Doc, const Thesaurus &Syn,
+                                   MatcherOptions Opts)
+    : Doc(Doc), Syn(Syn), Opts(Opts) {
+  Tokens.reserve(Doc.size());
+  for (const ApiInfo &Api : Doc.apis()) {
+    ApiTokens T;
+    if (Api.NameWords.empty()) {
+      for (const std::string &Part : splitIdentifier(Api.Name))
+        T.NameStems.push_back(porterStem(Part));
+    } else {
+      for (const std::string &Word : Api.NameWords)
+        T.NameStems.push_back(porterStem(toLower(Word)));
+    }
+    T.DescStems = stemTokens(Api.Description);
+    Tokens.push_back(std::move(T));
+  }
+}
+
+double WordToApiMatcher::scorePhrase(const std::vector<std::string> &Phrase,
+                                     const ApiInfo &Api) const {
+  int Index = Doc.indexOf(Api.Name);
+  assert(Index >= 0 && "API not in this document");
+  const ApiTokens &T = Tokens[Index];
+
+  auto SimilarityTo = [&](const std::string &Stem,
+                          const std::vector<std::string> &Corpus,
+                          double ExactW, double SynW) {
+    double Best = 0.0;
+    for (const std::string &C : Corpus) {
+      if (C == Stem)
+        return ExactW;
+      if (Syn.areSynonyms(C, Stem))
+        Best = std::max(Best, SynW);
+    }
+    return Best;
+  };
+
+  // Per query-word similarity: name hits dominate description hits.
+  double Sum = 0.0;
+  unsigned NameHits = 0, ExactNameHits = 0;
+  for (const std::string &Word : Phrase) {
+    std::string Stem = porterStem(toLower(Word));
+    double NameSim = SimilarityTo(Stem, T.NameStems, 2.0, 1.6);
+    double DescSim = SimilarityTo(Stem, T.DescStems, 1.0, 0.6);
+    if (NameSim > 0)
+      ++NameHits;
+    if (NameSim >= 2.0)
+      ++ExactNameHits;
+    Sum += std::max(NameSim, DescSim);
+  }
+  if (Phrase.empty())
+    return 0.0;
+  double PerWord = Sum / static_cast<double>(Phrase.size());
+
+  // Coverage bonus: fraction of the API's *name* matched by the phrase,
+  // so "binary operator" prefers binaryOperator over operator-mentioning
+  // APIs with long names.
+  double Coverage =
+      T.NameStems.empty()
+          ? 0.0
+          : static_cast<double>(NameHits) /
+                static_cast<double>(T.NameStems.size());
+  double Score = PerWord + 0.5 * Coverage;
+  // Full-name bonus: the phrase *is* the API name ("end" -> END beats
+  // ENDSWITH; "binary operator" -> binaryOperator beats hasOperatorName).
+  if (ExactNameHits == Phrase.size() && Phrase.size() == T.NameStems.size())
+    Score += 0.5;
+  return Score + Api.Bias;
+}
+
+std::vector<ApiCandidate>
+WordToApiMatcher::literalCandidates(const DepNode &Node) const {
+  assert(Node.Literal && "literal node without payload");
+  bool Numeric = isNumeric(*Node.Literal);
+  std::vector<ApiCandidate> Out;
+  for (size_t I = 0; I < Doc.size(); ++I) {
+    const ApiInfo &Api = Doc.api(I);
+    if (!Api.LiteralOnly)
+      continue;
+    bool KindOk = Api.Lit == LitKind::Any ||
+                  (Numeric ? Api.Lit == LitKind::Number
+                           : Api.Lit == LitKind::String);
+    if (KindOk)
+      Out.push_back({static_cast<unsigned>(I), 1.0});
+  }
+  return Out;
+}
+
+double WordToApiMatcher::contextBoost(const DepNode &Node,
+                                      const ApiInfo &Api) const {
+  double Boost = 0.0;
+  // Argument-type affinity: a node carrying a literal payload prefers
+  // APIs that accept a literal of that kind ("2 parameters" ->
+  // parameterCountIs over hasParameter).
+  if (Node.Literal && !Api.LiteralOnly) {
+    bool Numeric = std::all_of(Node.Literal->begin(), Node.Literal->end(),
+                               [](unsigned char C) {
+                                 return std::isdigit(C) != 0;
+                               });
+    if (Api.Lit == LitKind::Any ||
+        (Numeric ? Api.Lit == LitKind::Number
+                 : Api.Lit == LitKind::String))
+      Boost += 0.3;
+  }
+  if (Opts.LocativeNameWord.empty() || !Node.CasePrep)
+    return Boost;
+  static const char *Locatives[] = {"in", "inside", "within", "per", "of"};
+  bool Locative = false;
+  for (const char *L : Locatives)
+    if (*Node.CasePrep == L)
+      Locative = true;
+  if (!Locative)
+    return Boost;
+  static const char *Unused = nullptr;
+  (void)Unused;
+  for (const std::string &W : Api.NameWords)
+    if (W == Opts.LocativeNameWord)
+      return Boost + Opts.LocativeBoost;
+  return Boost;
+}
+
+std::vector<ApiCandidate>
+WordToApiMatcher::candidatesForNode(const DepNode &Node) const {
+  // Literal payload with a non-word surface: quoted strings and
+  // standalone numbers map to literal pseudo-APIs.
+  if (Node.Tag == Pos::Literal ||
+      (Node.Tag == Pos::Number && Node.Literal && Node.Word == *Node.Literal))
+    return literalCandidates(Node);
+
+  std::vector<ApiCandidate> Scored;
+  for (size_t I = 0; I < Doc.size(); ++I) {
+    const ApiInfo &Api = Doc.api(I);
+    if (Api.LiteralOnly)
+      continue;
+    double Score = scorePhrase(Node.Phrase, Api) + contextBoost(Node, Api);
+    if (Score >= Opts.MinScore)
+      Scored.push_back({static_cast<unsigned>(I), Score});
+  }
+  if (Scored.empty())
+    return Scored;
+
+  // Deterministic order: score desc, then name asc.
+  std::sort(Scored.begin(), Scored.end(),
+            [&](const ApiCandidate &A, const ApiCandidate &B) {
+              if (A.Score != B.Score)
+                return A.Score > B.Score;
+              return Doc.api(A.ApiIndex).Name < Doc.api(B.ApiIndex).Name;
+            });
+
+  double Best = Scored.front().Score;
+  std::vector<ApiCandidate> Kept;
+  for (const ApiCandidate &C : Scored) {
+    if (C.Score < Best * Opts.RelativeCutoff)
+      break;
+    bool AtCap = Kept.size() >= Opts.MaxCandidates;
+    // Keep ties at the cutoff so ambiguity is not broken arbitrarily.
+    if (AtCap && C.Score < Kept.back().Score)
+      break;
+    Kept.push_back(C);
+  }
+  return Kept;
+}
+
+WordToApiMap WordToApiMatcher::mapGraph(const DependencyGraph &Graph) const {
+  WordToApiMap Map;
+  Map.Candidates.reserve(Graph.size());
+  for (unsigned Id = 0; Id < Graph.size(); ++Id)
+    Map.Candidates.push_back(candidatesForNode(Graph.node(Id)));
+  return Map;
+}

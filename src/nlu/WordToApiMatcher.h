@@ -1,0 +1,94 @@
+//===- nlu/WordToApiMatcher.h - WordToAPI (step 3) ----------------*- C++ -*-===//
+///
+/// \file
+/// Step 3 of the HISyn pipeline: maps each node of the pruned dependency
+/// graph to the APIs that may semantically match it, by NLU matching of
+/// the node's phrase against the API names and descriptions (Section II).
+/// Ambiguity is intentional and preserved — "start" maps to both START
+/// and STARTFROM in the paper's Figure 3 — because downstream path search
+/// and CGT minimization resolve it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_NLU_WORDTOAPIMATCHER_H
+#define DGGT_NLU_WORDTOAPIMATCHER_H
+
+#include "nlp/DependencyGraph.h"
+#include "nlu/ApiDocument.h"
+#include "text/Thesaurus.h"
+
+namespace dggt {
+
+/// One candidate API for a dependency node.
+struct ApiCandidate {
+  unsigned ApiIndex; ///< Index into the ApiDocument.
+  double Score;      ///< Higher is better; in [0, ~3].
+};
+
+/// The WordToAPI map: per dependency-node candidate lists, parallel to
+/// the pruned graph's node ids.
+struct WordToApiMap {
+  std::vector<std::vector<ApiCandidate>> Candidates;
+
+  const std::vector<ApiCandidate> &forNode(unsigned NodeId) const {
+    return Candidates[NodeId];
+  }
+};
+
+/// Tuning knobs of the matcher.
+struct MatcherOptions {
+  /// Keep at most this many candidates per node (ties at the cutoff are
+  /// all kept, so ambiguity like {START, STARTFROM} survives).
+  unsigned MaxCandidates = 4;
+  /// Candidates scoring below BestScore * RelativeCutoff are dropped.
+  double RelativeCutoff = 0.8;
+  /// Minimum absolute score to be considered at all.
+  double MinScore = 0.35;
+  /// Semantic-role context: a node case-marked by a locative preposition
+  /// ("in", "inside", "within", "per", "of") gets this bonus on APIs
+  /// whose name contains LocativeNameWord. Empty disables the rule.
+  /// TextEditing sets "scope" so "in every line" prefers LINESCOPE over
+  /// LINETOKEN.
+  std::string LocativeNameWord;
+  double LocativeBoost = 0.5;
+};
+
+/// NLU word/phrase -> API matcher.
+class WordToApiMatcher {
+public:
+  WordToApiMatcher(const ApiDocument &Doc, const Thesaurus &Syn,
+                   MatcherOptions Opts = {});
+
+  /// Builds the WordToAPI map for every node of \p Graph.
+  ///
+  /// Literal nodes map to the document's literal-only pseudo-APIs of the
+  /// matching kind; phrase nodes are scored against names (weight 2) and
+  /// descriptions (weight 1) on Porter stems with thesaurus expansion.
+  WordToApiMap mapGraph(const DependencyGraph &Graph) const;
+
+  /// Scores a single phrase against a single API (exposed for tests and
+  /// for the matcher ablation bench).
+  double scorePhrase(const std::vector<std::string> &Phrase,
+                     const ApiInfo &Api) const;
+
+private:
+  std::vector<ApiCandidate> candidatesForNode(const DepNode &Node) const;
+  /// Context bonus from the node's case-marking preposition.
+  double contextBoost(const DepNode &Node, const ApiInfo &Api) const;
+  std::vector<ApiCandidate> literalCandidates(const DepNode &Node) const;
+
+  const ApiDocument &Doc;
+  const Thesaurus &Syn;
+  MatcherOptions Opts;
+
+  /// Pre-tokenized, pre-stemmed API corpora (parallel to Doc indices).
+  struct ApiTokens {
+    std::vector<std::string> NameStems;
+    std::vector<std::string> DescStems;
+  };
+  std::vector<ApiTokens> Tokens;
+};
+
+} // namespace dggt
+
+#endif // DGGT_NLU_WORDTOAPIMATCHER_H

@@ -1,0 +1,6 @@
+//===- support/Budget.cpp - Cooperative deadline --------------------------===//
+
+#include "support/Budget.h"
+
+// Budget and WallTimer are header-only; this file anchors the translation
+// unit for the support library.

@@ -1,0 +1,92 @@
+//===- support/Budget.h - Cooperative deadline ------------------*- C++ -*-===//
+///
+/// \file
+/// A wall-clock deadline checked cooperatively inside synthesis hot loops.
+///
+/// The paper runs every query under a 20-second interactive timeout
+/// (Section VII-B1); a query that misses the deadline is counted as an
+/// error. Both the HISyn baseline and DGGT poll a Budget so the
+/// exponential baseline can be cut off without threads or signals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_SUPPORT_BUDGET_H
+#define DGGT_SUPPORT_BUDGET_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace dggt {
+
+/// A cooperative wall-clock budget.
+///
+/// `expired()` amortizes the clock read: it only consults the clock once
+/// every `CheckStride` calls, so it is cheap enough for inner loops.
+class Budget {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Creates an unlimited budget (never expires).
+  Budget() = default;
+
+  /// Creates a budget that expires \p Ms milliseconds from now. A value of
+  /// zero means unlimited.
+  explicit Budget(uint64_t Ms) {
+    if (Ms != 0) {
+      Deadline = Clock::now() + std::chrono::milliseconds(Ms);
+      Limited = true;
+    }
+  }
+
+  /// Returns true once the deadline has passed. Sticky: once expired,
+  /// always expired.
+  bool expired() {
+    if (!Limited)
+      return false;
+    if (Expired)
+      return true;
+    if (++Calls % CheckStride != 0)
+      return false;
+    Expired = Clock::now() >= Deadline;
+    return Expired;
+  }
+
+  /// Forces the expired state (used by tests and by nested stages that
+  /// already observed expiry).
+  void cancel() {
+    Limited = true;
+    Expired = true;
+  }
+
+  /// True if this budget can ever expire.
+  bool isLimited() const { return Limited; }
+
+private:
+  static constexpr uint64_t CheckStride = 256;
+
+  Clock::time_point Deadline;
+  uint64_t Calls = 0;
+  bool Limited = false;
+  bool Expired = false;
+};
+
+/// Simple wall-clock stopwatch used by the evaluation harness.
+class WallTimer {
+public:
+  WallTimer() : Start(Budget::Clock::now()) {}
+
+  /// Elapsed time in seconds since construction (or the last restart).
+  double seconds() const {
+    return std::chrono::duration<double>(Budget::Clock::now() - Start).count();
+  }
+
+  /// Restarts the stopwatch.
+  void restart() { Start = Budget::Clock::now(); }
+
+private:
+  Budget::Clock::time_point Start;
+};
+
+} // namespace dggt
+
+#endif // DGGT_SUPPORT_BUDGET_H

@@ -1,0 +1,50 @@
+//===- support/Statistics.cpp - Summary statistics ------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace dggt;
+
+std::vector<double> SampleStats::sorted() const {
+  std::vector<double> S = Values;
+  std::sort(S.begin(), S.end());
+  return S;
+}
+
+double SampleStats::max() const {
+  assert(!Values.empty() && "max() of empty sample");
+  return *std::max_element(Values.begin(), Values.end());
+}
+
+double SampleStats::min() const {
+  assert(!Values.empty() && "min() of empty sample");
+  return *std::min_element(Values.begin(), Values.end());
+}
+
+double SampleStats::sum() const {
+  return std::accumulate(Values.begin(), Values.end(), 0.0);
+}
+
+double SampleStats::mean() const {
+  assert(!Values.empty() && "mean() of empty sample");
+  return sum() / static_cast<double>(Values.size());
+}
+
+double SampleStats::median() const { return percentile(50.0); }
+
+double SampleStats::percentile(double P) const {
+  assert(!Values.empty() && "percentile() of empty sample");
+  assert(P >= 0.0 && P <= 100.0 && "percentile out of range");
+  std::vector<double> S = sorted();
+  if (S.size() == 1)
+    return S.front();
+  double Rank = P / 100.0 * static_cast<double>(S.size() - 1);
+  size_t Lo = static_cast<size_t>(std::floor(Rank));
+  size_t Hi = static_cast<size_t>(std::ceil(Rank));
+  double Frac = Rank - static_cast<double>(Lo);
+  return S[Lo] + (S[Hi] - S[Lo]) * Frac;
+}

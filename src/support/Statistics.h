@@ -1,0 +1,48 @@
+//===- support/Statistics.h - Summary statistics ----------------*- C++ -*-===//
+///
+/// \file
+/// Max / mean / median summaries used for the speedup columns of Table II
+/// and percentile buckets for Figure 7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_SUPPORT_STATISTICS_H
+#define DGGT_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace dggt {
+
+/// Accumulates a sample of doubles and answers summary queries.
+class SampleStats {
+public:
+  void add(double Value) { Values.push_back(Value); }
+
+  bool empty() const { return Values.empty(); }
+  size_t size() const { return Values.size(); }
+
+  double max() const;
+  double min() const;
+  double mean() const;
+
+  /// Median (average of the two middle elements for even sizes).
+  double median() const;
+
+  /// P-th percentile with linear interpolation, P in [0, 100].
+  double percentile(double P) const;
+
+  double sum() const;
+
+  const std::vector<double> &values() const { return Values; }
+
+private:
+  /// Returns a sorted copy of the sample.
+  std::vector<double> sorted() const;
+
+  std::vector<double> Values;
+};
+
+} // namespace dggt
+
+#endif // DGGT_SUPPORT_STATISTICS_H

@@ -1,0 +1,134 @@
+//===- support/StringUtils.cpp - Small string helpers --------------------===//
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+
+using namespace dggt;
+
+std::string dggt::toLower(std::string_view S) {
+  std::string Out(S);
+  std::transform(Out.begin(), Out.end(), Out.begin(), [](unsigned char C) {
+    return static_cast<char>(std::tolower(C));
+  });
+  return Out;
+}
+
+std::string dggt::toUpper(std::string_view S) {
+  std::string Out(S);
+  std::transform(Out.begin(), Out.end(), Out.begin(), [](unsigned char C) {
+    return static_cast<char>(std::toupper(C));
+  });
+  return Out;
+}
+
+bool dggt::isAllCaps(std::string_view S) {
+  if (S.empty())
+    return false;
+  bool SawUpper = false;
+  for (unsigned char C : S) {
+    if (std::isupper(C)) {
+      SawUpper = true;
+      continue;
+    }
+    if (std::isdigit(C) || C == '_')
+      continue;
+    return false;
+  }
+  return SawUpper;
+}
+
+std::vector<std::string> dggt::split(std::string_view S,
+                                     std::string_view Separators) {
+  std::vector<std::string> Parts;
+  size_t Begin = 0;
+  while (Begin <= S.size()) {
+    size_t End = S.find_first_of(Separators, Begin);
+    if (End == std::string_view::npos)
+      End = S.size();
+    if (End > Begin)
+      Parts.emplace_back(S.substr(Begin, End - Begin));
+    Begin = End + 1;
+  }
+  return Parts;
+}
+
+std::vector<std::string> dggt::splitIdentifier(std::string_view Name) {
+  std::vector<std::string> Words;
+  std::string Current;
+  auto Flush = [&] {
+    if (!Current.empty()) {
+      Words.push_back(toLower(Current));
+      Current.clear();
+    }
+  };
+  for (size_t I = 0; I < Name.size(); ++I) {
+    unsigned char C = Name[I];
+    if (C == '_' || C == '-' || C == ' ') {
+      Flush();
+      continue;
+    }
+    // A lower->upper transition starts a new camelCase word. A run of
+    // capitals stays one word (ALLCAPS identifiers, acronyms like "AST"),
+    // except that the last capital of a run followed by a lower-case letter
+    // starts the next word ("ASTNode" -> "ast", "node").
+    if (std::isupper(C) && !Current.empty()) {
+      unsigned char Prev = Name[I - 1];
+      bool NextIsLower = I + 1 < Name.size() &&
+                         std::islower(static_cast<unsigned char>(Name[I + 1]));
+      if (std::islower(Prev) || (std::isupper(Prev) && NextIsLower))
+        Flush();
+    }
+    Current.push_back(static_cast<char>(C));
+  }
+  Flush();
+  return Words;
+}
+
+std::string dggt::join(const std::vector<std::string> &Parts,
+                       std::string_view Separator) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += Separator;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string_view dggt::trim(std::string_view S) {
+  size_t Begin = 0;
+  while (Begin < S.size() && std::isspace(static_cast<unsigned char>(S[Begin])))
+    ++Begin;
+  size_t End = S.size();
+  while (End > Begin && std::isspace(static_cast<unsigned char>(S[End - 1])))
+    --End;
+  return S.substr(Begin, End - Begin);
+}
+
+bool dggt::startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
+}
+
+bool dggt::endsWith(std::string_view S, std::string_view Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.substr(S.size() - Suffix.size()) == Suffix;
+}
+
+unsigned dggt::editDistance(std::string_view A, std::string_view B) {
+  // Classic two-row dynamic program; strings here are short (API names).
+  std::vector<unsigned> Prev(B.size() + 1), Cur(B.size() + 1);
+  for (size_t J = 0; J <= B.size(); ++J)
+    Prev[J] = static_cast<unsigned>(J);
+  for (size_t I = 1; I <= A.size(); ++I) {
+    Cur[0] = static_cast<unsigned>(I);
+    for (size_t J = 1; J <= B.size(); ++J) {
+      unsigned Sub = Prev[J - 1] + (A[I - 1] == B[J - 1] ? 0 : 1);
+      Cur[J] = std::min({Prev[J] + 1, Cur[J - 1] + 1, Sub});
+    }
+    std::swap(Prev, Cur);
+  }
+  return Prev[B.size()];
+}

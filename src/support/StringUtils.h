@@ -1,0 +1,64 @@
+//===- support/StringUtils.h - Small string helpers ------------*- C++ -*-===//
+//
+// Part of the DGGT reproduction of "Enabling Near Real-Time NLU-Driven
+// Natural Language Programming through Dynamic Grammar Graph-Based
+// Translation" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared by the tokenizer, the BNF parser and the
+/// WordToAPI matcher: case mapping, splitting (including camelCase
+/// splitting for API names), joining and trimming.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_SUPPORT_STRINGUTILS_H
+#define DGGT_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dggt {
+
+/// Returns \p S converted to lower case (ASCII only).
+std::string toLower(std::string_view S);
+
+/// Returns \p S converted to upper case (ASCII only).
+std::string toUpper(std::string_view S);
+
+/// Returns true if \p S consists only of upper-case letters, digits and
+/// underscores (the spelling convention for API terminals in our BNF).
+bool isAllCaps(std::string_view S);
+
+/// Splits \p S on any character in \p Separators, dropping empty pieces.
+std::vector<std::string> split(std::string_view S,
+                               std::string_view Separators);
+
+/// Splits an API identifier into lower-cased word tokens.
+///
+/// Handles camelCase ("hasOperatorName" -> has, operator, name),
+/// ALLCAPS ("STARTFROM" -> startfrom), and snake_case.
+std::vector<std::string> splitIdentifier(std::string_view Name);
+
+/// Joins \p Parts with \p Separator.
+std::string join(const std::vector<std::string> &Parts,
+                 std::string_view Separator);
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view S);
+
+/// Returns true if \p S starts with \p Prefix.
+bool startsWith(std::string_view S, std::string_view Prefix);
+
+/// Returns true if \p S ends with \p Suffix.
+bool endsWith(std::string_view S, std::string_view Suffix);
+
+/// Edit (Levenshtein) distance between two strings; used as a last-resort
+/// tie-breaker in word/API matching.
+unsigned editDistance(std::string_view A, std::string_view B);
+
+} // namespace dggt
+
+#endif // DGGT_SUPPORT_STRINGUTILS_H

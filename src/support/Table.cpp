@@ -1,0 +1,80 @@
+//===- support/Table.cpp - Fixed-width text tables ------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+using namespace dggt;
+
+void TextTable::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back({std::move(Cells), /*Separator=*/false});
+}
+
+void TextTable::addSeparator() { Rows.push_back({{}, /*Separator=*/true}); }
+
+std::string TextTable::render() const {
+  // Compute the width of every column across header and rows.
+  std::vector<size_t> Widths;
+  auto Grow = [&](const std::vector<std::string> &Cells) {
+    if (Cells.size() > Widths.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0; I < Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Grow(Header);
+  for (const Row &R : Rows)
+    Grow(R.Cells);
+
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+
+  auto RenderRow = [&](const std::vector<std::string> &Cells) {
+    std::string Line;
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      Line += Cells[I];
+      if (I + 1 < Cells.size())
+        Line += std::string(Widths[I] - Cells[I].size() + 2, ' ');
+    }
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out;
+  if (!Header.empty()) {
+    Out += RenderRow(Header);
+    Out += std::string(Total, '-') + "\n";
+  }
+  for (const Row &R : Rows) {
+    if (R.Separator)
+      Out += std::string(Total, '-') + "\n";
+    else
+      Out += RenderRow(R.Cells);
+  }
+  return Out;
+}
+
+std::string dggt::formatDouble(double Value, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, Value);
+  return Buf;
+}
+
+std::string dggt::formatCount(double Value) {
+  if (Value < 1e6) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.0f", Value);
+    return Buf;
+  }
+  int Exp = static_cast<int>(std::floor(std::log10(Value)));
+  double Mant = Value / std::pow(10.0, Exp);
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.1fe%d", Mant, Exp);
+  return Buf;
+}

@@ -1,0 +1,53 @@
+//===- support/Table.h - Fixed-width text tables ----------------*- C++ -*-===//
+///
+/// \file
+/// A minimal fixed-width table renderer. The bench binaries use it to
+/// print rows in the same layout as the paper's tables (Table I-III) and
+/// figure series (Figure 7/8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_SUPPORT_TABLE_H
+#define DGGT_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace dggt {
+
+/// Accumulates rows of cells and renders them with aligned columns.
+class TextTable {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row. Rows may have fewer cells than the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Renders the table with two-space column gaps; header is followed by a
+  /// dashed rule.
+  std::string render() const;
+
+private:
+  struct Row {
+    std::vector<std::string> Cells;
+    bool Separator = false;
+  };
+
+  std::vector<std::string> Header;
+  std::vector<Row> Rows;
+};
+
+/// Formats \p Value with \p Digits digits after the decimal point.
+std::string formatDouble(double Value, int Digits);
+
+/// Formats \p Value in engineering style: plain below 10^6 ("3744"),
+/// otherwise scientific with one decimal ("3.8e6"), matching Table III.
+std::string formatCount(double Value);
+
+} // namespace dggt
+
+#endif // DGGT_SUPPORT_TABLE_H

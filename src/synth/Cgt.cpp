@@ -1,0 +1,131 @@
+//===- synth/Cgt.cpp - Code generation tree -------------------------------===//
+
+#include "synth/Cgt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <set>
+
+using namespace dggt;
+
+bool Cgt::containsEdge(GgNodeId From, GgNodeId To) const {
+  return std::find(Edges.begin(), Edges.end(), std::make_pair(From, To)) !=
+         Edges.end();
+}
+
+void Cgt::addEdge(GgNodeId From, GgNodeId To) {
+  if (!containsEdge(From, To))
+    Edges.emplace_back(From, To);
+}
+
+void Cgt::addPath(const GrammarPath &P) {
+  for (size_t I = 0; I + 1 < P.Nodes.size(); ++I)
+    addEdge(P.Nodes[I], P.Nodes[I + 1]);
+  if (P.Nodes.size() == 1)
+    setSoloNode(P.Nodes.front());
+}
+
+void Cgt::merge(const Cgt &Other) {
+  for (const auto &[From, To] : Other.Edges)
+    addEdge(From, To);
+  for (const auto &[Node, Lit] : Other.Literals)
+    annotateLiteral(Node, Lit);
+  if (Other.LiteralClash)
+    LiteralClash = true;
+  if (Other.SoloNode && !SoloNode && Edges.empty())
+    SoloNode = Other.SoloNode;
+}
+
+void Cgt::annotateLiteral(GgNodeId Node, const std::string &Literal) {
+  auto [It, Inserted] = Literals.emplace(Node, Literal);
+  if (!Inserted && It->second != Literal)
+    LiteralClash = true;
+}
+
+void Cgt::setSoloNode(GgNodeId Node) { SoloNode = Node; }
+
+std::vector<GgNodeId> Cgt::nodes() const {
+  std::set<GgNodeId> Set;
+  for (const auto &[From, To] : Edges) {
+    Set.insert(From);
+    Set.insert(To);
+  }
+  if (SoloNode)
+    Set.insert(*SoloNode);
+  return {Set.begin(), Set.end()};
+}
+
+unsigned Cgt::apiCount(const GrammarGraph &GG) const {
+  unsigned Count = 0;
+  for (GgNodeId Id : nodes())
+    if (GG.node(Id).Kind == GgNodeKind::Api)
+      ++Count;
+  return Count;
+}
+
+std::optional<GgNodeId> Cgt::rootIfTree() const {
+  if (Edges.empty())
+    return SoloNode;
+
+  // Unique-parent check and root discovery.
+  std::set<GgNodeId> Children, All;
+  for (const auto &[From, To] : Edges) {
+    All.insert(From);
+    All.insert(To);
+    if (!Children.insert(To).second)
+      return std::nullopt; // Two parents.
+  }
+  std::optional<GgNodeId> Root;
+  for (GgNodeId N : All)
+    if (!Children.count(N)) {
+      if (Root)
+        return std::nullopt; // Two roots: disconnected.
+      Root = N;
+    }
+  if (!Root)
+    return std::nullopt; // Every node has a parent: a cycle.
+
+  // Connectivity: BFS from the root must reach every node. With unique
+  // parents and a single parentless node, unreached nodes imply a cycle
+  // component.
+  std::set<GgNodeId> Seen{*Root};
+  std::deque<GgNodeId> Work{*Root};
+  while (!Work.empty()) {
+    GgNodeId Cur = Work.front();
+    Work.pop_front();
+    for (const auto &[From, To] : Edges)
+      if (From == Cur && Seen.insert(To).second)
+        Work.push_back(To);
+  }
+  if (Seen.size() != All.size())
+    return std::nullopt;
+  return Root;
+}
+
+bool Cgt::hasOrConflict(const GrammarGraph &GG) const {
+  // Count derivation children per non-terminal inside the CGT.
+  std::map<GgNodeId, unsigned> DerivChildren;
+  for (const auto &[From, To] : Edges) {
+    if (GG.node(From).Kind == GgNodeKind::NonTerminal &&
+        GG.node(To).Kind == GgNodeKind::Derivation) {
+      if (++DerivChildren[From] > 1)
+        return true;
+    }
+  }
+  return false;
+}
+
+bool Cgt::isValid(const GrammarGraph &GG) const {
+  return !LiteralClash && rootIfTree().has_value() && !hasOrConflict(GG);
+}
+
+std::vector<GgNodeId> Cgt::orderedChildren(const GrammarGraph &GG,
+                                           GgNodeId Node) const {
+  std::vector<GgNodeId> Ordered;
+  for (const GgEdge &E : GG.outEdges(Node))
+    if (containsEdge(Node, E.To) &&
+        std::find(Ordered.begin(), Ordered.end(), E.To) == Ordered.end())
+      Ordered.push_back(E.To);
+  return Ordered;
+}

@@ -1,0 +1,92 @@
+//===- synth/Cgt.h - Code generation tree -------------------------*- C++ -*-===//
+///
+/// \file
+/// The *code generation tree* (CGT) of Section IV-A: the fusion of one
+/// grammar path per dependency edge. A CGT is a subgraph of the grammar
+/// graph; when the fusion forms a grammar-valid tree it can be
+/// reformatted into a codelet (TreeToExpression).
+///
+/// Validity has two parts (checked separately so the benches can count
+/// why combinations die):
+///  - structural: single root, unique parents, connected, acyclic;
+///  - grammatical: no non-terminal uses two different derivations
+///    (conflicting "or" edges, Section V-A).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_SYNTH_CGT_H
+#define DGGT_SYNTH_CGT_H
+
+#include "grammar/GrammarPath.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dggt {
+
+/// A fused set of grammar paths, with per-node literal annotations.
+class Cgt {
+public:
+  /// Adds all edges of \p P; duplicate edges fuse.
+  void addPath(const GrammarPath &P);
+
+  /// Adds a single grammar edge.
+  void addEdge(GgNodeId From, GgNodeId To);
+
+  /// Fuses another CGT into this one.
+  void merge(const Cgt &Other);
+
+  /// Attaches a literal to \p Node. Two different literals on one node
+  /// mark the CGT invalid (literalConflict()).
+  void annotateLiteral(GgNodeId Node, const std::string &Literal);
+
+  bool literalConflict() const { return LiteralClash; }
+  const std::map<GgNodeId, std::string> &literals() const { return Literals; }
+
+  /// Distinct nodes, ascending.
+  std::vector<GgNodeId> nodes() const;
+
+  /// Distinct edges as (From, To), insertion-deduplicated.
+  const std::vector<std::pair<GgNodeId, GgNodeId>> &edgeList() const {
+    return Edges;
+  }
+
+  size_t numEdges() const { return Edges.size(); }
+  bool empty() const { return Edges.empty() && !SoloNode; }
+
+  /// Marks a single-node CGT (a query with one word and no edges).
+  void setSoloNode(GgNodeId Node);
+
+  /// Number of API-kind nodes (the paper's CGT size metric).
+  unsigned apiCount(const GrammarGraph &GG) const;
+
+  /// Root if the edge set forms a tree; nullopt otherwise.
+  std::optional<GgNodeId> rootIfTree() const;
+
+  /// True if some non-terminal has two or more derivation children here
+  /// (grammar-invalid per Section V-A).
+  bool hasOrConflict(const GrammarGraph &GG) const;
+
+  /// Full validity: tree and no or-conflict and no literal clash.
+  bool isValid(const GrammarGraph &GG) const;
+
+  /// Children of \p Node inside the CGT, ordered by the grammar graph's
+  /// edge declaration order (argument order for APIs).
+  std::vector<GgNodeId> orderedChildren(const GrammarGraph &GG,
+                                        GgNodeId Node) const;
+
+private:
+  bool containsEdge(GgNodeId From, GgNodeId To) const;
+
+  std::vector<std::pair<GgNodeId, GgNodeId>> Edges;
+  std::map<GgNodeId, std::string> Literals;
+  std::optional<GgNodeId> SoloNode;
+  bool LiteralClash = false;
+};
+
+} // namespace dggt
+
+#endif // DGGT_SYNTH_CGT_H

@@ -1,0 +1,72 @@
+//===- synth/EdgeToPath.cpp - EdgeToPath map (step 4) ---------------------===//
+
+#include "synth/EdgeToPath.h"
+
+#include "nlu/ApiDocument.h"
+
+#include <cassert>
+
+using namespace dggt;
+
+std::vector<GgNodeId> dggt::candidateOccurrences(const GrammarGraph &GG,
+                                                 const ApiDocument &Doc,
+                                                 const WordToApiMap &Words,
+                                                 unsigned DepNode) {
+  std::vector<GgNodeId> Occ;
+  for (const ApiCandidate &C : Words.forNode(DepNode))
+    for (GgNodeId Node : GG.apiOccurrences(Doc.api(C.ApiIndex).Name))
+      Occ.push_back(Node);
+  return Occ;
+}
+
+EdgeToPathMap dggt::buildEdgeToPath(const GrammarGraph &GG,
+                                    const ApiDocument &Doc,
+                                    const DependencyGraph &Pruned,
+                                    const WordToApiMap &Words,
+                                    const PathSearchLimits &Limits) {
+  EdgeToPathMap Map;
+  if (Pruned.size() == 0 || !Pruned.hasRoot())
+    return Map;
+
+  unsigned NextPathId = 1;
+  auto SearchEdge = [&](SynthEdge Edge,
+                        const std::vector<GgNodeId> &GovTargets) {
+    EdgePaths EP;
+    EP.Edge = Edge;
+    // Search per dependent candidate so each recorded path carries the
+    // WordToAPI score it realizes.
+    for (const ApiCandidate &C : Words.forNode(Edge.DepNode)) {
+      if (GovTargets.empty())
+        break;
+      for (GgNodeId Start : GG.apiOccurrences(Doc.api(C.ApiIndex).Name)) {
+        PathSearchResult R = findPathsBetween(GG, Start, GovTargets, Limits);
+        EP.Truncated |= R.Truncated;
+        for (GrammarPath &P : R.Paths) {
+          P.Id = NextPathId++;
+          P.DepScore = C.Score;
+          EP.Paths.push_back(std::move(P));
+        }
+      }
+    }
+    Map.Edges.push_back(std::move(EP));
+  };
+
+  // Root pseudo-edge: grammar start -> root word.
+  {
+    SynthEdge Root;
+    Root.GovNode = std::nullopt;
+    Root.DepNode = Pruned.root();
+    Root.Level = 1;
+    SearchEdge(Root, {GG.startNode()});
+  }
+
+  // Real dependency edges, in declaration order.
+  for (const DepEdge &E : Pruned.edges()) {
+    SynthEdge SE;
+    SE.GovNode = E.Governor;
+    SE.DepNode = E.Dependent;
+    SE.Level = Pruned.depthOf(E.Dependent);
+    SearchEdge(SE, candidateOccurrences(GG, Doc, Words, E.Governor));
+  }
+  return Map;
+}

@@ -1,0 +1,91 @@
+//===- synth/EdgeToPath.h - EdgeToPath map (step 4) ---------------*- C++ -*-===//
+///
+/// \file
+/// The EdgeToPath map of the HISyn pipeline: for every edge of the pruned
+/// dependency graph (plus the pseudo-edge connecting the grammar start
+/// symbol to the query's root word), the set of candidate grammar paths
+/// found by reversed all-path search.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_SYNTH_EDGETOPATH_H
+#define DGGT_SYNTH_EDGETOPATH_H
+
+#include "grammar/PathSearch.h"
+#include "nlp/DependencyGraph.h"
+#include "nlu/WordToApiMatcher.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dggt {
+
+/// One synthesis edge: a dependency edge, or the root pseudo-edge.
+struct SynthEdge {
+  /// Governor dependency node; nullopt for the root pseudo-edge (the
+  /// governor is the grammar start symbol).
+  std::optional<unsigned> GovNode;
+  /// Dependent dependency node.
+  unsigned DepNode = 0;
+  /// Level = depth of the dependent in the pruned graph (root edge: 1).
+  unsigned Level = 1;
+};
+
+/// The candidate paths of one synthesis edge.
+struct EdgePaths {
+  SynthEdge Edge;
+  std::vector<GrammarPath> Paths;
+  bool Truncated = false;
+
+  bool isOrphanEdge() const { return Paths.empty(); }
+};
+
+/// The full map plus bookkeeping used by Table III.
+struct EdgeToPathMap {
+  std::vector<EdgePaths> Edges;
+  /// Total candidate paths over all edges (Table III "# of orig. path").
+  unsigned totalPaths() const {
+    unsigned N = 0;
+    for (const EdgePaths &E : Edges)
+      N += static_cast<unsigned>(E.Paths.size());
+    return N;
+  }
+  /// Product of per-edge path counts (Table III "# of comb."), as a
+  /// double because it reaches 1e10.
+  double totalCombinations() const {
+    double P = 1.0;
+    for (const EdgePaths &E : Edges)
+      P *= static_cast<double>(E.Paths.empty() ? 1 : E.Paths.size());
+    return P;
+  }
+  /// Dependency nodes whose incoming edge found no path (orphans).
+  std::vector<unsigned> orphanDependents() const {
+    std::vector<unsigned> Out;
+    for (const EdgePaths &E : Edges)
+      if (E.isOrphanEdge())
+        Out.push_back(E.Edge.DepNode);
+    return Out;
+  }
+};
+
+/// Builds the EdgeToPath map for \p Pruned under \p Words.
+///
+/// For a dependency edge (n1 -> n2) the governor targets are all
+/// occurrences of all of n1's candidate APIs and the dependent starts are
+/// all occurrences of n2's candidates. The root pseudo-edge searches from
+/// the grammar start node. Path ids are assigned globally, in order.
+EdgeToPathMap buildEdgeToPath(const GrammarGraph &GG, const ApiDocument &Doc,
+                              const DependencyGraph &Pruned,
+                              const WordToApiMap &Words,
+                              const PathSearchLimits &Limits = {});
+
+/// Grammar occurrences of every candidate API of \p DepNode.
+std::vector<GgNodeId> candidateOccurrences(const GrammarGraph &GG,
+                                           const ApiDocument &Doc,
+                                           const WordToApiMap &Words,
+                                           unsigned DepNode);
+
+} // namespace dggt
+
+#endif // DGGT_SYNTH_EDGETOPATH_H

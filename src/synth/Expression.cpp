@@ -1,0 +1,82 @@
+//===- synth/Expression.cpp - TreeToExpression (step 6) -------------------===//
+
+#include "synth/Expression.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace dggt;
+
+namespace {
+
+/// Recursive renderer. NT/derivation nodes are transparent: they forward
+/// the comma-joined renderings of their children.
+class Renderer {
+public:
+  Renderer(const GrammarGraph &GG, const ApiDocument &Doc, const Cgt &Tree)
+      : GG(GG), Doc(Doc), Tree(Tree) {}
+
+  std::string render(GgNodeId Node) const {
+    const GgNode &N = GG.node(Node);
+    if (N.Kind != GgNodeKind::Api)
+      return renderChildren(Node);
+
+    const ApiInfo *Api = Doc.byName(N.Name);
+    assert(Api && "grammar API terminal missing from the document");
+    auto LitIt = Tree.literals().find(Node);
+    const std::string *Lit =
+        LitIt == Tree.literals().end() ? nullptr : &LitIt->second;
+
+    if (Api->LiteralOnly) {
+      std::string Value = Lit ? *Lit : std::string(Api->renderedName());
+      return Api->QuoteLiteral ? "\"" + Value + "\"" : Value;
+    }
+
+    std::string Args;
+    if (Api->Lit != LitKind::None && Lit)
+      Args = Api->QuoteLiteral ? "\"" + *Lit + "\"" : *Lit;
+    std::string Children = renderChildren(Node);
+    if (!Children.empty()) {
+      if (!Args.empty())
+        Args += ", ";
+      Args += Children;
+    }
+    return std::string(Api->renderedName()) + "(" + Args + ")";
+  }
+
+private:
+  std::string renderChildren(GgNodeId Node) const {
+    std::string Out;
+    for (GgNodeId Child : Tree.orderedChildren(GG, Node)) {
+      std::string Part = render(Child);
+      if (Part.empty())
+        continue;
+      if (!Out.empty())
+        Out += ", ";
+      Out += Part;
+    }
+    return Out;
+  }
+
+  const GrammarGraph &GG;
+  const ApiDocument &Doc;
+  const Cgt &Tree;
+};
+
+} // namespace
+
+std::string dggt::renderExpression(const GrammarGraph &GG,
+                                   const ApiDocument &Doc, const Cgt &Tree) {
+  std::optional<GgNodeId> Root = Tree.rootIfTree();
+  assert(Root && "renderExpression requires a tree");
+  return Renderer(GG, Doc, Tree).render(*Root);
+}
+
+std::string dggt::normalizeExpression(std::string_view Expr) {
+  std::string Out;
+  Out.reserve(Expr.size());
+  for (unsigned char C : Expr)
+    if (!std::isspace(C))
+      Out.push_back(static_cast<char>(C));
+  return Out;
+}

@@ -1,0 +1,36 @@
+//===- synth/Expression.h - TreeToExpression (step 6) -------------*- C++ -*-===//
+///
+/// \file
+/// Step 6 of the HISyn pipeline: depth-first traversal of the smallest
+/// CGT, putting the APIs together into the final expression. Children of
+/// a node are the parameters of the API in their parent node (Section II).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_SYNTH_EXPRESSION_H
+#define DGGT_SYNTH_EXPRESSION_H
+
+#include "nlu/ApiDocument.h"
+#include "synth/Cgt.h"
+
+#include <string>
+
+namespace dggt {
+
+/// Renders \p Tree as a codelet string.
+///
+/// API nodes emit `name(arg1, arg2, ...)`; literal-only pseudo-APIs emit
+/// their literal (quoted when the API says so); APIs with an absorbed
+/// literal emit it as their first argument; non-terminal and derivation
+/// nodes are transparent. \p Tree must be valid (asserted).
+std::string renderExpression(const GrammarGraph &GG, const ApiDocument &Doc,
+                             const Cgt &Tree);
+
+/// Normalizes an expression for comparison: strips whitespace. Ground
+/// truths and synthesized codelets are compared with this (the paper's
+/// accuracy criterion: identical APIs, arguments and relative order).
+std::string normalizeExpression(std::string_view Expr);
+
+} // namespace dggt
+
+#endif // DGGT_SYNTH_EXPRESSION_H

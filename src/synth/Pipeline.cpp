@@ -1,0 +1,56 @@
+//===- synth/Pipeline.cpp - Shared steps 1-4 of the pipeline --------------===//
+
+#include "synth/Pipeline.h"
+
+#include "nlp/GraphPruner.h"
+#include "synth/Synthesizer.h"
+
+using namespace dggt;
+
+Synthesizer::~Synthesizer() = default;
+
+std::string_view dggt::statusName(SynthesisResult::Status St) {
+  switch (St) {
+  case SynthesisResult::Status::Success:
+    return "success";
+  case SynthesisResult::Status::Timeout:
+    return "timeout";
+  case SynthesisResult::Status::NoCandidates:
+    return "no-candidates";
+  case SynthesisResult::Status::NoValidTree:
+    return "no-valid-tree";
+  }
+  return "unknown";
+}
+
+bool PreparedQuery::allWordsMapped() const {
+  for (unsigned Id = 0; Id < Pruned.size(); ++Id)
+    if (Words.forNode(Id).empty())
+      return false;
+  return Pruned.size() > 0;
+}
+
+SynthesisFrontEnd::SynthesisFrontEnd(const GrammarGraph &GG,
+                                     const ApiDocument &Doc,
+                                     const Thesaurus &Syn,
+                                     MatcherOptions MatchOpts,
+                                     PathSearchLimits Limits,
+                                     PruneOptions Prune)
+    : GG(GG), Doc(Doc), Matcher(Doc, Syn, MatchOpts), Limits(Limits),
+      Prune(std::move(Prune)) {}
+
+PreparedQuery SynthesisFrontEnd::prepare(std::string_view Query) const {
+  return prepareFromGraph(parseAndPrune(Query, Prune));
+}
+
+PreparedQuery
+SynthesisFrontEnd::prepareFromGraph(const DependencyGraph &Pruned) const {
+  PreparedQuery Q;
+  Q.GG = &GG;
+  Q.Doc = &Doc;
+  Q.Pruned = Pruned;
+  Q.Limits = Limits;
+  Q.Words = Matcher.mapGraph(Q.Pruned);
+  Q.Edges = buildEdgeToPath(GG, Doc, Q.Pruned, Q.Words, Limits);
+  return Q;
+}

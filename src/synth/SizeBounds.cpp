@@ -1,0 +1,27 @@
+//===- synth/SizeBounds.cpp - Size-based pruning bounds -------------------===//
+
+#include "synth/SizeBounds.h"
+
+#include <cassert>
+#include <set>
+
+using namespace dggt;
+
+ComboSizeBounds
+dggt::computeSizeBounds(const GrammarGraph &GG,
+                        const std::vector<const GrammarPath *> &Combo) {
+  assert(!Combo.empty() && "bounds of an empty combination");
+  std::set<GgNodeId> UnionApis;
+  unsigned SumSizes = 0;
+  for (const GrammarPath *P : Combo) {
+    SumSizes += P->ApiCount;
+    for (GgNodeId N : P->Nodes)
+      if (GG.node(N).Kind == GgNodeKind::Api)
+        UnionApis.insert(N);
+  }
+  ComboSizeBounds B;
+  B.MinSize = static_cast<unsigned>(UnionApis.size());
+  unsigned N = static_cast<unsigned>(Combo.size());
+  B.MaxSize = SumSizes >= (N - 1) ? SumSizes - (N - 1) : 0;
+  return B;
+}

@@ -1,0 +1,34 @@
+//===- synth/SizeBounds.h - Size-based pruning bounds -------------*- C++ -*-===//
+///
+/// \file
+/// The size bounds of Section V-C: for a path combination c = {p1..pn},
+///
+///   |union of APIs on the pi|  <=  size(c)  <=  sum size(pi) - (n - 1),
+///
+/// where the upper bound assumes only the shared governor API fuses and
+/// the lower bound assumes all common APIs fuse. Size-based pruning drops
+/// any combination whose lower bound exceeds the smallest upper bound
+/// among all combinations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_SYNTH_SIZEBOUNDS_H
+#define DGGT_SYNTH_SIZEBOUNDS_H
+
+#include "grammar/GrammarPath.h"
+
+namespace dggt {
+
+/// Lower/upper bounds on the merged size of one path combination.
+struct ComboSizeBounds {
+  unsigned MinSize = 0; ///< |union of APIs| over the combination's paths.
+  unsigned MaxSize = 0; ///< sum of path sizes minus (n - 1).
+};
+
+/// Computes the bounds for the paths in \p Combo (non-empty).
+ComboSizeBounds computeSizeBounds(const GrammarGraph &GG,
+                                  const std::vector<const GrammarPath *> &Combo);
+
+} // namespace dggt
+
+#endif // DGGT_SYNTH_SIZEBOUNDS_H

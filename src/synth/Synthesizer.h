@@ -1,0 +1,97 @@
+//===- synth/Synthesizer.h - Synthesizer interface -----------------*- C++ -*-===//
+///
+/// \file
+/// Common interface of the two synthesizers (the HISyn baseline and
+/// DGGT), the per-query statistics record that Table III reports, and
+/// the synthesis outcome type.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_SYNTH_SYNTHESIZER_H
+#define DGGT_SYNTH_SYNTHESIZER_H
+
+#include "support/Budget.h"
+#include "synth/Pipeline.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dggt {
+
+/// Per-query pipeline counters (the Table III funnel).
+struct SynthesisStats {
+  unsigned DepEdges = 0;        ///< Edges incl. the root pseudo-edge.
+  unsigned OriginalPaths = 0;   ///< Paths before any optimization.
+  double OriginalCombos = 0;    ///< Product of per-edge path counts.
+  unsigned Orphans = 0;         ///< Orphan dependents detected.
+  unsigned PathsAfterReloc = 0; ///< Paths after orphan relocation.
+  double CombosAfterReloc = 0;  ///< Sibling-group combos after relocation.
+  uint64_t PrunedByGrammar = 0; ///< Combos removed by grammar pruning.
+  uint64_t PrunedBySize = 0;    ///< Combos removed by size-based pruning.
+  uint64_t RemainingCombos = 0; ///< Combos actually merged to prefix trees.
+  uint64_t ExaminedCombos = 0;  ///< Combos the baseline examined.
+  uint64_t PrefixTreesBuilt = 0;
+  unsigned VariantsTried = 1;   ///< Relocated graph variants synthesized.
+};
+
+/// The full CGT selection objective, minimized lexicographically:
+/// smallest CGT first (the paper's criterion), then the highest total
+/// WordToAPI score of the realized word-to-API assignment, then the
+/// smallest total grammar-path length (tightest query-to-grammar
+/// correspondence). The two tie-break tiers disambiguate size-equal
+/// readings deterministically and identically in both synthesizers.
+struct CgtObjective {
+  unsigned Size = 0;
+  double Score = 0.0;
+  unsigned Len = 0;
+
+  bool betterThan(const CgtObjective &O) const {
+    if (Size != O.Size)
+      return Size < O.Size;
+    if (Score != O.Score)
+      return Score > O.Score;
+    return Len < O.Len;
+  }
+};
+
+/// Outcome of synthesizing one query.
+struct SynthesisResult {
+  enum class Status {
+    Success,      ///< A valid smallest CGT was found.
+    Timeout,      ///< The budget expired first.
+    NoCandidates, ///< Some word matched no API.
+    NoValidTree,  ///< All combinations were structurally invalid.
+  };
+
+  Status St = Status::NoValidTree;
+  std::string Expression; ///< Codelet (Success only).
+  unsigned CgtSize = 0;   ///< API count of the chosen CGT (Success only).
+  /// The chosen CGT's full objective (CgtSize duplicates Objective.Size).
+  CgtObjective Objective;
+  SynthesisStats Stats;
+
+  bool ok() const { return St == Status::Success; }
+};
+
+/// Returns a short name for \p St.
+std::string_view statusName(SynthesisResult::Status St);
+
+/// Abstract synthesizer: consumes a prepared query (steps 1-4 done) and
+/// runs steps 5-6 under a budget.
+class Synthesizer {
+public:
+  virtual ~Synthesizer();
+
+  /// Human-readable algorithm name ("HISyn", "DGGT").
+  virtual std::string_view name() const = 0;
+
+  /// Synthesizes the codelet for \p Query. Checks \p B cooperatively and
+  /// returns Timeout when it expires.
+  virtual SynthesisResult synthesize(const PreparedQuery &Query,
+                                     Budget &B) const = 0;
+};
+
+} // namespace dggt
+
+#endif // DGGT_SYNTH_SYNTHESIZER_H

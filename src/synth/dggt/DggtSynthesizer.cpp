@@ -1,0 +1,493 @@
+//===- synth/dggt/DggtSynthesizer.cpp - DGGT (Algorithm 1) ----------------===//
+
+#include "synth/dggt/DggtSynthesizer.h"
+
+#include "synth/Expression.h"
+#include "synth/SizeBounds.h"
+#include "synth/dggt/GrammarBasedPruning.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+using namespace dggt;
+
+namespace {
+
+/// One bottom-up construction of the dynamic grammar graph (step 1 of
+/// Algorithm 1) plus the optimal-CGT backtrack (step 2), for a single
+/// pruned-graph variant.
+class VariantRun {
+public:
+  VariantRun(const PreparedQuery &Q, const DependencyGraph &Graph,
+             const EdgeToPathMap &Edges, const DggtSynthesizer::Options &Opts,
+             Budget &B)
+      : Q(Q), GG(*Q.GG), Graph(Graph), Edges(Edges), Opts(Opts), B(B) {}
+
+  SynthesisResult run() {
+    Result.Stats.DepEdges = static_cast<unsigned>(Edges.Edges.size());
+    Result.Stats.PathsAfterReloc = Edges.totalPaths();
+    if (Edges.Edges.empty()) {
+      Result.St = SynthesisResult::Status::NoValidTree;
+      return Result;
+    }
+    indexEdges();
+
+    // Bottom-up over dependency nodes, deepest first (Algorithm 1 lines
+    // 2-22).
+    std::vector<unsigned> Order(Graph.size());
+    for (unsigned I = 0; I < Graph.size(); ++I)
+      Order[I] = I;
+    std::sort(Order.begin(), Order.end(), [&](unsigned A, unsigned C) {
+      unsigned DA = Graph.depthOf(A), DC = Graph.depthOf(C);
+      if (DA != DC)
+        return DA > DC;
+      return A < C;
+    });
+    for (unsigned Node : Order) {
+      if (ChildGroups.count(Node))
+        processInternal(Node);
+      else
+        makeLeaf(Node);
+      if (TimedOut) {
+        Result.St = SynthesisResult::Status::Timeout;
+        return Result;
+      }
+    }
+
+    finalize();
+    return Result;
+  }
+
+  DynamicGrammarGraph takeGraph() { return std::move(Dyn); }
+
+private:
+  const PreparedQuery &Q;
+  const GrammarGraph &GG;
+  const DependencyGraph &Graph;
+  const EdgeToPathMap &Edges;
+  const DggtSynthesizer::Options &Opts;
+  Budget &B;
+
+  DynamicGrammarGraph Dyn;
+  SynthesisResult Result;
+  bool TimedOut = false;
+
+  /// Child synthesis edges grouped by governor dependency node.
+  std::map<unsigned, std::vector<const EdgePaths *>> ChildGroups;
+  const EdgePaths *PseudoRootEdge = nullptr;
+  /// Dependents of unrelocatable orphan edges: reattached to the grammar
+  /// root at finalize() time (HISyn-style fallback).
+  std::vector<unsigned> RootAttached;
+
+  void indexEdges() {
+    for (const EdgePaths &EP : Edges.Edges) {
+      if (!EP.Edge.GovNode) {
+        PseudoRootEdge = &EP;
+        continue;
+      }
+      if (EP.isOrphanEdge()) {
+        RootAttached.push_back(EP.Edge.DepNode);
+        continue;
+      }
+      ChildGroups[*EP.Edge.GovNode].push_back(&EP);
+    }
+  }
+
+  std::vector<GgNodeId> occurrencesOf(unsigned DepNode) const {
+    return candidateOccurrences(GG, *Q.Doc, Q.Words, DepNode);
+  }
+
+  /// Annotates the dependency node's literal payload onto grammar node
+  /// \p Occ inside \p Tree.
+  void annotate(Cgt &Tree, unsigned Dep, GgNodeId Occ) const {
+    const DepNode &N = Graph.node(Dep);
+    if (N.Literal)
+      Tree.annotateLiteral(Occ, *N.Literal);
+  }
+
+  void makeLeaf(unsigned Node) {
+    for (GgNodeId Occ : occurrencesOf(Node)) {
+      DynNodeId Id = Dyn.getOrCreateApiNode(Node, Occ);
+      Cgt Tree;
+      Tree.setSoloNode(Occ);
+      annotate(Tree, Node, Occ);
+      Dyn.relax(Id, CgtObjective{1, 0.0, 0}, std::move(Tree));
+      Dyn.addAuxEdge(Dyn.startNode(), Id);
+    }
+  }
+
+  /// Feasible paths of edge \p EP that start at governor occurrence
+  /// \p Occ and whose dependent endpoint has a reached dynamic node.
+  std::vector<const GrammarPath *> feasiblePaths(const EdgePaths &EP,
+                                                 GgNodeId Occ) const {
+    std::vector<const GrammarPath *> F;
+    for (const GrammarPath &P : EP.Paths) {
+      if (P.governorEnd() != Occ)
+        continue;
+      DynNodeId D = Dyn.findApiNode(EP.Edge.DepNode, P.dependentEnd());
+      if (D != ~0u && Dyn.node(D).Reached)
+        F.push_back(&P);
+    }
+    return F;
+  }
+
+  /// Case I of Algorithm 1 (lines 5-11): single child edge.
+  void singleChild(unsigned Node, GgNodeId Occ, const EdgePaths &EP) {
+    for (const GrammarPath *P : feasiblePaths(EP, Occ)) {
+      DynNodeId Dep = Dyn.findApiNode(EP.Edge.DepNode, P->dependentEnd());
+      const DynNode &DN = Dyn.node(Dep);
+      // The dependent endpoint API is counted in both the path and the
+      // child's partial CGT; subtract the double count.
+      CgtObjective Obj = DN.Obj;
+      Obj.Size += P->ApiCount - 1;
+      Obj.Score += P->DepScore;
+      Obj.Len += static_cast<unsigned>(P->Nodes.size());
+      Cgt Tree = DN.MinCgt;
+      Tree.addPath(*P);
+      annotate(Tree, Node, Occ);
+      DynNodeId Id = Dyn.getOrCreateApiNode(Node, Occ);
+      Dyn.addPathEdge(Dep, Id, P->Id);
+      Dyn.relax(Id, Obj, std::move(Tree));
+    }
+  }
+
+  /// Effective bounds of one sibling combination: the Section V-C path
+  /// bounds plus the (combination-dependent) subtree sizes below each
+  /// chosen endpoint, so pruning can never discard a combination whose
+  /// *overall* tree is the smallest.
+  ComboSizeBounds effectiveBounds(
+      const std::vector<const GrammarPath *> &Combo,
+      const std::vector<const EdgePaths *> &Group) const {
+    ComboSizeBounds BD = computeSizeBounds(GG, Combo);
+    unsigned Extra = 0;
+    for (size_t I = 0; I < Combo.size(); ++I) {
+      DynNodeId D = Dyn.findApiNode(Group[I]->Edge.DepNode,
+                                    Combo[I]->dependentEnd());
+      assert(D != ~0u && "feasible path without dyn node");
+      Extra += Dyn.node(D).minSize() - 1;
+    }
+    BD.MinSize += Extra;
+    BD.MaxSize += Extra;
+    return BD;
+  }
+
+  /// Case II of Algorithm 1 (lines 12-22): sibling edges. Enumerates the
+  /// local combinations with grammar-based pruning (DFS cutoffs), applies
+  /// size-based pruning, merges survivors into prefix trees, and relaxes
+  /// N_PCGT / N_API nodes.
+  void siblingGroup(unsigned Node, GgNodeId Occ,
+                    const std::vector<const EdgePaths *> &Group) {
+    std::vector<std::vector<const GrammarPath *>> F(Group.size());
+    double Total = 1.0;
+    for (size_t I = 0; I < Group.size(); ++I) {
+      F[I] = feasiblePaths(*Group[I], Occ);
+      if (F[I].empty())
+        return; // This occurrence cannot govern all children.
+      Total *= static_cast<double>(F[I].size());
+    }
+    Result.Stats.CombosAfterReloc += Total;
+
+    // Pass 1: find the smallest max-bound among surviving combinations
+    // (grammar pruning applied during the walk).
+    unsigned CMin = ~0u;
+    std::vector<const GrammarPath *> Choice(Group.size());
+    OrChoiceTracker Tracker(GG);
+
+    auto RemainingBelow = [&](size_t Level) {
+      double Prod = 1.0;
+      for (size_t J = Level + 1; J < F.size(); ++J)
+        Prod *= static_cast<double>(F[J].size());
+      return Prod;
+    };
+
+    auto Walk = [&](auto &&Self, size_t Level, auto &&Visit) -> void {
+      if (TimedOut)
+        return;
+      if (B.expired()) {
+        TimedOut = true;
+        return;
+      }
+      if (Level == F.size()) {
+        Visit();
+        return;
+      }
+      for (const GrammarPath *P : F[Level]) {
+        Choice[Level] = P;
+        if (Opts.EnableGrammarPruning) {
+          if (!Tracker.tryAdd(*P)) {
+            Result.Stats.PrunedByGrammar +=
+                static_cast<uint64_t>(RemainingBelow(Level));
+            continue;
+          }
+          Self(Self, Level + 1, Visit);
+          Tracker.pop();
+        } else {
+          Self(Self, Level + 1, Visit);
+        }
+        if (TimedOut)
+          return;
+      }
+    };
+
+    uint64_t Survivors = 0;
+    Walk(Walk, 0, [&] {
+      ++Survivors;
+      if (Opts.EnableSizePruning)
+        CMin = std::min(CMin, effectiveBounds(Choice, Group).MaxSize);
+    });
+    if (TimedOut || Survivors == 0)
+      return;
+
+    // Pass 2: merge the survivors that size-based pruning keeps.
+    Tracker.clear();
+    Walk(Walk, 0, [&] {
+      if (Opts.EnableSizePruning &&
+          effectiveBounds(Choice, Group).MinSize > CMin) {
+        ++Result.Stats.PrunedBySize;
+        return;
+      }
+      ++Result.Stats.RemainingCombos;
+      mergeCombination(Node, Occ, Group, Choice);
+    });
+  }
+
+  /// Merges one surviving combination into a prefix tree, joins the child
+  /// partial CGTs, and relaxes the N_PCGT and N_API nodes.
+  void mergeCombination(unsigned Node, GgNodeId Occ,
+                        const std::vector<const EdgePaths *> &Group,
+                        const std::vector<const GrammarPath *> &Combo) {
+    Cgt Full;
+    CgtObjective Obj;
+    for (const GrammarPath *P : Combo) {
+      Full.addPath(*P);
+      Obj.Score += P->DepScore;
+      Obj.Len += static_cast<unsigned>(P->Nodes.size());
+    }
+    for (size_t I = 0; I < Combo.size(); ++I) {
+      DynNodeId D =
+          Dyn.findApiNode(Group[I]->Edge.DepNode, Combo[I]->dependentEnd());
+      Full.merge(Dyn.node(D).MinCgt);
+      Obj.Score += Dyn.node(D).Obj.Score;
+      Obj.Len += Dyn.node(D).Obj.Len;
+    }
+    annotate(Full, Node, Occ);
+    ++Result.Stats.PrefixTreesBuilt;
+
+    // A fused combination can still be structurally invalid (a node
+    // reached via two parents) or — with grammar pruning disabled —
+    // or-conflicting; such merges are discarded here.
+    std::optional<GgNodeId> Root = Full.rootIfTree();
+    if (!Root || *Root != Occ || Full.hasOrConflict(GG) ||
+        Full.literalConflict())
+      return;
+
+    Obj.Size = Full.apiCount(GG);
+    DynNodeId PcgtId = Dyn.addPcgtNode(Node, Occ);
+    for (size_t I = 0; I < Combo.size(); ++I) {
+      DynNodeId D =
+          Dyn.findApiNode(Group[I]->Edge.DepNode, Combo[I]->dependentEnd());
+      Dyn.addPathEdge(D, PcgtId, Combo[I]->Id);
+    }
+    Dyn.relax(PcgtId, Obj, Full);
+
+    DynNodeId ApiId = Dyn.getOrCreateApiNode(Node, Occ);
+    Dyn.addAuxEdge(PcgtId, ApiId);
+    Dyn.relax(ApiId, Obj, std::move(Full));
+  }
+
+  void processInternal(unsigned Node) {
+    const std::vector<const EdgePaths *> &Group = ChildGroups.at(Node);
+    for (GgNodeId Occ : occurrencesOf(Node)) {
+      if (Group.size() == 1)
+        singleChild(Node, Occ, *Group.front());
+      else
+        siblingGroup(Node, Occ, Group);
+      if (TimedOut)
+        return;
+    }
+  }
+
+  /// Step 2 of Algorithm 1: connect the grammar start to the root word's
+  /// best partial CGTs, splice in root-attached orphans, and emit.
+  void finalize() {
+    if (!PseudoRootEdge) {
+      Result.St = SynthesisResult::Status::NoValidTree;
+      return;
+    }
+    // The node standing for the grammar root in the dynamic graph.
+    DynNodeId RootDyn = Dyn.getOrCreateApiNode(~0u, GG.startNode());
+    for (const GrammarPath &P : PseudoRootEdge->Paths) {
+      DynNodeId D = Dyn.findApiNode(PseudoRootEdge->Edge.DepNode,
+                                    P.dependentEnd());
+      if (D == ~0u || !Dyn.node(D).Reached)
+        continue;
+      const DynNode &DN = Dyn.node(D);
+      CgtObjective Obj = DN.Obj;
+      Obj.Size += P.ApiCount - 1;
+      Obj.Score += P.DepScore;
+      Obj.Len += static_cast<unsigned>(P.Nodes.size());
+      Cgt Tree = DN.MinCgt;
+      Tree.addPath(P);
+      Dyn.addPathEdge(D, RootDyn, P.Id);
+      Dyn.relax(RootDyn, Obj, std::move(Tree));
+    }
+    if (!Dyn.node(RootDyn).Reached) {
+      Result.St = SynthesisResult::Status::NoValidTree;
+      return;
+    }
+
+    Cgt Final = Dyn.node(RootDyn).MinCgt;
+    CgtObjective FinalObj = Dyn.node(RootDyn).Obj;
+    // HISyn-style fallback for orphans no plausible governor accepted:
+    // attach their best subtree under the grammar root directly. An
+    // attachment that would invalidate the tree is skipped (graceful
+    // degradation; the baseline fails outright on these).
+    for (unsigned Orphan : RootAttached) {
+      std::optional<Cgt> BestAdd;
+      CgtObjective BestObj{~0u, -1.0, ~0u};
+      for (GgNodeId Occ : occurrencesOf(Orphan)) {
+        DynNodeId D = Dyn.findApiNode(Orphan, Occ);
+        if (D == ~0u || !Dyn.node(D).Reached)
+          continue;
+        PathSearchResult R = findPathsFromStart(GG, Occ, Q.Limits);
+        for (const GrammarPath &P : R.Paths) {
+          CgtObjective Obj = Dyn.node(D).Obj;
+          Obj.Size += P.ApiCount - 1;
+          Obj.Score += 1.0;
+          Obj.Len += static_cast<unsigned>(P.Nodes.size());
+          Cgt Add = Dyn.node(D).MinCgt;
+          Add.addPath(P);
+          Add.merge(Final);
+          if (!Obj.betterThan(BestObj) || !Add.isValid(GG))
+            continue;
+          BestObj = Obj;
+          Add = Dyn.node(D).MinCgt;
+          Add.addPath(P);
+          BestAdd = std::move(Add);
+        }
+      }
+      if (BestAdd)
+        Final.merge(*BestAdd);
+    }
+
+    if (!Final.isValid(GG)) {
+      Result.St = SynthesisResult::Status::NoValidTree;
+      return;
+    }
+    Result.St = SynthesisResult::Status::Success;
+    Result.CgtSize = Final.apiCount(GG);
+    Result.Objective = FinalObj;
+    Result.Objective.Size = Result.CgtSize;
+    Result.Expression = renderExpression(GG, *Q.Doc, Final);
+  }
+};
+
+/// True when \p A and \p B have identical edge sets (so the original
+/// EdgeToPath map can be reused for the un-relocated variant).
+bool sameEdges(const DependencyGraph &A, const DependencyGraph &B) {
+  if (A.size() != B.size() || A.edges().size() != B.edges().size())
+    return false;
+  for (size_t I = 0; I < A.edges().size(); ++I) {
+    const DepEdge &EA = A.edges()[I], &EB = B.edges()[I];
+    if (EA.Governor != EB.Governor || EA.Dependent != EB.Dependent)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+SynthesisResult
+DggtSynthesizer::synthesizeVariant(const PreparedQuery &Query,
+                                   const DependencyGraph &Variant,
+                                   const EdgeToPathMap &Edges, Budget &B,
+                                   DynamicGrammarGraph *Export) const {
+  VariantRun Run(Query, Variant, Edges, Opts, B);
+  SynthesisResult R = Run.run();
+  if (Export)
+    *Export = Run.takeGraph();
+  return R;
+}
+
+SynthesisResult DggtSynthesizer::synthesize(const PreparedQuery &Query,
+                                            Budget &B) const {
+  SynthesisResult Result;
+  if (!Query.allWordsMapped()) {
+    Result.St = SynthesisResult::Status::NoCandidates;
+    return Result;
+  }
+  assert(Query.GG && Query.Doc && "unprepared query");
+
+  SynthesisStats Base;
+  Base.DepEdges = static_cast<unsigned>(Query.Edges.Edges.size());
+  Base.OriginalPaths = Query.Edges.totalPaths();
+  Base.OriginalCombos = Query.Edges.totalCombinations();
+  Base.Orphans = static_cast<unsigned>(effectiveOrphans(Query).size());
+
+  std::vector<DependencyGraph> Variants;
+  if (Opts.EnableOrphanRelocation) {
+    RelocationResult Reloc = relocateOrphans(Query, Opts.Relocation);
+    Variants = std::move(Reloc.Variants);
+  } else {
+    Variants.push_back(Query.Pruned);
+  }
+
+  std::optional<SynthesisResult> Best;
+  for (const DependencyGraph &Variant : Variants) {
+    EdgeToPathMap Rebuilt;
+    const EdgeToPathMap *Edges = &Query.Edges;
+    if (!sameEdges(Variant, Query.Pruned)) {
+      Rebuilt = buildEdgeToPath(*Query.GG, *Query.Doc, Variant, Query.Words,
+                                Query.Limits);
+      Edges = &Rebuilt;
+    }
+    SynthesisResult R = synthesizeVariant(Query, Variant, *Edges, B);
+    if (std::getenv("DGGT_DEBUG_VARIANTS"))
+      std::fprintf(stderr, "variant: %s '%s' paths=%u\n",
+                   std::string(statusName(R.St)).c_str(),
+                   R.Expression.c_str(), R.Stats.PathsAfterReloc);
+    if (R.St == SynthesisResult::Status::Timeout) {
+      Result.St = SynthesisResult::Status::Timeout;
+      Result.Stats = Base;
+      Result.Stats.VariantsTried =
+          static_cast<unsigned>(Variants.size());
+      return Result;
+    }
+    if (R.ok() && (!Best || R.Objective.betterThan(Best->Objective)))
+      Best = std::move(R);
+  }
+
+  if (!Best && Opts.EnableOrphanRelocation && Base.Orphans > 0) {
+    // Every relocated placement conflicted; fall back to the original
+    // graph, where orphan subtrees hang off the grammar root and an
+    // attachment that cannot merge is dropped gracefully.
+    SynthesisResult R =
+        synthesizeVariant(Query, Query.Pruned, Query.Edges, B);
+    if (R.St == SynthesisResult::Status::Timeout) {
+      Result.St = R.St;
+      Result.Stats = Base;
+      return Result;
+    }
+    if (R.ok())
+      Best = std::move(R);
+  }
+
+  if (!Best) {
+    Result.St = SynthesisResult::Status::NoValidTree;
+    Result.Stats = Base;
+    Result.Stats.VariantsTried = static_cast<unsigned>(Variants.size());
+    return Result;
+  }
+  Result = std::move(*Best);
+  // Keep the chosen variant's funnel counters; restore the pre-relocation
+  // figures from the original map (Table III's left columns).
+  Result.Stats.OriginalPaths = Base.OriginalPaths;
+  Result.Stats.OriginalCombos = Base.OriginalCombos;
+  Result.Stats.Orphans = Base.Orphans;
+  Result.Stats.VariantsTried = static_cast<unsigned>(Variants.size());
+  return Result;
+}

@@ -1,0 +1,66 @@
+//===- synth/dggt/DggtSynthesizer.h - DGGT (Algorithm 1) ----------*- C++ -*-===//
+///
+/// \file
+/// Dynamic grammar graph-based translation (Sections IV-V): the paper's
+/// contribution. Instead of enumerating the full cross product of
+/// candidate paths over *all* dependency edges at once (HISyn), DGGT
+///
+///  1. relocates orphan nodes using grammar ancestry (Section V-B),
+///  2. walks the pruned dependency graph bottom-up, building a dynamic
+///     grammar graph whose nodes memoize the optimal partial CGT
+///     (min_cgt/min_size) per (dependency node, API occurrence),
+///  3. within each sibling group enumerates only the local combinations,
+///     cut down by grammar-based pruning (Section V-A) and size-based
+///     pruning (Section V-C), and
+///  4. backtracks the dynamic grammar graph to join the optimal partial
+///     CGTs into the final smallest CGT (step 2 of Algorithm 1).
+///
+/// Worst-case work drops from O(prod_l p_l^e_l) to O(sum_l p_l^e_l)
+/// (Section VI). Every optimization is individually switchable for the
+/// ablation bench.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_SYNTH_DGGT_DGGTSYNTHESIZER_H
+#define DGGT_SYNTH_DGGT_DGGTSYNTHESIZER_H
+
+#include "synth/Synthesizer.h"
+#include "synth/dggt/DynamicGrammarGraph.h"
+#include "synth/dggt/OrphanRelocation.h"
+
+namespace dggt {
+
+/// The DGGT synthesizer.
+class DggtSynthesizer : public Synthesizer {
+public:
+  struct Options {
+    bool EnableGrammarPruning = true;   ///< Section V-A.
+    bool EnableOrphanRelocation = true; ///< Section V-B.
+    bool EnableSizePruning = true;      ///< Section V-C.
+    RelocationLimits Relocation;
+  };
+
+  DggtSynthesizer() : DggtSynthesizer(Options{true, true, true, RelocationLimits{}}) {}
+  explicit DggtSynthesizer(Options Opts) : Opts(Opts) {}
+
+  std::string_view name() const override { return "DGGT"; }
+
+  SynthesisResult synthesize(const PreparedQuery &Query,
+                             Budget &B) const override;
+
+  /// Runs Algorithm 1 on one pruned-graph \p Variant with its EdgeToPath
+  /// map \p Edges (no relocation). \p Export, when non-null, receives the
+  /// constructed dynamic grammar graph (tests inspect its node/edge
+  /// structure against the paper's worked example).
+  SynthesisResult synthesizeVariant(const PreparedQuery &Query,
+                                    const DependencyGraph &Variant,
+                                    const EdgeToPathMap &Edges, Budget &B,
+                                    DynamicGrammarGraph *Export = nullptr) const;
+
+private:
+  Options Opts;
+};
+
+} // namespace dggt
+
+#endif // DGGT_SYNTH_DGGT_DGGTSYNTHESIZER_H

@@ -1,0 +1,137 @@
+//===- synth/dggt/DotExport.cpp - GraphViz rendering ----------------------===//
+
+#include "synth/dggt/DotExport.h"
+
+#include <map>
+#include <set>
+
+using namespace dggt;
+
+namespace {
+
+/// Escapes a label for dot.
+std::string escape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+std::string ggNodeDecl(const GrammarGraph &GG, GgNodeId Id) {
+  const GgNode &N = GG.node(Id);
+  std::string Attr;
+  switch (N.Kind) {
+  case GgNodeKind::NonTerminal:
+    Attr = "shape=box";
+    break;
+  case GgNodeKind::Derivation:
+    Attr = "shape=point, width=0.08";
+    break;
+  case GgNodeKind::Api:
+    Attr = "shape=ellipse, color=red, fontcolor=red";
+    break;
+  }
+  return "  n" + std::to_string(Id) + " [label=\"" + escape(N.Name) +
+         "\", " + Attr + "];\n";
+}
+
+std::string ggEdgeDecl(const GgEdge &E, const std::string &Label = "") {
+  std::string Out = "  n" + std::to_string(E.From) + " -> n" +
+                    std::to_string(E.To);
+  std::string Attrs;
+  if (E.IsOr)
+    Attrs = "arrowhead=empty";
+  if (!Label.empty())
+    Attrs += (Attrs.empty() ? "" : ", ") + ("label=\"" + escape(Label) +
+                                            "\"");
+  if (!Attrs.empty())
+    Out += " [" + Attrs + "]";
+  return Out + ";\n";
+}
+
+} // namespace
+
+std::string dggt::toDot(const GrammarGraph &GG) {
+  std::string Out = "digraph grammar {\n  rankdir=TB;\n";
+  for (GgNodeId Id = 0; Id < GG.numNodes(); ++Id)
+    Out += ggNodeDecl(GG, Id);
+  for (GgNodeId Id = 0; Id < GG.numNodes(); ++Id)
+    for (const GgEdge &E : GG.outEdges(Id))
+      Out += ggEdgeDecl(E);
+  Out += "}\n";
+  return Out;
+}
+
+std::string dggt::toDotPathVoted(const GrammarGraph &GG,
+                                 const EdgeToPathMap &Edges) {
+  // Vote map: grammar edge -> covering path ids (the paper's edge labels).
+  std::map<std::pair<GgNodeId, GgNodeId>, std::set<unsigned>> Votes;
+  std::set<GgNodeId> Covered;
+  for (const EdgePaths &EP : Edges.Edges)
+    for (const GrammarPath &P : EP.Paths)
+      for (size_t I = 0; I + 1 < P.Nodes.size(); ++I) {
+        Votes[{P.Nodes[I], P.Nodes[I + 1]}].insert(P.Id);
+        Covered.insert(P.Nodes[I]);
+        Covered.insert(P.Nodes[I + 1]);
+      }
+
+  std::string Out = "digraph path_voted {\n  rankdir=TB;\n";
+  for (GgNodeId Id : Covered)
+    Out += ggNodeDecl(GG, Id);
+  for (GgNodeId Id : Covered) {
+    for (const GgEdge &E : GG.outEdges(Id)) {
+      auto It = Votes.find({E.From, E.To});
+      if (It == Votes.end())
+        continue;
+      std::string Label;
+      for (unsigned PathId : It->second)
+        Label += (Label.empty() ? "" : ",") + std::to_string(PathId);
+      Out += ggEdgeDecl(E, Label);
+    }
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string dggt::toDot(const DynamicGrammarGraph &Dyn,
+                        const GrammarGraph &GG) {
+  std::string Out = "digraph dynamic_grammar {\n  rankdir=BT;\n";
+  for (DynNodeId Id = 0; Id < Dyn.numNodes(); ++Id) {
+    const DynNode &N = Dyn.node(Id);
+    std::string Label, Attr;
+    switch (N.Kind) {
+    case DynNodeKind::Start:
+      Label = "start";
+      Attr = "shape=triangle";
+      break;
+    case DynNodeKind::Api:
+      Label = N.GrammarNode < GG.numNodes() ? GG.node(N.GrammarNode).Name
+                                            : "?";
+      if (N.Reached)
+        Label += "\\nmin_size=" + std::to_string(N.Obj.Size);
+      Attr = "shape=box, style=rounded";
+      break;
+    case DynNodeKind::Pcgt:
+      Label = "PCGT";
+      if (N.Reached)
+        Label += "\\nsize=" + std::to_string(N.Obj.Size);
+      Attr = "shape=ellipse";
+      break;
+    }
+    Out += "  d" + std::to_string(Id) + " [label=\"" + escape(Label) +
+           "\", " + Attr + "];\n";
+  }
+  for (const DynEdge &E : Dyn.edges()) {
+    Out += "  d" + std::to_string(E.From) + " -> d" + std::to_string(E.To);
+    if (E.Auxiliary)
+      Out += " [style=dashed]";
+    else
+      Out += " [label=\"p" + std::to_string(E.PathId) + "\"]";
+    Out += ";\n";
+  }
+  Out += "}\n";
+  return Out;
+}

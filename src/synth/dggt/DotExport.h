@@ -1,0 +1,45 @@
+//===- synth/dggt/DotExport.h - GraphViz rendering ----------------*- C++ -*-===//
+///
+/// \file
+/// GraphViz (dot) exporters for the structures the paper draws:
+/// the grammar graph (Figure 4a), the path-voted grammar graph
+/// (Figure 4c) and the dynamic grammar graph (Figure 5). Useful for
+/// debugging a domain's grammar and for regenerating the paper's
+/// illustrations from live data:
+///
+/// \code
+///   pipeline_inspector --dot "insert ';' at the start of each line" \
+///       | dot -Tsvg > figure5.svg
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_SYNTH_DGGT_DOTEXPORT_H
+#define DGGT_SYNTH_DGGT_DOTEXPORT_H
+
+#include "synth/EdgeToPath.h"
+#include "synth/dggt/DynamicGrammarGraph.h"
+
+#include <string>
+
+namespace dggt {
+
+/// Renders the grammar graph: boxes for non-terminals, points for
+/// derivation nodes, red ellipses for API occurrences; "or" edges are
+/// drawn with open arrowheads (the paper's hollow-headed edges).
+std::string toDot(const GrammarGraph &GG);
+
+/// Renders the path-voted grammar graph (Figure 4c): the grammar graph
+/// with every edge labelled by the ids of the candidate grammar paths in
+/// \p Edges that cover it; uncovered nodes are dropped for readability.
+std::string toDotPathVoted(const GrammarGraph &GG, const EdgeToPathMap &Edges);
+
+/// Renders a dynamic grammar graph (Figure 5): a triangle for the start
+/// node, rounded boxes for N_API nodes (annotated with min_size),
+/// ellipses for N_PCGT nodes; path edges carry their path id, auxiliary
+/// edges are dashed.
+std::string toDot(const DynamicGrammarGraph &Dyn, const GrammarGraph &GG);
+
+} // namespace dggt
+
+#endif // DGGT_SYNTH_DGGT_DOTEXPORT_H

@@ -1,0 +1,83 @@
+//===- synth/dggt/DynamicGrammarGraph.cpp - Dynamic grammar graph ---------===//
+
+#include "synth/dggt/DynamicGrammarGraph.h"
+
+#include <cassert>
+
+using namespace dggt;
+
+DynamicGrammarGraph::DynamicGrammarGraph() {
+  DynNode Start;
+  Start.Kind = DynNodeKind::Start;
+  Start.Reached = true;
+  Start.Obj = CgtObjective{};
+  Nodes.push_back(std::move(Start));
+}
+
+DynNodeId DynamicGrammarGraph::getOrCreateApiNode(unsigned DepNode,
+                                                  GgNodeId Occurrence) {
+  auto Key = std::make_pair(DepNode, Occurrence);
+  auto It = ApiIndex.find(Key);
+  if (It != ApiIndex.end())
+    return It->second;
+  DynNode N;
+  N.Kind = DynNodeKind::Api;
+  N.DepNode = DepNode;
+  N.GrammarNode = Occurrence;
+  Nodes.push_back(std::move(N));
+  DynNodeId Id = static_cast<DynNodeId>(Nodes.size() - 1);
+  ApiIndex.emplace(Key, Id);
+  return Id;
+}
+
+DynNodeId DynamicGrammarGraph::findApiNode(unsigned DepNode,
+                                           GgNodeId Occurrence) const {
+  auto It = ApiIndex.find(std::make_pair(DepNode, Occurrence));
+  return It == ApiIndex.end() ? ~0u : It->second;
+}
+
+DynNodeId DynamicGrammarGraph::addPcgtNode(unsigned DepNode, GgNodeId Root) {
+  DynNode N;
+  N.Kind = DynNodeKind::Pcgt;
+  N.DepNode = DepNode;
+  N.GrammarNode = Root;
+  Nodes.push_back(std::move(N));
+  return static_cast<DynNodeId>(Nodes.size() - 1);
+}
+
+void DynamicGrammarGraph::addPathEdge(DynNodeId From, DynNodeId To,
+                                      unsigned PathId) {
+  assert(From < Nodes.size() && To < Nodes.size() && "edge out of range");
+  Edges.push_back({From, To, PathId, /*Auxiliary=*/false});
+}
+
+void DynamicGrammarGraph::addAuxEdge(DynNodeId From, DynNodeId To) {
+  assert(From < Nodes.size() && To < Nodes.size() && "edge out of range");
+  Edges.push_back({From, To, 0, /*Auxiliary=*/true});
+}
+
+bool DynamicGrammarGraph::relax(DynNodeId Id, CgtObjective Obj, Cgt Tree) {
+  DynNode &N = Nodes[Id];
+  if (N.Reached && !Obj.betterThan(N.Obj))
+    return false;
+  N.Reached = true;
+  N.Obj = Obj;
+  N.MinCgt = std::move(Tree);
+  return true;
+}
+
+std::vector<DynNodeId> DynamicGrammarGraph::apiNodesOf(unsigned DepNode) const {
+  std::vector<DynNodeId> Out;
+  for (DynNodeId Id = 0; Id < Nodes.size(); ++Id)
+    if (Nodes[Id].Kind == DynNodeKind::Api && Nodes[Id].DepNode == DepNode)
+      Out.push_back(Id);
+  return Out;
+}
+
+size_t DynamicGrammarGraph::countNodes(DynNodeKind Kind) const {
+  size_t Count = 0;
+  for (const DynNode &N : Nodes)
+    if (N.Kind == Kind)
+      ++Count;
+  return Count;
+}

@@ -1,0 +1,117 @@
+//===- synth/dggt/DynamicGrammarGraph.h - Dynamic grammar graph ---*- C++ -*-===//
+///
+/// \file
+/// The *dynamic grammar graph* of Section IV-B: the memoization structure
+/// DGGT builds bottom-up over the pruned dependency graph.
+///
+/// Nodes: N_start (one), N_API (one per pair of dependency node and
+/// candidate API occurrence) and N_PCGT (one per surviving sibling-group
+/// path combination). Every node carries `min_size` and `min_cgt` — the
+/// optimal partial CGT from the start node to it.
+///
+/// Edges: *path edges* carry the grammar path id they represent
+/// (N_API -> N_API for single-child dependents, N_API -> N_PCGT inside
+/// sibling groups); *auxiliary edges* have length zero (N_start -> leaf
+/// N_API, and N_PCGT -> its root N_API).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_SYNTH_DGGT_DYNAMICGRAMMARGRAPH_H
+#define DGGT_SYNTH_DGGT_DYNAMICGRAMMARGRAPH_H
+
+#include "synth/Cgt.h"
+#include "synth/Synthesizer.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace dggt {
+
+/// Node id inside a DynamicGrammarGraph.
+using DynNodeId = uint32_t;
+
+/// Kind of a dynamic grammar graph node.
+enum class DynNodeKind : uint8_t {
+  Start, ///< The unique start node.
+  Api,   ///< A (dependency node, API occurrence) pair.
+  Pcgt,  ///< A partial CGT (one sibling-group path combination).
+};
+
+/// One node with its dynamic-programming fields.
+struct DynNode {
+  DynNodeKind Kind = DynNodeKind::Api;
+  /// Dependency node represented; ~0u for Start and for the node standing
+  /// for the grammar start symbol.
+  unsigned DepNode = ~0u;
+  /// Grammar node: the API occurrence (Api) or the prefix-tree root
+  /// (Pcgt); the grammar start node for the final node.
+  GgNodeId GrammarNode = 0;
+  /// True once a feasible partial CGT reached this node.
+  bool Reached = false;
+  /// min_size and the tie-break tiers: Obj.Size is the paper's min_size
+  /// (API count of the optimal partial CGT up to this node); Obj.Score
+  /// and Obj.Len break size ties (see CgtObjective).
+  CgtObjective Obj;
+  /// min_cgt: the optimal partial CGT itself.
+  Cgt MinCgt;
+
+  unsigned minSize() const { return Obj.Size; }
+};
+
+/// One edge. Path edges carry the grammar path id; auxiliary edges carry
+/// none and have length zero.
+struct DynEdge {
+  DynNodeId From = 0;
+  DynNodeId To = 0;
+  unsigned PathId = 0; ///< 0 for auxiliary edges.
+  bool Auxiliary = false;
+};
+
+/// The memoization graph. Construction order mirrors Algorithm 1:
+/// bottom-up over the pruned dependency graph.
+class DynamicGrammarGraph {
+public:
+  DynamicGrammarGraph();
+
+  DynNodeId startNode() const { return 0; }
+
+  /// Finds the N_API node for (\p DepNode, \p Occurrence), creating it
+  /// unreached if absent.
+  DynNodeId getOrCreateApiNode(unsigned DepNode, GgNodeId Occurrence);
+
+  /// Looks up an existing N_API node; returns ~0u if absent.
+  DynNodeId findApiNode(unsigned DepNode, GgNodeId Occurrence) const;
+
+  /// Adds an N_PCGT node for \p DepNode whose prefix tree is rooted at
+  /// \p Root.
+  DynNodeId addPcgtNode(unsigned DepNode, GgNodeId Root);
+
+  void addPathEdge(DynNodeId From, DynNodeId To, unsigned PathId);
+  void addAuxEdge(DynNodeId From, DynNodeId To);
+
+  /// Relaxes \p Id with a candidate partial CGT: keeps it iff the node is
+  /// unreached or \p Obj improves the stored objective (CgtObjective
+  /// lexicographic order). Returns true if kept.
+  bool relax(DynNodeId Id, CgtObjective Obj, Cgt Tree);
+
+  size_t numNodes() const { return Nodes.size(); }
+  size_t numEdges() const { return Edges.size(); }
+  const DynNode &node(DynNodeId Id) const { return Nodes[Id]; }
+  const std::vector<DynEdge> &edges() const { return Edges; }
+
+  /// All N_API nodes of one dependency node.
+  std::vector<DynNodeId> apiNodesOf(unsigned DepNode) const;
+
+  /// Count of nodes of \p Kind (test/bench introspection).
+  size_t countNodes(DynNodeKind Kind) const;
+
+private:
+  std::vector<DynNode> Nodes;
+  std::vector<DynEdge> Edges;
+  std::map<std::pair<unsigned, GgNodeId>, DynNodeId> ApiIndex;
+};
+
+} // namespace dggt
+
+#endif // DGGT_SYNTH_DGGT_DYNAMICGRAMMARGRAPH_H

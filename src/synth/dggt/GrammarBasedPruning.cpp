@@ -1,0 +1,81 @@
+//===- synth/dggt/GrammarBasedPruning.cpp - Conflict "or" edges -----------===//
+
+#include "synth/dggt/GrammarBasedPruning.h"
+
+#include <cassert>
+
+using namespace dggt;
+
+namespace {
+
+/// Invokes \p Fn(Nt, Derivation) for every or-edge on \p P.
+template <typename Callback>
+void forEachOrEdge(const GrammarGraph &GG, const GrammarPath &P,
+                   Callback Fn) {
+  for (size_t I = 0; I + 1 < P.Nodes.size(); ++I) {
+    GgNodeId From = P.Nodes[I], To = P.Nodes[I + 1];
+    if (GG.node(From).Kind == GgNodeKind::NonTerminal &&
+        GG.node(To).Kind == GgNodeKind::Derivation)
+      Fn(From, To);
+  }
+}
+
+} // namespace
+
+bool OrChoiceTracker::tryAdd(const GrammarPath &P) {
+  // First a read-only conflict scan so failure leaves no residue.
+  bool Conflict = false;
+  forEachOrEdge(GG, P, [&](GgNodeId Nt, GgNodeId Deriv) {
+    auto It = Chosen.find(Nt);
+    if (It != Chosen.end() && It->second.first != Deriv)
+      Conflict = true;
+  });
+  if (Conflict)
+    return false;
+
+  Frames.emplace_back();
+  forEachOrEdge(GG, P, [&](GgNodeId Nt, GgNodeId Deriv) {
+    auto [It, Fresh] = Chosen.emplace(Nt, std::make_pair(Deriv, 0u));
+    (void)Fresh;
+    assert(It->second.first == Deriv && "scan missed a conflict");
+    ++It->second.second;
+    Frames.back().push_back(Nt);
+  });
+  return true;
+}
+
+void OrChoiceTracker::pop() {
+  assert(!Frames.empty() && "pop without tryAdd");
+  for (GgNodeId Nt : Frames.back()) {
+    auto It = Chosen.find(Nt);
+    assert(It != Chosen.end() && "unbalanced tracker frame");
+    if (--It->second.second == 0)
+      Chosen.erase(It);
+  }
+  Frames.pop_back();
+}
+
+void OrChoiceTracker::clear() {
+  Chosen.clear();
+  Frames.clear();
+}
+
+std::vector<std::pair<unsigned, unsigned>>
+dggt::findConflictPathPairs(const GrammarGraph &GG,
+                            const std::vector<const GrammarPath *> &Paths) {
+  std::vector<std::pair<unsigned, unsigned>> Conflicts;
+  for (size_t I = 0; I < Paths.size(); ++I) {
+    for (size_t J = I + 1; J < Paths.size(); ++J) {
+      bool Conflict = false;
+      forEachOrEdge(GG, *Paths[I], [&](GgNodeId NtA, GgNodeId DerivA) {
+        forEachOrEdge(GG, *Paths[J], [&](GgNodeId NtB, GgNodeId DerivB) {
+          if (NtA == NtB && DerivA != DerivB)
+            Conflict = true;
+        });
+      });
+      if (Conflict)
+        Conflicts.emplace_back(Paths[I]->Id, Paths[J]->Id);
+    }
+  }
+  return Conflicts;
+}

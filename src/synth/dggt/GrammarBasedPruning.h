@@ -1,0 +1,63 @@
+//===- synth/dggt/GrammarBasedPruning.h - Conflict "or" edges -----*- C++ -*-===//
+///
+/// \file
+/// Grammar-based pruning (Section V-A). In any grammar-valid CGT, each
+/// non-terminal may use only one of its derivations; two candidate paths
+/// that route through *different* derivations of the same non-terminal
+/// can never co-exist in one combination ("conflict paths pair").
+///
+/// This pass builds an incremental view of the "or" choices a partially
+/// assembled combination has committed to, so the combination DFS can
+/// cut a whole subtree of the cross product the moment a conflict
+/// appears — before any merging happens.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_SYNTH_DGGT_GRAMMARBASEDPRUNING_H
+#define DGGT_SYNTH_DGGT_GRAMMARBASEDPRUNING_H
+
+#include "grammar/GrammarPath.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace dggt {
+
+/// Tracks the derivation ("or"-edge) choices of a growing combination.
+class OrChoiceTracker {
+public:
+  explicit OrChoiceTracker(const GrammarGraph &GG) : GG(GG) {}
+
+  /// Tries to commit the or-edges of \p P. Returns false (and changes
+  /// nothing) if some non-terminal on \p P already committed to a
+  /// different derivation — a conflict paths pair with an earlier path.
+  bool tryAdd(const GrammarPath &P);
+
+  /// Rolls back the most recent successful tryAdd (LIFO).
+  void pop();
+
+  /// Resets all state.
+  void clear();
+
+private:
+  struct Commit {
+    GgNodeId Nt;
+    bool Fresh; ///< This path introduced the NT's choice.
+  };
+
+  const GrammarGraph &GG;
+  std::unordered_map<GgNodeId, std::pair<GgNodeId, unsigned>>
+      Chosen; ///< NT -> (derivation, refcount).
+  std::vector<std::vector<GgNodeId>> Frames; ///< NTs referenced per path.
+};
+
+/// Exhaustively lists the conflicting path-id pairs among \p Paths
+/// (Section V-A's formulation; used by tests and the ablation bench to
+/// cross-check the incremental tracker).
+std::vector<std::pair<unsigned, unsigned>>
+findConflictPathPairs(const GrammarGraph &GG,
+                      const std::vector<const GrammarPath *> &Paths);
+
+} // namespace dggt
+
+#endif // DGGT_SYNTH_DGGT_GRAMMARBASEDPRUNING_H

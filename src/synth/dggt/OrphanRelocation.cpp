@@ -1,0 +1,180 @@
+//===- synth/dggt/OrphanRelocation.cpp - Orphan node relocation -----------===//
+
+#include "synth/dggt/OrphanRelocation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <map>
+
+using namespace dggt;
+
+namespace {
+
+/// All dependency-graph descendants of \p Node (not including it).
+std::set<unsigned> descendantsOf(const DependencyGraph &G, unsigned Node) {
+  std::set<unsigned> Out;
+  std::vector<unsigned> Work = G.childrenOf(Node);
+  while (!Work.empty()) {
+    unsigned Cur = Work.back();
+    Work.pop_back();
+    if (!Out.insert(Cur).second)
+      continue;
+    for (unsigned Child : G.childrenOf(Cur))
+      Work.push_back(Child);
+  }
+  return Out;
+}
+
+/// True if every node's governor chain reaches the root (reattachments of
+/// two mutual orphans can otherwise create a cycle).
+bool isAcyclic(const DependencyGraph &G) {
+  for (unsigned N = 0; N < G.size(); ++N) {
+    unsigned Cur = N;
+    size_t Steps = 0;
+    while (Steps++ <= G.size()) {
+      std::optional<unsigned> Gov = G.governorOf(Cur);
+      if (!Gov)
+        break;
+      Cur = *Gov;
+    }
+    if (Steps > G.size() + 1)
+      return false;
+  }
+  return true;
+}
+
+/// A plausible governor for one orphan, ranked by connection tightness.
+struct GovernorChoice {
+  unsigned GovNode;
+  unsigned BestPathApis; ///< APIs on the shortest connecting path.
+};
+
+/// Finds and ranks plausible governors for \p Orphan.
+std::vector<GovernorChoice> governorsFor(const PreparedQuery &Query,
+                                         unsigned Orphan,
+                                         const RelocationLimits &Limits) {
+  const GrammarGraph &GG = *Query.GG;
+  std::set<unsigned> Below = descendantsOf(Query.Pruned, Orphan);
+  std::vector<GgNodeId> OrphanOccs =
+      candidateOccurrences(GG, *Query.Doc, Query.Words, Orphan);
+
+  std::vector<GovernorChoice> Choices;
+  for (unsigned G = 0; G < Query.Pruned.size(); ++G) {
+    if (G == Orphan || Below.count(G))
+      continue;
+    std::vector<GgNodeId> GovOccs =
+        candidateOccurrences(GG, *Query.Doc, Query.Words, G);
+    if (GovOccs.empty())
+      continue;
+
+    // Grammar knowledge: G is plausible iff one of its API occurrences is
+    // a proper ancestor of one of the orphan's.
+    unsigned BestApis = ~0u;
+    for (GgNodeId OccO : OrphanOccs) {
+      PathSearchResult R = findPathsBetween(GG, OccO, GovOccs, Query.Limits);
+      for (const GrammarPath &P : R.Paths)
+        BestApis = std::min(BestApis, P.ApiCount);
+    }
+    if (BestApis != ~0u)
+      Choices.push_back({G, BestApis});
+  }
+
+  std::sort(Choices.begin(), Choices.end(),
+            [](const GovernorChoice &A, const GovernorChoice &B) {
+              if (A.BestPathApis != B.BestPathApis)
+                return A.BestPathApis < B.BestPathApis;
+              return A.GovNode < B.GovNode;
+            });
+  if (Choices.size() > Limits.MaxGovernorsPerOrphan)
+    Choices.resize(Limits.MaxGovernorsPerOrphan);
+  return Choices;
+}
+
+} // namespace
+
+std::vector<unsigned> dggt::effectiveOrphans(const PreparedQuery &Query) {
+  std::vector<unsigned> Orphans = Query.Edges.orphanDependents();
+
+  // Occurrences each dependency node can itself be covered by: the
+  // dependent endpoints of its incoming synthesis edge.
+  std::map<unsigned, std::set<GgNodeId>> Coverable;
+  for (const EdgePaths &EP : Query.Edges.Edges)
+    for (const GrammarPath &P : EP.Paths)
+      Coverable[EP.Edge.DepNode].insert(P.dependentEnd());
+
+  for (const EdgePaths &EP : Query.Edges.Edges) {
+    if (!EP.Edge.GovNode || EP.isOrphanEdge())
+      continue;
+    const std::set<GgNodeId> &GovCover = Coverable[*EP.Edge.GovNode];
+    // A governor that is itself an orphan has no coverable set yet; its
+    // children are judged after it is relocated, not here.
+    if (GovCover.empty())
+      continue;
+    bool Consistent = false;
+    for (const GrammarPath &P : EP.Paths)
+      if (GovCover.count(P.governorEnd())) {
+        Consistent = true;
+        break;
+      }
+    if (!Consistent)
+      Orphans.push_back(EP.Edge.DepNode);
+  }
+  return Orphans;
+}
+
+RelocationResult dggt::relocateOrphans(const PreparedQuery &Query,
+                                       const RelocationLimits &Limits) {
+  RelocationResult Result;
+  std::vector<unsigned> Orphans = effectiveOrphans(Query);
+  if (Orphans.empty()) {
+    Result.Variants.push_back(Query.Pruned);
+    return Result;
+  }
+
+  // Per-orphan governor choices; orphans with none stay where they are.
+  std::vector<unsigned> Relocatable;
+  std::vector<std::vector<GovernorChoice>> Choices;
+  for (unsigned O : Orphans) {
+    std::vector<GovernorChoice> C = governorsFor(Query, O, Limits);
+    if (C.empty()) {
+      ++Result.UnrelocatedOrphans;
+      continue;
+    }
+    ++Result.RelocatedOrphans;
+    Relocatable.push_back(O);
+    Choices.push_back(std::move(C));
+  }
+  if (Relocatable.empty()) {
+    Result.Variants.push_back(Query.Pruned);
+    return Result;
+  }
+
+  // Cross product of choices, capped at MaxVariants.
+  std::vector<size_t> Index(Relocatable.size(), 0);
+  while (true) {
+    if (Result.Variants.size() >= Limits.MaxVariants) {
+      Result.Truncated = true;
+      break;
+    }
+    DependencyGraph Variant = Query.Pruned;
+    for (size_t I = 0; I < Relocatable.size(); ++I)
+      Variant.reattach(Relocatable[I], Choices[I][Index[I]].GovNode,
+                       DepType::Dep);
+    if (isAcyclic(Variant))
+      Result.Variants.push_back(std::move(Variant));
+
+    size_t Digit = 0;
+    while (Digit < Index.size()) {
+      if (++Index[Digit] < Choices[Digit].size())
+        break;
+      Index[Digit] = 0;
+      ++Digit;
+    }
+    if (Digit == Index.size())
+      break;
+  }
+  if (Result.Variants.empty())
+    Result.Variants.push_back(Query.Pruned);
+  return Result;
+}

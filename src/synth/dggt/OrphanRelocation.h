@@ -1,0 +1,61 @@
+//===- synth/dggt/OrphanRelocation.h - Orphan node relocation -----*- C++ -*-===//
+///
+/// \file
+/// Orphan node relocation (Section V-B). A dependent n2 of a pruned-graph
+/// edge is an *orphan* when no grammar path connects its candidate APIs
+/// to its governor's — the parse picked the wrong governor. Instead of
+/// HISyn's expensive fallback (all paths from the grammar root), this
+/// pass consults the grammar: any dependency node n_g one of whose
+/// candidate API occurrences is an ancestor of one of n2's becomes a
+/// plausible governor, and n2 is reattached under it.
+///
+/// An orphan with several plausible governors yields several relocated
+/// graph variants; the caller synthesizes each and keeps the smallest
+/// CGT, exactly as the paper prescribes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_SYNTH_DGGT_ORPHANRELOCATION_H
+#define DGGT_SYNTH_DGGT_ORPHANRELOCATION_H
+
+#include "synth/Pipeline.h"
+
+namespace dggt {
+
+/// Result of relocating the orphans of one prepared query.
+struct RelocationResult {
+  /// Relocated pruned-graph variants to synthesize (at least one: the
+  /// original graph if nothing was relocatable). Capped.
+  std::vector<DependencyGraph> Variants;
+  /// Orphans that found at least one plausible governor.
+  unsigned RelocatedOrphans = 0;
+  /// Orphans left attached as-is (HISyn root fallback applies to them).
+  unsigned UnrelocatedOrphans = 0;
+  /// True if the variant cap truncated the cross product.
+  bool Truncated = false;
+};
+
+/// Limits for variant generation.
+struct RelocationLimits {
+  unsigned MaxGovernorsPerOrphan = 4;
+  unsigned MaxVariants = 16;
+};
+
+/// Orphan dependents of \p Query in the generalized sense: edges with no
+/// candidate path at all, plus edges none of whose governor-endpoint
+/// occurrences can also cover the governor word itself (its own incoming
+/// edge reaches a disjoint occurrence set) — in both cases the parse
+/// picked the wrong governor (Section V-B).
+std::vector<unsigned> effectiveOrphans(const PreparedQuery &Query);
+
+/// Relocates every orphan dependent of \p Query.
+///
+/// Plausible governors are ranked by the size of the smallest connecting
+/// grammar path (shorter first) so the cap keeps the most promising
+/// placements.
+RelocationResult relocateOrphans(const PreparedQuery &Query,
+                                 const RelocationLimits &Limits = {});
+
+} // namespace dggt
+
+#endif // DGGT_SYNTH_DGGT_ORPHANRELOCATION_H

@@ -1,0 +1,104 @@
+//===- synth/dggt/RankedSynthesis.cpp - Top-K candidate lists -------------===//
+
+#include "synth/dggt/RankedSynthesis.h"
+
+#include "synth/Expression.h"
+#include "synth/dggt/OrphanRelocation.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace dggt;
+
+namespace {
+
+/// Collects the complete-CGT candidates one variant's dynamic grammar
+/// graph encodes: for every root grammar path whose dependent endpoint
+/// was reached, join the endpoint's optimal partial CGT with the path.
+void collectVariantCandidates(const PreparedQuery &Query,
+                              const EdgeToPathMap &Edges,
+                              const DynamicGrammarGraph &Dyn,
+                              std::map<std::string, CgtObjective> &Best) {
+  const GrammarGraph &GG = *Query.GG;
+  const EdgePaths *Pseudo = nullptr;
+  for (const EdgePaths &EP : Edges.Edges)
+    if (!EP.Edge.GovNode)
+      Pseudo = &EP;
+  if (!Pseudo)
+    return;
+
+  auto Consider = [&](const DynNode &N, const GrammarPath &P) {
+    if (!N.Reached)
+      return;
+    Cgt Tree = N.MinCgt;
+    Tree.addPath(P);
+    if (!Tree.isValid(GG))
+      return;
+    CgtObjective Obj = N.Obj;
+    Obj.Size = Tree.apiCount(GG);
+    Obj.Score += P.DepScore;
+    Obj.Len += static_cast<unsigned>(P.Nodes.size());
+    std::string Expr = renderExpression(GG, *Query.Doc, Tree);
+    auto [It, Inserted] = Best.emplace(Expr, Obj);
+    if (!Inserted && Obj.betterThan(It->second))
+      It->second = Obj;
+  };
+
+  for (const GrammarPath &P : Pseudo->Paths) {
+    // The optimal reading per root candidate occurrence...
+    DynNodeId D = Dyn.findApiNode(Pseudo->Edge.DepNode, P.dependentEnd());
+    if (D != ~0u)
+      Consider(Dyn.node(D), P);
+    // ...and every surviving sibling-group combination of the root word
+    // (each N_PCGT node is one alternative complete reading).
+    for (DynNodeId Id = 0; Id < Dyn.numNodes(); ++Id) {
+      const DynNode &N = Dyn.node(Id);
+      if (N.Kind == DynNodeKind::Pcgt &&
+          N.DepNode == Pseudo->Edge.DepNode &&
+          N.GrammarNode == P.dependentEnd())
+        Consider(N, P);
+    }
+  }
+}
+
+} // namespace
+
+std::vector<RankedCandidate>
+dggt::synthesizeRanked(const PreparedQuery &Query, Budget &B, unsigned K,
+                       DggtSynthesizer::Options Opts) {
+  std::vector<RankedCandidate> Out;
+  if (!Query.allWordsMapped() || K == 0)
+    return Out;
+
+  std::vector<DependencyGraph> Variants;
+  if (Opts.EnableOrphanRelocation)
+    Variants = relocateOrphans(Query, Opts.Relocation).Variants;
+  else
+    Variants.push_back(Query.Pruned);
+
+  DggtSynthesizer S(Opts);
+  std::map<std::string, CgtObjective> Best;
+  for (const DependencyGraph &Variant : Variants) {
+    EdgeToPathMap Edges = buildEdgeToPath(*Query.GG, *Query.Doc, Variant,
+                                          Query.Words, Query.Limits);
+    DynamicGrammarGraph Dyn;
+    SynthesisResult R = S.synthesizeVariant(Query, Variant, Edges, B, &Dyn);
+    if (R.St == SynthesisResult::Status::Timeout)
+      return {};
+    collectVariantCandidates(Query, Edges, Dyn, Best);
+  }
+
+  for (const auto &[Expr, Obj] : Best)
+    Out.push_back({Expr, Obj});
+  std::sort(Out.begin(), Out.end(),
+            [](const RankedCandidate &A, const RankedCandidate &C) {
+              if (A.Objective.betterThan(C.Objective))
+                return true;
+              if (C.Objective.betterThan(A.Objective))
+                return false;
+              return A.Expression < C.Expression;
+            });
+  if (Out.size() > K)
+    Out.resize(K);
+  return Out;
+}

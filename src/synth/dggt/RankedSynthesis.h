@@ -1,0 +1,47 @@
+//===- synth/dggt/RankedSynthesis.h - Top-K candidate lists -------*- C++ -*-===//
+///
+/// \file
+/// Ranked candidate synthesis, the deployment mode the paper's error
+/// analysis proposes (Section VII-B4): "the technique can be integrated
+/// into an IDE, offering a list of ranked candidate expressions for the
+/// programmer to choose when she types in her intent in natural
+/// language."
+///
+/// DGGT's dynamic grammar graph concisely subsumes the CGTs of all path
+/// combinations, so a ranked list falls out of the same construction:
+/// every (relocation variant, root candidate occurrence, root grammar
+/// path) triple yields one complete CGT candidate; candidates are
+/// deduplicated by rendered expression and ordered by the CGT objective
+/// (smallest tree first, then match score, then path tightness).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_SYNTH_DGGT_RANKEDSYNTHESIS_H
+#define DGGT_SYNTH_DGGT_RANKEDSYNTHESIS_H
+
+#include "synth/dggt/DggtSynthesizer.h"
+
+#include <string>
+#include <vector>
+
+namespace dggt {
+
+/// One ranked codelet candidate.
+struct RankedCandidate {
+  std::string Expression;
+  CgtObjective Objective;
+};
+
+/// Produces up to \p K candidate codelets for \p Query, best first.
+///
+/// The first entry (when any exist) is exactly what
+/// DggtSynthesizer::synthesize would return. Returns an empty vector on
+/// timeout or when no valid CGT exists.
+std::vector<RankedCandidate> synthesizeRanked(const PreparedQuery &Query,
+                                              Budget &B, unsigned K,
+                                              DggtSynthesizer::Options Opts =
+                                                  DggtSynthesizer::Options());
+
+} // namespace dggt
+
+#endif // DGGT_SYNTH_DGGT_RANKEDSYNTHESIS_H

@@ -1,0 +1,154 @@
+//===- synth/hisyn/HisynSynthesizer.cpp - Baseline synthesizer ------------===//
+
+#include "synth/hisyn/HisynSynthesizer.h"
+
+#include "synth/Expression.h"
+
+#include <cassert>
+#include <set>
+
+using namespace dggt;
+
+namespace {
+
+/// Annotates the literal payloads of the two dependency endpoints of
+/// \p Edge onto the corresponding path-end grammar nodes.
+void annotateEdgeLiterals(Cgt &Tree, const DependencyGraph &Pruned,
+                          const SynthEdge &Edge, const GrammarPath &P) {
+  const DepNode &Dep = Pruned.node(Edge.DepNode);
+  if (Dep.Literal)
+    Tree.annotateLiteral(P.dependentEnd(), *Dep.Literal);
+  if (Edge.GovNode) {
+    const DepNode &Gov = Pruned.node(*Edge.GovNode);
+    if (Gov.Literal)
+      Tree.annotateLiteral(P.governorEnd(), *Gov.Literal);
+  }
+}
+
+} // namespace
+
+SynthesisResult HisynSynthesizer::synthesize(const PreparedQuery &Query,
+                                             Budget &B) const {
+  SynthesisResult Result;
+  SynthesisStats &Stats = Result.Stats;
+
+  if (!Query.allWordsMapped()) {
+    Result.St = SynthesisResult::Status::NoCandidates;
+    return Result;
+  }
+  assert(Query.GG && Query.Doc && "unprepared query");
+  const GrammarGraph &GG = *Query.GG;
+
+  Stats.DepEdges = static_cast<unsigned>(Query.Edges.Edges.size());
+  Stats.OriginalPaths = Query.Edges.totalPaths();
+  Stats.OriginalCombos = Query.Edges.totalCombinations();
+  Stats.Orphans =
+      static_cast<unsigned>(Query.Edges.orphanDependents().size());
+
+  // Effective path sets: orphan edges fall back to all paths from the
+  // grammar start to the orphan's candidate APIs.
+  std::vector<EdgePaths> Effective = Query.Edges.Edges;
+  for (EdgePaths &EP : Effective) {
+    if (!EP.isOrphanEdge())
+      continue;
+    unsigned NextId = 1000000 + 1000 * EP.Edge.DepNode;
+    for (GgNodeId Start : candidateOccurrences(GG, *Query.Doc, Query.Words,
+                                               EP.Edge.DepNode)) {
+      PathSearchResult R = findPathsFromStart(GG, Start, Query.Limits);
+      for (GrammarPath &P : R.Paths) {
+        P.Id = NextId++;
+        P.DepScore = 1.0;
+        EP.Paths.push_back(std::move(P));
+      }
+    }
+    if (EP.Paths.empty()) {
+      Result.St = SynthesisResult::Status::NoValidTree;
+      return Result;
+    }
+  }
+  if (Effective.empty()) {
+    Result.St = SynthesisResult::Status::NoValidTree;
+    return Result;
+  }
+
+  // Odometer enumeration over the cross product of all edges' path sets.
+  const size_t NumEdges = Effective.size();
+  std::vector<size_t> Index(NumEdges, 0);
+  std::optional<Cgt> Best;
+  CgtObjective BestObj{~0u, -1.0, ~0u};
+
+  auto CurrentCombo = [&]() {
+    std::vector<const GrammarPath *> Combo(NumEdges);
+    for (size_t I = 0; I < NumEdges; ++I)
+      Combo[I] = &Effective[I].Paths[Index[I]];
+    return Combo;
+  };
+
+  bool Done = false;
+  while (!Done) {
+    if (B.expired()) {
+      Result.St = SynthesisResult::Status::Timeout;
+      return Result;
+    }
+    ++Stats.ExaminedCombos;
+
+    std::vector<const GrammarPath *> Combo = CurrentCombo();
+
+    // Size-based early pruning: |union of APIs| is a lower bound on the
+    // merged size, so combinations that cannot beat the best are skipped
+    // before the (expensive) merge + validity check.
+    bool Skip = false;
+    if (Opts.SizeBasedEarlyPruning && Best) {
+      std::set<GgNodeId> Union;
+      for (const GrammarPath *P : Combo)
+        for (GgNodeId N : P->Nodes)
+          if (GG.node(N).Kind == GgNodeKind::Api)
+            Union.insert(N);
+      if (Union.size() > BestObj.Size) {
+        ++Stats.PrunedBySize;
+        Skip = true;
+      }
+    }
+
+    if (!Skip) {
+      Cgt Tree;
+      for (size_t I = 0; I < NumEdges; ++I) {
+        Tree.addPath(*Combo[I]);
+        annotateEdgeLiterals(Tree, Query.Pruned, Effective[I].Edge,
+                             *Combo[I]);
+      }
+      if (Tree.isValid(GG)) {
+        CgtObjective Obj;
+        Obj.Size = Tree.apiCount(GG);
+        for (const GrammarPath *P : Combo) {
+          Obj.Len += static_cast<unsigned>(P->Nodes.size());
+          Obj.Score += P->DepScore;
+        }
+        if (Obj.betterThan(BestObj)) {
+          BestObj = Obj;
+          Best = std::move(Tree);
+        }
+      }
+    }
+
+    // Advance the odometer.
+    size_t Digit = 0;
+    while (Digit < NumEdges) {
+      if (++Index[Digit] < Effective[Digit].Paths.size())
+        break;
+      Index[Digit] = 0;
+      ++Digit;
+    }
+    Done = Digit == NumEdges;
+  }
+
+  if (!Best) {
+    Result.St = SynthesisResult::Status::NoValidTree;
+    return Result;
+  }
+  Result.St = SynthesisResult::Status::Success;
+  Result.CgtSize = BestObj.Size;
+  Result.Objective = BestObj;
+  Result.Expression = renderExpression(GG, *Query.Doc, *Best);
+  return Result;
+}

@@ -1,0 +1,48 @@
+//===- synth/hisyn/HisynSynthesizer.h - Baseline synthesizer ------*- C++ -*-===//
+///
+/// \file
+/// The HISyn baseline (Nan et al., FSE 2020) as described in Section II:
+/// step 5 enumerates *every* combination of candidate grammar paths
+/// across all dependency edges (O(prod_l p_l^e_l), Section III-A), merges
+/// each combination into a candidate CGT, discards invalid ones, and
+/// keeps the smallest. Orphan dependents are treated as children of the
+/// grammar root: their candidate paths are all paths from the grammar
+/// start down to their candidate APIs (Section V-B).
+///
+/// The one pre-existing optimization the paper credits to HISyn —
+/// size-based early pruning — is available behind an option so the
+/// ablation bench can toggle it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_SYNTH_HISYN_HISYNSYNTHESIZER_H
+#define DGGT_SYNTH_HISYN_HISYNSYNTHESIZER_H
+
+#include "synth/Synthesizer.h"
+
+namespace dggt {
+
+/// Exhaustive-enumeration baseline.
+class HisynSynthesizer : public Synthesizer {
+public:
+  struct Options {
+    /// Skip a combination early when the union of its paths' APIs is
+    /// already no smaller than the best CGT found so far.
+    bool SizeBasedEarlyPruning = true;
+  };
+
+  HisynSynthesizer() : HisynSynthesizer(Options{true}) {}
+  explicit HisynSynthesizer(Options Opts) : Opts(Opts) {}
+
+  std::string_view name() const override { return "HISyn"; }
+
+  SynthesisResult synthesize(const PreparedQuery &Query,
+                             Budget &B) const override;
+
+private:
+  Options Opts;
+};
+
+} // namespace dggt
+
+#endif // DGGT_SYNTH_HISYN_HISYNSYNTHESIZER_H

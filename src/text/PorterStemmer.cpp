@@ -1,0 +1,236 @@
+//===- text/PorterStemmer.cpp - Porter stemming algorithm -----------------===//
+//
+// Implements M. F. Porter, "An algorithm for suffix stripping", Program
+// 14(3), 1980. The structure below follows the original paper's step
+// numbering (1a, 1b, 1c, 2, 3, 4, 5a, 5b).
+//
+//===----------------------------------------------------------------------===//
+
+#include "text/PorterStemmer.h"
+
+#include <cassert>
+
+using namespace dggt;
+
+namespace {
+
+/// Working buffer plus the measure/vowel predicates of Porter's paper.
+class Stemmer {
+public:
+  explicit Stemmer(std::string Word) : B(std::move(Word)) {}
+
+  std::string run() {
+    if (B.size() <= 2)
+      return B;
+    step1a();
+    step1b();
+    step1c();
+    step2();
+    step3();
+    step4();
+    step5a();
+    step5b();
+    return B;
+  }
+
+private:
+  std::string B;
+
+  static bool isVowelChar(char C) {
+    return C == 'a' || C == 'e' || C == 'i' || C == 'o' || C == 'u';
+  }
+
+  /// True if B[I] is a consonant per Porter's definition ('y' is a
+  /// consonant when it follows a vowel position's consonant).
+  bool isConsonant(size_t I) const {
+    char C = B[I];
+    if (isVowelChar(C))
+      return false;
+    if (C == 'y')
+      return I == 0 ? true : !isConsonant(I - 1);
+    return true;
+  }
+
+  /// Porter's measure m of the prefix B[0..End): the number of VC
+  /// alternations [C](VC)^m[V].
+  unsigned measure(size_t End) const {
+    unsigned M = 0;
+    size_t I = 0;
+    while (I < End && isConsonant(I))
+      ++I;
+    while (true) {
+      if (I >= End)
+        return M;
+      while (I < End && !isConsonant(I))
+        ++I;
+      if (I >= End)
+        return M;
+      ++M;
+      while (I < End && isConsonant(I))
+        ++I;
+    }
+  }
+
+  bool hasVowel(size_t End) const {
+    for (size_t I = 0; I < End; ++I)
+      if (!isConsonant(I))
+        return true;
+    return false;
+  }
+
+  bool endsWith(std::string_view Suffix) const {
+    return B.size() >= Suffix.size() &&
+           std::string_view(B).substr(B.size() - Suffix.size()) == Suffix;
+  }
+
+  /// Length of the stem if \p Suffix were removed.
+  size_t stemLen(std::string_view Suffix) const {
+    assert(endsWith(Suffix) && "suffix mismatch");
+    return B.size() - Suffix.size();
+  }
+
+  bool doubleConsonant() const {
+    size_t N = B.size();
+    if (N < 2 || B[N - 1] != B[N - 2])
+      return false;
+    return isConsonant(N - 1);
+  }
+
+  /// cvc test at the end of the stem of length \p End, where the final c is
+  /// not w, x or y; signals that an 'e' should be restored.
+  bool cvc(size_t End) const {
+    if (End < 3)
+      return false;
+    if (!isConsonant(End - 3) || isConsonant(End - 2) || !isConsonant(End - 1))
+      return false;
+    char C = B[End - 1];
+    return C != 'w' && C != 'x' && C != 'y';
+  }
+
+  /// Replaces \p Suffix with \p Repl if measure(stem) > \p MinMeasure.
+  bool replace(std::string_view Suffix, std::string_view Repl,
+               unsigned MinMeasure) {
+    if (!endsWith(Suffix))
+      return false;
+    size_t Stem = stemLen(Suffix);
+    if (measure(Stem) <= MinMeasure)
+      return true; // Matched but condition failed: stop scanning suffixes.
+    B.resize(Stem);
+    B += Repl;
+    return true;
+  }
+
+  void step1a() {
+    if (endsWith("sses")) {
+      B.resize(B.size() - 2);
+    } else if (endsWith("ies")) {
+      B.resize(B.size() - 2);
+    } else if (endsWith("ss")) {
+      // Keep.
+    } else if (endsWith("s") && B.size() > 1) {
+      B.pop_back();
+    }
+  }
+
+  void step1b() {
+    if (endsWith("eed")) {
+      if (measure(stemLen("eed")) > 0)
+        B.pop_back();
+      return;
+    }
+    bool Stripped = false;
+    if (endsWith("ed") && hasVowel(stemLen("ed"))) {
+      B.resize(stemLen("ed"));
+      Stripped = true;
+    } else if (endsWith("ing") && hasVowel(stemLen("ing"))) {
+      B.resize(stemLen("ing"));
+      Stripped = true;
+    }
+    if (!Stripped)
+      return;
+    if (endsWith("at") || endsWith("bl") || endsWith("iz")) {
+      B += 'e';
+    } else if (doubleConsonant() && !endsWith("l") && !endsWith("s") &&
+               !endsWith("z")) {
+      B.pop_back();
+    } else if (measure(B.size()) == 1 && cvc(B.size())) {
+      B += 'e';
+    }
+  }
+
+  void step1c() {
+    if (endsWith("y") && hasVowel(B.size() - 1))
+      B.back() = 'i';
+  }
+
+  void step2() {
+    // Pairs ordered per Porter's paper; condition is m > 0.
+    static const struct {
+      const char *From, *To;
+    } Rules[] = {
+        {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+        {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+        {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+        {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+        {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+        {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+        {"iviti", "ive"},   {"biliti", "ble"},
+    };
+    for (const auto &R : Rules)
+      if (replace(R.From, R.To, 0))
+        return;
+  }
+
+  void step3() {
+    static const struct {
+      const char *From, *To;
+    } Rules[] = {
+        {"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+        {"ical", "ic"},  {"ful", ""},   {"ness", ""},
+    };
+    for (const auto &R : Rules)
+      if (replace(R.From, R.To, 0))
+        return;
+  }
+
+  void step4() {
+    static const char *Suffixes[] = {
+        "al",   "ance", "ence", "er",  "ic",  "able", "ible", "ant",  "ement",
+        "ment", "ent",  "ou",   "ism", "ate", "iti",  "ous",  "ive",  "ize",
+    };
+    for (const char *Suffix : Suffixes) {
+      if (!endsWith(Suffix))
+        continue;
+      if (measure(stemLen(Suffix)) > 1)
+        B.resize(stemLen(Suffix));
+      return;
+    }
+    // "(s|t)ion" with m > 1.
+    if (endsWith("ion")) {
+      size_t Stem = stemLen("ion");
+      if (Stem > 0 && (B[Stem - 1] == 's' || B[Stem - 1] == 't') &&
+          measure(Stem) > 1)
+        B.resize(Stem);
+    }
+  }
+
+  void step5a() {
+    if (!endsWith("e"))
+      return;
+    size_t Stem = B.size() - 1;
+    unsigned M = measure(Stem);
+    if (M > 1 || (M == 1 && !cvc(Stem)))
+      B.pop_back();
+  }
+
+  void step5b() {
+    if (endsWith("ll") && measure(B.size()) > 1)
+      B.pop_back();
+  }
+};
+
+} // namespace
+
+std::string dggt::porterStem(std::string_view Word) {
+  return Stemmer(std::string(Word)).run();
+}

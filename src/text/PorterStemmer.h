@@ -1,0 +1,26 @@
+//===- text/PorterStemmer.h - Porter stemming algorithm ---------*- C++ -*-===//
+///
+/// \file
+/// The classic Porter (1980) suffix-stripping stemmer. The WordToAPI
+/// matcher stems both query words and API-description words so that
+/// "matching", "matches" and "match" coincide, which is how the
+/// NLU-driven approach links query vocabulary to API documents without
+/// training data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_TEXT_PORTERSTEMMER_H
+#define DGGT_TEXT_PORTERSTEMMER_H
+
+#include <string>
+#include <string_view>
+
+namespace dggt {
+
+/// Returns the Porter stem of \p Word. Expects lower-case ASCII input;
+/// words shorter than three characters are returned unchanged.
+std::string porterStem(std::string_view Word);
+
+} // namespace dggt
+
+#endif // DGGT_TEXT_PORTERSTEMMER_H

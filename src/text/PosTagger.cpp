@@ -1,0 +1,326 @@
+//===- text/PosTagger.cpp - Rule/lexicon POS tagger -----------------------===//
+
+#include "text/PosTagger.h"
+
+#include "support/StringUtils.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace dggt;
+
+std::string_view dggt::posName(Pos P) {
+  switch (P) {
+  case Pos::Verb:
+    return "VERB";
+  case Pos::Noun:
+    return "NOUN";
+  case Pos::Adjective:
+    return "ADJ";
+  case Pos::Adverb:
+    return "ADV";
+  case Pos::Determiner:
+    return "DET";
+  case Pos::Preposition:
+    return "ADP";
+  case Pos::Pronoun:
+    return "PRON";
+  case Pos::Conjunction:
+    return "CONJ";
+  case Pos::Auxiliary:
+    return "AUX";
+  case Pos::Number:
+    return "NUM";
+  case Pos::Literal:
+    return "LIT";
+  case Pos::Punct:
+    return "PUNCT";
+  case Pos::Other:
+    return "X";
+  }
+  return "X";
+}
+
+namespace {
+
+/// Lexicon of the editing / code-analysis query vocabulary plus common
+/// English function words. Words absent here fall back to suffix rules.
+const std::unordered_map<std::string_view, Pos> &lexicon() {
+  static const std::unordered_map<std::string_view, Pos> Lex = {
+      // Imperative command verbs used across both domains.
+      {"insert", Pos::Verb},      {"add", Pos::Verb},
+      {"append", Pos::Verb},      {"prepend", Pos::Verb},
+      {"put", Pos::Verb},         {"place", Pos::Verb},
+      {"delete", Pos::Verb},      {"remove", Pos::Verb},
+      {"erase", Pos::Verb},       {"drop", Pos::Verb},
+      {"strip", Pos::Verb},       {"clear", Pos::Verb},
+      {"replace", Pos::Verb},     {"substitute", Pos::Verb},
+      {"change", Pos::Verb},      {"swap", Pos::Verb},
+      {"convert", Pos::Verb},     {"turn", Pos::Verb},
+      {"copy", Pos::Verb},        {"duplicate", Pos::Verb},
+      {"move", Pos::Verb},        {"select", Pos::Verb},
+      {"highlight", Pos::Verb},   {"print", Pos::Verb},
+      {"show", Pos::Verb},        {"find", Pos::Verb},
+      {"search", Pos::Verb},      {"serach", Pos::Verb}, // Paper's own typo.
+      {"list", Pos::Verb},        {"locate", Pos::Verb},
+      {"match", Pos::Verb},       {"merge", Pos::Verb},
+      {"join", Pos::Verb},        {"split", Pos::Verb},
+      {"sort", Pos::Verb},        {"count", Pos::Verb},
+      {"capitalize", Pos::Verb},  {"uppercase", Pos::Verb},
+      {"lowercase", Pos::Verb},   {"trim", Pos::Verb},
+      {"wrap", Pos::Verb},        {"indent", Pos::Verb},
+      {"extract", Pos::Verb},     {"keep", Pos::Verb},
+
+      // Domain verbs that appear in relative clauses.
+      {"is", Pos::Auxiliary},     {"are", Pos::Auxiliary},
+      {"be", Pos::Auxiliary},     {"been", Pos::Auxiliary},
+      {"was", Pos::Auxiliary},    {"do", Pos::Auxiliary},
+      {"does", Pos::Auxiliary},   {"can", Pos::Auxiliary},
+      {"should", Pos::Auxiliary}, {"would", Pos::Auxiliary},
+      {"will", Pos::Auxiliary},
+
+      {"contain", Pos::Verb},     {"contains", Pos::Verb},
+      {"containing", Pos::Verb},  {"include", Pos::Verb},
+      {"includes", Pos::Verb},    {"including", Pos::Verb},
+      {"have", Pos::Verb},        {"has", Pos::Verb},
+      {"having", Pos::Verb},      {"start", Pos::Verb},
+      {"starts", Pos::Verb},      {"starting", Pos::Verb},
+      {"begin", Pos::Verb},       {"begins", Pos::Verb},
+      {"end", Pos::Verb},         {"ends", Pos::Verb},
+      {"ending", Pos::Verb},      {"call", Pos::Verb},
+      {"calls", Pos::Verb},       {"called", Pos::Verb},
+      {"declare", Pos::Verb},     {"declares", Pos::Verb},
+      {"declared", Pos::Verb},    {"define", Pos::Verb},
+      {"defines", Pos::Verb},     {"defined", Pos::Verb},
+      {"name", Pos::Verb},        {"named", Pos::Verb},
+      {"reference", Pos::Verb},   {"references", Pos::Verb},
+      {"refer", Pos::Verb},       {"refers", Pos::Verb},
+      {"return", Pos::Verb},      {"returns", Pos::Verb},
+      {"returning", Pos::Verb},   {"take", Pos::Verb},
+      {"takes", Pos::Verb},       {"taking", Pos::Verb},
+      {"use", Pos::Verb},         {"uses", Pos::Verb},
+      {"using", Pos::Verb},       {"occur", Pos::Verb},
+      {"occurs", Pos::Verb},      {"appear", Pos::Verb},
+      {"appears", Pos::Verb},     {"override", Pos::Verb},
+      {"overrides", Pos::Verb},   {"inherit", Pos::Verb},
+      {"inherits", Pos::Verb},    {"derive", Pos::Verb},
+      {"derives", Pos::Verb},     {"derived", Pos::Verb},
+      {"accept", Pos::Verb},      {"accepts", Pos::Verb},
+      {"bind", Pos::Verb},        {"binds", Pos::Verb},
+
+      // Nouns of the text-editing domain.
+      {"string", Pos::Noun},      {"strings", Pos::Noun},
+      {"line", Pos::Noun},        {"lines", Pos::Noun},
+      {"word", Pos::Noun},        {"words", Pos::Noun},
+      {"character", Pos::Noun},   {"characters", Pos::Noun},
+      {"char", Pos::Noun},        {"chars", Pos::Noun},
+      {"letter", Pos::Noun},      {"letters", Pos::Noun},
+      {"sentence", Pos::Noun},    {"sentences", Pos::Noun},
+      {"paragraph", Pos::Noun},   {"paragraphs", Pos::Noun},
+      {"document", Pos::Noun},    {"text", Pos::Noun},
+      {"number", Pos::Noun},      {"numbers", Pos::Noun},
+      {"numeral", Pos::Noun},     {"numerals", Pos::Noun},
+      {"digit", Pos::Noun},       {"digits", Pos::Noun},
+      {"space", Pos::Noun},       {"spaces", Pos::Noun},
+      {"whitespace", Pos::Noun},  {"tab", Pos::Noun},
+      {"tabs", Pos::Noun},        {"comma", Pos::Noun},
+      {"commas", Pos::Noun},      {"colon", Pos::Noun},
+      {"semicolon", Pos::Noun},   {"period", Pos::Noun},
+      {"dot", Pos::Noun},         {"dash", Pos::Noun},
+      {"hyphen", Pos::Noun},      {"quote", Pos::Noun},
+      {"bracket", Pos::Noun},     {"parenthesis", Pos::Noun},
+      {"occurrence", Pos::Noun},  {"occurrences", Pos::Noun},
+      {"instance", Pos::Noun},    {"instances", Pos::Noun},
+      {"beginning", Pos::Noun},   {"front", Pos::Noun},
+      {"middle", Pos::Noun},      {"position", Pos::Noun},
+      {"positions", Pos::Noun},   {"token", Pos::Noun},
+      {"tokens", Pos::Noun},      {"caret", Pos::Noun},
+      {"cursor", Pos::Noun},      {"selection", Pos::Noun},
+      {"clipboard", Pos::Noun},   {"case", Pos::Noun},
+      {"time", Pos::Noun},        {"times", Pos::Noun},
+
+      // Nouns of the code-analysis domain.
+      {"expression", Pos::Noun},  {"expressions", Pos::Noun},
+      {"statement", Pos::Noun},   {"statements", Pos::Noun},
+      {"declaration", Pos::Noun}, {"declarations", Pos::Noun},
+      {"function", Pos::Noun},    {"functions", Pos::Noun},
+      {"method", Pos::Noun},      {"methods", Pos::Noun},
+      {"constructor", Pos::Noun}, {"constructors", Pos::Noun},
+      {"destructor", Pos::Noun},  {"destructors", Pos::Noun},
+      {"variable", Pos::Noun},    {"variables", Pos::Noun},
+      {"field", Pos::Noun},       {"fields", Pos::Noun},
+      {"member", Pos::Noun},      {"members", Pos::Noun},
+      {"parameter", Pos::Noun},   {"parameters", Pos::Noun},
+      {"argument", Pos::Noun},    {"arguments", Pos::Noun},
+      {"class", Pos::Noun},       {"classes", Pos::Noun},
+      {"struct", Pos::Noun},      {"structs", Pos::Noun},
+      {"record", Pos::Noun},      {"records", Pos::Noun},
+      {"enum", Pos::Noun},        {"enums", Pos::Noun},
+      {"namespace", Pos::Noun},   {"namespaces", Pos::Noun},
+      {"template", Pos::Noun},    {"templates", Pos::Noun},
+      {"type", Pos::Noun},        {"types", Pos::Noun},
+      {"typedef", Pos::Noun},     {"typedefs", Pos::Noun},
+      {"pointer", Pos::Noun},     {"pointers", Pos::Noun},
+      {"array", Pos::Noun},       {"arrays", Pos::Noun},
+      {"loop", Pos::Noun},        {"loops", Pos::Noun},
+      {"operator", Pos::Noun},    {"operators", Pos::Noun},
+      {"operand", Pos::Noun},     {"operands", Pos::Noun},
+      {"literal", Pos::Noun},     {"literals", Pos::Noun},
+      {"integer", Pos::Noun},     {"integers", Pos::Noun},
+      {"float", Pos::Noun},       {"floats", Pos::Noun},
+      {"bool", Pos::Noun},        {"boolean", Pos::Noun},
+      {"cast", Pos::Noun},        {"casts", Pos::Noun},
+      {"condition", Pos::Noun},   {"conditions", Pos::Noun},
+      {"body", Pos::Noun},        {"bodies", Pos::Noun},
+      {"initializer", Pos::Noun}, {"initializers", Pos::Noun},
+      {"base", Pos::Noun},        {"bases", Pos::Noun},
+      {"lambda", Pos::Noun},      {"lambdas", Pos::Noun},
+      {"label", Pos::Noun},       {"labels", Pos::Noun},
+      {"value", Pos::Noun},       {"values", Pos::Noun},
+      {"callee", Pos::Noun},      {"caller", Pos::Noun},
+
+      // Adjectives.
+      {"new", Pos::Adjective},     {"empty", Pos::Adjective},
+      {"blank", Pos::Adjective},   {"first", Pos::Adjective},
+      {"last", Pos::Adjective},    {"second", Pos::Adjective},
+      {"third", Pos::Adjective},   {"next", Pos::Adjective},
+      {"previous", Pos::Adjective},{"upper", Pos::Adjective},
+      {"lower", Pos::Adjective},   {"virtual", Pos::Adjective},
+      {"const", Pos::Adjective},   {"constant", Pos::Adjective},
+      {"static", Pos::Adjective},  {"public", Pos::Adjective},
+      {"private", Pos::Adjective}, {"protected", Pos::Adjective},
+      {"pure", Pos::Adjective},    {"default", Pos::Adjective},
+      {"implicit", Pos::Adjective},{"explicit", Pos::Adjective},
+      {"unsigned", Pos::Adjective},{"signed", Pos::Adjective},
+      {"binary", Pos::Adjective},  {"unary", Pos::Adjective},
+      {"floating", Pos::Adjective},{"ternary", Pos::Adjective},
+      {"variadic", Pos::Adjective},{"inline", Pos::Adjective},
+      {"constexpr", Pos::Adjective},{"abstract", Pos::Adjective},
+      {"polymorphic", Pos::Adjective},{"final", Pos::Adjective},
+      {"prefix", Pos::Adjective},  {"postfix", Pos::Adjective},
+      {"deleted", Pos::Adjective}, {"defaulted", Pos::Adjective},
+      {"anonymous", Pos::Adjective},{"trivial", Pos::Adjective},
+      {"scoped", Pos::Adjective},  {"weak", Pos::Adjective},
+      {"mutable", Pos::Adjective}, {"noexcept", Pos::Adjective},
+      {"cxx", Pos::Adjective},     {"numeric", Pos::Adjective},
+      {"whole", Pos::Adjective},   {"entire", Pos::Adjective},
+      {"single", Pos::Adjective},  {"global", Pos::Adjective},
+      {"local", Pos::Adjective},   {"main", Pos::Adjective},
+
+      // Determiners / quantifiers.
+      {"a", Pos::Determiner},      {"an", Pos::Determiner},
+      {"the", Pos::Determiner},    {"this", Pos::Determiner},
+      {"that", Pos::Determiner},   {"these", Pos::Determiner},
+      {"those", Pos::Determiner},  {"each", Pos::Determiner},
+      {"every", Pos::Determiner},  {"all", Pos::Determiner},
+      {"any", Pos::Determiner},    {"some", Pos::Determiner},
+      {"no", Pos::Determiner},     {"its", Pos::Determiner},
+
+      // Prepositions.
+      {"at", Pos::Preposition},    {"in", Pos::Preposition},
+      {"on", Pos::Preposition},    {"of", Pos::Preposition},
+      {"to", Pos::Preposition},    {"from", Pos::Preposition},
+      {"with", Pos::Preposition},  {"without", Pos::Preposition},
+      {"into", Pos::Preposition},  {"onto", Pos::Preposition},
+      {"by", Pos::Preposition},    {"before", Pos::Preposition},
+      {"after", Pos::Preposition}, {"inside", Pos::Preposition},
+      {"within", Pos::Preposition},{"between", Pos::Preposition},
+      {"under", Pos::Preposition}, {"over", Pos::Preposition},
+      {"per", Pos::Preposition},   {"as", Pos::Preposition},
+      {"for", Pos::Preposition},  {"off", Pos::Preposition},
+
+      // Pronouns / relativizers.
+      {"it", Pos::Pronoun},        {"they", Pos::Pronoun},
+      {"them", Pos::Pronoun},      {"which", Pos::Pronoun},
+      {"whose", Pos::Pronoun},     {"who", Pos::Pronoun},
+      {"what", Pos::Pronoun},      {"where", Pos::Pronoun},
+
+      // Conjunctions.
+      {"and", Pos::Conjunction},   {"or", Pos::Conjunction},
+      {"but", Pos::Conjunction},   {"if", Pos::Conjunction},
+      {"when", Pos::Conjunction},  {"then", Pos::Conjunction},
+      {"so", Pos::Conjunction},    {"than", Pos::Conjunction},
+
+      // Adverbs.
+      {"not", Pos::Adverb},        {"only", Pos::Adverb},
+      {"also", Pos::Adverb},       {"directly", Pos::Adverb},
+      {"exactly", Pos::Adverb},    {"immediately", Pos::Adverb},
+      {"once", Pos::Adverb},       {"twice", Pos::Adverb},
+      {"again", Pos::Adverb},      {"too", Pos::Adverb},
+  };
+  return Lex;
+}
+
+Pos suffixGuess(std::string_view Word) {
+  if (endsWith(Word, "ing") || endsWith(Word, "ed"))
+    return Pos::Verb;
+  if (endsWith(Word, "ly"))
+    return Pos::Adverb;
+  if (endsWith(Word, "tion") || endsWith(Word, "sion") ||
+      endsWith(Word, "ment") || endsWith(Word, "ness") ||
+      endsWith(Word, "ance") || endsWith(Word, "ence") ||
+      endsWith(Word, "ity") || endsWith(Word, "or") || endsWith(Word, "er"))
+    return Pos::Noun;
+  if (endsWith(Word, "al") || endsWith(Word, "ive") || endsWith(Word, "ous") ||
+      endsWith(Word, "able") || endsWith(Word, "ible") ||
+      endsWith(Word, "ic"))
+    return Pos::Adjective;
+  return Pos::Noun;
+}
+
+} // namespace
+
+std::vector<TaggedToken> dggt::tagTokens(const std::vector<Token> &Tokens) {
+  std::vector<TaggedToken> Tagged;
+  Tagged.reserve(Tokens.size());
+
+  // Pass 1: lexicon + per-kind defaults + suffix rules.
+  for (const Token &T : Tokens) {
+    TaggedToken TT;
+    TT.Tok = T;
+    switch (T.Kind) {
+    case TokenKind::Number:
+      TT.Tag = Pos::Number;
+      break;
+    case TokenKind::Literal:
+      TT.Tag = Pos::Literal;
+      break;
+    case TokenKind::Punct:
+      TT.Tag = Pos::Punct;
+      break;
+    case TokenKind::Word: {
+      auto It = lexicon().find(T.Text);
+      TT.Tag = It != lexicon().end() ? It->second : suffixGuess(T.Text);
+      break;
+    }
+    }
+    Tagged.push_back(std::move(TT));
+  }
+
+  // Pass 2: local context repair.
+  for (size_t I = 0; I < Tagged.size(); ++I) {
+    TaggedToken &TT = Tagged[I];
+    if (TT.Tok.Kind != TokenKind::Word)
+      continue;
+
+    // Words that can be verb or noun: "name"/"end"/"start"/... After a
+    // determiner or preposition they are nouns ("at the start", "of each
+    // line"); sentence-initially they are imperative verbs.
+    bool PrevIsDetOrPrep = false;
+    if (I > 0) {
+      Pos Prev = Tagged[I - 1].Tag;
+      PrevIsDetOrPrep = Prev == Pos::Determiner || Prev == Pos::Preposition ||
+                        Prev == Pos::Adjective;
+    }
+    if (TT.Tag == Pos::Verb && PrevIsDetOrPrep) {
+      // "the start", "each match", "at the end" -> noun reading.
+      TT.Tag = Pos::Noun;
+    }
+    if (TT.Tag == Pos::Noun && I == 0) {
+      // Imperative queries start with a verb; recover "copy"/"sort"/... if
+      // the lexicon preferred the noun reading.
+      TT.Tag = Pos::Verb;
+    }
+  }
+  return Tagged;
+}

@@ -1,0 +1,60 @@
+//===- text/PosTagger.h - Rule/lexicon POS tagger ---------------*- C++ -*-===//
+///
+/// \file
+/// Part-of-speech tagging for NL queries. The query-graph pruning step
+/// (step 2 of the HISyn pipeline) keeps content words and drops function
+/// words based on POS, so the tagger only needs the coarse tag set below.
+///
+/// This is the deterministic stand-in for the external NLP toolkit the
+/// paper wraps (see DESIGN.md, substitutions): a curated lexicon of the
+/// query-domain vocabulary plus common English function words, with
+/// suffix heuristics and local context repair for out-of-lexicon words.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_TEXT_POSTAGGER_H
+#define DGGT_TEXT_POSTAGGER_H
+
+#include "text/Tokenizer.h"
+
+#include <string_view>
+#include <vector>
+
+namespace dggt {
+
+/// Coarse part-of-speech tags (Universal-Dependencies-style granularity).
+enum class Pos {
+  Verb,
+  Noun,
+  Adjective,
+  Adverb,
+  Determiner,
+  Preposition,
+  Pronoun,
+  Conjunction,
+  Auxiliary,
+  Number,
+  Literal,
+  Punct,
+  Other,
+};
+
+/// Returns a short human-readable name for \p P ("VERB", "NOUN", ...).
+std::string_view posName(Pos P);
+
+/// A token annotated with its part of speech.
+struct TaggedToken {
+  Token Tok;
+  Pos Tag = Pos::Other;
+};
+
+/// Tags \p Tokens. Deterministic; never fails.
+///
+/// Tagging proceeds in three passes: lexicon lookup, suffix heuristics for
+/// unknown words, then local context repair (imperative first verb,
+/// noun after determiner, verb after "to", participle after noun).
+std::vector<TaggedToken> tagTokens(const std::vector<Token> &Tokens);
+
+} // namespace dggt
+
+#endif // DGGT_TEXT_POSTAGGER_H

@@ -1,0 +1,138 @@
+//===- text/Thesaurus.cpp - Synonym lexicon -------------------------------===//
+
+#include "text/Thesaurus.h"
+
+#include "support/StringUtils.h"
+#include "text/PorterStemmer.h"
+
+#include <algorithm>
+
+using namespace dggt;
+
+void Thesaurus::addGroup(const std::vector<std::string> &Words) {
+  unsigned Group = NextGroup++;
+  for (const std::string &W : Words) {
+    std::string Lower = toLower(W);
+    WordToGroups[Lower].push_back(Group);
+    std::string Stem = porterStem(Lower);
+    if (Stem != Lower)
+      WordToGroups[Stem].push_back(Group);
+  }
+}
+
+std::vector<unsigned> Thesaurus::groupsOf(std::string_view Word) const {
+  std::string Lower = toLower(Word);
+  std::vector<unsigned> Groups;
+  auto Collect = [&](const std::string &Key) {
+    auto It = WordToGroups.find(Key);
+    if (It != WordToGroups.end())
+      Groups.insert(Groups.end(), It->second.begin(), It->second.end());
+  };
+  Collect(Lower);
+  std::string Stem = porterStem(Lower);
+  if (Stem != Lower)
+    Collect(Stem);
+  std::sort(Groups.begin(), Groups.end());
+  Groups.erase(std::unique(Groups.begin(), Groups.end()), Groups.end());
+  return Groups;
+}
+
+bool Thesaurus::areSynonyms(std::string_view A, std::string_view B) const {
+  std::string LA = toLower(A), LB = toLower(B);
+  if (LA == LB || porterStem(LA) == porterStem(LB))
+    return true;
+  std::vector<unsigned> GA = groupsOf(LA), GB = groupsOf(LB);
+  // Both lists are sorted; intersect.
+  auto IA = GA.begin();
+  auto IB = GB.begin();
+  while (IA != GA.end() && IB != GB.end()) {
+    if (*IA == *IB)
+      return true;
+    if (*IA < *IB)
+      ++IA;
+    else
+      ++IB;
+  }
+  return false;
+}
+
+const Thesaurus &Thesaurus::builtin() {
+  static const Thesaurus T = [] {
+    Thesaurus Th;
+    // Editing actions.
+    Th.addGroup({"insert", "add", "append", "prepend", "put", "place",
+                 "attach"});
+    Th.addGroup({"delete", "remove", "erase", "drop", "strip", "clear",
+                 "eliminate"});
+    Th.addGroup({"replace", "substitute", "change", "swap", "exchange"});
+    Th.addGroup({"copy", "duplicate", "clone"});
+    Th.addGroup({"move", "relocate", "shift"});
+    Th.addGroup({"select", "highlight", "mark", "pick", "choose"});
+    Th.addGroup({"print", "show", "display", "output", "emit"});
+    Th.addGroup({"find", "search", "serach", "list", "locate", "match",
+                 "lookup", "query", "identify"});
+    Th.addGroup({"merge", "join", "combine", "concatenate"});
+    Th.addGroup({"split", "divide", "break"});
+    Th.addGroup({"sort", "order", "arrange"});
+    Th.addGroup({"count", "tally", "enumerate"});
+    Th.addGroup({"capitalize", "uppercase", "upper", "capital"});
+    Th.addGroup({"lowercase", "lower", "small"});
+    Th.addGroup({"convert", "turn", "transform"});
+
+    // Positions and scopes.
+    Th.addGroup({"start", "begin", "beginning", "front", "head"});
+    Th.addGroup({"end", "finish", "tail", "back"});
+    Th.addGroup({"before", "preceding", "ahead"});
+    Th.addGroup({"after", "following", "behind", "past"});
+    Th.addGroup({"position", "location", "place", "offset", "spot"});
+    Th.addGroup({"line", "row"});
+    Th.addGroup({"word", "term"});
+    Th.addGroup({"character", "char", "letter", "symbol"});
+    Th.addGroup({"sentence", "clause"});
+    Th.addGroup({"paragraph", "block"});
+    Th.addGroup({"document", "file", "text", "buffer"});
+    Th.addGroup({"number", "numeral", "digit", "numeric", "integer"});
+    Th.addGroup({"space", "whitespace", "blank"});
+    Th.addGroup({"occurrence", "instance", "appearance", "hit", "time"});
+    Th.addGroup({"each", "every", "all", "any"});
+    Th.addGroup({"contain", "include", "have", "has", "with", "hold",
+                 "carry"});
+    Th.addGroup({"empty", "blank", "bare"});
+    Th.addGroup({"first", "initial", "leading"});
+    Th.addGroup({"last", "final", "trailing"});
+
+    // Code-analysis vocabulary.
+    Th.addGroup({"expression", "expr"});
+    Th.addGroup({"statement", "stmt"});
+    Th.addGroup({"declaration", "decl", "definition"});
+    Th.addGroup({"function", "routine", "procedure"});
+    Th.addGroup({"method", "memberfunction"});
+    Th.addGroup({"constructor", "ctor"});
+    Th.addGroup({"destructor", "dtor"});
+    Th.addGroup({"variable", "var"});
+    Th.addGroup({"field", "member", "attribute"});
+    Th.addGroup({"parameter", "param", "parm"});
+    Th.addGroup({"argument", "arg", "operand"});
+    Th.addGroup({"class", "record", "struct"});
+    Th.addGroup({"call", "invocation", "invoke"});
+    Th.addGroup({"name", "identifier", "named", "called"});
+    Th.addGroup({"type", "kind"});
+    Th.addGroup({"loop", "iteration", "iterate"});
+    Th.addGroup({"condition", "predicate", "test", "guard"});
+    Th.addGroup({"body", "block"});
+    Th.addGroup({"return", "result", "yield"});
+    Th.addGroup({"reference", "refer", "ref", "mention", "use"});
+    Th.addGroup({"declare", "define", "introduce"});
+    Th.addGroup({"literal", "constant", "value"});
+    Th.addGroup({"operator", "operation"});
+    Th.addGroup({"base", "parent", "super"});
+    Th.addGroup({"derived", "child", "sub", "inherit"});
+    Th.addGroup({"cast", "conversion"});
+    Th.addGroup({"template", "generic"});
+    Th.addGroup({"pointer", "ptr"});
+    Th.addGroup({"boolean", "bool"});
+    Th.addGroup({"float", "floating", "double"});
+    return Th;
+  }();
+  return T;
+}

@@ -1,0 +1,49 @@
+//===- text/Thesaurus.h - Synonym lexicon -----------------------*- C++ -*-===//
+///
+/// \file
+/// An embedded synonym lexicon standing in for WordNet-style NLU tooling
+/// (see DESIGN.md substitutions). Words are grouped into concept classes;
+/// two words are synonyms if any of their concept classes intersect.
+/// The WordToAPI matcher uses this to map query vocabulary ("append",
+/// "add") onto API-document vocabulary ("insert").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_TEXT_THESAURUS_H
+#define DGGT_TEXT_THESAURUS_H
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dggt {
+
+/// Synonym groups with optional user extension.
+class Thesaurus {
+public:
+  /// Builds the built-in lexicon covering both evaluation domains.
+  static const Thesaurus &builtin();
+
+  /// Creates an empty thesaurus (for custom domains and tests).
+  Thesaurus() = default;
+
+  /// Adds a synonym group; every pair of words in \p Words becomes
+  /// mutually synonymous. Words are stored lower-cased and also stemmed.
+  void addGroup(const std::vector<std::string> &Words);
+
+  /// True if \p A and \p B share a synonym group (or are equal). Inputs
+  /// are matched both verbatim and after Porter stemming.
+  bool areSynonyms(std::string_view A, std::string_view B) const;
+
+  /// Returns the ids of the groups containing \p Word (empty if none).
+  std::vector<unsigned> groupsOf(std::string_view Word) const;
+
+private:
+  std::unordered_map<std::string, std::vector<unsigned>> WordToGroups;
+  unsigned NextGroup = 0;
+};
+
+} // namespace dggt
+
+#endif // DGGT_TEXT_THESAURUS_H

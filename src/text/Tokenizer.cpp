@@ -1,0 +1,72 @@
+//===- text/Tokenizer.cpp - Query tokenizer -------------------------------===//
+
+#include "text/Tokenizer.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+
+using namespace dggt;
+
+std::vector<Token> dggt::tokenize(std::string_view Query) {
+  std::vector<Token> Tokens;
+  size_t I = 0;
+  auto Push = [&](TokenKind Kind, std::string Text) {
+    Token T;
+    T.Kind = Kind;
+    T.Text = std::move(Text);
+    T.Index = static_cast<unsigned>(Tokens.size());
+    Tokens.push_back(std::move(T));
+  };
+
+  while (I < Query.size()) {
+    unsigned char C = Query[I];
+    if (std::isspace(C)) {
+      ++I;
+      continue;
+    }
+    if (C == '"' || C == '\'') {
+      // Quoted literal; an unterminated quote swallows the rest of the line.
+      char Quote = static_cast<char>(C);
+      size_t End = Query.find(Quote, I + 1);
+      if (End == std::string_view::npos)
+        End = Query.size();
+      Push(TokenKind::Literal, std::string(Query.substr(I + 1, End - I - 1)));
+      I = End < Query.size() ? End + 1 : End;
+      continue;
+    }
+    if (std::isdigit(C)) {
+      size_t End = I;
+      while (End < Query.size() &&
+             std::isdigit(static_cast<unsigned char>(Query[End])))
+        ++End;
+      Push(TokenKind::Number, std::string(Query.substr(I, End - I)));
+      I = End;
+      continue;
+    }
+    if (std::isalpha(C)) {
+      // Words may contain internal hyphens/apostrophes ("if-then") which we
+      // keep as part of the word.
+      size_t End = I;
+      while (End < Query.size()) {
+        unsigned char W = Query[End];
+        if (std::isalpha(W)) {
+          ++End;
+          continue;
+        }
+        if ((W == '-' || W == '\'') && End + 1 < Query.size() &&
+            std::isalpha(static_cast<unsigned char>(Query[End + 1]))) {
+          ++End;
+          continue;
+        }
+        break;
+      }
+      Push(TokenKind::Word, toLower(Query.substr(I, End - I)));
+      I = End;
+      continue;
+    }
+    Push(TokenKind::Punct, std::string(1, static_cast<char>(C)));
+    ++I;
+  }
+  return Tokens;
+}

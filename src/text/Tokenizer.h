@@ -1,0 +1,42 @@
+//===- text/Tokenizer.h - Query tokenizer -----------------------*- C++ -*-===//
+///
+/// \file
+/// Splits an NL query into tokens. Quoted spans ('...' or "...") become
+/// single Literal tokens so user-supplied strings such as ":" in
+/// `append ":" in every line` survive verbatim into the synthesized
+/// codelet (e.g. `INSERT(STRING(:), ...)`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_TEXT_TOKENIZER_H
+#define DGGT_TEXT_TOKENIZER_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dggt {
+
+/// Lexical category assigned by the tokenizer (pre-POS-tagging).
+enum class TokenKind {
+  Word,    ///< Alphabetic word, lower-cased.
+  Number,  ///< Decimal integer, e.g. "14".
+  Literal, ///< Quoted span, quotes stripped, case preserved.
+  Punct,   ///< Single punctuation character.
+};
+
+/// One token of the query with its original surface form.
+struct Token {
+  TokenKind Kind;
+  /// Normalized text: lower-cased for words, verbatim for literals.
+  std::string Text;
+  /// Position (token index) in the query.
+  unsigned Index = 0;
+};
+
+/// Tokenizes \p Query. Never fails: unrecognized bytes become Punct tokens.
+std::vector<Token> tokenize(std::string_view Query);
+
+} // namespace dggt
+
+#endif // DGGT_TEXT_TOKENIZER_H

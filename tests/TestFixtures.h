@@ -1,0 +1,136 @@
+//===- tests/TestFixtures.h - Shared test fixtures ----------------*- C++ -*-===//
+///
+/// \file
+/// A miniature domain mirroring the paper's worked example (Figures 3-5):
+/// the text-editing fragment with the `insert_arg ::= string pos iter`
+/// rule, the `pos` alternatives whose "or" edges conflict, and a
+/// hand-built pruned dependency graph + WordToAPI map for the query
+/// "insert ';' at the start of each line". Tests on grammar paths,
+/// conflict pairs, dynamic-graph structure and synthesizer equivalence
+/// all run against this fixture so they can be checked by hand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_TESTS_TESTFIXTURES_H
+#define DGGT_TESTS_TESTFIXTURES_H
+
+#include "grammar/BnfParser.h"
+#include "grammar/GrammarGraph.h"
+#include "nlu/WordToApiMatcher.h"
+#include "synth/Pipeline.h"
+
+#include <memory>
+
+namespace dggt::test {
+
+/// BNF of the paper-figure fragment.
+inline const char *paperFragmentBnf() {
+  return R"bnf(
+cmd        ::= insert
+insert     ::= INSERT insert_arg
+insert_arg ::= string pos iter
+string     ::= STRING LIT
+pos        ::= START | POSITION pos_arg
+pos_arg    ::= AFTER | STARTFROM
+iter       ::= ITERATIONSCOPE scope occ
+scope      ::= LINESCOPE | LINETOKEN
+occ        ::= ALL | FIRST
+)bnf";
+}
+
+/// The fixture: grammar, graph, document, and a prepared query for
+/// "insert ';' at the start of each line" with the paper's ambiguity
+/// (word "start" maps to both START and STARTFROM).
+class PaperFragment {
+public:
+  PaperFragment() {
+    BnfParseResult Parsed = parseBnf(paperFragmentBnf());
+    G = std::make_unique<Grammar>(std::move(Parsed.G));
+    GG = std::make_unique<GrammarGraph>(*G);
+
+    auto Add = [&](const char *Name, LitKind Lit = LitKind::None,
+                   bool LiteralOnly = false) {
+      ApiInfo Info;
+      Info.Name = Name;
+      Info.Description = Name;
+      Info.Lit = Lit;
+      Info.LiteralOnly = LiteralOnly;
+      Doc.add(std::move(Info));
+    };
+    Add("INSERT");
+    Add("STRING", LitKind::String);
+    Add("LIT", LitKind::String, /*LiteralOnly=*/true);
+    Add("START");
+    Add("POSITION");
+    Add("AFTER");
+    Add("STARTFROM");
+    Add("ITERATIONSCOPE");
+    Add("LINESCOPE");
+    Add("LINETOKEN");
+    Add("ALL");
+    Add("FIRST");
+
+    // Pruned dependency graph: insert -> {';', start, line}, line -> each.
+    DepNode Insert;
+    Insert.Word = "insert";
+    Insert.Tag = Pos::Verb;
+    InsertId = Dep.addNode(Insert);
+    Dep.setRoot(InsertId);
+
+    DepNode Semi;
+    Semi.Word = ";";
+    Semi.Tag = Pos::Literal;
+    Semi.Literal = ";";
+    SemiId = Dep.addNode(Semi);
+    Dep.addEdge(InsertId, SemiId, DepType::Lit);
+
+    DepNode Start;
+    Start.Word = "start";
+    Start.Tag = Pos::Noun;
+    StartId = Dep.addNode(Start);
+    Dep.addEdge(InsertId, StartId, DepType::Nmod);
+
+    DepNode Line;
+    Line.Word = "line";
+    Line.Tag = Pos::Noun;
+    LineId = Dep.addNode(Line);
+    Dep.addEdge(InsertId, LineId, DepType::Nmod);
+
+    DepNode Each;
+    Each.Word = "each";
+    Each.Tag = Pos::Determiner;
+    EachId = Dep.addNode(Each);
+    Dep.addEdge(LineId, EachId, DepType::Det);
+
+    // WordToAPI map with the paper's ambiguity.
+    Words.Candidates.resize(Dep.size());
+    auto Map = [&](unsigned Node, std::initializer_list<const char *> Apis) {
+      for (const char *Name : Apis)
+        Words.Candidates[Node].push_back(
+            {static_cast<unsigned>(Doc.indexOf(Name)), 1.0});
+    };
+    Map(InsertId, {"INSERT"});
+    Map(SemiId, {"LIT"});
+    Map(StartId, {"START", "STARTFROM"});
+    Map(LineId, {"LINESCOPE", "LINETOKEN"});
+    Map(EachId, {"ALL"});
+
+    Query.GG = GG.get();
+    Query.Doc = &Doc;
+    Query.Pruned = Dep;
+    Query.Words = Words;
+    Query.Edges = buildEdgeToPath(*GG, Doc, Query.Pruned, Query.Words);
+  }
+
+  std::unique_ptr<Grammar> G;
+  std::unique_ptr<GrammarGraph> GG;
+  ApiDocument Doc;
+  DependencyGraph Dep;
+  WordToApiMap Words;
+  PreparedQuery Query;
+  unsigned InsertId = 0, SemiId = 0, StartId = 0, LineId = 0, EachId = 0;
+};
+
+} // namespace dggt::test
+
+#endif // DGGT_TESTS_TESTFIXTURES_H

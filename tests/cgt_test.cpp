@@ -1,0 +1,155 @@
+//===- tests/cgt_test.cpp - CGT, expression and size-bound tests ----------===//
+
+#include "synth/Cgt.h"
+#include "synth/Expression.h"
+#include "synth/SizeBounds.h"
+
+#include "TestFixtures.h"
+
+#include <gtest/gtest.h>
+
+using namespace dggt;
+using namespace dggt::test;
+
+namespace {
+
+/// Convenience: path between two named APIs on the fixture graph.
+GrammarPath pathBetween(const PaperFragment &F, const char *GovApi,
+                        const char *DepApi) {
+  const GrammarGraph &GG = *F.GG;
+  std::vector<GgNodeId> Targets;
+  if (std::string(GovApi) == "<start>")
+    Targets.push_back(GG.startNode());
+  else
+    Targets = GG.apiOccurrences(GovApi);
+  PathSearchResult R =
+      findPathsBetween(GG, GG.apiOccurrences(DepApi).front(), Targets);
+  EXPECT_FALSE(R.Paths.empty()) << GovApi << " -> " << DepApi;
+  return R.Paths.front();
+}
+
+} // namespace
+
+TEST(Cgt, MergingFusesSharedEdges) {
+  PaperFragment F;
+  Cgt Tree;
+  GrammarPath A = pathBetween(F, "INSERT", "START");
+  GrammarPath B = pathBetween(F, "INSERT", "LINESCOPE");
+  Tree.addPath(A);
+  size_t EdgesAfterA = Tree.numEdges();
+  Tree.addPath(A); // Duplicate fuses entirely.
+  EXPECT_EQ(Tree.numEdges(), EdgesAfterA);
+  Tree.addPath(B); // Shares the INSERT -> insert_arg prefix.
+  EXPECT_LT(Tree.numEdges(),
+            EdgesAfterA + B.Nodes.size() - 1);
+}
+
+TEST(Cgt, TreeValidation) {
+  PaperFragment F;
+  Cgt Tree;
+  Tree.addPath(pathBetween(F, "INSERT", "START"));
+  Tree.addPath(pathBetween(F, "INSERT", "LINESCOPE"));
+  std::optional<GgNodeId> Root = Tree.rootIfTree();
+  ASSERT_TRUE(Root.has_value());
+  EXPECT_EQ(F.GG->node(*Root).Name, "INSERT");
+  EXPECT_TRUE(Tree.isValid(*F.GG));
+  EXPECT_EQ(Tree.apiCount(*F.GG), 4u); // INSERT, START, ITERATIONSCOPE, LINESCOPE
+}
+
+TEST(Cgt, DisconnectedPiecesAreNotATree) {
+  PaperFragment F;
+  Cgt Tree;
+  Tree.addPath(pathBetween(F, "STRING", "LIT"));
+  Tree.addPath(pathBetween(F, "ITERATIONSCOPE", "ALL"));
+  EXPECT_FALSE(Tree.rootIfTree().has_value());
+  EXPECT_FALSE(Tree.isValid(*F.GG));
+}
+
+TEST(Cgt, OrConflictDetected) {
+  // START (pos alternative 1) and STARTFROM (via POSITION, alternative 2)
+  // force two derivations of `pos`: grammar-invalid (Section V-A).
+  PaperFragment F;
+  Cgt Tree;
+  Tree.addPath(pathBetween(F, "INSERT", "START"));
+  Tree.addPath(pathBetween(F, "INSERT", "STARTFROM"));
+  EXPECT_TRUE(Tree.hasOrConflict(*F.GG));
+  EXPECT_FALSE(Tree.isValid(*F.GG));
+}
+
+TEST(Cgt, LiteralConflict) {
+  PaperFragment F;
+  Cgt Tree;
+  GgNodeId Lit = F.GG->apiOccurrences("LIT").front();
+  Tree.annotateLiteral(Lit, ";");
+  EXPECT_FALSE(Tree.literalConflict());
+  Tree.annotateLiteral(Lit, ";"); // Same literal: fine.
+  EXPECT_FALSE(Tree.literalConflict());
+  Tree.annotateLiteral(Lit, ":"); // Different: conflict.
+  EXPECT_TRUE(Tree.literalConflict());
+}
+
+TEST(Cgt, SoloNode) {
+  PaperFragment F;
+  Cgt Tree;
+  Tree.setSoloNode(F.GG->apiOccurrences("ALL").front());
+  ASSERT_TRUE(Tree.rootIfTree().has_value());
+  EXPECT_EQ(Tree.apiCount(*F.GG), 1u);
+}
+
+TEST(Expression, RendersPaperStyleCodelet) {
+  PaperFragment F;
+  Cgt Tree;
+  Tree.addPath(pathBetween(F, "<start>", "INSERT"));
+  Tree.addPath(pathBetween(F, "INSERT", "STRING"));
+  Tree.addPath(pathBetween(F, "INSERT", "START"));
+  Tree.addPath(pathBetween(F, "INSERT", "LINESCOPE"));
+  Tree.addPath(pathBetween(F, "INSERT", "ALL"));
+  Tree.addPath(pathBetween(F, "STRING", "LIT"));
+  Tree.annotateLiteral(F.GG->apiOccurrences("LIT").front(), ";");
+  ASSERT_TRUE(Tree.isValid(*F.GG));
+  EXPECT_EQ(renderExpression(*F.GG, F.Doc, Tree),
+            "INSERT(STRING(;), START(), ITERATIONSCOPE(LINESCOPE(), ALL()))");
+}
+
+TEST(Expression, ArgumentOrderFollowsGrammar) {
+  // Even when paths are added in reverse order, arguments render in
+  // grammar order (string pos iter).
+  PaperFragment F;
+  Cgt Tree;
+  Tree.addPath(pathBetween(F, "INSERT", "LINESCOPE"));
+  Tree.addPath(pathBetween(F, "INSERT", "START"));
+  Tree.addPath(pathBetween(F, "INSERT", "STRING"));
+  std::string Expr = renderExpression(*F.GG, F.Doc, Tree);
+  size_t S = Expr.find("STRING");
+  size_t P = Expr.find("START(");
+  size_t I = Expr.find("ITERATIONSCOPE");
+  EXPECT_LT(S, P);
+  EXPECT_LT(P, I);
+}
+
+TEST(Expression, Normalization) {
+  EXPECT_EQ(normalizeExpression("A( B(), C() )"), "A(B(),C())");
+  EXPECT_EQ(normalizeExpression(""), "");
+}
+
+TEST(SizeBounds, PaperFormula) {
+  // For c = {p1..pn}: |union APIs| <= size <= sum sizes - (n-1).
+  PaperFragment F;
+  GrammarPath A = pathBetween(F, "INSERT", "START");     // 2 APIs
+  GrammarPath B = pathBetween(F, "INSERT", "LINESCOPE"); // 3 APIs
+  GrammarPath C = pathBetween(F, "INSERT", "ALL");       // 3 APIs
+  ComboSizeBounds BD = computeSizeBounds(*F.GG, {&A, &B, &C});
+  // Union: INSERT, START, ITERATIONSCOPE, LINESCOPE, ALL = 5.
+  EXPECT_EQ(BD.MinSize, 5u);
+  // 2 + 3 + 3 - (3 - 1) = 6.
+  EXPECT_EQ(BD.MaxSize, 6u);
+  EXPECT_LE(BD.MinSize, BD.MaxSize);
+}
+
+TEST(SizeBounds, SinglePath) {
+  PaperFragment F;
+  GrammarPath A = pathBetween(F, "INSERT", "START");
+  ComboSizeBounds BD = computeSizeBounds(*F.GG, {&A});
+  EXPECT_EQ(BD.MinSize, 2u);
+  EXPECT_EQ(BD.MaxSize, 2u);
+}

@@ -1,0 +1,205 @@
+//===- tests/dggt_test.cpp - DGGT algorithm tests -------------------------===//
+
+#include "synth/dggt/DggtSynthesizer.h"
+#include "synth/hisyn/HisynSynthesizer.h"
+
+#include "TestFixtures.h"
+#include "synth/Expression.h"
+#include "synth/dggt/GrammarBasedPruning.h"
+#include "synth/dggt/OrphanRelocation.h"
+
+#include <gtest/gtest.h>
+
+using namespace dggt;
+using namespace dggt::test;
+
+TEST(Dggt, SolvesPaperFragment) {
+  PaperFragment F;
+  DggtSynthesizer S;
+  Budget B;
+  SynthesisResult R = S.synthesize(F.Query, B);
+  ASSERT_TRUE(R.ok()) << statusName(R.St);
+  EXPECT_EQ(normalizeExpression(R.Expression),
+            "INSERT(STRING(;),START(),ITERATIONSCOPE(LINESCOPE(),ALL()))");
+  EXPECT_EQ(R.CgtSize, 7u);
+}
+
+TEST(Dggt, MatchesBaselineOnPaperFragment) {
+  PaperFragment F;
+  DggtSynthesizer Dggt;
+  HisynSynthesizer Hisyn;
+  Budget B1, B2;
+  SynthesisResult DR = Dggt.synthesize(F.Query, B1);
+  SynthesisResult HR = Hisyn.synthesize(F.Query, B2);
+  ASSERT_TRUE(DR.ok());
+  ASSERT_TRUE(HR.ok());
+  EXPECT_EQ(DR.CgtSize, HR.CgtSize); // Losslessness (Section IV).
+  EXPECT_EQ(DR.Expression, HR.Expression);
+}
+
+TEST(Dggt, DynamicGraphStructureMirrorsPaper) {
+  // Figure 5: the dynamic grammar graph has one start node, N_API nodes
+  // per (word, candidate occurrence), path edges carrying path ids and
+  // zero-length auxiliary edges from the start to the leaves.
+  PaperFragment F;
+  DggtSynthesizer S;
+  Budget B;
+  DynamicGrammarGraph Dyn;
+  // Run on the relocated variant ("each" moves under "insert").
+  RelocationResult Reloc = relocateOrphans(F.Query);
+  ASSERT_FALSE(Reloc.Variants.empty());
+  EdgeToPathMap Edges = buildEdgeToPath(*F.GG, F.Doc, Reloc.Variants[0],
+                                        F.Query.Words, F.Query.Limits);
+  SynthesisResult R =
+      S.synthesizeVariant(F.Query, Reloc.Variants[0], Edges, B, &Dyn);
+  ASSERT_TRUE(R.ok());
+
+  EXPECT_EQ(Dyn.countNodes(DynNodeKind::Start), 1u);
+  EXPECT_GT(Dyn.countNodes(DynNodeKind::Api), 0u);
+  EXPECT_GT(Dyn.countNodes(DynNodeKind::Pcgt), 0u); // Sibling group exists.
+
+  // "start" has two candidates -> two N_API nodes (START, STARTFROM).
+  EXPECT_EQ(Dyn.apiNodesOf(F.StartId).size(), 2u);
+
+  bool SawAux = false, SawPath = false;
+  for (const DynEdge &E : Dyn.edges()) {
+    if (E.Auxiliary) {
+      SawAux = true;
+      EXPECT_EQ(E.PathId, 0u); // Auxiliary edges carry no path id.
+    } else {
+      SawPath = true;
+      EXPECT_GT(E.PathId, 0u);
+    }
+  }
+  EXPECT_TRUE(SawAux);
+  EXPECT_TRUE(SawPath);
+
+  // min_size of a leaf N_API node is 1 (the API itself).
+  for (DynNodeId Id : Dyn.apiNodesOf(F.SemiId))
+    if (Dyn.node(Id).Reached)
+      EXPECT_EQ(Dyn.node(Id).minSize(), 1u);
+}
+
+TEST(Dggt, OrphanRelocationFindsGovernor) {
+  // "each" -> ALL is unreachable from LINE*'s APIs but reachable from
+  // INSERT: relocation must propose "insert" as the governor.
+  PaperFragment F;
+  std::vector<unsigned> Orphans = effectiveOrphans(F.Query);
+  ASSERT_EQ(Orphans.size(), 1u);
+  EXPECT_EQ(Orphans[0], F.EachId);
+
+  RelocationResult R = relocateOrphans(F.Query);
+  EXPECT_EQ(R.RelocatedOrphans, 1u);
+  ASSERT_FALSE(R.Variants.empty());
+  EXPECT_EQ(R.Variants[0].governorOf(F.EachId),
+            std::optional<unsigned>{F.InsertId});
+}
+
+TEST(Dggt, RelocationKeepsOriginalWhenNoOrphans) {
+  PaperFragment F;
+  // Remove the orphan edge entirely.
+  DependencyGraph NoOrphan;
+  DepNode A;
+  A.Word = "insert";
+  unsigned Root = NoOrphan.addNode(A);
+  NoOrphan.setRoot(Root);
+  PreparedQuery Q = F.Query;
+  Q.Pruned = NoOrphan;
+  Q.Words.Candidates.assign(1, F.Query.Words.Candidates[F.InsertId]);
+  Q.Edges = buildEdgeToPath(*F.GG, F.Doc, Q.Pruned, Q.Words);
+  RelocationResult R = relocateOrphans(Q);
+  EXPECT_EQ(R.RelocatedOrphans, 0u);
+  ASSERT_EQ(R.Variants.size(), 1u);
+}
+
+TEST(Dggt, GrammarPruningTracker) {
+  PaperFragment F;
+  const GrammarGraph &GG = *F.GG;
+  auto PathTo = [&](const char *Api) {
+    PathSearchResult R =
+        findPathsBetween(GG, GG.apiOccurrences(Api).front(),
+                         {GG.apiOccurrences("INSERT").front()});
+    EXPECT_FALSE(R.Paths.empty());
+    R.Paths.front().Id = 1;
+    return R.Paths.front();
+  };
+  GrammarPath Start = PathTo("START");
+  GrammarPath StartFrom = PathTo("STARTFROM");
+  GrammarPath Scope = PathTo("LINESCOPE");
+
+  OrChoiceTracker T(GG);
+  EXPECT_TRUE(T.tryAdd(Start));
+  // STARTFROM needs pos -> derivation #2; START committed #1: conflict.
+  EXPECT_FALSE(T.tryAdd(StartFrom));
+  // Unrelated path is fine.
+  EXPECT_TRUE(T.tryAdd(Scope));
+  T.pop(); // Scope.
+  T.pop(); // Start.
+  // After rollback STARTFROM is acceptable.
+  EXPECT_TRUE(T.tryAdd(StartFrom));
+}
+
+TEST(Dggt, ConflictPairEnumerationMatchesTracker) {
+  PaperFragment F;
+  const GrammarGraph &GG = *F.GG;
+  auto PathTo = [&](const char *Api, unsigned Id) {
+    PathSearchResult R =
+        findPathsBetween(GG, GG.apiOccurrences(Api).front(),
+                         {GG.apiOccurrences("INSERT").front()});
+    GrammarPath P = R.Paths.front();
+    P.Id = Id;
+    return P;
+  };
+  GrammarPath A = PathTo("START", 1);
+  GrammarPath B = PathTo("STARTFROM", 2);
+  GrammarPath C = PathTo("LINESCOPE", 3);
+  std::vector<std::pair<unsigned, unsigned>> Conflicts =
+      findConflictPathPairs(GG, {&A, &B, &C});
+  ASSERT_EQ(Conflicts.size(), 1u);
+  EXPECT_EQ(Conflicts[0], (std::pair<unsigned, unsigned>{1, 2}));
+}
+
+TEST(Dggt, AblationTogglesKeepResult) {
+  // Each optimization is lossless on this fixture: same expression with
+  // any of them disabled.
+  PaperFragment F;
+  DggtSynthesizer Full;
+  Budget B0;
+  SynthesisResult Ref = Full.synthesize(F.Query, B0);
+  ASSERT_TRUE(Ref.ok());
+
+  for (int Drop = 0; Drop < 3; ++Drop) {
+    DggtSynthesizer::Options Opts;
+    Opts.EnableGrammarPruning = Drop != 0;
+    Opts.EnableOrphanRelocation = Drop != 1;
+    Opts.EnableSizePruning = Drop != 2;
+    DggtSynthesizer S(Opts);
+    Budget B;
+    SynthesisResult R = S.synthesize(F.Query, B);
+    ASSERT_TRUE(R.ok()) << "drop " << Drop;
+    EXPECT_EQ(R.CgtSize, Ref.CgtSize) << "drop " << Drop;
+  }
+}
+
+TEST(Dggt, TimeoutReported) {
+  PaperFragment F;
+  DggtSynthesizer S;
+  Budget B(1);
+  while (!B.expired()) {
+  }
+  SynthesisResult R = S.synthesize(F.Query, B);
+  EXPECT_EQ(R.St, SynthesisResult::Status::Timeout);
+}
+
+TEST(Dggt, StatsFunnelPopulated) {
+  PaperFragment F;
+  DggtSynthesizer S;
+  Budget B;
+  SynthesisResult R = S.synthesize(F.Query, B);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Stats.Orphans, 1u);
+  EXPECT_GT(R.Stats.PathsAfterReloc, 0u);
+  EXPECT_GT(R.Stats.CombosAfterReloc, 0.0);
+  EXPECT_GT(R.Stats.RemainingCombos, 0u);
+  EXPECT_EQ(R.Stats.ExaminedCombos, 0u); // DGGT never runs the odometer.
+}

@@ -1,0 +1,100 @@
+//===- tests/domain_loader_test.cpp - File-based domain loading -----------===//
+
+#include "domains/DomainLoader.h"
+
+#include "eval/Harness.h"
+#include "synth/dggt/DggtSynthesizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dggt;
+
+namespace {
+
+const char *Bnf = R"bnf(
+cmd  ::= PING target
+target ::= HOST LIT | ALLHOSTS
+)bnf";
+
+const char *Apis = R"doc(
+# name | flags | name-words | description
+PING     |                      | ping      | ping and probe a target host
+HOST     | lit=str              | host      | a named host machine server
+ALLHOSTS |                      | all hosts | every host in the fleet
+LIT      | lit=str,literal-only |           | a user supplied name
+)doc";
+
+} // namespace
+
+TEST(DomainLoader, ParsesApiDocument) {
+  ApiDocument Doc;
+  std::string Error;
+  ASSERT_TRUE(parseApiDocument(Apis, Doc, Error)) << Error;
+  EXPECT_EQ(Doc.size(), 4u);
+  const ApiInfo *Host = Doc.byName("HOST");
+  ASSERT_NE(Host, nullptr);
+  EXPECT_EQ(Host->Lit, LitKind::String);
+  EXPECT_EQ(Host->NameWords, std::vector<std::string>{"host"});
+  const ApiInfo *Lit = Doc.byName("LIT");
+  ASSERT_NE(Lit, nullptr);
+  EXPECT_TRUE(Lit->LiteralOnly);
+}
+
+TEST(DomainLoader, FlagErrors) {
+  ApiDocument Doc;
+  std::string Error;
+  EXPECT_FALSE(parseApiDocument("X | bogus-flag |  | desc", Doc, Error));
+  EXPECT_NE(Error.find("bogus-flag"), std::string::npos);
+
+  ApiDocument Doc2;
+  EXPECT_FALSE(parseApiDocument("X | | only-three-fields", Doc2, Error));
+}
+
+TEST(DomainLoader, DuplicateNameRejected) {
+  ApiDocument Doc;
+  std::string Error;
+  EXPECT_FALSE(parseApiDocument("X | | x | a\nX | | x | b", Doc, Error));
+  EXPECT_NE(Error.find("duplicate"), std::string::npos);
+}
+
+TEST(DomainLoader, UndocumentedTerminalRejected) {
+  DomainLoadResult R =
+      loadDomainFromText("t", "cmd ::= PING", "# nothing\n");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("PING"), std::string::npos);
+}
+
+TEST(DomainLoader, EndToEndSynthesis) {
+  DomainLoadResult R = loadDomainFromText("ping", Bnf, Apis);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EvalHarness H(*R.D, 2000);
+  DggtSynthesizer S;
+  CaseOutcome O = H.runCase(S, {"ping the host 'web01'", ""});
+  ASSERT_TRUE(O.Result.ok()) << statusName(O.Result.St);
+  EXPECT_EQ(O.Result.Expression, "PING(HOST(web01))");
+}
+
+TEST(DomainLoader, LoadsShippedSmartHomeFiles) {
+  // The data/ files define the same smart-home DSL as
+  // examples/custom_domain.cpp, loaded without recompilation.
+  DomainLoadResult R = loadDomainFromFiles(
+      "SmartHome", DGGT_DATA_DIR "/smarthome/grammar.bnf",
+      DGGT_DATA_DIR "/smarthome/apis.txt");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.D->document().size(), 13u);
+
+  EvalHarness H(*R.D, 2000);
+  DggtSynthesizer S;
+  CaseOutcome O =
+      H.runCase(S, {"turn on the light in the room 'kitchen'", ""});
+  ASSERT_TRUE(O.Result.ok());
+  EXPECT_EQ(O.Result.Expression, "TURNON(LIGHT(), ROOM(kitchen))");
+}
+
+TEST(DomainLoader, MissingFileReported) {
+  DomainLoadResult R =
+      loadDomainFromFiles("x", "/nonexistent/grammar.bnf",
+                          "/nonexistent/apis.txt");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("cannot open"), std::string::npos);
+}

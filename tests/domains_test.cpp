@@ -1,0 +1,118 @@
+//===- tests/domains_test.cpp - Evaluation domain integrity ---------------===//
+
+#include "domains/Domain.h"
+#include "domains/AstMatcherData.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace dggt;
+
+TEST(TextEditingDomain, TableOneInventory) {
+  std::unique_ptr<Domain> D = makeTextEditingDomain();
+  EXPECT_EQ(D->document().size(), 52u);  // Table I: 52 APIs.
+  EXPECT_EQ(D->queries().size(), 200u);  // Table I: 200 queries.
+  EXPECT_EQ(D->grammar().validate(), "");
+  EXPECT_EQ(D->grammar().startSymbol(), "cmd");
+}
+
+TEST(TextEditingDomain, EveryGrammarTerminalDocumented) {
+  std::unique_ptr<Domain> D = makeTextEditingDomain();
+  for (const std::string &Api : D->grammar().apiTerminals())
+    EXPECT_NE(D->document().byName(Api), nullptr) << Api;
+}
+
+TEST(TextEditingDomain, QueriesAreUniqueAndTruthsNonEmpty) {
+  std::unique_ptr<Domain> D = makeTextEditingDomain();
+  std::set<std::string> Seen;
+  for (const QueryCase &Q : D->queries()) {
+    EXPECT_FALSE(Q.Query.empty());
+    EXPECT_FALSE(Q.GroundTruth.empty());
+    EXPECT_TRUE(Seen.insert(Q.Query).second) << "duplicate: " << Q.Query;
+  }
+}
+
+TEST(TextEditingDomain, GroundTruthApisExist) {
+  // Every ALLCAPS identifier in a ground truth must be a documented API
+  // (by rendered name or terminal name).
+  std::unique_ptr<Domain> D = makeTextEditingDomain();
+  std::set<std::string> Rendered;
+  for (const ApiInfo &Api : D->document().apis())
+    Rendered.insert(std::string(Api.renderedName()));
+  for (const QueryCase &Q : D->queries()) {
+    std::string Ident;
+    for (char C : Q.GroundTruth + "(") {
+      if (std::isalnum(static_cast<unsigned char>(C))) {
+        Ident += C;
+        continue;
+      }
+      if (C == '(' && !Ident.empty() &&
+          std::isupper(static_cast<unsigned char>(Ident[0])))
+        EXPECT_TRUE(Rendered.count(Ident)) << Ident << " in " << Q.Query;
+      Ident.clear();
+    }
+  }
+}
+
+TEST(AstMatcherDomain, TableOneInventory) {
+  std::unique_ptr<Domain> D = makeAstMatcherDomain();
+  EXPECT_EQ(D->document().size(), 505u); // Table I: 505 APIs.
+  EXPECT_EQ(D->queries().size(), 100u);  // Table I: 100 queries.
+  EXPECT_EQ(D->grammar().validate(), "");
+  EXPECT_EQ(D->grammar().startSymbol(), "matcher");
+}
+
+TEST(AstMatcherDomain, TableRowsAreUniqueAndWellFormed) {
+  std::set<std::string> Names;
+  for (const MatcherSpec &Spec : astMatcherTable()) {
+    EXPECT_TRUE(Names.insert(Spec.Name).second) << Spec.Name;
+    EXPECT_NE(Spec.Name[0], '\0');
+  }
+  EXPECT_EQ(Names.size(), 503u); // +2 literal pseudo-APIs = 505.
+}
+
+TEST(AstMatcherDomain, GeneratedGrammarShape) {
+  std::unique_ptr<Domain> D = makeAstMatcherDomain();
+  const Grammar &G = D->grammar();
+  // Four categories, each with a root entry, a nested entry and four
+  // slot non-terminals.
+  for (const char *Nt : {"decl_m", "stmt_m", "expr_m", "type_m",
+                         "root_decl", "root_stmt", "root_expr", "root_type",
+                         "decl_a", "decl_b", "root_decl_a", "root_decl_b"})
+    EXPECT_TRUE(G.isNonTerminal(Nt)) << Nt;
+  // Node matchers occur in both the root and the nested entry.
+  EXPECT_EQ(D->grammarGraph().apiOccurrences("CALLEXPR").size(), 2u);
+  // Narrowing matchers occur once per slot (two nested + two root slots).
+  EXPECT_EQ(D->grammarGraph().apiOccurrences("ISVIRTUAL").size(), 4u);
+}
+
+TEST(AstMatcherDomain, RenderedNamesAreCamelCase) {
+  std::unique_ptr<Domain> D = makeAstMatcherDomain();
+  const ApiInfo *Api = D->document().byName("HASNAME");
+  ASSERT_NE(Api, nullptr);
+  EXPECT_EQ(Api->renderedName(), "hasName");
+  EXPECT_TRUE(Api->QuoteLiteral); // hasName("PI") quotes its argument.
+}
+
+TEST(AstMatcherDomain, LiteralPseudoApis) {
+  std::unique_ptr<Domain> D = makeAstMatcherDomain();
+  const ApiInfo *Str = D->document().byName("LITSTR");
+  const ApiInfo *Num = D->document().byName("LITNUM");
+  ASSERT_NE(Str, nullptr);
+  ASSERT_NE(Num, nullptr);
+  EXPECT_TRUE(Str->LiteralOnly);
+  EXPECT_TRUE(Str->QuoteLiteral);
+  EXPECT_EQ(Num->Lit, LitKind::Number);
+  EXPECT_FALSE(Num->QuoteLiteral);
+}
+
+TEST(Domains, GrammarGraphSizes) {
+  // The ASTMatcher grammar graph is an order of magnitude larger than
+  // TextEditing's, matching the 505-vs-52 API ratio of Table I.
+  std::unique_ptr<Domain> TE = makeTextEditingDomain();
+  std::unique_ptr<Domain> AST = makeAstMatcherDomain();
+  EXPECT_GT(AST->grammarGraph().numNodes(),
+            5 * TE->grammarGraph().numNodes());
+  EXPECT_GT(AST->grammarGraph().numApiOccurrences(), 505u);
+}

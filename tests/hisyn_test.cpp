@@ -1,0 +1,83 @@
+//===- tests/hisyn_test.cpp - Baseline synthesizer tests ------------------===//
+
+#include "synth/hisyn/HisynSynthesizer.h"
+
+#include "TestFixtures.h"
+#include "synth/Expression.h"
+
+#include <gtest/gtest.h>
+
+using namespace dggt;
+using namespace dggt::test;
+
+TEST(Hisyn, SolvesPaperFragment) {
+  PaperFragment F;
+  HisynSynthesizer S;
+  Budget B;
+  SynthesisResult R = S.synthesize(F.Query, B);
+  ASSERT_TRUE(R.ok()) << statusName(R.St);
+  // The smallest CGT uses START (not STARTFROM via POSITION) and resolves
+  // "line" to LINESCOPE; "each" is an orphan handled via the grammar root.
+  EXPECT_EQ(normalizeExpression(R.Expression),
+            "INSERT(STRING(;),START(),ITERATIONSCOPE(LINESCOPE(),ALL()))");
+  EXPECT_EQ(R.CgtSize, 7u);
+}
+
+TEST(Hisyn, StatsReflectEnumeration) {
+  PaperFragment F;
+  HisynSynthesizer S;
+  Budget B;
+  SynthesisResult R = S.synthesize(F.Query, B);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Stats.DepEdges, 5u); // 4 dependency edges + root pseudo-edge.
+  EXPECT_GT(R.Stats.OriginalPaths, 0u);
+  EXPECT_GT(R.Stats.ExaminedCombos, 0u);
+  EXPECT_EQ(R.Stats.Orphans, 1u); // "each" has no path from LINE*.
+}
+
+TEST(Hisyn, TimeoutReported) {
+  PaperFragment F;
+  HisynSynthesizer S;
+  Budget B(1);
+  // Burn the budget first so expiry is deterministic.
+  while (!B.expired()) {
+  }
+  SynthesisResult R = S.synthesize(F.Query, B);
+  EXPECT_EQ(R.St, SynthesisResult::Status::Timeout);
+}
+
+TEST(Hisyn, NoCandidatesDetected) {
+  PaperFragment F;
+  F.Query.Words.Candidates[F.LineId].clear();
+  HisynSynthesizer S;
+  Budget B;
+  SynthesisResult R = S.synthesize(F.Query, B);
+  EXPECT_EQ(R.St, SynthesisResult::Status::NoCandidates);
+}
+
+TEST(Hisyn, EarlyPruningTogglePreservesResult) {
+  PaperFragment F;
+  Budget B1, B2;
+  HisynSynthesizer With(HisynSynthesizer::Options{true});
+  HisynSynthesizer Without(HisynSynthesizer::Options{false});
+  SynthesisResult A = With.synthesize(F.Query, B1);
+  SynthesisResult C = Without.synthesize(F.Query, B2);
+  ASSERT_TRUE(A.ok());
+  ASSERT_TRUE(C.ok());
+  EXPECT_EQ(A.Expression, C.Expression);
+  EXPECT_EQ(A.CgtSize, C.CgtSize);
+  // Pruning only ever skips work.
+  EXPECT_GE(C.Stats.ExaminedCombos, A.Stats.ExaminedCombos -
+                                        A.Stats.PrunedBySize);
+}
+
+TEST(Hisyn, OrphanFallbackUsesRootPaths) {
+  // Detach "each" semantically: its edge has no grammar paths, so HISyn
+  // must search from the grammar start and still cover the word.
+  PaperFragment F;
+  HisynSynthesizer S;
+  Budget B;
+  SynthesisResult R = S.synthesize(F.Query, B);
+  ASSERT_TRUE(R.ok());
+  EXPECT_NE(R.Expression.find("ALL()"), std::string::npos);
+}

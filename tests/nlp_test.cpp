@@ -1,0 +1,205 @@
+//===- tests/nlp_test.cpp - nlp/ unit tests -------------------------------===//
+
+#include "nlp/DependencyGraph.h"
+#include "nlp/DependencyParser.h"
+#include "nlp/GraphPruner.h"
+
+#include <gtest/gtest.h>
+
+using namespace dggt;
+
+namespace {
+
+/// Finds the node id of \p Word; -1 if absent.
+int nodeOf(const DependencyGraph &G, const std::string &Word) {
+  for (unsigned I = 0; I < G.size(); ++I)
+    if (G.node(I).Word == Word)
+      return static_cast<int>(I);
+  return -1;
+}
+
+/// True if \p G has an edge Gov -> Dep with \p Type.
+bool hasEdge(const DependencyGraph &G, const std::string &Gov,
+             const std::string &Dep, DepType Type) {
+  int GovId = nodeOf(G, Gov), DepId = nodeOf(G, Dep);
+  if (GovId < 0 || DepId < 0)
+    return false;
+  for (const DepEdge &E : G.edges())
+    if (E.Governor == static_cast<unsigned>(GovId) &&
+        E.Dependent == static_cast<unsigned>(DepId) && E.Type == Type)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(DependencyGraph, BasicStructure) {
+  DependencyGraph G;
+  unsigned A = G.addNode({"a", {}, Pos::Verb, {}, {}, 0});
+  unsigned B = G.addNode({"b", {}, Pos::Noun, {}, {}, 1});
+  unsigned C = G.addNode({"c", {}, Pos::Noun, {}, {}, 2});
+  G.setRoot(A);
+  G.addEdge(A, B, DepType::Obj);
+  G.addEdge(B, C, DepType::Nmod);
+
+  EXPECT_EQ(G.root(), A);
+  EXPECT_EQ(G.childrenOf(A), std::vector<unsigned>{B});
+  EXPECT_EQ(G.governorOf(C), std::optional<unsigned>{B});
+  EXPECT_EQ(G.governorOf(A), std::nullopt);
+  EXPECT_EQ(G.depthOf(A), 0u);
+  EXPECT_EQ(G.depthOf(C), 2u);
+  EXPECT_EQ(G.maxLevel(), 2u);
+  ASSERT_EQ(G.edgesAtLevel(1).size(), 1u);
+  EXPECT_EQ(G.edgesAtLevel(1)[0].Dependent, B);
+}
+
+TEST(DependencyGraph, ReattachMovesSubtree) {
+  DependencyGraph G;
+  unsigned A = G.addNode({"a", {}, Pos::Verb, {}, {}, 0});
+  unsigned B = G.addNode({"b", {}, Pos::Noun, {}, {}, 1});
+  unsigned C = G.addNode({"c", {}, Pos::Noun, {}, {}, 2});
+  G.setRoot(A);
+  G.addEdge(A, B, DepType::Obj);
+  G.addEdge(B, C, DepType::Det);
+  G.reattach(C, A, DepType::Dep);
+  EXPECT_EQ(G.governorOf(C), std::optional<unsigned>{A});
+  EXPECT_EQ(G.childrenOf(B), std::vector<unsigned>{});
+}
+
+TEST(DependencyGraph, UnattachedNodesReported) {
+  DependencyGraph G;
+  unsigned A = G.addNode({"a", {}, Pos::Verb, {}, {}, 0});
+  unsigned B = G.addNode({"b", {}, Pos::Noun, {}, {}, 1});
+  G.setRoot(A);
+  EXPECT_EQ(G.unattachedNodes(), std::vector<unsigned>{B});
+  EXPECT_EQ(G.depthOf(B), 1u); // HISyn convention: hangs off the root.
+}
+
+TEST(DependencyParser, PaperStyleInsert) {
+  DependencyGraph G = parseDependencies("insert ';' at the start of each line");
+  EXPECT_EQ(G.node(G.root()).Word, "insert");
+  EXPECT_TRUE(hasEdge(G, "insert", ";", DepType::Lit));
+  EXPECT_TRUE(hasEdge(G, "insert", "start", DepType::Nmod));
+  EXPECT_TRUE(hasEdge(G, "insert", "line", DepType::Nmod));
+  EXPECT_TRUE(hasEdge(G, "line", "each", DepType::Det));
+  EXPECT_TRUE(hasEdge(G, "start", "at", DepType::Case));
+}
+
+TEST(DependencyParser, ParticipleAttachesToNoun) {
+  DependencyGraph G =
+      parseDependencies("delete lines containing numbers");
+  EXPECT_TRUE(hasEdge(G, "lines", "containing", DepType::Acl));
+  EXPECT_TRUE(hasEdge(G, "containing", "numbers", DepType::Obj));
+}
+
+TEST(DependencyParser, CompoundNounPhrase) {
+  DependencyGraph G = parseDependencies("find cxx constructor expressions");
+  int Id = nodeOf(G, "expressions");
+  ASSERT_GE(Id, 0);
+  EXPECT_EQ(G.node(Id).Phrase,
+            (std::vector<std::string>{"cxx", "constructor", "expressions"}));
+}
+
+TEST(DependencyParser, RelativeClause) {
+  DependencyGraph G = parseDependencies(
+      "find expressions which declare a method named 'PI'");
+  EXPECT_TRUE(hasEdge(G, "expressions", "declare", DepType::Acl));
+  EXPECT_TRUE(hasEdge(G, "declare", "method", DepType::Obj));
+  EXPECT_TRUE(hasEdge(G, "method", "named", DepType::Acl));
+  EXPECT_TRUE(hasEdge(G, "named", "PI", DepType::Lit));
+}
+
+TEST(DependencyParser, WhoseCopulaConstruction) {
+  DependencyGraph G = parseDependencies(
+      "find call expressions whose argument is a float literal");
+  EXPECT_TRUE(hasEdge(G, "expressions", "argument", DepType::Nmod));
+  EXPECT_TRUE(hasEdge(G, "argument", "literal", DepType::Obj));
+  int Lit = nodeOf(G, "literal");
+  ASSERT_GE(Lit, 0);
+  EXPECT_EQ(G.node(Lit).Phrase,
+            (std::vector<std::string>{"float", "literal"}));
+}
+
+TEST(DependencyParser, ConditionalClausePromotesMainVerb) {
+  DependencyGraph G = parseDependencies(
+      "if a sentence starts with '-', add ':' after 14 characters");
+  EXPECT_EQ(G.node(G.root()).Word, "add");
+  EXPECT_TRUE(hasEdge(G, "add", "starts", DepType::Advcl));
+  // The clause subject is lifted to the main verb.
+  EXPECT_TRUE(hasEdge(G, "add", "sentence", DepType::Nmod));
+  // The phrasal particle "with" joined the verb's phrase.
+  int Starts = nodeOf(G, "starts");
+  ASSERT_GE(Starts, 0);
+  EXPECT_EQ(G.node(Starts).Phrase,
+            (std::vector<std::string>{"starts", "with"}));
+}
+
+TEST(DependencyParser, NumericModifierCollapses) {
+  DependencyGraph G = parseDependencies("add ':' after 14 characters");
+  int Chars = nodeOf(G, "characters");
+  ASSERT_GE(Chars, 0);
+  EXPECT_EQ(G.node(Chars).Literal, std::optional<std::string>{"14"});
+}
+
+TEST(DependencyParser, VerblessQueryRootsAtNoun) {
+  DependencyGraph G = parseDependencies("all lines");
+  EXPECT_TRUE(G.hasRoot());
+  EXPECT_EQ(G.node(G.root()).Word, "lines");
+}
+
+TEST(DependencyParser, EmptyQuery) {
+  DependencyGraph G = parseDependencies("");
+  EXPECT_EQ(G.size(), 0u);
+  EXPECT_FALSE(G.hasRoot());
+}
+
+TEST(GraphPruner, DropsFunctionWords) {
+  DependencyGraph P = parseAndPrune("insert ';' at the start of each line");
+  EXPECT_EQ(nodeOf(P, "at"), -1);
+  EXPECT_EQ(nodeOf(P, "the"), -1);
+  EXPECT_EQ(nodeOf(P, "of"), -1);
+  EXPECT_GE(nodeOf(P, "insert"), 0);
+  EXPECT_GE(nodeOf(P, "start"), 0);
+  EXPECT_GE(nodeOf(P, "each"), 0); // Quantifiers survive.
+}
+
+TEST(GraphPruner, RecordsCasePreposition) {
+  DependencyGraph P = parseAndPrune("delete words in each line");
+  int Line = nodeOf(P, "line");
+  ASSERT_GE(Line, 0);
+  EXPECT_EQ(P.node(Line).CasePrep, std::optional<std::string>{"in"});
+}
+
+TEST(GraphPruner, PositionalPrepositionsSurvive) {
+  DependencyGraph P = parseAndPrune("insert ';' before 3 words in each line");
+  EXPECT_GE(nodeOf(P, "before"), 0);
+}
+
+TEST(GraphPruner, FramingRootVerbPromotesObject) {
+  PruneOptions Opts;
+  Opts.FramingRootVerbs = {"find"};
+  DependencyGraph P = parseAndPrune("find virtual methods", Opts);
+  EXPECT_EQ(nodeOf(P, "find"), -1);
+  ASSERT_TRUE(P.hasRoot());
+  EXPECT_EQ(P.node(P.root()).Word, "methods");
+  EXPECT_TRUE(hasEdge(P, "methods", "virtual", DepType::Amod));
+}
+
+TEST(GraphPruner, DropQuantifiersOption) {
+  PruneOptions Opts;
+  Opts.DropQuantifiers = true;
+  DependencyGraph P = parseAndPrune("delete all words", Opts);
+  EXPECT_EQ(nodeOf(P, "all"), -1);
+  EXPECT_GE(nodeOf(P, "words"), 0);
+}
+
+TEST(GraphPruner, PrunedGraphStaysATree) {
+  DependencyGraph P =
+      parseAndPrune("if a line contains numbers, delete all tabs");
+  ASSERT_TRUE(P.hasRoot());
+  for (unsigned I = 0; I < P.size(); ++I) {
+    if (I == P.root())
+      continue;
+    EXPECT_TRUE(P.governorOf(I).has_value()) << "node " << I << " unattached";
+  }
+}

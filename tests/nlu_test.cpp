@@ -1,0 +1,144 @@
+//===- tests/nlu_test.cpp - nlu/ unit tests -------------------------------===//
+
+#include "nlu/WordToApiMatcher.h"
+
+#include "domains/Domain.h"
+#include "nlp/GraphPruner.h"
+
+#include <gtest/gtest.h>
+
+using namespace dggt;
+
+namespace {
+
+/// Returns the names of a node's candidates in score order.
+std::vector<std::string> candidateNames(const Domain &D,
+                                        const std::string &Query,
+                                        const std::string &Word) {
+  DependencyGraph P = parseAndPrune(Query, D.frontEnd().pruneOptions());
+  WordToApiMap Map = D.frontEnd().matcher().mapGraph(P);
+  for (unsigned I = 0; I < P.size(); ++I) {
+    if (P.node(I).Word != Word)
+      continue;
+    std::vector<std::string> Names;
+    for (const ApiCandidate &C : Map.forNode(I))
+      Names.push_back(D.document().api(C.ApiIndex).Name);
+    return Names;
+  }
+  ADD_FAILURE() << "word '" << Word << "' not in pruned graph";
+  return {};
+}
+
+bool contains(const std::vector<std::string> &V, const std::string &S) {
+  return std::find(V.begin(), V.end(), S) != V.end();
+}
+
+} // namespace
+
+TEST(ApiDocument, LookupAndIndex) {
+  ApiDocument Doc;
+  ApiInfo A;
+  A.Name = "FOO";
+  Doc.add(A);
+  EXPECT_EQ(Doc.size(), 1u);
+  EXPECT_NE(Doc.byName("FOO"), nullptr);
+  EXPECT_EQ(Doc.byName("BAR"), nullptr);
+  EXPECT_EQ(Doc.indexOf("FOO"), 0);
+  EXPECT_EQ(Doc.indexOf("BAR"), -1);
+}
+
+TEST(ApiDocument, RenderedName) {
+  ApiInfo A;
+  A.Name = "HASNAME";
+  EXPECT_EQ(A.renderedName(), "HASNAME");
+  A.RenderAs = "hasName";
+  EXPECT_EQ(A.renderedName(), "hasName");
+}
+
+TEST(WordToApi, ExactNameWins) {
+  std::unique_ptr<Domain> D = makeTextEditingDomain();
+  std::vector<std::string> C =
+      candidateNames(*D, "insert ';' at the end", "insert");
+  ASSERT_FALSE(C.empty());
+  EXPECT_EQ(C.front(), "INSERT");
+}
+
+TEST(WordToApi, PaperAmbiguityStartMapsToTwo) {
+  // Figure 3: "start" -> {START, STARTFROM}.
+  std::unique_ptr<Domain> D = makeTextEditingDomain();
+  std::vector<std::string> C =
+      candidateNames(*D, "insert ';' at the start of each line", "start");
+  EXPECT_TRUE(contains(C, "START"));
+  EXPECT_TRUE(contains(C, "STARTFROM"));
+  EXPECT_FALSE(contains(C, "STARTSWITH")); // Full-name bonus rules it out.
+}
+
+TEST(WordToApi, SynonymsReachApis) {
+  std::unique_ptr<Domain> D = makeTextEditingDomain();
+  // "append" is a synonym of "insert"; "numerals" of "number".
+  EXPECT_TRUE(contains(
+      candidateNames(*D, "append ';' at the end", "append"), "INSERT"));
+  EXPECT_TRUE(contains(
+      candidateNames(*D, "delete numerals in each line", "numerals"),
+      "NUMBERTOKEN"));
+}
+
+TEST(WordToApi, LiteralNodesMapToLiteralApis) {
+  std::unique_ptr<Domain> D = makeTextEditingDomain();
+  std::vector<std::string> C =
+      candidateNames(*D, "insert ';' at the end", ";");
+  EXPECT_EQ(C, std::vector<std::string>{"LIT"});
+}
+
+TEST(WordToApi, NumericLiteralKind) {
+  std::unique_ptr<Domain> D = makeTextEditingDomain();
+  // A standalone number maps to the numeric literal pseudo-API only.
+  std::vector<std::string> C =
+      candidateNames(*D, "insert ';' at position 10 in each line", "10");
+  EXPECT_EQ(C, std::vector<std::string>{"NUMLIT"});
+}
+
+TEST(WordToApi, LocativeContextBoostsScopes) {
+  std::unique_ptr<Domain> D = makeTextEditingDomain();
+  std::vector<std::string> C =
+      candidateNames(*D, "delete words in each line", "line");
+  ASSERT_FALSE(C.empty());
+  EXPECT_EQ(C.front(), "LINESCOPE"); // "in each line" reads as a scope.
+}
+
+TEST(WordToApi, LiteralAffinityBoost) {
+  std::unique_ptr<Domain> D = makeAstMatcherDomain();
+  // "2 parameters" prefers the count matcher over hasParameter.
+  std::vector<std::string> C =
+      candidateNames(*D, "find functions with 2 parameters", "parameters");
+  ASSERT_FALSE(C.empty());
+  EXPECT_EQ(C.front(), "PARAMETERCOUNTIS");
+}
+
+TEST(WordToApi, PhraseCoverage) {
+  std::unique_ptr<Domain> D = makeAstMatcherDomain();
+  std::vector<std::string> C =
+      candidateNames(*D, "find all binary operators", "operators");
+  ASSERT_FALSE(C.empty());
+  EXPECT_EQ(C.front(), "BINARYOPERATOR");
+}
+
+TEST(WordToApi, MaxCandidatesRespected) {
+  std::unique_ptr<Domain> D = makeTextEditingDomain();
+  DependencyGraph P = parseAndPrune("delete words in each line");
+  WordToApiMap Map = D->frontEnd().matcher().mapGraph(P);
+  for (unsigned I = 0; I < P.size(); ++I)
+    EXPECT_LE(Map.forNode(I).size(), 8u);
+}
+
+TEST(WordToApi, ScoresSortedDescending) {
+  std::unique_ptr<Domain> D = makeTextEditingDomain();
+  DependencyGraph P =
+      parseAndPrune("insert ';' at the start of each line");
+  WordToApiMap Map = D->frontEnd().matcher().mapGraph(P);
+  for (unsigned I = 0; I < P.size(); ++I) {
+    const std::vector<ApiCandidate> &C = Map.forNode(I);
+    for (size_t J = 1; J < C.size(); ++J)
+      EXPECT_GE(C[J - 1].Score, C[J].Score);
+  }
+}

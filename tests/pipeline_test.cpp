@@ -1,0 +1,107 @@
+//===- tests/pipeline_test.cpp - Front-end and EdgeToPath map tests -------===//
+
+#include "synth/Pipeline.h"
+
+#include "TestFixtures.h"
+#include "domains/Domain.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace dggt;
+using namespace dggt::test;
+
+TEST(EdgeToPathMap, RootPseudoEdgeComesFirst) {
+  PaperFragment F;
+  ASSERT_FALSE(F.Query.Edges.Edges.empty());
+  const EdgePaths &Root = F.Query.Edges.Edges.front();
+  EXPECT_FALSE(Root.Edge.GovNode.has_value());
+  EXPECT_EQ(Root.Edge.DepNode, F.InsertId);
+  ASSERT_EQ(Root.Paths.size(), 1u);
+  EXPECT_EQ(Root.Paths[0].governorEnd(), F.GG->startNode());
+}
+
+TEST(EdgeToPathMap, PathIdsAreGloballyUnique) {
+  PaperFragment F;
+  std::set<unsigned> Ids;
+  for (const EdgePaths &EP : F.Query.Edges.Edges)
+    for (const GrammarPath &P : EP.Paths) {
+      EXPECT_GT(P.Id, 0u);
+      EXPECT_TRUE(Ids.insert(P.Id).second) << "duplicate id " << P.Id;
+    }
+}
+
+TEST(EdgeToPathMap, CombinationsAreProductOfPathCounts) {
+  PaperFragment F;
+  double Expected = 1.0;
+  for (const EdgePaths &EP : F.Query.Edges.Edges)
+    Expected *= EP.Paths.empty() ? 1.0 : static_cast<double>(EP.Paths.size());
+  EXPECT_DOUBLE_EQ(F.Query.Edges.totalCombinations(), Expected);
+}
+
+TEST(EdgeToPathMap, OrphanDetection) {
+  PaperFragment F;
+  std::vector<unsigned> Orphans = F.Query.Edges.orphanDependents();
+  ASSERT_EQ(Orphans.size(), 1u);
+  EXPECT_EQ(Orphans[0], F.EachId); // "each" -> ALL has no path from LINE*.
+}
+
+TEST(EdgeToPathMap, PathsCarryCandidateScores) {
+  PaperFragment F;
+  for (const EdgePaths &EP : F.Query.Edges.Edges)
+    for (const GrammarPath &P : EP.Paths)
+      EXPECT_GT(P.DepScore, 0.0);
+}
+
+TEST(EdgeToPathMap, PathsRespectGovernorCandidates) {
+  // Every path of a real dependency edge must start at an occurrence of
+  // one of the governor's candidate APIs.
+  PaperFragment F;
+  for (const EdgePaths &EP : F.Query.Edges.Edges) {
+    if (!EP.Edge.GovNode)
+      continue;
+    std::set<GgNodeId> GovOccs;
+    for (const ApiCandidate &C : F.Query.Words.forNode(*EP.Edge.GovNode))
+      for (GgNodeId Occ :
+           F.GG->apiOccurrences(F.Doc.api(C.ApiIndex).Name))
+        GovOccs.insert(Occ);
+    for (const GrammarPath &P : EP.Paths)
+      EXPECT_TRUE(GovOccs.count(P.governorEnd()));
+  }
+}
+
+TEST(Pipeline, PrepareIsDeterministic) {
+  std::unique_ptr<Domain> D = makeTextEditingDomain();
+  PreparedQuery A =
+      D->frontEnd().prepare("delete all numbers in each line");
+  PreparedQuery B =
+      D->frontEnd().prepare("delete all numbers in each line");
+  EXPECT_EQ(A.Pruned.size(), B.Pruned.size());
+  EXPECT_EQ(A.Edges.totalPaths(), B.Edges.totalPaths());
+  EXPECT_DOUBLE_EQ(A.Edges.totalCombinations(), B.Edges.totalCombinations());
+}
+
+TEST(Pipeline, AllWordsMapped) {
+  PaperFragment F;
+  EXPECT_TRUE(F.Query.allWordsMapped());
+  F.Query.Words.Candidates[F.StartId].clear();
+  EXPECT_FALSE(F.Query.allWordsMapped());
+}
+
+TEST(Pipeline, EmptyQueryPreparesEmpty) {
+  std::unique_ptr<Domain> D = makeTextEditingDomain();
+  PreparedQuery Q = D->frontEnd().prepare("");
+  EXPECT_EQ(Q.Pruned.size(), 0u);
+  EXPECT_TRUE(Q.Edges.Edges.empty());
+  EXPECT_FALSE(Q.allWordsMapped());
+}
+
+TEST(Pipeline, LevelsMatchDependencyDepths) {
+  PaperFragment F;
+  for (const EdgePaths &EP : F.Query.Edges.Edges) {
+    if (!EP.Edge.GovNode)
+      continue;
+    EXPECT_EQ(EP.Edge.Level, F.Query.Pruned.depthOf(EP.Edge.DepNode));
+  }
+}

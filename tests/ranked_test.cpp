@@ -1,0 +1,78 @@
+//===- tests/ranked_test.cpp - Ranked (top-K) synthesis tests -------------===//
+
+#include "synth/dggt/RankedSynthesis.h"
+
+#include "TestFixtures.h"
+#include "domains/Domain.h"
+#include "synth/Expression.h"
+
+#include <gtest/gtest.h>
+
+using namespace dggt;
+using namespace dggt::test;
+
+TEST(Ranked, FirstCandidateMatchesSynthesize) {
+  PaperFragment F;
+  DggtSynthesizer S;
+  Budget B1, B2;
+  SynthesisResult R = S.synthesize(F.Query, B1);
+  std::vector<RankedCandidate> Ranked = synthesizeRanked(F.Query, B2, 5);
+  ASSERT_TRUE(R.ok());
+  ASSERT_FALSE(Ranked.empty());
+  EXPECT_EQ(Ranked[0].Expression, R.Expression);
+  EXPECT_EQ(Ranked[0].Objective.Size, R.CgtSize);
+}
+
+TEST(Ranked, CandidatesAreOrderedAndDistinct) {
+  PaperFragment F;
+  Budget B;
+  std::vector<RankedCandidate> Ranked = synthesizeRanked(F.Query, B, 10);
+  ASSERT_GE(Ranked.size(), 2u); // START vs STARTFROM readings at least.
+  for (size_t I = 1; I < Ranked.size(); ++I) {
+    EXPECT_FALSE(Ranked[I].Objective.betterThan(Ranked[I - 1].Objective));
+    for (size_t J = 0; J < I; ++J)
+      EXPECT_NE(Ranked[I].Expression, Ranked[J].Expression);
+  }
+}
+
+TEST(Ranked, KLimitsResultCount) {
+  PaperFragment F;
+  Budget B1, B2;
+  EXPECT_LE(synthesizeRanked(F.Query, B1, 1).size(), 1u);
+  EXPECT_TRUE(synthesizeRanked(F.Query, B2, 0).empty());
+}
+
+TEST(Ranked, AlternativeReadingsAppear) {
+  // The STARTFROM reading (via POSITION) must appear as a lower-ranked
+  // alternative to the START reading.
+  PaperFragment F;
+  Budget B;
+  std::vector<RankedCandidate> Ranked = synthesizeRanked(F.Query, B, 10);
+  bool SawStart = false, SawStartFrom = false;
+  for (const RankedCandidate &C : Ranked) {
+    if (C.Expression.find("START(") != std::string::npos)
+      SawStart = true;
+    if (C.Expression.find("STARTFROM") != std::string::npos)
+      SawStartFrom = true;
+  }
+  EXPECT_TRUE(SawStart);
+  EXPECT_TRUE(SawStartFrom);
+}
+
+TEST(Ranked, WorksOnRealDomain) {
+  std::unique_ptr<Domain> D = makeAstMatcherDomain();
+  PreparedQuery Q =
+      D->frontEnd().prepare("find functions named 'main'");
+  Budget B(10000);
+  std::vector<RankedCandidate> Ranked = synthesizeRanked(Q, B, 3);
+  ASSERT_FALSE(Ranked.empty());
+  EXPECT_EQ(Ranked[0].Expression, "functionDecl(hasName(\"main\"))");
+  EXPECT_LE(Ranked.size(), 3u);
+}
+
+TEST(Ranked, NoCandidatesForUnmappableQuery) {
+  PaperFragment F;
+  F.Query.Words.Candidates[F.LineId].clear();
+  Budget B;
+  EXPECT_TRUE(synthesizeRanked(F.Query, B, 5).empty());
+}

@@ -1,0 +1,143 @@
+//===- tests/robustness_test.cpp - Failure injection and edge cases -------===//
+//
+// Degenerate grammars, recursive rules, truncated searches, missing
+// literals, mid-flight budget expiry: the pipeline must degrade with a
+// clear status, never crash or hang.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/BnfParser.h"
+#include "grammar/PathSearch.h"
+#include "synth/Expression.h"
+#include "synth/dggt/DggtSynthesizer.h"
+#include "synth/hisyn/HisynSynthesizer.h"
+
+#include "TestFixtures.h"
+#include "domains/Domain.h"
+
+#include <gtest/gtest.h>
+
+using namespace dggt;
+using namespace dggt::test;
+
+TEST(Robustness, RecursiveGrammarPathsAreSimple) {
+  // s ::= WRAP s | LEAF — unbounded derivations, but the backward search
+  // must only return simple paths and terminate.
+  BnfParseResult R = parseBnf("s ::= WRAP s | LEAF");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  GrammarGraph GG(R.G);
+  GgNodeId Leaf = GG.apiOccurrences("LEAF").front();
+  PathSearchResult Paths = findPathsFromStart(GG, Leaf);
+  // Exactly one simple path start -> ... -> LEAF (no WRAP repetition).
+  ASSERT_EQ(Paths.Paths.size(), 1u);
+  EXPECT_FALSE(Paths.Truncated);
+
+  // WRAP -> LEAF exists once, through the recursive reference.
+  GgNodeId Wrap = GG.apiOccurrences("WRAP").front();
+  PathSearchResult Between = findPathsBetween(GG, Leaf, {Wrap});
+  EXPECT_EQ(Between.Paths.size(), 1u);
+}
+
+TEST(Robustness, SelfRecursiveOnlyGrammarStillValidates) {
+  BnfParseResult R = parseBnf("s ::= A s\n");
+  ASSERT_TRUE(R.ok()) << R.Error; // Structurally fine (never terminates
+                                  // in derivation, but the graph exists).
+  GrammarGraph GG(R.G);
+  EXPECT_EQ(GG.apiOccurrences("A").size(), 1u);
+}
+
+TEST(Robustness, VisitBudgetTruncatesHostileSearch) {
+  // A wide grammar with a tiny visit budget: the search must stop and
+  // flag truncation rather than explore everything.
+  std::string Bnf = "s ::= x0\n";
+  for (int I = 0; I < 30; ++I) {
+    std::string Nt = "x" + std::to_string(I);
+    std::string Next = "x" + std::to_string(I + 1);
+    Bnf += Nt + " ::= A" + std::to_string(I) + " " +
+           (I == 29 ? std::string("DEEP") : Next) + " | B" +
+           std::to_string(I) + "\n";
+  }
+  BnfParseResult R = parseBnf(Bnf);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  GrammarGraph GG(R.G);
+  PathSearchLimits Limits;
+  Limits.MaxVisits = 10;
+  Limits.MaxPathNodes = 200;
+  PathSearchResult Paths =
+      findPathsFromStart(GG, GG.apiOccurrences("DEEP").front(), Limits);
+  EXPECT_TRUE(Paths.Truncated);
+}
+
+TEST(Robustness, LiteralOnlyApiWithoutPayloadRendersName) {
+  // A LIT node that no query literal annotated still renders something
+  // (its name), never crashes.
+  PaperFragment F;
+  Cgt Tree;
+  GgNodeId Lit = F.GG->apiOccurrences("LIT").front();
+  Tree.setSoloNode(Lit);
+  EXPECT_EQ(renderExpression(*F.GG, F.Doc, Tree), "LIT");
+}
+
+TEST(Robustness, BudgetExpiryInsideSiblingEnumeration) {
+  // Expire the budget after DGGT starts: the result must be Timeout, not
+  // a partial answer.
+  PaperFragment F;
+  DggtSynthesizer S;
+  Budget B(1);
+  while (!B.expired()) {
+  }
+  EXPECT_EQ(S.synthesize(F.Query, B).St,
+            SynthesisResult::Status::Timeout);
+
+  HisynSynthesizer H;
+  Budget B2(1);
+  while (!B2.expired()) {
+  }
+  EXPECT_EQ(H.synthesize(F.Query, B2).St,
+            SynthesisResult::Status::Timeout);
+}
+
+TEST(Robustness, SingleWordQueries) {
+  std::unique_ptr<Domain> D = makeTextEditingDomain();
+  DggtSynthesizer S;
+  PreparedQuery Q = D->frontEnd().prepare("sort");
+  Budget B(2000);
+  SynthesisResult R = S.synthesize(Q, B);
+  // A bare verb still synthesizes its command head.
+  ASSERT_TRUE(R.ok()) << statusName(R.St);
+  EXPECT_EQ(R.Expression.rfind("SORTLINES", 0), 0u);
+}
+
+TEST(Robustness, GibberishQueryFailsCleanly) {
+  std::unique_ptr<Domain> D = makeTextEditingDomain();
+  DggtSynthesizer S;
+  PreparedQuery Q = D->frontEnd().prepare("qwerty zxcvb plugh");
+  Budget B(2000);
+  SynthesisResult R = S.synthesize(Q, B);
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.St, SynthesisResult::Status::NoCandidates);
+}
+
+TEST(Robustness, PunctuationOnlyQuery) {
+  std::unique_ptr<Domain> D = makeTextEditingDomain();
+  PreparedQuery Q = D->frontEnd().prepare("?!, .");
+  DggtSynthesizer S;
+  Budget B(2000);
+  EXPECT_FALSE(S.synthesize(Q, B).ok());
+}
+
+TEST(Robustness, VeryLongQueryStaysInteractive) {
+  // 60-word query: the pipeline must answer (or fail) within the budget,
+  // never hang.
+  std::string Query = "insert ';'";
+  for (int I = 0; I < 12; ++I)
+    Query += " at the end of every line containing numbers and";
+  Query += " tabs";
+  std::unique_ptr<Domain> D = makeTextEditingDomain();
+  WallTimer T;
+  PreparedQuery Q = D->frontEnd().prepare(Query);
+  DggtSynthesizer S;
+  Budget B(2000);
+  (void)S.synthesize(Q, B);
+  EXPECT_LT(T.seconds(), 5.0);
+}

@@ -1,0 +1,139 @@
+//===- tests/support_test.cpp - support/ unit tests -----------------------===//
+
+#include "support/Budget.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace dggt;
+
+TEST(StringUtils, CaseMapping) {
+  EXPECT_EQ(toLower("Insert STRING"), "insert string");
+  EXPECT_EQ(toUpper("hasName"), "HASNAME");
+  EXPECT_EQ(toLower(""), "");
+}
+
+TEST(StringUtils, AllCaps) {
+  EXPECT_TRUE(isAllCaps("INSERT"));
+  EXPECT_TRUE(isAllCaps("CHAR_NUMBER"));
+  EXPECT_TRUE(isAllCaps("A0"));
+  EXPECT_FALSE(isAllCaps("Insert"));
+  EXPECT_FALSE(isAllCaps("insert_arg"));
+  EXPECT_FALSE(isAllCaps(""));
+  EXPECT_FALSE(isAllCaps("123")); // Needs at least one upper-case letter.
+}
+
+TEST(StringUtils, Split) {
+  EXPECT_EQ(split("a b  c", " "), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a|b|", "|"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(split("", " ").empty());
+  EXPECT_EQ(split("one", " "), (std::vector<std::string>{"one"}));
+}
+
+TEST(StringUtils, SplitIdentifierCamelCase) {
+  EXPECT_EQ(splitIdentifier("hasOperatorName"),
+            (std::vector<std::string>{"has", "operator", "name"}));
+  EXPECT_EQ(splitIdentifier("cxxMethodDecl"),
+            (std::vector<std::string>{"cxx", "method", "decl"}));
+  EXPECT_EQ(splitIdentifier("STARTFROM"),
+            (std::vector<std::string>{"startfrom"}));
+  EXPECT_EQ(splitIdentifier("snake_case_name"),
+            (std::vector<std::string>{"snake", "case", "name"}));
+}
+
+TEST(StringUtils, SplitIdentifierAcronymRuns) {
+  // A capital run followed by a lower-case letter starts a new word.
+  EXPECT_EQ(splitIdentifier("ASTNode"),
+            (std::vector<std::string>{"ast", "node"}));
+  EXPECT_EQ(splitIdentifier("parseBNF"),
+            (std::vector<std::string>{"parse", "bnf"}));
+}
+
+TEST(StringUtils, JoinAndTrim) {
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(trim("  x \t"), "x");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtils, Affixes) {
+  EXPECT_TRUE(startsWith("insert_arg", "insert"));
+  EXPECT_FALSE(startsWith("arg", "insert"));
+  EXPECT_TRUE(endsWith("containing", "ing"));
+  EXPECT_FALSE(endsWith("in", "ing"));
+}
+
+TEST(StringUtils, EditDistance) {
+  EXPECT_EQ(editDistance("", ""), 0u);
+  EXPECT_EQ(editDistance("abc", "abc"), 0u);
+  EXPECT_EQ(editDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(editDistance("", "abc"), 3u);
+}
+
+TEST(SampleStats, Summaries) {
+  SampleStats S;
+  for (double V : {4.0, 1.0, 3.0, 2.0})
+    S.add(V);
+  EXPECT_DOUBLE_EQ(S.max(), 4.0);
+  EXPECT_DOUBLE_EQ(S.min(), 1.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(S.median(), 2.5);
+  EXPECT_DOUBLE_EQ(S.sum(), 10.0);
+}
+
+TEST(SampleStats, MedianOddAndPercentile) {
+  SampleStats S;
+  for (double V : {5.0, 1.0, 3.0})
+    S.add(V);
+  EXPECT_DOUBLE_EQ(S.median(), 3.0);
+  EXPECT_DOUBLE_EQ(S.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(S.percentile(100), 5.0);
+}
+
+TEST(Budget, UnlimitedNeverExpires) {
+  Budget B;
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_FALSE(B.expired());
+  EXPECT_FALSE(B.isLimited());
+}
+
+TEST(Budget, ExpiresAfterDeadline) {
+  Budget B(1); // 1 ms.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // The stride means a few calls may pass before the clock is consulted.
+  bool Expired = false;
+  for (int I = 0; I < 1000 && !Expired; ++I)
+    Expired = B.expired();
+  EXPECT_TRUE(Expired);
+  // Sticky.
+  EXPECT_TRUE(B.expired());
+}
+
+TEST(Budget, CancelForcesExpiry) {
+  Budget B;
+  B.cancel();
+  EXPECT_TRUE(B.expired());
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable T;
+  T.setHeader({"a", "long-header"});
+  T.addRow({"x", "y"});
+  T.addRow({"longer-cell", "z"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("long-header"), std::string::npos);
+  EXPECT_NE(Out.find("longer-cell"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(Out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, FormatHelpers) {
+  EXPECT_EQ(formatDouble(1.2345, 2), "1.23");
+  EXPECT_EQ(formatCount(3744), "3744");
+  EXPECT_EQ(formatCount(3.8e6), "3.8e6");
+  EXPECT_EQ(formatCount(1.3e10), "1.3e10");
+}

@@ -1,0 +1,152 @@
+//===- tests/text_test.cpp - text/ unit tests -----------------------------===//
+
+#include "text/PorterStemmer.h"
+#include "text/PosTagger.h"
+#include "text/Thesaurus.h"
+#include "text/Tokenizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dggt;
+
+namespace {
+
+std::vector<std::string> tokenTexts(const std::string &Query) {
+  std::vector<std::string> Out;
+  for (const Token &T : tokenize(Query))
+    Out.push_back(T.Text);
+  return Out;
+}
+
+} // namespace
+
+TEST(Tokenizer, WordsAndLiterals) {
+  std::vector<Token> Toks = tokenize("insert ';' at the start");
+  ASSERT_EQ(Toks.size(), 5u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::Word);
+  EXPECT_EQ(Toks[0].Text, "insert");
+  EXPECT_EQ(Toks[1].Kind, TokenKind::Literal);
+  EXPECT_EQ(Toks[1].Text, ";");
+  EXPECT_EQ(Toks[4].Text, "start");
+}
+
+TEST(Tokenizer, DoubleQuotedLiteralPreservesCase) {
+  std::vector<Token> Toks = tokenize("named \"PI\"");
+  ASSERT_EQ(Toks.size(), 2u);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::Literal);
+  EXPECT_EQ(Toks[1].Text, "PI");
+}
+
+TEST(Tokenizer, Numbers) {
+  std::vector<Token> Toks = tokenize("after 14 characters");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::Number);
+  EXPECT_EQ(Toks[1].Text, "14");
+}
+
+TEST(Tokenizer, UnterminatedQuoteSwallowsRest) {
+  std::vector<Token> Toks = tokenize("insert 'oops");
+  ASSERT_EQ(Toks.size(), 2u);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::Literal);
+  EXPECT_EQ(Toks[1].Text, "oops");
+}
+
+TEST(Tokenizer, HyphenatedWordsAndPunct) {
+  EXPECT_EQ(tokenTexts("if-then rules,"),
+            (std::vector<std::string>{"if-then", "rules", ","}));
+}
+
+TEST(Tokenizer, EmptyQuery) { EXPECT_TRUE(tokenize("").empty()); }
+
+TEST(PorterStemmer, ClassicExamples) {
+  EXPECT_EQ(porterStem("caresses"), "caress");
+  EXPECT_EQ(porterStem("ponies"), "poni");
+  EXPECT_EQ(porterStem("cats"), "cat");
+  // Step 1b maps agreed -> agree; step 5a then strips the final e
+  // (m=1, not *o), matching the reference implementation's output.
+  EXPECT_EQ(porterStem("agreed"), "agre");
+  EXPECT_EQ(porterStem("plastered"), "plaster");
+  EXPECT_EQ(porterStem("motoring"), "motor");
+  EXPECT_EQ(porterStem("adjustable"), "adjust");
+}
+
+TEST(PorterStemmer, DomainVocabularyCoincides) {
+  // Inflections of one lemma must stem together: this is what makes
+  // WordToAPI work without training data.
+  EXPECT_EQ(porterStem("matching"), porterStem("matches"));
+  EXPECT_EQ(porterStem("containing"), porterStem("contains"));
+  EXPECT_EQ(porterStem("iteration"), porterStem("iterate"));
+  EXPECT_EQ(porterStem("declaration"), porterStem("declare"));
+  EXPECT_EQ(porterStem("lines"), porterStem("line"));
+}
+
+TEST(PorterStemmer, ShortWordsUnchanged) {
+  EXPECT_EQ(porterStem("at"), "at");
+  EXPECT_EQ(porterStem("is"), "is");
+}
+
+TEST(PosTagger, ImperativeQuery) {
+  std::vector<TaggedToken> T =
+      tagTokens(tokenize("insert ';' at the start of each line"));
+  ASSERT_EQ(T.size(), 8u);
+  EXPECT_EQ(T[0].Tag, Pos::Verb);        // insert
+  EXPECT_EQ(T[1].Tag, Pos::Literal);     // ;
+  EXPECT_EQ(T[2].Tag, Pos::Preposition); // at
+  EXPECT_EQ(T[3].Tag, Pos::Determiner);  // the
+  EXPECT_EQ(T[4].Tag, Pos::Noun);        // start (after determiner)
+  EXPECT_EQ(T[6].Tag, Pos::Determiner);  // each
+  EXPECT_EQ(T[7].Tag, Pos::Noun);        // line
+}
+
+TEST(PosTagger, VerbNounDisambiguation) {
+  // "start" is a verb sentence-initially, a noun after a determiner.
+  std::vector<TaggedToken> A = tagTokens(tokenize("start the line"));
+  EXPECT_EQ(A[0].Tag, Pos::Verb);
+  std::vector<TaggedToken> B = tagTokens(tokenize("at the start"));
+  EXPECT_EQ(B[2].Tag, Pos::Noun);
+}
+
+TEST(PosTagger, SuffixFallback) {
+  std::vector<TaggedToken> T = tagTokens(tokenize("unstemmables"));
+  EXPECT_EQ(T[0].Tag, Pos::Verb); // First-word imperative repair... or noun.
+}
+
+TEST(PosTagger, CodeAnalysisVocabulary) {
+  std::vector<TaggedToken> T =
+      tagTokens(tokenize("find virtual cxx methods named 'PI'"));
+  EXPECT_EQ(T[0].Tag, Pos::Verb);      // find
+  EXPECT_EQ(T[1].Tag, Pos::Adjective); // virtual
+  EXPECT_EQ(T[2].Tag, Pos::Adjective); // cxx
+  EXPECT_EQ(T[3].Tag, Pos::Noun);      // methods
+  EXPECT_EQ(T[4].Tag, Pos::Verb);      // named
+  EXPECT_EQ(T[5].Tag, Pos::Literal);   // PI
+}
+
+TEST(Thesaurus, BuiltinGroups) {
+  const Thesaurus &T = Thesaurus::builtin();
+  EXPECT_TRUE(T.areSynonyms("insert", "append"));
+  EXPECT_TRUE(T.areSynonyms("delete", "remove"));
+  EXPECT_TRUE(T.areSynonyms("number", "numeral"));
+  EXPECT_TRUE(T.areSynonyms("each", "every"));
+  EXPECT_FALSE(T.areSynonyms("insert", "delete"));
+  EXPECT_FALSE(T.areSynonyms("line", "word"));
+}
+
+TEST(Thesaurus, StemAndIdentity) {
+  const Thesaurus &T = Thesaurus::builtin();
+  // Identity and same-stem words are synonyms even outside any group.
+  EXPECT_TRUE(T.areSynonyms("zzz", "zzz"));
+  EXPECT_TRUE(T.areSynonyms("lines", "line"));
+  // Inflections reach groups through stemming.
+  EXPECT_TRUE(T.areSynonyms("appending", "insert"));
+}
+
+TEST(Thesaurus, CustomGroups) {
+  Thesaurus T;
+  T.addGroup({"foo", "bar"});
+  T.addGroup({"bar", "baz"});
+  EXPECT_TRUE(T.areSynonyms("foo", "bar"));
+  EXPECT_TRUE(T.areSynonyms("bar", "baz"));
+  // Transitivity is NOT implied across groups.
+  EXPECT_FALSE(T.areSynonyms("foo", "baz"));
+}

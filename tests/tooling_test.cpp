@@ -1,0 +1,113 @@
+//===- tests/tooling_test.cpp - Dot export and synthetic generator --------===//
+
+#include "eval/Synthetic.h"
+#include "synth/dggt/DotExport.h"
+#include "synth/dggt/DggtSynthesizer.h"
+#include "synth/dggt/OrphanRelocation.h"
+
+#include "TestFixtures.h"
+
+#include <gtest/gtest.h>
+
+using namespace dggt;
+using namespace dggt::test;
+
+TEST(DotExport, GrammarGraph) {
+  PaperFragment F;
+  std::string Dot = toDot(*F.GG);
+  EXPECT_EQ(Dot.find("digraph grammar"), 0u);
+  EXPECT_NE(Dot.find("INSERT"), std::string::npos);
+  EXPECT_NE(Dot.find("insert_arg"), std::string::npos);
+  // "Or" edges use the hollow arrowhead.
+  EXPECT_NE(Dot.find("arrowhead=empty"), std::string::npos);
+  EXPECT_NE(Dot.rfind("}\n"), std::string::npos);
+}
+
+TEST(DotExport, PathVotedGraphLabelsEdges) {
+  PaperFragment F;
+  std::string Dot = toDotPathVoted(*F.GG, F.Query.Edges);
+  EXPECT_EQ(Dot.find("digraph path_voted"), 0u);
+  // Covered edges carry path-id labels.
+  EXPECT_NE(Dot.find("label=\""), std::string::npos);
+  // The uncovered FIRST alternative is dropped for readability.
+  EXPECT_EQ(Dot.find("FIRST"), std::string::npos);
+}
+
+TEST(DotExport, DynamicGraphShowsPaperFields) {
+  PaperFragment F;
+  DggtSynthesizer S;
+  Budget B;
+  DynamicGrammarGraph Dyn;
+  RelocationResult Reloc = relocateOrphans(F.Query);
+  EdgeToPathMap Edges = buildEdgeToPath(*F.GG, F.Doc, Reloc.Variants[0],
+                                        F.Query.Words, F.Query.Limits);
+  ASSERT_TRUE(
+      S.synthesizeVariant(F.Query, Reloc.Variants[0], Edges, B, &Dyn).ok());
+  std::string Dot = toDot(Dyn, *F.GG);
+  EXPECT_NE(Dot.find("shape=triangle"), std::string::npos); // Start node.
+  EXPECT_NE(Dot.find("min_size="), std::string::npos);      // Figure 5 field.
+  EXPECT_NE(Dot.find("PCGT"), std::string::npos);
+  EXPECT_NE(Dot.find("style=dashed"), std::string::npos);   // Auxiliary edge.
+}
+
+TEST(DotExport, EscapesQuotes) {
+  Grammar G;
+  G.addProduction("s", {{"API"}});
+  GrammarGraph GG(G);
+  std::string Dot = toDot(GG);
+  EXPECT_EQ(Dot.find('\t'), std::string::npos);
+}
+
+TEST(Synthetic, ShapeMatchesSpec) {
+  SyntheticSpec Spec;
+  Spec.Levels = 3;
+  Spec.EdgesPerNode = 2;
+  Spec.PathsPerEdge = 3;
+  SyntheticInstance Inst(Spec);
+
+  // Dependency tree: 1 + 2 + 4 nodes; edges: 6 + root pseudo-edge.
+  EXPECT_EQ(Inst.query().Pruned.size(), 7u);
+  EXPECT_EQ(Inst.numEdges(), 7u);
+
+  // Every non-pseudo edge has exactly PathsPerEdge candidates.
+  for (const EdgePaths &EP : Inst.query().Edges.Edges) {
+    if (!EP.Edge.GovNode)
+      continue;
+    EXPECT_EQ(EP.Paths.size(), 3u);
+  }
+  // Total combinations: 3^6.
+  EXPECT_DOUBLE_EQ(Inst.query().Edges.totalCombinations(), 729.0);
+}
+
+TEST(Synthetic, UniformInstanceOptimum) {
+  // With no extra wrappers the optimum is one API per dependency node.
+  SyntheticSpec Spec;
+  Spec.Levels = 2;
+  Spec.EdgesPerNode = 3;
+  Spec.PathsPerEdge = 2;
+  SyntheticInstance Inst(Spec);
+  EXPECT_EQ(Inst.optimalCgtSize(), 4u); // Root + 3 children.
+}
+
+TEST(Synthetic, DeterministicUnderSeed) {
+  SyntheticSpec Spec;
+  Spec.Levels = 3;
+  Spec.EdgesPerNode = 2;
+  Spec.PathsPerEdge = 2;
+  Spec.MaxExtraWrappers = 3;
+  Spec.Seed = 5;
+  SyntheticInstance A(Spec), B(Spec);
+  EXPECT_EQ(A.optimalCgtSize(), B.optimalCgtSize());
+  EXPECT_EQ(A.query().Edges.totalPaths(), B.query().Edges.totalPaths());
+}
+
+TEST(Synthetic, NoOrphansByConstruction) {
+  SyntheticSpec Spec;
+  Spec.Levels = 3;
+  Spec.EdgesPerNode = 2;
+  Spec.PathsPerEdge = 2;
+  Spec.MaxExtraWrappers = 2;
+  SyntheticInstance Inst(Spec);
+  EXPECT_TRUE(Inst.query().Edges.orphanDependents().empty());
+  EXPECT_TRUE(effectiveOrphans(Inst.query()).empty());
+}
