@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bottleneck_breakdown.dir/bottleneck_breakdown.cpp.o"
+  "CMakeFiles/bottleneck_breakdown.dir/bottleneck_breakdown.cpp.o.d"
+  "bottleneck_breakdown"
+  "bottleneck_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bottleneck_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

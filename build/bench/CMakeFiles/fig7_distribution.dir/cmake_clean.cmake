@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_distribution.dir/fig7_distribution.cpp.o"
+  "CMakeFiles/fig7_distribution.dir/fig7_distribution.cpp.o.d"
+  "fig7_distribution"
+  "fig7_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

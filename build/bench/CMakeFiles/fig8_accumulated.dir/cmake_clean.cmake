@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_accumulated.dir/fig8_accumulated.cpp.o"
+  "CMakeFiles/fig8_accumulated.dir/fig8_accumulated.cpp.o.d"
+  "fig8_accumulated"
+  "fig8_accumulated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_accumulated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

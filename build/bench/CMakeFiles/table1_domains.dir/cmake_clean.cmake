@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_domains.dir/table1_domains.cpp.o"
+  "CMakeFiles/table1_domains.dir/table1_domains.cpp.o.d"
+  "table1_domains"
+  "table1_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_casestudy.dir/table3_casestudy.cpp.o"
+  "CMakeFiles/table3_casestudy.dir/table3_casestudy.cpp.o.d"
+  "table3_casestudy"
+  "table3_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

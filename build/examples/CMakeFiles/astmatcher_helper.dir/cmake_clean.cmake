@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astmatcher_helper.dir/astmatcher_helper.cpp.o"
+  "CMakeFiles/astmatcher_helper.dir/astmatcher_helper.cpp.o.d"
+  "astmatcher_helper"
+  "astmatcher_helper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astmatcher_helper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

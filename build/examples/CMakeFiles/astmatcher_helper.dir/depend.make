@@ -1,0 +1,2 @@
+# Empty dependencies file for astmatcher_helper.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/editing_assistant.dir/editing_assistant.cpp.o"
+  "CMakeFiles/editing_assistant.dir/editing_assistant.cpp.o.d"
+  "editing_assistant"
+  "editing_assistant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/editing_assistant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

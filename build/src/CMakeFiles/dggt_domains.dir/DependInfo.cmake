@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/domains/AstMatcherData.cpp" "src/CMakeFiles/dggt_domains.dir/domains/AstMatcherData.cpp.o" "gcc" "src/CMakeFiles/dggt_domains.dir/domains/AstMatcherData.cpp.o.d"
+  "/root/repo/src/domains/AstMatcherDomain.cpp" "src/CMakeFiles/dggt_domains.dir/domains/AstMatcherDomain.cpp.o" "gcc" "src/CMakeFiles/dggt_domains.dir/domains/AstMatcherDomain.cpp.o.d"
+  "/root/repo/src/domains/AstMatcherQueries.cpp" "src/CMakeFiles/dggt_domains.dir/domains/AstMatcherQueries.cpp.o" "gcc" "src/CMakeFiles/dggt_domains.dir/domains/AstMatcherQueries.cpp.o.d"
+  "/root/repo/src/domains/Domain.cpp" "src/CMakeFiles/dggt_domains.dir/domains/Domain.cpp.o" "gcc" "src/CMakeFiles/dggt_domains.dir/domains/Domain.cpp.o.d"
+  "/root/repo/src/domains/DomainLoader.cpp" "src/CMakeFiles/dggt_domains.dir/domains/DomainLoader.cpp.o" "gcc" "src/CMakeFiles/dggt_domains.dir/domains/DomainLoader.cpp.o.d"
+  "/root/repo/src/domains/TextEditingDomain.cpp" "src/CMakeFiles/dggt_domains.dir/domains/TextEditingDomain.cpp.o" "gcc" "src/CMakeFiles/dggt_domains.dir/domains/TextEditingDomain.cpp.o.d"
+  "/root/repo/src/domains/TextEditingQueries.cpp" "src/CMakeFiles/dggt_domains.dir/domains/TextEditingQueries.cpp.o" "gcc" "src/CMakeFiles/dggt_domains.dir/domains/TextEditingQueries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dggt_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dggt_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dggt_nlu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dggt_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dggt_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dggt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

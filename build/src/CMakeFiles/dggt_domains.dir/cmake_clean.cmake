@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dggt_domains.dir/domains/AstMatcherData.cpp.o"
+  "CMakeFiles/dggt_domains.dir/domains/AstMatcherData.cpp.o.d"
+  "CMakeFiles/dggt_domains.dir/domains/AstMatcherDomain.cpp.o"
+  "CMakeFiles/dggt_domains.dir/domains/AstMatcherDomain.cpp.o.d"
+  "CMakeFiles/dggt_domains.dir/domains/AstMatcherQueries.cpp.o"
+  "CMakeFiles/dggt_domains.dir/domains/AstMatcherQueries.cpp.o.d"
+  "CMakeFiles/dggt_domains.dir/domains/Domain.cpp.o"
+  "CMakeFiles/dggt_domains.dir/domains/Domain.cpp.o.d"
+  "CMakeFiles/dggt_domains.dir/domains/DomainLoader.cpp.o"
+  "CMakeFiles/dggt_domains.dir/domains/DomainLoader.cpp.o.d"
+  "CMakeFiles/dggt_domains.dir/domains/TextEditingDomain.cpp.o"
+  "CMakeFiles/dggt_domains.dir/domains/TextEditingDomain.cpp.o.d"
+  "CMakeFiles/dggt_domains.dir/domains/TextEditingQueries.cpp.o"
+  "CMakeFiles/dggt_domains.dir/domains/TextEditingQueries.cpp.o.d"
+  "libdggt_domains.a"
+  "libdggt_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dggt_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dggt_eval.dir/eval/Distribution.cpp.o"
+  "CMakeFiles/dggt_eval.dir/eval/Distribution.cpp.o.d"
+  "CMakeFiles/dggt_eval.dir/eval/Harness.cpp.o"
+  "CMakeFiles/dggt_eval.dir/eval/Harness.cpp.o.d"
+  "CMakeFiles/dggt_eval.dir/eval/Metrics.cpp.o"
+  "CMakeFiles/dggt_eval.dir/eval/Metrics.cpp.o.d"
+  "CMakeFiles/dggt_eval.dir/eval/Synthetic.cpp.o"
+  "CMakeFiles/dggt_eval.dir/eval/Synthetic.cpp.o.d"
+  "libdggt_eval.a"
+  "libdggt_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dggt_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grammar/BnfParser.cpp" "src/CMakeFiles/dggt_grammar.dir/grammar/BnfParser.cpp.o" "gcc" "src/CMakeFiles/dggt_grammar.dir/grammar/BnfParser.cpp.o.d"
+  "/root/repo/src/grammar/Grammar.cpp" "src/CMakeFiles/dggt_grammar.dir/grammar/Grammar.cpp.o" "gcc" "src/CMakeFiles/dggt_grammar.dir/grammar/Grammar.cpp.o.d"
+  "/root/repo/src/grammar/GrammarGraph.cpp" "src/CMakeFiles/dggt_grammar.dir/grammar/GrammarGraph.cpp.o" "gcc" "src/CMakeFiles/dggt_grammar.dir/grammar/GrammarGraph.cpp.o.d"
+  "/root/repo/src/grammar/GrammarPath.cpp" "src/CMakeFiles/dggt_grammar.dir/grammar/GrammarPath.cpp.o" "gcc" "src/CMakeFiles/dggt_grammar.dir/grammar/GrammarPath.cpp.o.d"
+  "/root/repo/src/grammar/PathSearch.cpp" "src/CMakeFiles/dggt_grammar.dir/grammar/PathSearch.cpp.o" "gcc" "src/CMakeFiles/dggt_grammar.dir/grammar/PathSearch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dggt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dggt_grammar.dir/grammar/BnfParser.cpp.o"
+  "CMakeFiles/dggt_grammar.dir/grammar/BnfParser.cpp.o.d"
+  "CMakeFiles/dggt_grammar.dir/grammar/Grammar.cpp.o"
+  "CMakeFiles/dggt_grammar.dir/grammar/Grammar.cpp.o.d"
+  "CMakeFiles/dggt_grammar.dir/grammar/GrammarGraph.cpp.o"
+  "CMakeFiles/dggt_grammar.dir/grammar/GrammarGraph.cpp.o.d"
+  "CMakeFiles/dggt_grammar.dir/grammar/GrammarPath.cpp.o"
+  "CMakeFiles/dggt_grammar.dir/grammar/GrammarPath.cpp.o.d"
+  "CMakeFiles/dggt_grammar.dir/grammar/PathSearch.cpp.o"
+  "CMakeFiles/dggt_grammar.dir/grammar/PathSearch.cpp.o.d"
+  "libdggt_grammar.a"
+  "libdggt_grammar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dggt_grammar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

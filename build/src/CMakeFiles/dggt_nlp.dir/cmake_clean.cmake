@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dggt_nlp.dir/nlp/DependencyGraph.cpp.o"
+  "CMakeFiles/dggt_nlp.dir/nlp/DependencyGraph.cpp.o.d"
+  "CMakeFiles/dggt_nlp.dir/nlp/DependencyParser.cpp.o"
+  "CMakeFiles/dggt_nlp.dir/nlp/DependencyParser.cpp.o.d"
+  "CMakeFiles/dggt_nlp.dir/nlp/GraphPruner.cpp.o"
+  "CMakeFiles/dggt_nlp.dir/nlp/GraphPruner.cpp.o.d"
+  "libdggt_nlp.a"
+  "libdggt_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dggt_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

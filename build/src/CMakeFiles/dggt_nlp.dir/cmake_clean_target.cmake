@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdggt_nlp.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dggt_nlu.dir/nlu/ApiDocument.cpp.o"
+  "CMakeFiles/dggt_nlu.dir/nlu/ApiDocument.cpp.o.d"
+  "CMakeFiles/dggt_nlu.dir/nlu/WordToApiMatcher.cpp.o"
+  "CMakeFiles/dggt_nlu.dir/nlu/WordToApiMatcher.cpp.o.d"
+  "libdggt_nlu.a"
+  "libdggt_nlu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dggt_nlu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dggt_nlu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dggt_support.dir/support/Budget.cpp.o"
+  "CMakeFiles/dggt_support.dir/support/Budget.cpp.o.d"
+  "CMakeFiles/dggt_support.dir/support/Statistics.cpp.o"
+  "CMakeFiles/dggt_support.dir/support/Statistics.cpp.o.d"
+  "CMakeFiles/dggt_support.dir/support/StringUtils.cpp.o"
+  "CMakeFiles/dggt_support.dir/support/StringUtils.cpp.o.d"
+  "CMakeFiles/dggt_support.dir/support/Table.cpp.o"
+  "CMakeFiles/dggt_support.dir/support/Table.cpp.o.d"
+  "libdggt_support.a"
+  "libdggt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dggt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

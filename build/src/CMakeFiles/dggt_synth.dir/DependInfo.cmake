@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/Cgt.cpp" "src/CMakeFiles/dggt_synth.dir/synth/Cgt.cpp.o" "gcc" "src/CMakeFiles/dggt_synth.dir/synth/Cgt.cpp.o.d"
+  "/root/repo/src/synth/EdgeToPath.cpp" "src/CMakeFiles/dggt_synth.dir/synth/EdgeToPath.cpp.o" "gcc" "src/CMakeFiles/dggt_synth.dir/synth/EdgeToPath.cpp.o.d"
+  "/root/repo/src/synth/Expression.cpp" "src/CMakeFiles/dggt_synth.dir/synth/Expression.cpp.o" "gcc" "src/CMakeFiles/dggt_synth.dir/synth/Expression.cpp.o.d"
+  "/root/repo/src/synth/Pipeline.cpp" "src/CMakeFiles/dggt_synth.dir/synth/Pipeline.cpp.o" "gcc" "src/CMakeFiles/dggt_synth.dir/synth/Pipeline.cpp.o.d"
+  "/root/repo/src/synth/SizeBounds.cpp" "src/CMakeFiles/dggt_synth.dir/synth/SizeBounds.cpp.o" "gcc" "src/CMakeFiles/dggt_synth.dir/synth/SizeBounds.cpp.o.d"
+  "/root/repo/src/synth/dggt/DggtSynthesizer.cpp" "src/CMakeFiles/dggt_synth.dir/synth/dggt/DggtSynthesizer.cpp.o" "gcc" "src/CMakeFiles/dggt_synth.dir/synth/dggt/DggtSynthesizer.cpp.o.d"
+  "/root/repo/src/synth/dggt/DotExport.cpp" "src/CMakeFiles/dggt_synth.dir/synth/dggt/DotExport.cpp.o" "gcc" "src/CMakeFiles/dggt_synth.dir/synth/dggt/DotExport.cpp.o.d"
+  "/root/repo/src/synth/dggt/DynamicGrammarGraph.cpp" "src/CMakeFiles/dggt_synth.dir/synth/dggt/DynamicGrammarGraph.cpp.o" "gcc" "src/CMakeFiles/dggt_synth.dir/synth/dggt/DynamicGrammarGraph.cpp.o.d"
+  "/root/repo/src/synth/dggt/GrammarBasedPruning.cpp" "src/CMakeFiles/dggt_synth.dir/synth/dggt/GrammarBasedPruning.cpp.o" "gcc" "src/CMakeFiles/dggt_synth.dir/synth/dggt/GrammarBasedPruning.cpp.o.d"
+  "/root/repo/src/synth/dggt/OrphanRelocation.cpp" "src/CMakeFiles/dggt_synth.dir/synth/dggt/OrphanRelocation.cpp.o" "gcc" "src/CMakeFiles/dggt_synth.dir/synth/dggt/OrphanRelocation.cpp.o.d"
+  "/root/repo/src/synth/dggt/RankedSynthesis.cpp" "src/CMakeFiles/dggt_synth.dir/synth/dggt/RankedSynthesis.cpp.o" "gcc" "src/CMakeFiles/dggt_synth.dir/synth/dggt/RankedSynthesis.cpp.o.d"
+  "/root/repo/src/synth/hisyn/HisynSynthesizer.cpp" "src/CMakeFiles/dggt_synth.dir/synth/hisyn/HisynSynthesizer.cpp.o" "gcc" "src/CMakeFiles/dggt_synth.dir/synth/hisyn/HisynSynthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dggt_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dggt_nlu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dggt_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dggt_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dggt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dggt_synth.dir/synth/Cgt.cpp.o"
+  "CMakeFiles/dggt_synth.dir/synth/Cgt.cpp.o.d"
+  "CMakeFiles/dggt_synth.dir/synth/EdgeToPath.cpp.o"
+  "CMakeFiles/dggt_synth.dir/synth/EdgeToPath.cpp.o.d"
+  "CMakeFiles/dggt_synth.dir/synth/Expression.cpp.o"
+  "CMakeFiles/dggt_synth.dir/synth/Expression.cpp.o.d"
+  "CMakeFiles/dggt_synth.dir/synth/Pipeline.cpp.o"
+  "CMakeFiles/dggt_synth.dir/synth/Pipeline.cpp.o.d"
+  "CMakeFiles/dggt_synth.dir/synth/SizeBounds.cpp.o"
+  "CMakeFiles/dggt_synth.dir/synth/SizeBounds.cpp.o.d"
+  "CMakeFiles/dggt_synth.dir/synth/dggt/DggtSynthesizer.cpp.o"
+  "CMakeFiles/dggt_synth.dir/synth/dggt/DggtSynthesizer.cpp.o.d"
+  "CMakeFiles/dggt_synth.dir/synth/dggt/DotExport.cpp.o"
+  "CMakeFiles/dggt_synth.dir/synth/dggt/DotExport.cpp.o.d"
+  "CMakeFiles/dggt_synth.dir/synth/dggt/DynamicGrammarGraph.cpp.o"
+  "CMakeFiles/dggt_synth.dir/synth/dggt/DynamicGrammarGraph.cpp.o.d"
+  "CMakeFiles/dggt_synth.dir/synth/dggt/GrammarBasedPruning.cpp.o"
+  "CMakeFiles/dggt_synth.dir/synth/dggt/GrammarBasedPruning.cpp.o.d"
+  "CMakeFiles/dggt_synth.dir/synth/dggt/OrphanRelocation.cpp.o"
+  "CMakeFiles/dggt_synth.dir/synth/dggt/OrphanRelocation.cpp.o.d"
+  "CMakeFiles/dggt_synth.dir/synth/dggt/RankedSynthesis.cpp.o"
+  "CMakeFiles/dggt_synth.dir/synth/dggt/RankedSynthesis.cpp.o.d"
+  "CMakeFiles/dggt_synth.dir/synth/hisyn/HisynSynthesizer.cpp.o"
+  "CMakeFiles/dggt_synth.dir/synth/hisyn/HisynSynthesizer.cpp.o.d"
+  "libdggt_synth.a"
+  "libdggt_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dggt_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

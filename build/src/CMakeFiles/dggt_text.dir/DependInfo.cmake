@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/PorterStemmer.cpp" "src/CMakeFiles/dggt_text.dir/text/PorterStemmer.cpp.o" "gcc" "src/CMakeFiles/dggt_text.dir/text/PorterStemmer.cpp.o.d"
+  "/root/repo/src/text/PosTagger.cpp" "src/CMakeFiles/dggt_text.dir/text/PosTagger.cpp.o" "gcc" "src/CMakeFiles/dggt_text.dir/text/PosTagger.cpp.o.d"
+  "/root/repo/src/text/Thesaurus.cpp" "src/CMakeFiles/dggt_text.dir/text/Thesaurus.cpp.o" "gcc" "src/CMakeFiles/dggt_text.dir/text/Thesaurus.cpp.o.d"
+  "/root/repo/src/text/Tokenizer.cpp" "src/CMakeFiles/dggt_text.dir/text/Tokenizer.cpp.o" "gcc" "src/CMakeFiles/dggt_text.dir/text/Tokenizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dggt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

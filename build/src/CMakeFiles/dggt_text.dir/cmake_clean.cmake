@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dggt_text.dir/text/PorterStemmer.cpp.o"
+  "CMakeFiles/dggt_text.dir/text/PorterStemmer.cpp.o.d"
+  "CMakeFiles/dggt_text.dir/text/PosTagger.cpp.o"
+  "CMakeFiles/dggt_text.dir/text/PosTagger.cpp.o.d"
+  "CMakeFiles/dggt_text.dir/text/Thesaurus.cpp.o"
+  "CMakeFiles/dggt_text.dir/text/Thesaurus.cpp.o.d"
+  "CMakeFiles/dggt_text.dir/text/Tokenizer.cpp.o"
+  "CMakeFiles/dggt_text.dir/text/Tokenizer.cpp.o.d"
+  "libdggt_text.a"
+  "libdggt_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dggt_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

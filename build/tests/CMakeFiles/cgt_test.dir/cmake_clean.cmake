@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgt_test.dir/cgt_test.cpp.o"
+  "CMakeFiles/cgt_test.dir/cgt_test.cpp.o.d"
+  "cgt_test"
+  "cgt_test.pdb"
+  "cgt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

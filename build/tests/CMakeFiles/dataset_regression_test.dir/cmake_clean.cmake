@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_regression_test.dir/dataset_regression_test.cpp.o"
+  "CMakeFiles/dataset_regression_test.dir/dataset_regression_test.cpp.o.d"
+  "dataset_regression_test"
+  "dataset_regression_test.pdb"
+  "dataset_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dggt_test.dir/dggt_test.cpp.o"
+  "CMakeFiles/dggt_test.dir/dggt_test.cpp.o.d"
+  "dggt_test"
+  "dggt_test.pdb"
+  "dggt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dggt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_loader_test.dir/domain_loader_test.cpp.o"
+  "CMakeFiles/domain_loader_test.dir/domain_loader_test.cpp.o.d"
+  "domain_loader_test"
+  "domain_loader_test.pdb"
+  "domain_loader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

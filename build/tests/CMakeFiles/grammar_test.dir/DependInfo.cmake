@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/grammar_test.cpp" "tests/CMakeFiles/grammar_test.dir/grammar_test.cpp.o" "gcc" "tests/CMakeFiles/grammar_test.dir/grammar_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dggt_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dggt_domains.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dggt_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dggt_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dggt_nlu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dggt_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dggt_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dggt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

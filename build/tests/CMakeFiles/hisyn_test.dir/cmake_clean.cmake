@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hisyn_test.dir/hisyn_test.cpp.o"
+  "CMakeFiles/hisyn_test.dir/hisyn_test.cpp.o.d"
+  "hisyn_test"
+  "hisyn_test.pdb"
+  "hisyn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hisyn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlu_test.dir/nlu_test.cpp.o"
+  "CMakeFiles/nlu_test.dir/nlu_test.cpp.o.d"
+  "nlu_test"
+  "nlu_test.pdb"
+  "nlu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranked_test.dir/ranked_test.cpp.o"
+  "CMakeFiles/ranked_test.dir/ranked_test.cpp.o.d"
+  "ranked_test"
+  "ranked_test.pdb"
+  "ranked_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranked_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
