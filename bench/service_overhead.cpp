@@ -1,0 +1,83 @@
+//===- bench/service_overhead.cpp - Service front-door overhead -----------===//
+//
+// google-benchmark comparison of raw synthesizer calls against the same
+// queries routed through the SynthesisService, plus the two paths that
+// must stay cheap under overload: the unarmed fault-point check in the
+// hot loops and the circuit breaker's shed path. The service wrapper
+// (budget splitting, breaker bookkeeping, report assembly) must cost
+// microseconds against a synthesis that costs milliseconds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/SynthesisService.h"
+#include "support/FaultInjection.h"
+#include "synth/dggt/DggtSynthesizer.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+using namespace dggt;
+
+namespace {
+
+const char *Query = "sort all lines";
+
+const Domain &textEditing() {
+  static std::unique_ptr<Domain> D = makeTextEditingDomain();
+  return *D;
+}
+
+void BM_RawDggtSynthesis(benchmark::State &State) {
+  const Domain &D = textEditing();
+  DggtSynthesizer S;
+  for (auto _ : State) {
+    PreparedQuery Q = D.frontEnd().prepare(Query);
+    Budget B(2000);
+    benchmark::DoNotOptimize(S.synthesize(Q, B));
+  }
+}
+BENCHMARK(BM_RawDggtSynthesis);
+
+void BM_ServiceQuery(benchmark::State &State) {
+  static SynthesisService &Service = []() -> SynthesisService & {
+    static SynthesisService S;
+    S.addDomain(textEditing());
+    return S;
+  }();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Service.query("TextEditing", Query));
+}
+BENCHMARK(BM_ServiceQuery);
+
+void BM_UnarmedFaultPoint(benchmark::State &State) {
+  // The per-iteration cost every hot loop pays for injectability.
+  for (auto _ : State)
+    benchmark::DoNotOptimize(faultFires(faults::DggtMerge));
+}
+BENCHMARK(BM_UnarmedFaultPoint);
+
+void BM_BreakerShedPath(benchmark::State &State) {
+  // An open breaker must shed load at memory speed: this is the
+  // service's behaviour under overload.
+  ServiceOptions Opts;
+  Opts.TotalBudgetMs = 50;
+  Opts.BreakerTripThreshold = 1;
+  Opts.BreakerCooldownMs = 3600000; // Stay open for the whole run.
+  static SynthesisService *Service = nullptr;
+  if (State.thread_index() == 0 && Service == nullptr) {
+    Service = new SynthesisService(Opts);
+    Service->addDomain(textEditing());
+    FaultInjector::instance().armAlways(faults::DggtMerge);
+    FaultInjector::instance().armAlways(faults::HisynEnumerate);
+    (void)Service->query("TextEditing", Query); // Trip the breaker.
+    FaultInjector::instance().reset();
+  }
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Service->query("TextEditing", Query));
+}
+BENCHMARK(BM_BreakerShedPath);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -2,24 +2,56 @@
 
 #include "eval/Harness.h"
 
+#include "support/FaultInjection.h"
+#include "support/StringUtils.h"
 #include "synth/Expression.h"
 
+#include <cstdio>
 #include <cstdlib>
+#include <string>
 
 using namespace dggt;
 
+std::optional<uint64_t> dggt::parseTimeoutMsSpec(std::string_view Text) {
+  std::optional<uint64_t> V = parseUnsigned(Text);
+  if (!V || *V == 0)
+    return std::nullopt;
+  return V;
+}
+
 uint64_t dggt::harnessTimeoutMs(uint64_t DefaultMs) {
   if (const char *Env = std::getenv("DGGT_TIMEOUT_MS")) {
-    char *End = nullptr;
-    unsigned long long V = std::strtoull(Env, &End, 10);
-    if (End != Env && V > 0)
-      return static_cast<uint64_t>(V);
+    if (std::optional<uint64_t> V = parseTimeoutMsSpec(Env))
+      return *V;
+    std::fprintf(stderr,
+                 "[dggt] warning: invalid DGGT_TIMEOUT_MS='%s' (want a "
+                 "positive integer with no suffix); using %llu ms\n",
+                 Env, static_cast<unsigned long long>(DefaultMs));
   }
   return DefaultMs;
 }
 
+void dggt::applyHarnessFaultSpec() {
+  const char *Env = std::getenv("DGGT_FAULTS");
+  if (!Env || !*Env)
+    return;
+  // Re-arming on every harness construction would reset hit counters
+  // mid-run; apply each distinct spec once per process.
+  static std::string Applied;
+  if (Applied == Env)
+    return;
+  Applied = Env;
+  std::string Error;
+  if (!FaultInjector::instance().armFromSpec(Env, Error))
+    std::fprintf(stderr,
+                 "[dggt] warning: ignoring invalid DGGT_FAULTS='%s': %s\n",
+                 Env, Error.c_str());
+}
+
 EvalHarness::EvalHarness(const Domain &D, uint64_t TimeoutMs)
-    : D(D), TimeoutMs(TimeoutMs) {}
+    : D(D), TimeoutMs(TimeoutMs) {
+  applyHarnessFaultSpec();
+}
 
 CaseOutcome EvalHarness::runCase(const Synthesizer &S,
                                  const QueryCase &Q) const {

@@ -16,6 +16,8 @@
 #include "synth/Synthesizer.h"
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 namespace dggt {
@@ -30,9 +32,21 @@ struct CaseOutcome {
   bool Correct = false;
 };
 
+/// Strictly validates a DGGT_TIMEOUT_MS-style value: all digits, no
+/// overflow, strictly positive. Returns nullopt otherwise (the caller
+/// warns and falls back to its default).
+std::optional<uint64_t> parseTimeoutMsSpec(std::string_view Text);
+
 /// The timeout to use: DGGT_TIMEOUT_MS from the environment, else
-/// \p DefaultMs.
+/// \p DefaultMs. A value that fails parseTimeoutMsSpec() is rejected
+/// with a warning to stderr instead of silently misbehaving.
 uint64_t harnessTimeoutMs(uint64_t DefaultMs = 2000);
+
+/// Reads the DGGT_FAULTS environment spec (see
+/// FaultInjector::armFromSpec for the grammar) and arms the process-wide
+/// fault injector. A malformed spec arms nothing and warns to stderr.
+/// Called by the EvalHarness constructor; idempotent per distinct spec.
+void applyHarnessFaultSpec();
 
 /// Evaluation harness for one domain.
 class EvalHarness {

@@ -2,6 +2,7 @@
 
 #include "grammar/BnfParser.h"
 
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 
 using namespace dggt;
@@ -36,6 +37,13 @@ std::string parseRule(std::string_view Line, Grammar &G) {
 
 BnfParseResult dggt::parseBnf(std::string_view Text) {
   BnfParseResult Result;
+
+  // Fault point: a firing stands for an unreadable/corrupt grammar file
+  // and must surface as an ordinary parse error.
+  if (faultFires(faults::BnfParse)) {
+    Result.Error = "fault injected at bnf.parse";
+    return Result;
+  }
 
   // Assemble logical lines: physical lines starting with whitespace or '|'
   // continue the previous rule; '#' starts a comment.

@@ -2,6 +2,8 @@
 
 #include "grammar/PathSearch.h"
 
+#include "support/FaultInjection.h"
+
 #include <algorithm>
 #include <cassert>
 #include <unordered_set>
@@ -63,7 +65,9 @@ private:
   void visit(GgNodeId Node) {
     if (Result.Truncated || Stack.size() >= Limits.MaxPathNodes)
       return;
-    if (++Visits > Limits.MaxVisits) {
+    // Fault point: a firing stands for a visit/allocation-limit trip and
+    // truncates the search exactly like exceeding MaxVisits.
+    if (++Visits > Limits.MaxVisits || faultFires(faults::PathSearchVisit)) {
       Result.Truncated = true;
       return;
     }

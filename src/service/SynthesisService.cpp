@@ -1,0 +1,272 @@
+//===- service/SynthesisService.cpp - Resilient query front door ----------===//
+
+#include "service/SynthesisService.h"
+
+#include "support/FaultInjection.h"
+#include "synth/EdgeToPath.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+using namespace dggt;
+
+std::string_view dggt::serviceStatusName(ServiceStatus St) {
+  switch (St) {
+  case ServiceStatus::Ok:
+    return "ok";
+  case ServiceStatus::NoCandidates:
+    return "no-candidates";
+  case ServiceStatus::NoAnswer:
+    return "no-answer";
+  case ServiceStatus::DeadlineExceeded:
+    return "deadline-exceeded";
+  case ServiceStatus::CircuitOpen:
+    return "circuit-open";
+  case ServiceStatus::UnknownDomain:
+    return "unknown-domain";
+  }
+  return "unknown";
+}
+
+std::string_view dggt::rungName(ServiceRung R) {
+  switch (R) {
+  case ServiceRung::DggtFull:
+    return "dggt-full";
+  case ServiceRung::DggtTight:
+    return "dggt-tight";
+  case ServiceRung::Hisyn:
+    return "hisyn";
+  }
+  return "unknown";
+}
+
+std::string_view dggt::attemptStatusName(AttemptStatus St) {
+  switch (St) {
+  case AttemptStatus::Success:
+    return "success";
+  case AttemptStatus::Timeout:
+    return "timeout";
+  case AttemptStatus::NoCandidates:
+    return "no-candidates";
+  case AttemptStatus::NoValidTree:
+    return "no-valid-tree";
+  case AttemptStatus::TransientFault:
+    return "transient-fault";
+  }
+  return "unknown";
+}
+
+namespace {
+
+AttemptStatus toAttemptStatus(SynthesisResult::Status St) {
+  switch (St) {
+  case SynthesisResult::Status::Success:
+    return AttemptStatus::Success;
+  case SynthesisResult::Status::Timeout:
+    return AttemptStatus::Timeout;
+  case SynthesisResult::Status::NoCandidates:
+    return AttemptStatus::NoCandidates;
+  case SynthesisResult::Status::NoValidTree:
+    return AttemptStatus::NoValidTree;
+  }
+  return AttemptStatus::NoValidTree;
+}
+
+} // namespace
+
+/// Per-domain state: the domain itself plus its circuit breaker. The
+/// breaker is the classic three-state machine: Closed counts consecutive
+/// deadline misses, Open sheds every query until a cooldown elapses,
+/// then exactly one probe is admitted (half-open); the probe's outcome
+/// closes or re-opens the circuit.
+struct SynthesisService::DomainState {
+  const Domain *D = nullptr;
+
+  mutable std::mutex M;
+  unsigned ConsecutiveTimeouts = 0;
+  bool Open = false;
+  bool ProbeInFlight = false;
+  Budget::Clock::time_point OpenedAt{};
+
+  enum class Admission { Admit, Probe, Reject };
+
+  Admission admit(const ServiceOptions &Opts) {
+    std::lock_guard<std::mutex> L(M);
+    if (!Open)
+      return Admission::Admit;
+    if (!ProbeInFlight &&
+        Budget::Clock::now() - OpenedAt >=
+            std::chrono::milliseconds(Opts.BreakerCooldownMs)) {
+      ProbeInFlight = true;
+      return Admission::Probe;
+    }
+    return Admission::Reject;
+  }
+
+  /// Settles an admitted query's outcome. Only deadline misses count as
+  /// breaker failures: fast deterministic negatives (NoAnswer,
+  /// NoCandidates) prove the service is healthy.
+  void settle(bool WasProbe, bool DeadlineMiss, const ServiceOptions &Opts) {
+    std::lock_guard<std::mutex> L(M);
+    if (WasProbe)
+      ProbeInFlight = false;
+    if (!DeadlineMiss) {
+      ConsecutiveTimeouts = 0;
+      Open = false;
+      return;
+    }
+    if (WasProbe || ++ConsecutiveTimeouts >= Opts.BreakerTripThreshold) {
+      Open = true;
+      OpenedAt = Budget::Clock::now();
+      ConsecutiveTimeouts = 0;
+    }
+  }
+
+  BreakerState state(const ServiceOptions &Opts) const {
+    std::lock_guard<std::mutex> L(M);
+    if (!Open)
+      return BreakerState::Closed;
+    if (ProbeInFlight ||
+        Budget::Clock::now() - OpenedAt >=
+            std::chrono::milliseconds(Opts.BreakerCooldownMs))
+      return BreakerState::HalfOpen;
+    return BreakerState::Open;
+  }
+};
+
+SynthesisService::SynthesisService(ServiceOptions Opts) : Opts(Opts) {}
+
+SynthesisService::~SynthesisService() = default;
+
+void SynthesisService::addDomain(const Domain &D) {
+  auto DS = std::make_unique<DomainState>();
+  DS->D = &D;
+  Domains[D.name()] = std::move(DS);
+}
+
+SynthesisService::DomainState *
+SynthesisService::findDomain(std::string_view Name) const {
+  auto It = Domains.find(Name);
+  return It == Domains.end() ? nullptr : It->second.get();
+}
+
+SynthesisService::BreakerState
+SynthesisService::breakerState(std::string_view Name) const {
+  DomainState *DS = findDomain(Name);
+  return DS ? DS->state(Opts) : BreakerState::Closed;
+}
+
+ServiceReport SynthesisService::query(std::string_view DomainName,
+                                      std::string_view QueryText) {
+  ServiceReport Rep;
+  WallTimer Timer;
+  auto Finish = [&](ServiceStatus St) -> ServiceReport & {
+    Rep.St = St;
+    Rep.TotalSeconds = Timer.seconds();
+    return Rep;
+  };
+
+  DomainState *DS = findDomain(DomainName);
+  if (!DS)
+    return Finish(ServiceStatus::UnknownDomain);
+
+  DomainState::Admission A = DS->admit(Opts);
+  if (A == DomainState::Admission::Reject)
+    return Finish(ServiceStatus::CircuitOpen);
+  bool Probe = A == DomainState::Admission::Probe;
+
+  Budget Total(Opts.TotalBudgetMs);
+  PreparedQuery Full = DS->D->frontEnd().prepare(QueryText);
+
+  if (!Full.allWordsMapped()) {
+    // No rung changes the word-to-API mapping: fail fast, keep the whole
+    // remaining budget for queries that can be answered.
+    DS->settle(Probe, /*DeadlineMiss=*/false, Opts);
+    return Finish(ServiceStatus::NoCandidates);
+  }
+
+  std::vector<ServiceRung> Ladder{ServiceRung::DggtFull,
+                                  ServiceRung::DggtTight};
+  if (Opts.EnableHisynFallback)
+    Ladder.push_back(ServiceRung::Hisyn);
+
+  // The tightened query reuses steps 1-3 (parse, prune, WordToAPI) and
+  // only redoes the path search under the tightened caps, lazily, so the
+  // happy path never pays for it.
+  std::optional<PreparedQuery> TightQ;
+
+  AttemptStatus Last = AttemptStatus::NoValidTree;
+  bool BudgetRanOut = false;
+
+  for (size_t RI = 0; RI < Ladder.size(); ++RI) {
+    ServiceRung Rung = Ladder[RI];
+    uint64_t Left = Total.remainingMs();
+    if (Left == 0) {
+      BudgetRanOut = true;
+      break;
+    }
+    bool FinalRung = RI + 1 == Ladder.size();
+    uint64_t RungMs =
+        FinalRung ? 0 // child(0): the whole remainder.
+                  : std::max<uint64_t>(
+                        1, static_cast<uint64_t>(
+                               static_cast<double>(Left) *
+                               Opts.RungBudgetFraction));
+
+    const PreparedQuery *Q = &Full;
+    if (Rung == ServiceRung::DggtTight) {
+      if (!TightQ) {
+        TightQ = Full;
+        TightQ->Limits = Opts.TightLimits;
+        TightQ->Edges = buildEdgeToPath(*Full.GG, *Full.Doc, Full.Pruned,
+                                        Full.Words, Opts.TightLimits);
+      }
+      Q = &*TightQ;
+    }
+
+    for (unsigned Try = 0; Try <= Opts.MaxRetriesPerRung; ++Try) {
+      if (Try > 0) {
+        uint64_t BackoffMs = std::min(Opts.RetryBackoffMs << (Try - 1),
+                                      Total.remainingMs());
+        if (BackoffMs > 0)
+          std::this_thread::sleep_for(std::chrono::milliseconds(BackoffMs));
+      }
+      WallTimer AttemptTimer;
+      if (faultFires(faults::ServiceTransient)) {
+        Last = AttemptStatus::TransientFault;
+        Rep.Attempts.push_back({Rung, Last, AttemptTimer.seconds(), Try});
+        continue; // Retry the same rung (bounded by MaxRetriesPerRung).
+      }
+      Budget RungBudget = Total.child(RungMs);
+      SynthesisResult R = Rung == ServiceRung::Hisyn
+                              ? Hisyn.synthesize(*Q, RungBudget)
+                              : Dggt.synthesize(*Q, RungBudget);
+      Last = toAttemptStatus(R.St);
+      Rep.Attempts.push_back({Rung, Last, AttemptTimer.seconds(), Try});
+
+      if (R.ok()) {
+        Rep.Result = std::move(R);
+        Rep.AnsweredBy = Rung;
+        DS->settle(Probe, /*DeadlineMiss=*/false, Opts);
+        return Finish(ServiceStatus::Ok);
+      }
+      if (Last == AttemptStatus::NoCandidates) {
+        DS->settle(Probe, /*DeadlineMiss=*/false, Opts);
+        return Finish(ServiceStatus::NoCandidates);
+      }
+      // Timeout and NoValidTree are not transient: degrade to the next
+      // rung instead of burning budget on a retry of the same work.
+      break;
+    }
+  }
+
+  // No rung answered. The outcome is a deadline miss when time actually
+  // ran out (or the final rung itself timed out); a ladder that completed
+  // with deterministic negatives is a definitive no-answer.
+  bool DeadlineMiss = BudgetRanOut || Last == AttemptStatus::Timeout;
+  DS->settle(Probe, DeadlineMiss, Opts);
+  return Finish(DeadlineMiss ? ServiceStatus::DeadlineExceeded
+                             : ServiceStatus::NoAnswer);
+}

@@ -1,0 +1,171 @@
+//===- service/SynthesisService.h - Resilient query front door ---*- C++ -*-===//
+///
+/// \file
+/// The production front door of the synthesis library: a thread-safe
+/// service that owns the registered domains and runs every query through
+/// a degradation ladder under one total deadline, so a pathological query
+/// degrades predictably instead of eating the whole interactive budget
+/// (the paper's Section VII-B1 discipline, promoted from per-run harness
+/// code to a service contract). The ladder rungs are:
+///
+///   1. DGGT at the domain's full PathSearchLimits,
+///   2. DGGT at tightened limits (smaller path/visit caps: less complete,
+///      but bounded work),
+///   3. the HISyn baseline (algorithm-diverse: a DGGT-specific failure
+///      does not take the service down),
+///   4. a structured error — never a crash, never an unbounded overrun.
+///
+/// Each rung gets a child budget split off the query's total budget
+/// (Budget::child), transient faults are retried with bounded backoff,
+/// and a per-domain circuit breaker sheds load after consecutive
+/// deadline misses, half-opening on a probe after a cooldown (the
+/// retry/outlier patterns of proxy data planes, scaled to one process).
+/// The returned ServiceReport carries the full attempt trail for
+/// observability. See DESIGN.md "Failure model and degradation ladder".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_SERVICE_SYNTHESISSERVICE_H
+#define DGGT_SERVICE_SYNTHESISSERVICE_H
+
+#include "domains/Domain.h"
+#include "synth/Synthesizer.h"
+#include "synth/dggt/DggtSynthesizer.h"
+#include "synth/hisyn/HisynSynthesizer.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dggt {
+
+/// Terminal status of one service query.
+enum class ServiceStatus {
+  Ok,               ///< Some rung produced a codelet.
+  NoCandidates,     ///< A word matched no API; no rung can remap words,
+                    ///< so the query fails fast before the ladder runs.
+  NoAnswer,         ///< Every rung completed and none found a valid tree
+                    ///< (includes a rung that exhausted transient-fault
+                    ///< retries).
+  DeadlineExceeded, ///< The total budget ran out, or the final rung
+                    ///< itself timed out.
+  CircuitOpen,      ///< Admission control rejected the query outright.
+  UnknownDomain,    ///< No domain registered under that name.
+};
+
+/// Short name of \p St ("ok", "deadline-exceeded", ...).
+std::string_view serviceStatusName(ServiceStatus St);
+
+/// Rungs of the degradation ladder, tried in declaration order.
+enum class ServiceRung {
+  DggtFull,  ///< DGGT at the domain's full limits.
+  DggtTight, ///< DGGT at ServiceOptions::TightLimits.
+  Hisyn,     ///< Exhaustive baseline fallback.
+};
+
+/// Short name of \p R ("dggt-full", "dggt-tight", "hisyn").
+std::string_view rungName(ServiceRung R);
+
+/// How one rung attempt ended.
+enum class AttemptStatus {
+  Success,
+  Timeout,        ///< The rung's child budget expired.
+  NoCandidates,
+  NoValidTree,
+  TransientFault, ///< Injected transient failure (faults::ServiceTransient);
+                  ///< retried with backoff up to MaxRetriesPerRung.
+};
+
+/// Short name of \p St ("success", "transient-fault", ...).
+std::string_view attemptStatusName(AttemptStatus St);
+
+/// One entry of the attempt trail.
+struct RungAttempt {
+  ServiceRung Rung = ServiceRung::DggtFull;
+  AttemptStatus St = AttemptStatus::NoValidTree;
+  double Seconds = 0; ///< Wall clock of this attempt alone.
+  unsigned Try = 0;   ///< 0 on the first attempt at the rung, 1+ retries.
+};
+
+/// Everything the service reports about one query.
+struct ServiceReport {
+  ServiceStatus St = ServiceStatus::NoAnswer;
+  /// The winning rung's synthesis result (meaningful when ok()).
+  SynthesisResult Result;
+  /// Which rung answered (unset unless ok()).
+  std::optional<ServiceRung> AnsweredBy;
+  /// Chronological attempt trail across rungs and retries.
+  std::vector<RungAttempt> Attempts;
+  /// Total wall clock including preparation and backoff sleeps.
+  double TotalSeconds = 0;
+
+  bool ok() const { return St == ServiceStatus::Ok; }
+};
+
+/// Service tuning knobs.
+struct ServiceOptions {
+  /// Total per-query deadline (the interactive budget).
+  uint64_t TotalBudgetMs = 2000;
+  /// Share of the *remaining* budget granted to each non-final rung; the
+  /// final rung always gets everything left.
+  double RungBudgetFraction = 0.5;
+  /// Retries per rung for transient faults (0 disables retrying).
+  unsigned MaxRetriesPerRung = 1;
+  /// Backoff before retry k is RetryBackoffMs << (k-1), capped by the
+  /// remaining total budget.
+  uint64_t RetryBackoffMs = 2;
+  /// Tightened limits for the second rung.
+  PathSearchLimits TightLimits{/*MaxPathNodes=*/12, /*MaxPaths=*/64,
+                               /*MaxVisits=*/20000};
+  /// Whether the HISyn rung is in the ladder.
+  bool EnableHisynFallback = true;
+  /// Consecutive deadline-exceeded queries that trip the breaker.
+  unsigned BreakerTripThreshold = 3;
+  /// How long the breaker stays open before admitting a half-open probe.
+  uint64_t BreakerCooldownMs = 250;
+};
+
+/// Thread-safe synthesis front door over one or more domains.
+///
+/// query() may be called concurrently from any number of threads once
+/// all domains are registered; addDomain() is part of single-threaded
+/// setup and must not race with query().
+class SynthesisService {
+public:
+  enum class BreakerState { Closed, Open, HalfOpen };
+
+  explicit SynthesisService(ServiceOptions Opts = {});
+  ~SynthesisService();
+
+  SynthesisService(const SynthesisService &) = delete;
+  SynthesisService &operator=(const SynthesisService &) = delete;
+
+  /// Registers \p D under D.name(). The domain must outlive the service.
+  void addDomain(const Domain &D);
+
+  /// Runs \p QueryText through the ladder against domain \p DomainName.
+  ServiceReport query(std::string_view DomainName,
+                      std::string_view QueryText);
+
+  /// Current breaker state of \p DomainName (Closed for unknown names).
+  BreakerState breakerState(std::string_view DomainName) const;
+
+  const ServiceOptions &options() const { return Opts; }
+
+private:
+  struct DomainState;
+
+  DomainState *findDomain(std::string_view Name) const;
+
+  ServiceOptions Opts;
+  DggtSynthesizer Dggt;
+  HisynSynthesizer Hisyn;
+  std::map<std::string, std::unique_ptr<DomainState>, std::less<>> Domains;
+};
+
+} // namespace dggt
+
+#endif // DGGT_SERVICE_SYNTHESISSERVICE_H

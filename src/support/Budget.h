@@ -40,19 +40,23 @@ public:
 
   /// Returns true once the deadline has passed. Sticky: once expired,
   /// always expired.
+  ///
+  /// The clock is consulted on the very first call — so a budget handed
+  /// to a stage past its deadline is seen as expired immediately instead
+  /// of after a full stride of work — and every CheckStride calls after.
   bool expired() {
     if (!Limited)
       return false;
     if (Expired)
       return true;
-    if (++Calls % CheckStride != 0)
+    if (Calls++ % CheckStride != 0)
       return false;
     Expired = Clock::now() >= Deadline;
     return Expired;
   }
 
-  /// Forces the expired state (used by tests and by nested stages that
-  /// already observed expiry).
+  /// Forces the expired state (used by tests, by fault injection, and by
+  /// nested stages that already observed expiry).
   void cancel() {
     Limited = true;
     Expired = true;
@@ -60,6 +64,45 @@ public:
 
   /// True if this budget can ever expire.
   bool isLimited() const { return Limited; }
+
+  /// Sentinel remainingMs() value of an unlimited budget.
+  static constexpr uint64_t UnlimitedMs = ~0ull;
+
+  /// Milliseconds left before the deadline: 0 once expired (or
+  /// cancelled), UnlimitedMs for an unlimited budget. Reads the clock;
+  /// meant for scheduling decisions, not inner loops.
+  uint64_t remainingMs() const {
+    if (!Limited)
+      return UnlimitedMs;
+    if (Expired)
+      return 0;
+    Clock::time_point Now = Clock::now();
+    if (Now >= Deadline)
+      return 0;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(Deadline - Now)
+            .count());
+  }
+
+  /// Splits off a child budget that shares this deadline honestly: it
+  /// expires \p Ms milliseconds from now or at the parent's deadline,
+  /// whichever comes first. \p Ms of zero grants the whole remainder.
+  /// Cancelling the child never touches the parent; a child of an
+  /// already-expired parent starts expired.
+  Budget child(uint64_t Ms) const {
+    if (!Limited)
+      return Budget(Ms);
+    Budget C;
+    C.Limited = true;
+    C.Deadline = Deadline;
+    if (Ms != 0) {
+      Clock::time_point D = Clock::now() + std::chrono::milliseconds(Ms);
+      if (D < C.Deadline)
+        C.Deadline = D;
+    }
+    C.Expired = Expired;
+    return C;
+  }
 
 private:
   static constexpr uint64_t CheckStride = 256;

@@ -1,0 +1,198 @@
+//===- support/FaultInjection.cpp - Deterministic fault points ------------===//
+
+#include "support/FaultInjection.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdlib>
+#include <vector>
+
+using namespace dggt;
+
+std::atomic<unsigned> FaultInjector::ArmedPoints{0};
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector I;
+  return I;
+}
+
+FaultInjector::Point &FaultInjector::pointFor(std::string_view Name) {
+  auto It = Points.find(std::string(Name));
+  if (It == Points.end())
+    It = Points.emplace(std::string(Name), Point{}).first;
+  return It->second;
+}
+
+void FaultInjector::armNth(std::string_view Name, uint64_t Nth,
+                           bool Repeating) {
+  std::lock_guard<std::mutex> L(M);
+  Point &P = pointFor(Name);
+  if (P.Kind == Point::Trigger::Disarmed)
+    ArmedPoints.fetch_add(1, std::memory_order_relaxed);
+  P.Kind = Point::Trigger::Nth;
+  P.Nth = Nth == 0 ? 1 : Nth;
+  P.Repeating = Repeating;
+  P.Hits = 0;
+}
+
+void FaultInjector::armProbability(std::string_view Name, double Prob,
+                                   uint64_t Seed) {
+  std::lock_guard<std::mutex> L(M);
+  Point &P = pointFor(Name);
+  if (P.Kind == Point::Trigger::Disarmed)
+    ArmedPoints.fetch_add(1, std::memory_order_relaxed);
+  P.Kind = Point::Trigger::Probability;
+  P.P = Prob;
+  P.Rng.seed(Seed);
+  P.Hits = 0;
+}
+
+void FaultInjector::disarm(std::string_view Name) {
+  std::lock_guard<std::mutex> L(M);
+  auto It = Points.find(std::string(Name));
+  if (It == Points.end() || It->second.Kind == Point::Trigger::Disarmed)
+    return;
+  It->second.Kind = Point::Trigger::Disarmed;
+  ArmedPoints.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> L(M);
+  for (auto &[Name, P] : Points)
+    if (P.Kind != Point::Trigger::Disarmed)
+      ArmedPoints.fetch_sub(1, std::memory_order_relaxed);
+  Points.clear();
+}
+
+bool FaultInjector::fires(std::string_view Name) {
+  std::lock_guard<std::mutex> L(M);
+  Point &P = pointFor(Name);
+  ++P.TotalHits;
+  if (P.Kind == Point::Trigger::Disarmed)
+    return false;
+  ++P.Hits;
+  bool Fire = false;
+  switch (P.Kind) {
+  case Point::Trigger::Disarmed:
+    break;
+  case Point::Trigger::Nth:
+    Fire = P.Repeating ? (P.Hits % P.Nth == 0) : (P.Hits == P.Nth);
+    break;
+  case Point::Trigger::Probability: {
+    std::uniform_real_distribution<double> D(0.0, 1.0);
+    Fire = D(P.Rng) < P.P;
+    break;
+  }
+  }
+  if (Fire)
+    ++P.Fired;
+  return Fire;
+}
+
+uint64_t FaultInjector::hits(std::string_view Name) const {
+  std::lock_guard<std::mutex> L(M);
+  auto It = Points.find(std::string(Name));
+  return It == Points.end() ? 0 : It->second.TotalHits;
+}
+
+uint64_t FaultInjector::fired(std::string_view Name) const {
+  std::lock_guard<std::mutex> L(M);
+  auto It = Points.find(std::string(Name));
+  return It == Points.end() ? 0 : It->second.Fired;
+}
+
+namespace {
+
+/// Strict probability parse: the whole string must be a double in [0, 1].
+bool parseProbability(std::string_view S, double &Out) {
+  if (S.empty())
+    return false;
+  std::string Buf(S);
+  char *End = nullptr;
+  double V = std::strtod(Buf.c_str(), &End);
+  if (End != Buf.c_str() + Buf.size())
+    return false;
+  if (!(V >= 0.0 && V <= 1.0))
+    return false;
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+bool FaultInjector::armFromSpec(std::string_view Spec, std::string &Error) {
+  struct Entry {
+    std::string Name;
+    Point::Trigger Kind;
+    uint64_t Nth = 1;
+    bool Repeating = false;
+    double P = 0.0;
+    uint64_t Seed = 1;
+  };
+  std::vector<Entry> Parsed;
+
+  for (const std::string &Item : split(Spec, ",")) {
+    std::string_view E = trim(Item);
+    if (E.empty())
+      continue;
+    size_t Eq = E.find('=');
+    if (Eq == std::string_view::npos) {
+      Error = "entry '" + std::string(E) + "' is missing '='";
+      return false;
+    }
+    Entry Out;
+    Out.Name = std::string(trim(E.substr(0, Eq)));
+    std::string_view Trigger = trim(E.substr(Eq + 1));
+    if (Out.Name.empty() || Trigger.empty()) {
+      Error = "entry '" + std::string(E) + "' has an empty point or trigger";
+      return false;
+    }
+    if (Trigger == "always") {
+      Out.Kind = Point::Trigger::Nth;
+      Out.Nth = 1;
+      Out.Repeating = true;
+    } else if (startsWith(Trigger, "nth:") || startsWith(Trigger, "every:")) {
+      Out.Kind = Point::Trigger::Nth;
+      Out.Repeating = startsWith(Trigger, "every:");
+      std::string_view Num = Trigger.substr(Trigger.find(':') + 1);
+      std::optional<uint64_t> N = parseUnsigned(Num);
+      if (!N || *N == 0) {
+        Error = "bad count '" + std::string(Num) + "' in '" + std::string(E) +
+                "' (want a positive integer)";
+        return false;
+      }
+      Out.Nth = *N;
+    } else if (startsWith(Trigger, "prob:")) {
+      Out.Kind = Point::Trigger::Probability;
+      std::string_view Rest = Trigger.substr(5);
+      std::string_view ProbStr = Rest;
+      if (size_t At = Rest.find('@'); At != std::string_view::npos) {
+        ProbStr = Rest.substr(0, At);
+        std::optional<uint64_t> Seed = parseUnsigned(Rest.substr(At + 1));
+        if (!Seed) {
+          Error = "bad seed in '" + std::string(E) + "'";
+          return false;
+        }
+        Out.Seed = *Seed;
+      }
+      if (!parseProbability(ProbStr, Out.P)) {
+        Error = "bad probability '" + std::string(ProbStr) + "' in '" +
+                std::string(E) + "' (want a value in [0,1])";
+        return false;
+      }
+    } else {
+      Error = "unknown trigger '" + std::string(Trigger) + "' in '" +
+              std::string(E) + "'";
+      return false;
+    }
+    Parsed.push_back(std::move(Out));
+  }
+
+  for (const Entry &E : Parsed) {
+    if (E.Kind == Point::Trigger::Probability)
+      armProbability(E.Name, E.P, E.Seed);
+    else
+      armNth(E.Name, E.Nth, E.Repeating);
+  }
+  return true;
+}

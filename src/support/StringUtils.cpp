@@ -132,3 +132,18 @@ unsigned dggt::editDistance(std::string_view A, std::string_view B) {
   }
   return Prev[B.size()];
 }
+
+std::optional<uint64_t> dggt::parseUnsigned(std::string_view S) {
+  if (S.empty())
+    return std::nullopt;
+  uint64_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    uint64_t Digit = static_cast<uint64_t>(C - '0');
+    if (V > (UINT64_MAX - Digit) / 10)
+      return std::nullopt; // overflow
+    V = V * 10 + Digit;
+  }
+  return V;
+}

@@ -16,6 +16,8 @@
 #ifndef DGGT_SUPPORT_STRINGUTILS_H
 #define DGGT_SUPPORT_STRINGUTILS_H
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -58,6 +60,12 @@ bool endsWith(std::string_view S, std::string_view Suffix);
 /// Edit (Levenshtein) distance between two strings; used as a last-resort
 /// tie-breaker in word/API matching.
 unsigned editDistance(std::string_view A, std::string_view B);
+
+/// Strictly parses a base-10 unsigned integer: the whole string must be
+/// digits (no sign, whitespace or suffix) and the value must fit in
+/// uint64_t. Used to validate environment knobs (DGGT_TIMEOUT_MS,
+/// DGGT_FAULTS) instead of strtoull's permissive prefix parsing.
+std::optional<uint64_t> parseUnsigned(std::string_view S);
 
 } // namespace dggt
 

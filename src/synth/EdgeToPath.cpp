@@ -3,6 +3,7 @@
 #include "synth/EdgeToPath.h"
 
 #include "nlu/ApiDocument.h"
+#include "support/FaultInjection.h"
 
 #include <cassert>
 
@@ -33,6 +34,14 @@ EdgeToPathMap dggt::buildEdgeToPath(const GrammarGraph &GG,
                         const std::vector<GgNodeId> &GovTargets) {
     EdgePaths EP;
     EP.Edge = Edge;
+    // Fault point: a firing stands for an allocation-limit trip while
+    // collecting this edge's paths — the edge keeps no paths (downstream
+    // treats it as an orphan) and is marked truncated.
+    if (faultFires(faults::EdgeToPathEdge)) {
+      EP.Truncated = true;
+      Map.Edges.push_back(std::move(EP));
+      return;
+    }
     // Search per dependent candidate so each recorded path carries the
     // WordToAPI score it realizes.
     for (const ApiCandidate &C : Words.forNode(Edge.DepNode)) {

@@ -2,6 +2,7 @@
 
 #include "synth/dggt/DggtSynthesizer.h"
 
+#include "support/FaultInjection.h"
 #include "synth/Expression.h"
 #include "synth/SizeBounds.h"
 #include "synth/dggt/GrammarBasedPruning.h"
@@ -48,7 +49,15 @@ public:
       return A < C;
     });
     for (unsigned Node : Order) {
-      if (ChildGroups.count(Node))
+      // Poll the budget between nodes too: single-child chains never
+      // enter the sibling enumeration (the only other poll site), so a
+      // deep chain could otherwise overshoot the deadline unchecked. The
+      // fault point stands for a mid-merge failure.
+      if (faultFires(faults::DggtMerge))
+        B.cancel();
+      if (B.expired())
+        TimedOut = true;
+      else if (ChildGroups.count(Node))
         processInternal(Node);
       else
         makeLeaf(Node);
@@ -260,6 +269,13 @@ private:
   void mergeCombination(unsigned Node, GgNodeId Occ,
                         const std::vector<const EdgePaths *> &Group,
                         const std::vector<const GrammarPath *> &Combo) {
+    // Fault point: cancel the budget mid-merge so the expiry surfaces
+    // through the ordinary Timeout path (no special unwinding).
+    if (faultFires(faults::DggtMerge)) {
+      B.cancel();
+      TimedOut = true;
+      return;
+    }
     Cgt Full;
     CgtObjective Obj;
     for (const GrammarPath *P : Combo) {

@@ -2,6 +2,7 @@
 
 #include "synth/hisyn/HisynSynthesizer.h"
 
+#include "support/FaultInjection.h"
 #include "synth/Expression.h"
 
 #include <cassert>
@@ -86,6 +87,10 @@ SynthesisResult HisynSynthesizer::synthesize(const PreparedQuery &Query,
 
   bool Done = false;
   while (!Done) {
+    // Fault point: cancel the budget mid-enumeration so the expiry
+    // surfaces through the ordinary Timeout path.
+    if (faultFires(faults::HisynEnumerate))
+      B.cancel();
     if (B.expired()) {
       Result.St = SynthesisResult::Status::Timeout;
       return Result;

@@ -6,8 +6,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "eval/Harness.h"
 #include "grammar/BnfParser.h"
 #include "grammar/PathSearch.h"
+#include "support/FaultInjection.h"
 #include "synth/Expression.h"
 #include "synth/dggt/DggtSynthesizer.h"
 #include "synth/hisyn/HisynSynthesizer.h"
@@ -140,4 +142,163 @@ TEST(Robustness, VeryLongQueryStaysInteractive) {
   Budget B(2000);
   (void)S.synthesize(Q, B);
   EXPECT_LT(T.seconds(), 5.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Fault injection: every injected fault must surface as a structured
+// status — never a crash, never a hang.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Clears the process-wide fault registry around each test.
+class FaultPoints : public ::testing::Test {
+protected:
+  void SetUp() override { FaultInjector::instance().reset(); }
+  void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+} // namespace
+
+TEST_F(FaultPoints, NthTriggerFiresExactlyOnce) {
+  FaultInjector &FI = FaultInjector::instance();
+  FI.armNth("test.point", 3);
+  EXPECT_FALSE(FI.fires("test.point"));
+  EXPECT_FALSE(FI.fires("test.point"));
+  EXPECT_TRUE(FI.fires("test.point"));
+  EXPECT_FALSE(FI.fires("test.point")); // one-shot
+  EXPECT_EQ(FI.fired("test.point"), 1u);
+  EXPECT_EQ(FI.hits("test.point"), 4u);
+}
+
+TEST_F(FaultPoints, RepeatingNthFiresEveryN) {
+  FaultInjector &FI = FaultInjector::instance();
+  FI.armNth("test.point", 2, /*Repeating=*/true);
+  unsigned Fired = 0;
+  for (int I = 0; I < 10; ++I)
+    Fired += FI.fires("test.point") ? 1 : 0;
+  EXPECT_EQ(Fired, 5u);
+}
+
+TEST_F(FaultPoints, SeededProbabilityIsReproducible) {
+  FaultInjector &FI = FaultInjector::instance();
+  auto Sequence = [&](uint64_t Seed) {
+    FI.armProbability("test.point", 0.5, Seed);
+    std::vector<bool> S;
+    for (int I = 0; I < 64; ++I)
+      S.push_back(FI.fires("test.point"));
+    return S;
+  };
+  std::vector<bool> A = Sequence(42), B = Sequence(42), C = Sequence(43);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+}
+
+TEST_F(FaultPoints, SpecParserAcceptsAndRejects) {
+  FaultInjector &FI = FaultInjector::instance();
+  std::string Error;
+  EXPECT_TRUE(FI.armFromSpec(
+      "dggt.merge=nth:3, pathsearch.visit=prob:0.25@7, bnf.parse=always",
+      Error))
+      << Error;
+  EXPECT_TRUE(FaultInjector::anyArmed());
+  FI.reset();
+
+  // Malformed specs arm nothing.
+  EXPECT_FALSE(FI.armFromSpec("dggt.merge", Error));
+  EXPECT_FALSE(FaultInjector::anyArmed());
+  EXPECT_FALSE(FI.armFromSpec("p=nth:abc", Error));
+  EXPECT_FALSE(FI.armFromSpec("p=nth:0", Error));
+  EXPECT_FALSE(FI.armFromSpec("p=prob:1.5", Error));
+  EXPECT_FALSE(FI.armFromSpec("p=prob:0.5@12x", Error));
+  EXPECT_FALSE(FI.armFromSpec("p=explode", Error));
+  // A malformed tail must not arm the valid head.
+  EXPECT_FALSE(FI.armFromSpec("dggt.merge=always,p=explode", Error));
+  EXPECT_FALSE(FaultInjector::anyArmed());
+}
+
+TEST_F(FaultPoints, BnfParseFaultIsAParseError) {
+  FaultInjector::instance().armAlways(faults::BnfParse);
+  BnfParseResult R = parseBnf("s ::= A");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("fault injected"), std::string::npos);
+}
+
+TEST_F(FaultPoints, PathSearchFaultTruncates) {
+  BnfParseResult R = parseBnf("s ::= WRAP s | LEAF");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  GrammarGraph GG(R.G);
+  FaultInjector::instance().armNth(faults::PathSearchVisit, 2);
+  PathSearchResult Paths =
+      findPathsFromStart(GG, GG.apiOccurrences("LEAF").front());
+  EXPECT_TRUE(Paths.Truncated);
+}
+
+TEST_F(FaultPoints, EdgeToPathFaultDegradesToStructuredStatus) {
+  // Faulting every edge's path collection leaves the query with orphan
+  // edges only; both synthesizers must return a structured status.
+  FaultInjector::instance().armAlways(faults::EdgeToPathEdge);
+  std::unique_ptr<Domain> D = makeTextEditingDomain();
+  PreparedQuery Q = D->frontEnd().prepare("sort all lines");
+  FaultInjector::instance().reset(); // Only the prepared map is faulty.
+  for (const EdgePaths &EP : Q.Edges.Edges)
+    EXPECT_TRUE(EP.Truncated);
+
+  DggtSynthesizer S;
+  Budget B(2000);
+  SynthesisResult RS = S.synthesize(Q, B);
+  EXPECT_NE(RS.St, SynthesisResult::Status::Success);
+
+  HisynSynthesizer H;
+  Budget B2(2000);
+  (void)H.synthesize(Q, B2); // Must terminate with some structured status.
+}
+
+TEST_F(FaultPoints, DggtMergeFaultSurfacesAsTimeout) {
+  dggt::test::PaperFragment F;
+  FaultInjector::instance().armNth(faults::DggtMerge, 1);
+  DggtSynthesizer S;
+  Budget B(60000);
+  EXPECT_EQ(S.synthesize(F.Query, B).St, SynthesisResult::Status::Timeout);
+}
+
+TEST_F(FaultPoints, HisynEnumerationFaultSurfacesAsTimeout) {
+  dggt::test::PaperFragment F;
+  FaultInjector::instance().armNth(faults::HisynEnumerate, 1);
+  HisynSynthesizer H;
+  Budget B(60000);
+  EXPECT_EQ(H.synthesize(F.Query, B).St, SynthesisResult::Status::Timeout);
+}
+
+TEST_F(FaultPoints, MidFlightMergeFaultStillTimesOut) {
+  // Fire deep inside the sibling enumeration (not on the first node):
+  // the synthesizer must unwind cleanly through the ordinary Timeout
+  // path rather than return a partial answer.
+  dggt::test::PaperFragment F;
+  FaultInjector::instance().armNth(faults::DggtMerge, 4);
+  DggtSynthesizer S;
+  Budget B(60000);
+  EXPECT_EQ(S.synthesize(F.Query, B).St, SynthesisResult::Status::Timeout);
+}
+
+//===----------------------------------------------------------------------===//
+// Hardened environment parsing
+//===----------------------------------------------------------------------===//
+
+TEST(Robustness, TimeoutSpecParsing) {
+  EXPECT_EQ(parseTimeoutMsSpec("2000"), 2000u);
+  EXPECT_EQ(parseTimeoutMsSpec("1"), 1u);
+  EXPECT_FALSE(parseTimeoutMsSpec("").has_value());
+  EXPECT_FALSE(parseTimeoutMsSpec("0").has_value());
+  EXPECT_FALSE(parseTimeoutMsSpec("-5").has_value());
+  EXPECT_FALSE(parseTimeoutMsSpec("+5").has_value());
+  EXPECT_FALSE(parseTimeoutMsSpec("12abc").has_value());
+  EXPECT_FALSE(parseTimeoutMsSpec("2 000").has_value());
+  EXPECT_FALSE(parseTimeoutMsSpec("1e3").has_value());
+  // Overflow: 2^64 and far beyond.
+  EXPECT_FALSE(parseTimeoutMsSpec("18446744073709551616").has_value());
+  EXPECT_FALSE(parseTimeoutMsSpec("99999999999999999999999").has_value());
+  // Largest representable value still parses.
+  EXPECT_EQ(parseTimeoutMsSpec("18446744073709551615"),
+            18446744073709551615ull);
 }
