@@ -15,6 +15,7 @@
 #include "eval/Distribution.h"
 #include "eval/Harness.h"
 #include "eval/Metrics.h"
+#include "obs/Metrics.h"
 #include "support/Table.h"
 #include "synth/dggt/DggtSynthesizer.h"
 #include "synth/hisyn/HisynSynthesizer.h"
@@ -25,6 +26,35 @@
 #include <vector>
 
 namespace dggt::bench {
+
+/// Latency summary over a set of timed runs, built on the observability
+/// histogram (standalone instrument: always records, no global switch)
+/// so the bench binaries and the exported service metrics share one
+/// bucket ladder and percentile estimator.
+class LatencySummary {
+public:
+  LatencySummary() : H(obs::Histogram::defaultLatencyBucketsMs()) {}
+  explicit LatencySummary(const std::vector<CaseOutcome> &Outcomes)
+      : LatencySummary() {
+    for (const CaseOutcome &O : Outcomes)
+      addSeconds(O.Seconds);
+  }
+
+  void addSeconds(double Seconds) { H.observe(Seconds * 1000.0); }
+  void addMs(double Ms) { H.observe(Ms); }
+
+  uint64_t count() const { return H.count(); }
+  double meanMs() const {
+    return H.count() ? H.sum() / static_cast<double>(H.count()) : 0.0;
+  }
+  double p50Ms() const { return H.p50(); }
+  double p90Ms() const { return H.p90(); }
+  double p99Ms() const { return H.p99(); }
+  const obs::Histogram &histogram() const { return H; }
+
+private:
+  obs::Histogram H;
+};
 
 /// Both evaluation domains, built once.
 struct Domains {

@@ -1,0 +1,68 @@
+# Asserts that a metrics-enabled run of the resilient_service example
+# produced well-formed exporter output:
+#   -DPROM=<path>  Prometheus text dump written at process exit
+#   -DTRACE=<path> JSON-lines span trace appended live
+# Used by the `check-metrics` target; fails the build on any missing or
+# malformed content.
+
+foreach(var PROM TRACE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "CheckMetricsOutput.cmake needs -D${var}=<path>")
+  endif()
+  if(NOT EXISTS "${${var}}")
+    message(FATAL_ERROR "expected ${var} output '${${var}}' was not written")
+  endif()
+endforeach()
+
+file(READ "${PROM}" _prom)
+file(READ "${TRACE}" _trace)
+
+# --- Prometheus dump -------------------------------------------------------
+# Per-rung latency histogram with cumulative buckets and the +Inf bucket.
+foreach(needle
+    "# TYPE dggt_service_rung_latency_ms histogram"
+    "dggt_service_rung_latency_ms_bucket{rung=\"dggt-full\",le=\"+Inf\"}"
+    "dggt_service_rung_latency_ms_count{rung=\"dggt-full\"}"
+    # Breaker transition counters (the example trips and closes the breaker).
+    "dggt_service_breaker_transitions_total{domain=\"TextEditing\",to=\"open\"}"
+    "dggt_service_breaker_transitions_total{domain=\"TextEditing\",to=\"closed\"}"
+    # Per-stage pipeline latency and query accounting.
+    "dggt_pipeline_stage_latency_ms_bucket{stage=\"parse\",le=\"+Inf\"}"
+    "dggt_service_queries_total{domain=\"TextEditing\",status=\"ok\"}")
+# (Fault-point counts are absent here by design: the example resets the
+# injector before exit; obs_test covers their collection.)
+  string(FIND "${_prom}" "${needle}" _pos)
+  if(_pos EQUAL -1)
+    message(FATAL_ERROR "Prometheus dump '${PROM}' is missing: ${needle}")
+  endif()
+endforeach()
+
+# --- Span trace ------------------------------------------------------------
+foreach(needle
+    "\"name\":\"service.query\""
+    "\"name\":\"service.rung\""
+    "\"name\":\"pipeline.parse\""
+    "\"name\":\"synth.dggt\"")
+  string(FIND "${_trace}" "${needle}" _pos)
+  if(_pos EQUAL -1)
+    message(FATAL_ERROR "trace '${TRACE}' is missing span: ${needle}")
+  endif()
+endforeach()
+
+# Every non-empty trace line must be one JSON object.
+string(REPLACE "\n" ";" _lines "${_trace}")
+set(_count 0)
+foreach(line IN LISTS _lines)
+  if(line STREQUAL "")
+    continue()
+  endif()
+  math(EXPR _count "${_count} + 1")
+  if(NOT line MATCHES "^\\{.*\\}$")
+    message(FATAL_ERROR "trace '${TRACE}' has a malformed line: ${line}")
+  endif()
+endforeach()
+if(_count LESS 4)
+  message(FATAL_ERROR "trace '${TRACE}' has only ${_count} spans")
+endif()
+
+message(STATUS "metrics output OK: ${_count} spans, Prometheus dump complete")

@@ -5,7 +5,9 @@
 // and the per-domain circuit breaker. Run it with no arguments; it
 // narrates each scenario. DGGT_FAULTS (e.g. "dggt.merge=always") can be
 // used to inject faults into any binary the same way scenario 2 does it
-// programmatically here.
+// programmatically here, and DGGT_METRICS (e.g.
+// "prom:/tmp/metrics.prom,trace:/tmp/trace.jsonl") turns on the metrics
+// and tracing exporters — the Prometheus dump is written at exit.
 //
 //===----------------------------------------------------------------------===//
 
@@ -24,10 +26,11 @@ void printReport(const char *Query, const ServiceReport &Rep) {
               std::string(serviceStatusName(Rep.St)).c_str(),
               Rep.TotalSeconds * 1000.0);
   for (const RungAttempt &A : Rep.Attempts)
-    std::printf("    rung %-10s try %u -> %-15s (%.1f ms)\n",
+    std::printf("    rung %-10s try %u -> %-15s (%.1f ms, %llu ms left)\n",
                 std::string(rungName(A.Rung)).c_str(), A.Try,
                 std::string(attemptStatusName(A.St)).c_str(),
-                A.Seconds * 1000.0);
+                A.Seconds * 1000.0,
+                static_cast<unsigned long long>(A.RemainingMs));
   if (Rep.ok())
     std::printf("  answered by %s: %s\n",
                 std::string(rungName(*Rep.AnsweredBy)).c_str(),

@@ -2,6 +2,7 @@
 
 #include "grammar/PathSearch.h"
 
+#include "obs/Metrics.h"
 #include "support/FaultInjection.h"
 
 #include <algorithm>
@@ -38,6 +39,7 @@ public:
     OnPath.assign(GG.numNodes(), false);
     Stack.clear();
     visit(DependentStart);
+    Result.Visits = Visits;
     return std::move(Result);
   }
 
@@ -110,7 +112,25 @@ dggt::findPathsBetween(const GrammarGraph &GG, GgNodeId DependentStart,
                        const std::vector<GgNodeId> &GovernorTargets,
                        const PathSearchLimits &Limits) {
   ReversedSearch Search(GG, GovernorTargets, Limits);
-  return Search.run(DependentStart);
+  PathSearchResult Result = Search.run(DependentStart);
+  // Batched metric adds: one search, three fetch_adds — the per-visit
+  // inner loop stays untouched.
+  if (obs::metricsEnabled()) {
+    static obs::Counter &Searches =
+        obs::registry().counter("dggt_pathsearch_searches_total");
+    static obs::Counter &Visits =
+        obs::registry().counter("dggt_pathsearch_visits_total");
+    static obs::Counter &Paths =
+        obs::registry().counter("dggt_pathsearch_paths_total");
+    static obs::Counter &Truncations =
+        obs::registry().counter("dggt_pathsearch_truncations_total");
+    Searches.inc();
+    Visits.inc(Result.Visits);
+    Paths.inc(Result.Paths.size());
+    if (Result.Truncated)
+      Truncations.inc();
+  }
+  return Result;
 }
 
 PathSearchResult dggt::findPathsFromStart(const GrammarGraph &GG,

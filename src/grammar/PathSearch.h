@@ -36,6 +36,7 @@ struct PathSearchLimits {
 struct PathSearchResult {
   std::vector<GrammarPath> Paths; ///< Governor end first; Id unassigned (0).
   bool Truncated = false;         ///< MaxPaths was hit.
+  uint64_t Visits = 0;            ///< DFS node visits consumed.
 };
 
 /// Finds all simple downward paths from any node in \p GovernorTargets to

@@ -1,0 +1,441 @@
+//===- obs/Export.cpp - Pluggable metric/trace exporters ------------------===//
+
+#include "obs/Export.h"
+
+#include "support/FaultInjection.h"
+#include "support/StringUtils.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace dggt;
+using namespace dggt::obs;
+
+MetricsSink::~MetricsSink() = default;
+
+//===----------------------------------------------------------------------===//
+// Formatting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Escapes \p S for a JSON string or a Prometheus label value (the two
+/// formats share the \\ and \" escapes; control characters only occur in
+/// hostile metric names, which we escape as \uXXXX for JSON validity).
+std::string escapeString(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+/// Prometheus label block: {k1="v1",k2="v2"} or "" when empty. \p Extra
+/// appends one more label (used for the histogram `le`).
+std::string promLabels(const LabelSet &Labels,
+                       const std::pair<std::string, std::string> *Extra =
+                           nullptr) {
+  if (Labels.empty() && !Extra)
+    return "";
+  std::string Out = "{";
+  bool First = true;
+  auto Append = [&](const std::pair<std::string, std::string> &KV) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += KV.first + "=\"" + escapeString(KV.second) + "\"";
+  };
+  for (const auto &KV : Labels)
+    Append(KV);
+  if (Extra)
+    Append(*Extra);
+  Out += "}";
+  return Out;
+}
+
+std::string jsonLabels(const LabelSet &Labels) {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[K, V] : Labels) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\"" + escapeString(K) + "\":\"" + escapeString(V) + "\"";
+  }
+  Out += "}";
+  return Out;
+}
+
+/// Formats a double the way Prometheus expects (no trailing garbage,
+/// round-trippable precision).
+std::string formatDouble(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.10g", V);
+  return Buf;
+}
+
+/// Rebuilds a Histogram percentile estimate from snapshot buckets (the
+/// snapshot is decoupled from the live instrument).
+double snapshotPercentile(const MetricSnapshot &S, double P) {
+  if (S.Count == 0)
+    return 0.0;
+  double Rank = P / 100.0 * static_cast<double>(S.Count);
+  uint64_t Cum = 0;
+  for (size_t I = 0; I < S.Bounds.size(); ++I) {
+    uint64_t InBucket = S.BucketCounts[I];
+    if (InBucket == 0)
+      continue;
+    double PrevCum = static_cast<double>(Cum);
+    Cum += InBucket;
+    if (static_cast<double>(Cum) >= Rank) {
+      double Lower = I == 0 ? 0.0 : S.Bounds[I - 1];
+      double Frac = (Rank - PrevCum) / static_cast<double>(InBucket);
+      if (Frac < 0)
+        Frac = 0;
+      if (Frac > 1)
+        Frac = 1;
+      return Lower + (S.Bounds[I] - Lower) * Frac;
+    }
+  }
+  return S.Bounds.empty() ? 0.0 : S.Bounds.back();
+}
+
+} // namespace
+
+void obs::writePrometheusText(const std::vector<MetricSnapshot> &Snap,
+                              std::ostream &OS) {
+  std::string LastTyped;
+  for (const MetricSnapshot &S : Snap) {
+    const char *Type = S.K == MetricSnapshot::Kind::Counter   ? "counter"
+                       : S.K == MetricSnapshot::Kind::Gauge   ? "gauge"
+                                                              : "histogram";
+    if (S.Name != LastTyped) {
+      OS << "# TYPE " << S.Name << " " << Type << "\n";
+      LastTyped = S.Name;
+    }
+    switch (S.K) {
+    case MetricSnapshot::Kind::Counter:
+      OS << S.Name << promLabels(S.Labels) << " " << S.CounterValue << "\n";
+      break;
+    case MetricSnapshot::Kind::Gauge:
+      OS << S.Name << promLabels(S.Labels) << " " << S.GaugeValue << "\n";
+      break;
+    case MetricSnapshot::Kind::Histogram: {
+      uint64_t Cum = 0;
+      for (size_t I = 0; I < S.Bounds.size(); ++I) {
+        Cum += S.BucketCounts[I];
+        std::pair<std::string, std::string> Le{"le",
+                                               formatDouble(S.Bounds[I])};
+        OS << S.Name << "_bucket" << promLabels(S.Labels, &Le) << " " << Cum
+           << "\n";
+      }
+      Cum += S.BucketCounts[S.Bounds.size()];
+      std::pair<std::string, std::string> Inf{"le", "+Inf"};
+      OS << S.Name << "_bucket" << promLabels(S.Labels, &Inf) << " " << Cum
+         << "\n";
+      OS << S.Name << "_sum" << promLabels(S.Labels) << " "
+         << formatDouble(S.Sum) << "\n";
+      OS << S.Name << "_count" << promLabels(S.Labels) << " " << S.Count
+         << "\n";
+      break;
+    }
+    }
+  }
+}
+
+void obs::writeMetricsJsonLines(const std::vector<MetricSnapshot> &Snap,
+                                std::ostream &OS) {
+  for (const MetricSnapshot &S : Snap) {
+    OS << "{\"name\":\"" << escapeString(S.Name)
+       << "\",\"labels\":" << jsonLabels(S.Labels);
+    switch (S.K) {
+    case MetricSnapshot::Kind::Counter:
+      OS << ",\"type\":\"counter\",\"value\":" << S.CounterValue;
+      break;
+    case MetricSnapshot::Kind::Gauge:
+      OS << ",\"type\":\"gauge\",\"value\":" << S.GaugeValue;
+      break;
+    case MetricSnapshot::Kind::Histogram: {
+      OS << ",\"type\":\"histogram\",\"count\":" << S.Count
+         << ",\"sum\":" << formatDouble(S.Sum) << ",\"bounds\":[";
+      for (size_t I = 0; I < S.Bounds.size(); ++I)
+        OS << (I ? "," : "") << formatDouble(S.Bounds[I]);
+      OS << "],\"buckets\":[";
+      for (size_t I = 0; I < S.BucketCounts.size(); ++I)
+        OS << (I ? "," : "") << S.BucketCounts[I];
+      OS << "],\"p50\":" << formatDouble(snapshotPercentile(S, 50))
+         << ",\"p90\":" << formatDouble(snapshotPercentile(S, 90))
+         << ",\"p99\":" << formatDouble(snapshotPercentile(S, 99));
+      break;
+    }
+    }
+    OS << "}\n";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Sinks
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Resolves the spec's "stderr"/"stdout" destinations; null for files.
+std::ostream *wellKnownStream(std::string_view Path) {
+  if (Path == "stderr")
+    return &std::cerr;
+  if (Path == "stdout")
+    return &std::cout;
+  return nullptr;
+}
+
+} // namespace
+
+TextMetricsSink::TextMetricsSink(Format F, std::ostream &OS) : F(F), OS(&OS) {}
+
+TextMetricsSink::TextMetricsSink(Format F, std::string Path)
+    : F(F), OS(wellKnownStream(Path)), Path(std::move(Path)) {}
+
+void TextMetricsSink::exportMetrics(const std::vector<MetricSnapshot> &Snap) {
+  std::lock_guard<std::mutex> L(M);
+  auto WriteTo = [&](std::ostream &Out) {
+    if (F == Format::Prometheus)
+      writePrometheusText(Snap, Out);
+    else
+      writeMetricsJsonLines(Snap, Out);
+    Out.flush();
+  };
+  if (OS) {
+    WriteTo(*OS);
+    return;
+  }
+  std::ofstream File(Path, std::ios::trunc);
+  if (!File) {
+    std::fprintf(stderr, "[obs] cannot write metrics to '%s'\n",
+                 Path.c_str());
+    return;
+  }
+  WriteTo(File);
+}
+
+struct JsonLinesTraceSink::Impl {
+  std::mutex M;
+  std::ofstream Owned;
+  std::ostream *OS = nullptr;
+};
+
+JsonLinesTraceSink::JsonLinesTraceSink(std::ostream &OS)
+    : I(std::make_unique<Impl>()) {
+  I->OS = &OS;
+}
+
+JsonLinesTraceSink::JsonLinesTraceSink(std::string Path)
+    : I(std::make_unique<Impl>()) {
+  if (std::ostream *Known = wellKnownStream(Path)) {
+    I->OS = Known;
+    return;
+  }
+  I->Owned.open(Path, std::ios::trunc);
+  if (!I->Owned)
+    std::fprintf(stderr, "[obs] cannot write trace to '%s'\n", Path.c_str());
+  I->OS = &I->Owned;
+}
+
+JsonLinesTraceSink::~JsonLinesTraceSink() = default;
+
+void JsonLinesTraceSink::onSpan(const SpanRecord &Span) {
+  std::lock_guard<std::mutex> L(I->M);
+  std::ostream &OS = *I->OS;
+  OS << "{\"name\":\"" << escapeString(Span.Name)
+     << "\",\"trace\":" << Span.TraceId << ",\"span\":" << Span.SpanId
+     << ",\"parent\":" << Span.ParentId
+     << ",\"start_s\":" << formatDouble(Span.StartSeconds)
+     << ",\"duration_ms\":" << formatDouble(Span.DurationSeconds * 1000.0);
+  if (!Span.Attrs.empty()) {
+    OS << ",\"attrs\":{";
+    for (size_t A = 0; A < Span.Attrs.size(); ++A)
+      OS << (A ? "," : "") << "\"" << escapeString(Span.Attrs[A].first)
+         << "\":\"" << escapeString(Span.Attrs[A].second) << "\"";
+    OS << "}";
+  }
+  OS << "}\n";
+  OS.flush();
+}
+
+//===----------------------------------------------------------------------===//
+// Collection
+//===----------------------------------------------------------------------===//
+
+std::vector<MetricSnapshot> obs::collectMetrics() {
+  std::vector<MetricSnapshot> Snap = registry().snapshot();
+  // Pull the fault-injection counts: they live in dggt_support (below
+  // this library), so they are collected here rather than pushed.
+  for (const FaultPointCounts &P : FaultInjector::instance().snapshotCounts()) {
+    MetricSnapshot Hits;
+    Hits.K = MetricSnapshot::Kind::Counter;
+    Hits.Name = "dggt_fault_point_hits_total";
+    Hits.Labels = {{"point", P.Point}};
+    Hits.CounterValue = P.Hits;
+    MetricSnapshot Fired = Hits;
+    Fired.Name = "dggt_fault_point_fired_total";
+    Fired.CounterValue = P.Fired;
+    Snap.push_back(std::move(Hits));
+    Snap.push_back(std::move(Fired));
+  }
+  return Snap;
+}
+
+//===----------------------------------------------------------------------===//
+// DGGT_METRICS spec
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Exporters configured by configureFromSpec; flushed on demand and at
+/// process exit.
+struct ConfiguredExporters {
+  std::mutex M;
+  std::vector<std::unique_ptr<MetricsSink>> Sinks;
+  std::shared_ptr<JsonLinesTraceSink> Trace;
+  bool AtExitRegistered = false;
+};
+
+ConfiguredExporters &exporters() {
+  // Intentionally leaked (see MetricsRegistry::instance()): the atexit
+  // flush must find the sinks alive regardless of destruction order.
+  static ConfiguredExporters *E = new ConfiguredExporters();
+  return *E;
+}
+
+} // namespace
+
+bool obs::configureFromSpec(std::string_view Spec, std::string &Error) {
+  struct Entry {
+    enum class Kind { On, Prom, Jsonl, Trace } K;
+    std::string Dest;
+  };
+  std::vector<Entry> Parsed;
+
+  for (const std::string &Item : split(Spec, ",")) {
+    std::string_view E = trim(Item);
+    if (E.empty())
+      continue;
+    if (E == "on") {
+      Parsed.push_back({Entry::Kind::On, ""});
+      continue;
+    }
+    size_t Colon = E.find(':');
+    if (Colon == std::string_view::npos) {
+      Error = "entry '" + std::string(E) +
+              "' is not 'on' or '<exporter>:<dest>'";
+      return false;
+    }
+    std::string_view Key = E.substr(0, Colon);
+    std::string_view Dest = trim(E.substr(Colon + 1));
+    if (Dest.empty()) {
+      Error = "entry '" + std::string(E) + "' has an empty destination";
+      return false;
+    }
+    Entry Out;
+    Out.Dest = std::string(Dest);
+    if (Key == "prom")
+      Out.K = Entry::Kind::Prom;
+    else if (Key == "jsonl")
+      Out.K = Entry::Kind::Jsonl;
+    else if (Key == "trace")
+      Out.K = Entry::Kind::Trace;
+    else {
+      Error = "unknown exporter '" + std::string(Key) + "' in '" +
+              std::string(E) + "' (want prom:, jsonl:, trace: or on)";
+      return false;
+    }
+    Parsed.push_back(std::move(Out));
+  }
+  if (Parsed.empty()) {
+    Error = "empty spec (want 'on' or a comma list of prom:/jsonl:/trace: "
+            "entries)";
+    return false;
+  }
+
+  // Validated: apply. Every spec form implies metric collection.
+  ConfiguredExporters &Ex = exporters();
+  std::lock_guard<std::mutex> L(Ex.M);
+  for (Entry &E : Parsed) {
+    switch (E.K) {
+    case Entry::Kind::On:
+      break;
+    case Entry::Kind::Prom:
+      Ex.Sinks.push_back(std::make_unique<TextMetricsSink>(
+          TextMetricsSink::Format::Prometheus, std::move(E.Dest)));
+      break;
+    case Entry::Kind::Jsonl:
+      Ex.Sinks.push_back(std::make_unique<TextMetricsSink>(
+          TextMetricsSink::Format::JsonLines, std::move(E.Dest)));
+      break;
+    case Entry::Kind::Trace:
+      Ex.Trace = std::make_shared<JsonLinesTraceSink>(std::move(E.Dest));
+      Tracer::instance().setSink(Ex.Trace);
+      break;
+    }
+  }
+  setMetricsEnabled(true);
+  if (!Ex.Sinks.empty() && !Ex.AtExitRegistered) {
+    Ex.AtExitRegistered = true;
+    std::atexit([] { flushMetrics(); });
+  }
+  return true;
+}
+
+void obs::applyEnvSpec() {
+  const char *Env = std::getenv("DGGT_METRICS");
+  if (!Env || !*Env)
+    return;
+  // Idempotent per distinct value, like applyHarnessFaultSpec().
+  static std::mutex M;
+  static std::string Applied;
+  std::lock_guard<std::mutex> L(M);
+  if (Applied == Env)
+    return;
+  std::string Error;
+  if (!configureFromSpec(Env, Error))
+    std::fprintf(stderr,
+                 "[obs] ignoring invalid DGGT_METRICS='%s': %s\n", Env,
+                 Error.c_str());
+  Applied = Env;
+}
+
+void obs::flushMetrics() {
+  ConfiguredExporters &Ex = exporters();
+  std::lock_guard<std::mutex> L(Ex.M);
+  if (Ex.Sinks.empty())
+    return;
+  std::vector<MetricSnapshot> Snap = collectMetrics();
+  for (const std::unique_ptr<MetricsSink> &S : Ex.Sinks)
+    S->exportMetrics(Snap);
+}

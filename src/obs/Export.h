@@ -1,0 +1,111 @@
+//===- obs/Export.h - Pluggable metric/trace exporters ----------*- C++ -*-===//
+///
+/// \file
+/// The export side of the observability subsystem: formatters for the
+/// Prometheus text exposition format and a JSON-lines dump, sinks that
+/// write them to streams or files, the JSON-lines trace sink, and the
+/// `DGGT_METRICS` environment spec that wires all of it up without
+/// recompiling:
+///
+///   spec  := entry (',' entry)*
+///   entry := 'on'                  -- enable collection, no exporter
+///          | 'prom:'  dest         -- Prometheus text dump on flush/exit
+///          | 'jsonl:' dest         -- JSON-lines metrics dump on flush/exit
+///          | 'trace:' dest         -- JSON-lines spans, appended live
+///   dest  := 'stderr' | 'stdout' | file path
+///
+/// e.g. DGGT_METRICS="prom:/tmp/dggt.prom,trace:/tmp/dggt-trace.jsonl".
+/// Malformed specs configure nothing and warn once to stderr, matching
+/// the hardened DGGT_TIMEOUT_MS / DGGT_FAULTS validation style.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_OBS_EXPORT_H
+#define DGGT_OBS_EXPORT_H
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace dggt::obs {
+
+/// Receives point-in-time metric snapshots on flush.
+class MetricsSink {
+public:
+  virtual ~MetricsSink();
+  virtual void exportMetrics(const std::vector<MetricSnapshot> &Snap) = 0;
+};
+
+/// Formats \p Snap in the Prometheus text exposition format (counters
+/// with `# TYPE`, histograms as `_bucket{le=...}` / `_sum` / `_count`).
+void writePrometheusText(const std::vector<MetricSnapshot> &Snap,
+                         std::ostream &OS);
+
+/// Formats \p Snap as one JSON object per line (a machine-readable
+/// mirror of the Prometheus dump, plus p50/p90/p99 for histograms).
+void writeMetricsJsonLines(const std::vector<MetricSnapshot> &Snap,
+                           std::ostream &OS);
+
+/// Metrics sink over a caller-owned stream (tests) or a file path,
+/// truncated and rewritten on every export.
+class TextMetricsSink : public MetricsSink {
+public:
+  enum class Format { Prometheus, JsonLines };
+
+  TextMetricsSink(Format F, std::ostream &OS);
+  /// \p Path may be "stderr"/"stdout".
+  TextMetricsSink(Format F, std::string Path);
+
+  void exportMetrics(const std::vector<MetricSnapshot> &Snap) override;
+
+private:
+  Format F;
+  std::ostream *OS = nullptr; ///< Caller-owned stream, if any.
+  std::string Path;           ///< File destination otherwise.
+  std::mutex M;
+};
+
+/// Trace sink writing one JSON object per finished span, appended as
+/// spans end (so a crash loses at most the in-flight spans).
+class JsonLinesTraceSink : public TraceSink {
+public:
+  explicit JsonLinesTraceSink(std::ostream &OS);
+  /// \p Path may be "stderr"/"stdout"; files are truncated on open.
+  explicit JsonLinesTraceSink(std::string Path);
+  ~JsonLinesTraceSink() override;
+
+  void onSpan(const SpanRecord &Span) override;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+/// Registry snapshot plus pull-collected sources: fault-injection hit and
+/// fired counts surface as `dggt_fault_point_{hits,fired}_total{point=}`.
+std::vector<MetricSnapshot> collectMetrics();
+
+/// Parses \p Spec (the DGGT_METRICS grammar above) and installs the
+/// requested exporters process-wide: enables metric collection, installs
+/// the trace sink on the global Tracer, and registers metric exporters
+/// flushed by flushMetrics() and at process exit. On a malformed spec
+/// nothing is configured, \p Error describes the problem, and false is
+/// returned.
+bool configureFromSpec(std::string_view Spec, std::string &Error);
+
+/// Reads DGGT_METRICS and applies it via configureFromSpec, once per
+/// distinct value; malformed values warn to stderr and configure
+/// nothing. Called by the SynthesisService constructor, so any binary
+/// that goes through the service front door honors the spec.
+void applyEnvSpec();
+
+/// Exports collectMetrics() through every exporter configured by
+/// configureFromSpec()/applyEnvSpec(). Also runs automatically at
+/// process exit once any exporter is configured.
+void flushMetrics();
+
+} // namespace dggt::obs
+
+#endif // DGGT_OBS_EXPORT_H

@@ -1,0 +1,204 @@
+//===- obs/Metrics.cpp - Lock-cheap metrics registry ----------------------===//
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <mutex>
+
+using namespace dggt;
+using namespace dggt::obs;
+
+namespace {
+std::atomic<bool> MetricsOn{false};
+} // namespace
+
+bool obs::metricsEnabled() {
+  return MetricsOn.load(std::memory_order_relaxed);
+}
+
+void obs::setMetricsEnabled(bool Enabled) {
+  MetricsOn.store(Enabled, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+Histogram::Histogram(std::vector<double> UpperBounds)
+    : Bounds(std::move(UpperBounds)), Buckets(Bounds.size() + 1) {
+  assert(!Bounds.empty() && "histogram needs at least one bound");
+  assert(std::is_sorted(Bounds.begin(), Bounds.end()) &&
+         std::adjacent_find(Bounds.begin(), Bounds.end()) == Bounds.end() &&
+         "bounds must be strictly increasing");
+}
+
+void Histogram::observe(double Value) {
+  if (Gated && !metricsEnabled())
+    return;
+  // First bucket whose upper bound is >= Value (`le` semantics); past the
+  // last finite bound the sample lands in the overflow bucket.
+  size_t I = std::lower_bound(Bounds.begin(), Bounds.end(), Value) -
+             Bounds.begin();
+  Buckets[I].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  double Old = Sum.load(std::memory_order_relaxed);
+  while (!Sum.compare_exchange_weak(Old, Old + Value,
+                                    std::memory_order_relaxed))
+    ;
+}
+
+double Histogram::sum() const { return Sum.load(std::memory_order_relaxed); }
+
+double Histogram::percentile(double P) const {
+  uint64_t N = count();
+  if (N == 0)
+    return 0.0;
+  P = std::clamp(P, 0.0, 100.0);
+  double Rank = P / 100.0 * static_cast<double>(N);
+  uint64_t Cum = 0;
+  for (size_t I = 0; I < Bounds.size(); ++I) {
+    uint64_t InBucket = bucketCount(I);
+    if (InBucket == 0)
+      continue;
+    double PrevCum = static_cast<double>(Cum);
+    Cum += InBucket;
+    if (static_cast<double>(Cum) >= Rank) {
+      double Lower = I == 0 ? 0.0 : Bounds[I - 1];
+      double Upper = Bounds[I];
+      double Frac = (Rank - PrevCum) / static_cast<double>(InBucket);
+      return Lower + (Upper - Lower) * std::clamp(Frac, 0.0, 1.0);
+    }
+  }
+  // The rank falls into the overflow bucket: saturate at the last finite
+  // bound (the histogram cannot resolve beyond it).
+  return Bounds.back();
+}
+
+const std::vector<double> &Histogram::defaultLatencyBucketsMs() {
+  static const std::vector<double> Buckets{
+      0.05, 0.1,  0.25, 0.5,  1.0,    2.5,    5.0,     10.0,    25.0,
+      50.0, 100., 250., 500., 1000.0, 2500.0, 5000.0, 10000.0, 20000.0};
+  return Buckets;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+struct MetricsRegistry::Entry {
+  MetricSnapshot::Kind K;
+  std::string Name;
+  LabelSet Labels;
+  std::unique_ptr<Counter> C;
+  std::unique_ptr<Gauge> G;
+  std::unique_ptr<Histogram> H;
+};
+
+MetricsRegistry &MetricsRegistry::instance() {
+  // Intentionally leaked: the registry must outlive every static whose
+  // destructor might record, and the atexit metrics flush — ordinary
+  // function-local statics can be destroyed before either runs.
+  static MetricsRegistry *R = new MetricsRegistry();
+  return *R;
+}
+
+MetricsRegistry::Entry &
+MetricsRegistry::entryFor(MetricSnapshot::Kind K, std::string_view Name,
+                          LabelSet &&Labels) {
+  for (const std::unique_ptr<Entry> &E : Entries)
+    if (E->K == K && E->Name == Name && E->Labels == Labels)
+      return *E;
+  auto E = std::make_unique<Entry>();
+  E->K = K;
+  E->Name = std::string(Name);
+  E->Labels = std::move(Labels);
+  Entries.push_back(std::move(E));
+  return *Entries.back();
+}
+
+Counter &MetricsRegistry::counter(std::string_view Name, LabelSet Labels) {
+  std::lock_guard<std::mutex> L(M);
+  Entry &E = entryFor(MetricSnapshot::Kind::Counter, Name, std::move(Labels));
+  if (!E.C) {
+    E.C = std::make_unique<Counter>();
+    E.C->Gated = true;
+  }
+  return *E.C;
+}
+
+Gauge &MetricsRegistry::gauge(std::string_view Name, LabelSet Labels) {
+  std::lock_guard<std::mutex> L(M);
+  Entry &E = entryFor(MetricSnapshot::Kind::Gauge, Name, std::move(Labels));
+  if (!E.G) {
+    E.G = std::make_unique<Gauge>();
+    E.G->Gated = true;
+  }
+  return *E.G;
+}
+
+Histogram &MetricsRegistry::histogram(std::string_view Name, LabelSet Labels,
+                                      const std::vector<double> &UpperBounds) {
+  std::lock_guard<std::mutex> L(M);
+  Entry &E =
+      entryFor(MetricSnapshot::Kind::Histogram, Name, std::move(Labels));
+  if (!E.H) {
+    E.H = std::make_unique<Histogram>(UpperBounds);
+    E.H->Gated = true;
+  }
+  return *E.H;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::vector<MetricSnapshot> Out;
+  {
+    std::lock_guard<std::mutex> L(M);
+    Out.reserve(Entries.size());
+    for (const std::unique_ptr<Entry> &E : Entries) {
+      MetricSnapshot S;
+      S.K = E->K;
+      S.Name = E->Name;
+      S.Labels = E->Labels;
+      switch (E->K) {
+      case MetricSnapshot::Kind::Counter:
+        S.CounterValue = E->C->value();
+        break;
+      case MetricSnapshot::Kind::Gauge:
+        S.GaugeValue = E->G->value();
+        break;
+      case MetricSnapshot::Kind::Histogram:
+        S.Bounds = E->H->bounds();
+        S.BucketCounts.reserve(S.Bounds.size() + 1);
+        for (size_t I = 0; I <= S.Bounds.size(); ++I)
+          S.BucketCounts.push_back(E->H->bucketCount(I));
+        S.Count = E->H->count();
+        S.Sum = E->H->sum();
+        break;
+      }
+      Out.push_back(std::move(S));
+    }
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const MetricSnapshot &A, const MetricSnapshot &B) {
+              if (A.Name != B.Name)
+                return A.Name < B.Name;
+              return A.Labels < B.Labels;
+            });
+  return Out;
+}
+
+void MetricsRegistry::zeroAllForTest() {
+  std::lock_guard<std::mutex> L(M);
+  for (const std::unique_ptr<Entry> &E : Entries) {
+    if (E->C)
+      E->C->V.store(0, std::memory_order_relaxed);
+    if (E->G)
+      E->G->V.store(0, std::memory_order_relaxed);
+    if (E->H) {
+      for (std::atomic<uint64_t> &B : E->H->Buckets)
+        B.store(0, std::memory_order_relaxed);
+      E->H->Count.store(0, std::memory_order_relaxed);
+      E->H->Sum.store(0.0, std::memory_order_relaxed);
+    }
+  }
+}

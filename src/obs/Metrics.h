@@ -1,0 +1,211 @@
+//===- obs/Metrics.h - Lock-cheap metrics registry --------------*- C++ -*-===//
+///
+/// \file
+/// The runtime measurement substrate: counters, gauges and fixed-bucket
+/// latency histograms behind a process-wide registry, exported through
+/// the pluggable sinks of obs/Export.h. Recording is lock-free (relaxed
+/// atomics) and registry lookups are mutex-protected but expected to be
+/// cached at the call site (function-local static references), so the
+/// synthesis hot loops never touch the registry map.
+///
+/// Instruments come in two flavours:
+///
+///   - *standalone* (constructed directly, e.g. the bench harness's
+///     latency summaries): always record;
+///   - *registry* instruments: gated on the global metrics switch, so an
+///     instrumented binary with metrics disabled pays one relaxed atomic
+///     load per record call and allocates nothing.
+///
+/// The paper's claims are latency-distribution claims (Fig. 7/8's 25-133x
+/// average speedup), so the histogram keeps Prometheus `le` semantics
+/// (cumulative-compatible upper bounds, inclusive) and answers p50/p90/
+/// p99 by linear interpolation within the owning bucket.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_OBS_METRICS_H
+#define DGGT_OBS_METRICS_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dggt::obs {
+
+/// Global record switch for registry instruments. One relaxed load on
+/// every record call; off by default.
+bool metricsEnabled();
+void setMetricsEnabled(bool Enabled);
+
+/// Label set of one instrument, e.g. {{"rung", "dggt-full"}}. Order is
+/// preserved into the export.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter.
+class Counter {
+public:
+  void inc(uint64_t N = 1) {
+    if (Gated && !metricsEnabled())
+      return;
+    V.fetch_add(N, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  friend class MetricsRegistry;
+  std::atomic<uint64_t> V{0};
+  bool Gated = false;
+};
+
+/// Last-value gauge.
+class Gauge {
+public:
+  void set(int64_t Value) {
+    if (Gated && !metricsEnabled())
+      return;
+    V.store(Value, std::memory_order_relaxed);
+  }
+  void add(int64_t Delta) {
+    if (Gated && !metricsEnabled())
+      return;
+    V.fetch_add(Delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  friend class MetricsRegistry;
+  std::atomic<int64_t> V{0};
+  bool Gated = false;
+};
+
+/// Fixed-bucket histogram with Prometheus `le` semantics: a sample lands
+/// in the first bucket whose upper bound is >= the sample; samples above
+/// the last finite bound land in the implicit overflow (+Inf) bucket.
+class Histogram {
+public:
+  /// \p UpperBounds must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> UpperBounds);
+
+  Histogram(const Histogram &) = delete;
+  Histogram &operator=(const Histogram &) = delete;
+
+  void observe(double Value);
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  double sum() const;
+
+  /// Finite bucket bounds (the overflow bucket is implicit).
+  const std::vector<double> &bounds() const { return Bounds; }
+  /// Count of bucket \p I; I == bounds().size() is the overflow bucket.
+  uint64_t bucketCount(size_t I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+
+  /// P-th percentile estimate (P in [0, 100]) by linear interpolation
+  /// within the owning bucket. Samples in the overflow bucket are
+  /// attributed to the last finite bound (the estimate saturates there).
+  /// Returns 0 for an empty histogram.
+  double percentile(double P) const;
+  double p50() const { return percentile(50); }
+  double p90() const { return percentile(90); }
+  double p99() const { return percentile(99); }
+
+  /// The default latency bucket ladder in milliseconds: covers 0.05 ms
+  /// pipeline stages up to the paper's 20 s interactive timeout.
+  static const std::vector<double> &defaultLatencyBucketsMs();
+
+private:
+  friend class MetricsRegistry;
+  std::vector<double> Bounds;
+  /// Bounds.size() + 1 entries; the last is the overflow bucket.
+  std::vector<std::atomic<uint64_t>> Buckets;
+  std::atomic<uint64_t> Count{0};
+  std::atomic<double> Sum{0.0};
+  bool Gated = false;
+};
+
+/// One exported instrument value, decoupled from the live registry so
+/// sinks can format without holding any lock.
+struct MetricSnapshot {
+  enum class Kind { Counter, Gauge, Histogram };
+  Kind K = Kind::Counter;
+  std::string Name;
+  LabelSet Labels;
+  uint64_t CounterValue = 0;
+  int64_t GaugeValue = 0;
+  std::vector<double> Bounds;        ///< Histogram only (finite bounds).
+  std::vector<uint64_t> BucketCounts; ///< Bounds.size() + 1 (overflow last).
+  uint64_t Count = 0;
+  double Sum = 0.0;
+};
+
+/// Process-wide instrument registry. Instruments are created on first
+/// lookup and live for the process lifetime (stable references), so call
+/// sites cache them in function-local statics.
+class MetricsRegistry {
+public:
+  static MetricsRegistry &instance();
+
+  /// Returns the counter registered under (\p Name, \p Labels), creating
+  /// it (gated on the global switch) on first use.
+  Counter &counter(std::string_view Name, LabelSet Labels = {});
+  Gauge &gauge(std::string_view Name, LabelSet Labels = {});
+  /// \p UpperBounds is consulted only on first registration.
+  Histogram &histogram(std::string_view Name, LabelSet Labels = {},
+                       const std::vector<double> &UpperBounds =
+                           Histogram::defaultLatencyBucketsMs());
+
+  /// Point-in-time copy of every instrument, sorted by (name, labels) so
+  /// exports are deterministic.
+  std::vector<MetricSnapshot> snapshot() const;
+
+  /// Zeroes every instrument in place (references stay valid). Tests
+  /// only; a production registry is monotonic.
+  void zeroAllForTest();
+
+private:
+  MetricsRegistry() = default;
+  struct Entry;
+  Entry &entryFor(MetricSnapshot::Kind K, std::string_view Name,
+                  LabelSet &&Labels);
+
+  mutable std::mutex M;
+  std::vector<std::unique_ptr<Entry>> Entries;
+};
+
+/// Shorthand for the process registry.
+inline MetricsRegistry &registry() { return MetricsRegistry::instance(); }
+
+/// RAII latency probe: observes the elapsed milliseconds into \p H on
+/// destruction. Reads no clock when metrics are disabled (for a gated
+/// histogram the observation would be dropped anyway).
+class ScopedLatencyMs {
+public:
+  explicit ScopedLatencyMs(Histogram &H)
+      : H(metricsEnabled() ? &H : nullptr) {
+    if (this->H)
+      Start = std::chrono::steady_clock::now();
+  }
+  ~ScopedLatencyMs() {
+    if (H)
+      H->observe(std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - Start)
+                     .count());
+  }
+  ScopedLatencyMs(const ScopedLatencyMs &) = delete;
+  ScopedLatencyMs &operator=(const ScopedLatencyMs &) = delete;
+
+private:
+  Histogram *H;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace dggt::obs
+
+#endif // DGGT_OBS_METRICS_H

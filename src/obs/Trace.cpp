@@ -1,0 +1,117 @@
+//===- obs/Trace.cpp - Hierarchical spans ---------------------------------===//
+
+#include "obs/Trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace dggt;
+using namespace dggt::obs;
+
+TraceSink::~TraceSink() = default;
+
+std::atomic<bool> Tracer::Enabled{false};
+
+namespace {
+
+/// Per-thread parenting state. A root span (empty stack) opens a new
+/// trace id; children inherit it.
+struct ThreadSpanStack {
+  uint64_t TraceId = 0;
+  std::vector<uint64_t> Stack;
+};
+
+ThreadSpanStack &threadStack() {
+  thread_local ThreadSpanStack S;
+  return S;
+}
+
+uint64_t nextId() {
+  static std::atomic<uint64_t> Next{1};
+  return Next.fetch_add(1, std::memory_order_relaxed);
+}
+
+Budget::Clock::time_point tracerEpoch() {
+  static const Budget::Clock::time_point Epoch = Budget::Clock::now();
+  return Epoch;
+}
+
+double sinceEpoch(Budget::Clock::time_point T) {
+  return std::chrono::duration<double>(T - tracerEpoch()).count();
+}
+
+} // namespace
+
+Tracer &Tracer::instance() {
+  // Intentionally leaked (see MetricsRegistry::instance()): spans in
+  // static destructors must find a live tracer.
+  static Tracer *T = new Tracer();
+  return *T;
+}
+
+void Tracer::setSink(std::shared_ptr<TraceSink> NewSink) {
+  std::lock_guard<std::mutex> L(M);
+  Sink = std::move(NewSink);
+  Enabled.store(Sink != nullptr, std::memory_order_relaxed);
+}
+
+std::shared_ptr<TraceSink> Tracer::sink() const {
+  std::lock_guard<std::mutex> L(M);
+  return Sink;
+}
+
+ScopedSpan::ScopedSpan(std::string_view Name) {
+  if (!Tracer::enabled())
+    return;
+  Active = true;
+  ThreadSpanStack &S = threadStack();
+  if (S.Stack.empty())
+    S.TraceId = nextId();
+  Rec.TraceId = S.TraceId;
+  Rec.SpanId = nextId();
+  Rec.ParentId = S.Stack.empty() ? 0 : S.Stack.back();
+  Rec.Name = std::string(Name);
+  S.Stack.push_back(Rec.SpanId);
+  Start = Budget::Clock::now();
+  Rec.StartSeconds = sinceEpoch(Start);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!Active)
+    return;
+  Rec.DurationSeconds =
+      std::chrono::duration<double>(Budget::Clock::now() - Start).count();
+  ThreadSpanStack &S = threadStack();
+  // Pop our own id; an interleaving bug would desynchronize parenting,
+  // so recover by unwinding to it.
+  while (!S.Stack.empty()) {
+    uint64_t Top = S.Stack.back();
+    S.Stack.pop_back();
+    if (Top == Rec.SpanId)
+      break;
+  }
+  if (std::shared_ptr<TraceSink> Out = Tracer::instance().sink())
+    Out->onSpan(Rec);
+}
+
+void ScopedSpan::attr(std::string_view Key, std::string_view Value) {
+  if (!Active)
+    return;
+  Rec.Attrs.emplace_back(std::string(Key), std::string(Value));
+}
+
+void ScopedSpan::attr(std::string_view Key, uint64_t Value) {
+  if (!Active)
+    return;
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, Value);
+  Rec.Attrs.emplace_back(std::string(Key), Buf);
+}
+
+void ScopedSpan::attr(std::string_view Key, double Value) {
+  if (!Active)
+    return;
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+  Rec.Attrs.emplace_back(std::string(Key), Buf);
+}

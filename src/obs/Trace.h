@@ -1,0 +1,107 @@
+//===- obs/Trace.h - Hierarchical spans --------------------------*- C++ -*-===//
+///
+/// \file
+/// A minimal in-process tracer: hierarchical spans over the query path
+/// (service query -> service rung -> pipeline stage -> merge internals),
+/// recorded with RAII ScopedSpan guards and emitted to a pluggable
+/// TraceSink when each span ends. Parenting is implicit through a
+/// thread-local span stack, so deeply nested layers need no plumbing —
+/// a pipeline-stage span started inside a rung attempt automatically
+/// becomes its child.
+///
+/// When no sink is installed the tracer is disabled and a ScopedSpan
+/// costs one relaxed atomic load and allocates nothing (the
+/// disabled-mode contract tests assert zero allocations), so guards can
+/// stay compiled into the hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_OBS_TRACE_H
+#define DGGT_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/Budget.h"
+
+namespace dggt::obs {
+
+/// One finished span, handed to the sink at end time.
+struct SpanRecord {
+  uint64_t TraceId = 0;  ///< Shared by every span under one root.
+  uint64_t SpanId = 0;   ///< Unique per span (process-wide).
+  uint64_t ParentId = 0; ///< 0 for a root span.
+  std::string Name;
+  double StartSeconds = 0;    ///< Offset from the tracer epoch.
+  double DurationSeconds = 0; ///< Wall clock of the span.
+  /// Attributes attached via ScopedSpan::attr(), in insertion order.
+  std::vector<std::pair<std::string, std::string>> Attrs;
+};
+
+/// Receives spans as they end. Implementations must be thread-safe:
+/// concurrent queries end spans concurrently.
+class TraceSink {
+public:
+  virtual ~TraceSink();
+  virtual void onSpan(const SpanRecord &Span) = 0;
+};
+
+/// Process-wide tracer. Installing a sink enables tracing; installing
+/// nullptr disables it (in-flight spans finish quietly).
+class Tracer {
+public:
+  static Tracer &instance();
+
+  /// One relaxed load; safe for hot paths.
+  static bool enabled() {
+    return Enabled.load(std::memory_order_relaxed);
+  }
+
+  void setSink(std::shared_ptr<TraceSink> Sink);
+  std::shared_ptr<TraceSink> sink() const;
+
+private:
+  friend class ScopedSpan;
+  Tracer() = default;
+
+  static std::atomic<bool> Enabled;
+
+  mutable std::mutex M;
+  std::shared_ptr<TraceSink> Sink;
+};
+
+/// RAII span guard: starts a span on construction (when tracing is
+/// enabled), ends and emits it on destruction. Must be destroyed on the
+/// thread that created it (the parent stack is thread-local).
+class ScopedSpan {
+public:
+  explicit ScopedSpan(std::string_view Name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  /// True when the span is being recorded (tracing was enabled at
+  /// construction).
+  bool active() const { return Active; }
+
+  /// Attaches a string/integer/float attribute. No-ops when inactive.
+  void attr(std::string_view Key, std::string_view Value);
+  void attr(std::string_view Key, uint64_t Value);
+  void attr(std::string_view Key, double Value);
+
+private:
+  SpanRecord Rec;
+  Budget::Clock::time_point Start;
+  bool Active = false;
+};
+
+} // namespace dggt::obs
+
+#endif // DGGT_OBS_TRACE_H

@@ -2,6 +2,8 @@
 
 #include "service/SynthesisService.h"
 
+#include "obs/Export.h"
+#include "obs/Metrics.h"
 #include "support/FaultInjection.h"
 #include "synth/EdgeToPath.h"
 
@@ -74,7 +76,46 @@ AttemptStatus toAttemptStatus(SynthesisResult::Status St) {
   return AttemptStatus::NoValidTree;
 }
 
+/// Per-rung latency histogram, cached across queries (the rung set is
+/// closed, so one static array covers it).
+obs::Histogram &rungLatencyMs(ServiceRung R) {
+  static obs::Histogram *H[3] = {
+      &obs::registry().histogram("dggt_service_rung_latency_ms",
+                                 {{"rung", "dggt-full"}}),
+      &obs::registry().histogram("dggt_service_rung_latency_ms",
+                                 {{"rung", "dggt-tight"}}),
+      &obs::registry().histogram("dggt_service_rung_latency_ms",
+                                 {{"rung", "hisyn"}}),
+  };
+  return *H[static_cast<size_t>(R)];
+}
+
 } // namespace
+
+ServiceOptions ServiceOptions::resolvedFor(std::string_view DomainName) const {
+  ServiceOptions R = *this;
+  auto It = Overrides.find(DomainName);
+  if (It == Overrides.end())
+    return R;
+  const DomainOverrides &O = It->second;
+  if (O.TotalBudgetMs)
+    R.TotalBudgetMs = *O.TotalBudgetMs;
+  if (O.RungBudgetFraction)
+    R.RungBudgetFraction = *O.RungBudgetFraction;
+  if (O.MaxRetriesPerRung)
+    R.MaxRetriesPerRung = *O.MaxRetriesPerRung;
+  if (O.RetryBackoffMs)
+    R.RetryBackoffMs = *O.RetryBackoffMs;
+  if (O.TightLimits)
+    R.TightLimits = *O.TightLimits;
+  if (O.EnableHisynFallback)
+    R.EnableHisynFallback = *O.EnableHisynFallback;
+  if (O.BreakerTripThreshold)
+    R.BreakerTripThreshold = *O.BreakerTripThreshold;
+  if (O.BreakerCooldownMs)
+    R.BreakerCooldownMs = *O.BreakerCooldownMs;
+  return R;
+}
 
 /// Per-domain state: the domain itself plus its circuit breaker. The
 /// breaker is the classic three-state machine: Closed counts consecutive
@@ -83,6 +124,12 @@ AttemptStatus toAttemptStatus(SynthesisResult::Status St) {
 /// closes or re-opens the circuit.
 struct SynthesisService::DomainState {
   const Domain *D = nullptr;
+  std::string Name;
+  /// Base options with this domain's overrides applied (addDomain time).
+  ServiceOptions Resolved;
+  /// Per-domain query latency, created eagerly so the series exists in
+  /// exports even before the first query.
+  obs::Histogram *QueryLatencyMs = nullptr;
 
   mutable std::mutex M;
   unsigned ConsecutiveTimeouts = 0;
@@ -92,14 +139,26 @@ struct SynthesisService::DomainState {
 
   enum class Admission { Admit, Probe, Reject };
 
-  Admission admit(const ServiceOptions &Opts) {
+  /// Counts a breaker state transition (\p To in {"open", "half-open",
+  /// "closed"}). Transitions are rare, so the registry lookup is fine.
+  void countTransition(const char *To) const {
+    if (!obs::metricsEnabled())
+      return;
+    obs::registry()
+        .counter("dggt_service_breaker_transitions_total",
+                 {{"domain", Name}, {"to", To}})
+        .inc();
+  }
+
+  Admission admit() {
     std::lock_guard<std::mutex> L(M);
     if (!Open)
       return Admission::Admit;
     if (!ProbeInFlight &&
         Budget::Clock::now() - OpenedAt >=
-            std::chrono::milliseconds(Opts.BreakerCooldownMs)) {
+            std::chrono::milliseconds(Resolved.BreakerCooldownMs)) {
       ProbeInFlight = true;
+      countTransition("half-open");
       return Admission::Probe;
     }
     return Admission::Reject;
@@ -108,41 +167,59 @@ struct SynthesisService::DomainState {
   /// Settles an admitted query's outcome. Only deadline misses count as
   /// breaker failures: fast deterministic negatives (NoAnswer,
   /// NoCandidates) prove the service is healthy.
-  void settle(bool WasProbe, bool DeadlineMiss, const ServiceOptions &Opts) {
+  void settle(bool WasProbe, bool DeadlineMiss) {
     std::lock_guard<std::mutex> L(M);
     if (WasProbe)
       ProbeInFlight = false;
     if (!DeadlineMiss) {
       ConsecutiveTimeouts = 0;
+      if (Open)
+        countTransition("closed");
       Open = false;
       return;
     }
-    if (WasProbe || ++ConsecutiveTimeouts >= Opts.BreakerTripThreshold) {
+    if (WasProbe || ++ConsecutiveTimeouts >= Resolved.BreakerTripThreshold) {
+      // A tripping first failure and a failed half-open probe both land
+      // here; either way the circuit is (re-)opened.
+      countTransition("open");
       Open = true;
       OpenedAt = Budget::Clock::now();
       ConsecutiveTimeouts = 0;
     }
   }
 
-  BreakerState state(const ServiceOptions &Opts) const {
+  BreakerState state() const {
     std::lock_guard<std::mutex> L(M);
     if (!Open)
       return BreakerState::Closed;
     if (ProbeInFlight ||
         Budget::Clock::now() - OpenedAt >=
-            std::chrono::milliseconds(Opts.BreakerCooldownMs))
+            std::chrono::milliseconds(Resolved.BreakerCooldownMs))
       return BreakerState::HalfOpen;
     return BreakerState::Open;
   }
 };
 
-SynthesisService::SynthesisService(ServiceOptions Opts) : Opts(Opts) {}
+SynthesisService::SynthesisService(ServiceOptions Opts)
+    : Opts(std::move(Opts)) {
+  // Environment-driven exporter wiring (DGGT_METRICS); idempotent and a
+  // no-op when the variable is unset.
+  obs::applyEnvSpec();
+  if (this->Opts.EnableMetrics)
+    obs::setMetricsEnabled(true);
+  if (this->Opts.Trace)
+    obs::Tracer::instance().setSink(this->Opts.Trace);
+}
 
 SynthesisService::~SynthesisService() = default;
 
 void SynthesisService::addDomain(const Domain &D) {
   auto DS = std::make_unique<DomainState>();
   DS->D = &D;
+  DS->Name = D.name();
+  DS->Resolved = Opts.resolvedFor(DS->Name);
+  DS->QueryLatencyMs = &obs::registry().histogram(
+      "dggt_service_query_latency_ms", {{"domain", DS->Name}});
   Domains[D.name()] = std::move(DS);
 }
 
@@ -155,41 +232,66 @@ SynthesisService::findDomain(std::string_view Name) const {
 SynthesisService::BreakerState
 SynthesisService::breakerState(std::string_view Name) const {
   DomainState *DS = findDomain(Name);
-  return DS ? DS->state(Opts) : BreakerState::Closed;
+  return DS ? DS->state() : BreakerState::Closed;
+}
+
+const ServiceOptions &
+SynthesisService::optionsFor(std::string_view Name) const {
+  DomainState *DS = findDomain(Name);
+  return DS ? DS->Resolved : Opts;
 }
 
 ServiceReport SynthesisService::query(std::string_view DomainName,
                                       std::string_view QueryText) {
   ServiceReport Rep;
   WallTimer Timer;
+  obs::ScopedSpan QSpan("service.query");
+  if (QSpan.active())
+    QSpan.attr("domain", DomainName);
+
+  DomainState *DS = findDomain(DomainName);
   auto Finish = [&](ServiceStatus St) -> ServiceReport & {
     Rep.St = St;
     Rep.TotalSeconds = Timer.seconds();
+    if (QSpan.active()) {
+      QSpan.attr("status", serviceStatusName(St));
+      if (Rep.AnsweredBy)
+        QSpan.attr("answered_by", rungName(*Rep.AnsweredBy));
+    }
+    if (obs::metricsEnabled()) {
+      obs::registry()
+          .counter("dggt_service_queries_total",
+                   {{"domain", std::string(DomainName)},
+                    {"status", std::string(serviceStatusName(St))}})
+          .inc();
+      if (DS)
+        DS->QueryLatencyMs->observe(Rep.TotalSeconds * 1000.0);
+    }
     return Rep;
   };
 
-  DomainState *DS = findDomain(DomainName);
   if (!DS)
     return Finish(ServiceStatus::UnknownDomain);
+  const ServiceOptions &DOpts = DS->Resolved;
 
-  DomainState::Admission A = DS->admit(Opts);
+  DomainState::Admission A = DS->admit();
   if (A == DomainState::Admission::Reject)
     return Finish(ServiceStatus::CircuitOpen);
   bool Probe = A == DomainState::Admission::Probe;
 
-  Budget Total(Opts.TotalBudgetMs);
+  Budget Total(DOpts.TotalBudgetMs);
   PreparedQuery Full = DS->D->frontEnd().prepare(QueryText);
 
   if (!Full.allWordsMapped()) {
     // No rung changes the word-to-API mapping: fail fast, keep the whole
     // remaining budget for queries that can be answered.
-    DS->settle(Probe, /*DeadlineMiss=*/false, Opts);
+    DS->settle(Probe, /*DeadlineMiss=*/false);
     return Finish(ServiceStatus::NoCandidates);
   }
 
   std::vector<ServiceRung> Ladder{ServiceRung::DggtFull,
                                   ServiceRung::DggtTight};
-  if (Opts.EnableHisynFallback)
+  if (DOpts.EnableHisynFallback)
     Ladder.push_back(ServiceRung::Hisyn);
 
   // The tightened query reuses steps 1-3 (parse, prune, WordToAPI) and
@@ -213,30 +315,55 @@ ServiceReport SynthesisService::query(std::string_view DomainName,
                   : std::max<uint64_t>(
                         1, static_cast<uint64_t>(
                                static_cast<double>(Left) *
-                               Opts.RungBudgetFraction));
+                               DOpts.RungBudgetFraction));
 
     const PreparedQuery *Q = &Full;
     if (Rung == ServiceRung::DggtTight) {
       if (!TightQ) {
         TightQ = Full;
-        TightQ->Limits = Opts.TightLimits;
+        TightQ->Limits = DOpts.TightLimits;
         TightQ->Edges = buildEdgeToPath(*Full.GG, *Full.Doc, Full.Pruned,
-                                        Full.Words, Opts.TightLimits);
+                                        Full.Words, DOpts.TightLimits);
       }
       Q = &*TightQ;
     }
 
-    for (unsigned Try = 0; Try <= Opts.MaxRetriesPerRung; ++Try) {
+    for (unsigned Try = 0; Try <= DOpts.MaxRetriesPerRung; ++Try) {
       if (Try > 0) {
-        uint64_t BackoffMs = std::min(Opts.RetryBackoffMs << (Try - 1),
+        if (obs::metricsEnabled())
+          obs::registry()
+              .counter("dggt_service_retries_total",
+                       {{"rung", std::string(rungName(Rung))}})
+              .inc();
+        uint64_t BackoffMs = std::min(DOpts.RetryBackoffMs << (Try - 1),
                                       Total.remainingMs());
         if (BackoffMs > 0)
           std::this_thread::sleep_for(std::chrono::milliseconds(BackoffMs));
       }
       WallTimer AttemptTimer;
+      obs::ScopedSpan ASpan("service.rung");
+      if (ASpan.active()) {
+        ASpan.attr("rung", rungName(Rung));
+        ASpan.attr("try", static_cast<uint64_t>(Try));
+      }
+      auto RecordAttempt = [&](AttemptStatus St) {
+        double Seconds = AttemptTimer.seconds();
+        Rep.Attempts.push_back(
+            {Rung, St, Seconds, Try, Total.remainingMs()});
+        if (ASpan.active())
+          ASpan.attr("status", attemptStatusName(St));
+        if (obs::metricsEnabled()) {
+          rungLatencyMs(Rung).observe(Seconds * 1000.0);
+          obs::registry()
+              .counter("dggt_service_rung_attempts_total",
+                       {{"rung", std::string(rungName(Rung))},
+                        {"status", std::string(attemptStatusName(St))}})
+              .inc();
+        }
+      };
       if (faultFires(faults::ServiceTransient)) {
         Last = AttemptStatus::TransientFault;
-        Rep.Attempts.push_back({Rung, Last, AttemptTimer.seconds(), Try});
+        RecordAttempt(Last);
         continue; // Retry the same rung (bounded by MaxRetriesPerRung).
       }
       Budget RungBudget = Total.child(RungMs);
@@ -244,16 +371,16 @@ ServiceReport SynthesisService::query(std::string_view DomainName,
                               ? Hisyn.synthesize(*Q, RungBudget)
                               : Dggt.synthesize(*Q, RungBudget);
       Last = toAttemptStatus(R.St);
-      Rep.Attempts.push_back({Rung, Last, AttemptTimer.seconds(), Try});
+      RecordAttempt(Last);
 
       if (R.ok()) {
         Rep.Result = std::move(R);
         Rep.AnsweredBy = Rung;
-        DS->settle(Probe, /*DeadlineMiss=*/false, Opts);
+        DS->settle(Probe, /*DeadlineMiss=*/false);
         return Finish(ServiceStatus::Ok);
       }
       if (Last == AttemptStatus::NoCandidates) {
-        DS->settle(Probe, /*DeadlineMiss=*/false, Opts);
+        DS->settle(Probe, /*DeadlineMiss=*/false);
         return Finish(ServiceStatus::NoCandidates);
       }
       // Timeout and NoValidTree are not transient: degrade to the next
@@ -266,7 +393,7 @@ ServiceReport SynthesisService::query(std::string_view DomainName,
   // ran out (or the final rung itself timed out); a ladder that completed
   // with deterministic negatives is a definitive no-answer.
   bool DeadlineMiss = BudgetRanOut || Last == AttemptStatus::Timeout;
-  DS->settle(Probe, DeadlineMiss, Opts);
+  DS->settle(Probe, DeadlineMiss);
   return Finish(DeadlineMiss ? ServiceStatus::DeadlineExceeded
                              : ServiceStatus::NoAnswer);
 }

@@ -29,6 +29,7 @@
 #define DGGT_SERVICE_SYNTHESISSERVICE_H
 
 #include "domains/Domain.h"
+#include "obs/Trace.h"
 #include "synth/Synthesizer.h"
 #include "synth/dggt/DggtSynthesizer.h"
 #include "synth/hisyn/HisynSynthesizer.h"
@@ -88,6 +89,10 @@ struct RungAttempt {
   AttemptStatus St = AttemptStatus::NoValidTree;
   double Seconds = 0; ///< Wall clock of this attempt alone.
   unsigned Try = 0;   ///< 0 on the first attempt at the rung, 1+ retries.
+  /// Total budget left (ms) when this attempt *finished* — the headroom
+  /// the remaining rungs had to work with. Reconstructs the budget decay
+  /// from the trail alone.
+  uint64_t RemainingMs = 0;
 };
 
 /// Everything the service reports about one query.
@@ -107,6 +112,19 @@ struct ServiceReport {
 
 /// Service tuning knobs.
 struct ServiceOptions {
+  /// Per-domain overrides of the base options. Unset fields inherit the
+  /// base value; resolution happens once at addDomain() time.
+  struct DomainOverrides {
+    std::optional<uint64_t> TotalBudgetMs;
+    std::optional<double> RungBudgetFraction;
+    std::optional<unsigned> MaxRetriesPerRung;
+    std::optional<uint64_t> RetryBackoffMs;
+    std::optional<PathSearchLimits> TightLimits;
+    std::optional<bool> EnableHisynFallback;
+    std::optional<unsigned> BreakerTripThreshold;
+    std::optional<uint64_t> BreakerCooldownMs;
+  };
+
   /// Total per-query deadline (the interactive budget).
   uint64_t TotalBudgetMs = 2000;
   /// Share of the *remaining* budget granted to each non-final rung; the
@@ -126,6 +144,23 @@ struct ServiceOptions {
   unsigned BreakerTripThreshold = 3;
   /// How long the breaker stays open before admitting a half-open probe.
   uint64_t BreakerCooldownMs = 250;
+
+  /// Per-domain overrides, keyed by domain name. A latency-tolerant batch
+  /// domain can run with a bigger budget and no HISyn fallback while an
+  /// interactive domain keeps the tight defaults, all in one service.
+  std::map<std::string, DomainOverrides, std::less<>> Overrides;
+
+  /// Turns the global metrics switch on at service construction (the
+  /// DGGT_METRICS environment spec can do the same without a rebuild; see
+  /// obs/Export.h).
+  bool EnableMetrics = false;
+  /// Trace sink installed at service construction (e.g. an
+  /// obs::JsonLinesTraceSink). Installing a sink enables tracing.
+  std::shared_ptr<obs::TraceSink> Trace;
+
+  /// Returns a copy with the overrides for \p DomainName applied (base
+  /// values where no override is set).
+  ServiceOptions resolvedFor(std::string_view DomainName) const;
 };
 
 /// Thread-safe synthesis front door over one or more domains.
@@ -154,6 +189,11 @@ public:
   BreakerState breakerState(std::string_view DomainName) const;
 
   const ServiceOptions &options() const { return Opts; }
+
+  /// Effective options for \p DomainName: the base options with the
+  /// domain's overrides applied. Returns the base options for unknown
+  /// names.
+  const ServiceOptions &optionsFor(std::string_view DomainName) const;
 
 private:
   struct DomainState;

@@ -4,6 +4,7 @@
 
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <vector>
 
@@ -12,8 +13,11 @@ using namespace dggt;
 std::atomic<unsigned> FaultInjector::ArmedPoints{0};
 
 FaultInjector &FaultInjector::instance() {
-  static FaultInjector I;
-  return I;
+  // Intentionally leaked: the injector's counts are pull-collected by the
+  // observability exit flush, which may run after ordinary function-local
+  // statics have been destroyed.
+  static FaultInjector *I = new FaultInjector();
+  return *I;
 }
 
 FaultInjector::Point &FaultInjector::pointFor(std::string_view Name) {
@@ -99,6 +103,21 @@ uint64_t FaultInjector::fired(std::string_view Name) const {
   std::lock_guard<std::mutex> L(M);
   auto It = Points.find(std::string(Name));
   return It == Points.end() ? 0 : It->second.Fired;
+}
+
+std::vector<FaultPointCounts> FaultInjector::snapshotCounts() const {
+  std::vector<FaultPointCounts> Out;
+  {
+    std::lock_guard<std::mutex> L(M);
+    Out.reserve(Points.size());
+    for (const auto &[Name, P] : Points)
+      Out.push_back({Name, P.TotalHits, P.Fired});
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const FaultPointCounts &A, const FaultPointCounts &B) {
+              return A.Point < B.Point;
+            });
+  return Out;
 }
 
 namespace {

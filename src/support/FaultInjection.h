@@ -28,6 +28,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 namespace dggt {
 
@@ -41,6 +42,15 @@ inline constexpr std::string_view DggtMerge = "dggt.merge";
 inline constexpr std::string_view HisynEnumerate = "hisyn.enumerate";
 inline constexpr std::string_view ServiceTransient = "service.transient";
 } // namespace faults
+
+/// Hit/fired counts of one fault point (see FaultInjector::
+/// snapshotCounts); the observability exporter surfaces these as
+/// dggt_fault_point_{hits,fired}_total{point=...}.
+struct FaultPointCounts {
+  std::string Point;
+  uint64_t Hits = 0;
+  uint64_t Fired = 0;
+};
 
 /// Process-wide registry of armed fault points. Thread-safe; the
 /// unarmed fast path is lock-free.
@@ -76,6 +86,10 @@ public:
 
   /// Times \p Point actually fired since the last reset().
   uint64_t fired(std::string_view Point) const;
+
+  /// Point-in-time hit/fired counts of every point the injector has
+  /// seen since the last reset(), sorted by name (metrics export).
+  std::vector<FaultPointCounts> snapshotCounts() const;
 
   /// Arms points from a spec string (the DGGT_FAULTS format):
   ///

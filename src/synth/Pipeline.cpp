@@ -2,7 +2,10 @@
 
 #include "synth/Pipeline.h"
 
+#include "nlp/DependencyParser.h"
 #include "nlp/GraphPruner.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "synth/Synthesizer.h"
 
 using namespace dggt;
@@ -30,6 +33,17 @@ bool PreparedQuery::allWordsMapped() const {
   return Pruned.size() > 0;
 }
 
+namespace {
+
+/// Per-stage latency histogram, cached per stage name (pipeline stages
+/// are the paper's Figure 3 boxes; see DESIGN.md "Observability").
+obs::Histogram &stageHistogram(const char *Stage) {
+  return obs::registry().histogram("dggt_pipeline_stage_latency_ms",
+                                   {{"stage", Stage}});
+}
+
+} // namespace
+
 SynthesisFrontEnd::SynthesisFrontEnd(const GrammarGraph &GG,
                                      const ApiDocument &Doc,
                                      const Thesaurus &Syn,
@@ -40,7 +54,22 @@ SynthesisFrontEnd::SynthesisFrontEnd(const GrammarGraph &GG,
       Prune(std::move(Prune)) {}
 
 PreparedQuery SynthesisFrontEnd::prepare(std::string_view Query) const {
-  return prepareFromGraph(parseAndPrune(Query, Prune));
+  obs::ScopedSpan Span("pipeline.prepare");
+  DependencyGraph Raw;
+  {
+    static obs::Histogram &H = stageHistogram("parse");
+    obs::ScopedSpan S("pipeline.parse");
+    obs::ScopedLatencyMs T(H);
+    Raw = parseDependencies(Query);
+  }
+  DependencyGraph Pruned;
+  {
+    static obs::Histogram &H = stageHistogram("prune");
+    obs::ScopedSpan S("pipeline.prune");
+    obs::ScopedLatencyMs T(H);
+    Pruned = pruneQueryGraph(Raw, Prune);
+  }
+  return prepareFromGraph(Pruned);
 }
 
 PreparedQuery
@@ -50,7 +79,17 @@ SynthesisFrontEnd::prepareFromGraph(const DependencyGraph &Pruned) const {
   Q.Doc = &Doc;
   Q.Pruned = Pruned;
   Q.Limits = Limits;
-  Q.Words = Matcher.mapGraph(Q.Pruned);
-  Q.Edges = buildEdgeToPath(GG, Doc, Q.Pruned, Q.Words, Limits);
+  {
+    static obs::Histogram &H = stageHistogram("word-to-api");
+    obs::ScopedSpan S("pipeline.word_to_api");
+    obs::ScopedLatencyMs T(H);
+    Q.Words = Matcher.mapGraph(Q.Pruned);
+  }
+  {
+    static obs::Histogram &H = stageHistogram("edge-to-path");
+    obs::ScopedSpan S("pipeline.edge_to_path");
+    obs::ScopedLatencyMs T(H);
+    Q.Edges = buildEdgeToPath(GG, Doc, Q.Pruned, Q.Words, Limits);
+  }
   return Q;
 }

@@ -33,6 +33,8 @@ struct SynthesisStats {
   uint64_t ExaminedCombos = 0;  ///< Combos the baseline examined.
   uint64_t PrefixTreesBuilt = 0;
   unsigned VariantsTried = 1;   ///< Relocated graph variants synthesized.
+  uint64_t DynNodes = 0;        ///< Dynamic-grammar-graph nodes materialized
+                                ///< (DGGT only; the winning variant's count).
 };
 
 /// The full CGT selection objective, minimized lexicographically:

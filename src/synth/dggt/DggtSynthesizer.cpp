@@ -2,6 +2,8 @@
 
 #include "synth/dggt/DggtSynthesizer.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/FaultInjection.h"
 #include "synth/Expression.h"
 #include "synth/SizeBounds.h"
@@ -63,11 +65,13 @@ public:
         makeLeaf(Node);
       if (TimedOut) {
         Result.St = SynthesisResult::Status::Timeout;
+        Result.Stats.DynNodes = Dyn.numNodes();
         return Result;
       }
     }
 
     finalize();
+    Result.Stats.DynNodes = Dyn.numNodes();
     return Result;
   }
 
@@ -398,7 +402,13 @@ private:
     Result.CgtSize = Final.apiCount(GG);
     Result.Objective = FinalObj;
     Result.Objective.Size = Result.CgtSize;
-    Result.Expression = renderExpression(GG, *Q.Doc, Final);
+    {
+      static obs::Histogram &H = obs::registry().histogram(
+          "dggt_pipeline_stage_latency_ms", {{"stage", "tree-to-expression"}});
+      obs::ScopedSpan Span("synth.tree_to_expression");
+      obs::ScopedLatencyMs T(H);
+      Result.Expression = renderExpression(GG, *Q.Doc, Final);
+    }
   }
 };
 
@@ -431,6 +441,54 @@ DggtSynthesizer::synthesizeVariant(const PreparedQuery &Query,
 
 SynthesisResult DggtSynthesizer::synthesize(const PreparedQuery &Query,
                                             Budget &B) const {
+  obs::ScopedSpan Span("synth.dggt");
+  SynthesisResult R;
+  {
+    static obs::Histogram &H = obs::registry().histogram(
+        "dggt_pipeline_stage_latency_ms", {{"stage", "merge-dggt"}});
+    obs::ScopedLatencyMs T(H);
+    R = run(Query, B);
+  }
+  if (Span.active()) {
+    Span.attr("status", statusName(R.St));
+    Span.attr("dyn_nodes", R.Stats.DynNodes);
+    Span.attr("prefix_trees", R.Stats.PrefixTreesBuilt);
+    Span.attr("variants", static_cast<uint64_t>(R.Stats.VariantsTried));
+  }
+  if (obs::metricsEnabled()) {
+    // The merge-table funnel: how much work each of the three paper
+    // optimizations removed, and what was actually materialized.
+    static obs::Counter &Runs =
+        obs::registry().counter("dggt_merge_runs_total");
+    static obs::Counter &DynNodes =
+        obs::registry().counter("dggt_merge_dyn_nodes_total");
+    static obs::Counter &PrefixTrees =
+        obs::registry().counter("dggt_merge_prefix_trees_total");
+    static obs::Counter &Merged =
+        obs::registry().counter("dggt_merge_combos_merged_total");
+    static obs::Counter &PrunedGrammar = obs::registry().counter(
+        "dggt_merge_combos_pruned_total", {{"by", "grammar"}});
+    static obs::Counter &PrunedSize = obs::registry().counter(
+        "dggt_merge_combos_pruned_total", {{"by", "size"}});
+    static obs::Counter &PrunedReloc = obs::registry().counter(
+        "dggt_merge_combos_pruned_total", {{"by", "relocation"}});
+    Runs.inc();
+    DynNodes.inc(R.Stats.DynNodes);
+    PrefixTrees.inc(R.Stats.PrefixTreesBuilt);
+    Merged.inc(R.Stats.RemainingCombos);
+    PrunedGrammar.inc(R.Stats.PrunedByGrammar);
+    PrunedSize.inc(R.Stats.PrunedBySize);
+    // Relocation removes combinations before enumeration even starts;
+    // the delta of the combination counts is its contribution.
+    double Removed = R.Stats.OriginalCombos - R.Stats.CombosAfterReloc;
+    if (Removed > 0)
+      PrunedReloc.inc(static_cast<uint64_t>(Removed));
+  }
+  return R;
+}
+
+SynthesisResult DggtSynthesizer::run(const PreparedQuery &Query,
+                                     Budget &B) const {
   SynthesisResult Result;
   if (!Query.allWordsMapped()) {
     Result.St = SynthesisResult::Status::NoCandidates;

@@ -58,6 +58,11 @@ public:
                                     DynamicGrammarGraph *Export = nullptr) const;
 
 private:
+  /// The uninstrumented Algorithm 1 ladder over relocation variants;
+  /// synthesize() wraps it in the merge-stage span/latency probes and
+  /// records the merge-table counters.
+  SynthesisResult run(const PreparedQuery &Query, Budget &B) const;
+
   Options Opts;
 };
 

@@ -2,6 +2,8 @@
 
 #include "synth/hisyn/HisynSynthesizer.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/FaultInjection.h"
 #include "synth/Expression.h"
 
@@ -30,6 +32,23 @@ void annotateEdgeLiterals(Cgt &Tree, const DependencyGraph &Pruned,
 
 SynthesisResult HisynSynthesizer::synthesize(const PreparedQuery &Query,
                                              Budget &B) const {
+  obs::ScopedSpan Span("synth.hisyn");
+  SynthesisResult R;
+  {
+    static obs::Histogram &H = obs::registry().histogram(
+        "dggt_pipeline_stage_latency_ms", {{"stage", "merge-hisyn"}});
+    obs::ScopedLatencyMs T(H);
+    R = enumerate(Query, B);
+  }
+  if (Span.active()) {
+    Span.attr("status", statusName(R.St));
+    Span.attr("examined_combos", R.Stats.ExaminedCombos);
+  }
+  return R;
+}
+
+SynthesisResult HisynSynthesizer::enumerate(const PreparedQuery &Query,
+                                            Budget &B) const {
   SynthesisResult Result;
   SynthesisStats &Stats = Result.Stats;
 
@@ -154,6 +173,12 @@ SynthesisResult HisynSynthesizer::synthesize(const PreparedQuery &Query,
   Result.St = SynthesisResult::Status::Success;
   Result.CgtSize = BestObj.Size;
   Result.Objective = BestObj;
-  Result.Expression = renderExpression(GG, *Query.Doc, *Best);
+  {
+    static obs::Histogram &H = obs::registry().histogram(
+        "dggt_pipeline_stage_latency_ms", {{"stage", "tree-to-expression"}});
+    obs::ScopedSpan S("synth.tree_to_expression");
+    obs::ScopedLatencyMs T(H);
+    Result.Expression = renderExpression(GG, *Query.Doc, *Best);
+  }
   return Result;
 }

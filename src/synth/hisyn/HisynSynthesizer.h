@@ -40,6 +40,10 @@ public:
                              Budget &B) const override;
 
 private:
+  /// The uninstrumented enumeration; synthesize() wraps it in the
+  /// merge-stage span/latency probes.
+  SynthesisResult enumerate(const PreparedQuery &Query, Budget &B) const;
+
   Options Opts;
 };
 

@@ -9,6 +9,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "service/SynthesisService.h"
 #include "support/FaultInjection.h"
 
@@ -17,6 +19,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -359,4 +362,239 @@ TEST_F(ServiceTest, ConcurrentQueriesUnderInjectedFaults) {
   for (std::thread &T : Pool)
     T.join();
   EXPECT_EQ(Done.load(), 12);
+}
+
+//===----------------------------------------------------------------------===//
+// Per-domain options overrides
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServiceTest, DomainOverridesResolveAgainstBase) {
+  ServiceOptions Opts = fastOptions();
+  Opts.Overrides["TextEditing"].TotalBudgetMs = 777;
+  Opts.Overrides["TextEditing"].MaxRetriesPerRung = 0;
+  SynthesisService S(Opts);
+  S.addDomain(textEditing());
+
+  const ServiceOptions &R = S.optionsFor("TextEditing");
+  EXPECT_EQ(R.TotalBudgetMs, 777u);
+  EXPECT_EQ(R.MaxRetriesPerRung, 0u);
+  // Unset fields inherit the base values.
+  EXPECT_EQ(R.BreakerTripThreshold, Opts.BreakerTripThreshold);
+  EXPECT_EQ(R.RetryBackoffMs, Opts.RetryBackoffMs);
+  // Unknown domains fall back to the base options.
+  EXPECT_EQ(S.optionsFor("NoSuchDomain").TotalBudgetMs, Opts.TotalBudgetMs);
+}
+
+TEST_F(ServiceTest, DomainOverrideDisablesRetries) {
+  // The override must steer query() itself, not just the accessor: with
+  // retries overridden to 0 a transient fault is not retried.
+  FaultInjector::instance().armAlways(faults::ServiceTransient);
+  ServiceOptions Opts = fastOptions();
+  Opts.MaxRetriesPerRung = 2;
+  Opts.Overrides["TextEditing"].MaxRetriesPerRung = 0;
+  SynthesisService S(Opts);
+  S.addDomain(textEditing());
+  ServiceReport Rep = S.query("TextEditing", "sort all lines");
+  EXPECT_EQ(Rep.St, ServiceStatus::NoAnswer);
+  // 3 rungs x 1 try, no retries anywhere.
+  EXPECT_EQ(Rep.Attempts.size(), 3u);
+  for (const RungAttempt &A : Rep.Attempts)
+    EXPECT_EQ(A.Try, 0u);
+}
+
+TEST_F(ServiceTest, DomainOverrideShortensLadder) {
+  // Overriding EnableHisynFallback to false drops the third rung for
+  // this domain only.
+  FaultInjector::instance().armAlways(faults::DggtMerge);
+  ServiceOptions Opts = fastOptions();
+  Opts.Overrides["TextEditing"].EnableHisynFallback = false;
+  SynthesisService S(Opts);
+  S.addDomain(textEditing());
+  ServiceReport Rep = S.query("TextEditing", "print all lines");
+  EXPECT_FALSE(Rep.ok());
+  ASSERT_EQ(Rep.Attempts.size(), 2u);
+  EXPECT_EQ(Rep.Attempts[0].Rung, ServiceRung::DggtFull);
+  EXPECT_EQ(Rep.Attempts[1].Rung, ServiceRung::DggtTight);
+}
+
+//===----------------------------------------------------------------------===//
+// Attempt-trail budget accounting
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServiceTest, AttemptTrailRecordsRemainingBudget) {
+  ServiceOptions Opts = fastOptions();
+  Opts.TotalBudgetMs = 5000;
+  SynthesisService S(Opts);
+  S.addDomain(textEditing());
+  ServiceReport Rep = S.query("TextEditing", "sort all lines");
+  ASSERT_TRUE(Rep.ok()) << serviceStatusName(Rep.St);
+  ASSERT_FALSE(Rep.Attempts.empty());
+  EXPECT_GT(Rep.Attempts[0].RemainingMs, 0u);
+  EXPECT_LE(Rep.Attempts[0].RemainingMs, 5000u);
+}
+
+TEST_F(ServiceTest, RemainingBudgetDecaysAcrossAttempts) {
+  // Transient faults force several attempts; the recorded headroom must
+  // be non-increasing down the trail (the total budget only drains).
+  FaultInjector::instance().armAlways(faults::ServiceTransient);
+  ServiceOptions Opts = fastOptions();
+  Opts.MaxRetriesPerRung = 2;
+  Opts.RetryBackoffMs = 4;
+  SynthesisService S(Opts);
+  S.addDomain(textEditing());
+  ServiceReport Rep = S.query("TextEditing", "sort all lines");
+  ASSERT_GE(Rep.Attempts.size(), 2u);
+  for (size_t I = 1; I < Rep.Attempts.size(); ++I)
+    EXPECT_LE(Rep.Attempts[I].RemainingMs, Rep.Attempts[I - 1].RemainingMs);
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics and tracing integration
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Collects spans for the integration assertions.
+class SpanCollector : public obs::TraceSink {
+public:
+  void onSpan(const obs::SpanRecord &Span) override {
+    std::lock_guard<std::mutex> L(M);
+    Spans.push_back(Span);
+  }
+  std::vector<obs::SpanRecord> spans() const {
+    std::lock_guard<std::mutex> L(M);
+    return Spans;
+  }
+
+private:
+  mutable std::mutex M;
+  std::vector<obs::SpanRecord> Spans;
+};
+
+/// Finds one snapshot entry by name and labels; null if absent.
+const obs::MetricSnapshot *
+findMetric(const std::vector<obs::MetricSnapshot> &Snap,
+           std::string_view Name, const obs::LabelSet &Labels) {
+  for (const obs::MetricSnapshot &S : Snap)
+    if (S.Name == Name && S.Labels == Labels)
+      return &S;
+  return nullptr;
+}
+
+} // namespace
+
+TEST_F(ServiceTest, QueryEmitsMetricsAndSpans) {
+  obs::registry().zeroAllForTest();
+  auto Collector = std::make_shared<SpanCollector>();
+  ServiceOptions Opts = fastOptions();
+  Opts.EnableMetrics = true;
+  Opts.Trace = Collector;
+  {
+    SynthesisService S(Opts);
+    S.addDomain(textEditing());
+    ASSERT_TRUE(S.query("TextEditing", "sort all lines").ok());
+  }
+  obs::Tracer::instance().setSink(nullptr);
+  obs::setMetricsEnabled(false);
+
+  // Metrics: query counter, per-domain and per-rung latency, pipeline
+  // stages, merge-table counters.
+  std::vector<obs::MetricSnapshot> Snap = obs::registry().snapshot();
+  const obs::MetricSnapshot *Queries =
+      findMetric(Snap, "dggt_service_queries_total",
+                 {{"domain", "TextEditing"}, {"status", "ok"}});
+  ASSERT_NE(Queries, nullptr);
+  EXPECT_EQ(Queries->CounterValue, 1u);
+
+  const obs::MetricSnapshot *QueryLat =
+      findMetric(Snap, "dggt_service_query_latency_ms",
+                 {{"domain", "TextEditing"}});
+  ASSERT_NE(QueryLat, nullptr);
+  EXPECT_EQ(QueryLat->Count, 1u);
+
+  const obs::MetricSnapshot *RungLat = findMetric(
+      Snap, "dggt_service_rung_latency_ms", {{"rung", "dggt-full"}});
+  ASSERT_NE(RungLat, nullptr);
+  EXPECT_EQ(RungLat->Count, 1u);
+
+  const obs::MetricSnapshot *RungAttempts =
+      findMetric(Snap, "dggt_service_rung_attempts_total",
+                 {{"rung", "dggt-full"}, {"status", "success"}});
+  ASSERT_NE(RungAttempts, nullptr);
+  EXPECT_EQ(RungAttempts->CounterValue, 1u);
+
+  for (const char *Stage : {"parse", "prune", "word-to-api",
+                            "edge-to-path", "merge-dggt"}) {
+    const obs::MetricSnapshot *StageLat =
+        findMetric(Snap, "dggt_pipeline_stage_latency_ms",
+                   {{"stage", Stage}});
+    ASSERT_NE(StageLat, nullptr) << Stage;
+    EXPECT_GE(StageLat->Count, 1u) << Stage;
+  }
+
+  const obs::MetricSnapshot *MergeRuns =
+      findMetric(Snap, "dggt_merge_runs_total", {});
+  ASSERT_NE(MergeRuns, nullptr);
+  EXPECT_GE(MergeRuns->CounterValue, 1u);
+
+  // Spans: a service.query root with a service.rung child and pipeline
+  // stage spans beneath, all in one trace.
+  std::vector<obs::SpanRecord> Spans = Collector->spans();
+  const obs::SpanRecord *Root = nullptr, *Rung = nullptr, *Stage = nullptr;
+  for (const obs::SpanRecord &Sp : Spans) {
+    if (Sp.Name == "service.query")
+      Root = &Sp;
+    else if (Sp.Name == "service.rung")
+      Rung = &Sp;
+    else if (Sp.Name == "pipeline.parse")
+      Stage = &Sp;
+  }
+  ASSERT_NE(Root, nullptr);
+  ASSERT_NE(Rung, nullptr);
+  ASSERT_NE(Stage, nullptr);
+  EXPECT_EQ(Root->ParentId, 0u);
+  EXPECT_EQ(Rung->ParentId, Root->SpanId);
+  EXPECT_EQ(Rung->TraceId, Root->TraceId);
+  EXPECT_EQ(Stage->TraceId, Root->TraceId);
+
+  bool HaveStatus = false;
+  for (const auto &[K, V] : Root->Attrs)
+    if (K == "status") {
+      HaveStatus = true;
+      EXPECT_EQ(V, "ok");
+    }
+  EXPECT_TRUE(HaveStatus);
+}
+
+TEST_F(ServiceTest, BreakerTransitionsAreCounted) {
+  obs::registry().zeroAllForTest();
+  FaultInjector::instance().armAlways(faults::DggtMerge);
+  FaultInjector::instance().armAlways(faults::HisynEnumerate);
+  ServiceOptions Opts = fastOptions();
+  Opts.EnableMetrics = true;
+  Opts.TotalBudgetMs = 100;
+  Opts.BreakerTripThreshold = 1;
+  Opts.BreakerCooldownMs = 20;
+  SynthesisService S(Opts);
+  S.addDomain(textEditing());
+
+  // Trip: one deadline miss opens the circuit.
+  EXPECT_EQ(S.query("TextEditing", "sort all lines").St,
+            ServiceStatus::DeadlineExceeded);
+  // Heal and wait out the cooldown; the probe half-opens then closes.
+  FaultInjector::instance().reset();
+  while (S.breakerState("TextEditing") !=
+         SynthesisService::BreakerState::HalfOpen)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(S.query("TextEditing", "sort all lines").ok());
+  obs::setMetricsEnabled(false);
+
+  std::vector<obs::MetricSnapshot> Snap = obs::registry().snapshot();
+  for (const char *To : {"open", "half-open", "closed"}) {
+    const obs::MetricSnapshot *T =
+        findMetric(Snap, "dggt_service_breaker_transitions_total",
+                   {{"domain", "TextEditing"}, {"to", To}});
+    ASSERT_NE(T, nullptr) << To;
+    EXPECT_EQ(T->CounterValue, 1u) << To;
+  }
 }
