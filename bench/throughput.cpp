@@ -1,0 +1,279 @@
+//===- bench/throughput.cpp - Async service throughput --------------------===//
+//
+// Steady-state service throughput: the full mixed TextEditing/ASTMatcher
+// evaluation query set, replayed for a fixed number of rounds (a service
+// sees a repeating query mix, so steady state is what matters), through
+//
+//   - the serial SynthesisService, one query at a time, per-domain
+//     caches disabled (the pre-async baseline), and
+//   - the AsyncSynthesisService worker pool with the shared per-domain
+//     PathCache / ApiCandidateCache enabled, driven closed-loop with a
+//     bounded in-flight window so queue wait stays well inside the
+//     per-query budget.
+//
+// Both modes run the same queries, and expressions are cross-checked:
+// the async+cached results must match the serial ones (cache hits are
+// bit-identical by construction; see grammar/PathCache.h).
+//
+// --json prints one machine-readable line: queries/sec for both modes,
+// the speedup, p50/p95 end-to-end and queue-wait latency, and the
+// shared-cache hit rates. CI parses it to enforce the >= 2x throughput
+// acceptance bound.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "grammar/PathCache.h"
+#include "nlu/WordToApiMatcher.h"
+#include "service/AsyncSynthesisService.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace dggt;
+
+namespace {
+
+struct WorkItem {
+  const char *Domain;
+  const std::string *Query;
+};
+
+/// The mixed workload: both domains' eval queries interleaved (two
+/// TextEditing per ASTMatcher, matching the 200/100 dataset sizes) and
+/// replayed \p Rounds times.
+std::vector<WorkItem> buildWorkload(const bench::Domains &D, int Rounds,
+                                    size_t LimitPerDomain) {
+  const std::vector<QueryCase> &TE = D.TextEditing->queries();
+  const std::vector<QueryCase> &AM = D.AstMatcher->queries();
+  size_t NumTE = std::min(LimitPerDomain, TE.size());
+  size_t NumAM = std::min(LimitPerDomain, AM.size());
+  std::vector<WorkItem> One;
+  size_t ITe = 0, IAm = 0;
+  while (ITe < NumTE || IAm < NumAM) {
+    for (int K = 0; K < 2 && ITe < NumTE; ++K, ++ITe)
+      One.push_back({"TextEditing", &TE[ITe].Query});
+    if (IAm < NumAM)
+      One.push_back({"ASTMatcher", &AM[IAm++].Query});
+  }
+  std::vector<WorkItem> Work;
+  Work.reserve(One.size() * static_cast<size_t>(Rounds));
+  for (int R = 0; R < Rounds; ++R)
+    Work.insert(Work.end(), One.begin(), One.end());
+  return Work;
+}
+
+struct ModeResult {
+  double TotalSeconds = 0;
+  bench::LatencySummary E2eMs;
+  bench::LatencySummary QueueWaitMs;
+  std::vector<ServiceReport> Reports;
+
+  double qps() const {
+    return TotalSeconds > 0
+               ? static_cast<double>(E2eMs.count()) / TotalSeconds
+               : 0.0;
+  }
+};
+
+// The summaries wrap the non-movable obs::Histogram, so results are
+// filled in place.
+void runSerial(const bench::Domains &D, const std::vector<WorkItem> &Work,
+               ModeResult &R) {
+  ServiceOptions Opts;
+  Opts.PathCacheBytes = 0; // The baseline predates the shared caches.
+  Opts.WordCacheBytes = 0;
+  SynthesisService S(Opts);
+  S.addDomain(*D.TextEditing);
+  S.addDomain(*D.AstMatcher);
+
+  R.Reports.reserve(Work.size());
+  WallTimer Total;
+  for (const WorkItem &W : Work) {
+    WallTimer T;
+    R.Reports.push_back(S.query(W.Domain, *W.Query));
+    R.E2eMs.addSeconds(T.seconds());
+  }
+  R.TotalSeconds = Total.seconds();
+}
+
+void runAsync(const bench::Domains &D, const std::vector<WorkItem> &Work,
+              unsigned Workers, double *PathHitRate, double *WordHitRate,
+              ModeResult &R) {
+  AsyncOptions Opts;
+  Opts.Workers = Workers;
+  Opts.QueueCap = 0; // The closed-loop window below bounds the queue.
+  AsyncSynthesisService S(Opts);
+  S.addDomain(*D.TextEditing);
+  S.addDomain(*D.AstMatcher);
+
+  // Closed-loop driver: keep a bounded window in flight so queue wait
+  // stays far below TotalBudgetMs (an open-loop flood of the whole
+  // workload would push tail submissions past their own deadline).
+  const size_t Window = Workers * 4;
+  struct InFlight {
+    size_t Index;
+    std::future<ServiceReport> Fut;
+    Budget::Clock::time_point Submitted;
+  };
+  R.Reports.resize(Work.size());
+  std::vector<InFlight> Pending;
+  Pending.reserve(Window);
+  size_t Next = 0, Done = 0;
+  WallTimer Total;
+  while (Done < Work.size()) {
+    while (Next < Work.size() && Pending.size() < Window) {
+      const WorkItem &W = Work[Next];
+      Budget::Clock::time_point Now = Budget::Clock::now();
+      Pending.push_back({Next, S.submit(W.Domain, *W.Query), Now});
+      ++Next;
+    }
+    bool Progress = false;
+    for (size_t I = 0; I < Pending.size();) {
+      if (Pending[I].Fut.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        ++I;
+        continue;
+      }
+      double E2e = std::chrono::duration<double>(Budget::Clock::now() -
+                                                 Pending[I].Submitted)
+                       .count();
+      ServiceReport Rep = Pending[I].Fut.get();
+      R.E2eMs.addSeconds(E2e);
+      // Queue wait is what the async layer adds on top of the service's
+      // own processing time.
+      R.QueueWaitMs.addMs(std::max(0.0, E2e * 1000.0 - Rep.TotalSeconds * 1000.0));
+      R.Reports[Pending[I].Index] = std::move(Rep);
+      Pending[I] = std::move(Pending.back());
+      Pending.pop_back();
+      ++Done;
+      Progress = true;
+    }
+    if (!Progress && Done < Work.size())
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  R.TotalSeconds = Total.seconds();
+
+  auto HitRate = [](uint64_t Hits, uint64_t Misses) {
+    uint64_t Total = Hits + Misses;
+    return Total ? static_cast<double>(Hits) / static_cast<double>(Total)
+                 : 0.0;
+  };
+  uint64_t PH = 0, PM = 0, WH = 0, WM = 0;
+  for (const char *Name : {"TextEditing", "ASTMatcher"}) {
+    if (const PathCache *C = S.service().pathCache(Name)) {
+      PH += C->stats().Hits;
+      PM += C->stats().Misses;
+    }
+    if (const ApiCandidateCache *C = S.service().wordCache(Name)) {
+      WH += C->stats().Hits;
+      WM += C->stats().Misses;
+    }
+  }
+  *PathHitRate = HitRate(PH, PM);
+  *WordHitRate = HitRate(WH, WM);
+}
+
+/// Expressions must agree wherever both modes produced an answer; a
+/// nonzero count means the caches or the pool changed semantics.
+size_t countMismatches(const ModeResult &Serial, const ModeResult &Async) {
+  size_t Mismatches = 0;
+  for (size_t I = 0; I < Serial.Reports.size(); ++I) {
+    const ServiceReport &A = Serial.Reports[I];
+    const ServiceReport &B = Async.Reports[I];
+    if (A.ok() && B.ok() && A.Result.Expression != B.Result.Expression)
+      ++Mismatches;
+  }
+  return Mismatches;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Json = false;
+  unsigned Workers = 4;
+  int Rounds = 3;
+  size_t Limit = static_cast<size_t>(-1);
+  for (int I = 1; I < argc; ++I) {
+    std::string_view Arg = argv[I];
+    if (Arg == "--json")
+      Json = true;
+    else if (Arg == "--workers" && I + 1 < argc)
+      Workers = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (Arg == "--rounds" && I + 1 < argc)
+      Rounds = std::atoi(argv[++I]);
+    else if (Arg == "--limit" && I + 1 < argc)
+      Limit = static_cast<size_t>(std::atoll(argv[++I]));
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--json] [--workers N] [--rounds N] "
+                   "[--limit QUERIES_PER_DOMAIN]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  bench::Domains D;
+  std::vector<WorkItem> Work = buildWorkload(D, Rounds, Limit);
+  std::fprintf(stderr,
+               "[bench] throughput: %zu queries (%d rounds), serial "
+               "baseline first...\n",
+               Work.size(), Rounds);
+  ModeResult Serial;
+  runSerial(D, Work, Serial);
+  std::fprintf(stderr, "[bench] throughput: async, %u workers...\n", Workers);
+  double PathHitRate = 0, WordHitRate = 0;
+  ModeResult Async;
+  runAsync(D, Work, Workers, &PathHitRate, &WordHitRate, Async);
+  size_t Mismatches = countMismatches(Serial, Async);
+  double Speedup = Serial.qps() > 0 ? Async.qps() / Serial.qps() : 0.0;
+
+  if (Json) {
+    std::printf(
+        "{\"bench\":\"throughput\",\"queries\":%zu,\"rounds\":%d,"
+        "\"workers\":%u,"
+        "\"serial\":{\"qps\":%.2f,\"total_s\":%.3f,"
+        "\"e2e_ms\":{\"p50\":%.3f,\"p95\":%.3f}},"
+        "\"async\":{\"qps\":%.2f,\"total_s\":%.3f,"
+        "\"e2e_ms\":{\"p50\":%.3f,\"p95\":%.3f},"
+        "\"queue_wait_ms\":{\"p50\":%.3f,\"p95\":%.3f}},"
+        "\"speedup\":%.2f,"
+        "\"path_cache_hit_rate\":%.3f,\"word_cache_hit_rate\":%.3f,"
+        "\"expression_mismatches\":%zu}\n",
+        Work.size(), Rounds, Workers, Serial.qps(), Serial.TotalSeconds,
+        Serial.E2eMs.p50Ms(), Serial.E2eMs.histogram().percentile(95),
+        Async.qps(), Async.TotalSeconds, Async.E2eMs.p50Ms(),
+        Async.E2eMs.histogram().percentile(95), Async.QueueWaitMs.p50Ms(),
+        Async.QueueWaitMs.histogram().percentile(95), Speedup, PathHitRate,
+        WordHitRate, Mismatches);
+    return Mismatches == 0 ? 0 : 1;
+  }
+
+  bench::banner("Service throughput: serial baseline vs pooled async with "
+                "shared caches",
+                "the near-real-time service claim, Sections VI-VII");
+  std::printf("queries: %zu (%d rounds over the mixed eval set)\n",
+              Work.size(), Rounds);
+  std::printf("serial (1 thread, caches off): %7.1f q/s   p50 %6.2f ms   "
+              "p95 %6.2f ms\n",
+              Serial.qps(), Serial.E2eMs.p50Ms(),
+              Serial.E2eMs.histogram().percentile(95));
+  std::printf("async (%u workers, caches on): %7.1f q/s   p50 %6.2f ms   "
+              "p95 %6.2f ms\n",
+              Workers, Async.qps(), Async.E2eMs.p50Ms(),
+              Async.E2eMs.histogram().percentile(95));
+  std::printf("queue wait:                    p50 %6.2f ms   p95 %6.2f ms\n",
+              Async.QueueWaitMs.p50Ms(),
+              Async.QueueWaitMs.histogram().percentile(95));
+  std::printf("speedup: %.2fx   path-cache hit rate: %.1f%%   word-cache "
+              "hit rate: %.1f%%\n",
+              Speedup, PathHitRate * 100.0, WordHitRate * 100.0);
+  std::printf("expression mismatches (serial vs async): %zu\n", Mismatches);
+  return Mismatches == 0 ? 0 : 1;
+}

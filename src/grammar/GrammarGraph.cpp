@@ -4,6 +4,7 @@
 
 #include <cassert>
 #include <deque>
+#include <mutex>
 
 using namespace dggt;
 
@@ -82,23 +83,30 @@ GgNodeId GrammarGraph::derivationOwner(GgNodeId Derivation) const {
 }
 
 const std::vector<bool> &GrammarGraph::descendantSet(GgNodeId Ancestor) const {
-  auto It = ReachCache.find(Ancestor);
-  if (It == ReachCache.end()) {
-    std::vector<bool> Seen(Nodes.size(), false);
-    std::deque<GgNodeId> Work{Ancestor};
-    Seen[Ancestor] = true;
-    while (!Work.empty()) {
-      GgNodeId Cur = Work.front();
-      Work.pop_front();
-      for (const GgEdge &E : Out[Cur])
-        if (!Seen[E.To]) {
-          Seen[E.To] = true;
-          Work.push_back(E.To);
-        }
-    }
-    It = ReachCache.emplace(Ancestor, std::move(Seen)).first;
+  // Read-mostly memo shared by concurrent path searches: the common case
+  // (set already computed) takes the lock shared. References handed out
+  // stay valid because unordered_map never moves node payloads.
+  {
+    std::shared_lock<std::shared_mutex> L(ReachM);
+    auto It = ReachCache.find(Ancestor);
+    if (It != ReachCache.end())
+      return It->second;
   }
-  return It->second;
+  std::vector<bool> Seen(Nodes.size(), false);
+  std::deque<GgNodeId> Work{Ancestor};
+  Seen[Ancestor] = true;
+  while (!Work.empty()) {
+    GgNodeId Cur = Work.front();
+    Work.pop_front();
+    for (const GgEdge &E : Out[Cur])
+      if (!Seen[E.To]) {
+        Seen[E.To] = true;
+        Work.push_back(E.To);
+      }
+  }
+  std::unique_lock<std::shared_mutex> L(ReachM);
+  // emplace is a no-op if another thread computed it first (same value).
+  return ReachCache.emplace(Ancestor, std::move(Seen)).first->second;
 }
 
 bool GrammarGraph::reachable(GgNodeId Ancestor, GgNodeId Descendant) const {

@@ -21,6 +21,7 @@
 #include "grammar/Grammar.h"
 
 #include <cstdint>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -114,6 +115,11 @@ private:
   size_t ApiOccurrenceCount = 0;
 
   /// Memoized descendant sets for reachable(); built lazily per source.
+  /// Guarded by ReachM: const path searches run concurrently from worker
+  /// threads and all race to fill this memo (element references stay
+  /// stable across inserts, so readers keep their references lock-free
+  /// once obtained).
+  mutable std::shared_mutex ReachM;
   mutable std::unordered_map<GgNodeId, std::vector<bool>> ReachCache;
 };
 

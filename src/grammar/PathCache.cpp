@@ -1,0 +1,163 @@
+//===- grammar/PathCache.cpp - Shared per-domain path-search cache --------===//
+
+#include "grammar/PathCache.h"
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+
+using namespace dggt;
+
+static size_t hashCombine(size_t Seed, size_t V) {
+  // Boost-style combine; good enough for shard + bucket selection.
+  return Seed ^ (V + 0x9e3779b97f4a7c15ull + (Seed << 6) + (Seed >> 2));
+}
+
+size_t PathCache::KeyHash::operator()(const Key &K) const {
+  size_t H = std::hash<uint64_t>{}(K.Epoch);
+  H = hashCombine(H, std::hash<uint32_t>{}(K.Start));
+  for (GgNodeId T : K.Targets)
+    H = hashCombine(H, std::hash<uint32_t>{}(T));
+  H = hashCombine(H, K.MaxPathNodes);
+  H = hashCombine(H, K.MaxPaths);
+  H = hashCombine(H, K.MaxVisits);
+  return H;
+}
+
+uint64_t PathCache::estimateBytes(const Key &K, const PathSearchResult &R) {
+  uint64_t B = sizeof(Entry) + K.Targets.size() * sizeof(GgNodeId);
+  for (const GrammarPath &P : R.Paths)
+    B += sizeof(GrammarPath) + P.Nodes.size() * sizeof(GgNodeId);
+  // Hash-table node + LRU list node overhead, roughly.
+  return B + 64;
+}
+
+PathCache::PathCache(std::string CacheName, uint64_t ByteBudget)
+    : Name(std::move(CacheName)),
+      ShardBudget(std::max<uint64_t>(1, ByteBudget) / NumShards + 1) {
+  obs::LabelSet L{{"domain", Name}};
+  HitsM = &obs::registry().counter("dggt_pathcache_hits_total", L);
+  MissesM = &obs::registry().counter("dggt_pathcache_misses_total", L);
+  EvictionsM = &obs::registry().counter("dggt_pathcache_evictions_total", L);
+  BytesM = &obs::registry().gauge("dggt_pathcache_bytes", L);
+}
+
+PathCache::~PathCache() = default;
+
+std::optional<PathSearchResult>
+PathCache::lookup(GgNodeId DependentStart, const std::vector<GgNodeId> &Targets,
+                  const PathSearchLimits &Limits) {
+  Key K{Epoch.load(std::memory_order_relaxed),
+        DependentStart,
+        Targets,
+        Limits.MaxPathNodes,
+        Limits.MaxPaths,
+        Limits.MaxVisits};
+  size_t H = KeyHash{}(K);
+  Shard &S = Shards[H % NumShards];
+
+  std::optional<PathSearchResult> Out;
+  {
+    std::lock_guard<std::mutex> L(S.M);
+    auto It = S.Table.find(K);
+    if (It != S.Table.end()) {
+      S.Lru.splice(S.Lru.begin(), S.Lru, It->second); // Promote to MRU.
+      Out = It->second->Result;
+    }
+  }
+  if (Out) {
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    HitsM->inc();
+  } else {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    MissesM->inc();
+  }
+  return Out;
+}
+
+void PathCache::insert(GgNodeId DependentStart,
+                       const std::vector<GgNodeId> &Targets,
+                       const PathSearchLimits &Limits,
+                       const PathSearchResult &Result) {
+  Key K{Epoch.load(std::memory_order_relaxed),
+        DependentStart,
+        Targets,
+        Limits.MaxPathNodes,
+        Limits.MaxPaths,
+        Limits.MaxVisits};
+  uint64_t EntryBytes = estimateBytes(K, Result);
+  if (EntryBytes > ShardBudget)
+    return; // Would evict the whole shard for one entry; not worth it.
+  size_t H = KeyHash{}(K);
+  Shard &S = Shards[H % NumShards];
+
+  uint64_t Evicted = 0;
+  int64_t BytesDelta = 0, EntriesDelta = 0;
+  {
+    std::lock_guard<std::mutex> L(S.M);
+    auto It = S.Table.find(K);
+    if (It != S.Table.end()) {
+      // Lost a race with another worker computing the same search; the
+      // results are identical, so just refresh recency.
+      S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+      return;
+    }
+    while (S.Bytes + EntryBytes > ShardBudget && !S.Lru.empty()) {
+      Entry &Victim = S.Lru.back();
+      S.Bytes -= Victim.Bytes;
+      BytesDelta -= static_cast<int64_t>(Victim.Bytes);
+      S.Table.erase(Victim.K);
+      S.Lru.pop_back();
+      ++Evicted;
+      --EntriesDelta;
+    }
+    S.Lru.push_front(Entry{K, Result, EntryBytes});
+    S.Table.emplace(std::move(K), S.Lru.begin());
+    S.Bytes += EntryBytes;
+    BytesDelta += static_cast<int64_t>(EntryBytes);
+    ++EntriesDelta;
+  }
+
+  Insertions.fetch_add(1, std::memory_order_relaxed);
+  if (Evicted) {
+    Evictions.fetch_add(Evicted, std::memory_order_relaxed);
+    EvictionsM->inc(Evicted);
+  }
+  BytesTotal.fetch_add(static_cast<uint64_t>(BytesDelta),
+                       std::memory_order_relaxed);
+  EntriesTotal.fetch_add(static_cast<uint64_t>(EntriesDelta),
+                         std::memory_order_relaxed);
+  BytesM->set(static_cast<int64_t>(BytesTotal.load(std::memory_order_relaxed)));
+}
+
+void PathCache::invalidateAll() {
+  Epoch.fetch_add(1, std::memory_order_relaxed);
+  // Drop stale entries eagerly so the byte budget reflects reusable
+  // capacity, not unreachable garbage.
+  uint64_t Evicted = 0;
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> L(S.M);
+    Evicted += S.Lru.size();
+    BytesTotal.fetch_sub(S.Bytes, std::memory_order_relaxed);
+    EntriesTotal.fetch_sub(S.Lru.size(), std::memory_order_relaxed);
+    S.Table.clear();
+    S.Lru.clear();
+    S.Bytes = 0;
+  }
+  if (Evicted) {
+    Evictions.fetch_add(Evicted, std::memory_order_relaxed);
+    EvictionsM->inc(Evicted);
+  }
+  BytesM->set(static_cast<int64_t>(BytesTotal.load(std::memory_order_relaxed)));
+}
+
+PathCacheStats PathCache::stats() const {
+  PathCacheStats St;
+  St.Hits = Hits.load(std::memory_order_relaxed);
+  St.Misses = Misses.load(std::memory_order_relaxed);
+  St.Evictions = Evictions.load(std::memory_order_relaxed);
+  St.Insertions = Insertions.load(std::memory_order_relaxed);
+  St.Bytes = BytesTotal.load(std::memory_order_relaxed);
+  St.Entries = EntriesTotal.load(std::memory_order_relaxed);
+  return St;
+}

@@ -1,0 +1,149 @@
+//===- grammar/PathCache.h - Shared per-domain path-search cache -*- C++ -*-===//
+///
+/// \file
+/// A thread-safe memo of reversed all-path searches over one domain's
+/// grammar graph. Queries against a domain keep re-running the same
+/// EdgeToPath searches — the (dependent occurrence, governor targets)
+/// pairs are drawn from a small vocabulary-driven set, so a multi-user
+/// stream repeats them constantly. The cache keys one search by
+///
+///   (epoch, dependent start node, governor target list, search limits)
+///
+/// and stores the *raw* PathSearchResult (path ids and word-to-API
+/// scores are assigned by the EdgeToPath builder after lookup), so a hit
+/// is bit-identical to re-running the search: caching is exact and never
+/// changes synthesis results.
+///
+/// Concurrency: the table is sharded by key hash, each shard behind its
+/// own mutex with an intrusive LRU list, so hits from different shards
+/// never contend and hits within one shard hold the lock only for a
+/// find + list splice + copy-out. Memory is bounded by a byte budget
+/// split across shards; insertion evicts least-recently-used entries.
+/// Invalidation is by epoch: bumping the epoch makes every existing key
+/// unreachable (stale entries age out through the LRU), which is the
+/// whole story for a mutable grammar — no per-entry invalidation exists
+/// or is needed.
+///
+/// Hit/miss/eviction counts are kept in local always-on atomics (the
+/// bench reads them without enabling metrics) and mirrored into the
+/// process metrics registry as dggt_pathcache_* when metrics are on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_GRAMMAR_PATHCACHE_H
+#define DGGT_GRAMMAR_PATHCACHE_H
+
+#include "grammar/PathSearch.h"
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace dggt {
+
+namespace obs {
+class Counter;
+class Gauge;
+} // namespace obs
+
+/// Point-in-time counters of one cache (see PathCache::stats()).
+struct PathCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+  uint64_t Insertions = 0;
+  uint64_t Bytes = 0;   ///< Current resident payload estimate.
+  uint64_t Entries = 0; ///< Current entry count.
+
+  double hitRate() const {
+    uint64_t Total = Hits + Misses;
+    return Total ? static_cast<double>(Hits) / static_cast<double>(Total)
+                 : 0.0;
+  }
+};
+
+/// Sharded, byte-bounded, epoch-invalidated memo of path searches.
+class PathCache {
+public:
+  /// \p Name labels the exported metrics (the owning domain's name);
+  /// \p ByteBudget bounds the resident payload estimate (>= 1).
+  PathCache(std::string Name, uint64_t ByteBudget);
+  ~PathCache();
+
+  PathCache(const PathCache &) = delete;
+  PathCache &operator=(const PathCache &) = delete;
+
+  /// Returns a copy of the cached result for this search under the
+  /// current epoch, or nullopt (counted as a miss).
+  std::optional<PathSearchResult>
+  lookup(GgNodeId DependentStart, const std::vector<GgNodeId> &Targets,
+         const PathSearchLimits &Limits);
+
+  /// Inserts \p Result under the current epoch, evicting LRU entries
+  /// until the shard fits its byte budget. An entry larger than a whole
+  /// shard's budget is not cached.
+  void insert(GgNodeId DependentStart, const std::vector<GgNodeId> &Targets,
+              const PathSearchLimits &Limits, const PathSearchResult &Result);
+
+  /// Invalidates every entry by bumping the epoch. Stale entries stop
+  /// matching immediately and are evicted by LRU pressure (or dropped
+  /// eagerly here, keeping the byte budget honest).
+  void invalidateAll();
+
+  uint64_t epoch() const { return Epoch.load(std::memory_order_relaxed); }
+
+  PathCacheStats stats() const;
+
+  const std::string &name() const { return Name; }
+
+private:
+  struct Key {
+    uint64_t Epoch;
+    GgNodeId Start;
+    std::vector<GgNodeId> Targets;
+    unsigned MaxPathNodes;
+    unsigned MaxPaths;
+    unsigned MaxVisits;
+
+    bool operator==(const Key &O) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const;
+  };
+  struct Entry {
+    Key K;
+    PathSearchResult Result;
+    uint64_t Bytes = 0;
+  };
+  struct Shard {
+    std::mutex M;
+    /// MRU front; eviction pops from the back.
+    std::list<Entry> Lru;
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> Table;
+    uint64_t Bytes = 0;
+  };
+
+  static uint64_t estimateBytes(const Key &K, const PathSearchResult &R);
+
+  static constexpr size_t NumShards = 8;
+
+  std::string Name;
+  uint64_t ShardBudget;
+  std::atomic<uint64_t> Epoch{1};
+  Shard Shards[NumShards];
+
+  std::atomic<uint64_t> Hits{0}, Misses{0}, Evictions{0}, Insertions{0};
+  std::atomic<uint64_t> BytesTotal{0}, EntriesTotal{0};
+
+  /// Registry mirrors (gated on the global metrics switch).
+  obs::Counter *HitsM = nullptr, *MissesM = nullptr, *EvictionsM = nullptr;
+  obs::Gauge *BytesM = nullptr;
+};
+
+} // namespace dggt
+
+#endif // DGGT_GRAMMAR_PATHCACHE_H

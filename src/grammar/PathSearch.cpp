@@ -2,6 +2,7 @@
 
 #include "grammar/PathSearch.h"
 
+#include "grammar/PathCache.h"
 #include "obs/Metrics.h"
 #include "support/FaultInjection.h"
 
@@ -110,7 +111,17 @@ private:
 PathSearchResult
 dggt::findPathsBetween(const GrammarGraph &GG, GgNodeId DependentStart,
                        const std::vector<GgNodeId> &GovernorTargets,
-                       const PathSearchLimits &Limits) {
+                       const PathSearchLimits &Limits, PathCache *Cache) {
+  // Fault tests arm points precisely (fire on the Nth search); a cache
+  // hit would skip hits and shift every armed trigger, so the cache
+  // steps aside while anything is armed.
+  bool UseCache = Cache && !FaultInjector::anyArmed();
+  if (UseCache) {
+    if (std::optional<PathSearchResult> Hit =
+            Cache->lookup(DependentStart, GovernorTargets, Limits))
+      return std::move(*Hit);
+  }
+
   ReversedSearch Search(GG, GovernorTargets, Limits);
   PathSearchResult Result = Search.run(DependentStart);
   // Batched metric adds: one search, three fetch_adds — the per-visit
@@ -130,6 +141,8 @@ dggt::findPathsBetween(const GrammarGraph &GG, GgNodeId DependentStart,
     if (Result.Truncated)
       Truncations.inc();
   }
+  if (UseCache)
+    Cache->insert(DependentStart, GovernorTargets, Limits, Result);
   return Result;
 }
 

@@ -19,6 +19,8 @@
 
 namespace dggt {
 
+class PathCache;
+
 /// Bounds for the all-path search; defaults match a medium-size domain.
 struct PathSearchLimits {
   /// Maximum number of nodes on a path (APIs + non-terminals +
@@ -46,10 +48,16 @@ struct PathSearchResult {
 /// (the paper's "follows the grammar graph backward until reaching" a
 /// governor candidate). \p GovernorTargets may contain API occurrence
 /// nodes or the start non-terminal node.
+///
+/// With a non-null \p Cache, the search is memoized: an exact-key hit
+/// returns the cached result (bit-identical to re-searching) and a miss
+/// populates the cache. The cache is bypassed entirely while any fault
+/// point is armed, so fault-injection tests exercise the real search.
 PathSearchResult findPathsBetween(const GrammarGraph &GG,
                                   GgNodeId DependentStart,
                                   const std::vector<GgNodeId> &GovernorTargets,
-                                  const PathSearchLimits &Limits = {});
+                                  const PathSearchLimits &Limits = {},
+                                  PathCache *Cache = nullptr);
 
 /// Finds all simple paths from the grammar start node down to
 /// \p DependentStart (used for the root pseudo-edge and for HISyn's

@@ -2,14 +2,123 @@
 
 #include "nlu/WordToApiMatcher.h"
 
+#include "obs/Metrics.h"
 #include "support/StringUtils.h"
 #include "text/PorterStemmer.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cctype>
+#include <type_traits>
 
 using namespace dggt;
+
+//===----------------------------------------------------------------------===//
+// ApiCandidateCache
+//===----------------------------------------------------------------------===//
+
+ApiCandidateCache::ApiCandidateCache(std::string CacheName,
+                                     uint64_t ByteBudget)
+    : Name(std::move(CacheName)), ByteBudget(std::max<uint64_t>(1, ByteBudget)) {}
+
+std::string ApiCandidateCache::keyFor(const DepNode &Node) {
+  // '\x1f' (ASCII unit separator) never appears in tokenized words, so
+  // the join is unambiguous. Presence markers keep empty-vs-absent
+  // optionals distinct.
+  std::string K;
+  K += static_cast<char>('0' + static_cast<int>(Node.Tag));
+  K += '\x1f';
+  K += Node.Word;
+  for (const std::string &W : Node.Phrase) {
+    K += '\x1f';
+    K += W;
+  }
+  K += '\x1e';
+  if (Node.Literal) {
+    K += 'L';
+    K += *Node.Literal;
+  }
+  K += '\x1e';
+  if (Node.CasePrep) {
+    K += 'C';
+    K += *Node.CasePrep;
+  }
+  return K;
+}
+
+std::optional<std::vector<ApiCandidate>>
+ApiCandidateCache::lookup(const std::string &Key) {
+  static_assert(std::is_trivially_copyable_v<ApiCandidate>);
+  std::optional<std::vector<ApiCandidate>> Out;
+  {
+    std::lock_guard<std::mutex> L(M);
+    auto It = Table.find(Key);
+    if (It != Table.end()) {
+      Lru.splice(Lru.begin(), Lru, It->second);
+      Out = It->second->Value;
+    }
+  }
+  if (obs::metricsEnabled()) {
+    obs::registry()
+        .counter(Out ? "dggt_wordcache_hits_total"
+                     : "dggt_wordcache_misses_total",
+                 {{"domain", Name}})
+        .inc();
+  }
+  (Out ? Hits : Misses).fetch_add(1, std::memory_order_relaxed);
+  return Out;
+}
+
+void ApiCandidateCache::insert(const std::string &Key,
+                               const std::vector<ApiCandidate> &V) {
+  uint64_t EntryBytes = sizeof(Entry) + Key.size() +
+                        V.size() * sizeof(ApiCandidate) + 64;
+  if (EntryBytes > ByteBudget)
+    return;
+  uint64_t Evicted = 0;
+  {
+    std::lock_guard<std::mutex> L(M);
+    if (Table.count(Key))
+      return; // Concurrent-compute race; values are identical.
+    while (Bytes + EntryBytes > ByteBudget && !Lru.empty()) {
+      Entry &Victim = Lru.back();
+      Bytes -= Victim.Bytes;
+      Table.erase(Victim.Key);
+      Lru.pop_back();
+      ++Evicted;
+    }
+    Lru.push_front(Entry{Key, V, EntryBytes});
+    Table.emplace(Key, Lru.begin());
+    Bytes += EntryBytes;
+  }
+  if (Evicted) {
+    Evictions.fetch_add(Evicted, std::memory_order_relaxed);
+    if (obs::metricsEnabled())
+      obs::registry()
+          .counter("dggt_wordcache_evictions_total", {{"domain", Name}})
+          .inc(Evicted);
+  }
+}
+
+void ApiCandidateCache::invalidateAll() {
+  std::lock_guard<std::mutex> L(M);
+  Table.clear();
+  Lru.clear();
+  Bytes = 0;
+}
+
+ApiCandidateCacheStats ApiCandidateCache::stats() const {
+  ApiCandidateCacheStats St;
+  St.Hits = Hits.load(std::memory_order_relaxed);
+  St.Misses = Misses.load(std::memory_order_relaxed);
+  St.Evictions = Evictions.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> L(M);
+    St.Bytes = Bytes;
+    St.Entries = Lru.size();
+  }
+  return St;
+}
 
 namespace {
 
@@ -196,10 +305,23 @@ WordToApiMatcher::candidatesForNode(const DepNode &Node) const {
   return Kept;
 }
 
-WordToApiMap WordToApiMatcher::mapGraph(const DependencyGraph &Graph) const {
+WordToApiMap WordToApiMatcher::mapGraph(const DependencyGraph &Graph,
+                                        ApiCandidateCache *Cache) const {
   WordToApiMap Map;
   Map.Candidates.reserve(Graph.size());
-  for (unsigned Id = 0; Id < Graph.size(); ++Id)
-    Map.Candidates.push_back(candidatesForNode(Graph.node(Id)));
+  for (unsigned Id = 0; Id < Graph.size(); ++Id) {
+    const DepNode &Node = Graph.node(Id);
+    if (Cache) {
+      std::string Key = ApiCandidateCache::keyFor(Node);
+      if (std::optional<std::vector<ApiCandidate>> Hit = Cache->lookup(Key)) {
+        Map.Candidates.push_back(std::move(*Hit));
+        continue;
+      }
+      Map.Candidates.push_back(candidatesForNode(Node));
+      Cache->insert(Key, Map.Candidates.back());
+      continue;
+    }
+    Map.Candidates.push_back(candidatesForNode(Node));
+  }
   return Map;
 }

@@ -17,6 +17,13 @@
 #include "nlu/ApiDocument.h"
 #include "text/Thesaurus.h"
 
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
 namespace dggt {
 
 /// One candidate API for a dependency node.
@@ -53,6 +60,67 @@ struct MatcherOptions {
   double LocativeBoost = 0.5;
 };
 
+/// Point-in-time counters of one ApiCandidateCache.
+struct ApiCandidateCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+  uint64_t Bytes = 0;
+  uint64_t Entries = 0;
+
+  double hitRate() const {
+    uint64_t Total = Hits + Misses;
+    return Total ? static_cast<double>(Hits) / static_cast<double>(Total)
+                 : 0.0;
+  }
+};
+
+/// Thread-safe LRU memo of candidatesForNode() results. The candidate
+/// list for a dependency node is a pure function of the node's matching
+/// inputs (word, phrase, POS tag, literal payload, case preposition)
+/// given a fixed matcher — and one domain's matcher *is* fixed (document,
+/// thesaurus and options are immutable after load) — so an exact-key hit
+/// is bit-identical to rescoring. Natural-language queries against a
+/// domain draw from a small vocabulary, which makes this the second-
+/// biggest cross-query win after the path cache (WordToAPI is ~40% of
+/// serial service time on the eval set).
+///
+/// One cache must only ever be used with one matcher; the service owns
+/// one per domain, alongside that domain's PathCache.
+class ApiCandidateCache {
+public:
+  /// \p Name labels the exported dggt_wordcache_* metrics (the owning
+  /// domain's name); \p ByteBudget bounds the resident payload estimate.
+  ApiCandidateCache(std::string Name, uint64_t ByteBudget);
+
+  ApiCandidateCache(const ApiCandidateCache &) = delete;
+  ApiCandidateCache &operator=(const ApiCandidateCache &) = delete;
+
+  /// The cache key of \p Node: every DepNode field candidatesForNode()
+  /// reads, separator-joined (field values never contain '\x1f').
+  static std::string keyFor(const DepNode &Node);
+
+  std::optional<std::vector<ApiCandidate>> lookup(const std::string &Key);
+  void insert(const std::string &Key, const std::vector<ApiCandidate> &V);
+  void invalidateAll();
+
+  ApiCandidateCacheStats stats() const;
+
+private:
+  std::string Name;
+  uint64_t ByteBudget;
+  struct Entry {
+    std::string Key;
+    std::vector<ApiCandidate> Value;
+    uint64_t Bytes = 0;
+  };
+  mutable std::mutex M;
+  std::list<Entry> Lru; ///< MRU front.
+  std::unordered_map<std::string, std::list<Entry>::iterator> Table;
+  uint64_t Bytes = 0;
+  std::atomic<uint64_t> Hits{0}, Misses{0}, Evictions{0};
+};
+
 /// NLU word/phrase -> API matcher.
 class WordToApiMatcher {
 public:
@@ -64,7 +132,11 @@ public:
   /// Literal nodes map to the document's literal-only pseudo-APIs of the
   /// matching kind; phrase nodes are scored against names (weight 2) and
   /// descriptions (weight 1) on Porter stems with thesaurus expansion.
-  WordToApiMap mapGraph(const DependencyGraph &Graph) const;
+  ///
+  /// With a non-null \p Cache (which must be dedicated to this matcher),
+  /// per-node candidate lists are memoized across queries.
+  WordToApiMap mapGraph(const DependencyGraph &Graph,
+                        ApiCandidateCache *Cache = nullptr) const;
 
   /// Scores a single phrase against a single API (exposed for tests and
   /// for the matcher ablation bench).

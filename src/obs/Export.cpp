@@ -308,6 +308,22 @@ std::vector<MetricSnapshot> obs::collectMetrics() {
     Snap.push_back(std::move(Hits));
     Snap.push_back(std::move(Fired));
   }
+  // Tracer-side loss accounting, pulled for the same layering reason:
+  // how many spans head sampling dropped, and how many the ring evicted.
+  {
+    MetricSnapshot Dropped;
+    Dropped.K = MetricSnapshot::Kind::Counter;
+    Dropped.Name = "dggt_trace_spans_dropped_total";
+    Dropped.CounterValue = Tracer::droppedSpans();
+    Snap.push_back(std::move(Dropped));
+  }
+  if (std::shared_ptr<SpanRingSink> Ring = spanRing()) {
+    MetricSnapshot Over;
+    Over.K = MetricSnapshot::Kind::Counter;
+    Over.Name = "dggt_trace_ring_overwritten_total";
+    Over.CounterValue = Ring->overwritten();
+    Snap.push_back(std::move(Over));
+  }
   return Snap;
 }
 
@@ -322,7 +338,8 @@ namespace {
 struct ConfiguredExporters {
   std::mutex M;
   std::vector<std::unique_ptr<MetricsSink>> Sinks;
-  std::shared_ptr<JsonLinesTraceSink> Trace;
+  std::shared_ptr<TraceSink> Trace;
+  std::shared_ptr<SpanRingSink> Ring;
   bool AtExitRegistered = false;
 };
 
@@ -335,10 +352,17 @@ ConfiguredExporters &exporters() {
 
 } // namespace
 
+std::shared_ptr<SpanRingSink> obs::spanRing() {
+  ConfiguredExporters &Ex = exporters();
+  std::lock_guard<std::mutex> L(Ex.M);
+  return Ex.Ring;
+}
+
 bool obs::configureFromSpec(std::string_view Spec, std::string &Error) {
   struct Entry {
-    enum class Kind { On, Prom, Jsonl, Trace } K;
+    enum class Kind { On, Prom, Jsonl, Trace, TraceRing, Sample } K;
     std::string Dest;
+    uint64_t N = 0; ///< Ring capacity / sampling divisor.
   };
   std::vector<Entry> Parsed;
 
@@ -347,7 +371,7 @@ bool obs::configureFromSpec(std::string_view Spec, std::string &Error) {
     if (E.empty())
       continue;
     if (E == "on") {
-      Parsed.push_back({Entry::Kind::On, ""});
+      Parsed.push_back({Entry::Kind::On, "", 0});
       continue;
     }
     size_t Colon = E.find(':');
@@ -368,11 +392,38 @@ bool obs::configureFromSpec(std::string_view Spec, std::string &Error) {
       Out.K = Entry::Kind::Prom;
     else if (Key == "jsonl")
       Out.K = Entry::Kind::Jsonl;
-    else if (Key == "trace")
-      Out.K = Entry::Kind::Trace;
-    else {
+    else if (Key == "sample") {
+      // Head sampling divisor: keep 1-in-N trace trees. Strict parse,
+      // like every other numeric knob; 0 is meaningless.
+      std::optional<uint64_t> N = parseUnsigned(Dest);
+      if (!N || *N == 0) {
+        Error = "sample divisor '" + std::string(Dest) +
+                "' is not a positive integer";
+        return false;
+      }
+      Out.K = Entry::Kind::Sample;
+      Out.N = *N;
+    } else if (Key == "trace") {
+      if (Dest == "ring" || Dest.rfind("ring:", 0) == 0) {
+        // In-memory ring, optional capacity: trace:ring or trace:ring:N.
+        Out.K = Entry::Kind::TraceRing;
+        Out.N = 4096;
+        if (Dest.size() > 5) {
+          std::optional<uint64_t> N = parseUnsigned(Dest.substr(5));
+          if (!N || *N == 0) {
+            Error = "ring capacity '" + std::string(Dest.substr(5)) +
+                    "' is not a positive integer";
+            return false;
+          }
+          Out.N = *N;
+        }
+      } else {
+        Out.K = Entry::Kind::Trace;
+      }
+    } else {
       Error = "unknown exporter '" + std::string(Key) + "' in '" +
-              std::string(E) + "' (want prom:, jsonl:, trace: or on)";
+              std::string(E) +
+              "' (want prom:, jsonl:, trace:, sample: or on)";
       return false;
     }
     Parsed.push_back(std::move(Out));
@@ -401,6 +452,14 @@ bool obs::configureFromSpec(std::string_view Spec, std::string &Error) {
     case Entry::Kind::Trace:
       Ex.Trace = std::make_shared<JsonLinesTraceSink>(std::move(E.Dest));
       Tracer::instance().setSink(Ex.Trace);
+      break;
+    case Entry::Kind::TraceRing:
+      Ex.Ring = std::make_shared<SpanRingSink>(static_cast<size_t>(E.N));
+      Ex.Trace = Ex.Ring;
+      Tracer::instance().setSink(Ex.Ring);
+      break;
+    case Entry::Kind::Sample:
+      Tracer::setSampleEvery(static_cast<unsigned>(E.N));
       break;
     }
   }
@@ -431,11 +490,20 @@ void obs::applyEnvSpec() {
 }
 
 void obs::flushMetrics() {
+  // Collect outside the exporters lock: collectMetrics() reads the
+  // configured span ring through spanRing(), which takes the same lock.
+  // Sink pointers stay valid unlocked — sinks are only ever appended,
+  // and the registry is leaked, for the process lifetime.
   ConfiguredExporters &Ex = exporters();
-  std::lock_guard<std::mutex> L(Ex.M);
-  if (Ex.Sinks.empty())
+  std::vector<MetricsSink *> Sinks;
+  {
+    std::lock_guard<std::mutex> L(Ex.M);
+    for (const std::unique_ptr<MetricsSink> &S : Ex.Sinks)
+      Sinks.push_back(S.get());
+  }
+  if (Sinks.empty())
     return;
   std::vector<MetricSnapshot> Snap = collectMetrics();
-  for (const std::unique_ptr<MetricsSink> &S : Ex.Sinks)
+  for (MetricsSink *S : Sinks)
     S->exportMetrics(Snap);
 }

@@ -12,9 +12,13 @@
 ///          | 'prom:'  dest         -- Prometheus text dump on flush/exit
 ///          | 'jsonl:' dest         -- JSON-lines metrics dump on flush/exit
 ///          | 'trace:' dest         -- JSON-lines spans, appended live
+///          | 'trace:ring' [':' N]  -- in-memory span ring of N spans
+///                                     (default 4096); see spanRing()
+///          | 'sample:' N           -- head sampling: keep 1-in-N trace
+///                                     trees (Tracer::setSampleEvery)
 ///   dest  := 'stderr' | 'stdout' | file path
 ///
-/// e.g. DGGT_METRICS="prom:/tmp/dggt.prom,trace:/tmp/dggt-trace.jsonl".
+/// e.g. DGGT_METRICS="prom:/tmp/dggt.prom,trace:ring:1024,sample:10".
 /// Malformed specs configure nothing and warn once to stderr, matching
 /// the hardened DGGT_TIMEOUT_MS / DGGT_FAULTS validation style.
 ///
@@ -84,8 +88,15 @@ private:
 };
 
 /// Registry snapshot plus pull-collected sources: fault-injection hit and
-/// fired counts surface as `dggt_fault_point_{hits,fired}_total{point=}`.
+/// fired counts surface as `dggt_fault_point_{hits,fired}_total{point=}`,
+/// spans dropped by head sampling as `dggt_trace_spans_dropped_total`,
+/// and ring evictions as `dggt_trace_ring_overwritten_total` (when a
+/// ring is configured).
 std::vector<MetricSnapshot> collectMetrics();
+
+/// The span ring installed by a 'trace:ring' spec entry, or null. Lets
+/// tooling (tests, a debug endpoint) drain the retained spans.
+std::shared_ptr<SpanRingSink> spanRing();
 
 /// Parses \p Spec (the DGGT_METRICS grammar above) and installs the
 /// requested exporters process-wide: enables metric collection, installs

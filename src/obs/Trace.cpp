@@ -11,6 +11,9 @@ using namespace dggt::obs;
 TraceSink::~TraceSink() = default;
 
 std::atomic<bool> Tracer::Enabled{false};
+std::atomic<unsigned> Tracer::SampleEvery{1};
+std::atomic<uint64_t> Tracer::RootCounter{0};
+std::atomic<uint64_t> Tracer::DroppedSpans{0};
 
 namespace {
 
@@ -19,6 +22,9 @@ namespace {
 struct ThreadSpanStack {
   uint64_t TraceId = 0;
   std::vector<uint64_t> Stack;
+  /// Open spans suppressed by head sampling on this thread. While > 0,
+  /// every new span is suppressed (a dropped root drops its whole tree).
+  unsigned SuppressedDepth = 0;
 };
 
 ThreadSpanStack &threadStack() {
@@ -60,11 +66,61 @@ std::shared_ptr<TraceSink> Tracer::sink() const {
   return Sink;
 }
 
+SpanRingSink::SpanRingSink(size_t Capacity)
+    : Cap(Capacity == 0 ? 1 : Capacity) {
+  Ring.reserve(Cap);
+}
+
+void SpanRingSink::onSpan(const SpanRecord &Span) {
+  std::lock_guard<std::mutex> L(M);
+  if (Ring.size() < Cap) {
+    Ring.push_back(Span);
+    Next = Ring.size() % Cap; // Lands on 0 exactly when the ring fills.
+    return;
+  }
+  Ring[Next] = Span;
+  Next = (Next + 1) % Cap;
+  Wrapped = true;
+  Overwritten.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> SpanRingSink::snapshot() const {
+  std::lock_guard<std::mutex> L(M);
+  std::vector<SpanRecord> Out;
+  Out.reserve(Ring.size());
+  if (!Wrapped) {
+    Out = Ring;
+    return Out;
+  }
+  for (size_t I = 0; I < Ring.size(); ++I)
+    Out.push_back(Ring[(Next + I) % Ring.size()]);
+  return Out;
+}
+
 ScopedSpan::ScopedSpan(std::string_view Name) {
   if (!Tracer::enabled())
     return;
-  Active = true;
   ThreadSpanStack &S = threadStack();
+  // Head sampling: inside a dropped tree, or a fresh root that loses the
+  // 1-in-N draw. Suppressed spans still track nesting depth so the tree
+  // boundary is known, but record nothing and never reach the sink.
+  if (S.SuppressedDepth > 0) {
+    ++S.SuppressedDepth;
+    Suppressed = true;
+    Tracer::DroppedSpans.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (S.Stack.empty()) {
+    unsigned N = Tracer::sampleEvery();
+    if (N > 1 &&
+        Tracer::RootCounter.fetch_add(1, std::memory_order_relaxed) % N != 0) {
+      S.SuppressedDepth = 1;
+      Suppressed = true;
+      Tracer::DroppedSpans.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  Active = true;
   if (S.Stack.empty())
     S.TraceId = nextId();
   Rec.TraceId = S.TraceId;
@@ -77,6 +133,12 @@ ScopedSpan::ScopedSpan(std::string_view Name) {
 }
 
 ScopedSpan::~ScopedSpan() {
+  if (Suppressed) {
+    ThreadSpanStack &S = threadStack();
+    if (S.SuppressedDepth > 0)
+      --S.SuppressedDepth;
+    return;
+  }
   if (!Active)
     return;
   Rec.DurationSeconds =

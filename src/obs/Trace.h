@@ -66,14 +66,66 @@ public:
   void setSink(std::shared_ptr<TraceSink> Sink);
   std::shared_ptr<TraceSink> sink() const;
 
+  /// Head sampling: keep 1 in \p N trace trees. The decision is made
+  /// once per *root* span (round-robin over a process-wide counter, so
+  /// exactly 1 of every N roots survives under any thread interleaving);
+  /// every descendant of a dropped root is dropped with it, keeping
+  /// surviving trees complete. N <= 1 keeps everything. Sampling lets
+  /// tracing stay on under production load at 1/N of the span cost.
+  static void setSampleEvery(unsigned N) {
+    SampleEvery.store(N == 0 ? 1 : N, std::memory_order_relaxed);
+  }
+  static unsigned sampleEvery() {
+    return SampleEvery.load(std::memory_order_relaxed);
+  }
+
+  /// Spans dropped by head sampling since process start (roots and their
+  /// descendants). Exported as dggt_trace_spans_dropped_total.
+  static uint64_t droppedSpans() {
+    return DroppedSpans.load(std::memory_order_relaxed);
+  }
+
 private:
   friend class ScopedSpan;
   Tracer() = default;
 
   static std::atomic<bool> Enabled;
+  static std::atomic<unsigned> SampleEvery;
+  static std::atomic<uint64_t> RootCounter;
+  static std::atomic<uint64_t> DroppedSpans;
 
   mutable std::mutex M;
   std::shared_ptr<TraceSink> Sink;
+};
+
+/// Fixed-capacity in-memory trace sink: keeps the last `capacity()`
+/// finished spans in a ring, overwriting the oldest under load, so
+/// tracing can stay enabled in production with bounded memory and no
+/// I/O on the query path. snapshot() hands back the retained spans
+/// (oldest first) for an exporter or a debugger to drain.
+class SpanRingSink : public TraceSink {
+public:
+  explicit SpanRingSink(size_t Capacity = 4096);
+
+  void onSpan(const SpanRecord &Span) override;
+
+  /// Retained spans, oldest first.
+  std::vector<SpanRecord> snapshot() const;
+
+  size_t capacity() const { return Cap; }
+  /// Spans evicted by wrap-around since construction. Exported as
+  /// dggt_trace_ring_overwritten_total.
+  uint64_t overwritten() const {
+    return Overwritten.load(std::memory_order_relaxed);
+  }
+
+private:
+  const size_t Cap;
+  mutable std::mutex M;
+  std::vector<SpanRecord> Ring; ///< Ring buffer; Next is the write slot.
+  size_t Next = 0;
+  bool Wrapped = false;
+  std::atomic<uint64_t> Overwritten{0};
 };
 
 /// RAII span guard: starts a span on construction (when tracing is
@@ -100,6 +152,9 @@ private:
   SpanRecord Rec;
   Budget::Clock::time_point Start;
   bool Active = false;
+  /// Dropped by head sampling: this span (or its root) lost the 1-in-N
+  /// draw. Tracked so descendants opened inside it are suppressed too.
+  bool Suppressed = false;
 };
 
 } // namespace dggt::obs

@@ -1,0 +1,140 @@
+//===- service/AsyncSynthesisService.cpp - Pooled query scheduler ---------===//
+
+#include "service/AsyncSynthesisService.h"
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <chrono>
+#include <utility>
+
+using namespace dggt;
+
+namespace {
+
+/// Async-layer instruments, resolved once (registry references are
+/// stable for the process lifetime).
+struct AsyncInstruments {
+  obs::Gauge &QueueDepth;
+  obs::Counter &Submitted, &Shed, &Cancelled;
+  obs::Histogram &QueueWaitMs;
+
+  static AsyncInstruments &get() {
+    static AsyncInstruments I{
+        obs::registry().gauge("dggt_async_queue_depth"),
+        obs::registry().counter("dggt_async_submitted_total"),
+        obs::registry().counter("dggt_async_shed_total"),
+        obs::registry().counter("dggt_async_cancelled_total"),
+        obs::registry().histogram("dggt_async_queue_wait_ms"),
+    };
+    return I;
+  }
+};
+
+ServiceReport immediateReport(ServiceStatus St) {
+  ServiceReport Rep;
+  Rep.St = St;
+  return Rep;
+}
+
+} // namespace
+
+AsyncSynthesisService::AsyncSynthesisService(AsyncOptions O)
+    : Opts(O), Svc(std::move(O.Service)),
+      Pool(ThreadPool::Options{Opts.Workers, Opts.QueueCap,
+                               Opts.CoalesceBatch}) {}
+
+AsyncSynthesisService::~AsyncSynthesisService() = default;
+
+void AsyncSynthesisService::addDomain(const Domain &D) { Svc.addDomain(D); }
+
+std::future<ServiceReport>
+AsyncSynthesisService::submit(std::string_view DomainName,
+                              std::string_view QueryText) {
+  AsyncInstruments &M = AsyncInstruments::get();
+
+  std::promise<ServiceReport> Immediate;
+
+  // Resolve the domain up front: an unknown name fails immediately (no
+  // queue slot burned), and a known one pins its deadline *now* so queue
+  // wait counts against the query's own budget.
+  if (!Svc.hasDomain(DomainName)) {
+    Immediate.set_value(immediateReport(ServiceStatus::UnknownDomain));
+    return Immediate.get_future();
+  }
+
+  auto Task = std::make_shared<std::packaged_task<ServiceReport()>>();
+
+  uint64_t BudgetMs = Svc.optionsFor(DomainName).TotalBudgetMs;
+  Budget::Clock::time_point Deadline =
+      Budget::Clock::now() + std::chrono::milliseconds(BudgetMs);
+  bool Limited = BudgetMs != 0;
+  Budget::Clock::time_point Enqueued = Budget::Clock::now();
+
+  std::string Domain(DomainName);
+  std::string Query(QueryText);
+  *Task = std::packaged_task<ServiceReport()>(
+      [this, Domain = std::move(Domain), Query = std::move(Query), Deadline,
+       Limited, Enqueued]() -> ServiceReport {
+        AsyncInstruments &M = AsyncInstruments::get();
+        double WaitMs = std::chrono::duration<double, std::milli>(
+                            Budget::Clock::now() - Enqueued)
+                            .count();
+        M.QueueDepth.set(static_cast<int64_t>(Pool.queueDepth()));
+        if (obs::metricsEnabled())
+          M.QueueWaitMs.observe(WaitMs);
+
+        // Cancellation of queued-past-deadline work: the budget the
+        // ladder would get is already spent, so report the miss without
+        // running anything. The empty attempt trail distinguishes a
+        // cancelled query from one that timed out mid-ladder.
+        if (Limited && Budget::Clock::now() >= Deadline) {
+          Cancelled.fetch_add(1, std::memory_order_relaxed);
+          M.Cancelled.inc();
+          ServiceReport Rep = immediateReport(ServiceStatus::DeadlineExceeded);
+          Rep.TotalSeconds = WaitMs / 1000.0;
+          return Rep;
+        }
+
+        obs::ScopedSpan Span("async.task");
+        if (Span.active()) {
+          Span.attr("domain", Domain);
+          Span.attr("queue_wait_ms", WaitMs);
+        }
+        Budget Total = Limited ? Budget::until(Deadline) : Budget();
+        ServiceReport Rep = Svc.query(Domain, Query, Total);
+        Completed.fetch_add(1, std::memory_order_relaxed);
+        return Rep;
+      });
+  std::future<ServiceReport> Fut = Task->get_future();
+
+  if (!Pool.trySubmit(DomainName, [Task] { (*Task)(); })) {
+    M.Shed.inc();
+    if (obs::metricsEnabled())
+      obs::registry()
+          .counter("dggt_service_queries_total",
+                   {{"domain", std::string(DomainName)},
+                    {"status",
+                     std::string(serviceStatusName(ServiceStatus::Overloaded))}})
+          .inc();
+    // The packaged task was never run; satisfy the caller through a
+    // fresh promise so the returned future is immediately ready.
+    Immediate.set_value(immediateReport(ServiceStatus::Overloaded));
+    return Immediate.get_future();
+  }
+
+  M.Submitted.inc();
+  M.QueueDepth.set(static_cast<int64_t>(Pool.queueDepth()));
+  return Fut;
+}
+
+AsyncStats AsyncSynthesisService::stats() const {
+  ThreadPool::Stats P = Pool.stats();
+  AsyncStats St;
+  St.Submitted = P.Submitted;
+  St.Shed = P.Rejected;
+  St.Cancelled = Cancelled.load(std::memory_order_relaxed);
+  St.Completed = Completed.load(std::memory_order_relaxed);
+  St.Coalesced = P.Coalesced;
+  return St;
+}

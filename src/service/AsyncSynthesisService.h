@@ -1,0 +1,110 @@
+//===- service/AsyncSynthesisService.h - Pooled query scheduler -*- C++ -*-===//
+///
+/// \file
+/// The concurrency layer over SynthesisService: submit() enqueues a
+/// query onto a bounded, per-domain-keyed worker pool and returns a
+/// std::future<ServiceReport> immediately. The layer adds exactly three
+/// behaviours on top of the serial service — everything else (ladder,
+/// breaker, budgets, caches) stays in SynthesisService, so an async
+/// result is bit-identical to the serial result of the same query:
+///
+///   1. *Backpressure.* The submission queue holds at most QueueCap
+///      tasks; submit() on a full queue sheds immediately with an
+///      Overloaded report (a ready future, never a blocked caller).
+///
+///   2. *Submission-time deadlines.* A query's TotalBudgetMs deadline is
+///      fixed when it is accepted, not when a worker picks it up, so
+///      queue wait burns the query's own budget. A worker that dequeues
+///      a task already past its deadline cancels it without running the
+///      ladder (DeadlineExceeded, empty attempt trail) — under overload
+///      the pool drains stale work at memcpy speed instead of running
+///      doomed queries.
+///
+///   3. *Domain coalescing.* Tasks are keyed by domain, and the pool
+///      prefers to keep a worker on one domain's queue (see ThreadPool),
+///      so consecutive queries share that domain's warm PathCache /
+///      ApiCandidateCache working set.
+///
+/// Destruction drains: every accepted future completes before the
+/// destructor returns. The wrapped SynthesisService is owned and can be
+/// inspected (service()) for breaker state and cache stats.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_SERVICE_ASYNCSYNTHESISSERVICE_H
+#define DGGT_SERVICE_ASYNCSYNTHESISSERVICE_H
+
+#include "service/SynthesisService.h"
+#include "support/ThreadPool.h"
+
+#include <future>
+
+namespace dggt {
+
+/// Tuning of the async layer. Service carries the wrapped service's own
+/// options (budgets, ladder, caches).
+struct AsyncOptions {
+  ServiceOptions Service;
+  /// Worker threads (0 = hardware concurrency).
+  unsigned Workers = 4;
+  /// Queued-but-not-started cap; a full queue sheds new submissions with
+  /// ServiceStatus::Overloaded. 0 means unbounded (no shedding).
+  size_t QueueCap = 256;
+  /// Consecutive same-domain tasks a worker runs before rotating.
+  unsigned CoalesceBatch = 8;
+};
+
+/// Monotonic counters of the async layer (relaxed snapshots).
+struct AsyncStats {
+  uint64_t Submitted = 0; ///< Accepted onto the queue.
+  uint64_t Shed = 0;      ///< Rejected at submit() by the queue cap.
+  uint64_t Cancelled = 0; ///< Dequeued already past deadline; not run.
+  uint64_t Completed = 0; ///< Futures fulfilled by a worker run.
+  uint64_t Coalesced = 0; ///< Tasks run by staying on the same domain.
+};
+
+/// Thread-safe asynchronous front door; see file comment.
+class AsyncSynthesisService {
+public:
+  explicit AsyncSynthesisService(AsyncOptions Opts = {});
+  /// Drains the queue (every accepted future completes), then joins.
+  ~AsyncSynthesisService();
+
+  AsyncSynthesisService(const AsyncSynthesisService &) = delete;
+  AsyncSynthesisService &operator=(const AsyncSynthesisService &) = delete;
+
+  /// Registers \p D on the wrapped service. Single-threaded setup only;
+  /// must happen before the first submit().
+  void addDomain(const Domain &D);
+
+  /// Enqueues the query and returns its future. Always returns a valid
+  /// future: on shed (queue full) or unknown domain it is already
+  /// satisfied with an Overloaded / UnknownDomain report.
+  std::future<ServiceReport> submit(std::string_view DomainName,
+                                    std::string_view QueryText);
+
+  /// The wrapped serial service (breaker state, cache stats, options).
+  SynthesisService &service() { return Svc; }
+  const SynthesisService &service() const { return Svc; }
+
+  /// Tasks accepted but not yet started.
+  size_t queueDepth() const { return Pool.queueDepth(); }
+  unsigned workers() const { return Pool.workers(); }
+
+  AsyncStats stats() const;
+
+  /// Blocks until every task accepted so far has finished (tests/bench).
+  void drain() { Pool.drain(); }
+
+private:
+  AsyncOptions Opts;
+  SynthesisService Svc;
+  ThreadPool Pool;
+
+  std::atomic<uint64_t> Cancelled{0};
+  std::atomic<uint64_t> Completed{0};
+};
+
+} // namespace dggt
+
+#endif // DGGT_SERVICE_ASYNCSYNTHESISSERVICE_H

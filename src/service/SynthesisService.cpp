@@ -2,10 +2,12 @@
 
 #include "service/SynthesisService.h"
 
+#include "grammar/PathCache.h"
 #include "obs/Export.h"
 #include "obs/Metrics.h"
 #include "support/FaultInjection.h"
 #include "synth/EdgeToPath.h"
+#include "text/Warmup.h"
 
 #include <algorithm>
 #include <chrono>
@@ -28,6 +30,8 @@ std::string_view dggt::serviceStatusName(ServiceStatus St) {
     return "circuit-open";
   case ServiceStatus::UnknownDomain:
     return "unknown-domain";
+  case ServiceStatus::Overloaded:
+    return "overloaded";
   }
   return "unknown";
 }
@@ -114,6 +118,10 @@ ServiceOptions ServiceOptions::resolvedFor(std::string_view DomainName) const {
     R.BreakerTripThreshold = *O.BreakerTripThreshold;
   if (O.BreakerCooldownMs)
     R.BreakerCooldownMs = *O.BreakerCooldownMs;
+  if (O.PathCacheBytes)
+    R.PathCacheBytes = *O.PathCacheBytes;
+  if (O.WordCacheBytes)
+    R.WordCacheBytes = *O.WordCacheBytes;
   return R;
 }
 
@@ -130,6 +138,12 @@ struct SynthesisService::DomainState {
   /// Per-domain query latency, created eagerly so the series exists in
   /// exports even before the first query.
   obs::Histogram *QueryLatencyMs = nullptr;
+
+  /// Cross-query memos shared by every query against this domain (null
+  /// when disabled by a zero byte budget). Both are thread-safe; worker
+  /// threads of the async layer hit them concurrently.
+  std::unique_ptr<PathCache> Paths;
+  std::unique_ptr<ApiCandidateCache> Words;
 
   mutable std::mutex M;
   unsigned ConsecutiveTimeouts = 0;
@@ -209,6 +223,9 @@ SynthesisService::SynthesisService(ServiceOptions Opts)
     obs::setMetricsEnabled(true);
   if (this->Opts.Trace)
     obs::Tracer::instance().setSink(this->Opts.Trace);
+  // Build the text layer's lazy lookup tables now, on this thread, so
+  // worker threads added by the async layer only ever read them.
+  warmupTextTables();
 }
 
 SynthesisService::~SynthesisService() = default;
@@ -220,6 +237,12 @@ void SynthesisService::addDomain(const Domain &D) {
   DS->Resolved = Opts.resolvedFor(DS->Name);
   DS->QueryLatencyMs = &obs::registry().histogram(
       "dggt_service_query_latency_ms", {{"domain", DS->Name}});
+  if (DS->Resolved.PathCacheBytes > 0)
+    DS->Paths =
+        std::make_unique<PathCache>(DS->Name, DS->Resolved.PathCacheBytes);
+  if (DS->Resolved.WordCacheBytes > 0)
+    DS->Words = std::make_unique<ApiCandidateCache>(
+        DS->Name, DS->Resolved.WordCacheBytes);
   Domains[D.name()] = std::move(DS);
 }
 
@@ -241,8 +264,25 @@ SynthesisService::optionsFor(std::string_view Name) const {
   return DS ? DS->Resolved : Opts;
 }
 
+PathCache *SynthesisService::pathCache(std::string_view Name) const {
+  DomainState *DS = findDomain(Name);
+  return DS ? DS->Paths.get() : nullptr;
+}
+
+ApiCandidateCache *SynthesisService::wordCache(std::string_view Name) const {
+  DomainState *DS = findDomain(Name);
+  return DS ? DS->Words.get() : nullptr;
+}
+
 ServiceReport SynthesisService::query(std::string_view DomainName,
                                       std::string_view QueryText) {
+  return query(DomainName, QueryText,
+               Budget(optionsFor(DomainName).TotalBudgetMs));
+}
+
+ServiceReport SynthesisService::query(std::string_view DomainName,
+                                      std::string_view QueryText,
+                                      Budget Total) {
   ServiceReport Rep;
   WallTimer Timer;
   obs::ScopedSpan QSpan("service.query");
@@ -279,8 +319,8 @@ ServiceReport SynthesisService::query(std::string_view DomainName,
     return Finish(ServiceStatus::CircuitOpen);
   bool Probe = A == DomainState::Admission::Probe;
 
-  Budget Total(DOpts.TotalBudgetMs);
-  PreparedQuery Full = DS->D->frontEnd().prepare(QueryText);
+  SharedQueryCaches Caches{DS->Paths.get(), DS->Words.get()};
+  PreparedQuery Full = DS->D->frontEnd().prepare(QueryText, Caches);
 
   if (!Full.allWordsMapped()) {
     // No rung changes the word-to-API mapping: fail fast, keep the whole
@@ -323,7 +363,8 @@ ServiceReport SynthesisService::query(std::string_view DomainName,
         TightQ = Full;
         TightQ->Limits = DOpts.TightLimits;
         TightQ->Edges = buildEdgeToPath(*Full.GG, *Full.Doc, Full.Pruned,
-                                        Full.Words, DOpts.TightLimits);
+                                        Full.Words, DOpts.TightLimits,
+                                        DS->Paths.get());
       }
       Q = &*TightQ;
     }

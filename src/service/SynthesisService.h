@@ -43,6 +43,9 @@
 
 namespace dggt {
 
+class ApiCandidateCache;
+class PathCache;
+
 /// Terminal status of one service query.
 enum class ServiceStatus {
   Ok,               ///< Some rung produced a codelet.
@@ -55,6 +58,8 @@ enum class ServiceStatus {
                     ///< itself timed out.
   CircuitOpen,      ///< Admission control rejected the query outright.
   UnknownDomain,    ///< No domain registered under that name.
+  Overloaded,       ///< Shed before running: the async layer's submission
+                    ///< queue was full (backpressure).
 };
 
 /// Short name of \p St ("ok", "deadline-exceeded", ...).
@@ -123,6 +128,8 @@ struct ServiceOptions {
     std::optional<bool> EnableHisynFallback;
     std::optional<unsigned> BreakerTripThreshold;
     std::optional<uint64_t> BreakerCooldownMs;
+    std::optional<uint64_t> PathCacheBytes;
+    std::optional<uint64_t> WordCacheBytes;
   };
 
   /// Total per-query deadline (the interactive budget).
@@ -144,6 +151,12 @@ struct ServiceOptions {
   unsigned BreakerTripThreshold = 3;
   /// How long the breaker stays open before admitting a half-open probe.
   uint64_t BreakerCooldownMs = 250;
+  /// Byte budget of the per-domain path-search memo (see PathCache);
+  /// 0 disables it. Hits are bit-identical to re-searching, so this is
+  /// purely a speed/memory trade.
+  uint64_t PathCacheBytes = 4ull << 20;
+  /// Byte budget of the per-domain WordToAPI candidate memo; 0 disables.
+  uint64_t WordCacheBytes = 1ull << 20;
 
   /// Per-domain overrides, keyed by domain name. A latency-tolerant batch
   /// domain can run with a bigger budget and no HISyn fallback while an
@@ -181,9 +194,28 @@ public:
   /// Registers \p D under D.name(). The domain must outlive the service.
   void addDomain(const Domain &D);
 
-  /// Runs \p QueryText through the ladder against domain \p DomainName.
+  /// True if a domain is registered under \p DomainName.
+  bool hasDomain(std::string_view DomainName) const {
+    return findDomain(DomainName) != nullptr;
+  }
+
+  /// Runs \p QueryText through the ladder against domain \p DomainName
+  /// under the domain's own TotalBudgetMs.
   ServiceReport query(std::string_view DomainName,
                       std::string_view QueryText);
+
+  /// Same, under a caller-supplied total budget. The async layer uses
+  /// this to fix a query's deadline at *submission* time
+  /// (Budget::until), so time spent queued counts against the budget.
+  ServiceReport query(std::string_view DomainName, std::string_view QueryText,
+                      Budget Total);
+
+  /// The per-domain caches (null for unknown domains or when disabled by
+  /// a zero byte budget). Exposed for hit-rate reporting (bench, tests)
+  /// and for explicit invalidation after a domain's grammar or document
+  /// changes.
+  PathCache *pathCache(std::string_view DomainName) const;
+  ApiCandidateCache *wordCache(std::string_view DomainName) const;
 
   /// Current breaker state of \p DomainName (Closed for unknown names).
   BreakerState breakerState(std::string_view DomainName) const;

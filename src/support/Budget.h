@@ -38,6 +38,21 @@ public:
     }
   }
 
+  /// Creates a budget expiring at the absolute instant \p At. Lets a
+  /// scheduler fix a query's deadline at *submission* time and hand the
+  /// same deadline to whichever worker eventually runs it: time spent
+  /// queued counts against the budget (the async service's cancellation
+  /// of queued-past-deadline work relies on this).
+  static Budget until(Clock::time_point At) {
+    Budget B;
+    B.Limited = true;
+    B.Deadline = At;
+    return B;
+  }
+
+  /// The deadline of a limited budget (meaningless when !isLimited()).
+  Clock::time_point deadline() const { return Deadline; }
+
   /// Returns true once the deadline has passed. Sticky: once expired,
   /// always expired.
   ///

@@ -24,7 +24,8 @@ EdgeToPathMap dggt::buildEdgeToPath(const GrammarGraph &GG,
                                     const ApiDocument &Doc,
                                     const DependencyGraph &Pruned,
                                     const WordToApiMap &Words,
-                                    const PathSearchLimits &Limits) {
+                                    const PathSearchLimits &Limits,
+                                    PathCache *Cache) {
   EdgeToPathMap Map;
   if (Pruned.size() == 0 || !Pruned.hasRoot())
     return Map;
@@ -48,7 +49,8 @@ EdgeToPathMap dggt::buildEdgeToPath(const GrammarGraph &GG,
       if (GovTargets.empty())
         break;
       for (GgNodeId Start : GG.apiOccurrences(Doc.api(C.ApiIndex).Name)) {
-        PathSearchResult R = findPathsBetween(GG, Start, GovTargets, Limits);
+        PathSearchResult R =
+            findPathsBetween(GG, Start, GovTargets, Limits, Cache);
         EP.Truncated |= R.Truncated;
         for (GrammarPath &P : R.Paths) {
           P.Id = NextPathId++;

@@ -75,10 +75,16 @@ struct EdgeToPathMap {
 /// occurrences of all of n1's candidate APIs and the dependent starts are
 /// all occurrences of n2's candidates. The root pseudo-edge searches from
 /// the grammar start node. Path ids are assigned globally, in order.
+///
+/// A non-null \p Cache memoizes the underlying all-path searches across
+/// queries (see findPathsBetween). Path ids and dependent scores are
+/// assigned here, *after* cache lookup, so cached raw results yield
+/// bit-identical maps.
 EdgeToPathMap buildEdgeToPath(const GrammarGraph &GG, const ApiDocument &Doc,
                               const DependencyGraph &Pruned,
                               const WordToApiMap &Words,
-                              const PathSearchLimits &Limits = {});
+                              const PathSearchLimits &Limits = {},
+                              PathCache *Cache = nullptr);
 
 /// Grammar occurrences of every candidate API of \p DepNode.
 std::vector<GgNodeId> candidateOccurrences(const GrammarGraph &GG,

@@ -53,7 +53,8 @@ SynthesisFrontEnd::SynthesisFrontEnd(const GrammarGraph &GG,
     : GG(GG), Doc(Doc), Matcher(Doc, Syn, MatchOpts), Limits(Limits),
       Prune(std::move(Prune)) {}
 
-PreparedQuery SynthesisFrontEnd::prepare(std::string_view Query) const {
+PreparedQuery SynthesisFrontEnd::prepare(std::string_view Query,
+                                         SharedQueryCaches Caches) const {
   obs::ScopedSpan Span("pipeline.prepare");
   DependencyGraph Raw;
   {
@@ -69,11 +70,12 @@ PreparedQuery SynthesisFrontEnd::prepare(std::string_view Query) const {
     obs::ScopedLatencyMs T(H);
     Pruned = pruneQueryGraph(Raw, Prune);
   }
-  return prepareFromGraph(Pruned);
+  return prepareFromGraph(Pruned, Caches);
 }
 
 PreparedQuery
-SynthesisFrontEnd::prepareFromGraph(const DependencyGraph &Pruned) const {
+SynthesisFrontEnd::prepareFromGraph(const DependencyGraph &Pruned,
+                                    SharedQueryCaches Caches) const {
   PreparedQuery Q;
   Q.GG = &GG;
   Q.Doc = &Doc;
@@ -83,13 +85,13 @@ SynthesisFrontEnd::prepareFromGraph(const DependencyGraph &Pruned) const {
     static obs::Histogram &H = stageHistogram("word-to-api");
     obs::ScopedSpan S("pipeline.word_to_api");
     obs::ScopedLatencyMs T(H);
-    Q.Words = Matcher.mapGraph(Q.Pruned);
+    Q.Words = Matcher.mapGraph(Q.Pruned, Caches.Words);
   }
   {
     static obs::Histogram &H = stageHistogram("edge-to-path");
     obs::ScopedSpan S("pipeline.edge_to_path");
     obs::ScopedLatencyMs T(H);
-    Q.Edges = buildEdgeToPath(GG, Doc, Q.Pruned, Q.Words, Limits);
+    Q.Edges = buildEdgeToPath(GG, Doc, Q.Pruned, Q.Words, Limits, Caches.Paths);
   }
   return Q;
 }

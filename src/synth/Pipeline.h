@@ -22,6 +22,18 @@
 
 namespace dggt {
 
+class PathCache;
+
+/// Optional cross-query memo handles threaded through query preparation.
+/// Both caches are per-domain, owned by the caller (the service layer),
+/// and shared by every query against that domain — including from
+/// concurrent worker threads (both are internally thread-safe). Null
+/// members simply disable that cache.
+struct SharedQueryCaches {
+  PathCache *Paths = nullptr;        ///< EdgeToPath all-path searches.
+  ApiCandidateCache *Words = nullptr; ///< WordToAPI candidate lists.
+};
+
 /// Everything steps 1-4 produce for one query.
 struct PreparedQuery {
   const GrammarGraph *GG = nullptr;
@@ -44,12 +56,16 @@ public:
                     const Thesaurus &Syn, MatcherOptions MatchOpts = {},
                     PathSearchLimits Limits = {}, PruneOptions Prune = {});
 
-  /// Steps 1-4 on a raw NL query.
-  PreparedQuery prepare(std::string_view Query) const;
+  /// Steps 1-4 on a raw NL query. \p Caches memoizes the WordToAPI and
+  /// EdgeToPath stages across queries (hits are bit-identical to
+  /// recomputation; see PathCache / ApiCandidateCache).
+  PreparedQuery prepare(std::string_view Query,
+                        SharedQueryCaches Caches = {}) const;
 
   /// Steps 3-4 on an externally supplied pruned dependency graph (used by
   /// tests and the property-based generators).
-  PreparedQuery prepareFromGraph(const DependencyGraph &Pruned) const;
+  PreparedQuery prepareFromGraph(const DependencyGraph &Pruned,
+                                 SharedQueryCaches Caches = {}) const;
 
   const GrammarGraph &grammarGraph() const { return GG; }
   const ApiDocument &document() const { return Doc; }

@@ -1,0 +1,26 @@
+//===- text/Warmup.cpp - Eager init of lazy text tables -------------------===//
+
+#include "text/Warmup.h"
+
+#include "text/PorterStemmer.h"
+#include "text/PosTagger.h"
+#include "text/Thesaurus.h"
+#include "text/Tokenizer.h"
+
+#include <mutex>
+
+using namespace dggt;
+
+void dggt::warmupTextTables() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    // Thesaurus: the built-in lexicon (covers both evaluation domains).
+    (void)Thesaurus::builtin();
+    // POS tagger: one tag call touches the lexicon map; the sentence
+    // exercises lexicon, suffix and context-repair passes.
+    (void)tagTokens(tokenize("replace every word in the line with 42"));
+    // Stemmer: suffix tables live in stem paths for -ed/-ing/-ational.
+    (void)porterStem("relational");
+    (void)porterStem("hopping");
+  });
+}

@@ -1,0 +1,27 @@
+//===- text/Warmup.h - Eager init of lazy text tables -----------*- C++ -*-===//
+///
+/// \file
+/// The text layer keeps its lookup tables in function-local statics (the
+/// built-in thesaurus, the POS lexicon, the stemmer suffix tables). Magic
+/// statics make their *initialization* thread-safe, but a pool of worker
+/// threads that all take their first query simultaneously would serialize
+/// on the init guards — and any future lazy table added without a guard
+/// would be a latent race. The service layer calls warmupTextTables()
+/// once, before spawning workers, so every table is built on the main
+/// thread and workers only ever read.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_TEXT_WARMUP_H
+#define DGGT_TEXT_WARMUP_H
+
+namespace dggt {
+
+/// Forces construction of every lazily-initialized table in the text
+/// layer (thesaurus, POS lexicon, stemmer tables). Idempotent and
+/// thread-safe; call before spawning worker threads.
+void warmupTextTables();
+
+} // namespace dggt
+
+#endif // DGGT_TEXT_WARMUP_H

@@ -65,12 +65,14 @@ protected:
   void SetUp() override {
     obs::setMetricsEnabled(false);
     obs::Tracer::instance().setSink(nullptr);
+    obs::Tracer::setSampleEvery(1);
     obs::registry().zeroAllForTest();
     FaultInjector::instance().reset();
   }
   void TearDown() override {
     obs::setMetricsEnabled(false);
     obs::Tracer::instance().setSink(nullptr);
+    obs::Tracer::setSampleEvery(1);
     obs::registry().zeroAllForTest();
     FaultInjector::instance().reset();
   }
@@ -403,6 +405,109 @@ TEST_F(ObsTest, FaultCountsAreCollected) {
 }
 
 //===----------------------------------------------------------------------===//
+// Head sampling and the span ring
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, HeadSamplingKeepsExactlyOneInNTrees) {
+  auto Sink = std::make_shared<RecordingSink>();
+  obs::Tracer::instance().setSink(Sink);
+  obs::Tracer::setSampleEvery(4);
+  uint64_t DroppedBefore = obs::Tracer::droppedSpans();
+
+  // 40 root spans, each with two children. The draw is round-robin on a
+  // process-wide counter, so any 40 consecutive roots keep exactly 10 —
+  // regardless of where the counter started.
+  for (int I = 0; I < 40; ++I) {
+    obs::ScopedSpan Root("sample.root");
+    obs::ScopedSpan ChildA("sample.child");
+    obs::ScopedSpan ChildB("sample.child");
+  }
+  obs::Tracer::instance().setSink(nullptr);
+
+  std::vector<obs::SpanRecord> Spans = Sink->spans();
+  size_t Roots = 0;
+  for (const obs::SpanRecord &S : Spans)
+    if (S.ParentId == 0)
+      ++Roots;
+  EXPECT_EQ(Roots, 10u);
+  // Surviving trees are complete: every kept root has both children.
+  EXPECT_EQ(Spans.size(), 30u);
+  // 30 dropped roots each drop their 2 children with them.
+  EXPECT_EQ(obs::Tracer::droppedSpans() - DroppedBefore, 90u);
+}
+
+TEST_F(ObsTest, DroppedRootSuppressesItsWholeTree) {
+  auto Sink = std::make_shared<RecordingSink>();
+  obs::Tracer::instance().setSink(Sink);
+  obs::Tracer::setSampleEvery(1000000); // Effectively drop all but 1-in-1M.
+  {
+    obs::ScopedSpan R1("a");
+    obs::ScopedSpan C("a.child");
+  }
+  {
+    obs::ScopedSpan R2("b");
+  }
+  obs::Tracer::instance().setSink(nullptr);
+  // At most one of the two trees (the counter's 1-in-N winner) was kept;
+  // no orphan children appear without their root.
+  for (const obs::SpanRecord &S : Sink->spans())
+    if (S.Name == "a.child") {
+      bool HaveRoot = false;
+      for (const obs::SpanRecord &R : Sink->spans())
+        HaveRoot |= R.SpanId == S.ParentId;
+      EXPECT_TRUE(HaveRoot);
+    }
+}
+
+TEST_F(ObsTest, SpanRingKeepsTheLastCapacitySpans) {
+  obs::SpanRingSink Ring(3);
+  obs::SpanRecord S;
+  for (uint64_t I = 1; I <= 5; ++I) {
+    S.SpanId = I;
+    Ring.onSpan(S);
+  }
+  std::vector<obs::SpanRecord> Snap = Ring.snapshot();
+  ASSERT_EQ(Snap.size(), 3u);
+  EXPECT_EQ(Snap[0].SpanId, 3u); // Oldest retained first.
+  EXPECT_EQ(Snap[1].SpanId, 4u);
+  EXPECT_EQ(Snap[2].SpanId, 5u);
+  EXPECT_EQ(Ring.overwritten(), 2u);
+  EXPECT_EQ(Ring.capacity(), 3u);
+}
+
+TEST_F(ObsTest, SpanRingBeforeWrapReturnsInsertionOrder) {
+  obs::SpanRingSink Ring(8);
+  obs::SpanRecord S;
+  for (uint64_t I = 1; I <= 3; ++I) {
+    S.SpanId = I;
+    Ring.onSpan(S);
+  }
+  std::vector<obs::SpanRecord> Snap = Ring.snapshot();
+  ASSERT_EQ(Snap.size(), 3u);
+  for (uint64_t I = 0; I < 3; ++I)
+    EXPECT_EQ(Snap[I].SpanId, I + 1);
+  EXPECT_EQ(Ring.overwritten(), 0u);
+}
+
+TEST_F(ObsTest, DroppedSpanCounterIsCollected) {
+  obs::Tracer::setSampleEvery(1000000);
+  auto Sink = std::make_shared<RecordingSink>();
+  obs::Tracer::instance().setSink(Sink);
+  for (int I = 0; I < 8; ++I)
+    obs::ScopedSpan Root("drop.me");
+  obs::Tracer::instance().setSink(nullptr);
+
+  std::vector<obs::MetricSnapshot> Snap = obs::collectMetrics();
+  bool Found = false;
+  for (const obs::MetricSnapshot &S : Snap)
+    if (S.Name == "dggt_trace_spans_dropped_total") {
+      Found = true;
+      EXPECT_GE(S.CounterValue, 7u); // At least 7 of the 8 roots dropped.
+    }
+  EXPECT_TRUE(Found);
+}
+
+//===----------------------------------------------------------------------===//
 // DGGT_METRICS spec validation
 //===----------------------------------------------------------------------===//
 
@@ -431,6 +536,63 @@ TEST_F(ObsTest, SpecOnEnablesCollection) {
   std::string Error;
   EXPECT_TRUE(obs::configureFromSpec("on", Error)) << Error;
   EXPECT_TRUE(obs::metricsEnabled());
+}
+
+TEST_F(ObsTest, SpecRejectsMalformedSamplingAndRingEntries) {
+  std::string Error;
+  EXPECT_FALSE(obs::configureFromSpec("sample:0", Error));
+  EXPECT_FALSE(Error.empty());
+
+  Error.clear();
+  EXPECT_FALSE(obs::configureFromSpec("sample:abc", Error));
+  EXPECT_FALSE(Error.empty());
+
+  Error.clear();
+  EXPECT_FALSE(obs::configureFromSpec("sample:-3", Error));
+  EXPECT_FALSE(Error.empty());
+
+  Error.clear();
+  EXPECT_FALSE(obs::configureFromSpec("trace:ring:0", Error));
+  EXPECT_FALSE(Error.empty());
+
+  Error.clear();
+  EXPECT_FALSE(obs::configureFromSpec("trace:ring:many", Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(obs::metricsEnabled());
+}
+
+TEST_F(ObsTest, SpecConfiguresSamplingDivisor) {
+  std::string Error;
+  EXPECT_TRUE(obs::configureFromSpec("sample:10", Error)) << Error;
+  EXPECT_EQ(obs::Tracer::sampleEvery(), 10u);
+  EXPECT_TRUE(obs::metricsEnabled());
+}
+
+TEST_F(ObsTest, SpecInstallsSpanRingWithCapacity) {
+  std::string Error;
+  EXPECT_TRUE(obs::configureFromSpec("trace:ring:8", Error)) << Error;
+  std::shared_ptr<obs::SpanRingSink> Ring = obs::spanRing();
+  ASSERT_NE(Ring, nullptr);
+  EXPECT_EQ(Ring->capacity(), 8u);
+  // The ring is the live trace sink: spans land in it.
+  {
+    obs::ScopedSpan Root("ring.root");
+  }
+  std::vector<obs::SpanRecord> Spans = Ring->snapshot();
+  ASSERT_FALSE(Spans.empty());
+  EXPECT_EQ(Spans.back().Name, "ring.root");
+
+  // Ring eviction surfaces through the pull-collected counter.
+  obs::SpanRecord S;
+  for (int I = 0; I < 12; ++I)
+    Ring->onSpan(S);
+  bool Found = false;
+  for (const obs::MetricSnapshot &M : obs::collectMetrics())
+    if (M.Name == "dggt_trace_ring_overwritten_total") {
+      Found = true;
+      EXPECT_GE(M.CounterValue, 1u);
+    }
+  EXPECT_TRUE(Found);
 }
 
 //===----------------------------------------------------------------------===//
