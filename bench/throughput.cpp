@@ -104,11 +104,13 @@ void runSerial(const bench::Domains &D, const std::vector<WorkItem> &Work,
 }
 
 void runAsync(const bench::Domains &D, const std::vector<WorkItem> &Work,
-              unsigned Workers, double *PathHitRate, double *WordHitRate,
-              ModeResult &R) {
+              unsigned Workers, long HttpPort, double *PathHitRate,
+              double *WordHitRate, ModeResult &R) {
   AsyncOptions Opts;
   Opts.Workers = Workers;
   Opts.QueueCap = 0; // The closed-loop window below bounds the queue.
+  if (HttpPort >= 0)
+    Opts.Service.HttpPort = static_cast<uint16_t>(HttpPort);
   AsyncSynthesisService S(Opts);
   S.addDomain(*D.TextEditing);
   S.addDomain(*D.AstMatcher);
@@ -200,6 +202,7 @@ int main(int argc, char **argv) {
   unsigned Workers = 4;
   int Rounds = 3;
   size_t Limit = static_cast<size_t>(-1);
+  long HttpPort = -1;
   for (int I = 1; I < argc; ++I) {
     std::string_view Arg = argv[I];
     if (Arg == "--json")
@@ -210,13 +213,21 @@ int main(int argc, char **argv) {
       Rounds = std::atoi(argv[++I]);
     else if (Arg == "--limit" && I + 1 < argc)
       Limit = static_cast<size_t>(std::atoll(argv[++I]));
+    else if (Arg == "--http-port" && I + 1 < argc)
+      // Live introspection of the async run: scrape /metrics or /statusz
+      // while the bench is hot (0 = ephemeral port, announced on stdout).
+      HttpPort = std::atol(argv[++I]);
     else {
       std::fprintf(stderr,
                    "usage: %s [--json] [--workers N] [--rounds N] "
-                   "[--limit QUERIES_PER_DOMAIN]\n",
+                   "[--limit QUERIES_PER_DOMAIN] [--http-port PORT]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (HttpPort > 65535) {
+    std::fprintf(stderr, "--http-port must be 0..65535\n");
+    return 2;
   }
 
   bench::Domains D;
@@ -230,7 +241,7 @@ int main(int argc, char **argv) {
   std::fprintf(stderr, "[bench] throughput: async, %u workers...\n", Workers);
   double PathHitRate = 0, WordHitRate = 0;
   ModeResult Async;
-  runAsync(D, Work, Workers, &PathHitRate, &WordHitRate, Async);
+  runAsync(D, Work, Workers, HttpPort, &PathHitRate, &WordHitRate, Async);
   size_t Mismatches = countMismatches(Serial, Async);
   double Speedup = Serial.qps() > 0 ? Async.qps() / Serial.qps() : 0.0;
 

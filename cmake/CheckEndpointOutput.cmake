@@ -1,0 +1,106 @@
+# Smoke-tests the live introspection endpoint end to end:
+#   -DEXAMPLE=<path>  the resilient_service binary
+#   -DWORKDIR=<dir>   scratch directory for logs and scrape output
+# Starts `EXAMPLE --serve` in the background with DGGT_METRICS=http:0
+# (ephemeral port, announced on stdout), waits for the announce line,
+# curls /metrics and /healthz mid-run, and validates that the scrape is
+# live Prometheus text — async queue-wait buckets and build info — not
+# an atexit dump. Used by the `check-endpoint` target; fails the build
+# on any missing or malformed content.
+
+foreach(var EXAMPLE WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "CheckEndpointOutput.cmake needs -D${var}=<value>")
+  endif()
+endforeach()
+
+find_program(CURL curl REQUIRED)
+find_program(SH sh REQUIRED)
+
+set(_log "${WORKDIR}/endpoint-check.log")
+set(_pidfile "${WORKDIR}/endpoint-check.pid")
+file(REMOVE "${_log}" "${_pidfile}")
+
+# Background-start through sh so the server outlives execute_process;
+# trace:ring is on too so /debug/traces would have content if curled.
+execute_process(
+  COMMAND ${SH} -c "DGGT_METRICS=http:0,trace:ring:256 '${EXAMPLE}' --serve 30 > '${_log}' 2>&1 & echo $! > '${_pidfile}'"
+  RESULT_VARIABLE _rc)
+if(NOT _rc EQUAL 0)
+  message(FATAL_ERROR "failed to start '${EXAMPLE} --serve' in the background")
+endif()
+file(READ "${_pidfile}" _pid)
+string(STRIP "${_pid}" _pid)
+
+# The server prints the exact announce line once the socket is bound;
+# poll for it (TSan builds start slowly).
+set(_port "")
+foreach(_try RANGE 100)
+  if(EXISTS "${_log}")
+    file(READ "${_log}" _out)
+    if(_out MATCHES "dggt-http-endpoint: listening on 127\\.0\\.0\\.1:([0-9]+)")
+      set(_port "${CMAKE_MATCH_1}")
+      break()
+    endif()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.2)
+endforeach()
+
+# Always kill the server on the way out, success or not.
+macro(_finish)
+  execute_process(COMMAND ${SH} -c "kill ${_pid} 2>/dev/null" ERROR_QUIET)
+endmacro()
+
+if(_port STREQUAL "")
+  _finish()
+  file(READ "${_log}" _out)
+  message(FATAL_ERROR "no endpoint announce line within 20 s; log:\n${_out}")
+endif()
+
+# Let the hammer put a few queries through before scraping, so the
+# async-layer instruments exist.
+execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 1)
+
+execute_process(
+  COMMAND ${CURL} -fsS -o "${WORKDIR}/endpoint-check-healthz.json"
+          "http://127.0.0.1:${_port}/healthz"
+  RESULT_VARIABLE _rc)
+if(NOT _rc EQUAL 0)
+  _finish()
+  message(FATAL_ERROR "curl /healthz on port ${_port} failed (rc ${_rc})")
+endif()
+
+execute_process(
+  COMMAND ${CURL} -fsS -o "${WORKDIR}/endpoint-check-metrics.prom"
+          "http://127.0.0.1:${_port}/metrics"
+  RESULT_VARIABLE _rc)
+_finish()
+if(NOT _rc EQUAL 0)
+  message(FATAL_ERROR "curl /metrics on port ${_port} failed (rc ${_rc})")
+endif()
+
+file(READ "${WORKDIR}/endpoint-check-healthz.json" _health)
+if(NOT _health MATCHES "\"status\":\"ok\"")
+  message(FATAL_ERROR "/healthz did not report ok: ${_health}")
+endif()
+
+file(READ "${WORKDIR}/endpoint-check-metrics.prom" _prom)
+foreach(needle
+    # Live async-layer state: only a mid-run scrape has these.
+    "# TYPE dggt_async_queue_wait_ms histogram"
+    "dggt_async_queue_wait_ms_bucket"
+    "dggt_async_submitted_total"
+    # The build-info idiom and the endpoint's own accounting (the
+    # /healthz scrape above is already counted by now).
+    "dggt_build_info{"
+    "dggt_uptime_seconds"
+    "dggt_http_requests_total{path=\"/healthz\",code=\"200\"}"
+    # Service-layer content proves the scrape is the shared registry.
+    "dggt_service_queries_total")
+  string(FIND "${_prom}" "${needle}" _pos)
+  if(_pos EQUAL -1)
+    message(FATAL_ERROR "live /metrics scrape is missing: ${needle}\n---\n${_prom}")
+  endif()
+endforeach()
+
+message(STATUS "endpoint output OK: live scrape on port ${_port} complete")

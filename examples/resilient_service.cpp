@@ -9,12 +9,28 @@
 // "prom:/tmp/metrics.prom,trace:/tmp/trace.jsonl") turns on the metrics
 // and tracing exporters — the Prometheus dump is written at exit.
 //
+// `--serve SECONDS [PORT]` instead runs an async query hammer for that
+// long so the live introspection endpoint has something to show:
+//
+//   DGGT_METRICS=http:0 ./resilient_service --serve 30
+//   curl localhost:<announced port>/metrics
+//
+// With PORT given, the service owns the endpoint on that port directly
+// (no environment needed). The `check-endpoint` build target drives
+// this mode.
+//
 //===----------------------------------------------------------------------===//
 
-#include "service/SynthesisService.h"
+#include "service/AsyncSynthesisService.h"
 #include "support/FaultInjection.h"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
 
 using namespace dggt;
 
@@ -50,9 +66,70 @@ const char *breakerName(SynthesisService::BreakerState St) {
   return "?";
 }
 
+/// The --serve mode: an AsyncSynthesisService under a steady submission
+/// load, so /metrics and /statusz scraped mid-run show live queue and
+/// latency state instead of an idle snapshot.
+int serveMode(int Seconds, long Port) {
+  std::unique_ptr<Domain> TextEditing = makeTextEditingDomain();
+
+  AsyncOptions Opts;
+  Opts.Workers = 2;
+  Opts.QueueCap = 64;
+  Opts.Service.TotalBudgetMs = 2000;
+  if (Port >= 0)
+    Opts.Service.HttpPort = static_cast<uint16_t>(Port);
+  AsyncSynthesisService Service(Opts);
+  Service.addDomain(*TextEditing);
+
+  if (!Service.service().endpoint()) {
+    std::fprintf(stderr,
+                 "--serve needs an endpoint: pass a PORT argument or set "
+                 "DGGT_METRICS=http:0\n");
+    return 1;
+  }
+
+  const std::vector<QueryCase> &Queries = TextEditing->queries();
+  std::printf("serving for %d s; try curl on the announced port\n", Seconds);
+  std::fflush(stdout);
+
+  auto Until = std::chrono::steady_clock::now() + std::chrono::seconds(Seconds);
+  size_t Next = 0;
+  uint64_t Done = 0;
+  while (std::chrono::steady_clock::now() < Until) {
+    // A small rolling window of in-flight queries: enough concurrency to
+    // keep the queue-wait histogram warm without pegging the machine.
+    std::vector<std::future<ServiceReport>> Window;
+    for (int I = 0; I < 4; ++I)
+      Window.push_back(
+          Service.submit("TextEditing", Queries[Next++ % Queries.size()].Query));
+    for (std::future<ServiceReport> &F : Window) {
+      F.get();
+      ++Done;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  Service.drain();
+  std::printf("served %llu queries\n", static_cast<unsigned long long>(Done));
+  return 0;
+}
+
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  if (Argc >= 3 && std::strcmp(Argv[1], "--serve") == 0) {
+    int Seconds = std::atoi(Argv[2]);
+    long Port = Argc >= 4 ? std::atol(Argv[3]) : -1;
+    if (Seconds <= 0 || Port > 65535) {
+      std::fprintf(stderr, "usage: %s --serve SECONDS [PORT]\n", Argv[0]);
+      return 2;
+    }
+    return serveMode(Seconds, Port);
+  }
+  if (Argc != 1) {
+    std::fprintf(stderr, "usage: %s [--serve SECONDS [PORT]]\n", Argv[0]);
+    return 2;
+  }
+
   std::unique_ptr<Domain> TextEditing = makeTextEditingDomain();
 
   ServiceOptions Opts;

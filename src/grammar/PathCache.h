@@ -98,6 +98,10 @@ public:
 
   PathCacheStats stats() const;
 
+  /// The configured byte budget (stats().Bytes / byteBudget() is the
+  /// fill ratio a status endpoint reports).
+  uint64_t byteBudget() const { return ShardBudget * NumShards; }
+
   const std::string &name() const { return Name; }
 
 private:

@@ -106,6 +106,9 @@ public:
 
   ApiCandidateCacheStats stats() const;
 
+  /// The configured byte budget (fill ratio = stats().Bytes / budget).
+  uint64_t byteBudget() const { return ByteBudget; }
+
 private:
   std::string Name;
   uint64_t ByteBudget;

@@ -1,0 +1,31 @@
+//===- obs/BuildInfo.cpp - Compile-time build identity --------------------===//
+
+#include "obs/BuildInfo.h"
+
+#include <chrono>
+
+#ifndef DGGT_VERSION
+#define DGGT_VERSION "unknown"
+#endif
+#ifndef DGGT_GIT_SHA
+#define DGGT_GIT_SHA "unknown"
+#endif
+#ifndef DGGT_SANITIZERS
+#define DGGT_SANITIZERS "none"
+#endif
+
+using namespace dggt;
+
+std::string_view obs::buildVersion() { return DGGT_VERSION; }
+
+std::string_view obs::buildGitSha() { return DGGT_GIT_SHA; }
+
+std::string_view obs::buildSanitizers() { return DGGT_SANITIZERS; }
+
+uint64_t obs::uptimeSeconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point Epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(Clock::now() - Epoch)
+          .count());
+}

@@ -1,0 +1,40 @@
+//===- obs/BuildInfo.h - Compile-time build identity ------------*- C++ -*-===//
+///
+/// \file
+/// The build identity baked into every binary at configure time: version,
+/// git revision and the sanitizer list of the build tree. Exported as the
+/// `dggt_build_info{version,git_sha,sanitizers} 1` gauge (the Prometheus
+/// "info metric" idiom) plus `dggt_uptime_seconds`, so a dashboard can
+/// tell which build and how fresh a process every scrape came from.
+///
+/// The values arrive as DGGT_VERSION / DGGT_GIT_SHA / DGGT_SANITIZERS
+/// compile definitions on the dggt_obs target (see src/CMakeLists.txt);
+/// a build outside CMake degrades to "unknown" rather than failing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_OBS_BUILDINFO_H
+#define DGGT_OBS_BUILDINFO_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace dggt::obs {
+
+/// Project version ("0.4.0") of this build.
+std::string_view buildVersion();
+
+/// Short git revision the build tree was configured from, or "unknown".
+std::string_view buildGitSha();
+
+/// The -fsanitize= list the tree was built with ("none" when clean).
+std::string_view buildSanitizers();
+
+/// Whole seconds since the process's observability layer first came up
+/// (anchored at the first call, which configureFromSpec() makes during
+/// startup; monotonic clock, so wall-clock steps cannot reverse it).
+uint64_t uptimeSeconds();
+
+} // namespace dggt::obs
+
+#endif // DGGT_OBS_BUILDINFO_H

@@ -2,13 +2,17 @@
 
 #include "obs/Export.h"
 
+#include "obs/BuildInfo.h"
+#include "obs/HttpEndpoint.h"
 #include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 
+#include <condition_variable>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 using namespace dggt;
 using namespace dggt::obs;
@@ -19,12 +23,7 @@ MetricsSink::~MetricsSink() = default;
 // Formatting
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-/// Escapes \p S for a JSON string or a Prometheus label value (the two
-/// formats share the \\ and \" escapes; control characters only occur in
-/// hostile metric names, which we escape as \uXXXX for JSON validity).
-std::string escapeString(std::string_view S) {
+std::string obs::escapeJson(std::string_view S) {
   std::string Out;
   Out.reserve(S.size());
   for (char C : S) {
@@ -57,6 +56,34 @@ std::string escapeString(std::string_view S) {
   return Out;
 }
 
+std::string obs::escapePromLabel(std::string_view S) {
+  // The exposition format defines exactly three label-value escapes:
+  // backslash, double-quote and line feed. Tab, carriage return and
+  // other control bytes pass through verbatim — escaping them (as the
+  // JSON escaper does) would hand the scraper a literal backslash
+  // sequence instead of the original value.
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+namespace {
+
 /// Prometheus label block: {k1="v1",k2="v2"} or "" when empty. \p Extra
 /// appends one more label (used for the histogram `le`).
 std::string promLabels(const LabelSet &Labels,
@@ -70,7 +97,7 @@ std::string promLabels(const LabelSet &Labels,
     if (!First)
       Out += ",";
     First = false;
-    Out += KV.first + "=\"" + escapeString(KV.second) + "\"";
+    Out += KV.first + "=\"" + escapePromLabel(KV.second) + "\"";
   };
   for (const auto &KV : Labels)
     Append(KV);
@@ -87,7 +114,7 @@ std::string jsonLabels(const LabelSet &Labels) {
     if (!First)
       Out += ",";
     First = false;
-    Out += "\"" + escapeString(K) + "\":\"" + escapeString(V) + "\"";
+    Out += "\"" + escapeJson(K) + "\":\"" + escapeJson(V) + "\"";
   }
   Out += "}";
   return Out;
@@ -170,10 +197,26 @@ void obs::writePrometheusText(const std::vector<MetricSnapshot> &Snap,
   }
 }
 
+void obs::writeSpanJson(const SpanRecord &Span, std::ostream &OS) {
+  OS << "{\"name\":\"" << escapeJson(Span.Name)
+     << "\",\"trace\":" << Span.TraceId << ",\"span\":" << Span.SpanId
+     << ",\"parent\":" << Span.ParentId
+     << ",\"start_s\":" << formatDouble(Span.StartSeconds)
+     << ",\"duration_ms\":" << formatDouble(Span.DurationSeconds * 1000.0);
+  if (!Span.Attrs.empty()) {
+    OS << ",\"attrs\":{";
+    for (size_t A = 0; A < Span.Attrs.size(); ++A)
+      OS << (A ? "," : "") << "\"" << escapeJson(Span.Attrs[A].first)
+         << "\":\"" << escapeJson(Span.Attrs[A].second) << "\"";
+    OS << "}";
+  }
+  OS << "}";
+}
+
 void obs::writeMetricsJsonLines(const std::vector<MetricSnapshot> &Snap,
                                 std::ostream &OS) {
   for (const MetricSnapshot &S : Snap) {
-    OS << "{\"name\":\"" << escapeString(S.Name)
+    OS << "{\"name\":\"" << escapeJson(S.Name)
        << "\",\"labels\":" << jsonLabels(S.Labels);
     switch (S.K) {
     case MetricSnapshot::Kind::Counter:
@@ -272,19 +315,8 @@ JsonLinesTraceSink::~JsonLinesTraceSink() = default;
 void JsonLinesTraceSink::onSpan(const SpanRecord &Span) {
   std::lock_guard<std::mutex> L(I->M);
   std::ostream &OS = *I->OS;
-  OS << "{\"name\":\"" << escapeString(Span.Name)
-     << "\",\"trace\":" << Span.TraceId << ",\"span\":" << Span.SpanId
-     << ",\"parent\":" << Span.ParentId
-     << ",\"start_s\":" << formatDouble(Span.StartSeconds)
-     << ",\"duration_ms\":" << formatDouble(Span.DurationSeconds * 1000.0);
-  if (!Span.Attrs.empty()) {
-    OS << ",\"attrs\":{";
-    for (size_t A = 0; A < Span.Attrs.size(); ++A)
-      OS << (A ? "," : "") << "\"" << escapeString(Span.Attrs[A].first)
-         << "\":\"" << escapeString(Span.Attrs[A].second) << "\"";
-    OS << "}";
-  }
-  OS << "}\n";
+  writeSpanJson(Span, OS);
+  OS << "\n";
   OS.flush();
 }
 
@@ -324,6 +356,24 @@ std::vector<MetricSnapshot> obs::collectMetrics() {
     Over.CounterValue = Ring->overwritten();
     Snap.push_back(std::move(Over));
   }
+  // Build identity and freshness, synthesized on every collection so a
+  // dashboard can tag any scrape (info-metric idiom: constant 1 gauge
+  // carrying the identity in its labels).
+  {
+    MetricSnapshot Build;
+    Build.K = MetricSnapshot::Kind::Gauge;
+    Build.Name = "dggt_build_info";
+    Build.Labels = {{"version", std::string(buildVersion())},
+                    {"git_sha", std::string(buildGitSha())},
+                    {"sanitizers", std::string(buildSanitizers())}};
+    Build.GaugeValue = 1;
+    Snap.push_back(std::move(Build));
+    MetricSnapshot Up;
+    Up.K = MetricSnapshot::Kind::Gauge;
+    Up.Name = "dggt_uptime_seconds";
+    Up.GaugeValue = static_cast<int64_t>(uptimeSeconds());
+    Snap.push_back(std::move(Up));
+  }
   return Snap;
 }
 
@@ -333,6 +383,56 @@ std::vector<MetricSnapshot> obs::collectMetrics() {
 
 namespace {
 
+/// Background thread flushing the configured file sinks every interval
+/// ('flush:SECONDS'), so long runs update their prom:/jsonl: outputs
+/// mid-flight instead of only at exit. Stopped (and joined) through an
+/// atexit hook so sanitized builds see no leaked running thread.
+class PeriodicFlusher {
+public:
+  explicit PeriodicFlusher(uint64_t Seconds) : IntervalMs(Seconds * 1000) {
+    T = std::thread([this] { run(); });
+  }
+
+  void setIntervalSeconds(uint64_t Seconds) {
+    {
+      std::lock_guard<std::mutex> L(M);
+      IntervalMs = Seconds * 1000;
+    }
+    CV.notify_all();
+  }
+
+  void stopAndJoin() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      if (Stop)
+        return;
+      Stop = true;
+    }
+    CV.notify_all();
+    if (T.joinable())
+      T.join();
+  }
+
+private:
+  void run() {
+    std::unique_lock<std::mutex> L(M);
+    while (!Stop) {
+      CV.wait_for(L, std::chrono::milliseconds(IntervalMs));
+      if (Stop)
+        break;
+      L.unlock();
+      obs::flushMetrics();
+      L.lock();
+    }
+  }
+
+  std::mutex M;
+  std::condition_variable CV;
+  uint64_t IntervalMs;
+  bool Stop = false;
+  std::thread T;
+};
+
 /// Exporters configured by configureFromSpec; flushed on demand and at
 /// process exit.
 struct ConfiguredExporters {
@@ -340,7 +440,10 @@ struct ConfiguredExporters {
   std::vector<std::unique_ptr<MetricsSink>> Sinks;
   std::shared_ptr<TraceSink> Trace;
   std::shared_ptr<SpanRingSink> Ring;
+  std::unique_ptr<PeriodicFlusher> Flusher;
+  std::shared_ptr<HttpEndpoint> Http;
   bool AtExitRegistered = false;
+  bool StopAtExitRegistered = false;
 };
 
 ConfiguredExporters &exporters() {
@@ -348,6 +451,27 @@ ConfiguredExporters &exporters() {
   // flush must find the sinks alive regardless of destruction order.
   static ConfiguredExporters *E = new ConfiguredExporters();
   return *E;
+}
+
+/// atexit hook stopping the background threads the spec started (the
+/// periodic flusher and the global HTTP endpoint) so no thread outlives
+/// main into static destruction and sanitizers see every thread joined.
+/// Everything these threads touch is intentionally leaked, so ordering
+/// against the final-flush hook does not matter; an extra flush between
+/// the two hooks is a harmless rewrite.
+void stopBackgroundWorkAtExit() {
+  ConfiguredExporters &Ex = exporters();
+  std::unique_ptr<PeriodicFlusher> Flusher;
+  std::shared_ptr<HttpEndpoint> Http;
+  {
+    std::lock_guard<std::mutex> L(Ex.M);
+    Flusher = std::move(Ex.Flusher);
+    Http = Ex.Http;
+  }
+  if (Flusher)
+    Flusher->stopAndJoin();
+  if (Http)
+    Http->stop();
 }
 
 } // namespace
@@ -360,9 +484,9 @@ std::shared_ptr<SpanRingSink> obs::spanRing() {
 
 bool obs::configureFromSpec(std::string_view Spec, std::string &Error) {
   struct Entry {
-    enum class Kind { On, Prom, Jsonl, Trace, TraceRing, Sample } K;
+    enum class Kind { On, Prom, Jsonl, Trace, TraceRing, Sample, Flush, Http } K;
     std::string Dest;
-    uint64_t N = 0; ///< Ring capacity / sampling divisor.
+    uint64_t N = 0; ///< Ring capacity / divisor / interval / port.
   };
   std::vector<Entry> Parsed;
 
@@ -403,6 +527,27 @@ bool obs::configureFromSpec(std::string_view Spec, std::string &Error) {
       }
       Out.K = Entry::Kind::Sample;
       Out.N = *N;
+    } else if (Key == "flush") {
+      // Background flush interval in whole seconds; 0 is meaningless.
+      std::optional<uint64_t> N = parseUnsigned(Dest);
+      if (!N || *N == 0) {
+        Error = "flush interval '" + std::string(Dest) +
+                "' is not a positive integer (seconds)";
+        return false;
+      }
+      Out.K = Entry::Kind::Flush;
+      Out.N = *N;
+    } else if (Key == "http") {
+      // Introspection endpoint port; 0 is valid (ephemeral, announced
+      // on stdout), anything above 65535 is not a TCP port.
+      std::optional<uint64_t> N = parseUnsigned(Dest);
+      if (!N || *N > 65535) {
+        Error = "http port '" + std::string(Dest) +
+                "' is not a TCP port (0-65535)";
+        return false;
+      }
+      Out.K = Entry::Kind::Http;
+      Out.N = *N;
     } else if (Key == "trace") {
       if (Dest == "ring" || Dest.rfind("ring:", 0) == 0) {
         // In-memory ring, optional capacity: trace:ring or trace:ring:N.
@@ -423,7 +568,7 @@ bool obs::configureFromSpec(std::string_view Spec, std::string &Error) {
     } else {
       Error = "unknown exporter '" + std::string(Key) + "' in '" +
               std::string(E) +
-              "' (want prom:, jsonl:, trace:, sample: or on)";
+              "' (want prom:, jsonl:, trace:, sample:, flush:, http: or on)";
       return false;
     }
     Parsed.push_back(std::move(Out));
@@ -437,6 +582,7 @@ bool obs::configureFromSpec(std::string_view Spec, std::string &Error) {
   // Validated: apply. Every spec form implies metric collection.
   ConfiguredExporters &Ex = exporters();
   std::lock_guard<std::mutex> L(Ex.M);
+  bool NeedsStopAtExit = false;
   for (Entry &E : Parsed) {
     switch (E.K) {
     case Entry::Kind::On:
@@ -461,9 +607,43 @@ bool obs::configureFromSpec(std::string_view Spec, std::string &Error) {
     case Entry::Kind::Sample:
       Tracer::setSampleEvery(static_cast<unsigned>(E.N));
       break;
+    case Entry::Kind::Flush:
+      if (Ex.Flusher)
+        Ex.Flusher->setIntervalSeconds(E.N);
+      else
+        Ex.Flusher = std::make_unique<PeriodicFlusher>(E.N);
+      NeedsStopAtExit = true;
+      break;
+    case Entry::Kind::Http: {
+      // Replace any earlier endpoint (re-configuration in tests); the
+      // old one stops serving before the new one binds, so a fixed port
+      // can be reused.
+      if (Ex.Http)
+        Ex.Http->stop();
+      HttpEndpoint::Options HO;
+      HO.Port = static_cast<uint16_t>(E.N);
+      HO.Announce = true;
+      auto Ep = std::make_shared<HttpEndpoint>(HO);
+      std::string HttpError;
+      if (!Ep->start(HttpError)) {
+        std::fprintf(stderr, "[obs] http endpoint on port %u failed: %s\n",
+                     static_cast<unsigned>(E.N), HttpError.c_str());
+        break;
+      }
+      Ex.Http = Ep;
+      setHttpEndpoint(std::move(Ep));
+      NeedsStopAtExit = true;
+      break;
+    }
     }
   }
   setMetricsEnabled(true);
+  // Anchor the uptime epoch at configuration time (first call wins).
+  uptimeSeconds();
+  if (NeedsStopAtExit && !Ex.StopAtExitRegistered) {
+    Ex.StopAtExitRegistered = true;
+    std::atexit([] { stopBackgroundWorkAtExit(); });
+  }
   if (!Ex.Sinks.empty() && !Ex.AtExitRegistered) {
     Ex.AtExitRegistered = true;
     std::atexit([] { flushMetrics(); });

@@ -16,9 +16,18 @@
 ///                                     (default 4096); see spanRing()
 ///          | 'sample:' N           -- head sampling: keep 1-in-N trace
 ///                                     trees (Tracer::setSampleEvery)
+///          | 'flush:' SECONDS      -- background flush of the file sinks
+///                                     every SECONDS s (long runs update
+///                                     mid-flight, not only at exit)
+///          | 'http:' PORT          -- live introspection endpoint on
+///                                     127.0.0.1:PORT (0 = ephemeral,
+///                                     printed to stdout); serves
+///                                     /metrics, /debug/traces, /healthz,
+///                                     /readyz, /statusz (HttpEndpoint.h)
 ///   dest  := 'stderr' | 'stdout' | file path
 ///
-/// e.g. DGGT_METRICS="prom:/tmp/dggt.prom,trace:ring:1024,sample:10".
+/// e.g. DGGT_METRICS="prom:/tmp/dggt.prom,trace:ring:1024,sample:10" or
+/// DGGT_METRICS="http:9464,trace:ring,flush:30".
 /// Malformed specs configure nothing and warn once to stderr, matching
 /// the hardened DGGT_TIMEOUT_MS / DGGT_FAULTS validation style.
 ///
@@ -42,10 +51,24 @@ public:
   virtual void exportMetrics(const std::vector<MetricSnapshot> &Snap) = 0;
 };
 
+/// Escapes \p S for a JSON string literal (backslash, quote, control
+/// characters as \uXXXX).
+std::string escapeJson(std::string_view S);
+
+/// Escapes \p S for a Prometheus label value. The exposition format
+/// defines exactly three escapes — backslash (\\), double-quote (\") and
+/// line feed (\n); every other byte, including tab and carriage return,
+/// passes through verbatim.
+std::string escapePromLabel(std::string_view S);
+
 /// Formats \p Snap in the Prometheus text exposition format (counters
 /// with `# TYPE`, histograms as `_bucket{le=...}` / `_sum` / `_count`).
 void writePrometheusText(const std::vector<MetricSnapshot> &Snap,
                          std::ostream &OS);
+
+/// Formats one finished span as a single-line JSON object (the shape the
+/// JsonLinesTraceSink emits and /debug/traces returns).
+void writeSpanJson(const SpanRecord &Span, std::ostream &OS);
 
 /// Formats \p Snap as one JSON object per line (a machine-readable
 /// mirror of the Prometheus dump, plus p50/p90/p99 for histograms).
@@ -90,8 +113,13 @@ private:
 /// Registry snapshot plus pull-collected sources: fault-injection hit and
 /// fired counts surface as `dggt_fault_point_{hits,fired}_total{point=}`,
 /// spans dropped by head sampling as `dggt_trace_spans_dropped_total`,
-/// and ring evictions as `dggt_trace_ring_overwritten_total` (when a
-/// ring is configured).
+/// ring evictions as `dggt_trace_ring_overwritten_total` (when a ring is
+/// configured), and the build identity as
+/// `dggt_build_info{version,git_sha,sanitizers} 1` plus
+/// `dggt_uptime_seconds` (see obs/BuildInfo.h). This is the one
+/// collection path: the file sinks, the periodic flusher and the HTTP
+/// endpoint's /metrics all scrape through it, so every export is a live
+/// point-in-time view.
 std::vector<MetricSnapshot> collectMetrics();
 
 /// The span ring installed by a 'trace:ring' spec entry, or null. Lets
@@ -100,10 +128,13 @@ std::shared_ptr<SpanRingSink> spanRing();
 
 /// Parses \p Spec (the DGGT_METRICS grammar above) and installs the
 /// requested exporters process-wide: enables metric collection, installs
-/// the trace sink on the global Tracer, and registers metric exporters
-/// flushed by flushMetrics() and at process exit. On a malformed spec
-/// nothing is configured, \p Error describes the problem, and false is
-/// returned.
+/// the trace sink on the global Tracer, registers metric exporters
+/// flushed by flushMetrics() / the periodic flusher / process exit, and
+/// starts the global HTTP endpoint for an `http:` entry (see
+/// httpEndpoint() in obs/HttpEndpoint.h). On a malformed spec nothing is
+/// configured, \p Error describes the problem, and false is returned. A
+/// bind failure of the HTTP endpoint is a runtime condition, not a spec
+/// error: it warns to stderr and the rest of the spec still applies.
 bool configureFromSpec(std::string_view Spec, std::string &Error);
 
 /// Reads DGGT_METRICS and applies it via configureFromSpec, once per

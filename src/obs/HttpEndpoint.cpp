@@ -1,0 +1,542 @@
+//===- obs/HttpEndpoint.cpp - Live introspection scrape server ------------===//
+
+#include "obs/HttpEndpoint.h"
+
+#include "obs/BuildInfo.h"
+#include "obs/Export.h"
+#include "obs/Metrics.h"
+#include "support/StringUtils.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sstream>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace dggt;
+using namespace dggt::obs;
+
+namespace {
+
+const char *statusText(int Code) {
+  switch (Code) {
+  case 200:
+    return "OK";
+  case 400:
+    return "Bad Request";
+  case 404:
+    return "Not Found";
+  case 405:
+    return "Method Not Allowed";
+  case 503:
+    return "Service Unavailable";
+  }
+  return "Internal Server Error";
+}
+
+bool setNonBlocking(int Fd) {
+  int Flags = fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+/// Decodes %XX and '+' in a query-string component; invalid escapes pass
+/// through verbatim (the filters they feed are substring matches, not
+/// security decisions).
+std::string urlDecode(std::string_view S) {
+  auto Hex = [](char C) -> int {
+    if (C >= '0' && C <= '9')
+      return C - '0';
+    if (C >= 'a' && C <= 'f')
+      return C - 'a' + 10;
+    if (C >= 'A' && C <= 'F')
+      return C - 'A' + 10;
+    return -1;
+  };
+  std::string Out;
+  Out.reserve(S.size());
+  for (size_t I = 0; I < S.size(); ++I) {
+    if (S[I] == '+') {
+      Out += ' ';
+    } else if (S[I] == '%' && I + 2 < S.size() && Hex(S[I + 1]) >= 0 &&
+               Hex(S[I + 2]) >= 0) {
+      Out += static_cast<char>(Hex(S[I + 1]) * 16 + Hex(S[I + 2]));
+      I += 2;
+    } else {
+      Out += S[I];
+    }
+  }
+  return Out;
+}
+
+/// Splits "k1=v1&k2=v2" into decoded pairs.
+std::vector<std::pair<std::string, std::string>>
+parseQuery(std::string_view Query) {
+  std::vector<std::pair<std::string, std::string>> Out;
+  for (const std::string &Item : split(Query, "&")) {
+    if (Item.empty())
+      continue;
+    size_t Eq = Item.find('=');
+    if (Eq == std::string::npos)
+      Out.emplace_back(urlDecode(Item), "");
+    else
+      Out.emplace_back(urlDecode(Item.substr(0, Eq)),
+                       urlDecode(Item.substr(Eq + 1)));
+  }
+  return Out;
+}
+
+/// The bounded label vocabulary of dggt_http_requests_total: known
+/// routes keep their path, everything else collapses to "other" so a
+/// URL-scanning client cannot mint unbounded label values.
+std::string_view routeLabel(std::string_view Path) {
+  if (Path == "/metrics" || Path == "/debug/traces" || Path == "/healthz" ||
+      Path == "/readyz" || Path == "/statusz")
+    return Path;
+  return "other";
+}
+
+void countRequest(std::string_view Path, int Code) {
+  if (!metricsEnabled())
+    return;
+  char CodeBuf[8];
+  std::snprintf(CodeBuf, sizeof(CodeBuf), "%d", Code);
+  registry()
+      .counter("dggt_http_requests_total", {{"path", std::string(routeLabel(Path))},
+                                            {"code", CodeBuf}})
+      .inc();
+}
+
+obs::Histogram &scrapeLatencyMs() {
+  static obs::Histogram &H =
+      registry().histogram("dggt_http_scrape_latency_ms");
+  return H;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+/// One in-flight connection of the poll loop.
+struct HttpEndpoint::Conn {
+  int Fd = -1;
+  std::string Buf; ///< Request bytes read so far.
+  std::chrono::steady_clock::time_point Deadline;
+};
+
+HttpEndpoint::HttpEndpoint() : HttpEndpoint(Options()) {}
+
+HttpEndpoint::HttpEndpoint(Options O) : Opts(std::move(O)) {}
+
+HttpEndpoint::~HttpEndpoint() { stop(); }
+
+bool HttpEndpoint::start(std::string &Error) {
+  if (Running.load(std::memory_order_acquire))
+    return true;
+
+  int Fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int One = 1;
+  setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Opts.Port);
+  if (inet_pton(AF_INET, Opts.BindAddress.c_str(), &Addr.sin_addr) != 1) {
+    Error = "bad bind address '" + Opts.BindAddress + "'";
+    close(Fd);
+    return false;
+  }
+  if (bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Error = "bind " + Opts.BindAddress + ":" + std::to_string(Opts.Port) +
+            ": " + std::strerror(errno);
+    close(Fd);
+    return false;
+  }
+  if (listen(Fd, 16) != 0) {
+    Error = std::string("listen: ") + std::strerror(errno);
+    close(Fd);
+    return false;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) != 0) {
+    Error = std::string("getsockname: ") + std::strerror(errno);
+    close(Fd);
+    return false;
+  }
+  if (!setNonBlocking(Fd)) {
+    Error = std::string("fcntl: ") + std::strerror(errno);
+    close(Fd);
+    return false;
+  }
+  if (pipe(WakeFds) != 0) {
+    Error = std::string("pipe: ") + std::strerror(errno);
+    close(Fd);
+    WakeFds[0] = WakeFds[1] = -1;
+    return false;
+  }
+  setNonBlocking(WakeFds[0]);
+
+  ListenFd = Fd;
+  BoundPort.store(ntohs(Addr.sin_port), std::memory_order_release);
+  StopFlag.store(false, std::memory_order_release);
+  Running.store(true, std::memory_order_release);
+  Server = std::thread([this] { serverLoop(); });
+
+  if (Opts.Announce) {
+    // Exact prefix parsed by cmake/CheckEndpointOutput.cmake; flushed so
+    // a supervisor reading a pipe sees the port before the first scrape.
+    std::printf("dggt-http-endpoint: listening on %s:%u\n",
+                Opts.BindAddress.c_str(), static_cast<unsigned>(port()));
+    std::fflush(stdout);
+  }
+  return true;
+}
+
+void HttpEndpoint::stop() {
+  if (!Running.exchange(false, std::memory_order_acq_rel))
+    return;
+  StopFlag.store(true, std::memory_order_release);
+  if (WakeFds[1] >= 0) {
+    char B = 'x';
+    [[maybe_unused]] ssize_t W = write(WakeFds[1], &B, 1);
+  }
+  if (Server.joinable())
+    Server.join();
+  if (ListenFd >= 0)
+    close(ListenFd);
+  for (int &Fd : WakeFds)
+    if (Fd >= 0)
+      close(Fd);
+  ListenFd = -1;
+  WakeFds[0] = WakeFds[1] = -1;
+  BoundPort.store(0, std::memory_order_release);
+}
+
+void HttpEndpoint::setHealthProvider(HealthProvider P) {
+  std::lock_guard<std::mutex> L(ProvidersM);
+  Health = std::move(P);
+}
+
+void HttpEndpoint::setStatusProvider(StatusProvider P) {
+  std::lock_guard<std::mutex> L(ProvidersM);
+  Status = std::move(P);
+}
+
+//===----------------------------------------------------------------------===//
+// Server loop
+//===----------------------------------------------------------------------===//
+
+void HttpEndpoint::serverLoop() {
+  std::vector<Conn> Conns;
+  std::vector<pollfd> Pfds;
+
+  auto CloseConn = [&](size_t I) {
+    close(Conns[I].Fd);
+    Conns.erase(Conns.begin() + static_cast<ptrdiff_t>(I));
+  };
+
+  /// Writes the whole response; the bodies are small and the peer is a
+  /// scraper on loopback, so a short blocking write loop is fine.
+  auto WriteAll = [&](int Fd, std::string_view Data) {
+    size_t Off = 0;
+    while (Off < Data.size()) {
+      ssize_t N = send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL);
+      if (N > 0) {
+        Off += static_cast<size_t>(N);
+        continue;
+      }
+      if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        pollfd P{Fd, POLLOUT, 0};
+        if (poll(&P, 1, static_cast<int>(Opts.RequestTimeoutMs)) <= 0)
+          return; // Peer stalled; drop the rest.
+        continue;
+      }
+      return; // Peer went away.
+    }
+  };
+
+  while (!StopFlag.load(std::memory_order_acquire)) {
+    Pfds.clear();
+    Pfds.push_back({ListenFd, POLLIN, 0});
+    Pfds.push_back({WakeFds[0], POLLIN, 0});
+    for (const Conn &C : Conns)
+      Pfds.push_back({C.Fd, POLLIN, 0});
+
+    // 250 ms cap so idle-connection sweeping and shutdown stay prompt
+    // even if the wake pipe write were ever lost.
+    int N = poll(Pfds.data(), Pfds.size(), 250);
+    if (StopFlag.load(std::memory_order_acquire))
+      break;
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+
+    // Accept new connections (bounded; beyond the cap: accept + close so
+    // the backlog cannot fill with sockets we will never read).
+    if (Pfds[0].revents & POLLIN) {
+      while (true) {
+        int Fd = accept(ListenFd, nullptr, nullptr);
+        if (Fd < 0)
+          break;
+        if (Conns.size() >= Opts.MaxConnections || !setNonBlocking(Fd)) {
+          close(Fd);
+          continue;
+        }
+        Conns.push_back({Fd, std::string(),
+                         std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(Opts.RequestTimeoutMs)});
+      }
+    }
+    if (Pfds[1].revents & POLLIN) {
+      char Buf[16];
+      while (read(WakeFds[0], Buf, sizeof(Buf)) > 0) {
+      }
+    }
+
+    // Service readable connections. Iterate backwards so CloseConn's
+    // erase cannot skip an entry; Pfds[I + 2] mirrors Conns[I].
+    for (size_t I = Conns.size(); I-- > 0;) {
+      short Re = Pfds[I + 2].revents;
+      Conn &C = Conns[I];
+      if (Re & (POLLERR | POLLHUP | POLLNVAL)) {
+        CloseConn(I);
+        continue;
+      }
+      if (!(Re & POLLIN)) {
+        if (std::chrono::steady_clock::now() >= C.Deadline)
+          CloseConn(I);
+        continue;
+      }
+      char Buf[4096];
+      ssize_t R = recv(C.Fd, Buf, sizeof(Buf), 0);
+      if (R == 0 || (R < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+        CloseConn(I);
+        continue;
+      }
+      if (R > 0)
+        C.Buf.append(Buf, static_cast<size_t>(R));
+
+      size_t HeadEnd = C.Buf.find("\r\n\r\n");
+      if (HeadEnd == std::string::npos) {
+        if (C.Buf.size() > Opts.MaxRequestBytes) {
+          // Oversized or never-terminating head: strict 400, close.
+          std::string Resp = handleRequest(std::string_view());
+          WriteAll(C.Fd, Resp);
+          CloseConn(I);
+        }
+        continue;
+      }
+      std::string Resp = handleRequest(
+          std::string_view(C.Buf.data(), HeadEnd));
+      WriteAll(C.Fd, Resp);
+      CloseConn(I);
+    }
+  }
+
+  for (const Conn &C : Conns)
+    close(C.Fd);
+}
+
+//===----------------------------------------------------------------------===//
+// Request handling
+//===----------------------------------------------------------------------===//
+
+std::string HttpEndpoint::handleRequest(std::string_view Head) {
+  ScopedLatencyMs Latency(scrapeLatencyMs());
+
+  // Strict request line: exactly "METHOD SP TARGET SP HTTP/1.x", single
+  // spaces, target starting with '/'. An empty Head is the oversized-
+  // request sentinel from the read loop.
+  std::string_view Line = Head.substr(0, Head.find("\r\n"));
+  int Code = 400;
+  std::string ContentType = "application/json";
+  std::string Body;
+  std::string_view Path = "";
+
+  size_t Sp1 = Line.find(' ');
+  size_t Sp2 = Sp1 == std::string_view::npos ? std::string_view::npos
+                                             : Line.find(' ', Sp1 + 1);
+  if (Sp1 != std::string_view::npos && Sp2 != std::string_view::npos &&
+      Line.find(' ', Sp2 + 1) == std::string_view::npos && Sp1 > 0 &&
+      Sp2 > Sp1 + 1 && Sp2 + 1 < Line.size()) {
+    std::string_view Method = Line.substr(0, Sp1);
+    std::string_view Target = Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+    std::string_view Version = Line.substr(Sp2 + 1);
+    if ((Version == "HTTP/1.1" || Version == "HTTP/1.0") &&
+        Target.front() == '/') {
+      Path = Target.substr(0, Target.find('?'));
+      if (Method != "GET") {
+        Code = 405;
+        Body = "{\"error\":\"method not allowed; this endpoint is GET-only\"}";
+      } else {
+        Body = dispatch(Target, Code, ContentType);
+      }
+    } else {
+      Body = "{\"error\":\"malformed request line\"}";
+    }
+  } else {
+    Body = "{\"error\":\"malformed request line\"}";
+  }
+
+  Served.fetch_add(1, std::memory_order_relaxed);
+  countRequest(Path, Code);
+
+  std::string Resp;
+  Resp.reserve(Body.size() + 160);
+  Resp += "HTTP/1.1 ";
+  Resp += std::to_string(Code);
+  Resp += " ";
+  Resp += statusText(Code);
+  Resp += "\r\nContent-Type: ";
+  Resp += ContentType;
+  if (Code == 405)
+    Resp += "\r\nAllow: GET";
+  Resp += "\r\nContent-Length: ";
+  Resp += std::to_string(Body.size());
+  Resp += "\r\nConnection: close\r\n\r\n";
+  Resp += Body;
+  return Resp;
+}
+
+std::string HttpEndpoint::dispatch(std::string_view Target, int &Code,
+                                   std::string &ContentType) {
+  std::string_view Path = Target.substr(0, Target.find('?'));
+  std::string_view Query = Target.size() > Path.size()
+                               ? Target.substr(Path.size() + 1)
+                               : std::string_view();
+  Code = 200;
+  ContentType = "application/json";
+
+  if (Path == "/metrics") {
+    ContentType = "text/plain; version=0.0.4; charset=utf-8";
+    std::ostringstream OS;
+    writePrometheusText(collectMetrics(), OS);
+    return OS.str();
+  }
+
+  if (Path == "/debug/traces") {
+    size_t Limit = SIZE_MAX;
+    std::string NameFilter;
+    for (const auto &[K, V] : parseQuery(Query)) {
+      if (K == "limit") {
+        if (std::optional<uint64_t> N = parseUnsigned(V))
+          Limit = static_cast<size_t>(*N);
+      } else if (K == "span") {
+        NameFilter = V;
+      }
+    }
+    std::ostringstream OS;
+    std::shared_ptr<SpanRingSink> Ring = spanRing();
+    OS << "{\"spans\":[";
+    size_t Count = 0;
+    if (Ring) {
+      std::vector<SpanRecord> Spans = Ring->snapshot();
+      if (!NameFilter.empty()) {
+        std::erase_if(Spans, [&](const SpanRecord &S) {
+          return S.Name.find(NameFilter) == std::string::npos;
+        });
+      }
+      // ?limit keeps the *newest* N (the snapshot is oldest-first).
+      size_t Begin = Spans.size() > Limit ? Spans.size() - Limit : 0;
+      for (size_t I = Begin; I < Spans.size(); ++I) {
+        if (Count++)
+          OS << ",";
+        writeSpanJson(Spans[I], OS);
+      }
+    }
+    OS << "],\"count\":" << Count
+       << ",\"ring_configured\":" << (Ring ? "true" : "false")
+       << ",\"ring_capacity\":" << (Ring ? Ring->capacity() : 0)
+       << ",\"overwritten\":" << (Ring ? Ring->overwritten() : 0)
+       << ",\"dropped_by_sampling\":" << Tracer::droppedSpans() << "}";
+    return OS.str();
+  }
+
+  if (Path == "/healthz" || Path == "/readyz") {
+    HealthStatus St;
+    std::string Detail = "no service registered";
+    {
+      std::lock_guard<std::mutex> L(ProvidersM);
+      if (Health) {
+        St = Health();
+        Detail = St.Detail;
+      }
+    }
+    bool Pass = Path == "/healthz" ? St.Healthy : St.Ready;
+    Code = Pass ? 200 : 503;
+    std::ostringstream OS;
+    OS << "{\"status\":\"" << (Pass ? "ok" : "unavailable")
+       << "\",\"ready\":" << (St.Ready ? "true" : "false")
+       << ",\"healthy\":" << (St.Healthy ? "true" : "false")
+       << ",\"detail\":\"" << escapeJson(Detail) << "\"}";
+    return OS.str();
+  }
+
+  if (Path == "/statusz") {
+    std::ostringstream OS;
+    OS << "{\"build\":{\"version\":\"" << escapeJson(buildVersion())
+       << "\",\"git_sha\":\"" << escapeJson(buildGitSha())
+       << "\",\"sanitizers\":\"" << escapeJson(buildSanitizers())
+       << "\"},\"uptime_seconds\":" << uptimeSeconds()
+       << ",\"endpoint\":{\"port\":" << port()
+       << ",\"requests_served\":" << requestsServed() << "}";
+    {
+      std::lock_guard<std::mutex> L(ProvidersM);
+      if (Status)
+        OS << ",\"service\":" << Status();
+      else
+        OS << ",\"service\":null";
+    }
+    OS << "}";
+    return OS.str();
+  }
+
+  Code = 404;
+  return "{\"error\":\"not found\",\"routes\":[\"/metrics\",\"/debug/traces\","
+         "\"/healthz\",\"/readyz\",\"/statusz\"]}";
+}
+
+//===----------------------------------------------------------------------===//
+// Global endpoint (http:PORT spec wiring)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct GlobalEndpoint {
+  std::mutex M;
+  std::shared_ptr<HttpEndpoint> Ep;
+};
+
+GlobalEndpoint &globalEndpoint() {
+  // Intentionally leaked, like the registry: service layers may look the
+  // endpoint up during static teardown of their owners.
+  static GlobalEndpoint *G = new GlobalEndpoint();
+  return *G;
+}
+
+} // namespace
+
+std::shared_ptr<HttpEndpoint> obs::httpEndpoint() {
+  GlobalEndpoint &G = globalEndpoint();
+  std::lock_guard<std::mutex> L(G.M);
+  return G.Ep;
+}
+
+void obs::setHttpEndpoint(std::shared_ptr<HttpEndpoint> Ep) {
+  GlobalEndpoint &G = globalEndpoint();
+  std::lock_guard<std::mutex> L(G.M);
+  G.Ep = std::move(Ep);
+}

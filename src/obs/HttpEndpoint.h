@@ -1,0 +1,163 @@
+//===- obs/HttpEndpoint.h - Live introspection scrape server ----*- C++ -*-===//
+///
+/// \file
+/// A small, dependency-free HTTP/1.1 server that turns the observability
+/// stack from a flight recorder into live instrumentation. One dedicated
+/// thread runs a blocking poll() loop over a loopback listener and a
+/// bounded set of connections, serving:
+///
+///   GET /metrics       Prometheus text of collectMetrics() — the same
+///                      pull-on-demand path the file exporters use, so a
+///                      scrape mid-run sees live counters, not the atexit
+///                      dump.
+///   GET /debug/traces  JSON snapshot of the span ring installed by a
+///                      'trace:ring' spec entry (?limit=N keeps the
+///                      newest N, ?span=SUBSTR filters by span name).
+///   GET /healthz       200 while the registered service is healthy,
+///                      503 while any domain circuit breaker is open.
+///   GET /readyz        200 once warmup completed and a domain is
+///                      registered; 503 before that.
+///   GET /statusz       One JSON snapshot: build info, uptime, endpoint
+///                      counters, and the registered service's status
+///                      (breaker rungs, queue depth, shed count, cache
+///                      hit rates and byte usage).
+///
+/// Anything else is 404, non-GET methods are 405, and a malformed
+/// request line is 400 — the parser is strict (single spaces, three
+/// tokens, HTTP/1.x) because this endpoint faces scrapers, not browsers.
+///
+/// Security posture: binds 127.0.0.1 by default, serves read-only
+/// snapshots, never echoes request content, caps header size and
+/// concurrent connections, and closes every connection after one
+/// response. Exposing it beyond loopback is an explicit operator
+/// decision (Options::BindAddress).
+///
+/// The endpoint reaches the service layer only through the two
+/// std::function providers below — obs sits *under* the service
+/// libraries, so SynthesisService/AsyncSynthesisService register
+/// themselves at construction instead of being linked in. It serves
+/// /metrics and /debug/traces with no providers at all.
+///
+/// Wired up either by the `http:PORT` DGGT_METRICS spec entry (global
+/// endpoint, see httpEndpoint()) or by ServiceOptions::HttpPort (owned
+/// by that service). Port 0 binds an ephemeral port; port() reports the
+/// actual one, and Options::Announce prints it to stdout for scripts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_OBS_HTTPENDPOINT_H
+#define DGGT_OBS_HTTPENDPOINT_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace dggt::obs {
+
+/// What a health provider reports; maps onto /healthz and /readyz.
+struct HealthStatus {
+  bool Ready = true;   ///< Warmed up and able to take traffic.
+  bool Healthy = true; ///< No domain circuit breaker is open.
+  std::string Detail;  ///< Short human-readable note for the body.
+};
+
+/// Live introspection server; see the file comment.
+class HttpEndpoint {
+public:
+  struct Options {
+    /// Loopback by default; binding wider is an explicit decision.
+    std::string BindAddress = "127.0.0.1";
+    /// TCP port; 0 asks the kernel for an ephemeral one (see port()).
+    uint16_t Port = 0;
+    /// Connections beyond this are accepted and immediately closed.
+    unsigned MaxConnections = 32;
+    /// Request head cap; a client exceeding it gets a 400 and a close.
+    size_t MaxRequestBytes = 8 * 1024;
+    /// A connection idle longer than this mid-request is dropped.
+    uint64_t RequestTimeoutMs = 5000;
+    /// Print "dggt-http-endpoint: listening on HOST:PORT" to stdout on
+    /// start (scripts curl the ephemeral port; see check-endpoint).
+    bool Announce = false;
+  };
+
+  /// /healthz + /readyz source. Invoked on the server thread.
+  using HealthProvider = std::function<HealthStatus()>;
+  /// /statusz source: returns one JSON object (already serialized).
+  using StatusProvider = std::function<std::string()>;
+
+  HttpEndpoint(); ///< Default options (loopback, ephemeral port).
+  explicit HttpEndpoint(Options O);
+  /// Graceful shutdown: stops accepting, wakes the poll loop, joins.
+  ~HttpEndpoint();
+
+  HttpEndpoint(const HttpEndpoint &) = delete;
+  HttpEndpoint &operator=(const HttpEndpoint &) = delete;
+
+  /// Binds, listens and spawns the server thread. On failure returns
+  /// false with \p Error set and leaves the endpoint stopped; start()
+  /// may be retried. Idempotent while running.
+  bool start(std::string &Error);
+
+  /// Stops the server thread and closes every socket. Idempotent;
+  /// called by the destructor.
+  void stop();
+
+  bool running() const { return Running.load(std::memory_order_acquire); }
+
+  /// The bound port (resolves an ephemeral request); 0 until started.
+  uint16_t port() const { return BoundPort.load(std::memory_order_acquire); }
+
+  const Options &options() const { return Opts; }
+
+  /// Installs (or, with nullptr, removes) the /healthz-/readyz and
+  /// /statusz sources. Providers are invoked under an internal mutex, so
+  /// after a set...Provider(nullptr) returns no further calls are in
+  /// flight — callers clear their provider before destruction.
+  void setHealthProvider(HealthProvider P);
+  void setStatusProvider(StatusProvider P);
+
+  /// Requests answered since start (any status code).
+  uint64_t requestsServed() const {
+    return Served.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct Conn;
+
+  void serverLoop();
+  /// Handles one complete request head; returns the full response bytes.
+  std::string handleRequest(std::string_view Head);
+  std::string dispatch(std::string_view Target, int &Code,
+                       std::string &ContentType);
+
+  Options Opts;
+  std::atomic<bool> Running{false};
+  std::atomic<bool> StopFlag{false};
+  std::atomic<uint16_t> BoundPort{0};
+  std::atomic<uint64_t> Served{0};
+  int ListenFd = -1;
+  int WakeFds[2] = {-1, -1}; ///< Self-pipe waking poll() for shutdown.
+  std::thread Server;
+
+  std::mutex ProvidersM;
+  HealthProvider Health;
+  StatusProvider Status;
+};
+
+/// The process-wide endpoint installed by an `http:PORT` DGGT_METRICS
+/// spec entry, or null. Service layers register their health/status
+/// providers on it at construction.
+std::shared_ptr<HttpEndpoint> httpEndpoint();
+
+/// Installs \p Ep as the global endpoint (spec wiring; replaces any
+/// previous one, which keeps serving until its owner drops it).
+void setHttpEndpoint(std::shared_ptr<HttpEndpoint> Ep);
+
+} // namespace dggt::obs
+
+#endif // DGGT_OBS_HTTPENDPOINT_H

@@ -2,10 +2,12 @@
 
 #include "service/AsyncSynthesisService.h"
 
+#include "obs/HttpEndpoint.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
 #include <chrono>
+#include <sstream>
 #include <utility>
 
 using namespace dggt;
@@ -42,9 +44,19 @@ ServiceReport immediateReport(ServiceStatus St) {
 AsyncSynthesisService::AsyncSynthesisService(AsyncOptions O)
     : Opts(O), Svc(std::move(O.Service)),
       Pool(ThreadPool::Options{Opts.Workers, Opts.QueueCap,
-                               Opts.CoalesceBatch}) {}
+                               Opts.CoalesceBatch}) {
+  // Upgrade the endpoint's /statusz to the async view (queue depth, shed
+  // counts); health stays the wrapped service's breaker-derived answer.
+  if (obs::HttpEndpoint *Ep = Svc.endpoint())
+    Ep->setStatusProvider([this] { return statusJson(); });
+}
 
-AsyncSynthesisService::~AsyncSynthesisService() = default;
+AsyncSynthesisService::~AsyncSynthesisService() {
+  // Drop our provider before the pool (and then Svc) shut down; the
+  // setter synchronizes with any in-flight /statusz render.
+  if (obs::HttpEndpoint *Ep = Svc.endpoint())
+    Ep->setStatusProvider(nullptr);
+}
 
 void AsyncSynthesisService::addDomain(const Domain &D) { Svc.addDomain(D); }
 
@@ -137,4 +149,19 @@ AsyncStats AsyncSynthesisService::stats() const {
   St.Completed = Completed.load(std::memory_order_relaxed);
   St.Coalesced = P.Coalesced;
   return St;
+}
+
+std::string AsyncSynthesisService::statusJson() const {
+  AsyncStats St = stats();
+  std::ostringstream OS;
+  OS << "{\"workers\":" << workers() << ",\"queue_depth\":" << queueDepth()
+     << ",\"queue_cap\":" << Opts.QueueCap
+     << ",\"running\":" << runningTasks()
+     << ",\"coalesce_batch\":" << Opts.CoalesceBatch
+     << ",\"submitted\":" << St.Submitted << ",\"shed\":" << St.Shed
+     << ",\"cancelled\":" << St.Cancelled
+     << ",\"completed\":" << St.Completed
+     << ",\"coalesced\":" << St.Coalesced
+     << ",\"serial\":" << Svc.statusJson() << "}";
+  return OS.str();
 }

@@ -89,9 +89,18 @@ public:
 
   /// Tasks accepted but not yet started.
   size_t queueDepth() const { return Pool.queueDepth(); }
+  /// Tasks currently executing on the pool.
+  size_t runningTasks() const { return Pool.running(); }
   unsigned workers() const { return Pool.workers(); }
 
   AsyncStats stats() const;
+
+  /// One JSON object for the introspection endpoint's /statusz: queue
+  /// depth/cap, worker and shed/cancel counters, wrapped around the
+  /// serial service's per-domain status. Registered automatically on
+  /// the service's endpoint at construction (replacing the plain
+  /// SynthesisService provider with this richer one).
+  std::string statusJson() const;
 
   /// Blocks until every task accepted so far has finished (tests/bench).
   void drain() { Pool.drain(); }

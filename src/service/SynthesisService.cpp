@@ -4,6 +4,7 @@
 
 #include "grammar/PathCache.h"
 #include "obs/Export.h"
+#include "obs/HttpEndpoint.h"
 #include "obs/Metrics.h"
 #include "support/FaultInjection.h"
 #include "synth/EdgeToPath.h"
@@ -12,6 +13,7 @@
 #include <algorithm>
 #include <chrono>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 using namespace dggt;
@@ -44,6 +46,18 @@ std::string_view dggt::rungName(ServiceRung R) {
     return "dggt-tight";
   case ServiceRung::Hisyn:
     return "hisyn";
+  }
+  return "unknown";
+}
+
+std::string_view dggt::breakerStateName(SynthesisService::BreakerState St) {
+  switch (St) {
+  case SynthesisService::BreakerState::Closed:
+    return "closed";
+  case SynthesisService::BreakerState::Open:
+    return "open";
+  case SynthesisService::BreakerState::HalfOpen:
+    return "half-open";
   }
   return "unknown";
 }
@@ -226,9 +240,43 @@ SynthesisService::SynthesisService(ServiceOptions Opts)
   // Build the text layer's lazy lookup tables now, on this thread, so
   // worker threads added by the async layer only ever read them.
   warmupTextTables();
+
+  // Live introspection: own an endpoint when asked for one, otherwise
+  // join the global spec-configured endpoint if there is one. Last
+  // registered service wins the providers (one service per process is
+  // the normal shape); the destructor deregisters.
+  if (this->Opts.HttpPort) {
+    obs::HttpEndpoint::Options HO;
+    HO.Port = *this->Opts.HttpPort;
+    HO.Announce = true;
+    auto Ep = std::make_shared<obs::HttpEndpoint>(HO);
+    std::string Error;
+    if (Ep->start(Error)) {
+      Endpoint = std::move(Ep);
+      // A service that asked for a metrics endpoint wants live metrics.
+      obs::setMetricsEnabled(true);
+    } else {
+      std::fprintf(stderr, "[service] http endpoint on port %u failed: %s\n",
+                   static_cast<unsigned>(*this->Opts.HttpPort),
+                   Error.c_str());
+    }
+  } else {
+    Endpoint = obs::httpEndpoint();
+  }
+  if (Endpoint) {
+    Endpoint->setHealthProvider([this] { return healthStatus(); });
+    Endpoint->setStatusProvider([this] { return statusJson(); });
+  }
 }
 
-SynthesisService::~SynthesisService() = default;
+SynthesisService::~SynthesisService() {
+  // Quiesce the provider callbacks before members go away: the setters
+  // synchronize with any in-flight invocation on the server thread.
+  if (Endpoint) {
+    Endpoint->setHealthProvider(nullptr);
+    Endpoint->setStatusProvider(nullptr);
+  }
+}
 
 void SynthesisService::addDomain(const Domain &D) {
   auto DS = std::make_unique<DomainState>();
@@ -243,13 +291,92 @@ void SynthesisService::addDomain(const Domain &D) {
   if (DS->Resolved.WordCacheBytes > 0)
     DS->Words = std::make_unique<ApiCandidateCache>(
         DS->Name, DS->Resolved.WordCacheBytes);
+  std::unique_lock<std::shared_mutex> L(DomainsM);
   Domains[D.name()] = std::move(DS);
 }
 
 SynthesisService::DomainState *
 SynthesisService::findDomain(std::string_view Name) const {
+  std::shared_lock<std::shared_mutex> L(DomainsM);
   auto It = Domains.find(Name);
   return It == Domains.end() ? nullptr : It->second.get();
+}
+
+std::vector<std::string> SynthesisService::domainNames() const {
+  std::shared_lock<std::shared_mutex> L(DomainsM);
+  std::vector<std::string> Names;
+  Names.reserve(Domains.size());
+  for (const auto &[Name, DS] : Domains)
+    Names.push_back(Name);
+  return Names;
+}
+
+obs::HealthStatus SynthesisService::healthStatus() const {
+  obs::HealthStatus St;
+  std::vector<std::string> OpenDomains;
+  size_t NumDomains = 0;
+  {
+    std::shared_lock<std::shared_mutex> L(DomainsM);
+    NumDomains = Domains.size();
+    for (const auto &[Name, DS] : Domains)
+      if (DS->state() == BreakerState::Open)
+        OpenDomains.push_back(Name);
+  }
+  St.Ready = warmupComplete() && NumDomains > 0;
+  St.Healthy = OpenDomains.empty();
+  std::ostringstream OS;
+  OS << NumDomains << " domain(s)";
+  if (!St.Ready)
+    OS << (NumDomains == 0 ? "; no domain registered" : "; warmup pending");
+  if (!St.Healthy) {
+    OS << "; breaker open:";
+    for (const std::string &Name : OpenDomains)
+      OS << " " << Name;
+  }
+  St.Detail = OS.str();
+  return St;
+}
+
+std::string SynthesisService::statusJson() const {
+  std::ostringstream OS;
+  OS << "{\"domains\":{";
+  bool First = true;
+  std::shared_lock<std::shared_mutex> L(DomainsM);
+  for (const auto &[Name, DS] : Domains) {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "\"" << obs::escapeJson(Name) << "\":{\"breaker\":\""
+       << breakerStateName(DS->state()) << "\",\"budget_ms\":"
+       << DS->Resolved.TotalBudgetMs;
+    auto WriteCache = [&OS](const char *Key, uint64_t Hits, uint64_t Misses,
+                            uint64_t Evictions, uint64_t Bytes,
+                            uint64_t Budget, uint64_t Entries,
+                            double HitRate) {
+      OS << ",\"" << Key << "\":{\"hits\":" << Hits
+         << ",\"misses\":" << Misses << ",\"evictions\":" << Evictions
+         << ",\"hit_rate\":" << HitRate << ",\"bytes\":" << Bytes
+         << ",\"budget_bytes\":" << Budget << ",\"entries\":" << Entries
+         << "}";
+    };
+    if (DS->Paths) {
+      PathCacheStats PS = DS->Paths->stats();
+      WriteCache("path_cache", PS.Hits, PS.Misses, PS.Evictions, PS.Bytes,
+                 DS->Paths->byteBudget(), PS.Entries, PS.hitRate());
+    } else {
+      OS << ",\"path_cache\":null";
+    }
+    if (DS->Words) {
+      ApiCandidateCacheStats WS = DS->Words->stats();
+      WriteCache("word_cache", WS.Hits, WS.Misses, WS.Evictions, WS.Bytes,
+                 DS->Words->byteBudget(), WS.Entries, WS.hitRate());
+    } else {
+      OS << ",\"word_cache\":null";
+    }
+    OS << "}";
+  }
+  OS << "}}";
+  return OS.str();
 }
 
 SynthesisService::BreakerState

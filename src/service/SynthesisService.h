@@ -37,6 +37,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -45,6 +46,11 @@ namespace dggt {
 
 class ApiCandidateCache;
 class PathCache;
+
+namespace obs {
+class HttpEndpoint;
+struct HealthStatus;
+} // namespace obs
 
 /// Terminal status of one service query.
 enum class ServiceStatus {
@@ -170,6 +176,13 @@ struct ServiceOptions {
   /// Trace sink installed at service construction (e.g. an
   /// obs::JsonLinesTraceSink). Installing a sink enables tracing.
   std::shared_ptr<obs::TraceSink> Trace;
+  /// When set, the service owns a live introspection endpoint on
+  /// 127.0.0.1:<HttpPort> (0 = ephemeral; see obs/HttpEndpoint.h) and
+  /// registers its health/status providers on it. Implies metrics
+  /// collection, so /metrics has content. The `http:PORT` DGGT_METRICS
+  /// entry is the no-rebuild equivalent (a process-global endpoint the
+  /// service also registers on).
+  std::optional<uint16_t> HttpPort;
 
   /// Returns a copy with the overrides for \p DomainName applied (base
   /// values where no override is set).
@@ -220,6 +233,25 @@ public:
   /// Current breaker state of \p DomainName (Closed for unknown names).
   BreakerState breakerState(std::string_view DomainName) const;
 
+  /// Registered domain names, sorted (the map order).
+  std::vector<std::string> domainNames() const;
+
+  /// One JSON object describing live service state: per-domain breaker
+  /// rung and cache hit rates / byte usage. The introspection endpoint's
+  /// /statusz is built from this (AsyncSynthesisService::statusJson()
+  /// wraps it with queue and shed state).
+  std::string statusJson() const;
+
+  /// Liveness/readiness as /healthz//readyz report it: Ready once text
+  /// warmup completed and a domain is registered, Healthy while no
+  /// domain breaker is open.
+  obs::HealthStatus healthStatus() const;
+
+  /// The introspection endpoint this service registered its providers
+  /// on: the owned one (ServiceOptions::HttpPort), else the global
+  /// spec-configured one, else null.
+  obs::HttpEndpoint *endpoint() const { return Endpoint.get(); }
+
   const ServiceOptions &options() const { return Opts; }
 
   /// Effective options for \p DomainName: the base options with the
@@ -235,8 +267,18 @@ private:
   ServiceOptions Opts;
   DggtSynthesizer Dggt;
   HisynSynthesizer Hisyn;
+  /// Guards the map itself (addDomain writes; queries and the endpoint
+  /// thread read). DomainState objects are stable once inserted — the
+  /// shared lock is only held for the lookup, never across a query.
+  mutable std::shared_mutex DomainsM;
   std::map<std::string, std::unique_ptr<DomainState>, std::less<>> Domains;
+  /// Endpoint the providers were registered on (kept alive; cleared in
+  /// the destructor so the server thread never calls a dead service).
+  std::shared_ptr<obs::HttpEndpoint> Endpoint;
 };
+
+/// Short name of \p St ("closed", "open", "half-open").
+std::string_view breakerStateName(SynthesisService::BreakerState St);
 
 } // namespace dggt
 

@@ -47,6 +47,11 @@ size_t ThreadPool::queueDepth() const {
   return Size;
 }
 
+size_t ThreadPool::running() const {
+  std::lock_guard<std::mutex> L(M);
+  return Running;
+}
+
 ThreadPool::Stats ThreadPool::stats() const {
   std::lock_guard<std::mutex> L(M);
   return Counts;

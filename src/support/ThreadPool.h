@@ -76,6 +76,10 @@ public:
   /// Tasks accepted but not yet started.
   size_t queueDepth() const;
 
+  /// Tasks currently executing (0..workers()). With queueDepth() this is
+  /// the live load picture a status endpoint wants.
+  size_t running() const;
+
   unsigned workers() const { return static_cast<unsigned>(Threads.size()); }
 
   Stats stats() const;

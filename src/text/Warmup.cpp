@@ -7,9 +7,14 @@
 #include "text/Thesaurus.h"
 #include "text/Tokenizer.h"
 
+#include <atomic>
 #include <mutex>
 
 using namespace dggt;
+
+namespace {
+std::atomic<bool> WarmupDone{false};
+} // namespace
 
 void dggt::warmupTextTables() {
   static std::once_flag Once;
@@ -22,5 +27,10 @@ void dggt::warmupTextTables() {
     // Stemmer: suffix tables live in stem paths for -ed/-ing/-ational.
     (void)porterStem("relational");
     (void)porterStem("hopping");
+    WarmupDone.store(true, std::memory_order_release);
   });
+}
+
+bool dggt::warmupComplete() {
+  return WarmupDone.load(std::memory_order_acquire);
 }

@@ -22,6 +22,12 @@ namespace dggt {
 /// thread-safe; call before spawning worker threads.
 void warmupTextTables();
 
+/// True once warmupTextTables() has completed at least once. The
+/// introspection endpoint's /readyz derives readiness from this: a
+/// process that has not warmed up would serialize its first queries on
+/// the table init guards.
+bool warmupComplete();
+
 } // namespace dggt
 
 #endif // DGGT_TEXT_WARMUP_H

@@ -1,0 +1,433 @@
+//===- tests/http_endpoint_test.cpp - Live introspection endpoint ---------===//
+//
+// The embedded HTTP scrape server: loopback smoke over every route
+// (200/404/405/400), strict request-line parsing, live mid-run /metrics
+// content, /debug/traces ring snapshots with limit/filter queries,
+// health flipping to 503 while a domain breaker is open, the /statusz
+// JSON shape from a real async service, and concurrent scrapes racing a
+// submission hammer (the TSan target).
+//
+// The client is a raw blocking socket on purpose: the server's parser
+// is strict, and a real HTTP library would quietly normalize exactly
+// the malformed inputs these tests need to send.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Export.h"
+#include "obs/HttpEndpoint.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "service/AsyncSynthesisService.h"
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace dggt;
+
+namespace {
+
+/// One parsed HTTP response (enough structure for assertions).
+struct Response {
+  int Code = 0;        ///< 0 when the connection itself failed.
+  std::string Head;    ///< Status line + headers.
+  std::string Body;
+};
+
+/// Sends \p Bytes verbatim to 127.0.0.1:\p Port and reads to EOF (the
+/// server closes after one response).
+std::string rawExchange(uint16_t Port, const std::string &Bytes) {
+  int Fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return "";
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+  if (connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    close(Fd);
+    return "";
+  }
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N = send(Fd, Bytes.data() + Off, Bytes.size() - Off, 0);
+    if (N <= 0)
+      break;
+    Off += static_cast<size_t>(N);
+  }
+  std::string Out;
+  char Buf[4096];
+  ssize_t R;
+  while ((R = read(Fd, Buf, sizeof(Buf))) > 0)
+    Out.append(Buf, static_cast<size_t>(R));
+  close(Fd);
+  return Out;
+}
+
+Response parseResponse(const std::string &Raw) {
+  Response Rep;
+  if (Raw.size() < 12 || Raw.compare(0, 9, "HTTP/1.1 ") != 0)
+    return Rep;
+  Rep.Code = std::atoi(Raw.c_str() + 9);
+  size_t HeadEnd = Raw.find("\r\n\r\n");
+  if (HeadEnd == std::string::npos)
+    return Rep;
+  Rep.Head = Raw.substr(0, HeadEnd);
+  Rep.Body = Raw.substr(HeadEnd + 4);
+  return Rep;
+}
+
+Response get(uint16_t Port, const std::string &Target) {
+  return parseResponse(rawExchange(
+      Port, "GET " + Target + " HTTP/1.1\r\nHost: localhost\r\n\r\n"));
+}
+
+/// Restores the process-wide observability switches around every test.
+class HttpEndpointTest : public ::testing::Test {
+protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+
+  static void reset() {
+    obs::setMetricsEnabled(false);
+    obs::Tracer::instance().setSink(nullptr);
+    obs::Tracer::setSampleEvery(1);
+    obs::registry().zeroAllForTest();
+    obs::setHttpEndpoint(nullptr);
+    FaultInjector::instance().reset();
+  }
+
+  /// An endpoint started on an ephemeral loopback port.
+  static std::unique_ptr<obs::HttpEndpoint>
+  startEndpoint(obs::HttpEndpoint::Options O = {}) {
+    auto Ep = std::make_unique<obs::HttpEndpoint>(O);
+    std::string Error;
+    EXPECT_TRUE(Ep->start(Error)) << Error;
+    EXPECT_NE(Ep->port(), 0u);
+    return Ep;
+  }
+
+  static const Domain &textEditing() {
+    static std::unique_ptr<Domain> D = makeTextEditingDomain();
+    return *D;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lifecycle and routing smoke
+//===----------------------------------------------------------------------===//
+
+TEST_F(HttpEndpointTest, StartsOnEphemeralPortAndStopsCleanly) {
+  auto Ep = startEndpoint();
+  EXPECT_TRUE(Ep->running());
+  uint16_t Port = Ep->port();
+  EXPECT_EQ(get(Port, "/healthz").Code, 200);
+  Ep->stop();
+  EXPECT_FALSE(Ep->running());
+  EXPECT_EQ(Ep->port(), 0u);
+  // The socket is closed: a fresh connection gets nothing back.
+  EXPECT_EQ(rawExchange(Port, "GET /healthz HTTP/1.1\r\n\r\n"), "");
+}
+
+TEST_F(HttpEndpointTest, MetricsRouteServesLivePrometheusText) {
+  obs::setMetricsEnabled(true);
+  auto Ep = startEndpoint();
+  obs::Counter &C = obs::registry().counter("http_test_live_total");
+  C.inc(3);
+
+  Response Rep = get(Ep->port(), "/metrics");
+  EXPECT_EQ(Rep.Code, 200);
+  EXPECT_NE(Rep.Head.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(Rep.Body.find("http_test_live_total 3"), std::string::npos);
+  EXPECT_NE(Rep.Body.find("dggt_build_info{"), std::string::npos);
+  EXPECT_NE(Rep.Body.find("dggt_uptime_seconds"), std::string::npos);
+
+  // Live, not a startup snapshot: the next scrape sees the increment.
+  C.inc();
+  EXPECT_NE(get(Ep->port(), "/metrics").Body.find("http_test_live_total 4"),
+            std::string::npos);
+}
+
+TEST_F(HttpEndpointTest, UnknownPathIs404WithRouteList) {
+  auto Ep = startEndpoint();
+  Response Rep = get(Ep->port(), "/nope");
+  EXPECT_EQ(Rep.Code, 404);
+  EXPECT_NE(Rep.Body.find("/metrics"), std::string::npos);
+}
+
+TEST_F(HttpEndpointTest, NonGetMethodIs405WithAllowHeader) {
+  auto Ep = startEndpoint();
+  Response Rep = parseResponse(rawExchange(
+      Ep->port(), "POST /metrics HTTP/1.1\r\nContent-Length: 0\r\n\r\n"));
+  EXPECT_EQ(Rep.Code, 405);
+  EXPECT_NE(Rep.Head.find("Allow: GET"), std::string::npos);
+}
+
+TEST_F(HttpEndpointTest, MalformedRequestLinesAre400) {
+  auto Ep = startEndpoint();
+  const char *Malformed[] = {
+      "BLARG\r\n\r\n",                      // No spaces at all.
+      "GET /metrics\r\n\r\n",               // Missing version.
+      "GET  /metrics HTTP/1.1\r\n\r\n",     // Double space.
+      "GET /metrics HTTP/2.0\r\n\r\n",      // Unsupported version.
+      "GET metrics HTTP/1.1\r\n\r\n",       // Target without '/'.
+      "GET /a b HTTP/1.1\r\n\r\n",          // Four tokens.
+  };
+  for (const char *Req : Malformed) {
+    Response Rep = parseResponse(rawExchange(Ep->port(), Req));
+    EXPECT_EQ(Rep.Code, 400) << Req;
+  }
+}
+
+TEST_F(HttpEndpointTest, OversizedRequestHeadIs400) {
+  obs::HttpEndpoint::Options O;
+  O.MaxRequestBytes = 128;
+  auto Ep = startEndpoint(O);
+  // A head that never terminates and exceeds the cap: the server must
+  // answer 400 and close instead of buffering forever.
+  std::string Huge = "GET /metrics HTTP/1.1\r\nX-Pad: ";
+  Huge.append(512, 'a');
+  Response Rep = parseResponse(rawExchange(Ep->port(), Huge));
+  EXPECT_EQ(Rep.Code, 400);
+}
+
+TEST_F(HttpEndpointTest, RequestsAreCountedByRouteAndCode) {
+  obs::setMetricsEnabled(true);
+  auto Ep = startEndpoint();
+  ASSERT_EQ(get(Ep->port(), "/metrics").Code, 200);
+  ASSERT_EQ(get(Ep->port(), "/scan-me-if-you-can").Code, 404);
+  EXPECT_EQ(Ep->requestsServed(), 2u);
+
+  uint64_t MetricsOk = 0, Other404 = 0;
+  for (const obs::MetricSnapshot &M : obs::registry().snapshot()) {
+    if (M.Name != "dggt_http_requests_total")
+      continue;
+    if (M.Labels == obs::LabelSet{{"path", "/metrics"}, {"code", "200"}})
+      MetricsOk = M.CounterValue;
+    // Unknown paths collapse to one label value: a URL scanner cannot
+    // mint unbounded label cardinality.
+    if (M.Labels == obs::LabelSet{{"path", "other"}, {"code", "404"}})
+      Other404 = M.CounterValue;
+  }
+  EXPECT_EQ(MetricsOk, 1u);
+  EXPECT_EQ(Other404, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Providers: health, readiness, status
+//===----------------------------------------------------------------------===//
+
+TEST_F(HttpEndpointTest, HealthRoutesDefaultTo200WithoutProvider) {
+  auto Ep = startEndpoint();
+  EXPECT_EQ(get(Ep->port(), "/healthz").Code, 200);
+  EXPECT_EQ(get(Ep->port(), "/readyz").Code, 200);
+}
+
+TEST_F(HttpEndpointTest, HealthAndReadinessTrackTheProvider) {
+  auto Ep = startEndpoint();
+  std::atomic<bool> Ready{false}, Healthy{true};
+  Ep->setHealthProvider([&] {
+    obs::HealthStatus St;
+    St.Ready = Ready.load();
+    St.Healthy = Healthy.load();
+    St.Detail = "from test";
+    return St;
+  });
+
+  // Not ready yet (warming up): /readyz gates, /healthz still passes.
+  EXPECT_EQ(get(Ep->port(), "/readyz").Code, 503);
+  EXPECT_EQ(get(Ep->port(), "/healthz").Code, 200);
+
+  Ready = true;
+  EXPECT_EQ(get(Ep->port(), "/readyz").Code, 200);
+
+  Healthy = false;
+  Response Rep = get(Ep->port(), "/healthz");
+  EXPECT_EQ(Rep.Code, 503);
+  EXPECT_NE(Rep.Body.find("from test"), std::string::npos);
+
+  // Deregistering restores the no-provider default.
+  Ep->setHealthProvider(nullptr);
+  EXPECT_EQ(get(Ep->port(), "/healthz").Code, 200);
+}
+
+TEST_F(HttpEndpointTest, StatuszWrapsProviderJsonWithBuildAndUptime) {
+  auto Ep = startEndpoint();
+  Response Bare = get(Ep->port(), "/statusz");
+  EXPECT_EQ(Bare.Code, 200);
+  EXPECT_NE(Bare.Body.find("\"build\":{\"version\":\""), std::string::npos);
+  EXPECT_NE(Bare.Body.find("\"uptime_seconds\":"), std::string::npos);
+  EXPECT_NE(Bare.Body.find("\"service\":null"), std::string::npos);
+
+  Ep->setStatusProvider([] { return std::string("{\"x\":1}"); });
+  Response Rep = get(Ep->port(), "/statusz");
+  EXPECT_NE(Rep.Body.find("\"service\":{\"x\":1}"), std::string::npos);
+  EXPECT_NE(Rep.Body.find("\"requests_served\":"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// /debug/traces
+//===----------------------------------------------------------------------===//
+
+TEST_F(HttpEndpointTest, TracesRouteWithoutRingReportsUnconfigured) {
+  // Declared before the ring test: a 'trace:ring' spec installs the ring
+  // process-wide and there is deliberately no uninstall.
+  auto Ep = startEndpoint();
+  Response Rep = get(Ep->port(), "/debug/traces");
+  EXPECT_EQ(Rep.Code, 200);
+  EXPECT_NE(Rep.Body.find("\"spans\":[]"), std::string::npos);
+  EXPECT_NE(Rep.Body.find("\"ring_configured\":false"), std::string::npos);
+}
+
+TEST_F(HttpEndpointTest, TracesRouteSnapshotsTheRingWithLimitAndFilter) {
+  std::string Error;
+  ASSERT_TRUE(obs::configureFromSpec("trace:ring:16", Error)) << Error;
+  auto Ep = startEndpoint();
+
+  { obs::ScopedSpan S("ep.alpha"); }
+  { obs::ScopedSpan S("ep.beta"); }
+  { obs::ScopedSpan S("ep.beta"); }
+
+  Response All = get(Ep->port(), "/debug/traces");
+  EXPECT_EQ(All.Code, 200);
+  EXPECT_NE(All.Body.find("\"ep.alpha\""), std::string::npos);
+  EXPECT_NE(All.Body.find("\"ep.beta\""), std::string::npos);
+  EXPECT_NE(All.Body.find("\"ring_configured\":true"), std::string::npos);
+  EXPECT_NE(All.Body.find("\"ring_capacity\":16"), std::string::npos);
+
+  // ?span= is a substring filter on the span name.
+  Response Beta = get(Ep->port(), "/debug/traces?span=beta");
+  EXPECT_EQ(Beta.Body.find("\"ep.alpha\""), std::string::npos);
+  EXPECT_NE(Beta.Body.find("\"ep.beta\""), std::string::npos);
+
+  // ?limit= keeps the newest N.
+  Response One = get(Ep->port(), "/debug/traces?limit=1");
+  EXPECT_NE(One.Body.find("\"count\":1"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Service integration
+//===----------------------------------------------------------------------===//
+
+TEST_F(HttpEndpointTest, HealthzFlipsTo503WhileDomainBreakerIsOpen) {
+  FaultInjector::instance().armAlways(faults::DggtMerge);
+  FaultInjector::instance().armAlways(faults::HisynEnumerate);
+  ServiceOptions Opts;
+  Opts.TotalBudgetMs = 500;
+  Opts.BreakerTripThreshold = 2;
+  Opts.BreakerCooldownMs = 60000; // Stays open for the whole test.
+  Opts.HttpPort = 0;              // Own an ephemeral endpoint.
+  SynthesisService S(Opts);
+  S.addDomain(textEditing());
+  ASSERT_NE(S.endpoint(), nullptr);
+  uint16_t Port = S.endpoint()->port();
+
+  // Warmed up, domain registered, breaker closed: both gates pass.
+  EXPECT_EQ(get(Port, "/readyz").Code, 200);
+  EXPECT_EQ(get(Port, "/healthz").Code, 200);
+
+  // Two consecutive deadline misses trip the breaker.
+  EXPECT_EQ(S.query("TextEditing", "sort").St, ServiceStatus::DeadlineExceeded);
+  EXPECT_EQ(S.query("TextEditing", "sort").St, ServiceStatus::DeadlineExceeded);
+  ASSERT_EQ(S.breakerState("TextEditing"),
+            SynthesisService::BreakerState::Open);
+
+  Response Rep = get(Port, "/healthz");
+  EXPECT_EQ(Rep.Code, 503);
+  EXPECT_NE(Rep.Body.find("TextEditing"), std::string::npos);
+  // Readiness is about taking traffic at all, not per-domain health.
+  EXPECT_EQ(get(Port, "/readyz").Code, 200);
+}
+
+TEST_F(HttpEndpointTest, StatuszReportsAsyncAndPerDomainState) {
+  AsyncOptions Opts;
+  Opts.Workers = 2;
+  Opts.QueueCap = 64;
+  Opts.Service.HttpPort = 0;
+  AsyncSynthesisService S(Opts);
+  S.addDomain(textEditing());
+  ASSERT_NE(S.service().endpoint(), nullptr);
+  uint16_t Port = S.service().endpoint()->port();
+
+  ASSERT_TRUE(S.submit("TextEditing", "sort all lines").get().ok());
+  ASSERT_TRUE(S.submit("TextEditing", "sort all lines").get().ok());
+
+  Response Rep = get(Port, "/statusz");
+  EXPECT_EQ(Rep.Code, 200);
+  const char *Expected[] = {
+      "\"service\":{\"workers\":2", "\"queue_depth\":", "\"queue_cap\":64",
+      "\"shed\":0",                 "\"completed\":2",  "\"serial\":{",
+      "\"domains\":{",              "\"TextEditing\":", "\"breaker\":\"closed\"",
+      "\"path_cache\":{",           "\"hit_rate\":",    "\"budget_bytes\":",
+      "\"word_cache\":{",
+  };
+  for (const char *Needle : Expected)
+    EXPECT_NE(Rep.Body.find(Needle), std::string::npos)
+        << Needle << " missing from " << Rep.Body;
+}
+
+TEST_F(HttpEndpointTest, ConcurrentScrapesRaceTheSubmissionHammer) {
+  // The TSan target: scraper threads hitting every route while submitter
+  // threads push queries through the pool. Every scrape must come back
+  // well-formed (200, or 503 only from the health gates).
+  AsyncOptions Opts;
+  Opts.Workers = 2;
+  Opts.QueueCap = 0;
+  Opts.Service.HttpPort = 0;
+  Opts.Service.EnableMetrics = true;
+  AsyncSynthesisService S(Opts);
+  S.addDomain(textEditing());
+  uint16_t Port = S.service().endpoint()->port();
+
+  const std::vector<QueryCase> &TE = textEditing().queries();
+  constexpr int Submitters = 2, PerThread = 15, Scrapers = 2, ScrapesEach = 20;
+
+  std::atomic<int> BadScrapes{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < Scrapers; ++T)
+    Threads.emplace_back([&, T] {
+      const char *Routes[] = {"/metrics", "/statusz", "/healthz",
+                              "/debug/traces"};
+      for (int I = 0; I < ScrapesEach; ++I) {
+        Response Rep = get(Port, Routes[(T + I) % 4]);
+        if (Rep.Code != 200 && Rep.Code != 503)
+          ++BadScrapes;
+      }
+    });
+  std::atomic<int> Incomplete{0};
+  for (int T = 0; T < Submitters; ++T)
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I < PerThread; ++I) {
+        ServiceReport Rep =
+            S.submit("TextEditing", TE[(T * PerThread + I) % TE.size()].Query)
+                .get();
+        if (Rep.St == ServiceStatus::Overloaded)
+          ++Incomplete;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  S.drain();
+
+  EXPECT_EQ(BadScrapes.load(), 0);
+  EXPECT_EQ(Incomplete.load(), 0); // Unbounded queue: nothing shed.
+
+  // After the race, a final scrape still shows coherent async metrics.
+  Response Metrics = get(Port, "/metrics");
+  EXPECT_NE(Metrics.Body.find("dggt_async_queue_wait_ms_bucket"),
+            std::string::npos);
+  EXPECT_NE(Metrics.Body.find("dggt_http_requests_total"), std::string::npos);
+}

@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "obs/Export.h"
+#include "obs/HttpEndpoint.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/FaultInjection.h"
@@ -593,6 +594,146 @@ TEST_F(ObsTest, SpecInstallsSpanRingWithCapacity) {
       EXPECT_GE(M.CounterValue, 1u);
     }
   EXPECT_TRUE(Found);
+}
+
+TEST_F(ObsTest, SpecRejectsMalformedFlushAndHttpEntries) {
+  std::string Error;
+  EXPECT_FALSE(obs::configureFromSpec("flush:0", Error));
+  EXPECT_FALSE(Error.empty());
+
+  Error.clear();
+  EXPECT_FALSE(obs::configureFromSpec("flush:abc", Error));
+  EXPECT_FALSE(Error.empty());
+
+  Error.clear();
+  EXPECT_FALSE(obs::configureFromSpec("flush:", Error));
+  EXPECT_FALSE(Error.empty());
+
+  Error.clear();
+  EXPECT_FALSE(obs::configureFromSpec("http:70000", Error));
+  EXPECT_FALSE(Error.empty());
+
+  Error.clear();
+  EXPECT_FALSE(obs::configureFromSpec("http:abc", Error));
+  EXPECT_FALSE(Error.empty());
+
+  Error.clear();
+  EXPECT_FALSE(obs::configureFromSpec("http:", Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(obs::metricsEnabled());
+}
+
+TEST_F(ObsTest, SpecAcceptsFlushInterval) {
+  std::string Error;
+  EXPECT_TRUE(obs::configureFromSpec("flush:30", Error)) << Error;
+  EXPECT_TRUE(obs::metricsEnabled());
+}
+
+TEST_F(ObsTest, SpecStartsHttpEndpointOnEphemeralPort) {
+  std::string Error;
+  EXPECT_TRUE(obs::configureFromSpec("http:0", Error)) << Error;
+  EXPECT_TRUE(obs::metricsEnabled());
+  std::shared_ptr<obs::HttpEndpoint> Ep = obs::httpEndpoint();
+  ASSERT_NE(Ep, nullptr);
+  EXPECT_TRUE(Ep->running());
+  EXPECT_NE(Ep->port(), 0u); // Resolved to a real ephemeral port.
+}
+
+//===----------------------------------------------------------------------===//
+// Exposition-format escaping
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Inverse of the Prometheus label-value escaping: \\, \", \n only.
+std::string unescapePromLabel(std::string_view Escaped) {
+  std::string Out;
+  for (size_t I = 0; I < Escaped.size(); ++I) {
+    if (Escaped[I] == '\\' && I + 1 < Escaped.size()) {
+      char Next = Escaped[++I];
+      Out += Next == 'n' ? '\n' : Next;
+    } else {
+      Out += Escaped[I];
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST_F(ObsTest, PromLabelEscapingRoundTripsHostileValues) {
+  // Exactly the three characters the exposition format escapes in label
+  // values: backslash, double-quote, newline. Everything else (tabs,
+  // control bytes, UTF-8) passes through raw.
+  const std::string Hostile[] = {
+      "plain",
+      "back\\slash",
+      "quo\"te",
+      "new\nline",
+      "\\n is literal backslash-n",
+      "tab\tand bell\x07 stay raw",
+      "all \\ three \" at \n once",
+      "trailing backslash \\",
+  };
+  for (const std::string &Value : Hostile) {
+    std::string Escaped = obs::escapePromLabel(Value);
+    EXPECT_EQ(Escaped.find('\n'), std::string::npos) << Value;
+    EXPECT_EQ(unescapePromLabel(Escaped), Value) << Value;
+  }
+  // The fixed points: each special maps to its two-byte escape.
+  EXPECT_EQ(obs::escapePromLabel("\\"), "\\\\");
+  EXPECT_EQ(obs::escapePromLabel("\""), "\\\"");
+  EXPECT_EQ(obs::escapePromLabel("\n"), "\\n");
+  EXPECT_EQ(obs::escapePromLabel("\t"), "\t"); // Tab is NOT escaped.
+}
+
+TEST_F(ObsTest, PrometheusTextEscapesHostileLabelValues) {
+  obs::setMetricsEnabled(true);
+  obs::registry()
+      .counter("obs_test_hostile_total",
+               {{"path", "a\\b"}, {"q", "say \"hi\"\nok"}})
+      .inc();
+
+  std::ostringstream OS;
+  obs::writePrometheusText(obs::registry().snapshot(), OS);
+  std::string Text = OS.str();
+
+  EXPECT_NE(Text.find("path=\"a\\\\b\""), std::string::npos) << Text;
+  EXPECT_NE(Text.find("q=\"say \\\"hi\\\"\\nok\""), std::string::npos) << Text;
+  // The sample still parses line-oriented: no raw newline inside a label.
+  std::istringstream IS(Text);
+  std::string Line;
+  while (std::getline(IS, Line)) {
+    if (!Line.empty() && Line.front() != '#' &&
+        Line.find("obs_test_hostile_total") != std::string::npos) {
+      EXPECT_EQ(Line.back(), '1');
+    }
+  }
+}
+
+TEST_F(ObsTest, CollectMetricsIncludesBuildInfoAndUptime) {
+  bool FoundBuild = false, FoundUptime = false;
+  for (const obs::MetricSnapshot &M : obs::collectMetrics()) {
+    if (M.Name == "dggt_build_info") {
+      FoundBuild = true;
+      EXPECT_EQ(M.K, obs::MetricSnapshot::Kind::Gauge);
+      EXPECT_EQ(M.GaugeValue, 1); // Info-metric idiom: constant 1.
+      bool HaveVersion = false, HaveSha = false, HaveSan = false;
+      for (const auto &[Key, Value] : M.Labels) {
+        HaveVersion |= Key == "version" && !Value.empty();
+        HaveSha |= Key == "git_sha" && !Value.empty();
+        HaveSan |= Key == "sanitizers" && !Value.empty();
+      }
+      EXPECT_TRUE(HaveVersion && HaveSha && HaveSan);
+    }
+    if (M.Name == "dggt_uptime_seconds") {
+      FoundUptime = true;
+      EXPECT_EQ(M.K, obs::MetricSnapshot::Kind::Gauge);
+      EXPECT_GE(M.GaugeValue, 0);
+    }
+  }
+  EXPECT_TRUE(FoundBuild);
+  EXPECT_TRUE(FoundUptime);
 }
 
 //===----------------------------------------------------------------------===//
