@@ -617,7 +617,13 @@ bool obs::configureFromSpec(std::string_view Spec, std::string &Error) {
     case Entry::Kind::Http: {
       // Replace any earlier endpoint (re-configuration in tests); the
       // old one stops serving before the new one binds, so a fixed port
-      // can be reused.
+      // can be reused. Known limitation: services constructed before
+      // this point captured the old endpoint and their health/status
+      // providers do not migrate — the replacement serves "no service
+      // registered" until a new service is constructed. Migrating the
+      // providers here would leave the new endpoint holding callbacks
+      // whose owners deregister only on the old instance (dangling once
+      // the owner dies), so re-configure before building services.
       if (Ex.Http)
         Ex.Http->stop();
       HttpEndpoint::Options HO;

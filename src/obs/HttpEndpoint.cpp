@@ -223,14 +223,38 @@ void HttpEndpoint::stop() {
   BoundPort.store(0, std::memory_order_release);
 }
 
-void HttpEndpoint::setHealthProvider(HealthProvider P) {
+uint64_t HttpEndpoint::setHealthProvider(HealthProvider P) {
   std::lock_guard<std::mutex> L(ProvidersM);
   Health = std::move(P);
+  HealthToken = Health ? NextProviderToken++ : 0;
+  return HealthToken;
 }
 
-void HttpEndpoint::setStatusProvider(StatusProvider P) {
+uint64_t HttpEndpoint::setStatusProvider(StatusProvider P) {
   std::lock_guard<std::mutex> L(ProvidersM);
   Status = std::move(P);
+  StatusToken = Status ? NextProviderToken++ : 0;
+  return StatusToken;
+}
+
+void HttpEndpoint::clearHealthProvider(uint64_t Token) {
+  if (!Token)
+    return;
+  std::lock_guard<std::mutex> L(ProvidersM);
+  if (HealthToken == Token) {
+    Health = nullptr;
+    HealthToken = 0;
+  }
+}
+
+void HttpEndpoint::clearStatusProvider(uint64_t Token) {
+  if (!Token)
+    return;
+  std::lock_guard<std::mutex> L(ProvidersM);
+  if (StatusToken == Token) {
+    Status = nullptr;
+    StatusToken = 0;
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -284,14 +308,22 @@ void HttpEndpoint::serverLoop() {
       break;
     }
 
+    // Only connections that existed when Pfds was built have a pollfd
+    // (Pfds[I + 2] mirrors Conns[I] for I < Old); those accepted below
+    // are first polled on the next iteration.
+    size_t Old = Conns.size();
+
     // Accept new connections (bounded; beyond the cap: accept + close so
     // the backlog cannot fill with sockets we will never read).
+    // SOCK_CLOEXEC so in-flight connection fds don't leak into children
+    // across fork/exec, matching the listener.
     if (Pfds[0].revents & POLLIN) {
       while (true) {
-        int Fd = accept(ListenFd, nullptr, nullptr);
+        int Fd = accept4(ListenFd, nullptr, nullptr,
+                         SOCK_NONBLOCK | SOCK_CLOEXEC);
         if (Fd < 0)
           break;
-        if (Conns.size() >= Opts.MaxConnections || !setNonBlocking(Fd)) {
+        if (Conns.size() >= Opts.MaxConnections) {
           close(Fd);
           continue;
         }
@@ -307,19 +339,23 @@ void HttpEndpoint::serverLoop() {
     }
 
     // Service readable connections. Iterate backwards so CloseConn's
-    // erase cannot skip an entry; Pfds[I + 2] mirrors Conns[I].
-    for (size_t I = Conns.size(); I-- > 0;) {
+    // erase cannot skip an entry or shift a lower index out from under
+    // its pollfd.
+    for (size_t I = Old; I-- > 0;) {
       short Re = Pfds[I + 2].revents;
       Conn &C = Conns[I];
       if (Re & (POLLERR | POLLHUP | POLLNVAL)) {
         CloseConn(I);
         continue;
       }
-      if (!(Re & POLLIN)) {
-        if (std::chrono::steady_clock::now() >= C.Deadline)
-          CloseConn(I);
+      // Deadline applies whether or not bytes arrived: a client
+      // trickling one byte per poll round must not outlive the timeout.
+      if (std::chrono::steady_clock::now() >= C.Deadline) {
+        CloseConn(I);
         continue;
       }
+      if (!(Re & POLLIN))
+        continue;
       char Buf[4096];
       ssize_t R = recv(C.Fd, Buf, sizeof(Buf), 0);
       if (R == 0 || (R < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {

@@ -115,11 +115,19 @@ public:
   const Options &options() const { return Opts; }
 
   /// Installs (or, with nullptr, removes) the /healthz-/readyz and
-  /// /statusz sources. Providers are invoked under an internal mutex, so
-  /// after a set...Provider(nullptr) returns no further calls are in
-  /// flight — callers clear their provider before destruction.
-  void setHealthProvider(HealthProvider P);
-  void setStatusProvider(StatusProvider P);
+  /// /statusz sources, returning a registration token (0 for a null
+  /// provider). Providers are invoked under an internal mutex, so after
+  /// a clear returns no further calls are in flight — owners clear
+  /// their provider before destruction.
+  uint64_t setHealthProvider(HealthProvider P);
+  uint64_t setStatusProvider(StatusProvider P);
+
+  /// Removes the matching provider only if \p Token is still the live
+  /// registration. A stale owner's clear is a no-op, so when providers
+  /// are replaced ("last registered wins") destroying the older owner
+  /// cannot wipe the newer owner's registration. Token 0 is ignored.
+  void clearHealthProvider(uint64_t Token);
+  void clearStatusProvider(uint64_t Token);
 
   /// Requests answered since start (any status code).
   uint64_t requestsServed() const {
@@ -147,6 +155,9 @@ private:
   std::mutex ProvidersM;
   HealthProvider Health;
   StatusProvider Status;
+  uint64_t HealthToken = 0; ///< Live registration ids; 0 = none.
+  uint64_t StatusToken = 0;
+  uint64_t NextProviderToken = 1;
 };
 
 /// The process-wide endpoint installed by an `http:PORT` DGGT_METRICS
@@ -156,6 +167,10 @@ std::shared_ptr<HttpEndpoint> httpEndpoint();
 
 /// Installs \p Ep as the global endpoint (spec wiring; replaces any
 /// previous one, which keeps serving until its owner drops it).
+/// Providers registered on the previous endpoint do not migrate:
+/// services constructed before the swap keep pointing at the old
+/// instance, so re-configure before building services (see the
+/// `http:` case in Export.cpp).
 void setHttpEndpoint(std::shared_ptr<HttpEndpoint> Ep);
 
 } // namespace dggt::obs

@@ -48,14 +48,15 @@ AsyncSynthesisService::AsyncSynthesisService(AsyncOptions O)
   // Upgrade the endpoint's /statusz to the async view (queue depth, shed
   // counts); health stays the wrapped service's breaker-derived answer.
   if (obs::HttpEndpoint *Ep = Svc.endpoint())
-    Ep->setStatusProvider([this] { return statusJson(); });
+    StatusReg = Ep->setStatusProvider([this] { return statusJson(); });
 }
 
 AsyncSynthesisService::~AsyncSynthesisService() {
   // Drop our provider before the pool (and then Svc) shut down; the
-  // setter synchronizes with any in-flight /statusz render.
+  // token-matched clear synchronizes with any in-flight /statusz render
+  // and is a no-op if a newer owner has replaced the registration.
   if (obs::HttpEndpoint *Ep = Svc.endpoint())
-    Ep->setStatusProvider(nullptr);
+    Ep->clearStatusProvider(StatusReg);
 }
 
 void AsyncSynthesisService::addDomain(const Domain &D) { Svc.addDomain(D); }

@@ -112,6 +112,10 @@ private:
 
   std::atomic<uint64_t> Cancelled{0};
   std::atomic<uint64_t> Completed{0};
+  /// Token of our /statusz registration on the wrapped service's
+  /// endpoint; the destructor's token-matched clear cannot wipe a newer
+  /// owner's provider.
+  uint64_t StatusReg = 0;
 };
 
 } // namespace dggt

@@ -264,17 +264,20 @@ SynthesisService::SynthesisService(ServiceOptions Opts)
     Endpoint = obs::httpEndpoint();
   }
   if (Endpoint) {
-    Endpoint->setHealthProvider([this] { return healthStatus(); });
-    Endpoint->setStatusProvider([this] { return statusJson(); });
+    HealthReg = Endpoint->setHealthProvider([this] { return healthStatus(); });
+    StatusReg = Endpoint->setStatusProvider([this] { return statusJson(); });
   }
 }
 
 SynthesisService::~SynthesisService() {
-  // Quiesce the provider callbacks before members go away: the setters
+  // Quiesce the provider callbacks before members go away: the clears
   // synchronize with any in-flight invocation on the server thread.
+  // Token-matched, so if a newer service has since taken over the shared
+  // endpoint ("last registered wins") this is a no-op and its providers
+  // stay live.
   if (Endpoint) {
-    Endpoint->setHealthProvider(nullptr);
-    Endpoint->setStatusProvider(nullptr);
+    Endpoint->clearHealthProvider(HealthReg);
+    Endpoint->clearStatusProvider(StatusReg);
   }
 }
 

@@ -275,6 +275,10 @@ private:
   /// Endpoint the providers were registered on (kept alive; cleared in
   /// the destructor so the server thread never calls a dead service).
   std::shared_ptr<obs::HttpEndpoint> Endpoint;
+  /// Registration tokens for the providers above; the destructor's
+  /// token-matched clear is a no-op if a newer owner replaced them.
+  uint64_t HealthReg = 0;
+  uint64_t StatusReg = 0;
 };
 
 /// Short name of \p St ("closed", "open", "half-open").

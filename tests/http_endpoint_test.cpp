@@ -264,6 +264,57 @@ TEST_F(HttpEndpointTest, HealthAndReadinessTrackTheProvider) {
   EXPECT_EQ(get(Ep->port(), "/healthz").Code, 200);
 }
 
+TEST_F(HttpEndpointTest, StaleProviderClearIsANoOp) {
+  auto Ep = startEndpoint();
+  uint64_t Old = Ep->setHealthProvider([] {
+    obs::HealthStatus St;
+    St.Healthy = false;
+    St.Detail = "old owner";
+    return St;
+  });
+  uint64_t New = Ep->setHealthProvider([] {
+    obs::HealthStatus St;
+    St.Healthy = false;
+    St.Detail = "new owner";
+    return St;
+  });
+  EXPECT_NE(Old, 0u);
+  EXPECT_NE(New, Old);
+
+  // The replaced owner clearing with its stale token must not wipe the
+  // live registration ("last registered wins" stays true).
+  Ep->clearHealthProvider(Old);
+  Response Rep = get(Ep->port(), "/healthz");
+  EXPECT_EQ(Rep.Code, 503);
+  EXPECT_NE(Rep.Body.find("new owner"), std::string::npos);
+
+  // The live owner's clear does restore the no-provider default.
+  Ep->clearHealthProvider(New);
+  EXPECT_EQ(get(Ep->port(), "/healthz").Code, 200);
+}
+
+TEST_F(HttpEndpointTest, DestroyingOlderServiceKeepsNewerServiceProviders) {
+  // The shared-endpoint shape: two services registered on one global
+  // spec-configured endpoint, last one wins the providers. Destroying
+  // the older service must not revert /statusz and /readyz to the
+  // "no service registered" defaults.
+  auto Shared = std::make_shared<obs::HttpEndpoint>();
+  std::string Error;
+  ASSERT_TRUE(Shared->start(Error)) << Error;
+  obs::setHttpEndpoint(Shared);
+
+  auto Older = std::make_unique<SynthesisService>();
+  SynthesisService Newer;
+  Newer.addDomain(textEditing());
+  Older.reset(); // Its destructor's token-matched clear is a no-op.
+
+  Response Rep = get(Shared->port(), "/statusz");
+  EXPECT_EQ(Rep.Code, 200);
+  EXPECT_NE(Rep.Body.find("\"TextEditing\""), std::string::npos)
+      << Rep.Body;
+  EXPECT_EQ(get(Shared->port(), "/readyz").Code, 200);
+}
+
 TEST_F(HttpEndpointTest, StatuszWrapsProviderJsonWithBuildAndUptime) {
   auto Ep = startEndpoint();
   Response Bare = get(Ep->port(), "/statusz");
