@@ -498,10 +498,18 @@ bool obs::configureFromSpec(std::string_view Spec, std::string &Error) {
       Parsed.push_back({Entry::Kind::On, "", 0});
       continue;
     }
+    if (E == "insecure-bind") {
+      // Operator opt-in consumed by HttpEndpoint::start() (it re-reads
+      // the env to decide whether a non-loopback bind is allowed);
+      // accepted here so the spec still validates. Implies collection,
+      // like every other entry.
+      Parsed.push_back({Entry::Kind::On, "", 0});
+      continue;
+    }
     size_t Colon = E.find(':');
     if (Colon == std::string_view::npos) {
       Error = "entry '" + std::string(E) +
-              "' is not 'on' or '<exporter>:<dest>'";
+              "' is not 'on', 'insecure-bind' or '<exporter>:<dest>'";
       return false;
     }
     std::string_view Key = E.substr(0, Colon);
@@ -568,7 +576,8 @@ bool obs::configureFromSpec(std::string_view Spec, std::string &Error) {
     } else {
       Error = "unknown exporter '" + std::string(Key) + "' in '" +
               std::string(E) +
-              "' (want prom:, jsonl:, trace:, sample:, flush:, http: or on)";
+              "' (want prom:, jsonl:, trace:, sample:, flush:, http:, on "
+              "or insecure-bind)";
       return false;
     }
     Parsed.push_back(std::move(Out));

@@ -24,6 +24,11 @@
 ///                                     printed to stdout); serves
 ///                                     /metrics, /debug/traces, /healthz,
 ///                                     /readyz, /statusz (HttpEndpoint.h)
+///          | 'insecure-bind'       -- operator opt-in allowing an
+///                                     HttpEndpoint to bind outside
+///                                     127.0.0.0/8; without it a
+///                                     non-loopback BindAddress refuses
+///                                     to start
 ///   dest  := 'stderr' | 'stdout' | file path
 ///
 /// e.g. DGGT_METRICS="prom:/tmp/dggt.prom,trace:ring:1024,sample:10" or

@@ -10,6 +10,7 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -43,6 +44,21 @@ const char *statusText(int Code) {
 bool setNonBlocking(int Fd) {
   int Flags = fcntl(Fd, F_GETFL, 0);
   return Flags >= 0 && fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+/// True when the DGGT_METRICS spec carries the explicit `insecure-bind`
+/// entry — the operator's written consent to expose the unauthenticated
+/// introspection surface beyond loopback. Read per start() call so a
+/// test can flip it; the spec parser in Export.cpp accepts the entry as
+/// a no-op (it is consumed here, not there).
+bool insecureBindAllowed() {
+  const char *Env = std::getenv("DGGT_METRICS");
+  if (!Env)
+    return false;
+  for (const std::string &Item : split(Env, ","))
+    if (trim(Item) == "insecure-bind")
+      return true;
+  return false;
 }
 
 /// Decodes %XX and '+' in a query-string component; invalid escapes pass
@@ -154,6 +170,16 @@ bool HttpEndpoint::start(std::string &Error) {
   Addr.sin_port = htons(Opts.Port);
   if (inet_pton(AF_INET, Opts.BindAddress.c_str(), &Addr.sin_addr) != 1) {
     Error = "bad bind address '" + Opts.BindAddress + "'";
+    close(Fd);
+    return false;
+  }
+  // The endpoint serves unauthenticated read-only introspection; leaving
+  // loopback (anything outside 127.0.0.0/8, including 0.0.0.0) must be
+  // the operator's written decision, not a config typo.
+  if ((ntohl(Addr.sin_addr.s_addr) >> 24) != 127 && !insecureBindAllowed()) {
+    Error = "refusing non-loopback bind address '" + Opts.BindAddress +
+            "' (unauthenticated endpoint); add 'insecure-bind' to "
+            "DGGT_METRICS to expose it beyond loopback";
     close(Fd);
     return false;
   }

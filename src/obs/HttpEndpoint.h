@@ -29,8 +29,10 @@
 /// Security posture: binds 127.0.0.1 by default, serves read-only
 /// snapshots, never echoes request content, caps header size and
 /// concurrent connections, and closes every connection after one
-/// response. Exposing it beyond loopback is an explicit operator
-/// decision (Options::BindAddress).
+/// response. Exposing it beyond loopback takes two explicit operator
+/// decisions: a non-loopback Options::BindAddress *and* the
+/// `insecure-bind` entry in DGGT_METRICS — start() refuses the former
+/// without the latter, so a config typo cannot publish the endpoint.
 ///
 /// The endpoint reaches the service layer only through the two
 /// std::function providers below — obs sits *under* the service
@@ -70,7 +72,8 @@ struct HealthStatus {
 class HttpEndpoint {
 public:
   struct Options {
-    /// Loopback by default; binding wider is an explicit decision.
+    /// Loopback by default. start() refuses anything outside 127.0.0.0/8
+    /// unless DGGT_METRICS contains the `insecure-bind` opt-in.
     std::string BindAddress = "127.0.0.1";
     /// TCP port; 0 asks the kernel for an ephemeral one (see port()).
     uint16_t Port = 0;

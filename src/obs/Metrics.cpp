@@ -50,15 +50,26 @@ void Histogram::observe(double Value) {
 
 double Histogram::sum() const { return Sum.load(std::memory_order_relaxed); }
 
-double Histogram::percentile(double P) const {
-  uint64_t N = count();
-  if (N == 0)
+std::vector<uint64_t> Histogram::bucketSnapshot() const {
+  std::vector<uint64_t> Counts(Bounds.size() + 1);
+  for (size_t I = 0; I < Counts.size(); ++I)
+    Counts[I] = bucketCount(I);
+  return Counts;
+}
+
+double obs::percentileFromCounts(const std::vector<double> &Bounds,
+                                 const std::vector<uint64_t> &Counts,
+                                 double P) {
+  uint64_t N = 0;
+  for (uint64_t C : Counts)
+    N += C;
+  if (N == 0 || Bounds.empty())
     return 0.0;
   P = std::clamp(P, 0.0, 100.0);
   double Rank = P / 100.0 * static_cast<double>(N);
   uint64_t Cum = 0;
-  for (size_t I = 0; I < Bounds.size(); ++I) {
-    uint64_t InBucket = bucketCount(I);
+  for (size_t I = 0; I < Bounds.size() && I < Counts.size(); ++I) {
+    uint64_t InBucket = Counts[I];
     if (InBucket == 0)
       continue;
     double PrevCum = static_cast<double>(Cum);
@@ -73,6 +84,10 @@ double Histogram::percentile(double P) const {
   // The rank falls into the overflow bucket: saturate at the last finite
   // bound (the histogram cannot resolve beyond it).
   return Bounds.back();
+}
+
+double Histogram::percentile(double P) const {
+  return percentileFromCounts(Bounds, bucketSnapshot(), P);
 }
 
 const std::vector<double> &Histogram::defaultLatencyBucketsMs() {

@@ -47,6 +47,17 @@ void setMetricsEnabled(bool Enabled);
 /// preserved into the export.
 using LabelSet = std::vector<std::pair<std::string, std::string>>;
 
+/// P-th percentile (P in [0, 100]) over an explicit bucket-count vector
+/// with `le` bounds \p Bounds, by linear interpolation within the owning
+/// bucket — the same estimator Histogram::percentile() uses. \p Counts
+/// has Bounds.size() + 1 entries (overflow last); overflow samples
+/// saturate at the last finite bound. Returns 0 when every count is 0.
+/// Exists standalone so the load controller can take percentiles of an
+/// *interval* — the element-wise delta between two bucketSnapshot()s of
+/// a cumulative histogram.
+double percentileFromCounts(const std::vector<double> &Bounds,
+                            const std::vector<uint64_t> &Counts, double P);
+
 /// Monotonic counter.
 class Counter {
 public:
@@ -106,6 +117,9 @@ public:
   uint64_t bucketCount(size_t I) const {
     return Buckets[I].load(std::memory_order_relaxed);
   }
+  /// All bucket counts at once (bounds().size() + 1, overflow last).
+  /// A controller diffs two snapshots to get per-interval counts.
+  std::vector<uint64_t> bucketSnapshot() const;
 
   /// P-th percentile estimate (P in [0, 100]) by linear interpolation
   /// within the owning bucket. Samples in the overflow bucket are

@@ -1,0 +1,176 @@
+//===- service/LoadController.cpp - Adaptive load control -----------------===//
+
+#include "service/LoadController.h"
+
+#include <algorithm>
+
+using namespace dggt;
+
+namespace {
+
+/// One bounded step of the control law: at least one unit, at most
+/// \p Fraction of the current value.
+uint64_t stepOf(uint64_t Current, double Fraction) {
+  auto Step = static_cast<uint64_t>(static_cast<double>(Current) * Fraction);
+  return std::max<uint64_t>(1, Step);
+}
+
+} // namespace
+
+LoadController::LoadController(LoadControlOptions O, size_t InitialQueueCap,
+                               unsigned InitialCoalesceBatch,
+                               const ClockSource *Clk)
+    : Opts(O), Clk(Clk), ConfiguredCap(InitialQueueCap),
+      BatchFloor(std::clamp(std::max(1u, InitialCoalesceBatch),
+                            std::max(1u, O.MinCoalesceBatch),
+                            std::max(1u, O.MaxCoalesceBatch))),
+      Cap(InitialQueueCap), Batch(BatchFloor),
+      LastTickTicks(clockNow(Clk).time_since_epoch().count()) {
+  // A configured cap outside the clamp range would snap on the first
+  // tick anyway; normalizing eagerly keeps the published target honest.
+  if (ConfiguredCap != 0)
+    Cap.store(std::clamp(ConfiguredCap, std::max<size_t>(1, Opts.MinQueueCap),
+                         std::max<size_t>(1, Opts.MaxQueueCap)),
+              std::memory_order_relaxed);
+}
+
+double LoadController::waitP95Ms() const {
+  return static_cast<double>(WaitP95Us.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+double LoadController::waitP50Ms() const {
+  return static_cast<double>(WaitP50Us.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+LoadController::Decision LoadController::tick(const LoadSample &S) {
+  std::lock_guard<std::mutex> L(M);
+  ++Counts.Ticks;
+
+  // Publish the interval percentiles first: even a "hold" tick refreshes
+  // what the admission gate predicts with.
+  WaitP95Us.store(static_cast<uint64_t>(std::max(0.0, S.WaitP95Ms) * 1000.0),
+                  std::memory_order_relaxed);
+  WaitP50Us.store(static_cast<uint64_t>(std::max(0.0, S.WaitP50Ms) * 1000.0),
+                  std::memory_order_relaxed);
+
+  uint64_t ShedDelta = S.ShedTotal - std::min(S.ShedTotal, PrevShed);
+  uint64_t CancelledDelta =
+      S.CancelledTotal - std::min(S.CancelledTotal, PrevCancelled);
+  PrevShed = S.ShedTotal;
+  PrevCancelled = S.CancelledTotal;
+
+  // Classification. With an unlimited budget the wait waters are
+  // meaningless, so only hard failure signals (cancellations, an open
+  // breaker) read as congestion.
+  bool Congested = CancelledDelta > 0 || S.OpenBreakers > 0;
+  bool Idle = CancelledDelta == 0 && S.OpenBreakers == 0;
+  if (S.BudgetMs != 0) {
+    double Budget = static_cast<double>(S.BudgetMs);
+    Congested = Congested || S.WaitP95Ms > Opts.HighWaterFraction * Budget;
+    Idle = Idle && S.WaitP95Ms < Opts.LowWaterFraction * Budget;
+  }
+
+  Decision D;
+  D.Congested = Congested;
+  D.Idle = Idle && !Congested;
+
+  // Queue cap: shrink under congestion, grow when idle *and* the cap is
+  // actually binding (we shed, or the queue is pressed against it). A
+  // configured cap of 0 means unbounded: nothing to control.
+  size_t CurCap = Cap.load(std::memory_order_relaxed);
+  size_t NewCap = CurCap;
+  if (ConfiguredCap != 0) {
+    size_t MinCap = std::max<size_t>(1, Opts.MinQueueCap);
+    size_t MaxCap = std::max(MinCap, Opts.MaxQueueCap);
+    size_t Step = stepOf(CurCap, Opts.MaxStepFraction);
+    if (D.Congested)
+      NewCap = CurCap > MinCap + Step ? CurCap - Step : MinCap;
+    else if (D.Idle && (ShedDelta > 0 || S.QueueDepth >= CurCap))
+      NewCap = std::min(MaxCap, CurCap + Step);
+    D.CapShrank = NewCap < CurCap;
+    D.CapGrew = NewCap > CurCap;
+    if (NewCap != CurCap) {
+      Cap.store(NewCap, std::memory_order_relaxed);
+      if (D.CapGrew)
+        ++Counts.CapGrows;
+      else
+        ++Counts.CapShrinks;
+    }
+  }
+  D.QueueCap = NewCap;
+
+  // Coalesce batch: widen under congestion (amortize warm per-domain
+  // caches), decay back toward the configured batch when load clears.
+  unsigned CurBatch = Batch.load(std::memory_order_relaxed);
+  unsigned NewBatch = CurBatch;
+  unsigned BStep =
+      static_cast<unsigned>(stepOf(CurBatch, Opts.MaxStepFraction));
+  if (D.Congested)
+    NewBatch = static_cast<unsigned>(std::min<uint64_t>(
+        std::max(1u, Opts.MaxCoalesceBatch),
+        static_cast<uint64_t>(CurBatch) + BStep));
+  else if (D.Idle && CurBatch > BatchFloor)
+    NewBatch = CurBatch > BatchFloor + BStep ? CurBatch - BStep : BatchFloor;
+  if (NewBatch != CurBatch)
+    Batch.store(NewBatch, std::memory_order_relaxed);
+  D.CoalesceBatch = NewBatch;
+
+  return D;
+}
+
+std::optional<LoadController::Decision>
+LoadController::maybeTick(const std::function<LoadSample()> &Sampler) {
+  if (!Opts.Enabled)
+    return std::nullopt;
+  int64_t Now = clockNow(Clk).time_since_epoch().count();
+  int64_t Interval =
+      std::chrono::duration_cast<ClockSource::Duration>(
+          std::chrono::milliseconds(Opts.TickIntervalMs))
+          .count();
+  int64_t Last = LastTickTicks.load(std::memory_order_acquire);
+  if (Now - Last < Interval)
+    return std::nullopt;
+  // One submitter wins the tick; losers return to their fast path.
+  if (!LastTickTicks.compare_exchange_strong(Last, Now,
+                                             std::memory_order_acq_rel))
+    return std::nullopt;
+  return tick(Sampler());
+}
+
+bool LoadController::admit(double ServiceP50Ms, uint64_t BudgetMs,
+                           std::atomic<bool> &GateLatch) const {
+  if (!Opts.Enabled || !Opts.AdmissionGate || BudgetMs == 0)
+    return true;
+  double Predicted = waitP95Ms() + std::max(0.0, ServiceP50Ms);
+  double Budget = static_cast<double>(BudgetMs);
+  bool Gated = GateLatch.load(std::memory_order_relaxed);
+  if (Gated) {
+    if (Predicted < Opts.GateOffFraction * Budget)
+      Gated = false;
+  } else if (Predicted > Opts.GateOnFraction * Budget) {
+    Gated = true;
+  }
+  GateLatch.store(Gated, std::memory_order_relaxed);
+  return !Gated;
+}
+
+LoadController::Stats LoadController::stats() const {
+  std::lock_guard<std::mutex> L(M);
+  return Counts;
+}
+
+void LoadController::sampleWaitInterval(const obs::Histogram &H,
+                                        std::vector<uint64_t> &PrevCounts,
+                                        LoadSample &S) {
+  std::vector<uint64_t> Now = H.bucketSnapshot();
+  std::vector<uint64_t> Delta(Now.size(), 0);
+  for (size_t I = 0; I < Now.size(); ++I) {
+    uint64_t Prev = I < PrevCounts.size() ? PrevCounts[I] : 0;
+    Delta[I] = Now[I] >= Prev ? Now[I] - Prev : 0;
+  }
+  PrevCounts = std::move(Now);
+  S.WaitP50Ms = obs::percentileFromCounts(H.bounds(), Delta, 50);
+  S.WaitP95Ms = obs::percentileFromCounts(H.bounds(), Delta, 95);
+}

@@ -1,0 +1,213 @@
+//===- service/LoadController.h - Adaptive load control ---------*- C++ -*-===//
+///
+/// \file
+/// The adaptive replacement for the async service's static QueueCap /
+/// CoalesceBatch knobs: a periodic controller that turns the measured
+/// queue-wait distribution into three live targets —
+///
+///   1. an *effective queue cap*: shrink when the p95 queue wait eats
+///      into the per-query budget (admitted work is already doomed),
+///      grow when the service is idle yet shedding (work it could have
+///      served);
+///   2. an *effective coalesce batch*: widen under congestion so workers
+///      amortize warm per-domain caches, decay back to the configured
+///      batch when load clears;
+///   3. a *deadline-aware admission gate*: reject a query at submit()
+///      when `p95 queue wait + p50 service time > its budget` — an
+///      immediate Overloaded beats cancelling after the wait, both for
+///      the caller (fail fast, retry elsewhere) and for the pool (no
+///      queue slot burned on doomed work).
+///
+/// The policy is a small, analyzable decision rule over measured state
+/// (in the spirit of treating scheduling as a searchable program, not a
+/// heuristic buried in the pool):
+///
+///   congested := p95_wait > High * budget  OR  new cancellations
+///                                          OR  an open breaker
+///   idle      := p95_wait < Low * budget  AND  no new cancellations
+///                                         AND  no open breaker
+///
+///   congested -> cap -= step;  batch += step   (throughput mode)
+///   idle      -> cap += step if shedding or the queue is full;
+///                batch decays toward the configured value
+///   otherwise -> hold                          (the dead band *is* the
+///                                               hysteresis: between the
+///                                               waters nothing moves,
+///                                               so two ticks over the
+///                                               same state never
+///                                               oscillate)
+///
+/// with every step bounded (MaxStepFraction of the current value, at
+/// least 1) and clamped to [Min, Max]. Percentiles are taken over the
+/// *tick interval* — the delta between two bucket snapshots of the
+/// cumulative wait histogram — so the controller reacts to current
+/// traffic, not the process's lifetime average.
+///
+/// Built clock-injectable from day one: every instant flows through a
+/// support/Clock ClockSource, so unit tests drive ticks and gate
+/// decisions on a VirtualClock with zero sleeps (tests/
+/// load_controller_test.cpp is table-driven: synthetic histograms in,
+/// expected targets out).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_SERVICE_LOADCONTROLLER_H
+#define DGGT_SERVICE_LOADCONTROLLER_H
+
+#include "obs/Metrics.h"
+#include "support/Clock.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace dggt {
+
+/// Tuning of the adaptive policy. The defaults are deliberately gentle:
+/// a quarter-step per tick means the cap moves at most ~4x per second at
+/// the default cadence, fast enough to ride a traffic spike and slow
+/// enough never to thrash.
+struct LoadControlOptions {
+  /// Master switch. Off = the static QueueCap / CoalesceBatch behave
+  /// exactly as before this controller existed.
+  bool Enabled = false;
+  /// Controller cadence; maybeTick() is a no-op between ticks.
+  uint64_t TickIntervalMs = 100;
+  /// Clamp range of the effective queue cap. Ignored when the configured
+  /// cap is 0 (unbounded): an unbounded queue stays unbounded and only
+  /// the batch and the admission gate adapt.
+  size_t MinQueueCap = 4;
+  size_t MaxQueueCap = 4096;
+  /// Clamp range of the effective coalesce batch; the idle decay floor
+  /// is the *configured* batch (clamped into this range), so light load
+  /// returns to the tuned static behavior, not to the minimum.
+  unsigned MinCoalesceBatch = 1;
+  unsigned MaxCoalesceBatch = 64;
+  /// Dead-band waters as fractions of the reference budget: p95 wait
+  /// below Low*budget reads as idle, above High*budget as congested,
+  /// in between the controller holds (hysteresis).
+  double LowWaterFraction = 0.125;
+  double HighWaterFraction = 0.375;
+  /// Per-tick bound on the relative change of cap and batch (>= one
+  /// unit), so one noisy tick cannot halve the service's capacity.
+  double MaxStepFraction = 0.25;
+  /// Deadline-aware admission gate switch (per-domain opt-out lives in
+  /// ServiceOptions::AdmissionGate).
+  bool AdmissionGate = true;
+  /// Gate hysteresis: a domain gates when predicted completion exceeds
+  /// GateOnFraction * budget and re-admits only once it drops below
+  /// GateOffFraction * budget.
+  double GateOnFraction = 1.0;
+  double GateOffFraction = 0.8;
+};
+
+/// One measured state snapshot the policy decides over. The cumulative
+/// counters are process totals; the controller diffs them internally so
+/// a decision only sees what happened since the previous tick.
+struct LoadSample {
+  double WaitP50Ms = 0; ///< Queue wait p50 over the tick interval.
+  double WaitP95Ms = 0; ///< Queue wait p95 over the tick interval.
+  size_t QueueDepth = 0;
+  uint64_t ShedTotal = 0;      ///< Cumulative cap rejections.
+  uint64_t CancelledTotal = 0; ///< Cumulative queued-past-deadline kills.
+  unsigned OpenBreakers = 0;   ///< Domains with an open circuit breaker.
+  /// Reference per-query budget the waters scale against (the tightest
+  /// domain budget); 0 = unlimited, which disables the wait thresholds.
+  uint64_t BudgetMs = 0;
+};
+
+/// Periodic controller; see the file comment for the control law.
+/// Thread-safe: maybeTick() may race from every submitter, target reads
+/// are lock-free atomics.
+class LoadController {
+public:
+  /// What one tick decided (returned for tests and decision counters).
+  struct Decision {
+    size_t QueueCap = 0;
+    unsigned CoalesceBatch = 1;
+    bool Congested = false; ///< Classified above the high water.
+    bool Idle = false;      ///< Classified below the low water.
+    bool CapGrew = false, CapShrank = false;
+  };
+
+  /// Monotonic decision counters.
+  struct Stats {
+    uint64_t Ticks = 0;
+    uint64_t CapGrows = 0;
+    uint64_t CapShrinks = 0;
+  };
+
+  /// Starts from the configured static targets; \p Clk is the time
+  /// source for the tick cadence (null = real steady clock) and must
+  /// outlive the controller.
+  LoadController(LoadControlOptions O, size_t InitialQueueCap,
+                 unsigned InitialCoalesceBatch,
+                 const ClockSource *Clk = nullptr);
+
+  const LoadControlOptions &options() const { return Opts; }
+
+  /// Runs one control tick over \p S unconditionally (tests and the
+  /// cadence wrapper below). Serialized internally.
+  Decision tick(const LoadSample &S);
+
+  /// Cadence guard: runs tick(Sampler()) when TickIntervalMs has elapsed
+  /// since the last tick; otherwise (or when disabled) does nothing and
+  /// returns nullopt. Cheap enough for every submit() — one atomic load
+  /// on the fast path.
+  std::optional<Decision> maybeTick(const std::function<LoadSample()> &Sampler);
+
+  /// Current targets (lock-free).
+  size_t queueCap() const { return Cap.load(std::memory_order_relaxed); }
+  unsigned coalesceBatch() const {
+    return Batch.load(std::memory_order_relaxed);
+  }
+  /// Last tick's interval wait percentiles (what the gate predicts with).
+  double waitP95Ms() const;
+  double waitP50Ms() const;
+
+  /// Deadline-aware admission. Returns false (reject with Overloaded)
+  /// when the predicted completion `p95 wait + p50 service` exceeds the
+  /// gate-on water of \p BudgetMs. \p GateLatch is the caller's
+  /// per-domain hysteresis state: once gated, the domain re-admits only
+  /// below the gate-off water. Always admits when the gate is disabled
+  /// or \p BudgetMs is 0 (unlimited).
+  bool admit(double ServiceP50Ms, uint64_t BudgetMs,
+             std::atomic<bool> &GateLatch) const;
+
+  Stats stats() const;
+
+  /// Fills the interval wait percentiles of \p S from \p H: percentiles
+  /// of the bucket delta since \p PrevCounts (updated in place). An
+  /// empty interval yields zeros. Shared by the async service's sampler
+  /// and the table-driven tests, so both feed the policy through the
+  /// same math.
+  static void sampleWaitInterval(const obs::Histogram &H,
+                                 std::vector<uint64_t> &PrevCounts,
+                                 LoadSample &S);
+
+private:
+  LoadControlOptions Opts;
+  const ClockSource *Clk;
+  size_t ConfiguredCap;       ///< 0 = unbounded: cap control disabled.
+  unsigned BatchFloor;        ///< Idle decay floor (configured batch).
+
+  std::atomic<size_t> Cap;
+  std::atomic<unsigned> Batch;
+  /// Interval percentiles in microseconds (atomics so the gate reads
+  /// them lock-free on the submit path).
+  std::atomic<uint64_t> WaitP95Us{0};
+  std::atomic<uint64_t> WaitP50Us{0};
+  std::atomic<int64_t> LastTickTicks; ///< Clock ticks of the last tick.
+
+  mutable std::mutex M; ///< Serializes tick() state below.
+  uint64_t PrevShed = 0;
+  uint64_t PrevCancelled = 0;
+  Stats Counts;
+};
+
+} // namespace dggt
+
+#endif // DGGT_SERVICE_LOADCONTROLLER_H

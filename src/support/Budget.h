@@ -13,6 +13,8 @@
 #ifndef DGGT_SUPPORT_BUDGET_H
 #define DGGT_SUPPORT_BUDGET_H
 
+#include "support/Clock.h"
+
 #include <chrono>
 #include <cstdint>
 
@@ -30,10 +32,12 @@ public:
   Budget() = default;
 
   /// Creates a budget that expires \p Ms milliseconds from now. A value of
-  /// zero means unlimited.
-  explicit Budget(uint64_t Ms) {
+  /// zero means unlimited. A non-null \p Clk substitutes the time source
+  /// (tests; see support/Clock.h) and must outlive every copy of the
+  /// budget; null means the real steady clock.
+  explicit Budget(uint64_t Ms, const ClockSource *Clk = nullptr) : Clk(Clk) {
     if (Ms != 0) {
-      Deadline = Clock::now() + std::chrono::milliseconds(Ms);
+      Deadline = clockNow(Clk) + std::chrono::milliseconds(Ms);
       Limited = true;
     }
   }
@@ -43,10 +47,11 @@ public:
   /// same deadline to whichever worker eventually runs it: time spent
   /// queued counts against the budget (the async service's cancellation
   /// of queued-past-deadline work relies on this).
-  static Budget until(Clock::time_point At) {
+  static Budget until(Clock::time_point At, const ClockSource *Clk = nullptr) {
     Budget B;
     B.Limited = true;
     B.Deadline = At;
+    B.Clk = Clk;
     return B;
   }
 
@@ -66,7 +71,7 @@ public:
       return true;
     if (Calls++ % CheckStride != 0)
       return false;
-    Expired = Clock::now() >= Deadline;
+    Expired = clockNow(Clk) >= Deadline;
     return Expired;
   }
 
@@ -91,7 +96,7 @@ public:
       return UnlimitedMs;
     if (Expired)
       return 0;
-    Clock::time_point Now = Clock::now();
+    Clock::time_point Now = clockNow(Clk);
     if (Now >= Deadline)
       return 0;
     return static_cast<uint64_t>(
@@ -106,12 +111,13 @@ public:
   /// already-expired parent starts expired.
   Budget child(uint64_t Ms) const {
     if (!Limited)
-      return Budget(Ms);
+      return Budget(Ms, Clk);
     Budget C;
     C.Limited = true;
     C.Deadline = Deadline;
+    C.Clk = Clk;
     if (Ms != 0) {
-      Clock::time_point D = Clock::now() + std::chrono::milliseconds(Ms);
+      Clock::time_point D = clockNow(Clk) + std::chrono::milliseconds(Ms);
       if (D < C.Deadline)
         C.Deadline = D;
     }
@@ -123,6 +129,7 @@ private:
   static constexpr uint64_t CheckStride = 256;
 
   Clock::time_point Deadline;
+  const ClockSource *Clk = nullptr; ///< Null = the real steady clock.
   uint64_t Calls = 0;
   bool Limited = false;
   bool Expired = false;

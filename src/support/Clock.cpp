@@ -1,0 +1,12 @@
+//===- support/Clock.cpp - Injectable monotonic time source ---------------===//
+
+#include "support/Clock.h"
+
+using namespace dggt;
+
+ClockSource::~ClockSource() = default;
+
+const ClockSource &dggt::steadyClock() {
+  static const SteadyClockSource C;
+  return C;
+}

@@ -10,6 +10,8 @@ ThreadPool::ThreadPool(Options O) : Opts(O) {
   if (Opts.Workers == 0)
     Opts.Workers = std::max(1u, std::thread::hardware_concurrency());
   Opts.CoalesceBatch = std::max(1u, Opts.CoalesceBatch);
+  EffQueueCap.store(Opts.QueueCap, std::memory_order_relaxed);
+  EffCoalesceBatch.store(Opts.CoalesceBatch, std::memory_order_relaxed);
   Threads.reserve(Opts.Workers);
   for (unsigned I = 0; I < Opts.Workers; ++I)
     Threads.emplace_back([this] { workerLoop(); });
@@ -26,14 +28,15 @@ ThreadPool::~ThreadPool() {
 }
 
 bool ThreadPool::trySubmit(std::string_view Key, std::function<void()> Fn) {
+  size_t Cap = EffQueueCap.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> L(M);
-    if (Stopping || (Opts.QueueCap != 0 && Size >= Opts.QueueCap)) {
+    if (Stopping || (Cap != 0 && Size >= Cap)) {
       ++Counts.Rejected;
       return false;
     }
     std::string K(Key);
-    Queues[K].push_back(std::move(Fn));
+    Queues[K].push_back({std::move(Fn), clockNow(Opts.Clock)});
     Ready.push_back(std::move(K));
     ++Size;
     ++Counts.Submitted;
@@ -79,9 +82,10 @@ void ThreadPool::workerLoop() {
 
     // Prefer the key we are already on (warm caches) up to the batch
     // cap; then rotate to the next ready key for fairness.
-    std::deque<std::function<void()>> *Q = nullptr;
+    std::deque<QueuedTask> *Q = nullptr;
     bool Coalesced = false;
-    if (!LastKey.empty() && Batch < Opts.CoalesceBatch) {
+    if (!LastKey.empty() &&
+        Batch < EffCoalesceBatch.load(std::memory_order_relaxed)) {
       auto It = Queues.find(LastKey);
       if (It != Queues.end() && !It->second.empty()) {
         Q = &It->second;
@@ -103,16 +107,20 @@ void ThreadPool::workerLoop() {
     if (!Q)
       continue;
 
-    std::function<void()> Task = std::move(Q->front());
+    QueuedTask Task = std::move(Q->front());
     Q->pop_front();
     --Size;
     ++Running;
     ++Batch;
     if (Coalesced)
       ++Counts.Coalesced;
+    Counts.WaitUsTotal += static_cast<uint64_t>(std::max<int64_t>(
+        0, std::chrono::duration_cast<std::chrono::microseconds>(
+               clockNow(Opts.Clock) - Task.Enqueued)
+               .count()));
 
     L.unlock();
-    Task();
+    Task.Fn();
     L.lock();
 
     ++Counts.Ran;

@@ -23,6 +23,9 @@
 #ifndef DGGT_SUPPORT_THREADPOOL_H
 #define DGGT_SUPPORT_THREADPOOL_H
 
+#include "support/Clock.h"
+
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -50,6 +53,9 @@ public:
     /// How many consecutive tasks of one key a worker drains before
     /// rotating to the next ready key (>= 1).
     unsigned CoalesceBatch = 8;
+    /// Time source for queue-wait accounting; null = the real steady
+    /// clock. Must outlive the pool (tests inject a VirtualClock).
+    const ClockSource *Clock = nullptr;
   };
 
   /// Monotonic pool counters (relaxed snapshots; exact once idle).
@@ -58,6 +64,9 @@ public:
     uint64_t Rejected = 0;  ///< trySubmit() calls refused by the cap.
     uint64_t Ran = 0;       ///< Tasks completed by a worker.
     uint64_t Coalesced = 0; ///< Tasks run by staying on the same key.
+    /// Total submit-to-dequeue wait (microseconds) over every started
+    /// task; WaitUsTotal / Ran is the mean queue wait.
+    uint64_t WaitUsTotal = 0;
   };
 
   ThreadPool() : ThreadPool(Options()) {}
@@ -82,6 +91,21 @@ public:
 
   unsigned workers() const { return static_cast<unsigned>(Threads.size()); }
 
+  /// Live limits. The setters let a load controller retune a running
+  /// pool: both take effect on the next trySubmit() / key rotation, and
+  /// shrinking the cap below the current depth only stops *new*
+  /// admissions (accepted tasks always run).
+  size_t queueCap() const { return EffQueueCap.load(std::memory_order_relaxed); }
+  void setQueueCap(size_t Cap) {
+    EffQueueCap.store(Cap, std::memory_order_relaxed);
+  }
+  unsigned coalesceBatch() const {
+    return EffCoalesceBatch.load(std::memory_order_relaxed);
+  }
+  void setCoalesceBatch(unsigned Batch) {
+    EffCoalesceBatch.store(Batch < 1 ? 1 : Batch, std::memory_order_relaxed);
+  }
+
   Stats stats() const;
 
   /// Blocks until every task accepted so far has finished (tests).
@@ -90,12 +114,22 @@ public:
 private:
   void workerLoop();
 
+  /// One queued task plus its submission instant (wait accounting).
+  struct QueuedTask {
+    std::function<void()> Fn;
+    ClockSource::TimePoint Enqueued;
+  };
+
   Options Opts;
+  /// Live limits, runtime-adjustable without the mutex (relaxed is fine:
+  /// the cap is advisory backpressure, not an invariant).
+  std::atomic<size_t> EffQueueCap{0};
+  std::atomic<unsigned> EffCoalesceBatch{1};
   mutable std::mutex M;
   std::condition_variable WorkReady;
   std::condition_variable Idle;
   /// FIFO per key; erased keys are kept (few domains, stable pointers).
-  std::unordered_map<std::string, std::deque<std::function<void()>>> Queues;
+  std::unordered_map<std::string, std::deque<QueuedTask>> Queues;
   /// Keys that may have work; may hold stale duplicates (workers skip
   /// entries whose queue turned out empty). Invariant: the number of
   /// entries is always >= the number of queued tasks, so a worker that

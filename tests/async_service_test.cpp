@@ -230,17 +230,35 @@ TEST_F(AsyncServiceTest, AsyncResultsMatchSerialBitForBit) {
     Futures.push_back(Async.submit(C.Domain, *C.Query));
 
   size_t Compared = 0;
+  auto Compare = [&](const Case &C, const ServiceReport &Want,
+                     const ServiceReport &Got) {
+    ++Compared;
+    EXPECT_EQ(Got.St, Want.St) << *C.Query;
+    EXPECT_EQ(Got.Result.Expression, Want.Result.Expression) << *C.Query;
+    EXPECT_EQ(Got.Result.CgtSize, Want.Result.CgtSize) << *C.Query;
+  };
+  std::vector<size_t> Skipped;
   for (size_t I = 0; I < Cases.size(); ++I) {
     ServiceReport Want = Serial.query(Cases[I].Domain, *Cases[I].Query);
     ServiceReport Got = Futures[I].get();
     if (Want.St == ServiceStatus::DeadlineExceeded ||
+        Got.St == ServiceStatus::DeadlineExceeded) {
+      Skipped.push_back(I);
+      continue;
+    }
+    Compare(Cases[I], Want, Got);
+  }
+  // A deadline skip is timing, not semantics — under a loaded test host
+  // (parallel ctest, sanitizers) a burst of them is normal. Retry each
+  // skip sequentially: one query at a time, no contention, warm caches.
+  // A case that still brushes 2 s alone is genuinely slow; skip it.
+  for (size_t I : Skipped) {
+    ServiceReport Want = Serial.query(Cases[I].Domain, *Cases[I].Query);
+    ServiceReport Got = Async.submit(Cases[I].Domain, *Cases[I].Query).get();
+    if (Want.St == ServiceStatus::DeadlineExceeded ||
         Got.St == ServiceStatus::DeadlineExceeded)
       continue;
-    ++Compared;
-    EXPECT_EQ(Got.St, Want.St) << *Cases[I].Query;
-    EXPECT_EQ(Got.Result.Expression, Want.Result.Expression)
-        << *Cases[I].Query;
-    EXPECT_EQ(Got.Result.CgtSize, Want.Result.CgtSize) << *Cases[I].Query;
+    Compare(Cases[I], Want, Got);
   }
   // TSan slows synthesis ~10x, pushing many queries into the deadline;
   // a handful of comparisons is still a meaningful identity check there.

@@ -28,6 +28,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -140,6 +141,53 @@ TEST_F(HttpEndpointTest, StartsOnEphemeralPortAndStopsCleanly) {
   EXPECT_EQ(Ep->port(), 0u);
   // The socket is closed: a fresh connection gets nothing back.
   EXPECT_EQ(rawExchange(Port, "GET /healthz HTTP/1.1\r\n\r\n"), "");
+}
+
+TEST_F(HttpEndpointTest, NonLoopbackBindRefusedWithoutOptIn) {
+  // Pin the opt-in source for the duration of this test; restored below.
+  const char *Old = std::getenv("DGGT_METRICS");
+  std::string Saved = Old ? Old : "";
+  bool Had = Old != nullptr;
+  unsetenv("DGGT_METRICS");
+
+  obs::HttpEndpoint::Options Wide;
+  Wide.BindAddress = "0.0.0.0";
+  {
+    obs::HttpEndpoint Ep(Wide);
+    std::string Error;
+    EXPECT_FALSE(Ep.start(Error));
+    EXPECT_NE(Error.find("insecure-bind"), std::string::npos) << Error;
+    EXPECT_FALSE(Ep.running());
+    EXPECT_EQ(Ep.port(), 0u);
+  }
+
+  // The whole loopback block stays allowed, not just 127.0.0.1.
+  {
+    obs::HttpEndpoint::Options Loop;
+    Loop.BindAddress = "127.0.0.2";
+    obs::HttpEndpoint Ep(Loop);
+    std::string Error;
+    EXPECT_TRUE(Ep.start(Error)) << Error;
+  }
+
+  // 'insecure-bind' is a valid (no-op) spec entry, so an operator can
+  // ship it inside a real DGGT_METRICS value without a parse warning...
+  std::string SpecError;
+  EXPECT_TRUE(obs::configureFromSpec("insecure-bind", SpecError)) << SpecError;
+
+  // ...and with it present the same non-loopback bind proceeds.
+  setenv("DGGT_METRICS", "trace:ring,insecure-bind", 1);
+  {
+    obs::HttpEndpoint Ep(Wide);
+    std::string Error;
+    EXPECT_TRUE(Ep.start(Error)) << Error;
+    EXPECT_TRUE(Ep.running());
+  }
+
+  if (Had)
+    setenv("DGGT_METRICS", Saved.c_str(), 1);
+  else
+    unsetenv("DGGT_METRICS");
 }
 
 TEST_F(HttpEndpointTest, MetricsRouteServesLivePrometheusText) {

@@ -1,0 +1,370 @@
+//===- tests/load_controller_test.cpp - Adaptive load control -------------===//
+//
+// The LoadController's decision rule, table-driven and fully
+// deterministic: scripted sequences of synthetic LoadSamples go in, the
+// expected effective queue cap / coalesce batch / classification come
+// out. Covers the dead-band hysteresis (two ticks over the same state
+// never oscillate), the bounded steps and their Min/Max clamps, the
+// hard congestion signals (cancellations, open breakers), the
+// admission-gate latch, the maybeTick cadence on a VirtualClock (zero
+// sleeps anywhere in this file), the interval-percentile sampler, and
+// the wiring through AsyncSynthesisService.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/AsyncSynthesisService.h"
+#include "service/LoadController.h"
+#include "support/Clock.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+using namespace dggt;
+
+namespace {
+
+/// The options every scripted scenario runs under; chosen so the step
+/// math lands on round numbers (cap 256 * 0.25 = 64, batch 8 * 0.25 = 2)
+/// and the waters of a 1000 ms budget sit at 125 / 375 ms.
+LoadControlOptions testOptions() {
+  LoadControlOptions O;
+  O.Enabled = true;
+  O.TickIntervalMs = 100;
+  O.MinQueueCap = 16;
+  O.MaxQueueCap = 1024;
+  O.MinCoalesceBatch = 1;
+  O.MaxCoalesceBatch = 32;
+  O.LowWaterFraction = 0.125;  // 125 ms of a 1000 ms budget.
+  O.HighWaterFraction = 0.375; // 375 ms.
+  O.MaxStepFraction = 0.25;
+  return O;
+}
+
+/// One scripted tick: the synthetic sample and what the controller must
+/// decide from it.
+struct Step {
+  const char *Note;
+  LoadSample S;
+  size_t WantCap;
+  unsigned WantBatch;
+  bool WantCongested = false;
+  bool WantIdle = false;
+};
+
+LoadSample sample(double P95Ms, uint64_t Shed = 0, uint64_t Cancelled = 0,
+                  unsigned Breakers = 0, size_t Depth = 0,
+                  uint64_t BudgetMs = 1000) {
+  LoadSample S;
+  S.WaitP95Ms = P95Ms;
+  S.WaitP50Ms = P95Ms / 2;
+  S.ShedTotal = Shed;
+  S.CancelledTotal = Cancelled;
+  S.OpenBreakers = Breakers;
+  S.QueueDepth = Depth;
+  S.BudgetMs = BudgetMs;
+  return S;
+}
+
+/// Runs \p Script on a fresh controller (cap 256, batch 8) and checks
+/// every step's expectations.
+void runScript(const std::vector<Step> &Script,
+               const LoadControlOptions &O = testOptions(),
+               size_t InitialCap = 256, unsigned InitialBatch = 8) {
+  VirtualClock VC;
+  LoadController C(O, InitialCap, InitialBatch, &VC);
+  for (const Step &St : Script) {
+    LoadController::Decision D = C.tick(St.S);
+    EXPECT_EQ(D.QueueCap, St.WantCap) << St.Note;
+    EXPECT_EQ(D.CoalesceBatch, St.WantBatch) << St.Note;
+    EXPECT_EQ(D.Congested, St.WantCongested) << St.Note;
+    EXPECT_EQ(D.Idle, St.WantIdle) << St.Note;
+    EXPECT_EQ(C.queueCap(), St.WantCap) << St.Note;
+    EXPECT_EQ(C.coalesceBatch(), St.WantBatch) << St.Note;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The control law, scripted
+//===----------------------------------------------------------------------===//
+
+TEST(LoadControllerTest, DeadBandHoldsAcrossTicks) {
+  // p95 between the waters: nothing moves, and a second identical tick
+  // still moves nothing — the dead band is the hysteresis.
+  runScript({
+      {"first in-band tick holds", sample(200), 256, 8},
+      {"second identical tick holds (no oscillation)", sample(200), 256, 8},
+      {"bottom of band holds", sample(126), 256, 8},
+      {"top of band holds", sample(374), 256, 8},
+  });
+}
+
+TEST(LoadControllerTest, CongestionShrinksCapAndWidensBatchBoundedly) {
+  runScript({
+      // Step = 25% of 256 = 64; batch step = 25% of 8 = 2.
+      {"one congested tick", sample(500), 192, 10, true},
+      // Steps rescale with the current value: 25% of 192 = 48, of 10 = 2.
+      {"second congested tick", sample(500), 144, 12, true},
+      // Returning into the dead band holds the new targets: no bounce.
+      {"in-band tick after shrink holds", sample(200), 144, 12},
+  });
+}
+
+TEST(LoadControllerTest, ShrinkClampsAtMinAndBatchAtMax) {
+  std::vector<Step> Script;
+  // 20 congested ticks walk cap 256 -> MinQueueCap (16) and batch
+  // 8 -> MaxCoalesceBatch (32); both must stop exactly at the clamps.
+  for (int I = 0; I < 20; ++I)
+    Script.push_back({"congested walk", sample(900), 0, 0, true});
+  VirtualClock VC;
+  LoadController C(testOptions(), 256, 8, &VC);
+  LoadController::Decision D;
+  for (const Step &St : Script)
+    D = C.tick(St.S);
+  EXPECT_EQ(D.QueueCap, 16u);
+  EXPECT_EQ(D.CoalesceBatch, 32u);
+  // 256->192->144->108->81->61->46->35->27->21->16: ten bounded steps.
+  EXPECT_EQ(C.stats().CapShrinks, 10u);
+  // One more congested tick: already clamped, counters must not move.
+  uint64_t Shrinks = C.stats().CapShrinks;
+  C.tick(sample(900));
+  EXPECT_EQ(C.queueCap(), 16u);
+  EXPECT_EQ(C.stats().CapShrinks, Shrinks);
+}
+
+TEST(LoadControllerTest, IdleGrowsOnlyWithBindingEvidence) {
+  runScript({
+      // Idle but nothing suggests the cap is binding: hold.
+      {"idle, no shed, empty queue", sample(50), 256, 8, false, true},
+      // Idle with new sheds: the cap rejected work it had room to serve.
+      {"idle with fresh sheds grows", sample(50, /*Shed=*/5), 320, 8, false,
+       true},
+      // Same cumulative shed count (delta 0), queue not pressed: hold.
+      {"idle, stale shed counter holds", sample(50, /*Shed=*/5), 320, 8,
+       false, true},
+      // Queue pressed against the cap is the other growth signal.
+      {"idle with full queue grows", sample(50, 5, 0, 0, /*Depth=*/320), 400,
+       8, false, true},
+  });
+}
+
+TEST(LoadControllerTest, GrowthClampsAtMax) {
+  VirtualClock VC;
+  LoadController C(testOptions(), 1000, 8, &VC);
+  // Growth from 1000 with MaxQueueCap 1024: one bounded step, clamped.
+  LoadController::Decision D = C.tick(sample(10, /*Shed=*/1));
+  EXPECT_EQ(D.QueueCap, 1024u);
+  EXPECT_TRUE(D.CapGrew);
+  D = C.tick(sample(10, /*Shed=*/2));
+  EXPECT_EQ(D.QueueCap, 1024u);
+  EXPECT_FALSE(D.CapGrew);
+}
+
+TEST(LoadControllerTest, HardSignalsCongestWithoutABudget) {
+  runScript({
+      // BudgetMs 0 disables the wait waters; a cancellation delta is
+      // still congestion.
+      {"cancellation congests", sample(0, 0, /*Cancelled=*/2, 0, 0, 0), 192,
+       10, true},
+      // Same cumulative count (delta 0): idle now, batch decays to its
+      // configured floor, cap holds (no binding evidence).
+      {"stale cancel counter is idle", sample(0, 0, 2, 0, 0, 0), 192, 8,
+       false, true},
+      {"open breaker congests", sample(0, 0, 2, /*Breakers=*/1, 0, 0), 144,
+       10, true},
+  });
+}
+
+TEST(LoadControllerTest, UnboundedCapStaysUnbounded) {
+  // Configured cap 0 = no backpressure by choice; the controller must
+  // not invent a bound, but the batch still adapts.
+  runScript(
+      {
+          {"congested: cap stays 0", sample(900), 0, 5, true},
+          {"idle: cap stays 0, batch decays", sample(10), 0, 4, false, true},
+      },
+      testOptions(), /*InitialCap=*/0, /*InitialBatch=*/4);
+}
+
+TEST(LoadControllerTest, BatchDecaysToConfiguredFloorNotMinimum) {
+  VirtualClock VC;
+  LoadController C(testOptions(), 256, 8, &VC);
+  C.tick(sample(900));                          // Batch 8 -> 10.
+  C.tick(sample(900));                          // Batch 10 -> 12.
+  LoadController::Decision D = C.tick(sample(10)); // Idle: decay.
+  EXPECT_EQ(D.CoalesceBatch, 9u);               // 12 - 25%*12 = 9.
+  D = C.tick(sample(10));
+  EXPECT_EQ(D.CoalesceBatch, 8u);               // Floor: configured batch.
+  D = C.tick(sample(10));
+  EXPECT_EQ(D.CoalesceBatch, 8u) << "must not decay below the floor";
+}
+
+TEST(LoadControllerTest, InitialTargetsClampIntoRange) {
+  VirtualClock VC;
+  LoadControlOptions O = testOptions();
+  LoadController C(O, /*InitialQueueCap=*/8, /*InitialCoalesceBatch=*/64,
+                   &VC);
+  EXPECT_EQ(C.queueCap(), 16u);      // Below MinQueueCap: snapped up.
+  EXPECT_EQ(C.coalesceBatch(), 32u); // Above MaxCoalesceBatch: snapped.
+}
+
+//===----------------------------------------------------------------------===//
+// Cadence on the virtual clock
+//===----------------------------------------------------------------------===//
+
+TEST(LoadControllerTest, MaybeTickHonorsTheIntervalOnVirtualClock) {
+  VirtualClock VC;
+  LoadController C(testOptions(), 256, 8, &VC);
+  int Sampled = 0;
+  auto Sampler = [&] {
+    ++Sampled;
+    return sample(500);
+  };
+
+  EXPECT_FALSE(C.maybeTick(Sampler).has_value()) << "interval not elapsed";
+  VC.advanceMs(99);
+  EXPECT_FALSE(C.maybeTick(Sampler).has_value());
+  EXPECT_EQ(Sampled, 0) << "the sampler must not run between ticks";
+
+  VC.advanceMs(1);
+  std::optional<LoadController::Decision> D = C.maybeTick(Sampler);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(D->QueueCap, 192u);
+  EXPECT_EQ(Sampled, 1);
+
+  // The interval restarts from the tick that just ran.
+  EXPECT_FALSE(C.maybeTick(Sampler).has_value());
+  VC.advanceMs(100);
+  EXPECT_TRUE(C.maybeTick(Sampler).has_value());
+  EXPECT_EQ(Sampled, 2);
+  EXPECT_EQ(C.stats().Ticks, 2u);
+}
+
+TEST(LoadControllerTest, DisabledControllerNeverTicksAndAlwaysAdmits) {
+  VirtualClock VC;
+  LoadControlOptions O = testOptions();
+  O.Enabled = false;
+  LoadController C(O, 256, 8, &VC);
+  VC.advanceMs(10000);
+  EXPECT_FALSE(C.maybeTick([] { return LoadSample(); }).has_value());
+  std::atomic<bool> Latch{false};
+  EXPECT_TRUE(C.admit(1e9, 1, Latch));
+}
+
+//===----------------------------------------------------------------------===//
+// Admission gate latch
+//===----------------------------------------------------------------------===//
+
+TEST(LoadControllerTest, AdmissionGateLatchesWithHysteresis) {
+  VirtualClock VC;
+  LoadController C(testOptions(), 256, 8, &VC);
+  std::atomic<bool> Latch{false};
+
+  // Publish a measured p95 wait of 900 ms through a tick.
+  C.tick(sample(900));
+  ASSERT_DOUBLE_EQ(C.waitP95Ms(), 900.0);
+
+  // Predicted 900 + 50 = 950 < budget 1000: admitted.
+  EXPECT_TRUE(C.admit(50, 1000, Latch));
+  EXPECT_FALSE(Latch.load());
+
+  // Predicted 1050 > 1000: the gate closes.
+  EXPECT_FALSE(C.admit(150, 1000, Latch));
+  EXPECT_TRUE(Latch.load());
+
+  // Hysteresis: predicted 900 is below the on-water but above the
+  // off-water (0.8 * 1000 = 800), so the latched gate stays closed.
+  EXPECT_FALSE(C.admit(0, 1000, Latch));
+  EXPECT_TRUE(Latch.load());
+
+  // Only dropping below the off-water reopens it.
+  C.tick(sample(700));
+  EXPECT_TRUE(C.admit(50, 1000, Latch)); // Predicted 750 < 800.
+  EXPECT_FALSE(Latch.load());
+
+  // An unlimited budget is never gated, whatever the prediction.
+  C.tick(sample(90000));
+  EXPECT_TRUE(C.admit(1e9, 0, Latch));
+}
+
+//===----------------------------------------------------------------------===//
+// Interval percentile sampler
+//===----------------------------------------------------------------------===//
+
+TEST(LoadControllerTest, SampleWaitIntervalSeesOnlyTheNewInterval) {
+  obs::Histogram H(obs::Histogram::defaultLatencyBucketsMs());
+  std::vector<uint64_t> Prev;
+  LoadSample S;
+
+  for (int I = 0; I < 100; ++I)
+    H.observe(10);
+  LoadController::sampleWaitInterval(H, Prev, S);
+  EXPECT_GT(S.WaitP50Ms, 0.0);
+  EXPECT_LE(S.WaitP50Ms, 50.0) << "an all-10ms interval has a small p50";
+
+  // No new observations: the next interval is empty, percentiles zero —
+  // a controller must not act on last interval's traffic twice.
+  LoadController::sampleWaitInterval(H, Prev, S);
+  EXPECT_EQ(S.WaitP50Ms, 0.0);
+  EXPECT_EQ(S.WaitP95Ms, 0.0);
+
+  // A slow burst dominates the *interval* percentiles even though the
+  // cumulative histogram is still mostly 10 ms samples.
+  for (int I = 0; I < 10; ++I)
+    H.observe(800);
+  LoadController::sampleWaitInterval(H, Prev, S);
+  EXPECT_GT(S.WaitP95Ms, 400.0) << "interval p95 must reflect the burst";
+}
+
+//===----------------------------------------------------------------------===//
+// Wiring through AsyncSynthesisService
+//===----------------------------------------------------------------------===//
+
+TEST(LoadControllerTest, AsyncServiceTicksAndReportsEffectiveLimits) {
+  VirtualClock VC;
+  AsyncOptions O;
+  O.Workers = 2;
+  O.QueueCap = 64;
+  O.CoalesceBatch = 4;
+  O.LoadControl.Enabled = true;
+  O.LoadControl.TickIntervalMs = 100;
+  O.Clock = &VC;
+  AsyncSynthesisService S(O);
+  static std::unique_ptr<Domain> D = makeTextEditingDomain();
+  S.addDomain(*D);
+
+  ASSERT_NE(S.loadController(), nullptr);
+  EXPECT_EQ(S.queueCap(), 64u);
+  EXPECT_EQ(S.coalesceBatch(), 4u);
+
+  EXPECT_TRUE(S.submit("TextEditing", "sort all lines").get().ok());
+  EXPECT_EQ(S.loadController()->stats().Ticks, 0u)
+      << "no tick before the interval elapses";
+
+  // Advance the virtual clock past one interval: the next submit runs a
+  // controller tick before its own admission.
+  VC.advanceMs(150);
+  EXPECT_TRUE(S.submit("TextEditing", "sort all lines").get().ok());
+  EXPECT_EQ(S.loadController()->stats().Ticks, 1u);
+
+  std::string J = S.statusJson();
+  EXPECT_NE(J.find("\"queue_cap\":64"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"coalesce_batch\":4"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"gate_rejected\":0"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"load_control\":{\"enabled\":true"), std::string::npos)
+      << J;
+  EXPECT_NE(J.find("\"ticks\":1"), std::string::npos) << J;
+  EXPECT_EQ(S.stats().GateRejected, 0u);
+}
+
+TEST(LoadControllerTest, AsyncServiceWithoutControllerReportsDisabled) {
+  AsyncOptions O;
+  O.Workers = 1;
+  AsyncSynthesisService S(O);
+  EXPECT_EQ(S.loadController(), nullptr);
+  EXPECT_NE(S.statusJson().find("\"load_control\":{\"enabled\":false"),
+            std::string::npos);
+}
