@@ -32,11 +32,22 @@
 //
 //===----------------------------------------------------------------------===//
 
+// --front-tier runs the chaos A/B instead: the same mixed workload
+// routed closed-loop through a FrontTierRouter over 3 in-process
+// LocalUpstream shards, once clean and once with the shard owning the
+// TextEditing key failing 100% of connects. Retries and outlier
+// ejection must hold goodput at >= 80% of the clean run while the
+// token-bucket retry budget bounds amplification; violating either
+// bound exits nonzero (the CI acceptance check).
+
 #include "BenchCommon.h"
 #include "grammar/PathCache.h"
 #include "nlu/WordToApiMatcher.h"
+#include "router/Router.h"
 #include "service/AsyncSynthesisService.h"
+#include "support/FaultInjection.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -324,6 +335,84 @@ void runOverload(const bench::Domains &D, const std::vector<WorkItem> &Work,
   R.EffBatch = S.coalesceBatch();
 }
 
+/// One closed-loop run through the front tier: every query routed via
+/// the consistent-hash ring, failures retried per the router policy.
+struct FrontTierOutcome {
+  double WallSeconds = 0;
+  uint64_t Good = 0;   ///< RouterReport.ok(): a codelet-or-no-answer verdict.
+  uint64_t Failed = 0; ///< Everything else (transport, budget-denied, ...).
+  router::FrontTierRouter::Stats Stats;
+  unsigned Ejections = 0; ///< Lifetime ejections across the shard set.
+  std::string FailedShard;
+
+  double goodputQps() const {
+    return WallSeconds > 0 ? static_cast<double>(Good) / WallSeconds : 0.0;
+  }
+};
+
+void runFrontTier(const bench::Domains &D, const std::vector<WorkItem> &Work,
+                  unsigned Shards, unsigned WorkersPerShard, unsigned Drivers,
+                  bool FailOwner, FrontTierOutcome &R) {
+  FaultInjector::instance().reset();
+  // With any point armed, every fault-point check in the synthesis hot
+  // loops counts hits under the injector's lock — a flat tax on both
+  // runs or neither, never just one. Arming a point nothing consults in
+  // the clean run keeps the A/B an apples-to-apples measure of routing
+  // policy rather than injector overhead.
+  FaultInjector::instance().armNth("bench.front_tier.noop", 1);
+  router::FrontTierRouter Router; // Stock policy: what ships is measured.
+  for (unsigned I = 0; I < Shards; ++I) {
+    AsyncOptions AO;
+    AO.Workers = WorkersPerShard;
+    AO.QueueCap = 0; // The closed-loop drivers bound the queue.
+    auto Svc = std::make_unique<AsyncSynthesisService>(AO);
+    Svc->addDomain(*D.TextEditing);
+    Svc->addDomain(*D.AstMatcher);
+    Router.addShard(std::make_shared<router::LocalUpstream>(
+        "shard-" + std::to_string(I), std::move(Svc)));
+  }
+
+  if (FailOwner) {
+    // Fail the shard that owns the TextEditing key — the majority of the
+    // mixed workload, so the chaos run actually exercises the retry and
+    // ejection paths instead of a shard no query hashes to.
+    std::shared_ptr<router::Upstream> Owner =
+        Router.shards().pick("TextEditing");
+    R.FailedShard = Owner->name();
+    FaultInjector::instance().armAlways("router.connect." + R.FailedShard);
+  }
+
+  std::atomic<size_t> NextIdx{0};
+  std::atomic<uint64_t> Good{0}, Failed{0};
+  std::vector<std::thread> Threads;
+  WallTimer Total;
+  for (unsigned T = 0; T < Drivers; ++T)
+    Threads.emplace_back([&] {
+      while (true) {
+        size_t I = NextIdx.fetch_add(1, std::memory_order_relaxed);
+        if (I >= Work.size())
+          break;
+        router::UpstreamQuery Q;
+        Q.Domain = Work[I].Domain;
+        Q.Query = *Work[I].Query;
+        router::RouterReport Rep = Router.route(Q);
+        if (Rep.ok())
+          ++Good;
+        else
+          ++Failed;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  R.WallSeconds = Total.seconds();
+  R.Good = Good.load();
+  R.Failed = Failed.load();
+  R.Stats = Router.stats();
+  for (const router::ShardSet::ShardInfo &S : Router.shards().snapshot())
+    R.Ejections += S.Ejections;
+  FaultInjector::instance().reset();
+}
+
 /// Expressions must agree wherever both modes produced an answer; a
 /// nonzero count means the caches or the pool changed semantics.
 size_t countMismatches(const ModeResult &Serial, const ModeResult &Async) {
@@ -348,10 +437,15 @@ int main(int argc, char **argv) {
   double Overload = 0; // 0 = the closed-loop serial/async comparison.
   uint64_t BudgetMs = 300;
   double GateOn = 0.8, GateOff = 0.6;
+  bool FrontTier = false;
   for (int I = 1; I < argc; ++I) {
     std::string_view Arg = argv[I];
     if (Arg == "--json")
       Json = true;
+    else if (Arg == "--front-tier")
+      // Chaos A/B through the FrontTierRouter: clean vs one shard
+      // failing 100%, asserting the goodput and retry-budget bounds.
+      FrontTier = true;
     else if (Arg == "--workers" && I + 1 < argc)
       Workers = static_cast<unsigned>(std::atoi(argv[++I]));
     else if (Arg == "--rounds" && I + 1 < argc)
@@ -379,6 +473,7 @@ int main(int argc, char **argv) {
       std::fprintf(stderr,
                    "usage: %s [--json] [--workers N] [--rounds N] "
                    "[--limit QUERIES_PER_DOMAIN] [--http-port PORT] "
+                   "[--front-tier] "
                    "[--overload MULT [--budget-ms N] [--gate-on F] "
                    "[--gate-off F]]\n",
                    argv[0]);
@@ -396,6 +491,92 @@ int main(int argc, char **argv) {
 
   bench::Domains D;
   std::vector<WorkItem> Work = buildWorkload(D, Rounds, Limit);
+
+  if (FrontTier) {
+    const unsigned Shards = 3, Drivers = 4;
+    std::fprintf(stderr,
+                 "[bench] front-tier: %zu queries over %u shards, clean "
+                 "run first...\n",
+                 Work.size(), Shards);
+    FrontTierOutcome Clean;
+    runFrontTier(D, Work, Shards, Workers, Drivers, /*FailOwner=*/false,
+                 Clean);
+    std::fprintf(stderr,
+                 "[bench] front-tier: chaos run, TextEditing owner failing "
+                 "100%% of connects...\n");
+    FrontTierOutcome Chaos;
+    runFrontTier(D, Work, Shards, Workers, Drivers, /*FailOwner=*/true,
+                 Chaos);
+
+    double GoodputRatio = Clean.goodputQps() > 0
+                              ? Chaos.goodputQps() / Clean.goodputQps()
+                              : 0.0;
+    // The amplification bound: a retry (or hedge) spends a token, and
+    // tokens arrive at Fraction per request on top of the initial Burst.
+    router::RouterOptions Stock;
+    double RetryCap =
+        Stock.RetryBudgetFraction * static_cast<double>(Chaos.Stats.Requests) +
+        Stock.RetryBudgetBurst;
+    bool GoodputOk = GoodputRatio >= 0.8;
+    bool RetriesOk = static_cast<double>(Chaos.Stats.Retries) <= RetryCap;
+    // Sanity: the chaos run must actually have exercised the machinery.
+    bool ChaosReal = Chaos.Stats.Retries > 0 && Chaos.Ejections > 0;
+
+    if (Json) {
+      auto PrintMode = [](const char *Name, const FrontTierOutcome &O) {
+        std::printf("\"%s\":{\"goodput_qps\":%.2f,\"wall_s\":%.3f,"
+                    "\"ok\":%llu,\"failed\":%llu,\"retries\":%llu,"
+                    "\"budget_exhausted\":%llu,\"ejections\":%u}",
+                    Name, O.goodputQps(), O.WallSeconds,
+                    static_cast<unsigned long long>(O.Good),
+                    static_cast<unsigned long long>(O.Failed),
+                    static_cast<unsigned long long>(O.Stats.Retries),
+                    static_cast<unsigned long long>(
+                        O.Stats.RetryBudgetExhausted),
+                    O.Ejections);
+      };
+      std::printf("{\"bench\":\"throughput_front_tier\",\"queries\":%zu,"
+                  "\"shards\":%u,\"failed_shard\":\"%s\",",
+                  Work.size(), Shards, Chaos.FailedShard.c_str());
+      PrintMode("clean", Clean);
+      std::printf(",");
+      PrintMode("chaos", Chaos);
+      std::printf(",\"goodput_ratio\":%.3f,\"retry_cap\":%.1f,"
+                  "\"goodput_ok\":%s,\"retries_ok\":%s}\n",
+                  GoodputRatio, RetryCap, GoodputOk ? "true" : "false",
+                  RetriesOk ? "true" : "false");
+    } else {
+      bench::banner("Front-tier chaos A/B: clean vs one shard failing 100%",
+                    "outlier ejection + retry budget hold goodput");
+      auto PrintMode = [](const char *Name, const FrontTierOutcome &O) {
+        std::printf("%-6s goodput %7.1f q/s   ok %5llu   failed %4llu   "
+                    "retries %4llu   budget-denied %3llu   ejections %u\n",
+                    Name, O.goodputQps(),
+                    static_cast<unsigned long long>(O.Good),
+                    static_cast<unsigned long long>(O.Failed),
+                    static_cast<unsigned long long>(O.Stats.Retries),
+                    static_cast<unsigned long long>(
+                        O.Stats.RetryBudgetExhausted),
+                    O.Ejections);
+      };
+      PrintMode("clean", Clean);
+      PrintMode("chaos", Chaos);
+      std::printf("failed shard: %s\n", Chaos.FailedShard.c_str());
+      std::printf("goodput ratio (chaos / clean): %.2f (bound: >= 0.80)\n",
+                  GoodputRatio);
+      std::printf("chaos retries: %llu (budget cap: %.1f)\n",
+                  static_cast<unsigned long long>(Chaos.Stats.Retries),
+                  RetryCap);
+    }
+    if (!GoodputOk)
+      std::fprintf(stderr, "[bench] FAIL: chaos goodput below 80%% of clean\n");
+    if (!RetriesOk)
+      std::fprintf(stderr, "[bench] FAIL: retries exceeded the budget cap\n");
+    if (!ChaosReal)
+      std::fprintf(stderr,
+                   "[bench] FAIL: chaos run saw no retries or no ejection\n");
+    return GoodputOk && RetriesOk && ChaosReal ? 0 : 1;
+  }
 
   if (Overload > 0) {
     // The overload experiment replays the heavy domain only: admission

@@ -1,0 +1,156 @@
+# Smoke-tests the query data plane end to end:
+#   -DEXAMPLE=<path>  the dataplane_server binary
+#   -DWORKDIR=<dir>   scratch directory for logs and responses
+#
+# Phase 1 (clean): starts `dataplane_server --serve` on an ephemeral
+# front port, POSTs a TextEditing query and asserts the answer carries a
+# codelet plus the router trail, and that /metrics exposes the
+# dggt_router_* instruments.
+#
+# Phase 2 (chaos): restarts with --fail-primary (every connect to the
+# shard owning the TextEditing key fails) and --eject-after 3, POSTs a
+# run of queries, and asserts every one still answers 200/ok — first via
+# retries onto a neighbour shard, then directly once the outlier ejector
+# takes the sick shard out of the ring (dggt_router_ejections_total >= 1,
+# and the last answer routed with zero retries).
+#
+# Used by the `check-dataplane` target; fails the build on any missing
+# or malformed content.
+
+foreach(var EXAMPLE WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "CheckDataplaneOutput.cmake needs -D${var}=<value>")
+  endif()
+endforeach()
+
+find_program(CURL curl REQUIRED)
+find_program(SH sh REQUIRED)
+
+set(_body "{\"domain\":\"TextEditing\",\"query\":\"sort all lines\"}")
+
+# Starts the server with EXTRA_ARGS, waits for the announce line, and
+# sets _port/_pid (FATAL_ERROR on timeout).
+macro(_start_server tag extra_args)
+  set(_log "${WORKDIR}/dataplane-${tag}.log")
+  set(_pidfile "${WORKDIR}/dataplane-${tag}.pid")
+  file(REMOVE "${_log}" "${_pidfile}")
+  execute_process(
+    COMMAND ${SH} -c "'${EXAMPLE}' --serve 60 ${extra_args} > '${_log}' 2>&1 & echo $! > '${_pidfile}'"
+    RESULT_VARIABLE _rc)
+  if(NOT _rc EQUAL 0)
+    message(FATAL_ERROR "failed to start '${EXAMPLE}' (${tag})")
+  endif()
+  file(READ "${_pidfile}" _pid)
+  string(STRIP "${_pid}" _pid)
+  set(_port "")
+  foreach(_try RANGE 100)
+    if(EXISTS "${_log}")
+      file(READ "${_log}" _out)
+      if(_out MATCHES "dggt-http-endpoint: listening on 127\\.0\\.0\\.1:([0-9]+)")
+        set(_port "${CMAKE_MATCH_1}")
+        break()
+      endif()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.2)
+  endforeach()
+  if(_port STREQUAL "")
+    execute_process(COMMAND ${SH} -c "kill ${_pid} 2>/dev/null" ERROR_QUIET)
+    file(READ "${_log}" _out)
+    message(FATAL_ERROR "no announce line from ${tag} server within 20 s; log:\n${_out}")
+  endif()
+endmacro()
+
+macro(_stop_server)
+  execute_process(COMMAND ${SH} -c "kill ${_pid} 2>/dev/null" ERROR_QUIET)
+endmacro()
+
+macro(_post outfile)
+  execute_process(
+    COMMAND ${CURL} -sS -o "${outfile}" -d "${_body}"
+            "http://127.0.0.1:${_port}/v1/synthesize"
+    RESULT_VARIABLE _rc)
+  if(NOT _rc EQUAL 0)
+    _stop_server()
+    message(FATAL_ERROR "POST /v1/synthesize on port ${_port} failed (rc ${_rc})")
+  endif()
+endmacro()
+
+#-----------------------------------------------------------------------
+# Phase 1: clean fleet answers with a codelet and router metrics.
+#-----------------------------------------------------------------------
+_start_server(clean "")
+_post("${WORKDIR}/dataplane-clean-answer.json")
+
+execute_process(
+  COMMAND ${CURL} -fsS -o "${WORKDIR}/dataplane-clean-metrics.prom"
+          "http://127.0.0.1:${_port}/metrics"
+  RESULT_VARIABLE _rc)
+_stop_server()
+if(NOT _rc EQUAL 0)
+  message(FATAL_ERROR "curl /metrics on port ${_port} failed (rc ${_rc})")
+endif()
+
+file(READ "${WORKDIR}/dataplane-clean-answer.json" _answer)
+foreach(needle
+    "\"status\":\"ok\""
+    "\"codelet\":\"SORTLINES"
+    "\"answered_by\":"
+    "\"router\":{"
+    "\"shards\":[\"shard-")
+  string(FIND "${_answer}" "${needle}" _pos)
+  if(_pos EQUAL -1)
+    message(FATAL_ERROR "clean answer is missing: ${needle}\n---\n${_answer}")
+  endif()
+endforeach()
+
+file(READ "${WORKDIR}/dataplane-clean-metrics.prom" _prom)
+foreach(needle
+    "dggt_router_requests_total 1"
+    "# TYPE dggt_router_latency_ms histogram"
+    "dggt_http_requests_total{path=\"/v1/synthesize\",code=\"200\"} 1")
+  string(FIND "${_prom}" "${needle}" _pos)
+  if(_pos EQUAL -1)
+    message(FATAL_ERROR "clean /metrics scrape is missing: ${needle}\n---\n${_prom}")
+  endif()
+endforeach()
+
+#-----------------------------------------------------------------------
+# Phase 2: one shard failing 100% — retries keep answers flowing, the
+# ejector takes the shard out, and routing goes direct again.
+#-----------------------------------------------------------------------
+_start_server(chaos "--fail-primary --eject-after 3")
+
+foreach(_i RANGE 1 5)
+  _post("${WORKDIR}/dataplane-chaos-${_i}.json")
+  file(READ "${WORKDIR}/dataplane-chaos-${_i}.json" _answer)
+  if(NOT _answer MATCHES "\"status\":\"ok\"")
+    _stop_server()
+    message(FATAL_ERROR "chaos query ${_i} did not answer ok:\n${_answer}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CURL} -fsS -o "${WORKDIR}/dataplane-chaos-metrics.prom"
+          "http://127.0.0.1:${_port}/metrics"
+  RESULT_VARIABLE _rc)
+_stop_server()
+if(NOT _rc EQUAL 0)
+  message(FATAL_ERROR "curl chaos /metrics on port ${_port} failed (rc ${_rc})")
+endif()
+
+file(READ "${WORKDIR}/dataplane-chaos-metrics.prom" _prom)
+if(NOT _prom MATCHES "dggt_router_ejections_total ([1-9][0-9]*)")
+  message(FATAL_ERROR "failing shard was never ejected\n---\n${_prom}")
+endif()
+if(NOT _prom MATCHES "dggt_router_retries_total ([1-9][0-9]*)")
+  message(FATAL_ERROR "no retries recorded under chaos\n---\n${_prom}")
+endif()
+
+# After ejection the sick shard is out of the ring: the last query must
+# have routed cleanly, without burning a retry on the dead shard.
+file(READ "${WORKDIR}/dataplane-chaos-5.json" _answer)
+if(NOT _answer MATCHES "\"retries\":0")
+  message(FATAL_ERROR "post-ejection query still retried:\n${_answer}")
+endif()
+
+message(STATUS "dataplane output OK: clean answer + chaos ejection verified")

@@ -5,6 +5,7 @@
 #include "obs/BuildInfo.h"
 #include "obs/Export.h"
 #include "obs/Metrics.h"
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 
 #include <arpa/inet.h>
@@ -35,8 +36,18 @@ const char *statusText(int Code) {
     return "Not Found";
   case 405:
     return "Method Not Allowed";
+  case 411:
+    return "Length Required";
+  case 413:
+    return "Content Too Large";
+  case 429:
+    return "Too Many Requests";
+  case 502:
+    return "Bad Gateway";
   case 503:
     return "Service Unavailable";
+  case 504:
+    return "Gateway Timeout";
   }
   return "Internal Server Error";
 }
@@ -112,7 +123,7 @@ parseQuery(std::string_view Query) {
 /// URL-scanning client cannot mint unbounded label values.
 std::string_view routeLabel(std::string_view Path) {
   if (Path == "/metrics" || Path == "/debug/traces" || Path == "/healthz" ||
-      Path == "/readyz" || Path == "/statusz")
+      Path == "/readyz" || Path == "/statusz" || Path == "/v1/synthesize")
     return Path;
   return "other";
 }
@@ -134,6 +145,179 @@ obs::Histogram &scrapeLatencyMs() {
   return H;
 }
 
+//===--------------------------------------------------------------------===//
+// Minimal flat-JSON body parser
+//===--------------------------------------------------------------------===//
+
+/// Cursor over the /v1/synthesize request body. The accepted grammar is
+/// deliberately small — one flat object of string and non-negative
+/// integer members — because that is the entire request schema; a
+/// nested value or trailing garbage is a 400, not something to recover.
+struct JsonCursor {
+  std::string_view S;
+  size_t I = 0;
+
+  void skipWs() {
+    while (I < S.size() && (S[I] == ' ' || S[I] == '\t' || S[I] == '\r' ||
+                            S[I] == '\n'))
+      ++I;
+  }
+  bool eat(char C) {
+    skipWs();
+    if (I >= S.size() || S[I] != C)
+      return false;
+    ++I;
+    return true;
+  }
+  bool atEnd() {
+    skipWs();
+    return I >= S.size();
+  }
+
+  /// Parses a JSON string literal (standard escapes, \uXXXX for code
+  /// points below U+0800; surrogates are rejected — NL queries are
+  /// plain text, not astral-plane payloads).
+  bool parseString(std::string &Out) {
+    skipWs();
+    if (I >= S.size() || S[I] != '"')
+      return false;
+    ++I;
+    Out.clear();
+    while (I < S.size()) {
+      char C = S[I++];
+      if (C == '"')
+        return true;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return false; // Raw control characters are invalid JSON.
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (I >= S.size())
+        return false;
+      char E = S[I++];
+      switch (E) {
+      case '"': Out += '"'; break;
+      case '\\': Out += '\\'; break;
+      case '/': Out += '/'; break;
+      case 'b': Out += '\b'; break;
+      case 'f': Out += '\f'; break;
+      case 'n': Out += '\n'; break;
+      case 'r': Out += '\r'; break;
+      case 't': Out += '\t'; break;
+      case 'u': {
+        if (I + 4 > S.size())
+          return false;
+        unsigned V = 0;
+        for (int K = 0; K < 4; ++K) {
+          char H = S[I++];
+          V <<= 4;
+          if (H >= '0' && H <= '9')
+            V |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            V |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            V |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return false;
+        }
+        if (V >= 0xD800 && V <= 0xDFFF)
+          return false;
+        if (V < 0x80) {
+          Out += static_cast<char>(V);
+        } else if (V < 0x800) {
+          Out += static_cast<char>(0xC0 | (V >> 6));
+          Out += static_cast<char>(0x80 | (V & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (V >> 12));
+          Out += static_cast<char>(0x80 | ((V >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (V & 0x3F));
+        }
+        break;
+      }
+      default:
+        return false;
+      }
+    }
+    return false; // Unterminated.
+  }
+
+  bool parseNumber(uint64_t &Out) {
+    skipWs();
+    size_t Start = I;
+    while (I < S.size() && S[I] >= '0' && S[I] <= '9')
+      ++I;
+    if (I == Start)
+      return false;
+    std::optional<uint64_t> N = parseUnsigned(S.substr(Start, I - Start));
+    if (!N)
+      return false;
+    Out = *N;
+    return true;
+  }
+};
+
+/// Parses the request body into \p Req. Unknown string/number keys are
+/// ignored (forward compatibility); anything structurally outside "one
+/// flat object" fails.
+bool parseSynthesizeBody(std::string_view Body, SynthesizeRequest &Req,
+                         std::string &Error) {
+  JsonCursor C{Body};
+  if (!C.eat('{')) {
+    Error = "body is not a JSON object";
+    return false;
+  }
+  bool First = true;
+  while (true) {
+    C.skipWs();
+    if (C.eat('}'))
+      break;
+    if (!First && !C.eat(',')) {
+      Error = "expected ',' between members";
+      return false;
+    }
+    First = false;
+    std::string Key;
+    if (!C.parseString(Key)) {
+      Error = "expected string key";
+      return false;
+    }
+    if (!C.eat(':')) {
+      Error = "expected ':' after key";
+      return false;
+    }
+    C.skipWs();
+    if (C.I < C.S.size() && C.S[C.I] == '"') {
+      std::string Val;
+      if (!C.parseString(Val)) {
+        Error = "malformed string value";
+        return false;
+      }
+      if (Key == "query")
+        Req.Query = std::move(Val);
+      else if (Key == "domain")
+        Req.Domain = std::move(Val);
+    } else {
+      uint64_t Val = 0;
+      if (!C.parseNumber(Val)) {
+        Error = "malformed value for key '" + Key + "'";
+        return false;
+      }
+      if (Key == "budget_ms")
+        Req.BudgetMs = Val;
+    }
+  }
+  if (!C.atEnd()) {
+    Error = "trailing bytes after the JSON object";
+    return false;
+  }
+  if (Req.Domain.empty() || Req.Query.empty()) {
+    Error = "missing required members 'domain' and/or 'query'";
+    return false;
+  }
+  return true;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -145,6 +329,40 @@ struct HttpEndpoint::Conn {
   int Fd = -1;
   std::string Buf; ///< Request bytes read so far.
   std::chrono::steady_clock::time_point Deadline;
+  bool HeadDone = false; ///< Head parsed; now reading the body.
+  size_t HeadEnd = 0;    ///< Offset of the "\r\n\r\n" terminator.
+  size_t BodyLen = 0;    ///< Declared Content-Length.
+  std::string Path;      ///< Request path (for the route counter).
+  /// Non-null while parked on the synthesize provider's answer.
+  std::shared_ptr<DeferredState> Deferred;
+};
+
+/// The parking slot of one deferred request: the provider's reply
+/// callback fills it from an arbitrary thread, the poll loop drains it.
+/// Shared ownership (callback + connection) means whichever side is
+/// late — a reply after the client hung up, a close after the reply —
+/// touches valid memory and simply loses the race.
+struct HttpEndpoint::DeferredState {
+  std::atomic<bool> Ready{false};
+  std::mutex M; ///< Guards Resp against the Ready publish.
+  SynthesizeResponse Resp;
+};
+
+/// Shared handle to the poll loop's wake pipe. Reply callbacks hold a
+/// weak_ptr: stop() invalidates the fd under the mutex before closing
+/// the pipe, so a reply landing mid-shutdown wakes nobody instead of
+/// writing to a recycled descriptor.
+struct HttpEndpoint::Waker {
+  std::mutex M;
+  int Fd = -1;
+
+  void wake() {
+    std::lock_guard<std::mutex> L(M);
+    if (Fd < 0)
+      return;
+    char B = 'x';
+    [[maybe_unused]] ssize_t W = write(Fd, &B, 1);
+  }
 };
 
 HttpEndpoint::HttpEndpoint() : HttpEndpoint(Options()) {}
@@ -212,6 +430,8 @@ bool HttpEndpoint::start(std::string &Error) {
     return false;
   }
   setNonBlocking(WakeFds[0]);
+  WakeHandle = std::make_shared<Waker>();
+  WakeHandle->Fd = WakeFds[1];
 
   ListenFd = Fd;
   BoundPort.store(ntohs(Addr.sin_port), std::memory_order_release);
@@ -239,6 +459,13 @@ void HttpEndpoint::stop() {
   }
   if (Server.joinable())
     Server.join();
+  // Invalidate the waker before the pipe closes: a late deferred reply
+  // then no-ops instead of writing a dead (possibly recycled) fd.
+  if (WakeHandle) {
+    std::lock_guard<std::mutex> L(WakeHandle->M);
+    WakeHandle->Fd = -1;
+  }
+  WakeHandle.reset();
   if (ListenFd >= 0)
     close(ListenFd);
   for (int &Fd : WakeFds)
@@ -263,6 +490,13 @@ uint64_t HttpEndpoint::setStatusProvider(StatusProvider P) {
   return StatusToken;
 }
 
+uint64_t HttpEndpoint::setSynthesizeProvider(SynthesizeProvider P) {
+  std::lock_guard<std::mutex> L(ProvidersM);
+  Synthesize = std::move(P);
+  SynthesizeToken = Synthesize ? NextProviderToken++ : 0;
+  return SynthesizeToken;
+}
+
 void HttpEndpoint::clearHealthProvider(uint64_t Token) {
   if (!Token)
     return;
@@ -280,6 +514,16 @@ void HttpEndpoint::clearStatusProvider(uint64_t Token) {
   if (StatusToken == Token) {
     Status = nullptr;
     StatusToken = 0;
+  }
+}
+
+void HttpEndpoint::clearSynthesizeProvider(uint64_t Token) {
+  if (!Token)
+    return;
+  std::lock_guard<std::mutex> L(ProvidersM);
+  if (SynthesizeToken == Token) {
+    Synthesize = nullptr;
+    SynthesizeToken = 0;
   }
 }
 
@@ -353,9 +597,11 @@ void HttpEndpoint::serverLoop() {
           close(Fd);
           continue;
         }
-        Conns.push_back({Fd, std::string(),
-                         std::chrono::steady_clock::now() +
-                             std::chrono::milliseconds(Opts.RequestTimeoutMs)});
+        Conn C;
+        C.Fd = Fd;
+        C.Deadline = clockNow(Opts.Clock) +
+                     std::chrono::milliseconds(Opts.RequestTimeoutMs);
+        Conns.push_back(std::move(C));
       }
     }
     if (Pfds[1].revents & POLLIN) {
@@ -374,9 +620,48 @@ void HttpEndpoint::serverLoop() {
         CloseConn(I);
         continue;
       }
+
+      // A parked (deferred) connection is serviced on every wake: the
+      // provider's answer is written when ready, the extended deadline
+      // turns a never-answering provider into a 504, and bytes/EOF from
+      // the client are drained so a vanished peer frees its slot.
+      if (C.Deferred) {
+        if (C.Deferred->Ready.load(std::memory_order_acquire)) {
+          SynthesizeResponse R;
+          {
+            std::lock_guard<std::mutex> L(C.Deferred->M);
+            R = C.Deferred->Resp;
+          }
+          // dataplane.reply: the response is computed but never makes it
+          // back — the client sees a dropped connection (tests drive the
+          // "who retries" half of the failure matrix with this).
+          if (!faultFires(faults::DataplaneReply))
+            WriteAll(C.Fd, respond(C.Path, R.Code, "application/json",
+                                   R.Body, R.RetryAfterSeconds));
+          CloseConn(I);
+          continue;
+        }
+        if (clockNow(Opts.Clock) >= C.Deadline) {
+          WriteAll(C.Fd,
+                   respond(C.Path, 504, "application/json",
+                           "{\"error\":\"synthesis did not complete before "
+                           "the deadline\"}"));
+          CloseConn(I);
+          continue;
+        }
+        if (Re & POLLIN) {
+          char Buf[256];
+          ssize_t R = recv(C.Fd, Buf, sizeof(Buf), 0);
+          if (R == 0 || (R < 0 && errno != EAGAIN && errno != EWOULDBLOCK))
+            CloseConn(I); // Client gone; the late answer is dropped.
+        }
+        continue;
+      }
+
       // Deadline applies whether or not bytes arrived: a client
-      // trickling one byte per poll round must not outlive the timeout.
-      if (std::chrono::steady_clock::now() >= C.Deadline) {
+      // trickling one byte per poll round must not outlive the timeout,
+      // and the same clock covers head and body reads.
+      if (clockNow(Opts.Clock) >= C.Deadline) {
         CloseConn(I);
         continue;
       }
@@ -391,20 +676,39 @@ void HttpEndpoint::serverLoop() {
       if (R > 0)
         C.Buf.append(Buf, static_cast<size_t>(R));
 
-      size_t HeadEnd = C.Buf.find("\r\n\r\n");
-      if (HeadEnd == std::string::npos) {
-        if (C.Buf.size() > Opts.MaxRequestBytes) {
-          // Oversized or never-terminating head: strict 400, close.
-          std::string Resp = handleRequest(std::string_view());
+      if (!C.HeadDone) {
+        size_t HeadEnd = C.Buf.find("\r\n\r\n");
+        if (HeadEnd == std::string::npos) {
+          if (C.Buf.size() > Opts.MaxRequestBytes) {
+            // Oversized or never-terminating head: strict 400, close.
+            WriteAll(C.Fd,
+                     respond("", 400, "application/json",
+                             "{\"error\":\"request head too large\"}"));
+            CloseConn(I);
+          }
+          continue;
+        }
+        C.HeadEnd = HeadEnd;
+        std::string Resp;
+        ReqAction Act = processHead(C, Resp);
+        if (Act == ReqAction::Respond) {
+          WriteAll(C.Fd, Resp);
+          CloseConn(I);
+          continue;
+        }
+        // NeedBody: fall through — the bytes read alongside the head may
+        // already complete the body.
+      }
+
+      if (C.Buf.size() >= C.HeadEnd + 4 + C.BodyLen) {
+        std::string Resp;
+        ReqAction Act = processBody(C, Resp);
+        if (Act == ReqAction::Respond) {
           WriteAll(C.Fd, Resp);
           CloseConn(I);
         }
-        continue;
+        // Deferred: the connection parks; serviced above on later wakes.
       }
-      std::string Resp = handleRequest(
-          std::string_view(C.Buf.data(), HeadEnd));
-      WriteAll(C.Fd, Resp);
-      CloseConn(I);
     }
   }
 
@@ -416,61 +720,170 @@ void HttpEndpoint::serverLoop() {
 // Request handling
 //===----------------------------------------------------------------------===//
 
-std::string HttpEndpoint::handleRequest(std::string_view Head) {
-  ScopedLatencyMs Latency(scrapeLatencyMs());
-
-  // Strict request line: exactly "METHOD SP TARGET SP HTTP/1.x", single
-  // spaces, target starting with '/'. An empty Head is the oversized-
-  // request sentinel from the read loop.
-  std::string_view Line = Head.substr(0, Head.find("\r\n"));
-  int Code = 400;
-  std::string ContentType = "application/json";
-  std::string Body;
-  std::string_view Path = "";
-
-  size_t Sp1 = Line.find(' ');
-  size_t Sp2 = Sp1 == std::string_view::npos ? std::string_view::npos
-                                             : Line.find(' ', Sp1 + 1);
-  if (Sp1 != std::string_view::npos && Sp2 != std::string_view::npos &&
-      Line.find(' ', Sp2 + 1) == std::string_view::npos && Sp1 > 0 &&
-      Sp2 > Sp1 + 1 && Sp2 + 1 < Line.size()) {
-    std::string_view Method = Line.substr(0, Sp1);
-    std::string_view Target = Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
-    std::string_view Version = Line.substr(Sp2 + 1);
-    if ((Version == "HTTP/1.1" || Version == "HTTP/1.0") &&
-        Target.front() == '/') {
-      Path = Target.substr(0, Target.find('?'));
-      if (Method != "GET") {
-        Code = 405;
-        Body = "{\"error\":\"method not allowed; this endpoint is GET-only\"}";
-      } else {
-        Body = dispatch(Target, Code, ContentType);
-      }
-    } else {
-      Body = "{\"error\":\"malformed request line\"}";
-    }
-  } else {
-    Body = "{\"error\":\"malformed request line\"}";
-  }
-
+std::string HttpEndpoint::respond(std::string_view Path, int Code,
+                                  std::string_view ContentType,
+                                  std::string_view Body,
+                                  unsigned RetryAfterSeconds,
+                                  std::string_view Allow) {
   Served.fetch_add(1, std::memory_order_relaxed);
   countRequest(Path, Code);
 
   std::string Resp;
-  Resp.reserve(Body.size() + 160);
+  Resp.reserve(Body.size() + 200);
   Resp += "HTTP/1.1 ";
   Resp += std::to_string(Code);
   Resp += " ";
   Resp += statusText(Code);
   Resp += "\r\nContent-Type: ";
   Resp += ContentType;
-  if (Code == 405)
-    Resp += "\r\nAllow: GET";
+  if (!Allow.empty()) {
+    Resp += "\r\nAllow: ";
+    Resp += Allow;
+  }
+  if (RetryAfterSeconds > 0) {
+    Resp += "\r\nRetry-After: ";
+    Resp += std::to_string(RetryAfterSeconds);
+  }
   Resp += "\r\nContent-Length: ";
   Resp += std::to_string(Body.size());
   Resp += "\r\nConnection: close\r\n\r\n";
   Resp += Body;
   return Resp;
+}
+
+HttpEndpoint::ReqAction HttpEndpoint::processHead(Conn &C, std::string &Resp) {
+  ScopedLatencyMs Latency(scrapeLatencyMs());
+
+  // Strict request line: exactly "METHOD SP TARGET SP HTTP/1.x", single
+  // spaces, target starting with '/'.
+  std::string_view Head(C.Buf.data(), C.HeadEnd);
+  std::string_view Line = Head.substr(0, Head.find("\r\n"));
+
+  size_t Sp1 = Line.find(' ');
+  size_t Sp2 = Sp1 == std::string_view::npos ? std::string_view::npos
+                                             : Line.find(' ', Sp1 + 1);
+  if (!(Sp1 != std::string_view::npos && Sp2 != std::string_view::npos &&
+        Line.find(' ', Sp2 + 1) == std::string_view::npos && Sp1 > 0 &&
+        Sp2 > Sp1 + 1 && Sp2 + 1 < Line.size())) {
+    Resp = respond("", 400, "application/json",
+                   "{\"error\":\"malformed request line\"}");
+    return ReqAction::Respond;
+  }
+  std::string_view Method = Line.substr(0, Sp1);
+  std::string_view Target = Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+  std::string_view Version = Line.substr(Sp2 + 1);
+  if (!((Version == "HTTP/1.1" || Version == "HTTP/1.0") &&
+        Target.front() == '/')) {
+    Resp = respond("", 400, "application/json",
+                   "{\"error\":\"malformed request line\"}");
+    return ReqAction::Respond;
+  }
+  std::string_view Path = Target.substr(0, Target.find('?'));
+  C.Path = std::string(Path);
+
+  if (Path == "/v1/synthesize") {
+    if (Method != "POST") {
+      Resp = respond(Path, 405, "application/json",
+                     "{\"error\":\"/v1/synthesize is POST-only\"}", 0, "POST");
+      return ReqAction::Respond;
+    }
+    // Exactly one well-formed Content-Length header frames the body.
+    // Duplicates (even agreeing ones) and anything the strict unsigned
+    // parser rejects are a 400: request smuggling primitives, not
+    // tolerable sloppiness.
+    size_t Found = 0;
+    uint64_t Length = 0;
+    bool Malformed = false;
+    std::vector<std::string> Lines = split(Head, "\r\n");
+    for (size_t LI = 1; LI < Lines.size(); ++LI) {
+      std::string_view HeaderLine = Lines[LI];
+      size_t Colon = HeaderLine.find(':');
+      if (Colon == std::string_view::npos)
+        continue;
+      if (toLower(trim(HeaderLine.substr(0, Colon))) != "content-length")
+        continue;
+      ++Found;
+      std::optional<uint64_t> N =
+          parseUnsigned(trim(HeaderLine.substr(Colon + 1)));
+      if (!N)
+        Malformed = true;
+      else
+        Length = *N;
+    }
+    if (Found == 0) {
+      Resp = respond(Path, 411, "application/json",
+                     "{\"error\":\"Content-Length required\"}");
+      return ReqAction::Respond;
+    }
+    if (Found > 1 || Malformed) {
+      Resp = respond(Path, 400, "application/json",
+                     "{\"error\":\"malformed or duplicate Content-Length\"}");
+      return ReqAction::Respond;
+    }
+    if (Length > Opts.MaxBodyBytes) {
+      Resp = respond(Path, 413, "application/json",
+                     "{\"error\":\"request body exceeds the limit\"}");
+      return ReqAction::Respond;
+    }
+    C.BodyLen = static_cast<size_t>(Length);
+    C.HeadDone = true;
+    return ReqAction::NeedBody;
+  }
+
+  if (Method != "GET") {
+    Resp = respond(Path, 405, "application/json",
+                   "{\"error\":\"method not allowed; only /v1/synthesize "
+                   "accepts POST\"}",
+                   0, "GET");
+    return ReqAction::Respond;
+  }
+  int Code = 200;
+  std::string ContentType = "application/json";
+  std::string Body = dispatch(Target, Code, ContentType);
+  Resp = respond(Path, Code, ContentType, Body);
+  return ReqAction::Respond;
+}
+
+HttpEndpoint::ReqAction HttpEndpoint::processBody(Conn &C, std::string &Resp) {
+  std::string_view Body(C.Buf.data() + C.HeadEnd + 4, C.BodyLen);
+
+  SynthesizeRequest Req;
+  std::string Error;
+  if (!parseSynthesizeBody(Body, Req, Error)) {
+    Resp = respond(C.Path, 400, "application/json",
+                   "{\"error\":\"" + escapeJson(Error) + "\"}");
+    return ReqAction::Respond;
+  }
+
+  std::lock_guard<std::mutex> L(ProvidersM);
+  if (!Synthesize) {
+    Resp = respond(C.Path, 503, "application/json",
+                   "{\"error\":\"no synthesis service registered\"}", 1);
+    return ReqAction::Respond;
+  }
+
+  // Park the connection: the provider answers through the callback from
+  // whatever thread completes the query, and the wake pipe nudges the
+  // poll loop to write it out. The parked deadline covers the declared
+  // budget plus the normal request timeout (or the synthesize ceiling
+  // when the request left the budget to the domain default), so a
+  // provider that never answers becomes a 504.
+  auto D = std::make_shared<DeferredState>();
+  C.Deferred = D;
+  uint64_t ParkMs = Req.BudgetMs > 0 ? Req.BudgetMs + Opts.RequestTimeoutMs
+                                     : Opts.SynthesizeTimeoutMs;
+  C.Deadline = clockNow(Opts.Clock) + std::chrono::milliseconds(ParkMs);
+  std::weak_ptr<Waker> W = WakeHandle;
+  Synthesize(Req, [D, W](SynthesizeResponse R) {
+    {
+      std::lock_guard<std::mutex> L(D->M);
+      D->Resp = std::move(R);
+    }
+    D->Ready.store(true, std::memory_order_release);
+    if (std::shared_ptr<Waker> S = W.lock())
+      S->wake();
+  });
+  return ReqAction::Deferred;
 }
 
 std::string HttpEndpoint::dispatch(std::string_view Target, int &Code,

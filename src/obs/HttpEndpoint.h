@@ -21,10 +21,23 @@
 ///                      counters, and the registered service's status
 ///                      (breaker rungs, queue depth, shed count, cache
 ///                      hit rates and byte usage).
+///   POST /v1/synthesize  The query data plane: a JSON body
+///                      {"query":..., "domain":..., "budget_ms":...}
+///                      submitted to the registered SynthesizeProvider.
+///                      The reply is *deferred*: the provider enqueues
+///                      the query and answers through a callback, so the
+///                      poll thread never blocks on synthesis — the
+///                      connection parks until the answer (or its
+///                      deadline) arrives. Body handling is bounded:
+///                      missing Content-Length is 411, duplicate or
+///                      malformed is 400, larger than MaxBodyBytes is
+///                      413, and the per-connection trickle deadline
+///                      covers body reads exactly as it covers heads.
 ///
-/// Anything else is 404, non-GET methods are 405, and a malformed
-/// request line is 400 — the parser is strict (single spaces, three
-/// tokens, HTTP/1.x) because this endpoint faces scrapers, not browsers.
+/// Anything else is 404, non-GET methods are 405 (POST is accepted only
+/// on /v1/synthesize), and a malformed request line is 400 — the parser
+/// is strict (single spaces, three tokens, HTTP/1.x) because this
+/// endpoint faces scrapers and programmatic clients, not browsers.
 ///
 /// Security posture: binds 127.0.0.1 by default, serves read-only
 /// snapshots, never echoes request content, caps header size and
@@ -50,6 +63,8 @@
 #ifndef DGGT_OBS_HTTPENDPOINT_H
 #define DGGT_OBS_HTTPENDPOINT_H
 
+#include "support/Clock.h"
+
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -68,6 +83,22 @@ struct HealthStatus {
   std::string Detail;  ///< Short human-readable note for the body.
 };
 
+/// One parsed POST /v1/synthesize request.
+struct SynthesizeRequest {
+  std::string Domain;
+  std::string Query;
+  uint64_t BudgetMs = 0; ///< 0 = the domain's configured budget.
+};
+
+/// What a synthesize provider answers (already serialized; the endpoint
+/// adds the HTTP framing).
+struct SynthesizeResponse {
+  int Code = 200;
+  std::string Body; ///< JSON body.
+  /// >0 adds a Retry-After header (429/503 shed-and-retry guidance).
+  unsigned RetryAfterSeconds = 0;
+};
+
 /// Live introspection server; see the file comment.
 class HttpEndpoint {
 public:
@@ -81,8 +112,21 @@ public:
     unsigned MaxConnections = 32;
     /// Request head cap; a client exceeding it gets a 400 and a close.
     size_t MaxRequestBytes = 8 * 1024;
-    /// A connection idle longer than this mid-request is dropped.
+    /// Request *body* cap: a Content-Length above this is refused with
+    /// 413 before a single body byte is read.
+    size_t MaxBodyBytes = 64 * 1024;
+    /// A connection idle longer than this mid-request is dropped. The
+    /// same trickle-byte deadline covers head and body reads.
     uint64_t RequestTimeoutMs = 5000;
+    /// Ceiling on how long a deferred /v1/synthesize reply may stay in
+    /// flight when the request carries no budget_ms; with a budget the
+    /// connection parks for budget_ms + RequestTimeoutMs. Either way a
+    /// provider that never answers yields a 504, not a leaked socket.
+    uint64_t SynthesizeTimeoutMs = 30000;
+    /// Time source for connection deadlines; null = the real steady
+    /// clock. Tests inject a VirtualClock so trickle/parked timeouts
+    /// are deterministic.
+    const ClockSource *Clock = nullptr;
     /// Print "dggt-http-endpoint: listening on HOST:PORT" to stdout on
     /// start (scripts curl the ephemeral port; see check-endpoint).
     bool Announce = false;
@@ -92,6 +136,16 @@ public:
   using HealthProvider = std::function<HealthStatus()>;
   /// /statusz source: returns one JSON object (already serialized).
   using StatusProvider = std::function<std::string()>;
+  /// Completion callback of one deferred synthesize request. May be
+  /// invoked from any thread, including synchronously from inside the
+  /// provider; the first invocation wins and later ones are ignored
+  /// (the connection has already answered or gone away).
+  using SynthesizeReply = std::function<void(SynthesizeResponse)>;
+  /// POST /v1/synthesize sink. Invoked on the server thread; must NOT
+  /// block on synthesis — it enqueues the query and answers through the
+  /// reply callback (an immediate rejection may call it inline).
+  using SynthesizeProvider =
+      std::function<void(const SynthesizeRequest &, SynthesizeReply)>;
 
   HttpEndpoint(); ///< Default options (loopback, ephemeral port).
   explicit HttpEndpoint(Options O);
@@ -124,6 +178,9 @@ public:
   /// their provider before destruction.
   uint64_t setHealthProvider(HealthProvider P);
   uint64_t setStatusProvider(StatusProvider P);
+  /// Same contract for the /v1/synthesize sink; without one the route
+  /// answers 503.
+  uint64_t setSynthesizeProvider(SynthesizeProvider P);
 
   /// Removes the matching provider only if \p Token is still the live
   /// registration. A stale owner's clear is a no-op, so when providers
@@ -131,6 +188,7 @@ public:
   /// cannot wipe the newer owner's registration. Token 0 is ignored.
   void clearHealthProvider(uint64_t Token);
   void clearStatusProvider(uint64_t Token);
+  void clearSynthesizeProvider(uint64_t Token);
 
   /// Requests answered since start (any status code).
   uint64_t requestsServed() const {
@@ -139,10 +197,29 @@ public:
 
 private:
   struct Conn;
+  struct DeferredState;
+  struct Waker;
+
+  /// What processing one connection's buffered bytes decided.
+  enum class ReqAction {
+    Respond,  ///< A full response is ready; write it and close.
+    NeedBody, ///< Head parsed; keep reading until the body is complete.
+    Deferred, ///< Handed to the synthesize provider; park the connection.
+  };
 
   void serverLoop();
-  /// Handles one complete request head; returns the full response bytes.
-  std::string handleRequest(std::string_view Head);
+  /// Parses a complete request head (request line + headers); GET routes
+  /// answer immediately, POST /v1/synthesize validates Content-Length
+  /// and switches the connection to body reading.
+  ReqAction processHead(Conn &C, std::string &Resp);
+  /// Runs once the declared body is fully buffered: parses the JSON and
+  /// hands the query to the provider (Deferred), or rejects (Respond).
+  ReqAction processBody(Conn &C, std::string &Resp);
+  /// Counts and frames one response (status line, headers, body).
+  std::string respond(std::string_view Path, int Code,
+                      std::string_view ContentType, std::string_view Body,
+                      unsigned RetryAfterSeconds = 0,
+                      std::string_view Allow = {});
   std::string dispatch(std::string_view Target, int &Code,
                        std::string &ContentType);
 
@@ -153,13 +230,19 @@ private:
   std::atomic<uint64_t> Served{0};
   int ListenFd = -1;
   int WakeFds[2] = {-1, -1}; ///< Self-pipe waking poll() for shutdown.
+  /// Shared handle to the wake pipe for deferred-reply callbacks, which
+  /// may outlive a stop(): the waker is invalidated before the pipe
+  /// closes, so a late reply wakes nobody instead of writing a dead fd.
+  std::shared_ptr<Waker> WakeHandle;
   std::thread Server;
 
   std::mutex ProvidersM;
   HealthProvider Health;
   StatusProvider Status;
+  SynthesizeProvider Synthesize;
   uint64_t HealthToken = 0; ///< Live registration ids; 0 = none.
   uint64_t StatusToken = 0;
+  uint64_t SynthesizeToken = 0;
   uint64_t NextProviderToken = 1;
 };
 

@@ -1,0 +1,557 @@
+//===- router/Router.cpp - Fault-tolerant front-tier router ---------------===//
+
+#include "router/Router.h"
+
+#include "obs/Export.h"
+
+#include <cmath>
+#include <future>
+#include <sstream>
+
+using namespace dggt;
+using namespace dggt::router;
+
+//===----------------------------------------------------------------------===//
+// RetryBudget
+//===----------------------------------------------------------------------===//
+
+RetryBudget::RetryBudget(double Fraction, double Burst)
+    : Fraction(Fraction), Burst(Burst), Tokens(Burst) {}
+
+void RetryBudget::onRequest() {
+  std::lock_guard<std::mutex> L(M);
+  Tokens = std::min(Burst, Tokens + Fraction);
+}
+
+bool RetryBudget::tryAcquire() {
+  std::lock_guard<std::mutex> L(M);
+  // Epsilon guard: fractional deposits accumulate rounding error, and ten
+  // deposits of 0.1 must still buy one retry.
+  if (Tokens < 1.0 - 1e-9) {
+    ++Denied;
+    return false;
+  }
+  Tokens = std::max(0.0, Tokens - 1.0);
+  return true;
+}
+
+double RetryBudget::tokens() const {
+  std::lock_guard<std::mutex> L(M);
+  return Tokens;
+}
+
+uint64_t RetryBudget::denied() const {
+  std::lock_guard<std::mutex> L(M);
+  return Denied;
+}
+
+//===----------------------------------------------------------------------===//
+// Report mapping
+//===----------------------------------------------------------------------===//
+
+int router::httpStatusFor(const RouterReport &R) {
+  if (R.NoUpstream)
+    return 503;
+  if (R.Transport != TransportStatus::Ok)
+    return 502;
+  return dggt::httpStatusFor(R.Report.St);
+}
+
+namespace {
+
+void appendRouterObject(std::ostringstream &OS, const RouterReport &R) {
+  OS << "\"router\":{\"attempts\":" << R.Attempts
+     << ",\"retries\":" << R.Retries
+     << ",\"hedged\":" << (R.Hedged ? "true" : "false")
+     << ",\"hedge_won\":" << (R.HedgeWon ? "true" : "false")
+     << ",\"retry_budget_exhausted\":"
+     << (R.RetryBudgetExhausted ? "true" : "false") << ",\"shards\":[";
+  for (size_t I = 0; I < R.Shards.size(); ++I)
+    OS << (I ? "," : "") << "\"" << obs::escapeJson(R.Shards[I]) << "\"";
+  OS << "],\"total_ms\":" << R.TotalMs << "}";
+}
+
+} // namespace
+
+std::string router::routerReportJson(const RouterReport &R,
+                                     std::string_view Domain) {
+  std::ostringstream OS;
+  if (R.NoUpstream || R.Transport != TransportStatus::Ok) {
+    OS << "{\"status\":\""
+       << (R.NoUpstream ? std::string_view("no-upstream")
+                        : transportStatusName(R.Transport))
+       << "\",\"domain\":\"" << obs::escapeJson(Domain) << "\",";
+    appendRouterObject(OS, R);
+    OS << "}";
+    return OS.str();
+  }
+  std::string Body = serviceReportJson(R.Report, Domain);
+  // Graft the router trail into the service report object.
+  Body.pop_back(); // The closing '}'.
+  OS << Body << ",";
+  appendRouterObject(OS, R);
+  OS << "}";
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// FrontTierRouter
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct RouterInstruments {
+  obs::Counter &Requests, &Retries, &Hedges, &HedgeWins, &BudgetExhausted,
+      &NoUpstream;
+  obs::Histogram &LatencyMs;
+
+  static RouterInstruments &get() {
+    static RouterInstruments I{
+        obs::registry().counter("dggt_router_requests_total"),
+        obs::registry().counter("dggt_router_retries_total"),
+        obs::registry().counter("dggt_router_hedges_total"),
+        obs::registry().counter("dggt_router_hedge_wins_total"),
+        obs::registry().counter("dggt_router_retry_budget_exhausted_total"),
+        obs::registry().counter("dggt_router_no_upstream_total"),
+        obs::registry().histogram("dggt_router_latency_ms"),
+    };
+    return I;
+  }
+};
+
+/// Retryable = a different replica might answer. Terminal service
+/// verdicts (including DeadlineExceeded: the budget is spent wherever
+/// we send it) are not.
+bool isRetryable(const UpstreamResult &R) {
+  if (R.Transport != TransportStatus::Ok)
+    return true;
+  switch (R.Report.St) {
+  case ServiceStatus::CircuitOpen:
+  case ServiceStatus::Overloaded:
+  case ServiceStatus::Draining:
+  case ServiceStatus::Cancelled:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+/// Shared state of one routed request. Guarded by its own mutex; the
+/// router-wide lock is never taken while this one is held.
+struct FrontTierRouter::Call {
+  std::mutex M;
+  UpstreamQuery Q;
+  Callback Done;
+  ClockSource::TimePoint Start{};
+
+  struct Try {
+    std::shared_ptr<Upstream> U;
+    uint64_t Token = 0;
+    bool Hedge = false;
+    bool Completed = false;
+  };
+  std::vector<Try> Tries;
+  unsigned Pending = 0; ///< Tries started and not yet completed.
+
+  bool Finished = false;
+  unsigned Attempts = 0;
+  unsigned RetriesN = 0;
+  bool Hedged = false;
+  bool BudgetDenied = false;
+  bool HedgeArmed = false;
+  ClockSource::TimePoint HedgeAt{};
+  UpstreamResult LastFailure; ///< Most recent retryable outcome.
+  std::vector<std::string> ShardNames;
+  RouterReport Final;
+};
+
+FrontTierRouter::FrontTierRouter(RouterOptions O)
+    : Opts(O), Set([&] {
+        ShardSet::Options SO = O.Shards;
+        if (!SO.Clock)
+          SO.Clock = O.Clock;
+        return SO;
+      }()),
+      Budget(O.RetryBudgetFraction, O.RetryBudgetBurst),
+      HedgeDelay(O.HedgeMinDelayMs),
+      Latency(obs::Histogram::defaultLatencyBucketsMs()) {
+  LastBuckets = Latency.bucketSnapshot();
+  // Touch the instruments so /metrics shows the dggt_router_* family at
+  // zero before the first request.
+  (void)RouterInstruments::get();
+  if (Opts.BackgroundPump)
+    Pump = std::thread([this] { pumpLoop(); });
+}
+
+FrontTierRouter::~FrontTierRouter() {
+  {
+    std::lock_guard<std::mutex> L(PumpM);
+    PumpStop = true;
+  }
+  PumpCv.notify_all();
+  if (Pump.joinable())
+    Pump.join();
+  // Every upstream call completes eventually (the async service answers
+  // even when shedding, draining or cancelled), so this terminates.
+  std::unique_lock<std::mutex> L(M);
+  Idle.wait(L, [this] { return Active.empty(); });
+}
+
+void FrontTierRouter::addShard(std::shared_ptr<Upstream> U) {
+  Set.addShard(std::move(U));
+}
+
+uint64_t FrontTierRouter::hedgeDelayMs() const {
+  std::lock_guard<std::mutex> L(M);
+  return HedgeDelay;
+}
+
+void FrontTierRouter::retire(const std::shared_ptr<Call> &C) {
+  std::lock_guard<std::mutex> L(M);
+  for (auto It = Active.begin(); It != Active.end(); ++It)
+    if (It->get() == C.get()) {
+      Active.erase(It);
+      break;
+    }
+  if (Active.empty())
+    Idle.notify_all();
+}
+
+void FrontTierRouter::finishLocked(Call &C) {
+  C.Final.Attempts = C.Attempts;
+  C.Final.Retries = C.RetriesN;
+  C.Final.Hedged = C.Hedged;
+  C.Final.RetryBudgetExhausted = C.BudgetDenied;
+  C.Final.Shards = C.ShardNames;
+  C.Final.TotalMs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          clockNow(Opts.Clock) - C.Start)
+          .count());
+}
+
+void FrontTierRouter::feedback(Upstream &U, const UpstreamResult &R) {
+  bool TransportError = R.Transport != TransportStatus::Ok;
+  if (TransportError || R.Report.St == ServiceStatus::CircuitOpen) {
+    Set.onError(U);
+    obs::registry()
+        .counter("dggt_router_upstream_errors_total",
+                 {{"shard", U.name()},
+                  {"kind", std::string(TransportError
+                                           ? transportStatusName(R.Transport)
+                                           : "circuit-open")}})
+        .inc();
+    return;
+  }
+  // Deliberate rejections prove neither health nor sickness.
+  if (R.Report.St == ServiceStatus::Overloaded ||
+      R.Report.St == ServiceStatus::Draining ||
+      R.Report.St == ServiceStatus::Cancelled)
+    return;
+  Set.onSuccess(U);
+}
+
+bool FrontTierRouter::startAttempt(const std::shared_ptr<Call> &C,
+                                   bool IsHedge) {
+  std::vector<const Upstream *> Tried;
+  {
+    std::lock_guard<std::mutex> L(C->M);
+    Tried.reserve(C->Tries.size());
+    for (const Call::Try &T : C->Tries)
+      Tried.push_back(T.U.get());
+  }
+  std::shared_ptr<Upstream> U = Set.pick(C->Q.Domain, Tried);
+  if (!U)
+    return false;
+
+  size_t TryIdx;
+  {
+    std::lock_guard<std::mutex> L(C->M);
+    if (C->Finished)
+      return true; // A sibling won while we were picking; nothing to do.
+    TryIdx = C->Tries.size();
+    Call::Try T;
+    T.U = U;
+    T.Hedge = IsHedge;
+    C->Tries.push_back(std::move(T));
+    ++C->Attempts;
+    ++C->Pending;
+    C->ShardNames.push_back(U->name());
+    if (IsHedge) {
+      C->Hedged = true;
+    } else if (Opts.EnableHedging && C->Attempts == 1) {
+      C->HedgeArmed = true;
+      C->HedgeAt = C->Start + std::chrono::milliseconds(hedgeDelayMs());
+    }
+  }
+
+  uint64_t Token = U->call(C->Q, [this, C, TryIdx](UpstreamResult R) {
+    onUpstreamDone(C, TryIdx, std::move(R));
+  });
+  {
+    std::lock_guard<std::mutex> L(C->M);
+    if (!C->Tries[TryIdx].Completed)
+      C->Tries[TryIdx].Token = Token;
+  }
+  return true;
+}
+
+void FrontTierRouter::onUpstreamDone(const std::shared_ptr<Call> &C,
+                                     size_t TryIdx, UpstreamResult R) {
+  std::shared_ptr<Upstream> U;
+  {
+    std::lock_guard<std::mutex> L(C->M);
+    U = C->Tries[TryIdx].U;
+  }
+  feedback(*U, R);
+
+  bool Retryable = isRetryable(R);
+  bool DoRetry = false, DoFinish = false, RetireNow = false;
+  {
+    std::lock_guard<std::mutex> L(C->M);
+    C->Tries[TryIdx].Completed = true;
+    --C->Pending;
+    C->HedgeArmed = false; // Hedging only covers a silent first attempt.
+
+    if (C->Finished) {
+      // A loser (cancelled or merely slower) checking in after the win.
+      RetireNow = C->Pending == 0;
+    } else if (!Retryable) {
+      C->Finished = true;
+      C->Final.Report = std::move(R.Report);
+      C->Final.Transport = R.Transport;
+      C->Final.HedgeWon = C->Tries[TryIdx].Hedge;
+      finishLocked(*C);
+      DoFinish = true;
+      RetireNow = C->Pending == 0;
+    } else {
+      C->LastFailure = std::move(R);
+      if (C->Pending > 0) {
+        // A hedge sibling is still racing; let it finish the call.
+      } else if (C->Attempts >= Opts.MaxAttempts) {
+        C->Finished = true;
+        C->Final.Report = C->LastFailure.Report;
+        C->Final.Transport = C->LastFailure.Transport;
+        finishLocked(*C);
+        DoFinish = true;
+        RetireNow = true;
+      } else if (!Budget.tryAcquire()) {
+        C->BudgetDenied = true;
+        C->Finished = true;
+        C->Final.Report = C->LastFailure.Report;
+        C->Final.Transport = C->LastFailure.Transport;
+        finishLocked(*C);
+        DoFinish = true;
+        RetireNow = true;
+        BudgetExhausted.fetch_add(1, std::memory_order_relaxed);
+        RouterInstruments::get().BudgetExhausted.inc();
+      } else {
+        ++C->RetriesN;
+        DoRetry = true;
+      }
+    }
+  }
+
+  if (DoFinish) {
+    // Cancel the losers outside every lock (cancel may complete
+    // synchronously and re-enter onUpstreamDone).
+    std::vector<std::pair<std::shared_ptr<Upstream>, uint64_t>> Losers;
+    {
+      std::lock_guard<std::mutex> L(C->M);
+      for (const Call::Try &T : C->Tries)
+        if (!T.Completed && T.Token != 0)
+          Losers.emplace_back(T.U, T.Token);
+      if (C->Final.HedgeWon) {
+        HedgeWins.fetch_add(1, std::memory_order_relaxed);
+        RouterInstruments::get().HedgeWins.inc();
+      }
+    }
+    for (auto &[LU, Tok] : Losers)
+      LU->cancel(Tok);
+    Latency.observe(static_cast<double>(C->Final.TotalMs));
+    RouterInstruments::get().LatencyMs.observe(
+        static_cast<double>(C->Final.TotalMs));
+    C->Done(C->Final);
+    {
+      std::lock_guard<std::mutex> L(C->M);
+      RetireNow = C->Pending == 0;
+    }
+    if (RetireNow)
+      retire(C); // Last touch of `this` for this call.
+    return;
+  }
+
+  if (DoRetry) {
+    Retries.fetch_add(1, std::memory_order_relaxed);
+    RouterInstruments::get().Retries.inc();
+    if (startAttempt(C, /*IsHedge=*/false))
+      return;
+    // Ring exhausted mid-retry: fail with the failure that sent us here.
+    {
+      std::lock_guard<std::mutex> L(C->M);
+      if (C->Finished)
+        return;
+      C->Finished = true;
+      C->Final.Report = C->LastFailure.Report;
+      C->Final.Transport = C->LastFailure.Transport;
+      finishLocked(*C);
+    }
+    Latency.observe(static_cast<double>(C->Final.TotalMs));
+    RouterInstruments::get().LatencyMs.observe(
+        static_cast<double>(C->Final.TotalMs));
+    C->Done(C->Final);
+    retire(C);
+    return;
+  }
+
+  if (RetireNow)
+    retire(C);
+}
+
+void FrontTierRouter::routeAsync(UpstreamQuery Q, Callback Done) {
+  Requests.fetch_add(1, std::memory_order_relaxed);
+  RouterInstruments::get().Requests.inc();
+  Budget.onRequest();
+
+  auto C = std::make_shared<Call>();
+  C->Q = std::move(Q);
+  C->Done = std::move(Done);
+  C->Start = clockNow(Opts.Clock);
+  {
+    std::lock_guard<std::mutex> L(M);
+    Active.push_back(C);
+  }
+
+  if (startAttempt(C, /*IsHedge=*/false))
+    return;
+
+  // Nothing usable on the ring; nothing was sent.
+  {
+    std::lock_guard<std::mutex> L(C->M);
+    C->Finished = true;
+    C->Final.NoUpstream = true;
+    finishLocked(*C);
+  }
+  NoUpstreamCount.fetch_add(1, std::memory_order_relaxed);
+  RouterInstruments::get().NoUpstream.inc();
+  C->Done(C->Final);
+  retire(C);
+}
+
+RouterReport FrontTierRouter::route(const UpstreamQuery &Q) {
+  std::promise<RouterReport> P;
+  std::future<RouterReport> F = P.get_future();
+  routeAsync(Q, [&P](const RouterReport &R) { P.set_value(R); });
+  return F.get();
+}
+
+size_t FrontTierRouter::pump() {
+  Set.probeExpiredEjections();
+
+  // Refresh the adaptive hedge delay from the latency interval p95
+  // (the ungated member histogram, so this works with metrics off).
+  {
+    std::lock_guard<std::mutex> L(M);
+    std::vector<uint64_t> Snap = Latency.bucketSnapshot();
+    if (LastBuckets.size() == Snap.size()) {
+      std::vector<uint64_t> Delta(Snap.size());
+      uint64_t N = 0;
+      for (size_t I = 0; I < Snap.size(); ++I) {
+        Delta[I] = Snap[I] - LastBuckets[I];
+        N += Delta[I];
+      }
+      if (N > 0) {
+        double P95 = obs::percentileFromCounts(Latency.bounds(), Delta, 95);
+        HedgeDelay = std::max<uint64_t>(
+            Opts.HedgeMinDelayMs,
+            static_cast<uint64_t>(std::llround(std::ceil(P95))));
+      }
+    }
+    LastBuckets = std::move(Snap);
+  }
+
+  if (!Opts.EnableHedging)
+    return 0;
+
+  std::vector<std::shared_ptr<Call>> Candidates;
+  {
+    std::lock_guard<std::mutex> L(M);
+    Candidates.assign(Active.begin(), Active.end());
+  }
+  ClockSource::TimePoint Now = clockNow(Opts.Clock);
+  size_t Fired = 0;
+  for (const std::shared_ptr<Call> &C : Candidates) {
+    bool Want;
+    {
+      std::lock_guard<std::mutex> L(C->M);
+      Want = !C->Finished && C->HedgeArmed && C->Pending == 1 &&
+             Now >= C->HedgeAt;
+      if (Want)
+        C->HedgeArmed = false;
+    }
+    if (!Want)
+      continue;
+    if (!Budget.tryAcquire()) {
+      std::lock_guard<std::mutex> L(C->M);
+      C->BudgetDenied = true;
+      BudgetExhausted.fetch_add(1, std::memory_order_relaxed);
+      RouterInstruments::get().BudgetExhausted.inc();
+      continue;
+    }
+    if (startAttempt(C, /*IsHedge=*/true)) {
+      ++Fired;
+      Hedges.fetch_add(1, std::memory_order_relaxed);
+      RouterInstruments::get().Hedges.inc();
+    }
+  }
+  return Fired;
+}
+
+void FrontTierRouter::pumpLoop() {
+  std::unique_lock<std::mutex> L(PumpM);
+  while (!PumpStop) {
+    PumpCv.wait_for(L, std::chrono::milliseconds(Opts.PumpIntervalMs));
+    if (PumpStop)
+      break;
+    L.unlock();
+    pump();
+    L.lock();
+  }
+}
+
+FrontTierRouter::Stats FrontTierRouter::stats() const {
+  Stats S;
+  S.Requests = Requests.load(std::memory_order_relaxed);
+  S.Retries = Retries.load(std::memory_order_relaxed);
+  S.Hedges = Hedges.load(std::memory_order_relaxed);
+  S.HedgeWins = HedgeWins.load(std::memory_order_relaxed);
+  S.RetryBudgetExhausted = BudgetExhausted.load(std::memory_order_relaxed);
+  S.NoUpstream = NoUpstreamCount.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> L(M);
+    S.InFlight = Active.size();
+  }
+  return S;
+}
+
+std::string FrontTierRouter::statusJson() const {
+  Stats S = stats();
+  std::ostringstream OS;
+  OS << "{\"requests\":" << S.Requests << ",\"retries\":" << S.Retries
+     << ",\"hedges\":" << S.Hedges << ",\"hedge_wins\":" << S.HedgeWins
+     << ",\"retry_budget_exhausted\":" << S.RetryBudgetExhausted
+     << ",\"no_upstream\":" << S.NoUpstream
+     << ",\"in_flight\":" << S.InFlight
+     << ",\"retry_budget_tokens\":" << Budget.tokens()
+     << ",\"hedge_delay_ms\":" << hedgeDelayMs() << ",\"shards\":[";
+  std::vector<ShardSet::ShardInfo> Snap = Set.snapshot();
+  for (size_t I = 0; I < Snap.size(); ++I) {
+    OS << (I ? "," : "") << "{\"name\":\"" << obs::escapeJson(Snap[I].Name)
+       << "\",\"ejected\":" << (Snap[I].Ejected ? "true" : "false")
+       << ",\"consecutive_errors\":" << Snap[I].ConsecutiveErrors
+       << ",\"ejections\":" << Snap[I].Ejections << "}";
+  }
+  OS << "]}";
+  return OS.str();
+}

@@ -1,0 +1,210 @@
+//===- router/Router.h - Fault-tolerant front-tier router -------*- C++ -*-===//
+///
+/// \file
+/// The query data plane's front tier: routes each query to a shard off
+/// the consistent-hash ring (router/ShardSet.h), retries retryable
+/// failures on a *different* shard, and optionally hedges slow requests
+/// with a duplicate attempt — all under a token-bucket retry budget so
+/// amplification stays bounded when the whole set degrades at once.
+///
+/// Policy summary:
+///
+///   - *Retryable*: transport failures (ConnectError, ReadTimeout) and
+///     service rejections that a different replica could answer
+///     (CircuitOpen, Overloaded, Draining, Cancelled). Retries exclude
+///     every shard already tried for the call.
+///   - *Not retryable*: Ok / NoAnswer / NoCandidates (the worker did its
+///     job), UnknownDomain (every replica serves the same domain table),
+///     DeadlineExceeded (the budget is gone wherever we send it).
+///   - *Retry budget*: each admitted request deposits Fraction tokens
+///     (capped at Burst); each retry or hedge spends one. Exhaustion
+///     fails the request instead of amplifying — under total brown-out
+///     the extra-attempt rate converges to Fraction of the offered load.
+///   - *Hedging* (opt-in): after max(HedgeMinDelayMs, the interval p95
+///     of recent router latency) with no answer, a duplicate attempt is
+///     sent to the next shard; the first answer wins and the loser is
+///     cancelled through Upstream::cancel().
+///
+/// Hedge firing and ejection probing are clock-driven, via pump():
+/// production runs a background pump thread; tests drive pump() by hand
+/// on a VirtualClock with zero sleeps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_ROUTER_ROUTER_H
+#define DGGT_ROUTER_ROUTER_H
+
+#include "obs/Metrics.h"
+#include "router/ShardSet.h"
+#include "router/Upstream.h"
+#include "support/Clock.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dggt::router {
+
+/// Token-bucket retry budget: requests deposit, retries/hedges spend.
+/// Thread-safe.
+class RetryBudget {
+public:
+  /// \p Fraction tokens deposited per admitted request; the bucket is
+  /// capped at (and starts at) \p Burst so a quiet period buys a small
+  /// burst of retries, never unbounded credit.
+  RetryBudget(double Fraction, double Burst);
+
+  void onRequest();
+  /// Takes one token; false (and a denial count) when the bucket is dry.
+  bool tryAcquire();
+
+  double tokens() const;
+  uint64_t denied() const;
+
+private:
+  double Fraction, Burst;
+  mutable std::mutex M;
+  double Tokens;
+  uint64_t Denied = 0;
+};
+
+struct RouterOptions {
+  /// Total upstream calls per request, the first included (3 = one try +
+  /// up to two retries; hedges count too).
+  unsigned MaxAttempts = 3;
+  /// Retry-budget deposit per request / bucket cap.
+  double RetryBudgetFraction = 0.2;
+  double RetryBudgetBurst = 8;
+  /// Hedging is off by default: it spends budget on latency, which only
+  /// pays off when tail latency, not errors, is the enemy.
+  bool EnableHedging = false;
+  /// Floor under the adaptive hedge delay (and its value until the
+  /// first pump() computes an interval p95).
+  uint64_t HedgeMinDelayMs = 20;
+  /// Outlier-ejection tuning for the owned ShardSet.
+  ShardSet::Options Shards;
+  /// Time source (null = real steady clock).
+  const ClockSource *Clock = nullptr;
+  /// Run a background thread calling pump() every PumpIntervalMs.
+  /// Disable in tests and drive pump() by hand.
+  bool BackgroundPump = true;
+  uint64_t PumpIntervalMs = 10;
+};
+
+/// What one routed request resolved to: the winning (or last) upstream
+/// outcome plus the routing trail around it.
+struct RouterReport {
+  ServiceReport Report;       ///< Winning attempt (when Transport == Ok).
+  TransportStatus Transport = TransportStatus::Ok;
+  bool NoUpstream = false;    ///< No usable shard existed; nothing was sent.
+  unsigned Attempts = 0;      ///< Upstream calls made (first + retries + hedges).
+  unsigned Retries = 0;
+  bool Hedged = false;
+  bool HedgeWon = false;
+  bool RetryBudgetExhausted = false; ///< A wanted retry/hedge was denied.
+  std::vector<std::string> Shards;   ///< Shard per attempt, in order.
+  uint64_t TotalMs = 0;
+
+  bool ok() const {
+    return !NoUpstream && Transport == TransportStatus::Ok && Report.ok();
+  }
+};
+
+/// HTTP status for \p R: 503 with nothing sent, 502 on transport
+/// failure, otherwise the service-level mapping (httpStatusFor).
+int httpStatusFor(const RouterReport &R);
+
+/// /v1/synthesize body for a router-fronted worker: the service report
+/// JSON extended with a "router" object (attempts, retries, hedging,
+/// shard trail). Transport-level failures get a compact error object.
+std::string routerReportJson(const RouterReport &R, std::string_view Domain);
+
+/// The front tier. Thread-safe; shards are added during setup.
+class FrontTierRouter {
+public:
+  using Callback = std::function<void(const RouterReport &)>;
+
+  explicit FrontTierRouter(RouterOptions O = {});
+  /// Blocks until every in-flight call has completed (upstreams are
+  /// reachable through Call state until then).
+  ~FrontTierRouter();
+
+  void addShard(std::shared_ptr<Upstream> U);
+  ShardSet &shards() { return Set; }
+
+  /// Routes one query; \p Done fires exactly once, possibly
+  /// synchronously, from any thread.
+  void routeAsync(UpstreamQuery Q, Callback Done);
+
+  /// Blocking convenience for benches and tools (real clock only — on a
+  /// VirtualClock nothing advances while this waits).
+  RouterReport route(const UpstreamQuery &Q);
+
+  /// Fires due hedges, probes lapsed ejections, refreshes the adaptive
+  /// hedge delay. Returns the number of hedges fired. The background
+  /// pump calls this on a timer; VirtualClock tests call it after each
+  /// advance.
+  size_t pump();
+
+  struct Stats {
+    uint64_t Requests = 0;
+    uint64_t Retries = 0;
+    uint64_t Hedges = 0;
+    uint64_t HedgeWins = 0;
+    uint64_t RetryBudgetExhausted = 0;
+    uint64_t NoUpstream = 0;
+    uint64_t InFlight = 0;
+  };
+  Stats stats() const;
+  std::string statusJson() const;
+
+  RetryBudget &retryBudget() { return Budget; }
+  uint64_t hedgeDelayMs() const;
+
+private:
+  struct Call;
+
+  /// Starts one more attempt for \p C (the first, a retry, or a hedge).
+  /// Returns false when no untried usable shard exists — the caller
+  /// decides what that means (first attempt: NoUpstream; retry: fail
+  /// with the saved last failure; hedge: carry on un-hedged).
+  bool startAttempt(const std::shared_ptr<Call> &C, bool IsHedge);
+  void onUpstreamDone(const std::shared_ptr<Call> &C, size_t TryIdx,
+                      UpstreamResult R);
+  /// Applies ejection bookkeeping for one attempt outcome.
+  void feedback(Upstream &U, const UpstreamResult &R);
+  void finishLocked(Call &C); ///< Stamps TotalMs; C.M held.
+  void retire(const std::shared_ptr<Call> &C);
+  void pumpLoop();
+
+  RouterOptions Opts;
+  ShardSet Set;
+  RetryBudget Budget;
+
+  mutable std::mutex M; ///< Guards Active and HedgeDelay.
+  std::condition_variable Idle;
+  std::list<std::shared_ptr<Call>> Active;
+  uint64_t HedgeDelay;
+  /// Ungated latency record backing the interval-p95 hedge delay (the
+  /// registry histogram may be disabled; the control loop must not be).
+  obs::Histogram Latency;
+  std::vector<uint64_t> LastBuckets;
+
+  std::atomic<uint64_t> Requests{0}, Retries{0}, Hedges{0}, HedgeWins{0},
+      BudgetExhausted{0}, NoUpstreamCount{0};
+
+  std::thread Pump;
+  std::mutex PumpM;
+  std::condition_variable PumpCv;
+  bool PumpStop = false;
+};
+
+} // namespace dggt::router
+
+#endif // DGGT_ROUTER_ROUTER_H

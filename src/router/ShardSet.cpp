@@ -1,0 +1,267 @@
+//===- router/ShardSet.cpp - Hashing ring with outlier ejection -----------===//
+
+#include "router/ShardSet.h"
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+
+using namespace dggt;
+using namespace dggt::router;
+
+namespace {
+
+/// FNV-1a 64 with a murmur3-style finalizer. Plain FNV-1a barely
+/// diffuses the high bits for short strings sharing a prefix ("shard-0#1"
+/// vs "shard-0#2"), which lumps every vnode of a shard into one
+/// contiguous arc and defeats the whole point of a hashed ring; the
+/// fmix64 avalanche spreads them. Stable across runs and platforms — the
+/// ring layout (and therefore which shard owns which domain) is
+/// deterministic, which the check-dataplane gate and the chaos bench
+/// rely on.
+uint64_t ringHash(std::string_view S) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (char C : S) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x100000001b3ull;
+  }
+  H ^= H >> 33;
+  H *= 0xff51afd7ed558ccdull;
+  H ^= H >> 33;
+  H *= 0xc4ceb9fe1a85ec53ull;
+  H ^= H >> 33;
+  return H;
+}
+
+struct EjectInstruments {
+  obs::Counter &Ejections, &Unejections, &ProbesPassed, &ProbesFailed;
+  obs::Gauge &EjectedShards;
+
+  static EjectInstruments &get() {
+    static EjectInstruments I{
+        obs::registry().counter("dggt_router_ejections_total"),
+        obs::registry().counter("dggt_router_unejections_total"),
+        obs::registry().counter("dggt_router_ejection_probes_total",
+                                {{"result", "pass"}}),
+        obs::registry().counter("dggt_router_ejection_probes_total",
+                                {{"result", "fail"}}),
+        obs::registry().gauge("dggt_router_ejected_shards"),
+    };
+    return I;
+  }
+};
+
+} // namespace
+
+ShardSet::ShardSet() : ShardSet(Options{}) {}
+ShardSet::ShardSet(Options O) : Opts(O) {}
+
+void ShardSet::addShard(std::shared_ptr<Upstream> U) {
+  std::lock_guard<std::mutex> L(M);
+  size_t Idx = Shards.size();
+  Shard S;
+  S.U = std::move(U);
+  const std::string &Name = S.U->name();
+  Shards.push_back(std::move(S));
+  unsigned Vnodes = std::max(1u, Opts.VnodesPerShard);
+  for (unsigned V = 0; V < Vnodes; ++V) {
+    std::string Point = Name + "#" + std::to_string(V);
+    Ring.emplace_back(ringHash(Point), Idx);
+  }
+  std::sort(Ring.begin(), Ring.end());
+}
+
+size_t ShardSet::size() const {
+  std::lock_guard<std::mutex> L(M);
+  return Shards.size();
+}
+
+size_t ShardSet::ejectedCount() const {
+  std::lock_guard<std::mutex> L(M);
+  size_t N = 0;
+  for (const Shard &S : Shards)
+    N += S.Ejected ? 1 : 0;
+  return N;
+}
+
+size_t ShardSet::indexOf(const Upstream &U) const {
+  for (size_t I = 0; I < Shards.size(); ++I)
+    if (Shards[I].U.get() == &U)
+      return I;
+  return Shards.size();
+}
+
+uint64_t ShardSet::backoffMs(unsigned Ejections) const {
+  if (Ejections == 0)
+    return Opts.BaseEjectionMs;
+  uint64_t Ms = Opts.BaseEjectionMs;
+  for (unsigned I = 1; I < Ejections && Ms < Opts.MaxEjectionMs; ++I)
+    Ms *= 2;
+  return std::min(Ms, Opts.MaxEjectionMs);
+}
+
+void ShardSet::ejectLocked(size_t I) {
+  Shard &S = Shards[I];
+  S.Ejected = true;
+  ++S.Ejections;
+  S.EjectedUntil = clockNow(Opts.Clock) +
+                   std::chrono::milliseconds(backoffMs(S.Ejections));
+  S.Consecutive = 0;
+  if (obs::metricsEnabled()) {
+    EjectInstruments &MI = EjectInstruments::get();
+    MI.Ejections.inc();
+    int64_t N = 0;
+    for (const Shard &Sh : Shards)
+      N += Sh.Ejected ? 1 : 0;
+    MI.EjectedShards.set(N);
+  }
+}
+
+void ShardSet::onSuccess(const Upstream &U) {
+  std::lock_guard<std::mutex> L(M);
+  size_t I = indexOf(U);
+  if (I < Shards.size())
+    Shards[I].Consecutive = 0;
+}
+
+void ShardSet::onError(const Upstream &U) {
+  std::lock_guard<std::mutex> L(M);
+  size_t I = indexOf(U);
+  if (I >= Shards.size())
+    return;
+  Shard &S = Shards[I];
+  if (S.Ejected)
+    return;
+  ++S.Consecutive;
+  if (S.Consecutive < Opts.EjectAfterConsecutiveErrors)
+    return;
+  // Blast-radius guard: ejecting this shard must not push the ejected
+  // share above the cap (a possibly-sick shard still beats no shard).
+  size_t EjectedNow = 0;
+  for (const Shard &Sh : Shards)
+    EjectedNow += Sh.Ejected ? 1 : 0;
+  double WouldBe = static_cast<double>(EjectedNow + 1) /
+                   static_cast<double>(Shards.size());
+  if (WouldBe > Opts.MaxEjectedFraction) {
+    // Stay in rotation; the streak resets so the guard re-evaluates
+    // after another full run of errors (by then a slot may have freed).
+    S.Consecutive = 0;
+    return;
+  }
+  ejectLocked(I);
+}
+
+size_t ShardSet::probeLapsed() {
+  // Collect under the lock, probe outside it: health() may take the
+  // upstream's own locks and must not nest inside ours.
+  std::vector<std::pair<size_t, std::shared_ptr<Upstream>>> Due;
+  {
+    std::lock_guard<std::mutex> L(M);
+    ClockSource::TimePoint Now = clockNow(Opts.Clock);
+    for (size_t I = 0; I < Shards.size(); ++I)
+      if (Shards[I].Ejected && Now >= Shards[I].EjectedUntil)
+        Due.emplace_back(I, Shards[I].U);
+  }
+  if (Due.empty())
+    return 0;
+
+  size_t Unejected = 0;
+  for (auto &[I, U] : Due) {
+    obs::HealthStatus St = U->health();
+    bool Pass = St.Healthy && St.Ready;
+    std::lock_guard<std::mutex> L(M);
+    Shard &S = Shards[I];
+    if (!S.Ejected)
+      continue; // Raced with another prober.
+    if (Pass) {
+      S.Ejected = false;
+      S.Consecutive = 0;
+      ++Unejected;
+      if (obs::metricsEnabled()) {
+        EjectInstruments &MI = EjectInstruments::get();
+        MI.Unejections.inc();
+        MI.ProbesPassed.inc();
+        int64_t N = 0;
+        for (const Shard &Sh : Shards)
+          N += Sh.Ejected ? 1 : 0;
+        MI.EjectedShards.set(N);
+      }
+    } else {
+      // Still sick: double the backoff and keep it out (the exponential
+      // unejection schedule).
+      ++S.Ejections;
+      S.EjectedUntil = clockNow(Opts.Clock) +
+                       std::chrono::milliseconds(backoffMs(S.Ejections));
+      if (obs::metricsEnabled())
+        EjectInstruments::get().ProbesFailed.inc();
+    }
+  }
+  return Unejected;
+}
+
+size_t ShardSet::probeExpiredEjections() { return probeLapsed(); }
+
+std::shared_ptr<Upstream>
+ShardSet::pick(std::string_view Key,
+               const std::vector<const Upstream *> &Exclude) {
+  // Lazy re-admission: any lapsed ejection is probed before the walk,
+  // so traffic itself pulls recovered shards back in even without a
+  // pump driving probes.
+  probeLapsed();
+
+  std::lock_guard<std::mutex> L(M);
+  if (Ring.empty())
+    return nullptr;
+  uint64_t H = ringHash(Key);
+  auto It = std::lower_bound(
+      Ring.begin(), Ring.end(), std::make_pair(H, size_t(0)));
+  size_t Start = static_cast<size_t>(It - Ring.begin()) % Ring.size();
+  // Walk clockwise; remember seen shard indices so a ring of V vnodes
+  // per shard costs O(shards) checks, not O(ring).
+  std::vector<bool> Seen(Shards.size(), false);
+  size_t Checked = 0;
+  for (size_t Step = 0; Step < Ring.size() && Checked < Shards.size();
+       ++Step) {
+    size_t Idx = Ring[(Start + Step) % Ring.size()].second;
+    if (Seen[Idx])
+      continue;
+    Seen[Idx] = true;
+    ++Checked;
+    Shard &S = Shards[Idx];
+    if (S.Ejected)
+      continue;
+    bool Excluded = false;
+    for (const Upstream *E : Exclude)
+      if (E == S.U.get()) {
+        Excluded = true;
+        break;
+      }
+    if (Excluded)
+      continue;
+    if (!S.U->ready())
+      continue;
+    return S.U;
+  }
+  return nullptr;
+}
+
+bool ShardSet::ejected(const Upstream &U) const {
+  std::lock_guard<std::mutex> L(M);
+  size_t I = indexOf(U);
+  return I < Shards.size() && Shards[I].Ejected;
+}
+
+std::vector<ShardSet::ShardInfo> ShardSet::snapshot() const {
+  std::lock_guard<std::mutex> L(M);
+  std::vector<ShardInfo> Out;
+  Out.reserve(Shards.size());
+  for (const Shard &S : Shards) {
+    ShardInfo I;
+    I.Name = S.U->name();
+    I.Ejected = S.Ejected;
+    I.ConsecutiveErrors = S.Consecutive;
+    I.Ejections = S.Ejections;
+    Out.push_back(std::move(I));
+  }
+  return Out;
+}

@@ -1,0 +1,133 @@
+//===- router/ShardSet.h - Hashing ring with outlier ejection ---*- C++ -*-===//
+///
+/// \file
+/// The router's shard directory: a consistent-hash ring over the
+/// registered upstreams plus Envoy-style consecutive-error outlier
+/// ejection. Domains hash onto the ring (vnodes smooth the split), so
+/// one domain's queries keep landing on the same worker and its warm
+/// PathCache / ApiCandidateCache working set — the cache-affinity
+/// argument of the async layer, lifted one tier up — and adding or
+/// removing a shard only remaps the slice of domains adjacent to it.
+///
+/// Health tracking is passive-first: the router reports every call's
+/// outcome through onSuccess()/onError(), and a shard reaching K
+/// *consecutive* errors is ejected from the ring for BaseEjectionMs.
+/// When the timer lapses the shard is not simply trusted back: the
+/// next pick (or an explicit probeExpiredEjections() pump) probes its
+/// health() — the /healthz / readyz pair — and either unejects it
+/// (probe passed, error streak forgiven) or re-ejects it with the
+/// backoff doubled, so a flapping worker's re-admission attempts space
+/// out exponentially up to MaxEjectionMs. MaxEjectedFraction bounds the
+/// blast radius: ejection stops when too much of the set is already
+/// out, because routing into a possibly-sick shard still beats routing
+/// into nothing (the same tradeoff Envoy's max_ejection_percent makes).
+///
+/// All timing flows through an injected ClockSource, so every
+/// ejection/backoff/probe transition is unit-testable on a VirtualClock
+/// with zero sleeps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_ROUTER_SHARDSET_H
+#define DGGT_ROUTER_SHARDSET_H
+
+#include "router/Upstream.h"
+#include "support/Clock.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dggt::router {
+
+/// The ring + ejector; thread-safe. Shards are added during
+/// single-threaded setup and the set is fixed afterwards (membership
+/// churn is a future concern; ejection already covers "temporarily
+/// gone").
+class ShardSet {
+public:
+  struct Options {
+    /// Consecutive errors (transport failures or open breakers) that
+    /// eject a shard.
+    unsigned EjectAfterConsecutiveErrors = 5;
+    /// First ejection period; doubles on every failed re-admission
+    /// probe or re-ejection, capped at MaxEjectionMs.
+    uint64_t BaseEjectionMs = 1000;
+    uint64_t MaxEjectionMs = 60000;
+    /// Ejection stops while more than this fraction of the set is out.
+    double MaxEjectedFraction = 0.5;
+    /// Ring points per shard; more vnodes = smoother domain split.
+    unsigned VnodesPerShard = 64;
+    /// Time source (null = real steady clock); tests inject a
+    /// VirtualClock.
+    const ClockSource *Clock = nullptr;
+  };
+
+  /// One row of snapshot() (tests, statusJson).
+  struct ShardInfo {
+    std::string Name;
+    bool Ejected = false;
+    unsigned ConsecutiveErrors = 0;
+    unsigned Ejections = 0; ///< Lifetime ejection count (backoff exponent).
+  };
+
+  ShardSet();
+  explicit ShardSet(Options O);
+
+  /// Registers a shard. Single-threaded setup only.
+  void addShard(std::shared_ptr<Upstream> U);
+
+  size_t size() const;
+  size_t ejectedCount() const;
+
+  /// Consistent-hash pick: the first usable shard at or after
+  /// hash(\p Key) on the ring, walking clockwise past ejected (after
+  /// probing any whose ejection lapsed), unready and \p Exclude-listed
+  /// shards. Null when nothing qualifies.
+  std::shared_ptr<Upstream> pick(std::string_view Key,
+                                 const std::vector<const Upstream *> &Exclude = {});
+
+  /// Outcome feedback from the router. Errors are transport failures
+  /// and open breakers — deliberate rejections (Overloaded, Draining)
+  /// are neither an error nor proof of health, so they touch nothing.
+  void onSuccess(const Upstream &U);
+  void onError(const Upstream &U);
+
+  /// Probes every shard whose ejection window lapsed (the pump-driven
+  /// twin of the lazy probe inside pick()). Returns how many shards
+  /// were unejected.
+  size_t probeExpiredEjections();
+
+  bool ejected(const Upstream &U) const;
+  std::vector<ShardInfo> snapshot() const;
+
+private:
+  struct Shard {
+    std::shared_ptr<Upstream> U;
+    unsigned Consecutive = 0;
+    bool Ejected = false;
+    unsigned Ejections = 0; ///< Backoff exponent: Base << (Ejections-1).
+    ClockSource::TimePoint EjectedUntil{};
+  };
+
+  size_t indexOf(const Upstream &U) const; ///< size() when unknown.
+  void ejectLocked(size_t I);
+  uint64_t backoffMs(unsigned Ejections) const;
+  /// Collects lapsed-ejection shards under the lock, probes their
+  /// health() outside it (a probe may take the upstream's own locks),
+  /// then applies uneject/re-eject decisions. Returns unejected count.
+  size_t probeLapsed();
+
+  Options Opts;
+  mutable std::mutex M;
+  std::vector<Shard> Shards;
+  /// Sorted (hash point, shard index) ring.
+  std::vector<std::pair<uint64_t, size_t>> Ring;
+};
+
+} // namespace dggt::router
+
+#endif // DGGT_ROUTER_SHARDSET_H

@@ -1,0 +1,102 @@
+//===- router/Upstream.cpp - One routable synthesis worker ----------------===//
+
+#include "router/Upstream.h"
+
+#include "support/FaultInjection.h"
+
+using namespace dggt;
+using namespace dggt::router;
+
+std::string_view router::transportStatusName(TransportStatus St) {
+  switch (St) {
+  case TransportStatus::Ok:
+    return "ok";
+  case TransportStatus::ConnectError:
+    return "connect-error";
+  case TransportStatus::ReadTimeout:
+    return "read-timeout";
+  }
+  return "unknown";
+}
+
+Upstream::~Upstream() = default;
+
+LocalUpstream::LocalUpstream(std::string Name,
+                             std::unique_ptr<AsyncSynthesisService> Service)
+    : ShardName(std::move(Name)), Svc(std::move(Service)) {}
+
+LocalUpstream::~LocalUpstream() = default;
+
+bool LocalUpstream::scopedFault(std::string_view Point) const {
+  if (!FaultInjector::anyArmed())
+    return false;
+  if (faultFires(Point))
+    return true;
+  std::string Scoped(Point);
+  Scoped += '.';
+  Scoped += ShardName;
+  return faultFires(Scoped);
+}
+
+uint64_t LocalUpstream::call(const UpstreamQuery &Q, Callback Done) {
+  // router.connect: the worker is unreachable — nothing gets submitted,
+  // the caller hears about it immediately (a refused TCP connect).
+  if (scopedFault(faults::RouterConnect)) {
+    UpstreamResult R;
+    R.Transport = TransportStatus::ConnectError;
+    Done(std::move(R));
+    return 0;
+  }
+
+  auto Cancel = std::make_shared<std::atomic<bool>>(false);
+  uint64_t Token;
+  {
+    std::lock_guard<std::mutex> L(M);
+    Token = NextToken++;
+    Cancels.emplace(Token, Cancel);
+  }
+
+  SubmitOptions SO;
+  SO.BudgetMs = Q.BudgetMs;
+  SO.Cancel = Cancel;
+  Svc->submit(Q.Domain, Q.Query, SO,
+              [this, Token, Done = std::move(Done)](const ServiceReport &Rep) {
+                {
+                  std::lock_guard<std::mutex> L(M);
+                  Cancels.erase(Token);
+                }
+                UpstreamResult R;
+                // router.read_stall: the worker answered but the bytes
+                // never arrive — the caller sees a timeout, and the
+                // computed report is lost on the floor.
+                if (scopedFault(faults::RouterReadStall))
+                  R.Transport = TransportStatus::ReadTimeout;
+                else
+                  R.Report = Rep;
+                Done(std::move(R));
+              });
+  return Token;
+}
+
+void LocalUpstream::cancel(uint64_t Token) {
+  if (Token == 0)
+    return;
+  std::shared_ptr<std::atomic<bool>> Flag;
+  {
+    std::lock_guard<std::mutex> L(M);
+    auto It = Cancels.find(Token);
+    if (It == Cancels.end())
+      return;
+    Flag = It->second;
+  }
+  Flag->store(true, std::memory_order_release);
+}
+
+obs::HealthStatus LocalUpstream::health() const {
+  obs::HealthStatus St = Svc->service().healthStatus();
+  if (Svc->draining())
+    St.Ready = false;
+  return St;
+}
+
+bool LocalUpstream::ready() const { return !Svc->draining(); }

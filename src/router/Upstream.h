@@ -1,0 +1,132 @@
+//===- router/Upstream.h - One routable synthesis worker --------*- C++ -*-===//
+///
+/// \file
+/// The front tier's view of one synthesis worker: an asynchronous
+/// call/cancel surface plus the /healthz-/readyz probe pair. The
+/// interface is transport-agnostic on purpose — today's only
+/// implementation wraps an in-process AsyncSynthesisService replica
+/// (LocalUpstream), but a TCP backend speaking POST /v1/synthesize
+/// slots in behind the same five methods, so the ShardSet, the outlier
+/// ejector and the retry/hedge policy in router/Router.h never change
+/// when workers move out of process.
+///
+/// Transport failures are separated from service outcomes: a
+/// ConnectError or ReadTimeout means the *worker* misbehaved (the
+/// outlier ejector's signal), while a completed UpstreamResult carries
+/// the worker's own ServiceReport, whose status the retry policy
+/// inspects (Overloaded is retryable elsewhere; DeadlineExceeded is
+/// not — the budget is gone wherever we send it). LocalUpstream
+/// consults the `router.connect` / `router.read_stall` fault points
+/// (globally and suffixed with its shard name), so every failure path
+/// is deterministically drivable from DGGT_FAULTS or a test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_ROUTER_UPSTREAM_H
+#define DGGT_ROUTER_UPSTREAM_H
+
+#include "obs/HttpEndpoint.h"
+#include "service/AsyncSynthesisService.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace dggt::router {
+
+/// One query as the front tier routes it.
+struct UpstreamQuery {
+  std::string Domain;
+  std::string Query;
+  uint64_t BudgetMs = 0; ///< 0 = the upstream's own domain default.
+};
+
+/// Transport-level outcome of one upstream call, distinct from the
+/// service-level ServiceReport it carries on success.
+enum class TransportStatus {
+  Ok,           ///< The call completed; Report is the worker's answer.
+  ConnectError, ///< The worker was unreachable; nothing was submitted.
+  ReadTimeout,  ///< The call stalled past its deadline mid-read.
+};
+
+/// Short name of \p St ("ok", "connect-error", "read-timeout").
+std::string_view transportStatusName(TransportStatus St);
+
+/// What one upstream call resolved to.
+struct UpstreamResult {
+  TransportStatus Transport = TransportStatus::Ok;
+  ServiceReport Report; ///< Meaningful when Transport == Ok.
+};
+
+/// Abstract worker the router can call. Implementations must be
+/// thread-safe; Done callbacks may fire synchronously from call() or
+/// later from any thread, exactly once per call.
+class Upstream {
+public:
+  using Callback = std::function<void(UpstreamResult)>;
+
+  virtual ~Upstream();
+
+  /// Stable shard name ("shard-0"); the consistent-hash ring, the
+  /// per-shard metrics labels and the scoped fault points key off it.
+  virtual const std::string &name() const = 0;
+
+  /// Starts one call; returns a token for cancel() (0 when the call
+  /// already failed synchronously and no work is in flight).
+  virtual uint64_t call(const UpstreamQuery &Q, Callback Done) = 0;
+
+  /// Best-effort cancellation: queued work is dropped (the Done
+  /// callback still fires, with ServiceStatus::Cancelled), running work
+  /// completes and merely loses the race. Unknown tokens are ignored.
+  virtual void cancel(uint64_t Token) = 0;
+
+  /// The /healthz + /readyz probe pair — what the ejector's unejection
+  /// probe consults before letting a shard back into the ring.
+  virtual obs::HealthStatus health() const = 0;
+
+  /// Cheap readiness check consulted on every pick (a draining worker
+  /// flips this false long before it dies).
+  virtual bool ready() const { return true; }
+};
+
+/// In-process replica: wraps an owned AsyncSynthesisService. The
+/// "network" in front of it is simulated exclusively by the fault
+/// points, so the router's failure handling is exercised bit-for-bit
+/// without sockets.
+class LocalUpstream final : public Upstream {
+public:
+  LocalUpstream(std::string Name,
+                std::unique_ptr<AsyncSynthesisService> Service);
+  ~LocalUpstream() override;
+
+  const std::string &name() const override { return ShardName; }
+  uint64_t call(const UpstreamQuery &Q, Callback Done) override;
+  void cancel(uint64_t Token) override;
+  obs::HealthStatus health() const override;
+  bool ready() const override;
+
+  AsyncSynthesisService &service() { return *Svc; }
+
+private:
+  /// True when \p Point or \p Point.<shard-name> fires (per-shard fault
+  /// scoping rides on the injector accepting arbitrary names).
+  bool scopedFault(std::string_view Point) const;
+
+  std::string ShardName;
+  std::unique_ptr<AsyncSynthesisService> Svc;
+
+  mutable std::mutex M;
+  uint64_t NextToken = 1;
+  /// Live cancel flags by token; erased when the underlying submit
+  /// completes.
+  std::unordered_map<uint64_t, std::shared_ptr<std::atomic<bool>>> Cancels;
+};
+
+} // namespace dggt::router
+
+#endif // DGGT_ROUTER_UPSTREAM_H

@@ -71,17 +71,59 @@ AsyncSynthesisService::AsyncSynthesisService(AsyncOptions O)
     Controller = std::make_unique<LoadController>(
         Opts.LoadControl, Opts.QueueCap, Opts.CoalesceBatch, Opts.Clock);
   // Upgrade the endpoint's /statusz to the async view (queue depth, shed
-  // counts); health stays the wrapped service's breaker-derived answer.
-  if (obs::HttpEndpoint *Ep = Svc.endpoint())
+  // counts) and its health to the drain-aware answer, and register as
+  // the POST /v1/synthesize engine: the data plane parks the connection
+  // and we answer through the deferred-reply callback when the worker
+  // finishes.
+  if (obs::HttpEndpoint *Ep = Svc.endpoint()) {
     StatusReg = Ep->setStatusProvider([this] { return statusJson(); });
+    HealthReg = Ep->setHealthProvider([this] {
+      obs::HealthStatus St = Svc.healthStatus();
+      if (draining()) {
+        St.Ready = false;
+        St.Detail = St.Detail.empty() ? "draining" : St.Detail + "; draining";
+      }
+      return St;
+    });
+    SynthesizeReg = Ep->setSynthesizeProvider(
+        [this](const obs::SynthesizeRequest &Q,
+               obs::HttpEndpoint::SynthesizeReply Reply) {
+          SubmitOptions SO;
+          SO.BudgetMs = Q.BudgetMs;
+          submit(Q.Domain, Q.Query, SO,
+                 [Reply = std::move(Reply),
+                  Domain = Q.Domain](const ServiceReport &Rep) {
+                   obs::SynthesizeResponse R;
+                   R.Code = httpStatusFor(Rep.St);
+                   // Shed and transient unavailability are the client's
+                   // cue to retry (or the front tier's, which owns the
+                   // retry budget).
+                   if (R.Code == 429 || R.Code == 503)
+                     R.RetryAfterSeconds = 1;
+                   R.Body = serviceReportJson(Rep, Domain);
+                   Reply(std::move(R));
+                 });
+        });
+  }
 }
 
 AsyncSynthesisService::~AsyncSynthesisService() {
-  // Drop our provider before the pool (and then Svc) shut down; the
-  // token-matched clear synchronizes with any in-flight /statusz render
-  // and is a no-op if a newer owner has replaced the registration.
-  if (obs::HttpEndpoint *Ep = Svc.endpoint())
+  // Drop our providers before the pool (and then Svc) shut down; the
+  // token-matched clears synchronize with any in-flight render and are
+  // no-ops if a newer owner has replaced the registrations.
+  if (obs::HttpEndpoint *Ep = Svc.endpoint()) {
     Ep->clearStatusProvider(StatusReg);
+    Ep->clearHealthProvider(HealthReg);
+    Ep->clearSynthesizeProvider(SynthesizeReg);
+  }
+}
+
+void AsyncSynthesisService::beginDrain(uint64_t GraceMs) {
+  Budget::Clock::time_point Deadline =
+      clockNow(Opts.Clock) + std::chrono::milliseconds(GraceMs);
+  DrainDeadlineTicks.store(Deadline.time_since_epoch().count(),
+                           std::memory_order_release);
+  DrainFlag.store(true, std::memory_order_release);
 }
 
 void AsyncSynthesisService::addDomain(const Domain &D) {
@@ -149,17 +191,39 @@ LoadSample AsyncSynthesisService::sampleLoad() {
 std::future<ServiceReport>
 AsyncSynthesisService::submit(std::string_view DomainName,
                               std::string_view QueryText) {
+  return submit(DomainName, QueryText, SubmitOptions(), nullptr);
+}
+
+std::future<ServiceReport>
+AsyncSynthesisService::submit(std::string_view DomainName,
+                              std::string_view QueryText,
+                              const SubmitOptions &SO, Callback Done) {
   AsyncInstruments &M = AsyncInstruments::get();
 
-  std::promise<ServiceReport> Immediate;
+  // Immediate rejections satisfy the future *and* the callback before
+  // returning, so a callback-driven caller (router, data plane) never
+  // needs to also poll the future.
+  auto Reject = [&Done](ServiceStatus St) {
+    std::promise<ServiceReport> Immediate;
+    ServiceReport Rep = immediateReport(St);
+    if (Done)
+      Done(Rep);
+    Immediate.set_value(std::move(Rep));
+    return Immediate.get_future();
+  };
 
   // Resolve the domain up front: an unknown name fails immediately (no
   // queue slot burned), and a known one pins its deadline *now* so queue
   // wait counts against the query's own budget.
   DomainLoad *DL = loadFor(DomainName);
-  if (!DL || !Svc.hasDomain(DomainName)) {
-    Immediate.set_value(immediateReport(ServiceStatus::UnknownDomain));
-    return Immediate.get_future();
+  if (!DL || !Svc.hasDomain(DomainName))
+    return Reject(ServiceStatus::UnknownDomain);
+
+  // Draining: stop admission first, before any controller bookkeeping —
+  // a departing worker must not accept work it may have to cancel.
+  if (draining()) {
+    DrainRejected.fetch_add(1, std::memory_order_relaxed);
+    return Reject(ServiceStatus::Draining);
   }
 
   // Controller tick before admission, so this submission is judged
@@ -189,10 +253,14 @@ AsyncSynthesisService::submit(std::string_view DomainName,
   }
 
   // Deadline-aware admission: when the measured p95 queue wait plus the
-  // domain's p50 service time already exceeds the query's budget, the
-  // queue would only carry it to a cancellation — reject now instead.
+  // domain's tail service time (GateServicePercentile, default p90 — p50
+  // was optimistic for heavy-tailed domains) already exceeds the query's
+  // budget, the queue would only carry it to a cancellation — reject now
+  // instead.
   if (Controller && DL->GateEnabled &&
-      !Controller->admit(DL->ServiceMs.p50(), DL->BudgetMs, DL->Gated)) {
+      !Controller->admit(
+          DL->ServiceMs.percentile(Opts.LoadControl.GateServicePercentile),
+          DL->BudgetMs, DL->Gated)) {
     GateRejected.fetch_add(1, std::memory_order_relaxed);
     if (obs::metricsEnabled()) {
       LoadInstruments::get().GateRejected.inc();
@@ -203,13 +271,12 @@ AsyncSynthesisService::submit(std::string_view DomainName,
                      std::string(serviceStatusName(ServiceStatus::Overloaded))}})
           .inc();
     }
-    Immediate.set_value(immediateReport(ServiceStatus::Overloaded));
-    return Immediate.get_future();
+    return Reject(ServiceStatus::Overloaded);
   }
 
   auto Task = std::make_shared<std::packaged_task<ServiceReport()>>();
 
-  uint64_t BudgetMs = DL->BudgetMs;
+  uint64_t BudgetMs = SO.BudgetMs != 0 ? SO.BudgetMs : DL->BudgetMs;
   Budget::Clock::time_point Deadline =
       clockNow(Opts.Clock) + std::chrono::milliseconds(BudgetMs);
   bool Limited = BudgetMs != 0;
@@ -219,7 +286,8 @@ AsyncSynthesisService::submit(std::string_view DomainName,
   std::string Query(QueryText);
   *Task = std::packaged_task<ServiceReport()>(
       [this, DL, Domain = std::move(Domain), Query = std::move(Query),
-       Deadline, Limited, Enqueued]() -> ServiceReport {
+       Deadline, Limited, Enqueued, Cancel = SO.Cancel,
+       Done]() -> ServiceReport {
         AsyncInstruments &M = AsyncInstruments::get();
         double WaitMs = std::chrono::duration<double, std::milli>(
                             clockNow(Opts.Clock) - Enqueued)
@@ -228,6 +296,22 @@ AsyncSynthesisService::submit(std::string_view DomainName,
         QueueWaitMs.observe(WaitMs);
         if (obs::metricsEnabled())
           M.QueueWaitMs.observe(WaitMs);
+
+        auto Finish = [&Done](ServiceReport Rep) {
+          if (Done)
+            Done(Rep);
+          return Rep;
+        };
+
+        // Caller-side cancellation (a hedge's loser): drop before any
+        // ladder work.
+        if (Cancel && Cancel->load(std::memory_order_acquire)) {
+          Cancelled.fetch_add(1, std::memory_order_relaxed);
+          M.Cancelled.inc();
+          ServiceReport Rep = immediateReport(ServiceStatus::Cancelled);
+          Rep.TotalSeconds = WaitMs / 1000.0;
+          return Finish(std::move(Rep));
+        }
 
         // Cancellation of queued-past-deadline work: the budget the
         // ladder would get is already spent, so report the miss without
@@ -238,7 +322,29 @@ AsyncSynthesisService::submit(std::string_view DomainName,
           M.Cancelled.inc();
           ServiceReport Rep = immediateReport(ServiceStatus::DeadlineExceeded);
           Rep.TotalSeconds = WaitMs / 1000.0;
-          return Rep;
+          return Finish(std::move(Rep));
+        }
+
+        // Drain-deadline clipping: work dequeued past the drain deadline
+        // is cancelled (the worker is leaving; a retrying caller moves
+        // the query elsewhere), work inside the window runs with its
+        // budget cut to the deadline so the drain actually converges.
+        Budget::Clock::time_point Eff = Deadline;
+        bool Lim = Limited;
+        int64_t DD = DrainDeadlineTicks.load(std::memory_order_acquire);
+        if (DrainFlag.load(std::memory_order_acquire) && DD != 0) {
+          Budget::Clock::time_point DTp{Budget::Clock::duration(DD)};
+          if (clockNow(Opts.Clock) >= DTp) {
+            Cancelled.fetch_add(1, std::memory_order_relaxed);
+            M.Cancelled.inc();
+            ServiceReport Rep = immediateReport(ServiceStatus::Cancelled);
+            Rep.TotalSeconds = WaitMs / 1000.0;
+            return Finish(std::move(Rep));
+          }
+          if (!Lim || DTp < Eff) {
+            Eff = DTp;
+            Lim = true;
+          }
         }
 
         obs::ScopedSpan Span("async.task");
@@ -246,15 +352,14 @@ AsyncSynthesisService::submit(std::string_view DomainName,
           Span.attr("domain", Domain);
           Span.attr("queue_wait_ms", WaitMs);
         }
-        Budget Total =
-            Limited ? Budget::until(Deadline, Opts.Clock) : Budget();
+        Budget Total = Lim ? Budget::until(Eff, Opts.Clock) : Budget();
         ServiceReport Rep = Svc.query(Domain, Query, Total);
         // Feed the gate's service-time prior from real runs only (a
         // cancelled task's 0-second "service" would teach the gate that
         // doomed work is fast).
         DL->ServiceMs.observe(Rep.TotalSeconds * 1000.0);
         Completed.fetch_add(1, std::memory_order_relaxed);
-        return Rep;
+        return Finish(std::move(Rep));
       });
   std::future<ServiceReport> Fut = Task->get_future();
 
@@ -267,10 +372,9 @@ AsyncSynthesisService::submit(std::string_view DomainName,
                     {"status",
                      std::string(serviceStatusName(ServiceStatus::Overloaded))}})
           .inc();
-    // The packaged task was never run; satisfy the caller through a
-    // fresh promise so the returned future is immediately ready.
-    Immediate.set_value(immediateReport(ServiceStatus::Overloaded));
-    return Immediate.get_future();
+    // The packaged task was never run (its copy of Done with it), so
+    // satisfy the caller through the immediate-rejection path.
+    return Reject(ServiceStatus::Overloaded);
   }
 
   M.Submitted.inc();
@@ -287,6 +391,7 @@ AsyncStats AsyncSynthesisService::stats() const {
   St.Cancelled = Cancelled.load(std::memory_order_relaxed);
   St.Completed = Completed.load(std::memory_order_relaxed);
   St.Coalesced = P.Coalesced;
+  St.DrainRejected = DrainRejected.load(std::memory_order_relaxed);
   return St;
 }
 
@@ -303,7 +408,9 @@ std::string AsyncSynthesisService::statusJson() const {
      << ",\"gate_rejected\":" << St.GateRejected
      << ",\"cancelled\":" << St.Cancelled
      << ",\"completed\":" << St.Completed
-     << ",\"coalesced\":" << St.Coalesced << ",\"load_control\":{";
+     << ",\"coalesced\":" << St.Coalesced
+     << ",\"draining\":" << (draining() ? "true" : "false")
+     << ",\"drain_rejected\":" << St.DrainRejected << ",\"load_control\":{";
   if (Controller) {
     LoadController::Stats CS = Controller->stats();
     size_t Gated = 0;

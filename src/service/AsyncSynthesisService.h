@@ -35,9 +35,22 @@
 /// control law; off by default, the static knobs then behave exactly as
 /// before.
 ///
-/// Destruction drains: every accepted future completes before the
-/// destructor returns. The wrapped SynthesisService is owned and can be
-/// inspected (service()) for breaker state and cache stats.
+/// The layer is also the *network-facing* synthesis engine: at
+/// construction it registers a SynthesizeProvider on the wrapped
+/// service's introspection endpoint, so POST /v1/synthesize submits
+/// here and answers through the endpoint's deferred-reply path (see
+/// obs/HttpEndpoint.h). The callback-taking submit() overload carries a
+/// per-query budget override and a cooperative cancel token — what the
+/// front-tier router uses to cancel a hedged request's loser.
+///
+/// beginDrain() starts a graceful shutdown window: new submissions are
+/// rejected with ServiceStatus::Draining, /readyz flips to 503 so a
+/// router stops picking this worker, queued work past the drain
+/// deadline is cancelled instead of run, and running work has its
+/// budget clipped to the deadline. Destruction still drains fully:
+/// every accepted future completes before the destructor returns. The
+/// wrapped SynthesisService is owned and can be inspected (service())
+/// for breaker state and cache stats.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -83,9 +96,24 @@ struct AsyncStats {
   uint64_t Shed = 0;         ///< Rejected at submit() by the queue cap.
   uint64_t GateRejected = 0; ///< Rejected at submit() by the admission
                              ///< gate (predicted deadline miss).
-  uint64_t Cancelled = 0;    ///< Dequeued already past deadline; not run.
+  uint64_t Cancelled = 0;    ///< Dequeued past deadline, past the drain
+                             ///< deadline, or with a set cancel token;
+                             ///< not run.
   uint64_t Completed = 0;    ///< Futures fulfilled by a worker run.
   uint64_t Coalesced = 0;    ///< Tasks run by staying on the same domain.
+  uint64_t DrainRejected = 0; ///< Rejected at submit() while draining.
+};
+
+/// Per-submission knobs of the callback-taking submit() overload.
+struct SubmitOptions {
+  /// Per-query total budget; 0 = the domain's configured TotalBudgetMs.
+  /// The data plane threads the request's budget_ms through here.
+  uint64_t BudgetMs = 0;
+  /// Cooperative cancellation: when set before the worker dequeues the
+  /// task, the query reports ServiceStatus::Cancelled without running
+  /// the ladder (best effort — a query already running completes). The
+  /// router cancels a hedge's loser through this.
+  std::shared_ptr<std::atomic<bool>> Cancel;
 };
 
 /// Thread-safe asynchronous front door; see file comment.
@@ -102,11 +130,40 @@ public:
   /// must happen before the first submit().
   void addDomain(const Domain &D);
 
+  /// Completion callback of the extended submit(); invoked exactly once
+  /// — synchronously for immediate rejections (unknown domain, shed,
+  /// gate, draining), from the worker thread otherwise.
+  using Callback = std::function<void(const ServiceReport &)>;
+
   /// Enqueues the query and returns its future. Always returns a valid
   /// future: on shed (queue full) or unknown domain it is already
   /// satisfied with an Overloaded / UnknownDomain report.
   std::future<ServiceReport> submit(std::string_view DomainName,
                                     std::string_view QueryText);
+
+  /// Same, with per-submission options and an optional completion
+  /// callback (the asynchronous consumers — data plane, router — get
+  /// their answer without parking a thread on the future).
+  std::future<ServiceReport> submit(std::string_view DomainName,
+                                    std::string_view QueryText,
+                                    const SubmitOptions &SO, Callback Done);
+
+  /// Starts a graceful drain: from now on submit() rejects immediately
+  /// with ServiceStatus::Draining, /readyz (via the endpoint health
+  /// provider) reports 503 so routers stop sending traffic, and
+  /// \p GraceMs from now queued-but-unstarted work is cancelled instead
+  /// of run (work dequeued inside the grace window still runs, with its
+  /// budget clipped to the drain deadline). Idempotent; there is no
+  /// un-drain — this precedes destruction.
+  void beginDrain(uint64_t GraceMs);
+  bool draining() const {
+    return DrainFlag.load(std::memory_order_acquire);
+  }
+  /// True once draining and no queued or running work remains (the
+  /// "safe to destroy" signal a supervisor polls).
+  bool drainComplete() const {
+    return draining() && Pool.queueDepth() == 0 && Pool.running() == 0;
+  }
 
   /// The wrapped serial service (breaker state, cache stats, options).
   SynthesisService &service() { return Svc; }
@@ -176,10 +233,19 @@ private:
   std::atomic<uint64_t> Cancelled{0};
   std::atomic<uint64_t> Completed{0};
   std::atomic<uint64_t> GateRejected{0};
-  /// Token of our /statusz registration on the wrapped service's
-  /// endpoint; the destructor's token-matched clear cannot wipe a newer
-  /// owner's provider.
+  std::atomic<uint64_t> DrainRejected{0};
+
+  /// Drain state: the flag gates admission, the deadline (clock ticks
+  /// since epoch; 0 = none) bounds how long accepted work may still run.
+  std::atomic<bool> DrainFlag{false};
+  std::atomic<int64_t> DrainDeadlineTicks{0};
+
+  /// Tokens of our /statusz, /healthz and /v1/synthesize registrations
+  /// on the wrapped service's endpoint; the destructor's token-matched
+  /// clears cannot wipe a newer owner's providers.
   uint64_t StatusReg = 0;
+  uint64_t HealthReg = 0;
+  uint64_t SynthesizeReg = 0;
 };
 
 } // namespace dggt

@@ -139,11 +139,11 @@ LoadController::maybeTick(const std::function<LoadSample()> &Sampler) {
   return tick(Sampler());
 }
 
-bool LoadController::admit(double ServiceP50Ms, uint64_t BudgetMs,
+bool LoadController::admit(double ServiceMs, uint64_t BudgetMs,
                            std::atomic<bool> &GateLatch) const {
   if (!Opts.Enabled || !Opts.AdmissionGate || BudgetMs == 0)
     return true;
-  double Predicted = waitP95Ms() + std::max(0.0, ServiceP50Ms);
+  double Predicted = waitP95Ms() + std::max(0.0, ServiceMs);
   double Budget = static_cast<double>(BudgetMs);
   bool Gated = GateLatch.load(std::memory_order_relaxed);
   if (Gated) {

@@ -102,6 +102,12 @@ struct LoadControlOptions {
   /// GateOffFraction * budget.
   double GateOnFraction = 1.0;
   double GateOffFraction = 0.8;
+  /// Which percentile of the domain's service-time history the gate
+  /// predicts with. p50 is optimistic for heavy-tailed domains — half
+  /// the admitted queries run longer than predicted, so the gate admits
+  /// work the tail then dooms; p90 prices the tail in. The async service
+  /// reads this when feeding admit().
+  double GateServicePercentile = 90.0;
 };
 
 /// One measured state snapshot the policy decides over. The cumulative
@@ -169,12 +175,14 @@ public:
   double waitP50Ms() const;
 
   /// Deadline-aware admission. Returns false (reject with Overloaded)
-  /// when the predicted completion `p95 wait + p50 service` exceeds the
-  /// gate-on water of \p BudgetMs. \p GateLatch is the caller's
-  /// per-domain hysteresis state: once gated, the domain re-admits only
-  /// below the gate-off water. Always admits when the gate is disabled
-  /// or \p BudgetMs is 0 (unlimited).
-  bool admit(double ServiceP50Ms, uint64_t BudgetMs,
+  /// when the predicted completion `p95 wait + service time` exceeds the
+  /// gate-on water of \p BudgetMs. \p ServiceMs is the caller's service-
+  /// time estimate — the async service passes its per-domain histogram
+  /// at GateServicePercentile (default p90, so the heavy tail is priced
+  /// in). \p GateLatch is the caller's per-domain hysteresis state: once
+  /// gated, the domain re-admits only below the gate-off water. Always
+  /// admits when the gate is disabled or \p BudgetMs is 0 (unlimited).
+  bool admit(double ServiceMs, uint64_t BudgetMs,
              std::atomic<bool> &GateLatch) const;
 
   Stats stats() const;

@@ -34,8 +34,60 @@ std::string_view dggt::serviceStatusName(ServiceStatus St) {
     return "unknown-domain";
   case ServiceStatus::Overloaded:
     return "overloaded";
+  case ServiceStatus::Cancelled:
+    return "cancelled";
+  case ServiceStatus::Draining:
+    return "draining";
   }
   return "unknown";
+}
+
+int dggt::httpStatusFor(ServiceStatus St) {
+  switch (St) {
+  case ServiceStatus::Ok:
+  case ServiceStatus::NoCandidates:
+  case ServiceStatus::NoAnswer:
+    // The query *ran*; "no codelet found" is an answer, not a transport
+    // failure — the JSON status field distinguishes the three.
+    return 200;
+  case ServiceStatus::DeadlineExceeded:
+    return 504;
+  case ServiceStatus::CircuitOpen:
+  case ServiceStatus::Draining:
+  case ServiceStatus::Cancelled:
+    // Temporarily unable / shard going away: safe to retry elsewhere.
+    return 503;
+  case ServiceStatus::UnknownDomain:
+    return 404;
+  case ServiceStatus::Overloaded:
+    return 429;
+  }
+  return 500;
+}
+
+std::string dggt::serviceReportJson(const ServiceReport &Rep,
+                                    std::string_view Domain) {
+  std::ostringstream OS;
+  OS << "{\"status\":\"" << serviceStatusName(Rep.St) << "\",\"domain\":\""
+     << obs::escapeJson(Domain) << "\"";
+  if (Rep.ok()) {
+    OS << ",\"codelet\":\"" << obs::escapeJson(Rep.Result.Expression)
+       << "\",\"cgt_size\":" << Rep.Result.CgtSize;
+  }
+  if (Rep.AnsweredBy)
+    OS << ",\"answered_by\":\"" << rungName(*Rep.AnsweredBy) << "\"";
+  OS << ",\"attempts\":[";
+  for (size_t I = 0; I < Rep.Attempts.size(); ++I) {
+    const RungAttempt &A = Rep.Attempts[I];
+    if (I)
+      OS << ",";
+    OS << "{\"rung\":\"" << rungName(A.Rung) << "\",\"status\":\""
+       << attemptStatusName(A.St) << "\",\"try\":" << A.Try
+       << ",\"ms\":" << A.Seconds * 1000.0
+       << ",\"remaining_ms\":" << A.RemainingMs << "}";
+  }
+  OS << "],\"total_ms\":" << Rep.TotalSeconds * 1000.0 << "}";
+  return OS.str();
 }
 
 std::string_view dggt::rungName(ServiceRung R) {

@@ -66,10 +66,22 @@ enum class ServiceStatus {
   UnknownDomain,    ///< No domain registered under that name.
   Overloaded,       ///< Shed before running: the async layer's submission
                     ///< queue was full (backpressure).
+  Cancelled,        ///< Cancelled by the caller (a hedged sibling won, or
+                    ///< a drain deadline overtook the queued work) before
+                    ///< the ladder produced an answer.
+  Draining,         ///< Rejected at submit: the worker is draining and no
+                    ///< longer admits queries (retry on another shard).
 };
 
 /// Short name of \p St ("ok", "deadline-exceeded", ...).
 std::string_view serviceStatusName(ServiceStatus St);
+
+/// The data-plane failure matrix: the HTTP status code POST
+/// /v1/synthesize answers for a query that ended in \p St. Terminal
+/// outcomes (Ok, NoAnswer, NoCandidates) are 200 — the JSON body carries
+/// the synthesis status; transport-level rejections map to retryable
+/// codes (429/503/504). See DESIGN.md §13.
+int httpStatusFor(ServiceStatus St);
 
 /// Rungs of the degradation ladder, tried in declaration order.
 enum class ServiceRung {
@@ -120,6 +132,13 @@ struct ServiceReport {
 
   bool ok() const { return St == ServiceStatus::Ok; }
 };
+
+/// Serializes \p Rep as the /v1/synthesize response body: status,
+/// codelet (when ok), the chronological attempt trail with per-rung
+/// latency and remaining-budget metadata, and total latency. \p Domain
+/// is echoed back for log correlation.
+std::string serviceReportJson(const ServiceReport &Rep,
+                              std::string_view Domain);
 
 /// Service tuning knobs.
 struct ServiceOptions {

@@ -18,6 +18,7 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "service/AsyncSynthesisService.h"
+#include "support/Clock.h"
 #include "support/FaultInjection.h"
 
 #include <gtest/gtest.h>
@@ -28,8 +29,10 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <memory>
 #include <string>
 #include <thread>
@@ -93,6 +96,61 @@ Response get(uint16_t Port, const std::string &Target) {
   return parseResponse(rawExchange(
       Port, "GET " + Target + " HTTP/1.1\r\nHost: localhost\r\n\r\n"));
 }
+
+/// Frames one POST /v1/synthesize with a correct Content-Length.
+std::string postFrame(const std::string &Body) {
+  return "POST /v1/synthesize HTTP/1.1\r\nHost: localhost\r\n"
+         "Content-Length: " +
+         std::to_string(Body.size()) + "\r\n\r\n" + Body;
+}
+
+Response post(uint16_t Port, const std::string &Body) {
+  return parseResponse(rawExchange(Port, postFrame(Body)));
+}
+
+/// A raw connection whose send and read phases are split, so a test can
+/// interleave clock advances (parked-reply deadlines, body trickle)
+/// between them.
+struct RawConn {
+  int Fd = -1;
+
+  bool open(uint16_t Port) {
+    Fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return false;
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(Port);
+    inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+    return connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) == 0;
+  }
+
+  bool sendAll(const std::string &Bytes) {
+    size_t Off = 0;
+    while (Off < Bytes.size()) {
+      ssize_t N = send(Fd, Bytes.data() + Off, Bytes.size() - Off, 0);
+      if (N <= 0)
+        return false;
+      Off += static_cast<size_t>(N);
+    }
+    return true;
+  }
+
+  /// Blocks until the server closes; empty = dropped without a response.
+  std::string readAll() {
+    std::string Out;
+    char Buf[4096];
+    ssize_t R;
+    while ((R = read(Fd, Buf, sizeof(Buf))) > 0)
+      Out.append(Buf, static_cast<size_t>(R));
+    return Out;
+  }
+
+  ~RawConn() {
+    if (Fd >= 0)
+      close(Fd);
+  }
+};
 
 /// Restores the process-wide observability switches around every test.
 class HttpEndpointTest : public ::testing::Test {
@@ -529,4 +587,252 @@ TEST_F(HttpEndpointTest, ConcurrentScrapesRaceTheSubmissionHammer) {
   EXPECT_NE(Metrics.Body.find("dggt_async_queue_wait_ms_bucket"),
             std::string::npos);
   EXPECT_NE(Metrics.Body.find("dggt_http_requests_total"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// POST /v1/synthesize: the query data plane
+//===----------------------------------------------------------------------===//
+
+TEST_F(HttpEndpointTest, SynthesizePostAnswersCodeletJson) {
+  AsyncOptions Opts;
+  Opts.Workers = 2;
+  Opts.QueueCap = 64;
+  Opts.Service.HttpPort = 0;
+  AsyncSynthesisService S(Opts);
+  S.addDomain(textEditing());
+  uint16_t Port = S.service().endpoint()->port();
+
+  Response Rep = post(
+      Port, "{\"domain\":\"TextEditing\",\"query\":\"sort all lines\"}");
+  EXPECT_EQ(Rep.Code, 200);
+  EXPECT_NE(Rep.Head.find("application/json"), std::string::npos);
+  EXPECT_NE(Rep.Body.find("\"status\":\"ok\""), std::string::npos) << Rep.Body;
+  EXPECT_NE(Rep.Body.find("\"codelet\":\""), std::string::npos);
+  EXPECT_NE(Rep.Body.find("\"answered_by\":\""), std::string::npos);
+  EXPECT_NE(Rep.Body.find("\"attempts\":["), std::string::npos);
+  EXPECT_NE(Rep.Body.find("\"total_ms\":"), std::string::npos);
+
+  // An explicit budget rides through SubmitOptions without changing the
+  // answer for an easy query.
+  Response Budgeted = post(Port, "{\"domain\":\"TextEditing\","
+                                 "\"query\":\"sort all lines\","
+                                 "\"budget_ms\":2000}");
+  EXPECT_EQ(Budgeted.Code, 200);
+  EXPECT_NE(Budgeted.Body.find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST_F(HttpEndpointTest, SynthesizeUnknownDomainIs404) {
+  AsyncOptions Opts;
+  Opts.Workers = 1;
+  Opts.QueueCap = 8;
+  Opts.Service.HttpPort = 0;
+  AsyncSynthesisService S(Opts);
+  S.addDomain(textEditing());
+
+  Response Rep = post(S.service().endpoint()->port(),
+                      "{\"domain\":\"Nope\",\"query\":\"sort\"}");
+  EXPECT_EQ(Rep.Code, 404);
+  EXPECT_NE(Rep.Body.find("unknown-domain"), std::string::npos) << Rep.Body;
+}
+
+TEST_F(HttpEndpointTest, SynthesizeWithoutProviderIs503WithRetryAfter) {
+  auto Ep = startEndpoint();
+  Response Rep = post(Ep->port(), "{\"domain\":\"X\",\"query\":\"y\"}");
+  EXPECT_EQ(Rep.Code, 503);
+  EXPECT_NE(Rep.Head.find("Retry-After: 1"), std::string::npos) << Rep.Head;
+}
+
+TEST_F(HttpEndpointTest, SynthesizeGetIs405WithAllowPost) {
+  auto Ep = startEndpoint();
+  Response Rep = get(Ep->port(), "/v1/synthesize");
+  EXPECT_EQ(Rep.Code, 405);
+  EXPECT_NE(Rep.Head.find("Allow: POST"), std::string::npos) << Rep.Head;
+}
+
+TEST_F(HttpEndpointTest, SynthesizeBodyFramingIsStrict) {
+  auto Ep = startEndpoint();
+  uint16_t Port = Ep->port();
+
+  // Missing Content-Length: the body cannot be framed.
+  Response NoCl = parseResponse(rawExchange(
+      Port, "POST /v1/synthesize HTTP/1.1\r\nHost: l\r\n\r\n"));
+  EXPECT_EQ(NoCl.Code, 411);
+
+  // Duplicate Content-Length (even agreeing): smuggling primitive, 400.
+  Response Dup = parseResponse(rawExchange(
+      Port, "POST /v1/synthesize HTTP/1.1\r\nContent-Length: 2\r\n"
+            "Content-Length: 2\r\n\r\n{}"));
+  EXPECT_EQ(Dup.Code, 400);
+
+  // Malformed Content-Length value.
+  Response Bad = parseResponse(rawExchange(
+      Port, "POST /v1/synthesize HTTP/1.1\r\nContent-Length: 12abc\r\n\r\n"));
+  EXPECT_EQ(Bad.Code, 400);
+
+  // Case-insensitive header match still counts the duplicate.
+  Response MixedCase = parseResponse(rawExchange(
+      Port, "POST /v1/synthesize HTTP/1.1\r\ncontent-length: 2\r\n"
+            "Content-Length: 2\r\n\r\n{}"));
+  EXPECT_EQ(MixedCase.Code, 400);
+}
+
+TEST_F(HttpEndpointTest, SynthesizeOversizedDeclaredBodyIs413) {
+  obs::HttpEndpoint::Options O;
+  O.MaxBodyBytes = 64;
+  auto Ep = startEndpoint(O);
+  // Refused on the declared length alone — no body byte is ever sent.
+  Response Rep = parseResponse(rawExchange(
+      Ep->port(),
+      "POST /v1/synthesize HTTP/1.1\r\nContent-Length: 100000\r\n\r\n"));
+  EXPECT_EQ(Rep.Code, 413);
+}
+
+TEST_F(HttpEndpointTest, SynthesizeMalformedJsonBodyIs400) {
+  auto Ep = startEndpoint();
+  EXPECT_EQ(post(Ep->port(), "this is not json").Code, 400);
+  EXPECT_EQ(post(Ep->port(), "{\"domain\":\"X\"}").Code, 400); // No query.
+  EXPECT_EQ(post(Ep->port(), "{\"query\":\"y\"}").Code, 400);  // No domain.
+}
+
+TEST_F(HttpEndpointTest, SynthesizeCannedRejectionCarriesRetryAfter) {
+  // A canned provider standing in for a shedding service: the endpoint
+  // must pass the code and Retry-After guidance through verbatim.
+  auto Ep = startEndpoint();
+  Ep->setSynthesizeProvider(
+      [](const obs::SynthesizeRequest &,
+         obs::HttpEndpoint::SynthesizeReply Reply) {
+        obs::SynthesizeResponse R;
+        R.Code = 429;
+        R.Body = "{\"status\":\"overloaded\"}";
+        R.RetryAfterSeconds = 2;
+        Reply(std::move(R));
+      });
+  Response Rep = post(Ep->port(), "{\"domain\":\"X\",\"query\":\"y\"}");
+  EXPECT_EQ(Rep.Code, 429);
+  EXPECT_NE(Rep.Head.find("Retry-After: 2"), std::string::npos) << Rep.Head;
+  EXPECT_NE(Rep.Body.find("overloaded"), std::string::npos);
+}
+
+TEST_F(HttpEndpointTest, SynthesizeReplyFaultDropsTheConnection) {
+  // dataplane.reply: the answer is computed but never written — the
+  // client sees a clean close with zero response bytes and must treat it
+  // as retryable (the router's transport-failure classification).
+  auto Ep = startEndpoint();
+  std::atomic<int> Answered{0};
+  Ep->setSynthesizeProvider(
+      [&](const obs::SynthesizeRequest &,
+          obs::HttpEndpoint::SynthesizeReply Reply) {
+        ++Answered;
+        obs::SynthesizeResponse R;
+        R.Body = "{\"status\":\"ok\"}";
+        Reply(std::move(R));
+      });
+  FaultInjector::instance().armAlways(faults::DataplaneReply);
+  EXPECT_EQ(rawExchange(Ep->port(), postFrame("{\"domain\":\"X\","
+                                              "\"query\":\"y\"}")),
+            "");
+  EXPECT_EQ(Answered.load(), 1);
+
+  // Disarmed, the same request answers normally.
+  FaultInjector::instance().reset();
+  EXPECT_EQ(post(Ep->port(), "{\"domain\":\"X\",\"query\":\"y\"}").Code, 200);
+}
+
+TEST_F(HttpEndpointTest, ParkedConnectionTimesOutTo504OnTheVirtualClock) {
+  // A provider that accepts the query and never answers: the parked
+  // connection must become a 504 once budget_ms + RequestTimeoutMs
+  // lapses on the injected clock — no real waiting.
+  VirtualClock VC;
+  obs::HttpEndpoint::Options O;
+  O.Clock = &VC;
+  auto Ep = startEndpoint(O);
+
+  std::promise<void> Accepted;
+  std::shared_future<void> AcceptedF = Accepted.get_future().share();
+  obs::HttpEndpoint::SynthesizeReply Parked; // Kept alive, never invoked.
+  Ep->setSynthesizeProvider(
+      [&](const obs::SynthesizeRequest &,
+          obs::HttpEndpoint::SynthesizeReply Reply) {
+        Parked = std::move(Reply);
+        Accepted.set_value();
+      });
+
+  RawConn C;
+  ASSERT_TRUE(C.open(Ep->port()));
+  ASSERT_TRUE(C.sendAll(postFrame(
+      "{\"domain\":\"X\",\"query\":\"y\",\"budget_ms\":100}")));
+  AcceptedF.wait(); // The connection is parked; now lapse its deadline.
+  VC.advanceMs(100 + O.RequestTimeoutMs + 1);
+
+  Response Rep = parseResponse(C.readAll());
+  EXPECT_EQ(Rep.Code, 504);
+  EXPECT_NE(Rep.Body.find("did not complete"), std::string::npos) << Rep.Body;
+
+  // The late answer lands on an already-answered connection: ignored.
+  obs::SynthesizeResponse R;
+  R.Body = "{}";
+  Parked(std::move(R));
+}
+
+TEST_F(HttpEndpointTest, BodyTrickleHitsTheSameDeadlineAsHeads) {
+  // A client that sends the head plus a sliver of body and then stalls
+  // holds a connection slot; the per-connection deadline covers body
+  // reads exactly as it covers heads, so the lapse drops it without a
+  // response.
+  VirtualClock VC;
+  obs::HttpEndpoint::Options O;
+  O.Clock = &VC;
+  auto Ep = startEndpoint(O);
+
+  RawConn Trickle;
+  ASSERT_TRUE(Trickle.open(Ep->port()));
+  ASSERT_TRUE(Trickle.sendAll(
+      "POST /v1/synthesize HTTP/1.1\r\nContent-Length: 64\r\n\r\n{\"dom"));
+
+  // A later-connected probe completing proves the trickler was accepted
+  // (the listener backlog drains in order), so its deadline is armed
+  // before the clock jumps.
+  EXPECT_EQ(get(Ep->port(), "/healthz").Code, 200);
+  VC.advanceMs(O.RequestTimeoutMs + 1);
+
+  EXPECT_EQ(Trickle.readAll(), "");
+}
+
+TEST_F(HttpEndpointTest, DrainFlipsReadyzAndShedsSynthesizePosts) {
+  AsyncOptions Opts;
+  Opts.Workers = 1;
+  Opts.QueueCap = 8;
+  Opts.Service.HttpPort = 0;
+  AsyncSynthesisService S(Opts);
+  S.addDomain(textEditing());
+  uint16_t Port = S.service().endpoint()->port();
+
+  ASSERT_EQ(get(Port, "/readyz").Code, 200);
+  ASSERT_EQ(
+      post(Port, "{\"domain\":\"TextEditing\",\"query\":\"sort\"}").Code, 200);
+
+  S.beginDrain(60000);
+
+  Response Ready = get(Port, "/readyz");
+  EXPECT_EQ(Ready.Code, 503);
+  EXPECT_NE(Ready.Body.find("draining"), std::string::npos) << Ready.Body;
+
+  // New work is refused with retry guidance — the front tier's cue to
+  // route the query to another shard.
+  Response Shed = post(Port, "{\"domain\":\"TextEditing\",\"query\":\"sort\"}");
+  EXPECT_EQ(Shed.Code, 503);
+  EXPECT_NE(Shed.Body.find("\"status\":\"draining\""), std::string::npos)
+      << Shed.Body;
+  EXPECT_NE(Shed.Head.find("Retry-After: 1"), std::string::npos);
+
+  // Nothing is in flight, but the worker that answered the first POST
+  // sends the reply from inside its task — the 200 can land before the
+  // pool's running counter ticks down, so give bookkeeping a moment.
+  bool Complete = false;
+  for (int I = 0; I < 2000 && !Complete; ++I) {
+    Complete = S.drainComplete();
+    if (!Complete)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(Complete);
 }

@@ -290,6 +290,35 @@ TEST(LoadControllerTest, AdmissionGateLatchesWithHysteresis) {
   EXPECT_TRUE(C.admit(1e9, 0, Latch));
 }
 
+TEST(LoadControllerTest, TailAwareGatePricesHeavyTailedServiceTimes) {
+  // The gate's service-time input is configurable and defaults to the
+  // p90, not the p50: for a heavy-tailed domain the median is a lie.
+  EXPECT_DOUBLE_EQ(LoadControlOptions().GateServicePercentile, 90.0);
+
+  // 80 fast queries, 20 slow ones: the median stays fast while the p90
+  // rank lands inside the slow mode.
+  obs::Histogram H(obs::Histogram::defaultLatencyBucketsMs());
+  for (int I = 0; I < 80; ++I)
+    H.observe(10);
+  for (int I = 0; I < 20; ++I)
+    H.observe(900);
+  double P50 = H.percentile(50);
+  double P90 = H.percentile(LoadControlOptions().GateServicePercentile);
+  ASSERT_LT(P50, 100.0);
+  ASSERT_GT(P90, 500.0);
+
+  // With a measured 500 ms queue wait and a 1000 ms budget, the
+  // optimistic median prediction slips through the gate a tail query
+  // would blow, while the p90 prices the tail in and refuses.
+  VirtualClock VC;
+  LoadController C(testOptions(), 256, 8, &VC);
+  C.tick(sample(500));
+  std::atomic<bool> MedianLatch{false}, TailLatch{false};
+  EXPECT_TRUE(C.admit(P50, 1000, MedianLatch));
+  EXPECT_FALSE(C.admit(P90, 1000, TailLatch));
+  EXPECT_TRUE(TailLatch.load());
+}
+
 //===----------------------------------------------------------------------===//
 // Interval percentile sampler
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,780 @@
+//===- tests/router_test.cpp - Front-tier router resilience ---------------===//
+//
+// The query data plane's front tier, driven entirely by scripted fake
+// upstreams and a VirtualClock — zero sleeps. Covers the consistent-hash
+// ring (stability, exclusion, readiness), consecutive-error outlier
+// ejection with exponential unejection probing in both directions, the
+// token-bucket retry budget and its exhaustion path, hedged requests
+// (fire-after-delay, winner cancels loser, late loser ignored, budget
+// denial), the drain-vs-inflight race, and a LocalUpstream end-to-end
+// pass over real synthesis workers with injected per-shard faults.
+//
+//===----------------------------------------------------------------------===//
+
+#include "router/Router.h"
+#include "support/Clock.h"
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace dggt;
+using namespace dggt::router;
+
+namespace {
+
+UpstreamResult okResult() {
+  UpstreamResult R;
+  R.Report.St = ServiceStatus::Ok;
+  return R;
+}
+
+UpstreamResult transportResult(TransportStatus T) {
+  UpstreamResult R;
+  R.Transport = T;
+  return R;
+}
+
+UpstreamResult statusResult(ServiceStatus St) {
+  UpstreamResult R;
+  R.Report.St = St;
+  return R;
+}
+
+/// Scripted worker: answers synchronously from a queue of canned
+/// results (falling back to a default), or parks calls for manual
+/// release when hold() was set.
+class FakeUpstream final : public Upstream {
+public:
+  explicit FakeUpstream(std::string N) : Name_(std::move(N)) {}
+
+  const std::string &name() const override { return Name_; }
+
+  uint64_t call(const UpstreamQuery &Q, Callback Done) override {
+    std::unique_lock<std::mutex> L(M);
+    ++CallCount_;
+    LastQuery_ = Q;
+    if (Hold_) {
+      uint64_t T = NextToken_++;
+      Held_.push_back({T, std::move(Done)});
+      return T;
+    }
+    UpstreamResult R;
+    if (!Script_.empty()) {
+      R = Script_.front();
+      Script_.pop_front();
+    } else {
+      R = Default_;
+    }
+    L.unlock();
+    Done(std::move(R));
+    return 0;
+  }
+
+  void cancel(uint64_t Token) override {
+    std::lock_guard<std::mutex> L(M);
+    Cancelled_.push_back(Token);
+  }
+
+  obs::HealthStatus health() const override {
+    std::lock_guard<std::mutex> L(M);
+    return Health_;
+  }
+
+  bool ready() const override { return Ready_.load(); }
+
+  // -- scripting ---------------------------------------------------------
+  void setDefault(UpstreamResult R) {
+    std::lock_guard<std::mutex> L(M);
+    Default_ = std::move(R);
+  }
+  void push(UpstreamResult R) {
+    std::lock_guard<std::mutex> L(M);
+    Script_.push_back(std::move(R));
+  }
+  void hold() { Hold_ = true; }
+  /// Completes the oldest parked call with \p R; false when none is
+  /// parked.
+  bool releaseOne(UpstreamResult R) {
+    Callback D;
+    {
+      std::lock_guard<std::mutex> L(M);
+      if (Held_.empty())
+        return false;
+      D = std::move(Held_.front().Done);
+      Held_.pop_front();
+    }
+    D(std::move(R));
+    return true;
+  }
+  void setHealthy(bool Healthy) {
+    std::lock_guard<std::mutex> L(M);
+    Health_.Healthy = Healthy;
+    Health_.Ready = Healthy;
+  }
+  void setReady(bool R) { Ready_.store(R); }
+
+  unsigned calls() const {
+    std::lock_guard<std::mutex> L(M);
+    return CallCount_;
+  }
+  size_t cancelled() const {
+    std::lock_guard<std::mutex> L(M);
+    return Cancelled_.size();
+  }
+  size_t heldCount() const {
+    std::lock_guard<std::mutex> L(M);
+    return Held_.size();
+  }
+
+private:
+  struct HeldCall {
+    uint64_t Token;
+    Callback Done;
+  };
+
+  std::string Name_;
+  mutable std::mutex M;
+  unsigned CallCount_ = 0;
+  UpstreamQuery LastQuery_;
+  bool Hold_ = false;
+  uint64_t NextToken_ = 1;
+  std::deque<HeldCall> Held_;
+  std::deque<UpstreamResult> Script_;
+  UpstreamResult Default_ = okResult();
+  std::vector<uint64_t> Cancelled_;
+  obs::HealthStatus Health_;
+  std::atomic<bool> Ready_{true};
+};
+
+/// Resets process-wide fault/metric state around every test.
+class RouterTest : public ::testing::Test {
+protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+  static void reset() {
+    obs::setMetricsEnabled(false);
+    obs::registry().zeroAllForTest();
+    FaultInjector::instance().reset();
+  }
+
+  /// Three scripted shards on a router with manual pumping.
+  struct Fleet {
+    VirtualClock VC;
+    std::vector<std::shared_ptr<FakeUpstream>> Shards;
+    std::unique_ptr<FrontTierRouter> Router;
+
+    explicit Fleet(RouterOptions O = {}, unsigned N = 3) {
+      O.Clock = &VC;
+      O.BackgroundPump = false;
+      Router = std::make_unique<FrontTierRouter>(O);
+      for (unsigned I = 0; I < N; ++I) {
+        auto F = std::make_shared<FakeUpstream>("shard-" + std::to_string(I));
+        Shards.push_back(F);
+        Router->addShard(F);
+      }
+    }
+
+    /// The shard the ring maps \p Domain to right now.
+    std::shared_ptr<FakeUpstream> ownerOf(std::string_view Domain) {
+      std::shared_ptr<Upstream> U = Router->shards().pick(Domain);
+      for (const auto &F : Shards)
+        if (F.get() == U.get())
+          return F;
+      return nullptr;
+    }
+  };
+};
+
+/// Routes synchronously through routeAsync (the fakes answer inline, so
+/// no pumping or waiting is needed unless a shard holds).
+RouterReport routeNow(FrontTierRouter &R, std::string Domain,
+                      std::string Query = "q") {
+  RouterReport Out;
+  bool Got = false;
+  UpstreamQuery Q;
+  Q.Domain = std::move(Domain);
+  Q.Query = std::move(Query);
+  R.routeAsync(Q, [&](const RouterReport &Rep) {
+    Out = Rep;
+    Got = true;
+  });
+  EXPECT_TRUE(Got) << "scripted fakes answer synchronously";
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Retry budget
+//===----------------------------------------------------------------------===//
+
+TEST_F(RouterTest, RetryBudgetIsATokenBucket) {
+  RetryBudget B(0.1, 2.0);
+  // The bucket starts full at Burst.
+  EXPECT_TRUE(B.tryAcquire());
+  EXPECT_TRUE(B.tryAcquire());
+  EXPECT_FALSE(B.tryAcquire());
+  EXPECT_EQ(B.denied(), 1u);
+
+  // Ten requests deposit one token at Fraction 0.1.
+  for (int I = 0; I < 10; ++I)
+    B.onRequest();
+  EXPECT_TRUE(B.tryAcquire());
+  EXPECT_FALSE(B.tryAcquire());
+
+  // Deposits cap at Burst; a long quiet period buys 2 retries, not 100.
+  for (int I = 0; I < 1000; ++I)
+    B.onRequest();
+  EXPECT_TRUE(B.tryAcquire());
+  EXPECT_TRUE(B.tryAcquire());
+  EXPECT_FALSE(B.tryAcquire());
+}
+
+//===----------------------------------------------------------------------===//
+// Consistent-hash ring
+//===----------------------------------------------------------------------===//
+
+TEST_F(RouterTest, HashRingIsStickyPerDomainAndSpreadsAcrossDomains) {
+  Fleet F;
+  std::shared_ptr<FakeUpstream> Owner = F.ownerOf("TextEditing");
+  ASSERT_NE(Owner, nullptr);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(F.ownerOf("TextEditing").get(), Owner.get())
+        << "the same domain must keep landing on the same shard";
+
+  // Many distinct keys reach more than one shard (vnodes spread them).
+  std::vector<bool> Hit(F.Shards.size(), false);
+  for (int I = 0; I < 64; ++I) {
+    std::shared_ptr<FakeUpstream> U = F.ownerOf("domain-" + std::to_string(I));
+    for (size_t S = 0; S < F.Shards.size(); ++S)
+      if (F.Shards[S].get() == U.get())
+        Hit[S] = true;
+  }
+  EXPECT_GE(std::count(Hit.begin(), Hit.end(), true), 2);
+}
+
+TEST_F(RouterTest, PickSkipsUnreadyAndExcludedShards) {
+  Fleet F;
+  std::shared_ptr<FakeUpstream> Owner = F.ownerOf("TextEditing");
+  Owner->setReady(false);
+  std::shared_ptr<Upstream> Next = F.Router->shards().pick("TextEditing");
+  ASSERT_NE(Next, nullptr);
+  EXPECT_NE(Next.get(), Owner.get()) << "an unready shard is skipped";
+  Owner->setReady(true);
+
+  // Excluding every shard leaves nothing to pick.
+  std::vector<const Upstream *> All;
+  for (const auto &S : F.Shards)
+    All.push_back(S.get());
+  EXPECT_EQ(F.Router->shards().pick("TextEditing", All), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Retries
+//===----------------------------------------------------------------------===//
+
+TEST_F(RouterTest, TransportFailureRetriesOnADifferentShard) {
+  Fleet F;
+  std::shared_ptr<FakeUpstream> Owner = F.ownerOf("TextEditing");
+  Owner->setDefault(transportResult(TransportStatus::ConnectError));
+
+  RouterReport Rep = routeNow(*F.Router, "TextEditing");
+  EXPECT_TRUE(Rep.ok());
+  EXPECT_EQ(Rep.Attempts, 2u);
+  EXPECT_EQ(Rep.Retries, 1u);
+  ASSERT_EQ(Rep.Shards.size(), 2u);
+  EXPECT_EQ(Rep.Shards[0], Owner->name());
+  EXPECT_NE(Rep.Shards[1], Owner->name())
+      << "a retry must go to a shard not yet tried";
+  EXPECT_EQ(F.Router->stats().Retries, 1u);
+  EXPECT_EQ(router::httpStatusFor(Rep), 200);
+}
+
+TEST_F(RouterTest, TerminalServiceVerdictsAreNotRetried) {
+  const ServiceStatus Terminal[] = {
+      ServiceStatus::NoAnswer,
+      ServiceStatus::NoCandidates,
+      ServiceStatus::UnknownDomain,
+      ServiceStatus::DeadlineExceeded,
+  };
+  for (ServiceStatus St : Terminal) {
+    Fleet F;
+    F.ownerOf("TextEditing")->setDefault(statusResult(St));
+    RouterReport Rep = routeNow(*F.Router, "TextEditing");
+    EXPECT_EQ(Rep.Attempts, 1u) << serviceStatusName(St);
+    EXPECT_EQ(Rep.Retries, 0u) << serviceStatusName(St);
+    EXPECT_EQ(Rep.Report.St, St);
+  }
+}
+
+TEST_F(RouterTest, RetryBudgetExhaustionFailsFastInsteadOfAmplifying) {
+  RouterOptions O;
+  O.MaxAttempts = 3;
+  O.RetryBudgetFraction = 0.0; // No deposits: exactly Burst retries ever.
+  O.RetryBudgetBurst = 1.0;
+  Fleet F(O);
+  for (const auto &S : F.Shards)
+    S->setDefault(transportResult(TransportStatus::ConnectError));
+
+  // First request spends the only token on its one retry, then fails.
+  RouterReport R1 = routeNow(*F.Router, "TextEditing");
+  EXPECT_FALSE(R1.ok());
+  EXPECT_EQ(R1.Attempts, 2u);
+  EXPECT_EQ(R1.Transport, TransportStatus::ConnectError);
+  EXPECT_TRUE(R1.RetryBudgetExhausted)
+      << "the second retry was wanted but denied";
+
+  // Second request finds a dry bucket: one attempt, immediate failure.
+  RouterReport R2 = routeNow(*F.Router, "TextEditing");
+  EXPECT_EQ(R2.Attempts, 1u);
+  EXPECT_TRUE(R2.RetryBudgetExhausted);
+  EXPECT_EQ(router::httpStatusFor(R2), 502);
+  EXPECT_EQ(F.Router->stats().RetryBudgetExhausted, 2u);
+  EXPECT_EQ(F.Router->retryBudget().denied(), 2u);
+}
+
+TEST_F(RouterTest, EmptyRingReportsNoUpstream) {
+  VirtualClock VC;
+  RouterOptions O;
+  O.Clock = &VC;
+  O.BackgroundPump = false;
+  FrontTierRouter R(O);
+  RouterReport Rep = routeNow(R, "TextEditing");
+  EXPECT_TRUE(Rep.NoUpstream);
+  EXPECT_FALSE(Rep.ok());
+  EXPECT_EQ(Rep.Attempts, 0u);
+  EXPECT_EQ(router::httpStatusFor(Rep), 503);
+  EXPECT_EQ(R.stats().NoUpstream, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Outlier ejection
+//===----------------------------------------------------------------------===//
+
+TEST_F(RouterTest, ShardIsEjectedAfterKConsecutiveErrorsOnly) {
+  VirtualClock VC;
+  ShardSet::Options O;
+  O.EjectAfterConsecutiveErrors = 3;
+  O.Clock = &VC;
+  ShardSet Set(O);
+  auto A = std::make_shared<FakeUpstream>("a");
+  auto B = std::make_shared<FakeUpstream>("b");
+  Set.addShard(A);
+  Set.addShard(B);
+
+  // A success in the middle resets the streak: no ejection.
+  Set.onError(*A);
+  Set.onError(*A);
+  Set.onSuccess(*A);
+  Set.onError(*A);
+  Set.onError(*A);
+  EXPECT_FALSE(Set.ejected(*A));
+
+  Set.onError(*A);
+  EXPECT_TRUE(Set.ejected(*A));
+  EXPECT_EQ(Set.ejectedCount(), 1u);
+
+  // Every pick now lands on the survivor, whatever the key.
+  for (int I = 0; I < 8; ++I)
+    EXPECT_EQ(Set.pick("key-" + std::to_string(I)).get(), B.get());
+}
+
+TEST_F(RouterTest, MaxEjectedFractionBoundsTheBlastRadius) {
+  VirtualClock VC;
+  ShardSet::Options O;
+  O.EjectAfterConsecutiveErrors = 2;
+  O.MaxEjectedFraction = 0.5;
+  O.Clock = &VC;
+  ShardSet Set(O);
+  auto A = std::make_shared<FakeUpstream>("a");
+  auto B = std::make_shared<FakeUpstream>("b");
+  Set.addShard(A);
+  Set.addShard(B);
+
+  Set.onError(*A);
+  Set.onError(*A);
+  EXPECT_TRUE(Set.ejected(*A));
+
+  // Ejecting B too would leave nothing: the cap keeps it in rotation
+  // no matter how long its error streak grows.
+  for (int I = 0; I < 10; ++I)
+    Set.onError(*B);
+  EXPECT_FALSE(Set.ejected(*B));
+  ASSERT_NE(Set.pick("anything"), nullptr);
+  EXPECT_EQ(Set.pick("anything").get(), B.get());
+}
+
+TEST_F(RouterTest, UnejectionProbesBackOffExponentially) {
+  VirtualClock VC;
+  ShardSet::Options O;
+  O.EjectAfterConsecutiveErrors = 1;
+  O.BaseEjectionMs = 1000;
+  O.MaxEjectionMs = 60000;
+  O.Clock = &VC;
+  ShardSet Set(O);
+  auto A = std::make_shared<FakeUpstream>("a");
+  auto B = std::make_shared<FakeUpstream>("b");
+  Set.addShard(A);
+  Set.addShard(B);
+
+  A->setHealthy(false);
+  Set.onError(*A);
+  ASSERT_TRUE(Set.ejected(*A));
+
+  // Before the window lapses no probe happens.
+  VC.advanceMs(999);
+  EXPECT_EQ(Set.probeExpiredEjections(), 0u);
+  EXPECT_TRUE(Set.ejected(*A));
+
+  // The window lapses, the health probe fails: re-ejected with the
+  // backoff doubled (1000 -> 2000).
+  VC.advanceMs(1);
+  EXPECT_EQ(Set.probeExpiredEjections(), 0u);
+  EXPECT_TRUE(Set.ejected(*A));
+  VC.advanceMs(1999);
+  EXPECT_EQ(Set.probeExpiredEjections(), 0u)
+      << "the doubled window has not lapsed yet";
+
+  // Now the worker recovers; the next due probe readmits it.
+  VC.advanceMs(1);
+  A->setHealthy(true);
+  EXPECT_EQ(Set.probeExpiredEjections(), 1u);
+  EXPECT_FALSE(Set.ejected(*A));
+
+  // The lifetime ejection count kept growing across the flap.
+  for (const ShardSet::ShardInfo &I : Set.snapshot())
+    if (I.Name == "a")
+      EXPECT_EQ(I.Ejections, 2u);
+
+  // pick() alone also performs the due probe (no pump needed).
+  A->setHealthy(false);
+  Set.onError(*A);
+  ASSERT_TRUE(Set.ejected(*A));
+  A->setHealthy(true);
+  VC.advanceMs(60001);
+  bool Seen = false;
+  for (int I = 0; I < 64 && !Seen; ++I)
+    Seen = Set.pick("key-" + std::to_string(I)).get() == A.get();
+  EXPECT_TRUE(Seen) << "a lazily probed shard rejoins the ring";
+}
+
+//===----------------------------------------------------------------------===//
+// Hedging
+//===----------------------------------------------------------------------===//
+
+TEST_F(RouterTest, HedgeFiresAfterDelayAndWinnerCancelsTheLoser) {
+  RouterOptions O;
+  O.EnableHedging = true;
+  O.HedgeMinDelayMs = 20;
+  Fleet F(O);
+  std::shared_ptr<FakeUpstream> Owner = F.ownerOf("TextEditing");
+  Owner->hold();
+
+  RouterReport Rep;
+  std::atomic<int> DoneCount{0};
+  UpstreamQuery Q;
+  Q.Domain = "TextEditing";
+  Q.Query = "q";
+  F.Router->routeAsync(Q, [&](const RouterReport &R) {
+    Rep = R;
+    ++DoneCount;
+  });
+  ASSERT_EQ(Owner->heldCount(), 1u);
+
+  // Not due yet: no hedge.
+  EXPECT_EQ(F.Router->pump(), 0u);
+  EXPECT_EQ(DoneCount.load(), 0);
+
+  // Past the delay the hedge fires at a different shard, which answers
+  // immediately and wins.
+  F.VC.advanceMs(25);
+  EXPECT_EQ(F.Router->pump(), 1u);
+  ASSERT_EQ(DoneCount.load(), 1);
+  EXPECT_TRUE(Rep.ok());
+  EXPECT_TRUE(Rep.Hedged);
+  EXPECT_TRUE(Rep.HedgeWon);
+  EXPECT_EQ(Rep.Attempts, 2u);
+  ASSERT_EQ(Rep.Shards.size(), 2u);
+  EXPECT_NE(Rep.Shards[1], Owner->name());
+  EXPECT_EQ(Rep.TotalMs, 25u);
+
+  // The parked primary was cancelled; completing it changes nothing.
+  EXPECT_EQ(Owner->cancelled(), 1u);
+  ASSERT_TRUE(Owner->releaseOne(statusResult(ServiceStatus::Cancelled)));
+  EXPECT_EQ(DoneCount.load(), 1);
+  EXPECT_EQ(F.Router->stats().Hedges, 1u);
+  EXPECT_EQ(F.Router->stats().HedgeWins, 1u);
+}
+
+TEST_F(RouterTest, LateLoserCompletionIsIgnoredAfterTheHedgeWins) {
+  RouterOptions O;
+  O.EnableHedging = true;
+  O.HedgeMinDelayMs = 20;
+  Fleet F(O);
+  std::shared_ptr<FakeUpstream> Owner = F.ownerOf("TextEditing");
+  Owner->hold();
+  for (const auto &S : F.Shards)
+    if (S != Owner)
+      S->hold();
+
+  std::atomic<int> DoneCount{0};
+  RouterReport Rep;
+  UpstreamQuery Q;
+  Q.Domain = "TextEditing";
+  Q.Query = "q";
+  F.Router->routeAsync(Q, [&](const RouterReport &R) {
+    Rep = R;
+    ++DoneCount;
+  });
+  F.VC.advanceMs(20);
+  ASSERT_EQ(F.Router->pump(), 1u);
+  EXPECT_EQ(DoneCount.load(), 0) << "both attempts are parked";
+
+  // The hedge answers first and wins; the primary's genuine late
+  // success is dropped on the floor.
+  std::shared_ptr<FakeUpstream> HedgeTarget;
+  for (const auto &S : F.Shards)
+    if (S != Owner && S->heldCount() > 0)
+      HedgeTarget = S;
+  ASSERT_NE(HedgeTarget, nullptr);
+  ASSERT_TRUE(HedgeTarget->releaseOne(okResult()));
+  EXPECT_EQ(DoneCount.load(), 1);
+  EXPECT_TRUE(Rep.HedgeWon);
+
+  ASSERT_TRUE(Owner->releaseOne(okResult()));
+  EXPECT_EQ(DoneCount.load(), 1) << "the callback fires exactly once";
+  EXPECT_EQ(F.Router->stats().Requests, 1u);
+}
+
+TEST_F(RouterTest, HedgeDeniedByADryRetryBudget) {
+  RouterOptions O;
+  O.EnableHedging = true;
+  O.HedgeMinDelayMs = 20;
+  O.RetryBudgetFraction = 0.0;
+  O.RetryBudgetBurst = 0.0; // Never any tokens.
+  Fleet F(O);
+  std::shared_ptr<FakeUpstream> Owner = F.ownerOf("TextEditing");
+  Owner->hold();
+
+  std::atomic<int> DoneCount{0};
+  RouterReport Rep;
+  UpstreamQuery Q;
+  Q.Domain = "TextEditing";
+  Q.Query = "q";
+  F.Router->routeAsync(Q, [&](const RouterReport &R) {
+    Rep = R;
+    ++DoneCount;
+  });
+  F.VC.advanceMs(25);
+  EXPECT_EQ(F.Router->pump(), 0u) << "no token, no hedge";
+  EXPECT_EQ(F.Router->stats().RetryBudgetExhausted, 1u);
+
+  ASSERT_TRUE(Owner->releaseOne(okResult()));
+  ASSERT_EQ(DoneCount.load(), 1);
+  EXPECT_TRUE(Rep.ok());
+  EXPECT_FALSE(Rep.Hedged);
+  EXPECT_TRUE(Rep.RetryBudgetExhausted);
+}
+
+TEST_F(RouterTest, HedgeDelayAdaptsToTheIntervalLatencyP95) {
+  RouterOptions O;
+  O.EnableHedging = true;
+  O.HedgeMinDelayMs = 20;
+  Fleet F(O);
+  EXPECT_EQ(F.Router->hedgeDelayMs(), 20u);
+
+  std::shared_ptr<FakeUpstream> Owner = F.ownerOf("TextEditing");
+  Owner->hold();
+  for (int I = 0; I < 10; ++I) {
+    F.Router->routeAsync({"TextEditing", "q", 0},
+                         [](const RouterReport &) {});
+    F.VC.advanceMs(100);
+    ASSERT_TRUE(Owner->releaseOne(okResult()));
+  }
+  F.Router->pump();
+  EXPECT_GT(F.Router->hedgeDelayMs(), 20u)
+      << "a 100 ms p95 interval must raise the hedge delay";
+  EXPECT_LE(F.Router->hedgeDelayMs(), 250u);
+}
+
+//===----------------------------------------------------------------------===//
+// Report serialization
+//===----------------------------------------------------------------------===//
+
+TEST_F(RouterTest, RouterReportJsonCarriesTheRoutingTrail) {
+  RouterReport R;
+  R.Report.St = ServiceStatus::NoAnswer;
+  R.Attempts = 2;
+  R.Retries = 1;
+  R.Shards = {"shard-0", "shard-1"};
+  R.TotalMs = 12;
+  std::string J = routerReportJson(R, "TextEditing");
+  EXPECT_NE(J.find("\"router\":{\"attempts\":2,\"retries\":1"),
+            std::string::npos)
+      << J;
+  EXPECT_NE(J.find("\"shards\":[\"shard-0\",\"shard-1\"]"), std::string::npos)
+      << J;
+  EXPECT_NE(J.find("\"total_ms\":12"), std::string::npos) << J;
+
+  RouterReport T;
+  T.Transport = TransportStatus::ReadTimeout;
+  std::string TJ = routerReportJson(T, "TextEditing");
+  EXPECT_NE(TJ.find("\"status\":\"read-timeout\""), std::string::npos) << TJ;
+  EXPECT_EQ(router::httpStatusFor(T), 502);
+
+  RouterReport N;
+  N.NoUpstream = true;
+  EXPECT_NE(routerReportJson(N, "X").find("\"status\":\"no-upstream\""),
+            std::string::npos);
+  EXPECT_EQ(router::httpStatusFor(N), 503);
+}
+
+//===----------------------------------------------------------------------===//
+// LocalUpstream end-to-end
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::unique_ptr<AsyncSynthesisService> makeWorker() {
+  AsyncOptions O;
+  O.Workers = 2;
+  O.QueueCap = 64;
+  // HttpPort stays unset: these workers are router-fed, no endpoint.
+  auto S = std::make_unique<AsyncSynthesisService>(O);
+  static std::unique_ptr<Domain> D = makeTextEditingDomain();
+  S->addDomain(*D);
+  return S;
+}
+
+} // namespace
+
+TEST_F(RouterTest, LocalUpstreamsAnswerAndFaultedShardIsRoutedAround) {
+  FrontTierRouter R([] {
+    RouterOptions O;
+    O.BackgroundPump = false;
+    O.Shards.EjectAfterConsecutiveErrors = 3;
+    return O;
+  }());
+  R.addShard(std::make_shared<LocalUpstream>("worker-0", makeWorker()));
+  R.addShard(std::make_shared<LocalUpstream>("worker-1", makeWorker()));
+
+  UpstreamQuery Q;
+  Q.Domain = "TextEditing";
+  Q.Query = "sort all lines";
+  RouterReport Clean = R.route(Q);
+  ASSERT_TRUE(Clean.ok());
+  EXPECT_EQ(Clean.Attempts, 1u);
+  std::string OwnerName = Clean.Shards[0];
+
+  // The owner's network goes away: every query still answers, via one
+  // retry each, until three consecutive errors eject the shard — after
+  // which traffic flows straight to the survivor with no retries.
+  FaultInjector::instance().armAlways(
+      std::string(faults::RouterConnect) + "." + OwnerName);
+  for (int I = 0; I < 3; ++I) {
+    RouterReport Rep = R.route(Q);
+    ASSERT_TRUE(Rep.ok()) << "query " << I << " during the outage";
+    EXPECT_EQ(Rep.Retries, 1u);
+  }
+  EXPECT_EQ(R.shards().ejectedCount(), 1u);
+  RouterReport After = R.route(Q);
+  ASSERT_TRUE(After.ok());
+  EXPECT_EQ(After.Retries, 0u);
+  EXPECT_NE(After.Shards[0], OwnerName);
+
+  std::string J = R.statusJson();
+  EXPECT_NE(J.find("\"ejected\":true"), std::string::npos) << J;
+}
+
+TEST_F(RouterTest, DrainingShardIsSkippedWithoutBurningAnAttempt) {
+  FrontTierRouter R([] {
+    RouterOptions O;
+    O.BackgroundPump = false;
+    return O;
+  }());
+  auto W0 = std::make_shared<LocalUpstream>("worker-0", makeWorker());
+  auto W1 = std::make_shared<LocalUpstream>("worker-1", makeWorker());
+  R.addShard(W0);
+  R.addShard(W1);
+
+  UpstreamQuery Q;
+  Q.Domain = "TextEditing";
+  Q.Query = "sort all lines";
+  std::string OwnerName = R.route(Q).Shards.at(0);
+  LocalUpstream &Owner = OwnerName == "worker-0" ? *W0 : *W1;
+
+  Owner.service().beginDrain(60000);
+  EXPECT_FALSE(Owner.ready());
+  EXPECT_FALSE(Owner.health().Ready);
+
+  // ready()==false drops the shard from pick(): the query routes to the
+  // survivor directly — one attempt, no retry burned on the drainer.
+  RouterReport Rep = R.route(Q);
+  ASSERT_TRUE(Rep.ok());
+  EXPECT_EQ(Rep.Attempts, 1u);
+  EXPECT_EQ(Rep.Retries, 0u);
+  EXPECT_NE(Rep.Shards[0], OwnerName);
+}
+
+TEST_F(RouterTest, DrainVsInflightRaceCompletesEverythingAccepted) {
+  AsyncOptions O;
+  O.Workers = 1; // Serialize so the queue really holds work at drain time.
+  O.QueueCap = 64;
+  AsyncSynthesisService S(O);
+  static std::unique_ptr<Domain> D = makeTextEditingDomain();
+  S.addDomain(*D);
+
+  // Race a batch of accepted submissions against beginDrain().
+  std::vector<std::future<ServiceReport>> Accepted;
+  for (int I = 0; I < 8; ++I)
+    Accepted.push_back(S.submit("TextEditing", "sort all lines"));
+  S.beginDrain(60000);
+
+  // Admission slams shut immediately and permanently.
+  ServiceReport Rejected = S.submit("TextEditing", "sort all lines").get();
+  EXPECT_EQ(Rejected.St, ServiceStatus::Draining);
+  EXPECT_GE(S.stats().DrainRejected, 1u);
+
+  // Everything accepted before the drain still completes — finished or
+  // deliberately cancelled, never hung.
+  for (std::future<ServiceReport> &F : Accepted) {
+    ServiceReport Rep = F.get();
+    EXPECT_TRUE(Rep.St == ServiceStatus::Ok ||
+                Rep.St == ServiceStatus::Cancelled ||
+                Rep.St == ServiceStatus::DeadlineExceeded)
+        << serviceStatusName(Rep.St);
+  }
+  S.drain();
+  EXPECT_TRUE(S.drainComplete());
+}
+
+TEST_F(RouterTest, PreSetCancelTokenCancelsWorkWithoutRunningTheLadder) {
+  // The cooperative cancel the router uses on a hedge's loser: a token
+  // set before the worker dequeues the task yields a Cancelled report
+  // with an empty attempt trail — the ladder never ran.
+  AsyncOptions O;
+  O.Workers = 1;
+  AsyncSynthesisService S(O);
+  static std::unique_ptr<Domain> D = makeTextEditingDomain();
+  S.addDomain(*D);
+
+  SubmitOptions SO;
+  SO.Cancel = std::make_shared<std::atomic<bool>>(true);
+  std::atomic<int> CallbackFired{0};
+  ServiceReport Rep =
+      S.submit("TextEditing", "sort all lines", SO,
+               [&](const ServiceReport &) { ++CallbackFired; })
+          .get();
+  EXPECT_EQ(Rep.St, ServiceStatus::Cancelled);
+  EXPECT_TRUE(Rep.Attempts.empty());
+  EXPECT_EQ(CallbackFired.load(), 1);
+  EXPECT_GE(S.stats().Cancelled, 1u);
+}
