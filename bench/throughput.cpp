@@ -43,10 +43,14 @@
 #include "BenchCommon.h"
 #include "grammar/PathCache.h"
 #include "nlu/WordToApiMatcher.h"
+#include "obs/Metrics.h"
+#include "obs/QueryLog.h"
+#include "obs/Trace.h"
 #include "router/Router.h"
 #include "service/AsyncSynthesisService.h"
 #include "support/FaultInjection.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -55,6 +59,7 @@
 #include <future>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 using namespace dggt;
@@ -345,6 +350,16 @@ struct FrontTierOutcome {
   unsigned Ejections = 0; ///< Lifetime ejections across the shard set.
   std::string FailedShard;
 
+  // Observability assertions: the run executes with the wide-event query
+  // log on, head sampling at 1/1000 and the tail keep threshold at 50 ms,
+  // then audits the log and span ring it produced.
+  uint64_t Records = 0;      ///< Query-log records written by this run.
+  uint64_t RetriedShort = 0; ///< Retried records listing < 2 shard attempts.
+  uint64_t SlowUnkept = 0;   ///< Over-threshold records not trace-kept.
+  uint64_t KeptNoRouterSpan = 0; ///< Kept records with no router.route span.
+  uint64_t OkKeptNoAsyncSpan = 0; ///< Kept ok records missing async.task.
+  uint64_t KeptTraces = 0;        ///< Records with TraceKept, for context.
+
   double goodputQps() const {
     return WallSeconds > 0 ? static_cast<double>(Good) / WallSeconds : 0.0;
   }
@@ -360,6 +375,26 @@ void runFrontTier(const bench::Domains &D, const std::vector<WorkItem> &Work,
   // the clean run keeps the A/B an apples-to-apples measure of routing
   // policy rather than injector overhead.
   FaultInjector::instance().armNth("bench.front_tier.noop", 1);
+
+  // Observability runs hot in both passes, production-shaped: head
+  // sampling keeps only 1 in 1000 trace trees, so every slow or failed
+  // query retained below must have been force-kept by the tail rules,
+  // and the query log must end with exactly one record per routed query.
+  obs::setMetricsEnabled(true);
+  auto Ring = std::make_shared<obs::SpanRingSink>(1 << 15);
+  obs::Tracer::instance().setSink(Ring);
+  obs::Tracer::setSampleEvery(1000);
+  obs::Tracer::setTailKeepMs(50);
+  obs::queryLog().resetForTest();
+  obs::queryLog().configureRing(Work.size() + 16);
+
+  // Extra shard handles: after the router destructs, draining these on
+  // the main thread joins each shard's worker pool, so the span ring is
+  // settled (a query's async.task span closes *after* its Done callback
+  // chain — the last worker can still be unwinding when the router's
+  // in-flight list empties).
+  std::vector<std::shared_ptr<router::Upstream>> ShardHandles;
+  {
   router::FrontTierRouter Router; // Stock policy: what ships is measured.
   for (unsigned I = 0; I < Shards; ++I) {
     AsyncOptions AO;
@@ -368,8 +403,10 @@ void runFrontTier(const bench::Domains &D, const std::vector<WorkItem> &Work,
     auto Svc = std::make_unique<AsyncSynthesisService>(AO);
     Svc->addDomain(*D.TextEditing);
     Svc->addDomain(*D.AstMatcher);
-    Router.addShard(std::make_shared<router::LocalUpstream>(
-        "shard-" + std::to_string(I), std::move(Svc)));
+    auto Shard = std::make_shared<router::LocalUpstream>(
+        "shard-" + std::to_string(I), std::move(Svc));
+    ShardHandles.push_back(Shard);
+    Router.addShard(std::move(Shard));
   }
 
   if (FailOwner) {
@@ -410,7 +447,56 @@ void runFrontTier(const bench::Domains &D, const std::vector<WorkItem> &Work,
   R.Stats = Router.stats();
   for (const router::ShardSet::ShardInfo &S : Router.shards().snapshot())
     R.Ejections += S.Ejections;
+  } // ~FrontTierRouter drains in-flight calls: every record is written.
+  // Become the last owner of each shard (bounded wait: stray task
+  // closures on dying workers hold the other references), then release —
+  // ~LocalUpstream joins the shard's pool, the barrier for span flushes.
+  for (std::shared_ptr<router::Upstream> &U : ShardHandles) {
+    for (int Spin = 0; U.use_count() > 1 && Spin < 2000; ++Spin)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    U.reset();
+  }
   FaultInjector::instance().reset();
+
+  // Audit the run's observability output. Spans for one trace share one
+  // 128-bit id across tiers, so joining the query log against the span
+  // ring by trace id is exact.
+  R.Records = obs::queryLog().total();
+  std::unordered_map<std::string, unsigned> Tiers; // trace id -> tier bits
+  for (const obs::SpanRecord &S : Ring->snapshot()) {
+    char Hex[33];
+    std::snprintf(Hex, sizeof(Hex), "%016llx%016llx",
+                  static_cast<unsigned long long>(S.TraceHi),
+                  static_cast<unsigned long long>(S.TraceId));
+    unsigned &Bits = Tiers[Hex];
+    if (S.Name == "router.route")
+      Bits |= 1;
+    else if (S.Name == "async.task")
+      Bits |= 2;
+  }
+  const uint64_t TailMs = obs::Tracer::tailKeepMs();
+  for (const obs::QueryLogRecord &Rec : obs::queryLog().snapshot()) {
+    if (Rec.Retries > 0 && Rec.Shards.size() < 2)
+      ++R.RetriedShort;
+    if (TailMs > 0 && Rec.TotalMs >= static_cast<double>(TailMs) &&
+        !Rec.TraceKept)
+      ++R.SlowUnkept;
+    if (!Rec.TraceKept)
+      continue;
+    ++R.KeptTraces;
+    unsigned Bits = 0;
+    auto It = Tiers.find(Rec.TraceId);
+    if (It != Tiers.end())
+      Bits = It->second;
+    if (!(Bits & 1))
+      ++R.KeptNoRouterSpan;
+    // A query the service tier answered must carry the trace into the
+    // worker; transport-failed queries never reached a worker, so only
+    // ok outcomes are held to the async-tier bar.
+    if (Rec.Outcome == "ok" && !(Bits & 2))
+      ++R.OkKeptNoAsyncSpan;
+  }
+  obs::Tracer::instance().setSink(nullptr);
 }
 
 /// Expressions must agree wherever both modes produced an answer; a
@@ -521,19 +607,32 @@ int main(int argc, char **argv) {
     bool RetriesOk = static_cast<double>(Chaos.Stats.Retries) <= RetryCap;
     // Sanity: the chaos run must actually have exercised the machinery.
     bool ChaosReal = Chaos.Stats.Retries > 0 && Chaos.Ejections > 0;
+    // Observability acceptance: exactly one wide-event record per routed
+    // query in both runs, every retried chaos record lists its full
+    // shard attempt trail, and under 1/1000 head sampling the tail rules
+    // kept 100% of slow queries with their cross-tier spans intact.
+    bool RecordsOk = Clean.Records == Work.size() &&
+                     Chaos.Records == Work.size();
+    bool TrailOk = Chaos.RetriedShort == 0;
+    bool TraceOk = Clean.SlowUnkept + Chaos.SlowUnkept == 0 &&
+                   Clean.KeptNoRouterSpan + Chaos.KeptNoRouterSpan == 0 &&
+                   Clean.OkKeptNoAsyncSpan + Chaos.OkKeptNoAsyncSpan == 0;
 
     if (Json) {
       auto PrintMode = [](const char *Name, const FrontTierOutcome &O) {
         std::printf("\"%s\":{\"goodput_qps\":%.2f,\"wall_s\":%.3f,"
                     "\"ok\":%llu,\"failed\":%llu,\"retries\":%llu,"
-                    "\"budget_exhausted\":%llu,\"ejections\":%u}",
+                    "\"budget_exhausted\":%llu,\"ejections\":%u,"
+                    "\"records\":%llu,\"kept_traces\":%llu}",
                     Name, O.goodputQps(), O.WallSeconds,
                     static_cast<unsigned long long>(O.Good),
                     static_cast<unsigned long long>(O.Failed),
                     static_cast<unsigned long long>(O.Stats.Retries),
                     static_cast<unsigned long long>(
                         O.Stats.RetryBudgetExhausted),
-                    O.Ejections);
+                    O.Ejections,
+                    static_cast<unsigned long long>(O.Records),
+                    static_cast<unsigned long long>(O.KeptTraces));
       };
       std::printf("{\"bench\":\"throughput_front_tier\",\"queries\":%zu,"
                   "\"shards\":%u,\"failed_shard\":\"%s\",",
@@ -542,9 +641,11 @@ int main(int argc, char **argv) {
       std::printf(",");
       PrintMode("chaos", Chaos);
       std::printf(",\"goodput_ratio\":%.3f,\"retry_cap\":%.1f,"
-                  "\"goodput_ok\":%s,\"retries_ok\":%s}\n",
+                  "\"goodput_ok\":%s,\"retries_ok\":%s,"
+                  "\"records_ok\":%s,\"trail_ok\":%s,\"trace_ok\":%s}\n",
                   GoodputRatio, RetryCap, GoodputOk ? "true" : "false",
-                  RetriesOk ? "true" : "false");
+                  RetriesOk ? "true" : "false", RecordsOk ? "true" : "false",
+                  TrailOk ? "true" : "false", TraceOk ? "true" : "false");
     } else {
       bench::banner("Front-tier chaos A/B: clean vs one shard failing 100%",
                     "outlier ejection + retry budget hold goodput");
@@ -567,6 +668,12 @@ int main(int argc, char **argv) {
       std::printf("chaos retries: %llu (budget cap: %.1f)\n",
                   static_cast<unsigned long long>(Chaos.Stats.Retries),
                   RetryCap);
+      std::printf("query log: clean %llu chaos %llu records (%zu queries "
+                  "each)   kept traces: clean %llu chaos %llu\n",
+                  static_cast<unsigned long long>(Clean.Records),
+                  static_cast<unsigned long long>(Chaos.Records), Work.size(),
+                  static_cast<unsigned long long>(Clean.KeptTraces),
+                  static_cast<unsigned long long>(Chaos.KeptTraces));
     }
     if (!GoodputOk)
       std::fprintf(stderr, "[bench] FAIL: chaos goodput below 80%% of clean\n");
@@ -575,7 +682,33 @@ int main(int argc, char **argv) {
     if (!ChaosReal)
       std::fprintf(stderr,
                    "[bench] FAIL: chaos run saw no retries or no ejection\n");
-    return GoodputOk && RetriesOk && ChaosReal ? 0 : 1;
+    if (!RecordsOk)
+      std::fprintf(stderr,
+                   "[bench] FAIL: query log != one record per query "
+                   "(clean %llu chaos %llu, want %zu)\n",
+                   static_cast<unsigned long long>(Clean.Records),
+                   static_cast<unsigned long long>(Chaos.Records),
+                   Work.size());
+    if (!TrailOk)
+      std::fprintf(stderr,
+                   "[bench] FAIL: %llu retried chaos records list < 2 "
+                   "shard attempts\n",
+                   static_cast<unsigned long long>(Chaos.RetriedShort));
+    if (!TraceOk)
+      std::fprintf(stderr,
+                   "[bench] FAIL: tail sampling leaked slow/kept traces "
+                   "(slow-unkept %llu, no-router-span %llu, "
+                   "ok-no-async-span %llu)\n",
+                   static_cast<unsigned long long>(Clean.SlowUnkept +
+                                                   Chaos.SlowUnkept),
+                   static_cast<unsigned long long>(Clean.KeptNoRouterSpan +
+                                                   Chaos.KeptNoRouterSpan),
+                   static_cast<unsigned long long>(Clean.OkKeptNoAsyncSpan +
+                                                   Chaos.OkKeptNoAsyncSpan));
+    return GoodputOk && RetriesOk && ChaosReal && RecordsOk && TrailOk &&
+                   TraceOk
+               ? 0
+               : 1;
   }
 
   if (Overload > 0) {

@@ -126,6 +126,7 @@ int main(int argc, char **argv) {
         Q.Domain = Req.Domain;
         Q.Query = Req.Query;
         Q.BudgetMs = Req.BudgetMs;
+        Q.Ctx = Req.Ctx;
         Router.routeAsync(
             std::move(Q), [Reply = std::move(Reply),
                            Domain = Req.Domain](const router::RouterReport &R) {

@@ -4,8 +4,11 @@
 
 #include "obs/BuildInfo.h"
 #include "obs/HttpEndpoint.h"
+#include "obs/QueryLog.h"
 #include "support/FaultInjection.h"
 #include "support/StringUtils.h"
+
+#include <cinttypes>
 
 #include <condition_variable>
 #include <cstdlib>
@@ -128,6 +131,16 @@ std::string formatDouble(double V) {
   return Buf;
 }
 
+/// OpenMetrics exemplar suffix for a bucket line: ` # {trace_id="..."}
+/// <value> <timestamp>`, or "" when the bucket has none.
+std::string exemplarSuffix(const MetricSnapshot &S, size_t Bucket) {
+  if (Bucket >= S.Exemplars.size() || S.Exemplars[Bucket].TraceId.empty())
+    return "";
+  const Exemplar &E = S.Exemplars[Bucket];
+  return " # {trace_id=\"" + escapePromLabel(E.TraceId) + "\"} " +
+         formatDouble(E.Value) + " " + formatDouble(E.UnixSeconds);
+}
+
 /// Rebuilds a Histogram percentile estimate from snapshot buckets (the
 /// snapshot is decoupled from the live instrument).
 double snapshotPercentile(const MetricSnapshot &S, double P) {
@@ -181,12 +194,12 @@ void obs::writePrometheusText(const std::vector<MetricSnapshot> &Snap,
         std::pair<std::string, std::string> Le{"le",
                                                formatDouble(S.Bounds[I])};
         OS << S.Name << "_bucket" << promLabels(S.Labels, &Le) << " " << Cum
-           << "\n";
+           << exemplarSuffix(S, I) << "\n";
       }
       Cum += S.BucketCounts[S.Bounds.size()];
       std::pair<std::string, std::string> Inf{"le", "+Inf"};
       OS << S.Name << "_bucket" << promLabels(S.Labels, &Inf) << " " << Cum
-         << "\n";
+         << exemplarSuffix(S, S.Bounds.size()) << "\n";
       OS << S.Name << "_sum" << promLabels(S.Labels) << " "
          << formatDouble(S.Sum) << "\n";
       OS << S.Name << "_count" << promLabels(S.Labels) << " " << S.Count
@@ -198,8 +211,12 @@ void obs::writePrometheusText(const std::vector<MetricSnapshot> &Snap,
 }
 
 void obs::writeSpanJson(const SpanRecord &Span, std::ostream &OS) {
-  OS << "{\"name\":\"" << escapeJson(Span.Name)
-     << "\",\"trace\":" << Span.TraceId << ",\"span\":" << Span.SpanId
+  char TraceHex[33];
+  std::snprintf(TraceHex, sizeof(TraceHex), "%016" PRIx64 "%016" PRIx64,
+                Span.TraceHi, Span.TraceId);
+  OS << "{\"name\":\"" << escapeJson(Span.Name) << "\",\"trace_id\":\""
+     << TraceHex << "\",\"trace\":" << Span.TraceId
+     << ",\"span\":" << Span.SpanId
      << ",\"parent\":" << Span.ParentId
      << ",\"start_s\":" << formatDouble(Span.StartSeconds)
      << ",\"duration_ms\":" << formatDouble(Span.DurationSeconds * 1000.0);
@@ -348,6 +365,26 @@ std::vector<MetricSnapshot> obs::collectMetrics() {
     Dropped.Name = "dggt_trace_spans_dropped_total";
     Dropped.CounterValue = Tracer::droppedSpans();
     Snap.push_back(std::move(Dropped));
+    MetricSnapshot TailKept;
+    TailKept.K = MetricSnapshot::Kind::Counter;
+    TailKept.Name = "dggt_trace_tail_kept_total";
+    TailKept.CounterValue = Tracer::tailKeptTraces();
+    Snap.push_back(std::move(TailKept));
+    MetricSnapshot SeriesDropped;
+    SeriesDropped.K = MetricSnapshot::Kind::Counter;
+    SeriesDropped.Name = "dggt_metrics_series_dropped_total";
+    SeriesDropped.CounterValue = registry().seriesDropped();
+    Snap.push_back(std::move(SeriesDropped));
+    MetricSnapshot QlogTotal;
+    QlogTotal.K = MetricSnapshot::Kind::Counter;
+    QlogTotal.Name = "dggt_querylog_records_total";
+    QlogTotal.CounterValue = queryLog().total();
+    Snap.push_back(std::move(QlogTotal));
+    MetricSnapshot QlogOver;
+    QlogOver.K = MetricSnapshot::Kind::Counter;
+    QlogOver.Name = "dggt_querylog_overwritten_total";
+    QlogOver.CounterValue = queryLog().overwritten();
+    Snap.push_back(std::move(QlogOver));
   }
   if (std::shared_ptr<SpanRingSink> Ring = spanRing()) {
     MetricSnapshot Over;
@@ -484,9 +521,22 @@ std::shared_ptr<SpanRingSink> obs::spanRing() {
 
 bool obs::configureFromSpec(std::string_view Spec, std::string &Error) {
   struct Entry {
-    enum class Kind { On, Prom, Jsonl, Trace, TraceRing, Sample, Flush, Http } K;
+    enum class Kind {
+      On,
+      Prom,
+      Jsonl,
+      Trace,
+      TraceRing,
+      Sample,
+      Flush,
+      Http,
+      Qlog,
+      QlogRing,
+      Tail,
+      Qcap,
+    } K;
     std::string Dest;
-    uint64_t N = 0; ///< Ring capacity / divisor / interval / port.
+    uint64_t N = 0; ///< Ring capacity / divisor / interval / port / ms.
   };
   std::vector<Entry> Parsed;
 
@@ -556,6 +606,45 @@ bool obs::configureFromSpec(std::string_view Spec, std::string &Error) {
       }
       Out.K = Entry::Kind::Http;
       Out.N = *N;
+    } else if (Key == "tail") {
+      // Tail-sampling latency threshold in whole milliseconds: any query
+      // at least this slow keeps its full trace regardless of the head
+      // sample: draw. 0 is meaningless (non-OK outcomes are always kept).
+      std::optional<uint64_t> N = parseUnsigned(Dest);
+      if (!N || *N == 0) {
+        Error = "tail threshold '" + std::string(Dest) +
+                "' is not a positive integer (milliseconds)";
+        return false;
+      }
+      Out.K = Entry::Kind::Tail;
+      Out.N = *N;
+    } else if (Key == "qcap") {
+      // Logged query-text byte cap; 0 is meaningless.
+      std::optional<uint64_t> N = parseUnsigned(Dest);
+      if (!N || *N == 0) {
+        Error = "query-text cap '" + std::string(Dest) +
+                "' is not a positive integer (bytes)";
+        return false;
+      }
+      Out.K = Entry::Kind::Qcap;
+      Out.N = *N;
+    } else if (Key == "qlog") {
+      if (Dest == "ring" || Dest.rfind("ring:", 0) == 0) {
+        // In-memory record ring, optional capacity: qlog:ring[:N].
+        Out.K = Entry::Kind::QlogRing;
+        Out.N = 1024;
+        if (Dest.size() > 5) {
+          std::optional<uint64_t> N = parseUnsigned(Dest.substr(5));
+          if (!N || *N == 0) {
+            Error = "ring capacity '" + std::string(Dest.substr(5)) +
+                    "' is not a positive integer";
+            return false;
+          }
+          Out.N = *N;
+        }
+      } else {
+        Out.K = Entry::Kind::Qlog;
+      }
     } else if (Key == "trace") {
       if (Dest == "ring" || Dest.rfind("ring:", 0) == 0) {
         // In-memory ring, optional capacity: trace:ring or trace:ring:N.
@@ -576,8 +665,8 @@ bool obs::configureFromSpec(std::string_view Spec, std::string &Error) {
     } else {
       Error = "unknown exporter '" + std::string(Key) + "' in '" +
               std::string(E) +
-              "' (want prom:, jsonl:, trace:, sample:, flush:, http:, on "
-              "or insecure-bind)";
+              "' (want prom:, jsonl:, trace:, qlog:, sample:, tail:, "
+              "qcap:, flush:, http:, on or insecure-bind)";
       return false;
     }
     Parsed.push_back(std::move(Out));
@@ -615,6 +704,22 @@ bool obs::configureFromSpec(std::string_view Spec, std::string &Error) {
       break;
     case Entry::Kind::Sample:
       Tracer::setSampleEvery(static_cast<unsigned>(E.N));
+      break;
+    case Entry::Kind::Tail:
+      Tracer::setTailKeepMs(E.N);
+      break;
+    case Entry::Kind::Qcap:
+      setQueryTextCapBytes(static_cast<size_t>(E.N));
+      break;
+    case Entry::Kind::Qlog:
+      // A bad path is a runtime condition, not a spec error (matches the
+      // http: bind-failure policy): warn, keep the rest of the spec.
+      if (!QueryLog::instance().setJsonlPath(E.Dest))
+        std::fprintf(stderr, "[obs] cannot write query log to '%s'\n",
+                     E.Dest.c_str());
+      break;
+    case Entry::Kind::QlogRing:
+      QueryLog::instance().configureRing(static_cast<size_t>(E.N));
       break;
     case Entry::Kind::Flush:
       if (Ex.Flusher)

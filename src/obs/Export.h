@@ -14,8 +14,21 @@
 ///          | 'trace:' dest         -- JSON-lines spans, appended live
 ///          | 'trace:ring' [':' N]  -- in-memory span ring of N spans
 ///                                     (default 4096); see spanRing()
+///          | 'qlog:' dest          -- wide-event query log, one JSON
+///                                     line per completed query, appended
+///                                     live (obs/QueryLog.h)
+///          | 'qlog:ring' [':' N]   -- size of the in-memory query-log
+///                                     ring (default 1024); always on,
+///                                     this only resizes it
 ///          | 'sample:' N           -- head sampling: keep 1-in-N trace
 ///                                     trees (Tracer::setSampleEvery)
+///          | 'tail:' MS            -- tail sampling: force-keep the full
+///                                     trace of any query >= MS ms or
+///                                     with a non-OK outcome, regardless
+///                                     of the sample: draw
+///          | 'qcap:' N             -- byte cap for logged query text
+///                                     (default 256; see
+///                                     sanitizeQueryText)
 ///          | 'flush:' SECONDS      -- background flush of the file sinks
 ///                                     every SECONDS s (long runs update
 ///                                     mid-flight, not only at exit)

@@ -5,6 +5,7 @@
 #include "obs/BuildInfo.h"
 #include "obs/Export.h"
 #include "obs/Metrics.h"
+#include "obs/QueryLog.h"
 #include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 
@@ -123,8 +124,12 @@ parseQuery(std::string_view Query) {
 /// URL-scanning client cannot mint unbounded label values.
 std::string_view routeLabel(std::string_view Path) {
   if (Path == "/metrics" || Path == "/debug/traces" || Path == "/healthz" ||
-      Path == "/readyz" || Path == "/statusz" || Path == "/v1/synthesize")
+      Path == "/readyz" || Path == "/statusz" || Path == "/v1/synthesize" ||
+      Path == "/debug/querylog")
     return Path;
+  // Trace-id lookups collapse to one label: ids are client-chosen.
+  if (Path.rfind("/debug/query/", 0) == 0)
+    return "/debug/query";
   return "other";
 }
 
@@ -333,6 +338,8 @@ struct HttpEndpoint::Conn {
   size_t HeadEnd = 0;    ///< Offset of the "\r\n\r\n" terminator.
   size_t BodyLen = 0;    ///< Declared Content-Length.
   std::string Path;      ///< Request path (for the route counter).
+  std::string Traceparent;    ///< Inbound `traceparent` header, if any.
+  std::string TraceparentOut; ///< Echoed on the deferred reply / 504.
   /// Non-null while parked on the synthesize provider's answer.
   std::shared_ptr<DeferredState> Deferred;
 };
@@ -636,8 +643,9 @@ void HttpEndpoint::serverLoop() {
           // back — the client sees a dropped connection (tests drive the
           // "who retries" half of the failure matrix with this).
           if (!faultFires(faults::DataplaneReply))
-            WriteAll(C.Fd, respond(C.Path, R.Code, "application/json",
-                                   R.Body, R.RetryAfterSeconds));
+            WriteAll(C.Fd,
+                     respond(C.Path, R.Code, "application/json", R.Body,
+                             R.RetryAfterSeconds, {}, C.TraceparentOut));
           CloseConn(I);
           continue;
         }
@@ -645,7 +653,8 @@ void HttpEndpoint::serverLoop() {
           WriteAll(C.Fd,
                    respond(C.Path, 504, "application/json",
                            "{\"error\":\"synthesis did not complete before "
-                           "the deadline\"}"));
+                           "the deadline\"}",
+                           0, {}, C.TraceparentOut));
           CloseConn(I);
           continue;
         }
@@ -724,7 +733,8 @@ std::string HttpEndpoint::respond(std::string_view Path, int Code,
                                   std::string_view ContentType,
                                   std::string_view Body,
                                   unsigned RetryAfterSeconds,
-                                  std::string_view Allow) {
+                                  std::string_view Allow,
+                                  std::string_view Traceparent) {
   Served.fetch_add(1, std::memory_order_relaxed);
   countRequest(Path, Code);
 
@@ -739,6 +749,10 @@ std::string HttpEndpoint::respond(std::string_view Path, int Code,
   if (!Allow.empty()) {
     Resp += "\r\nAllow: ";
     Resp += Allow;
+  }
+  if (!Traceparent.empty()) {
+    Resp += "\r\ntraceparent: ";
+    Resp += Traceparent;
   }
   if (RetryAfterSeconds > 0) {
     Resp += "\r\nRetry-After: ";
@@ -800,7 +814,12 @@ HttpEndpoint::ReqAction HttpEndpoint::processHead(Conn &C, std::string &Resp) {
       size_t Colon = HeaderLine.find(':');
       if (Colon == std::string_view::npos)
         continue;
-      if (toLower(trim(HeaderLine.substr(0, Colon))) != "content-length")
+      std::string HeaderName = toLower(trim(HeaderLine.substr(0, Colon)));
+      if (HeaderName == "traceparent") {
+        C.Traceparent = std::string(trim(HeaderLine.substr(Colon + 1)));
+        continue;
+      }
+      if (HeaderName != "content-length")
         continue;
       ++Found;
       std::optional<uint64_t> N =
@@ -862,6 +881,22 @@ HttpEndpoint::ReqAction HttpEndpoint::processBody(Conn &C, std::string &Resp) {
     return ReqAction::Respond;
   }
 
+  // Mint the query's trace context — adopting an inbound W3C
+  // traceparent when the client sent one — and pre-allocate the
+  // request's root span. Everything downstream (router attempt, queue
+  // task, pipeline stages) parents under that root; the span itself is
+  // emitted by the reply callback once the outcome is known, before the
+  // owning tier settles the trace's keep/drop decision.
+  QueryContext Ctx;
+  if (C.Traceparent.empty() || !parseTraceparent(C.Traceparent, Ctx))
+    Ctx = startQueryContext();
+  attachTraceBuffer(Ctx);
+  uint64_t RootSpan = newSpanId();
+  uint64_t InboundParent = Ctx.ParentSpan;
+  Ctx.ParentSpan = RootSpan;
+  Req.Ctx = Ctx;
+  C.TraceparentOut = traceparentHeader(Ctx);
+
   // Park the connection: the provider answers through the callback from
   // whatever thread completes the query, and the wake pipe nudges the
   // poll loop to write it out. The parked deadline covers the declared
@@ -874,14 +909,29 @@ HttpEndpoint::ReqAction HttpEndpoint::processBody(Conn &C, std::string &Resp) {
                                      : Opts.SynthesizeTimeoutMs;
   C.Deadline = clockNow(Opts.Clock) + std::chrono::milliseconds(ParkMs);
   std::weak_ptr<Waker> W = WakeHandle;
-  Synthesize(Req, [D, W](SynthesizeResponse R) {
+  double StartSec = nowSecondsSinceEpoch();
+  Synthesize(Req, [D, W, Ctx, RootSpan, InboundParent, StartSec,
+                   Domain = Req.Domain](SynthesizeResponse R) {
+    // The request's root span, emitted before Ready publishes: the
+    // tier that owns the query's record settles the trace only after
+    // this callback returns, so the root is always in the buffer by
+    // the time the keep/drop decision flushes it.
+    SpanRecord S;
+    S.SpanId = RootSpan;
+    S.ParentId = InboundParent;
+    S.Name = "http.synthesize";
+    S.StartSeconds = StartSec;
+    S.DurationSeconds = nowSecondsSinceEpoch() - StartSec;
+    S.Attrs.emplace_back("domain", Domain);
+    S.Attrs.emplace_back("code", std::to_string(R.Code));
+    emitSpan(Ctx, std::move(S));
     {
       std::lock_guard<std::mutex> L(D->M);
       D->Resp = std::move(R);
     }
     D->Ready.store(true, std::memory_order_release);
-    if (std::shared_ptr<Waker> S = W.lock())
-      S->wake();
+    if (std::shared_ptr<Waker> Wk = W.lock())
+      Wk->wake();
   });
   return ReqAction::Deferred;
 }
@@ -940,6 +990,91 @@ std::string HttpEndpoint::dispatch(std::string_view Target, int &Code,
     return OS.str();
   }
 
+  if (Path == "/debug/querylog") {
+    size_t Limit = SIZE_MAX;
+    std::string DomainF, OutcomeF;
+    double MinMs = -1;
+    for (const auto &[K, V] : parseQuery(Query)) {
+      if (K == "limit") {
+        if (std::optional<uint64_t> N = parseUnsigned(V))
+          Limit = static_cast<size_t>(*N);
+      } else if (K == "domain") {
+        DomainF = V;
+      } else if (K == "outcome") {
+        OutcomeF = V;
+      } else if (K == "min_ms") {
+        if (std::optional<uint64_t> N = parseUnsigned(V))
+          MinMs = static_cast<double>(*N);
+      }
+    }
+    std::vector<QueryLogRecord> Recs = queryLog().snapshot();
+    std::erase_if(Recs, [&](const QueryLogRecord &R) {
+      return (!DomainF.empty() && R.Domain != DomainF) ||
+             (!OutcomeF.empty() && R.Outcome != OutcomeF) ||
+             (MinMs >= 0 && R.TotalMs < MinMs);
+    });
+    std::ostringstream OS;
+    OS << "{\"records\":[";
+    // ?limit keeps the *newest* N (the snapshot is oldest-first).
+    size_t Begin = Recs.size() > Limit ? Recs.size() - Limit : 0;
+    size_t Count = 0;
+    for (size_t I = Begin; I < Recs.size(); ++I)
+      OS << (Count++ ? "," : "") << queryLogRecordJson(Recs[I]);
+    OS << "],\"count\":" << Count << ",\"total\":" << queryLog().total()
+       << ",\"overwritten\":" << queryLog().overwritten() << "}";
+    return OS.str();
+  }
+
+  if (Path.rfind("/debug/query/", 0) == 0) {
+    std::string_view Id = Path.substr(sizeof("/debug/query/") - 1);
+    // Parse the 32-hex id into the (hi, lo) pair the span ring stamps.
+    auto HexVal = [](char Ch) -> int {
+      if (Ch >= '0' && Ch <= '9')
+        return Ch - '0';
+      if (Ch >= 'a' && Ch <= 'f')
+        return Ch - 'a' + 10;
+      return -1;
+    };
+    uint64_t Hi = 0, Lo = 0;
+    bool IdOk = Id.size() == 32;
+    for (size_t I = 0; IdOk && I < Id.size(); ++I) {
+      int V = HexVal(Id[I]);
+      if (V < 0) {
+        IdOk = false;
+        break;
+      }
+      uint64_t &Half = I < 16 ? Hi : Lo;
+      Half = (Half << 4) | static_cast<uint64_t>(V);
+    }
+    std::shared_ptr<const QueryLogRecord> Rec = queryLog().findByTraceId(Id);
+    std::ostringstream SpansOS;
+    size_t SpanCount = 0;
+    if (IdOk) {
+      if (std::shared_ptr<SpanRingSink> Ring = spanRing()) {
+        for (const SpanRecord &S : Ring->snapshot()) {
+          if (S.TraceHi != Hi || S.TraceId != Lo)
+            continue;
+          if (SpanCount++)
+            SpansOS << ",";
+          writeSpanJson(S, SpansOS);
+        }
+      }
+    }
+    if (!Rec && SpanCount == 0) {
+      Code = 404;
+      return "{\"error\":\"unknown trace id\"}";
+    }
+    std::ostringstream OS;
+    OS << "{\"trace_id\":\"" << escapeJson(Id) << "\",\"record\":";
+    if (Rec)
+      OS << queryLogRecordJson(*Rec);
+    else
+      OS << "null";
+    OS << ",\"spans\":[" << SpansOS.str() << "],\"span_count\":" << SpanCount
+       << "}";
+    return OS.str();
+  }
+
   if (Path == "/healthz" || Path == "/readyz") {
     HealthStatus St;
     std::string Detail = "no service registered";
@@ -981,7 +1116,8 @@ std::string HttpEndpoint::dispatch(std::string_view Target, int &Code,
 
   Code = 404;
   return "{\"error\":\"not found\",\"routes\":[\"/metrics\",\"/debug/traces\","
-         "\"/healthz\",\"/readyz\",\"/statusz\"]}";
+         "\"/debug/querylog\",\"/debug/query/<trace-id>\",\"/healthz\","
+         "\"/readyz\",\"/statusz\"]}";
 }
 
 //===----------------------------------------------------------------------===//

@@ -13,6 +13,12 @@
 ///   GET /debug/traces  JSON snapshot of the span ring installed by a
 ///                      'trace:ring' spec entry (?limit=N keeps the
 ///                      newest N, ?span=SUBSTR filters by span name).
+///   GET /debug/querylog  The wide-event query log ring, newest last
+///                      (?domain=, ?outcome=, ?min_ms=MS filters;
+///                      ?limit=N keeps the newest N).
+///   GET /debug/query/<trace-id>  One query by 32-hex trace id: its
+///                      query-log record joined with every retained
+///                      span of that trace from the span ring.
 ///   GET /healthz       200 while the registered service is healthy,
 ///                      503 while any domain circuit breaker is open.
 ///   GET /readyz        200 once warmup completed and a domain is
@@ -63,6 +69,7 @@
 #ifndef DGGT_OBS_HTTPENDPOINT_H
 #define DGGT_OBS_HTTPENDPOINT_H
 
+#include "obs/Trace.h"
 #include "support/Clock.h"
 
 #include <atomic>
@@ -88,6 +95,11 @@ struct SynthesizeRequest {
   std::string Domain;
   std::string Query;
   uint64_t BudgetMs = 0; ///< 0 = the domain's configured budget.
+  /// Per-query trace context, minted by the endpoint (honoring an
+  /// inbound W3C `traceparent` header) with ParentSpan set to the
+  /// request's root span. Providers thread it through the router/async
+  /// tiers so every span of the query shares one trace id.
+  QueryContext Ctx;
 };
 
 /// What a synthesize provider answers (already serialized; the endpoint
@@ -216,10 +228,14 @@ private:
   /// hands the query to the provider (Deferred), or rejects (Respond).
   ReqAction processBody(Conn &C, std::string &Resp);
   /// Counts and frames one response (status line, headers, body).
+  /// \p Traceparent, when non-empty, is echoed as a `traceparent`
+  /// response header so clients can correlate their answer with
+  /// /debug/query/<trace-id>.
   std::string respond(std::string_view Path, int Code,
                       std::string_view ContentType, std::string_view Body,
                       unsigned RetryAfterSeconds = 0,
-                      std::string_view Allow = {});
+                      std::string_view Allow = {},
+                      std::string_view Traceparent = {});
   std::string dispatch(std::string_view Target, int &Code,
                        std::string &ContentType);
 

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <mutex>
 
 using namespace dggt;
@@ -33,7 +34,7 @@ Histogram::Histogram(std::vector<double> UpperBounds)
          "bounds must be strictly increasing");
 }
 
-void Histogram::observe(double Value) {
+void Histogram::observe(double Value, std::string_view ExemplarTraceId) {
   if (Gated && !metricsEnabled())
     return;
   // First bucket whose upper bound is >= Value (`le` semantics); past the
@@ -46,6 +47,22 @@ void Histogram::observe(double Value) {
   while (!Sum.compare_exchange_weak(Old, Old + Value,
                                     std::memory_order_relaxed))
     ;
+  if (!ExemplarTraceId.empty()) {
+    std::lock_guard<std::mutex> L(ExM);
+    if (Exemplars.empty())
+      Exemplars.resize(Bounds.size() + 1);
+    Exemplar &E = Exemplars[I];
+    E.TraceId.assign(ExemplarTraceId);
+    E.Value = Value;
+    E.UnixSeconds = std::chrono::duration<double>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
+  }
+}
+
+std::vector<Exemplar> Histogram::exemplarSnapshot() const {
+  std::lock_guard<std::mutex> L(ExM);
+  return Exemplars;
 }
 
 double Histogram::sum() const { return Sum.load(std::memory_order_relaxed); }
@@ -121,9 +138,26 @@ MetricsRegistry &MetricsRegistry::instance() {
 MetricsRegistry::Entry &
 MetricsRegistry::entryFor(MetricSnapshot::Kind K, std::string_view Name,
                           LabelSet &&Labels) {
+  size_t FamilySize = 0;
   for (const std::unique_ptr<Entry> &E : Entries)
-    if (E->K == K && E->Name == Name && E->Labels == Labels)
-      return *E;
+    if (E->K == K && E->Name == Name) {
+      if (E->Labels == Labels)
+        return *E;
+      ++FamilySize;
+    }
+  // Cardinality guard: past the per-family cap, collapse to one overflow
+  // series (same label keys, every value "other") instead of growing the
+  // exposition unboundedly. The overflow series itself may be the
+  // cap+1-th entry of the family.
+  size_t Cap = SeriesCap.load(std::memory_order_relaxed);
+  if (Cap != 0 && FamilySize >= Cap && !Labels.empty()) {
+    SeriesDropped.fetch_add(1, std::memory_order_relaxed);
+    for (auto &KV : Labels)
+      KV.second = "other";
+    for (const std::unique_ptr<Entry> &E : Entries)
+      if (E->K == K && E->Name == Name && E->Labels == Labels)
+        return *E;
+  }
   auto E = std::make_unique<Entry>();
   E->K = K;
   E->Name = std::string(Name);
@@ -188,6 +222,7 @@ std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
           S.BucketCounts.push_back(E->H->bucketCount(I));
         S.Count = E->H->count();
         S.Sum = E->H->sum();
+        S.Exemplars = E->H->exemplarSnapshot();
         break;
       }
       Out.push_back(std::move(S));
@@ -202,6 +237,18 @@ std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
   return Out;
 }
 
+void MetricsRegistry::setSeriesCapPerFamily(size_t Cap) {
+  SeriesCap.store(Cap, std::memory_order_relaxed);
+}
+
+size_t MetricsRegistry::seriesCapPerFamily() const {
+  return SeriesCap.load(std::memory_order_relaxed);
+}
+
+uint64_t MetricsRegistry::seriesDropped() const {
+  return SeriesDropped.load(std::memory_order_relaxed);
+}
+
 void MetricsRegistry::zeroAllForTest() {
   std::lock_guard<std::mutex> L(M);
   for (const std::unique_ptr<Entry> &E : Entries) {
@@ -214,6 +261,10 @@ void MetricsRegistry::zeroAllForTest() {
         B.store(0, std::memory_order_relaxed);
       E->H->Count.store(0, std::memory_order_relaxed);
       E->H->Sum.store(0.0, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> LE(E->H->ExM);
+      E->H->Exemplars.clear();
     }
   }
+  SeriesCap.store(DefaultSeriesCapPerFamily, std::memory_order_relaxed);
+  SeriesDropped.store(0, std::memory_order_relaxed);
 }

@@ -95,6 +95,15 @@ private:
   bool Gated = false;
 };
 
+/// OpenMetrics exemplar: the most recent trace id that landed in a
+/// histogram bucket, so a scrape can jump from a bad latency bucket
+/// straight to the full trace of a query that produced it.
+struct Exemplar {
+  std::string TraceId; ///< 32-hex trace id; empty = no exemplar.
+  double Value = 0.0;
+  double UnixSeconds = 0.0;
+};
+
 /// Fixed-bucket histogram with Prometheus `le` semantics: a sample lands
 /// in the first bucket whose upper bound is >= the sample; samples above
 /// the last finite bound land in the implicit overflow (+Inf) bucket.
@@ -106,7 +115,12 @@ public:
   Histogram(const Histogram &) = delete;
   Histogram &operator=(const Histogram &) = delete;
 
-  void observe(double Value);
+  void observe(double Value) { observe(Value, {}); }
+  /// Like observe(), additionally remembering \p ExemplarTraceId as the
+  /// bucket's exemplar (last writer wins; empty id records none). The
+  /// exemplar path takes a small mutex — callers pass an id only on
+  /// already-traced queries, so the hot untraced path stays lock-free.
+  void observe(double Value, std::string_view ExemplarTraceId);
 
   uint64_t count() const { return Count.load(std::memory_order_relaxed); }
   double sum() const;
@@ -130,6 +144,10 @@ public:
   double p90() const { return percentile(90); }
   double p99() const { return percentile(99); }
 
+  /// Per-bucket exemplars (bounds().size() + 1, overflow last); empty
+  /// when no exemplar was ever recorded.
+  std::vector<Exemplar> exemplarSnapshot() const;
+
   /// The default latency bucket ladder in milliseconds: covers 0.05 ms
   /// pipeline stages up to the paper's 20 s interactive timeout.
   static const std::vector<double> &defaultLatencyBucketsMs();
@@ -142,6 +160,9 @@ private:
   std::atomic<uint64_t> Count{0};
   std::atomic<double> Sum{0.0};
   bool Gated = false;
+  /// Exemplar slots, lazily sized on first record (guarded by ExM).
+  mutable std::mutex ExM;
+  std::vector<Exemplar> Exemplars;
 };
 
 /// One exported instrument value, decoupled from the live registry so
@@ -157,6 +178,9 @@ struct MetricSnapshot {
   std::vector<uint64_t> BucketCounts; ///< Bounds.size() + 1 (overflow last).
   uint64_t Count = 0;
   double Sum = 0.0;
+  /// Per-bucket exemplars; empty, or BucketCounts.size() entries with
+  /// empty-TraceId slots for buckets without one.
+  std::vector<Exemplar> Exemplars;
 };
 
 /// Process-wide instrument registry. Instruments are created on first
@@ -179,9 +203,22 @@ public:
   /// exports are deterministic.
   std::vector<MetricSnapshot> snapshot() const;
 
-  /// Zeroes every instrument in place (references stay valid). Tests
-  /// only; a production registry is monotonic.
+  /// Label-cardinality guard: at most \p Cap distinct label-value sets
+  /// per (kind, name) family; lookups past the cap collapse to a single
+  /// overflow series with every label value set to "other", counted in
+  /// seriesDropped() (exported as dggt_metrics_series_dropped_total).
+  /// 0 disables the guard. Protects /metrics from unbounded per-shard /
+  /// per-domain / per-route series growth.
+  void setSeriesCapPerFamily(size_t Cap);
+  size_t seriesCapPerFamily() const;
+  uint64_t seriesDropped() const;
+
+  /// Zeroes every instrument in place (references stay valid) and
+  /// restores the default series cap. Tests only; a production registry
+  /// is monotonic.
   void zeroAllForTest();
+
+  static constexpr size_t DefaultSeriesCapPerFamily = 64;
 
 private:
   MetricsRegistry() = default;
@@ -191,6 +228,8 @@ private:
 
   mutable std::mutex M;
   std::vector<std::unique_ptr<Entry>> Entries;
+  std::atomic<size_t> SeriesCap{DefaultSeriesCapPerFamily};
+  std::atomic<uint64_t> SeriesDropped{0};
 };
 
 /// Shorthand for the process registry.

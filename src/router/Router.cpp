@@ -3,6 +3,8 @@
 #include "router/Router.h"
 
 #include "obs/Export.h"
+#include "obs/QueryLog.h"
+#include "obs/Trace.h"
 
 #include <cmath>
 #include <future>
@@ -151,9 +153,20 @@ struct FrontTierRouter::Call {
     uint64_t Token = 0;
     bool Hedge = false;
     bool Completed = false;
+    /// How this attempt ended: a transport status name on transport
+    /// failure, the service status name otherwise. Set under C.M when
+    /// the attempt completes; the query-log record's shard trail.
+    std::string Outcome;
   };
   std::vector<Try> Tries;
   unsigned Pending = 0; ///< Tries started and not yet completed.
+
+  /// This router claimed the query's wide-event record (no tier above
+  /// did), and the span/trace bookkeeping around it.
+  bool OwnsRecord = false;
+  uint64_t RouteSpan = 0;   ///< Pre-allocated router.route span id.
+  uint64_t RouteParent = 0; ///< The inbound context's parent span.
+  double StartSec = 0;      ///< Tracer-epoch start of the route.
 
   bool Finished = false;
   unsigned Attempts = 0;
@@ -229,6 +242,82 @@ void FrontTierRouter::finishLocked(Call &C) {
       std::chrono::duration_cast<std::chrono::milliseconds>(
           clockNow(Opts.Clock) - C.Start)
           .count());
+}
+
+void FrontTierRouter::recordCall(Call &C) {
+  const RouterReport &R = C.Final;
+  // The routing span joins the query's trace whether or not this tier
+  // owns the record (a pre-claimed context still wants the routing
+  // decision visible in its tree).
+  obs::SpanRecord S;
+  S.SpanId = C.RouteSpan;
+  S.ParentId = C.RouteParent;
+  S.Name = "router.route";
+  S.StartSeconds = C.StartSec;
+  S.DurationSeconds = static_cast<double>(R.TotalMs) / 1000.0;
+  S.Attrs.emplace_back("domain", C.Q.Domain);
+  S.Attrs.emplace_back("attempts", std::to_string(R.Attempts));
+  S.Attrs.emplace_back("retries", std::to_string(R.Retries));
+  if (R.Hedged)
+    S.Attrs.emplace_back("hedge", R.HedgeWon ? "won" : "lost");
+  obs::emitSpan(C.Q.Ctx, std::move(S));
+
+  if (!C.OwnsRecord)
+    return;
+  bool Ok = httpStatusFor(R) < 400;
+  bool Kept =
+      obs::finishQueryTrace(C.Q.Ctx, static_cast<double>(R.TotalMs), Ok);
+  if (!obs::metricsEnabled())
+    return;
+
+  obs::QueryLogRecord Rec;
+  Rec.TraceId = C.Q.Ctx.traceIdHex();
+  Rec.Domain = C.Q.Domain;
+  Rec.Query = obs::sanitizeQueryText(C.Q.Query);
+  if (R.NoUpstream)
+    Rec.Outcome = "no-upstream";
+  else if (R.Transport != TransportStatus::Ok)
+    Rec.Outcome = std::string(transportStatusName(R.Transport));
+  else
+    Rec.Outcome = std::string(serviceStatusName(R.Report.St));
+  if (R.Transport == TransportStatus::Ok && R.Report.AnsweredBy)
+    Rec.Rung = std::string(rungName(*R.Report.AnsweredBy));
+  if (R.NoUpstream)
+    Rec.Gate = "no-upstream";
+  else if (R.Transport == TransportStatus::Ok &&
+           R.Report.St == ServiceStatus::Overloaded)
+    Rec.Gate = "rejected";
+  else if (R.Transport == TransportStatus::Ok &&
+           R.Report.St == ServiceStatus::Draining)
+    Rec.Gate = "drain";
+  else
+    Rec.Gate = "admitted";
+  Rec.Attempts = R.Attempts;
+  Rec.Retries = R.Retries;
+  Rec.Hedged = R.Hedged;
+  Rec.HedgeWon = R.HedgeWon;
+  {
+    // A cancelled hedge loser may still be in flight; its slot reads
+    // "abandoned" rather than blocking the record on its checkin.
+    std::lock_guard<std::mutex> L(C.M);
+    for (size_t I = 0; I < C.Tries.size(); ++I) {
+      obs::QueryShardAttempt A;
+      A.Shard = I < C.ShardNames.size() ? C.ShardNames[I] : std::string();
+      A.Outcome = C.Tries[I].Completed ? C.Tries[I].Outcome
+                                       : std::string("abandoned");
+      A.Hedge = C.Tries[I].Hedge;
+      Rec.Shards.push_back(std::move(A));
+    }
+  }
+  Rec.QueueWaitMs = R.Report.QueueWaitMs;
+  for (int I = 0; I < 4; ++I)
+    Rec.StageMs[I] = R.Report.StageMs[I];
+  Rec.TotalMs = static_cast<double>(R.TotalMs);
+  Rec.PathCacheHit = R.Report.PathCacheHit;
+  Rec.WordCacheHit = R.Report.WordCacheHit;
+  Rec.BudgetMs = C.Q.BudgetMs;
+  Rec.TraceKept = Kept;
+  obs::queryLog().record(std::move(Rec));
 }
 
 void FrontTierRouter::feedback(Upstream &U, const UpstreamResult &R) {
@@ -311,6 +400,10 @@ void FrontTierRouter::onUpstreamDone(const std::shared_ptr<Call> &C,
   {
     std::lock_guard<std::mutex> L(C->M);
     C->Tries[TryIdx].Completed = true;
+    C->Tries[TryIdx].Outcome =
+        R.Transport != TransportStatus::Ok
+            ? std::string(transportStatusName(R.Transport))
+            : std::string(serviceStatusName(R.Report.St));
     --C->Pending;
     C->HedgeArmed = false; // Hedging only covers a silent first attempt.
 
@@ -371,8 +464,9 @@ void FrontTierRouter::onUpstreamDone(const std::shared_ptr<Call> &C,
       LU->cancel(Tok);
     Latency.observe(static_cast<double>(C->Final.TotalMs));
     RouterInstruments::get().LatencyMs.observe(
-        static_cast<double>(C->Final.TotalMs));
+        static_cast<double>(C->Final.TotalMs), C->Q.Ctx.traceIdHex());
     C->Done(C->Final);
+    recordCall(*C);
     {
       std::lock_guard<std::mutex> L(C->M);
       RetireNow = C->Pending == 0;
@@ -399,8 +493,9 @@ void FrontTierRouter::onUpstreamDone(const std::shared_ptr<Call> &C,
     }
     Latency.observe(static_cast<double>(C->Final.TotalMs));
     RouterInstruments::get().LatencyMs.observe(
-        static_cast<double>(C->Final.TotalMs));
+        static_cast<double>(C->Final.TotalMs), C->Q.Ctx.traceIdHex());
     C->Done(C->Final);
+    recordCall(*C);
     retire(C);
     return;
   }
@@ -418,6 +513,21 @@ void FrontTierRouter::routeAsync(UpstreamQuery Q, Callback Done) {
   C->Q = std::move(Q);
   C->Done = std::move(Done);
   C->Start = clockNow(Opts.Clock);
+  C->StartSec = obs::nowSecondsSinceEpoch();
+
+  // Claim the query's wide-event record: the whole retry/hedge fan-out
+  // is one query, so the router (not each worker) logs it, with the
+  // per-shard attempt trail. Re-parent the context under a
+  // pre-allocated router.route span so every attempt's async.task tree
+  // hangs below the routing decision that sent it.
+  if (!C->Q.Ctx.valid())
+    C->Q.Ctx = obs::startQueryContext();
+  C->OwnsRecord = !C->Q.Ctx.Recorded;
+  C->Q.Ctx.Recorded = true;
+  C->RouteParent = C->Q.Ctx.ParentSpan;
+  C->RouteSpan = obs::newSpanId();
+  C->Q.Ctx.ParentSpan = C->RouteSpan;
+
   {
     std::lock_guard<std::mutex> L(M);
     Active.push_back(C);
@@ -436,6 +546,7 @@ void FrontTierRouter::routeAsync(UpstreamQuery Q, Callback Done) {
   NoUpstreamCount.fetch_add(1, std::memory_order_relaxed);
   RouterInstruments::get().NoUpstream.inc();
   C->Done(C->Final);
+  recordCall(*C);
   retire(C);
 }
 

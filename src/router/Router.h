@@ -180,6 +180,11 @@ private:
   /// Applies ejection bookkeeping for one attempt outcome.
   void feedback(Upstream &U, const UpstreamResult &R);
   void finishLocked(Call &C); ///< Stamps TotalMs; C.M held.
+  /// Emits the routing span, settles the trace's tail keep/drop, and —
+  /// when this router owns the query's record — writes the wide-event
+  /// query-log entry with the per-shard attempt trail. Called once per
+  /// call, after Done, outside every router lock.
+  void recordCall(Call &C);
   void retire(const std::shared_ptr<Call> &C);
   void pumpLoop();
 

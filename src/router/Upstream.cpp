@@ -59,6 +59,7 @@ uint64_t LocalUpstream::call(const UpstreamQuery &Q, Callback Done) {
   SubmitOptions SO;
   SO.BudgetMs = Q.BudgetMs;
   SO.Cancel = Cancel;
+  SO.Ctx = Q.Ctx;
   Svc->submit(Q.Domain, Q.Query, SO,
               [this, Token, Done = std::move(Done)](const ServiceReport &Rep) {
                 {

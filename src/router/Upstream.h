@@ -44,6 +44,11 @@ struct UpstreamQuery {
   std::string Domain;
   std::string Query;
   uint64_t BudgetMs = 0; ///< 0 = the upstream's own domain default.
+  /// Trace context of the originating request. The router claims its
+  /// query-log record (one record covers the whole retry/hedge fan-out)
+  /// and forwards the context so every shard attempt's spans join the
+  /// same trace. Invalid = the router mints a fresh root.
+  obs::QueryContext Ctx;
 };
 
 /// Transport-level outcome of one upstream call, distinct from the

@@ -4,6 +4,7 @@
 
 #include "obs/HttpEndpoint.h"
 #include "obs/Metrics.h"
+#include "obs/QueryLog.h"
 #include "obs/Trace.h"
 
 #include <chrono>
@@ -61,6 +62,43 @@ ServiceReport immediateReport(ServiceStatus St) {
   return Rep;
 }
 
+/// Emits the wide-event query-log record for a query this layer owns
+/// (no router above claimed it) and settles the trace's tail-sampling
+/// decision. Called *after* the completion callback, so by the time the
+/// buffered spans flush the endpoint's root span is already among them.
+/// finishQueryTrace runs unconditionally — the trace buffer must be
+/// settled exactly once per query — while the record itself is gated on
+/// the global metrics switch like every other instrument.
+void recordOwnedQuery(const obs::QueryContext &Ctx, std::string_view Domain,
+                      std::string_view Query, const ServiceReport &Rep,
+                      const char *Gate, uint64_t BudgetMs) {
+  double TotalMs = Rep.TotalSeconds * 1000.0;
+  bool Kept = obs::finishQueryTrace(Ctx, TotalMs, httpStatusFor(Rep.St) < 400);
+  if (!obs::metricsEnabled())
+    return;
+  obs::QueryLogRecord R;
+  R.TraceId = Ctx.traceIdHex();
+  R.Domain = std::string(Domain);
+  R.Query = obs::sanitizeQueryText(Query);
+  R.Outcome = std::string(serviceStatusName(Rep.St));
+  if (Rep.AnsweredBy)
+    R.Rung = std::string(rungName(*Rep.AnsweredBy));
+  R.Gate = Gate;
+  R.Attempts = Rep.Attempts.size();
+  for (const RungAttempt &A : Rep.Attempts)
+    if (A.Try > 0)
+      ++R.Retries;
+  R.QueueWaitMs = Rep.QueueWaitMs;
+  for (int I = 0; I < 4; ++I)
+    R.StageMs[I] = Rep.StageMs[I];
+  R.TotalMs = TotalMs;
+  R.PathCacheHit = Rep.PathCacheHit;
+  R.WordCacheHit = Rep.WordCacheHit;
+  R.BudgetMs = BudgetMs;
+  R.TraceKept = Kept;
+  obs::queryLog().record(std::move(R));
+}
+
 } // namespace
 
 AsyncSynthesisService::AsyncSynthesisService(AsyncOptions O)
@@ -90,6 +128,7 @@ AsyncSynthesisService::AsyncSynthesisService(AsyncOptions O)
                obs::HttpEndpoint::SynthesizeReply Reply) {
           SubmitOptions SO;
           SO.BudgetMs = Q.BudgetMs;
+          SO.Ctx = Q.Ctx;
           submit(Q.Domain, Q.Query, SO,
                  [Reply = std::move(Reply),
                   Domain = Q.Domain](const ServiceReport &Rep) {
@@ -200,14 +239,29 @@ AsyncSynthesisService::submit(std::string_view DomainName,
                               const SubmitOptions &SO, Callback Done) {
   AsyncInstruments &M = AsyncInstruments::get();
 
+  // Claim the query-log record. An invalid context means this submit
+  // *is* the query's root (direct API use, nothing above us), so mint
+  // one; a valid-but-unrecorded context (endpoint straight to this
+  // worker) is claimed here; one already marked Recorded belongs to the
+  // router, which logs the whole fan-out as a single record. Every path
+  // below — including the immediate rejections — emits exactly one
+  // record when this layer owns it.
+  obs::QueryContext Ctx = SO.Ctx;
+  if (!Ctx.valid())
+    Ctx = obs::startQueryContext();
+  const bool OwnsRecord = !Ctx.Recorded;
+  Ctx.Recorded = true;
+
   // Immediate rejections satisfy the future *and* the callback before
   // returning, so a callback-driven caller (router, data plane) never
   // needs to also poll the future.
-  auto Reject = [&Done](ServiceStatus St) {
+  auto Reject = [&](ServiceStatus St, const char *Gate) {
     std::promise<ServiceReport> Immediate;
     ServiceReport Rep = immediateReport(St);
     if (Done)
       Done(Rep);
+    if (OwnsRecord)
+      recordOwnedQuery(Ctx, DomainName, QueryText, Rep, Gate, SO.BudgetMs);
     Immediate.set_value(std::move(Rep));
     return Immediate.get_future();
   };
@@ -217,13 +271,13 @@ AsyncSynthesisService::submit(std::string_view DomainName,
   // wait counts against the query's own budget.
   DomainLoad *DL = loadFor(DomainName);
   if (!DL || !Svc.hasDomain(DomainName))
-    return Reject(ServiceStatus::UnknownDomain);
+    return Reject(ServiceStatus::UnknownDomain, "unknown-domain");
 
   // Draining: stop admission first, before any controller bookkeeping —
   // a departing worker must not accept work it may have to cancel.
   if (draining()) {
     DrainRejected.fetch_add(1, std::memory_order_relaxed);
-    return Reject(ServiceStatus::Draining);
+    return Reject(ServiceStatus::Draining, "drain");
   }
 
   // Controller tick before admission, so this submission is judged
@@ -271,7 +325,7 @@ AsyncSynthesisService::submit(std::string_view DomainName,
                      std::string(serviceStatusName(ServiceStatus::Overloaded))}})
           .inc();
     }
-    return Reject(ServiceStatus::Overloaded);
+    return Reject(ServiceStatus::Overloaded, "gate");
   }
 
   auto Task = std::make_shared<std::packaged_task<ServiceReport()>>();
@@ -286,8 +340,8 @@ AsyncSynthesisService::submit(std::string_view DomainName,
   std::string Query(QueryText);
   *Task = std::packaged_task<ServiceReport()>(
       [this, DL, Domain = std::move(Domain), Query = std::move(Query),
-       Deadline, Limited, Enqueued, Cancel = SO.Cancel,
-       Done]() -> ServiceReport {
+       Deadline, Limited, Enqueued, Cancel = SO.Cancel, Done, Ctx, OwnsRecord,
+       BudgetMs]() -> ServiceReport {
         AsyncInstruments &M = AsyncInstruments::get();
         double WaitMs = std::chrono::duration<double, std::milli>(
                             clockNow(Opts.Clock) - Enqueued)
@@ -297,9 +351,18 @@ AsyncSynthesisService::submit(std::string_view DomainName,
         if (obs::metricsEnabled())
           M.QueueWaitMs.observe(WaitMs);
 
-        auto Finish = [&Done](ServiceReport Rep) {
+        // Adopt the query's trace context for everything this worker
+        // runs: async.task and the whole ladder/pipeline span tree
+        // parent under the submitting query instead of starting orphan
+        // roots on this pool thread.
+        obs::ScopedQueryContext CtxGuard(Ctx);
+
+        auto Finish = [&](ServiceReport Rep) {
+          Rep.QueueWaitMs = WaitMs;
           if (Done)
             Done(Rep);
+          if (OwnsRecord)
+            recordOwnedQuery(Ctx, Domain, Query, Rep, "admitted", BudgetMs);
           return Rep;
         };
 
@@ -374,7 +437,7 @@ AsyncSynthesisService::submit(std::string_view DomainName,
           .inc();
     // The packaged task was never run (its copy of Done with it), so
     // satisfy the caller through the immediate-rejection path.
-    return Reject(ServiceStatus::Overloaded);
+    return Reject(ServiceStatus::Overloaded, "shed");
   }
 
   M.Submitted.inc();

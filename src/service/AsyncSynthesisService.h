@@ -114,6 +114,14 @@ struct SubmitOptions {
   /// the ladder (best effort — a query already running completes). The
   /// router cancels a hedge's loser through this.
   std::shared_ptr<std::atomic<bool>> Cancel;
+  /// Trace context of the originating query (HttpEndpoint → Router →
+  /// here). The worker adopts it so `async.task` and every pipeline span
+  /// parent under the submitting query's span instead of starting an
+  /// orphan tree. Invalid (default) = this submit *is* the query's root:
+  /// the layer mints a context and owns the query-log record; a valid
+  /// context with Ctx.Recorded unset is claimed here, and one already
+  /// marked Recorded is logged upstream (the router).
+  obs::QueryContext Ctx;
 };
 
 /// Thread-safe asynchronous front door; see file comment.

@@ -6,6 +6,7 @@
 #include "obs/Export.h"
 #include "obs/HttpEndpoint.h"
 #include "obs/Metrics.h"
+#include "obs/QueryLog.h"
 #include "support/FaultInjection.h"
 #include "synth/EdgeToPath.h"
 #include "text/Warmup.h"
@@ -470,8 +471,10 @@ ServiceReport SynthesisService::query(std::string_view DomainName,
   ServiceReport Rep;
   WallTimer Timer;
   obs::ScopedSpan QSpan("service.query");
-  if (QSpan.active())
+  if (QSpan.active()) {
     QSpan.attr("domain", DomainName);
+    QSpan.attr("query", obs::sanitizeQueryText(QueryText));
+  }
 
   DomainState *DS = findDomain(DomainName);
   auto Finish = [&](ServiceStatus St) -> ServiceReport & {
@@ -488,8 +491,18 @@ ServiceReport SynthesisService::query(std::string_view DomainName,
                    {{"domain", std::string(DomainName)},
                     {"status", std::string(serviceStatusName(St))}})
           .inc();
-      if (DS)
-        DS->QueryLatencyMs->observe(Rep.TotalSeconds * 1000.0);
+      if (DS) {
+        // Attach the query's trace id as an OpenMetrics exemplar so a
+        // scrape can jump from a bad latency bucket to the full trace.
+        // currentQueryContext() sees the context this thread adopted (or
+        // the live span tree); invalid when nothing is traced.
+        obs::QueryContext Ctx = obs::currentQueryContext();
+        if (Ctx.valid())
+          DS->QueryLatencyMs->observe(Rep.TotalSeconds * 1000.0,
+                                      Ctx.traceIdHex());
+        else
+          DS->QueryLatencyMs->observe(Rep.TotalSeconds * 1000.0);
+      }
     }
     return Rep;
   };
@@ -505,6 +518,10 @@ ServiceReport SynthesisService::query(std::string_view DomainName,
 
   SharedQueryCaches Caches{DS->Paths.get(), DS->Words.get()};
   PreparedQuery Full = DS->D->frontEnd().prepare(QueryText, Caches);
+  for (size_t I = 0; I < 4; ++I)
+    Rep.StageMs[I] = Full.StageMs[I];
+  Rep.PathCacheHit = Full.PathCacheHit;
+  Rep.WordCacheHit = Full.WordCacheHit;
 
   if (!Full.allWordsMapped()) {
     // No rung changes the word-to-API mapping: fail fast, keep the whole

@@ -130,6 +130,17 @@ struct ServiceReport {
   /// Total wall clock including preparation and backoff sleeps.
   double TotalSeconds = 0;
 
+  /// Submit-to-start queue wait (ms); stamped by the async layer, 0 for
+  /// direct query() calls.
+  double QueueWaitMs = 0;
+  /// Winning attempt's pipeline stage latencies in the fixed order
+  /// {parse, prune, word_to_api, edge_to_path} (obs::QueryStageNames).
+  double StageMs[4] = {0, 0, 0, 0};
+  /// Best-effort shared-cache attribution of the winning attempt (see
+  /// PreparedQuery).
+  bool PathCacheHit = false;
+  bool WordCacheHit = false;
+
   bool ok() const { return St == ServiceStatus::Ok; }
 };
 

@@ -6,6 +6,14 @@
 
 using namespace dggt;
 
+namespace {
+std::atomic<ThreadPool::TaskWrapper> GlobalTaskWrapper{nullptr};
+} // namespace
+
+void ThreadPool::setTaskWrapper(TaskWrapper W) {
+  GlobalTaskWrapper.store(W, std::memory_order_release);
+}
+
 ThreadPool::ThreadPool(Options O) : Opts(O) {
   if (Opts.Workers == 0)
     Opts.Workers = std::max(1u, std::thread::hardware_concurrency());
@@ -28,6 +36,8 @@ ThreadPool::~ThreadPool() {
 }
 
 bool ThreadPool::trySubmit(std::string_view Key, std::function<void()> Fn) {
+  if (TaskWrapper W = GlobalTaskWrapper.load(std::memory_order_acquire))
+    Fn = W(std::move(Fn));
   size_t Cap = EffQueueCap.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> L(M);

@@ -82,6 +82,15 @@ public:
   /// decides what shedding means.
   bool trySubmit(std::string_view Key, std::function<void()> Fn);
 
+  /// Process-wide hook that may rewrap every submitted task (e.g. to
+  /// capture the submitter's trace context and restore it in the
+  /// worker). The pool itself has no observability dependency; the obs
+  /// layer installs its wrapper at static-init time. The wrapper runs on
+  /// the *submitting* thread, outside the pool lock, and must return a
+  /// callable that runs the original task exactly once. Null disables.
+  using TaskWrapper = std::function<void()> (*)(std::function<void()>);
+  static void setTaskWrapper(TaskWrapper W);
+
   /// Tasks accepted but not yet started.
   size_t queueDepth() const;
 

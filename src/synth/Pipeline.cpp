@@ -2,11 +2,14 @@
 
 #include "synth/Pipeline.h"
 
+#include "grammar/PathCache.h"
 #include "nlp/DependencyParser.h"
 #include "nlp/GraphPruner.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "synth/Synthesizer.h"
+
+#include <chrono>
 
 using namespace dggt;
 
@@ -42,6 +45,24 @@ obs::Histogram &stageHistogram(const char *Stage) {
                                    {{"stage", Stage}});
 }
 
+/// RAII wall-clock probe stamping elapsed milliseconds into a
+/// PreparedQuery stage slot (always on — the query log wants stage
+/// timings even when registry metrics are disabled).
+class StageTimer {
+public:
+  explicit StageTimer(double &Slot)
+      : Slot(Slot), Start(std::chrono::steady_clock::now()) {}
+  ~StageTimer() {
+    Slot = std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - Start)
+               .count();
+  }
+
+private:
+  double &Slot;
+  std::chrono::steady_clock::time_point Start;
+};
+
 } // namespace
 
 SynthesisFrontEnd::SynthesisFrontEnd(const GrammarGraph &GG,
@@ -56,11 +77,13 @@ SynthesisFrontEnd::SynthesisFrontEnd(const GrammarGraph &GG,
 PreparedQuery SynthesisFrontEnd::prepare(std::string_view Query,
                                          SharedQueryCaches Caches) const {
   obs::ScopedSpan Span("pipeline.prepare");
+  double ParseMs = 0.0, PruneMs = 0.0;
   DependencyGraph Raw;
   {
     static obs::Histogram &H = stageHistogram("parse");
     obs::ScopedSpan S("pipeline.parse");
     obs::ScopedLatencyMs T(H);
+    StageTimer ST(ParseMs);
     Raw = parseDependencies(Query);
   }
   DependencyGraph Pruned;
@@ -68,9 +91,13 @@ PreparedQuery SynthesisFrontEnd::prepare(std::string_view Query,
     static obs::Histogram &H = stageHistogram("prune");
     obs::ScopedSpan S("pipeline.prune");
     obs::ScopedLatencyMs T(H);
+    StageTimer ST(PruneMs);
     Pruned = pruneQueryGraph(Raw, Prune);
   }
-  return prepareFromGraph(Pruned, Caches);
+  PreparedQuery Q = prepareFromGraph(Pruned, Caches);
+  Q.StageMs[0] = ParseMs;
+  Q.StageMs[1] = PruneMs;
+  return Q;
 }
 
 PreparedQuery
@@ -85,13 +112,19 @@ SynthesisFrontEnd::prepareFromGraph(const DependencyGraph &Pruned,
     static obs::Histogram &H = stageHistogram("word-to-api");
     obs::ScopedSpan S("pipeline.word_to_api");
     obs::ScopedLatencyMs T(H);
+    StageTimer ST(Q.StageMs[2]);
+    uint64_t Hits0 = Caches.Words ? Caches.Words->stats().Hits : 0;
     Q.Words = Matcher.mapGraph(Q.Pruned, Caches.Words);
+    Q.WordCacheHit = Caches.Words && Caches.Words->stats().Hits > Hits0;
   }
   {
     static obs::Histogram &H = stageHistogram("edge-to-path");
     obs::ScopedSpan S("pipeline.edge_to_path");
     obs::ScopedLatencyMs T(H);
+    StageTimer ST(Q.StageMs[3]);
+    uint64_t Hits0 = Caches.Paths ? Caches.Paths->stats().Hits : 0;
     Q.Edges = buildEdgeToPath(GG, Doc, Q.Pruned, Q.Words, Limits, Caches.Paths);
+    Q.PathCacheHit = Caches.Paths && Caches.Paths->stats().Hits > Hits0;
   }
   return Q;
 }

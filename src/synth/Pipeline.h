@@ -43,6 +43,18 @@ struct PreparedQuery {
   EdgeToPathMap Edges;
   PathSearchLimits Limits;
 
+  /// Per-stage wall latency in the fixed order {parse, prune,
+  /// word_to_api, edge_to_path} (obs::QueryStageNames); 0 for stages
+  /// that did not run (prepareFromGraph skips the first two). Feeds the
+  /// wide-event query log's stage breakdown.
+  double StageMs[4] = {0.0, 0.0, 0.0, 0.0};
+  /// Best-effort shared-cache hit attribution for this query, derived
+  /// from the cache stats delta around the stage — concurrent queries
+  /// against the same cache can misattribute, which is acceptable for a
+  /// forensic log field.
+  bool PathCacheHit = false;
+  bool WordCacheHit = false;
+
   /// True if every dependency node has at least one API candidate.
   bool allWordsMapped() const;
 };

@@ -1,0 +1,442 @@
+//===- tests/querylog_test.cpp - Per-query observability ------------------===//
+//
+// The query-centric observability layer from DESIGN.md §14: W3C
+// traceparent round-trips, QueryContext adoption across threads (the
+// ThreadPool task wrapper), deterministic tail-based sampling, the
+// wide-event query log (exactly one record per submit, hostile query
+// text sanitized, ring overwrite, trace-id lookup), the label-
+// cardinality guard, and histogram exemplars in the Prometheus export.
+//
+// The suite name starts with "Obs" so check-tsan runs it under
+// ThreadSanitizer: the concurrent hammer below is the data-race probe
+// for the record-once contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Export.h"
+#include "obs/Metrics.h"
+#include "obs/QueryLog.h"
+#include "obs/Trace.h"
+#include "service/AsyncSynthesisService.h"
+#include "support/FaultInjection.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace dggt;
+
+namespace {
+
+/// Captures every emitted span for inspection.
+class RecordingSink : public obs::TraceSink {
+public:
+  void onSpan(const obs::SpanRecord &Span) override {
+    std::lock_guard<std::mutex> L(M);
+    Spans.push_back(Span);
+  }
+  std::vector<obs::SpanRecord> spans() const {
+    std::lock_guard<std::mutex> L(M);
+    return Spans;
+  }
+
+private:
+  mutable std::mutex M;
+  std::vector<obs::SpanRecord> Spans;
+};
+
+/// Restores every process-wide observability knob around each test:
+/// metrics switch, tracer sink/sampling, registry values, query log,
+/// query-text cap, and the fault registry.
+class ObsQueryLogTest : public ::testing::Test {
+protected:
+  void SetUp() override { resetAll(); }
+  void TearDown() override { resetAll(); }
+
+  static void resetAll() {
+    obs::setMetricsEnabled(false);
+    obs::Tracer::instance().setSink(nullptr);
+    obs::Tracer::setSampleEvery(1);
+    obs::Tracer::setTailKeepMs(0);
+    obs::registry().zeroAllForTest(); // Also restores the series cap.
+    obs::queryLog().resetForTest();
+    obs::queryLog().configureRing(1024);
+    obs::setQueryTextCapBytes(256);
+    FaultInjector::instance().reset();
+  }
+
+  /// Domains built once for the whole suite.
+  static const Domain &textEditing() {
+    static std::unique_ptr<Domain> D = makeTextEditingDomain();
+    return *D;
+  }
+
+  /// Mints a root context that lost the head-sampling draw; the root
+  /// counter is process-global, so under a huge sample-every at most
+  /// one draw in the loop can win.
+  static obs::QueryContext mintUnsampled() {
+    for (int I = 0; I < 5; ++I) {
+      obs::QueryContext Ctx = obs::startQueryContext();
+      if (!Ctx.Sampled)
+        return Ctx;
+    }
+    ADD_FAILURE() << "five sampled draws in a row at 1-in-1000000";
+    return obs::startQueryContext();
+  }
+};
+
+TEST_F(ObsQueryLogTest, TraceparentRoundTripsIdsAndSampledFlag) {
+  obs::QueryContext Out;
+  Out.TraceHi = 0x0123456789abcdefULL;
+  Out.TraceLo = 0xfedcba9876543210ULL;
+  Out.ParentSpan = 0x00c0ffee00c0ffeeULL;
+  Out.Sampled = true;
+
+  std::string Header = obs::traceparentHeader(Out);
+  ASSERT_EQ(Header.size(), 55u);
+  EXPECT_EQ(Header,
+            "00-0123456789abcdeffedcba9876543210-00c0ffee00c0ffee-01");
+
+  obs::QueryContext In;
+  ASSERT_TRUE(obs::parseTraceparent(Header, In));
+  EXPECT_EQ(In.TraceHi, Out.TraceHi);
+  EXPECT_EQ(In.TraceLo, Out.TraceLo);
+  EXPECT_EQ(In.ParentSpan, Out.ParentSpan);
+  EXPECT_TRUE(In.Sampled);
+
+  Out.Sampled = false;
+  ASSERT_TRUE(obs::parseTraceparent(obs::traceparentHeader(Out), In));
+  EXPECT_FALSE(In.Sampled);
+}
+
+TEST_F(ObsQueryLogTest, TraceparentRejectsMalformedHeaders) {
+  const std::string Good =
+      "00-0123456789abcdeffedcba9876543210-00c0ffee00c0ffee-01";
+  obs::QueryContext Ctx;
+  ASSERT_TRUE(obs::parseTraceparent(Good, Ctx));
+
+  const char *Bad[] = {
+      "",
+      "00-0123456789abcdeffedcba9876543210-00c0ffee00c0ffee",    // short
+      "00-0123456789abcdeffedcba9876543210-00c0ffee00c0ffee-012", // long
+      "ff-0123456789abcdeffedcba9876543210-00c0ffee00c0ffee-01", // version
+      "00-00000000000000000000000000000000-00c0ffee00c0ffee-01", // zero trace
+      "00-0123456789abcdeffedcba9876543210-0000000000000000-01", // zero span
+      "00-0123456789abcdxffedcba9876543210-00c0ffee00c0ffee-01", // non-hex
+      "00_0123456789abcdeffedcba9876543210-00c0ffee00c0ffee-01", // dash
+  };
+  for (const char *H : Bad) {
+    obs::QueryContext Untouched = Ctx;
+    EXPECT_FALSE(obs::parseTraceparent(H, Untouched)) << H;
+    EXPECT_EQ(Untouched.TraceLo, Ctx.TraceLo) << "mutated on reject: " << H;
+  }
+}
+
+TEST_F(ObsQueryLogTest, ScopedContextParentsSpansUnderTheInboundSpan) {
+  auto Sink = std::make_shared<RecordingSink>();
+  obs::Tracer::instance().setSink(Sink);
+
+  obs::QueryContext Ctx = obs::startQueryContext();
+  ASSERT_TRUE(Ctx.valid());
+  ASSERT_TRUE(Ctx.Sampled); // sample-every is 1 in this fixture.
+  Ctx.ParentSpan = obs::newSpanId();
+  {
+    obs::ScopedQueryContext Guard(Ctx);
+    obs::ScopedSpan Span("qtest.adopted");
+  }
+  EXPECT_TRUE(obs::finishQueryTrace(Ctx, 0.5, true));
+
+  std::vector<obs::SpanRecord> Spans = Sink->spans();
+  ASSERT_EQ(Spans.size(), 1u);
+  EXPECT_EQ(Spans[0].Name, "qtest.adopted");
+  EXPECT_EQ(Spans[0].TraceId, Ctx.TraceLo);
+  EXPECT_EQ(Spans[0].TraceHi, Ctx.TraceHi);
+  EXPECT_EQ(Spans[0].ParentId, Ctx.ParentSpan);
+}
+
+// Regression for the ThreadPool task wrapper: a worker thread must
+// inherit the submitter's trace position, so spans opened inside the
+// task parent under the span that was open at trySubmit() time.
+TEST_F(ObsQueryLogTest, ThreadPoolCarriesTraceContextIntoWorkers) {
+  auto Sink = std::make_shared<RecordingSink>();
+  obs::Tracer::instance().setSink(Sink);
+
+  obs::QueryContext Ctx = obs::startQueryContext();
+  ASSERT_TRUE(Ctx.Sampled);
+  uint64_t SubmitterSpan = 0;
+  std::atomic<bool> Ran{false};
+  {
+    obs::ScopedQueryContext Guard(Ctx);
+    obs::ScopedSpan Parent("qtest.submit");
+    SubmitterSpan = obs::currentQueryContext().ParentSpan;
+    ASSERT_NE(SubmitterSpan, 0u);
+
+    ThreadPool::Options PO;
+    PO.Workers = 1;
+    ThreadPool Pool(PO);
+    ASSERT_TRUE(Pool.trySubmit("qtest", [&Ran] {
+      obs::ScopedSpan Child("qtest.child");
+      Ran.store(true, std::memory_order_release);
+    }));
+  } // ~ThreadPool drains: the child span is buffered before this line.
+  ASSERT_TRUE(Ran.load(std::memory_order_acquire));
+  EXPECT_TRUE(obs::finishQueryTrace(Ctx, 0.5, true));
+
+  const obs::SpanRecord *Child = nullptr;
+  std::vector<obs::SpanRecord> Spans = Sink->spans();
+  for (const obs::SpanRecord &S : Spans)
+    if (S.Name == "qtest.child")
+      Child = &S;
+  ASSERT_NE(Child, nullptr);
+  EXPECT_EQ(Child->TraceId, Ctx.TraceLo);
+  EXPECT_EQ(Child->TraceHi, Ctx.TraceHi);
+  EXPECT_EQ(Child->ParentId, SubmitterSpan);
+}
+
+TEST_F(ObsQueryLogTest, TailKeepsSlowAndFailedQueriesPastTheHeadDraw) {
+  auto Sink = std::make_shared<RecordingSink>();
+  obs::Tracer::instance().setSink(Sink);
+  obs::Tracer::setSampleEvery(1000000);
+  obs::Tracer::setTailKeepMs(25);
+  const uint64_t TailBefore = obs::Tracer::tailKeptTraces();
+
+  // Slow-but-ok: kept by the tail threshold, counted as a tail keep.
+  obs::QueryContext Slow = mintUnsampled();
+  {
+    obs::ScopedQueryContext Guard(Slow);
+    obs::ScopedSpan Span("qtest.slow");
+  }
+  EXPECT_TRUE(obs::finishQueryTrace(Slow, 30.0, true));
+  EXPECT_EQ(Sink->spans().size(), 1u);
+  EXPECT_EQ(obs::Tracer::tailKeptTraces(), TailBefore + 1);
+
+  // Fast-and-ok: nothing forces a keep; the buffered span is dropped.
+  obs::QueryContext Fast = mintUnsampled();
+  {
+    obs::ScopedQueryContext Guard(Fast);
+    obs::ScopedSpan Span("qtest.fast");
+  }
+  EXPECT_FALSE(obs::finishQueryTrace(Fast, 1.0, true));
+  EXPECT_EQ(Sink->spans().size(), 1u);
+
+  // Fast-but-failed: errors are always kept.
+  obs::QueryContext Failed = mintUnsampled();
+  {
+    obs::ScopedQueryContext Guard(Failed);
+    obs::ScopedSpan Span("qtest.failed");
+  }
+  EXPECT_TRUE(obs::finishQueryTrace(Failed, 1.0, false));
+  ASSERT_EQ(Sink->spans().size(), 2u);
+  EXPECT_EQ(Sink->spans()[1].Name, "qtest.failed");
+}
+
+TEST_F(ObsQueryLogTest, AsyncServiceWritesOneRecordPerAdmittedQuery) {
+  obs::setMetricsEnabled(true);
+  AsyncOptions AO;
+  AO.Workers = 2;
+  AsyncSynthesisService S(AO);
+  S.addDomain(textEditing());
+
+  ServiceReport Rep = S.submit("TextEditing", "sort all lines").get();
+  ASSERT_TRUE(Rep.ok());
+
+  // recordOwnedQuery runs before the future is satisfied, so the record
+  // is visible here without waiting.
+  EXPECT_EQ(obs::queryLog().total(), 1u);
+  std::vector<obs::QueryLogRecord> Recs = obs::queryLog().snapshot();
+  ASSERT_EQ(Recs.size(), 1u);
+  const obs::QueryLogRecord &R = Recs[0];
+  EXPECT_EQ(R.TraceId.size(), 32u);
+  EXPECT_EQ(R.Domain, "TextEditing");
+  EXPECT_EQ(R.Query, "sort all lines");
+  EXPECT_EQ(R.Outcome, "ok");
+  EXPECT_EQ(R.Gate, "admitted");
+  EXPECT_FALSE(R.Rung.empty());
+  EXPECT_GT(R.TotalMs, 0.0);
+  EXPECT_GT(R.WallSeconds, 0.0);
+  EXPECT_FALSE(R.TraceKept); // Tracing is off: nothing to keep.
+
+  // The record is addressable by its trace id.
+  std::shared_ptr<const obs::QueryLogRecord> Found =
+      obs::queryLog().findByTraceId(R.TraceId);
+  ASSERT_NE(Found, nullptr);
+  EXPECT_EQ(Found->Domain, "TextEditing");
+}
+
+TEST_F(ObsQueryLogTest, AsyncServiceLogsImmediateRejectionsToo) {
+  obs::setMetricsEnabled(true);
+  AsyncOptions AO;
+  AO.Workers = 1;
+  AsyncSynthesisService S(AO);
+  S.addDomain(textEditing());
+
+  ServiceReport Rep = S.submit("NoSuchDomain", "sort all lines").get();
+  ASSERT_FALSE(Rep.ok());
+
+  EXPECT_EQ(obs::queryLog().total(), 1u);
+  std::vector<obs::QueryLogRecord> Recs = obs::queryLog().snapshot();
+  ASSERT_EQ(Recs.size(), 1u);
+  EXPECT_EQ(Recs[0].Domain, "NoSuchDomain");
+  EXPECT_EQ(Recs[0].Outcome, "unknown-domain");
+  EXPECT_EQ(Recs[0].Gate, "unknown-domain");
+  EXPECT_EQ(Recs[0].Attempts, 0u);
+}
+
+// TSan hammer for the record-once contract: concurrent submitters
+// mixing admitted queries, unknown-domain rejections, and queue sheds
+// must produce exactly one query-log record per submit — no double
+// emission from the reject/finish paths racing, no lost records.
+TEST_F(ObsQueryLogTest, ConcurrentMixedSubmissionsLogExactlyOneRecordEach) {
+  obs::setMetricsEnabled(true);
+  obs::queryLog().configureRing(4096);
+  AsyncOptions AO;
+  AO.Workers = 2;
+  AO.QueueCap = 2; // Small enough that bursts shed.
+  AsyncSynthesisService S(AO);
+  S.addDomain(textEditing());
+
+  constexpr int Threads = 4;
+  constexpr int PerThread = 12;
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads);
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&S] {
+      for (int I = 0; I < PerThread; ++I) {
+        const char *Domain = I % 3 == 2 ? "NoSuchDomain" : "TextEditing";
+        S.submit(Domain, "sort all lines").get();
+      }
+    });
+  for (std::thread &T : Workers)
+    T.join();
+
+  EXPECT_EQ(obs::queryLog().total(),
+            static_cast<uint64_t>(Threads) * PerThread);
+  EXPECT_EQ(obs::queryLog().snapshot().size(),
+            static_cast<size_t>(Threads) * PerThread);
+}
+
+TEST_F(ObsQueryLogTest, SanitizeTruncatesOnUtf8BoundariesWithMarker) {
+  // Under the cap: untouched, no marker.
+  EXPECT_EQ(obs::sanitizeQueryText("hello", 8), "hello");
+  // Over the cap: cut at the byte budget, ellipsis appended.
+  EXPECT_EQ(obs::sanitizeQueryText("hello world", 8), "hello wo\xe2\x80\xa6");
+  // A multi-byte character straddling the cap is dropped whole, never
+  // split into a dangling lead byte.
+  EXPECT_EQ(obs::sanitizeQueryText("abcdefg\xc3\xa9", 8),
+            "abcdefg\xe2\x80\xa6");
+  // Invalid bytes become U+FFFD: a stray continuation byte, a C0
+  // overlong lead, and a truncated sequence at end of input.
+  EXPECT_EQ(obs::sanitizeQueryText("a\xffz", 64), "a\xef\xbf\xbdz");
+  EXPECT_EQ(obs::sanitizeQueryText("\xc0\xafz", 64),
+            "\xef\xbf\xbd\xef\xbf\xbdz");
+  EXPECT_EQ(obs::sanitizeQueryText("ok\xe2\x80", 64), "ok\xef\xbf\xbd\xef\xbf\xbd");
+  // The process-wide cap backs the one-argument overload and clamps to
+  // at least one byte.
+  obs::setQueryTextCapBytes(8);
+  EXPECT_EQ(obs::sanitizeQueryText("hello world"), "hello wo\xe2\x80\xa6");
+  obs::setQueryTextCapBytes(0);
+  EXPECT_EQ(obs::queryTextCapBytes(), 1u);
+}
+
+TEST_F(ObsQueryLogTest, RecordJsonEscapesHostileQueryText) {
+  obs::QueryLogRecord R;
+  R.TraceId = "0123456789abcdef0123456789abcdef";
+  R.Domain = "TextEditing";
+  R.Query = "say \"hi\"\nback\\slash\x01";
+  R.Outcome = "ok";
+  R.Gate = "admitted";
+
+  std::string Json = obs::queryLogRecordJson(R);
+  // One line, whatever the query contained.
+  EXPECT_EQ(Json.find('\n'), std::string::npos);
+  EXPECT_NE(Json.find("say \\\"hi\\\"\\nback\\\\slash\\u0001"),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"trace_id\":\"0123456789abcdef0123456789abcdef\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"stage_ms\""), std::string::npos);
+  EXPECT_NE(Json.find("\"trace_kept\":false"), std::string::npos);
+}
+
+TEST_F(ObsQueryLogTest, RingOverwriteKeepsNewestAndCountsEvictions) {
+  obs::queryLog().configureRing(4);
+  for (int I = 0; I < 6; ++I) {
+    obs::QueryLogRecord R;
+    R.TraceId = std::string(31, '0') + static_cast<char>('0' + I);
+    R.Domain = "TextEditing";
+    R.Outcome = "ok";
+    obs::queryLog().record(std::move(R));
+  }
+  EXPECT_EQ(obs::queryLog().total(), 6u);
+  EXPECT_EQ(obs::queryLog().overwritten(), 2u);
+
+  std::vector<obs::QueryLogRecord> Recs = obs::queryLog().snapshot();
+  ASSERT_EQ(Recs.size(), 4u);
+  // Oldest-first: records 2..5 survive.
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(Recs[I].TraceId.back(), static_cast<char>('0' + I + 2));
+
+  EXPECT_EQ(obs::queryLog().findByTraceId(std::string(31, '0') + "0"),
+            nullptr); // Evicted.
+  EXPECT_NE(obs::queryLog().findByTraceId(std::string(31, '0') + "5"),
+            nullptr);
+}
+
+TEST_F(ObsQueryLogTest, CardinalityGuardCollapsesOverflowSeriesToOther) {
+  obs::setMetricsEnabled(true);
+  obs::registry().setSeriesCapPerFamily(2);
+  const uint64_t DroppedBefore = obs::registry().seriesDropped();
+
+  obs::Counter &A = obs::registry().counter("qtest_guard", {{"shard", "a"}});
+  obs::Counter &B = obs::registry().counter("qtest_guard", {{"shard", "b"}});
+  obs::Counter &C = obs::registry().counter("qtest_guard", {{"shard", "c"}});
+  obs::Counter &D = obs::registry().counter("qtest_guard", {{"shard", "d"}});
+  A.inc();
+  B.inc();
+  C.inc();
+  D.inc();
+
+  // The two overflow lookups landed on one shared "other" series.
+  EXPECT_EQ(&C, &D);
+  EXPECT_NE(&A, &C);
+  EXPECT_EQ(obs::registry().seriesDropped(), DroppedBefore + 2);
+
+  bool SawOther = false;
+  size_t FamilySeries = 0;
+  for (const obs::MetricSnapshot &S : obs::registry().snapshot()) {
+    if (S.Name != "qtest_guard")
+      continue;
+    ++FamilySeries;
+    ASSERT_EQ(S.Labels.size(), 1u);
+    if (S.Labels[0].second == "other") {
+      SawOther = true;
+      EXPECT_EQ(S.CounterValue, 2u);
+    }
+  }
+  EXPECT_TRUE(SawOther);
+  EXPECT_EQ(FamilySeries, 3u); // a, b, and the shared overflow.
+}
+
+TEST_F(ObsQueryLogTest, HistogramExemplarSurfacesInPrometheusText) {
+  obs::setMetricsEnabled(true);
+  const std::string Trace = "00deadbeef00deadbeef00deadbeef00";
+  obs::Histogram &H =
+      obs::registry().histogram("qtest_latency_ms", {}, {1.0, 10.0});
+  H.observe(2.5, Trace);
+  H.observe(0.5); // No exemplar on this bucket.
+
+  std::ostringstream OS;
+  obs::writePrometheusText(obs::registry().snapshot(), OS);
+  std::string Text = OS.str();
+  EXPECT_NE(Text.find("qtest_latency_ms_bucket"), std::string::npos);
+  EXPECT_NE(Text.find(" # {trace_id=\"" + Trace + "\"} 2.5"),
+            std::string::npos);
+}
+
+} // namespace
