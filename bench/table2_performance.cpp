@@ -13,6 +13,8 @@
 
 #include "BenchCommon.h"
 
+#include "grammar/PathSearch.h"
+
 using namespace dggt;
 using namespace dggt::bench;
 
@@ -38,5 +40,46 @@ int main() {
   std::printf("%s\n", T.render().c_str());
   std::printf("Paper reference: ASTMatcher 537.7/25.02/3.463 acc .744->.765; "
               "TextEditing 1887/133.2/12.86 acc .675->.791 (laptop rows)\n");
+
+  // DP-core before/after: the same DGGT dataset run with the legacy
+  // recursive path walk vs the iterative CSR+bitset core (PR 8). The
+  // harness prepares each query with caches off, so both rows execute
+  // the real search; results are bit-identical (equivalence_test
+  // DpCoreBitIdentity), only the clock moves.
+  std::printf("\nDP core: legacy recursive walk vs CSR+bitset iterative "
+              "core (same dataset, caches off)\n");
+  TextTable T2;
+  T2.setHeader({"Domain", "Core", "Mean", "p50", "p99", "Total s", "Speedup"});
+  for (const Domain *D : Ds.all()) {
+    EvalHarness H(*D, harnessTimeoutMs());
+    DggtSynthesizer Dggt;
+    double TotalSec[2] = {0, 0};
+    LatencySummary Lat[2];
+    for (int Pass = 0; Pass < 2; ++Pass) {
+      setDpCoreLegacy(Pass == 0);
+      std::fprintf(stderr, "[bench] %s: DGGT with %s DP core...\n",
+                   D->name().c_str(), Pass == 0 ? "legacy" : "fast");
+      for (const CaseOutcome &O : H.runAll(Dggt)) {
+        TotalSec[Pass] += O.Seconds;
+        Lat[Pass].addSeconds(O.Seconds);
+      }
+    }
+    setDpCoreLegacy(false);
+    for (int Pass = 0; Pass < 2; ++Pass)
+      T2.addRow({Pass == 0 ? D->name() : "",
+                 Pass == 0 ? "legacy" : "csr+bitset",
+                 formatDouble(Lat[Pass].meanMs(), 2) + " ms",
+                 formatDouble(Lat[Pass].p50Ms(), 1) + " ms",
+                 formatDouble(Lat[Pass].p99Ms(), 1) + " ms",
+                 formatDouble(TotalSec[Pass], 2),
+                 Pass == 0 ? "1.00x"
+                           : formatDouble(TotalSec[1] > 0
+                                              ? TotalSec[0] / TotalSec[1]
+                                              : 0.0,
+                                          2) +
+                                 "x"});
+    T2.addSeparator();
+  }
+  std::printf("%s\n", T2.render().c_str());
   return 0;
 }

@@ -40,15 +40,28 @@
 // token-bucket retry budget bounds amplification; violating either
 // bound exits nonzero (the CI acceptance check).
 
+// --dpcore runs the DP-core A/B instead: the heavy ASTMatcher query set
+// replayed closed-loop through the bare pipeline (caches off, so every
+// query pays the real path search), once with the legacy recursive
+// search and once with the speed-of-light iterative core, comparing
+// p50/p99 latency, path-search visit counts and per-query arena
+// high-water bytes, and cross-checking that every expression is
+// bit-identical. CI (the check-perf target) parses the JSON line and
+// holds p99 against the committed baseline.
+
 #include "BenchCommon.h"
 #include "grammar/PathCache.h"
+#include "grammar/PathSearch.h"
 #include "nlu/WordToApiMatcher.h"
+#include "obs/Export.h"
 #include "obs/Metrics.h"
 #include "obs/QueryLog.h"
 #include "obs/Trace.h"
 #include "router/Router.h"
 #include "service/AsyncSynthesisService.h"
+#include "support/Arena.h"
 #include "support/FaultInjection.h"
+#include "synth/dggt/DggtSynthesizer.h"
 
 #include <algorithm>
 #include <atomic>
@@ -499,6 +512,80 @@ void runFrontTier(const bench::Domains &D, const std::vector<WorkItem> &Work,
   obs::Tracer::instance().setSink(nullptr);
 }
 
+/// One closed-loop pass of the DP-core A/B: the heavy domain through the
+/// bare pipeline (no service, no caches), one core selected process-wide.
+struct DpCoreOutcome {
+  /// Raw per-query latencies. The A/B needs exact percentiles: the obs
+  /// histogram's bucket ladder tops out well below the heaviest
+  /// truncation-bound queries, so a bucketed p99 saturates identically
+  /// for both cores and hides the speedup.
+  std::vector<double> SamplesMs;
+  double TotalSeconds = 0;
+  uint64_t Searches = 0;         ///< Path searches run (counter delta).
+  uint64_t Visits = 0;           ///< DFS node visits (counter delta).
+  uint64_t ArenaHighWater = 0;   ///< Arena::processHighWater() after.
+  std::vector<std::string> Expressions; ///< Per query, for bit-identity.
+
+  double qps() const {
+    return TotalSeconds > 0
+               ? static_cast<double>(SamplesMs.size()) / TotalSeconds
+               : 0.0;
+  }
+  /// Exact (nearest-rank) percentile over the raw samples.
+  double percentileMs(double P) const {
+    if (SamplesMs.empty())
+      return 0.0;
+    std::vector<double> S = SamplesMs;
+    std::sort(S.begin(), S.end());
+    size_t Rank = static_cast<size_t>(P / 100.0 * S.size());
+    return S[std::min(Rank, S.size() - 1)];
+  }
+  double p50Ms() const { return percentileMs(50); }
+  double p99Ms() const { return percentileMs(99); }
+};
+
+void runDpCore(const bench::Domains &D, int Rounds, size_t Limit, bool Legacy,
+               DpCoreOutcome &R) {
+  const Domain &Dom = *D.AstMatcher;
+  const std::vector<QueryCase> &AM = Dom.queries();
+  size_t NumAM = std::min(Limit, AM.size());
+  const SynthesisFrontEnd &FE = Dom.frontEnd();
+  DggtSynthesizer Synth;
+
+  setDpCoreLegacy(Legacy);
+  // Warm round: parser tables, the thread search workspace, the arena
+  // chunk list — steady state is what the A/B compares.
+  for (size_t I = 0; I < NumAM; ++I) {
+    PreparedQuery Q = FE.prepare(AM[I].Query);
+    Budget B;
+    (void)Synth.synthesize(Q, B);
+  }
+
+  obs::Counter &Searches =
+      obs::registry().counter("dggt_pathsearch_searches_total");
+  obs::Counter &Visits =
+      obs::registry().counter("dggt_pathsearch_visits_total");
+  uint64_t Searches0 = Searches.value(), Visits0 = Visits.value();
+
+  R.Expressions.resize(NumAM);
+  WallTimer Total;
+  for (int Round = 0; Round < Rounds; ++Round) {
+    for (size_t I = 0; I < NumAM; ++I) {
+      WallTimer T;
+      PreparedQuery Q = FE.prepare(AM[I].Query);
+      Budget B;
+      SynthesisResult Res = Synth.synthesize(Q, B);
+      R.SamplesMs.push_back(T.seconds() * 1000.0);
+      R.Expressions[I] = std::move(Res.Expression);
+    }
+  }
+  R.TotalSeconds = Total.seconds();
+  R.Searches = Searches.value() - Searches0;
+  R.Visits = Visits.value() - Visits0;
+  R.ArenaHighWater = Arena::processHighWater();
+  setDpCoreLegacy(false);
+}
+
 /// Expressions must agree wherever both modes produced an answer; a
 /// nonzero count means the caches or the pool changed semantics.
 size_t countMismatches(const ModeResult &Serial, const ModeResult &Async) {
@@ -524,6 +611,7 @@ int main(int argc, char **argv) {
   uint64_t BudgetMs = 300;
   double GateOn = 0.8, GateOff = 0.6;
   bool FrontTier = false;
+  bool DpCore = false;
   for (int I = 1; I < argc; ++I) {
     std::string_view Arg = argv[I];
     if (Arg == "--json")
@@ -532,6 +620,10 @@ int main(int argc, char **argv) {
       // Chaos A/B through the FrontTierRouter: clean vs one shard
       // failing 100%, asserting the goodput and retry-budget bounds.
       FrontTier = true;
+    else if (Arg == "--dpcore")
+      // DP-core A/B: legacy recursive search vs the iterative
+      // CSR+bitset core over the heavy domain, caches off.
+      DpCore = true;
     else if (Arg == "--workers" && I + 1 < argc)
       Workers = static_cast<unsigned>(std::atoi(argv[++I]));
     else if (Arg == "--rounds" && I + 1 < argc)
@@ -559,7 +651,7 @@ int main(int argc, char **argv) {
       std::fprintf(stderr,
                    "usage: %s [--json] [--workers N] [--rounds N] "
                    "[--limit QUERIES_PER_DOMAIN] [--http-port PORT] "
-                   "[--front-tier] "
+                   "[--front-tier] [--dpcore] "
                    "[--overload MULT [--budget-ms N] [--gate-on F] "
                    "[--gate-off F]]\n",
                    argv[0]);
@@ -577,6 +669,73 @@ int main(int argc, char **argv) {
 
   bench::Domains D;
   std::vector<WorkItem> Work = buildWorkload(D, Rounds, Limit);
+
+  if (DpCore) {
+    // Counter deltas need the registry live in both passes; honor a
+    // DGGT_METRICS spec too so stage histograms are inspectable.
+    obs::applyEnvSpec();
+    obs::setMetricsEnabled(true);
+    std::fprintf(stderr,
+                 "[bench] dpcore: heavy domain x%d rounds, legacy "
+                 "recursive core first...\n",
+                 Rounds);
+    DpCoreOutcome Legacy;
+    runDpCore(D, Rounds, Limit, /*Legacy=*/true, Legacy);
+    std::fprintf(stderr, "[bench] dpcore: iterative CSR+bitset core...\n");
+    DpCoreOutcome Fast;
+    runDpCore(D, Rounds, Limit, /*Legacy=*/false, Fast);
+
+    size_t Mismatches = 0;
+    for (size_t I = 0; I < Legacy.Expressions.size(); ++I)
+      if (Legacy.Expressions[I] != Fast.Expressions[I])
+        ++Mismatches;
+    double SpeedupP50 =
+        Fast.p50Ms() > 0 ? Legacy.p50Ms() / Fast.p50Ms()
+                               : 0.0;
+    double SpeedupP99 =
+        Fast.p99Ms() > 0 ? Legacy.p99Ms() / Fast.p99Ms()
+                               : 0.0;
+
+    if (Json) {
+      auto PrintMode = [](const char *Name, const DpCoreOutcome &O) {
+        std::printf("\"%s\":{\"qps\":%.2f,\"p50_ms\":%.4f,\"p99_ms\":%.4f,"
+                    "\"searches\":%llu,\"visits\":%llu,"
+                    "\"arena_high_water_bytes\":%llu}",
+                    Name, O.qps(), O.p50Ms(), O.p99Ms(),
+                    static_cast<unsigned long long>(O.Searches),
+                    static_cast<unsigned long long>(O.Visits),
+                    static_cast<unsigned long long>(O.ArenaHighWater));
+      };
+      std::printf("{\"bench\":\"throughput_dpcore\",\"queries\":%zu,"
+                  "\"rounds\":%d,",
+                  Legacy.Expressions.size(), Rounds);
+      PrintMode("legacy", Legacy);
+      std::printf(",");
+      PrintMode("fast", Fast);
+      std::printf(",\"speedup_p50\":%.2f,\"speedup_p99\":%.2f,"
+                  "\"expression_mismatches\":%zu}\n",
+                  SpeedupP50, SpeedupP99, Mismatches);
+      return Mismatches == 0 ? 0 : 1;
+    }
+
+    bench::banner("DP core: legacy recursive search vs iterative "
+                  "CSR+bitset core",
+                  "heavy-domain p50/p99, caches off, bit-identical output");
+    auto PrintMode = [](const char *Name, const DpCoreOutcome &O) {
+      std::printf("%-7s %7.1f q/s   p50 %7.3f ms   p99 %7.3f ms   "
+                  "visits %llu   searches %llu\n",
+                  Name, O.qps(), O.p50Ms(), O.p99Ms(),
+                  static_cast<unsigned long long>(O.Visits),
+                  static_cast<unsigned long long>(O.Searches));
+    };
+    PrintMode("legacy", Legacy);
+    PrintMode("fast", Fast);
+    std::printf("speedup: p50 %.2fx   p99 %.2fx\n", SpeedupP50, SpeedupP99);
+    std::printf("arena high-water: %llu bytes per-thread scratch peak\n",
+                static_cast<unsigned long long>(Fast.ArenaHighWater));
+    std::printf("expression mismatches (legacy vs fast): %zu\n", Mismatches);
+    return Mismatches == 0 ? 0 : 1;
+  }
 
   if (FrontTier) {
     const unsigned Shards = 3, Drivers = 4;
@@ -825,12 +984,20 @@ int main(int argc, char **argv) {
                "[bench] throughput: %zu queries (%d rounds), serial "
                "baseline first...\n",
                Work.size(), Rounds);
+  // Visit counts ride the batched path-search counters; arena high-water
+  // is the per-worker scratch footprint (both new wide-event fields).
+  obs::setMetricsEnabled(true);
+  obs::Counter &VisitCounter =
+      obs::registry().counter("dggt_pathsearch_visits_total");
+  uint64_t Visits0 = VisitCounter.value();
   ModeResult Serial;
   runSerial(D, Work, Serial);
   std::fprintf(stderr, "[bench] throughput: async, %u workers...\n", Workers);
   double PathHitRate = 0, WordHitRate = 0;
   ModeResult Async;
   runAsync(D, Work, Workers, HttpPort, &PathHitRate, &WordHitRate, Async);
+  uint64_t PathSearchVisits = VisitCounter.value() - Visits0;
+  uint64_t ArenaHighWater = Arena::processHighWater();
   size_t Mismatches = countMismatches(Serial, Async);
   double Speedup = Serial.qps() > 0 ? Async.qps() / Serial.qps() : 0.0;
 
@@ -845,13 +1012,15 @@ int main(int argc, char **argv) {
         "\"queue_wait_ms\":{\"p50\":%.3f,\"p95\":%.3f}},"
         "\"speedup\":%.2f,"
         "\"path_cache_hit_rate\":%.3f,\"word_cache_hit_rate\":%.3f,"
+        "\"path_search_visits\":%llu,\"arena_high_water_bytes\":%llu,"
         "\"expression_mismatches\":%zu}\n",
         Work.size(), Rounds, Workers, Serial.qps(), Serial.TotalSeconds,
         Serial.E2eMs.p50Ms(), Serial.E2eMs.histogram().percentile(95),
         Async.qps(), Async.TotalSeconds, Async.E2eMs.p50Ms(),
         Async.E2eMs.histogram().percentile(95), Async.QueueWaitMs.p50Ms(),
         Async.QueueWaitMs.histogram().percentile(95), Speedup, PathHitRate,
-        WordHitRate, Mismatches);
+        WordHitRate, static_cast<unsigned long long>(PathSearchVisits),
+        static_cast<unsigned long long>(ArenaHighWater), Mismatches);
     return Mismatches == 0 ? 0 : 1;
   }
 
@@ -874,6 +1043,9 @@ int main(int argc, char **argv) {
   std::printf("speedup: %.2fx   path-cache hit rate: %.1f%%   word-cache "
               "hit rate: %.1f%%\n",
               Speedup, PathHitRate * 100.0, WordHitRate * 100.0);
+  std::printf("path-search visits: %llu   arena high-water: %llu bytes\n",
+              static_cast<unsigned long long>(PathSearchVisits),
+              static_cast<unsigned long long>(ArenaHighWater));
   std::printf("expression mismatches (serial vs async): %zu\n", Mismatches);
   return Mismatches == 0 ? 0 : 1;
 }

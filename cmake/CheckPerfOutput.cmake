@@ -1,0 +1,85 @@
+# Runs the DP-core A/B benchmark (`throughput --dpcore --json`), writes
+# the machine-readable result to BENCH_dpcore.json, and gates on it:
+#   -DBENCH=<path>     the bench/throughput binary
+#   -DOUT=<path>       where to write BENCH_dpcore.json
+#   -DBASELINE=<path>  committed baseline (bench/BENCH_dpcore_baseline.json)
+# Used by the `check-perf` target. Fails the build when
+#   * the bench itself fails (any expression mismatch between the legacy
+#     and the CSR+bitset core exits nonzero), or
+#   * the fast core's p99 regresses by more than 25% over the committed
+#     baseline's p99, or
+#   * the fast core stops beating the legacy core at the p99.
+# The baseline stores an environment-tolerant reference number, not the
+# best run ever recorded; regenerate it with
+#   bench/throughput --dpcore --json > bench/BENCH_dpcore_baseline.json
+# when the core legitimately changes speed.
+
+foreach(var BENCH OUT BASELINE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "CheckPerfOutput.cmake needs -D${var}=<path>")
+  endif()
+endforeach()
+if(NOT EXISTS "${BASELINE}")
+  message(FATAL_ERROR "committed baseline '${BASELINE}' is missing")
+endif()
+
+execute_process(
+  COMMAND "${BENCH}" --dpcore --json
+  OUTPUT_FILE "${OUT}"
+  RESULT_VARIABLE _rc)
+if(NOT _rc EQUAL 0)
+  message(FATAL_ERROR
+      "throughput --dpcore failed (rc=${_rc}); the cores disagreed or the "
+      "bench crashed — see ${OUT}")
+endif()
+
+file(READ "${OUT}" _now)
+file(READ "${BASELINE}" _base)
+
+# Pull "fast" p99 and the mismatch count out of the single-line JSON.
+function(extract_fast_p99 text outvar src)
+  if(NOT text MATCHES "\"fast\":{[^}]*\"p99_ms\":([0-9.eE+-]+)")
+    message(FATAL_ERROR "${src} has no fast.p99_ms field")
+  endif()
+  set(${outvar} "${CMAKE_MATCH_1}" PARENT_SCOPE)
+endfunction()
+extract_fast_p99("${_now}" _now_p99 "${OUT}")
+extract_fast_p99("${_base}" _base_p99 "${BASELINE}")
+
+if(NOT _now MATCHES "\"expression_mismatches\":([0-9]+)")
+  message(FATAL_ERROR "${OUT} has no expression_mismatches field")
+endif()
+if(NOT CMAKE_MATCH_1 EQUAL 0)
+  message(FATAL_ERROR "DP cores produced ${CMAKE_MATCH_1} differing expressions")
+endif()
+
+if(NOT _now MATCHES "\"speedup_p99\":([0-9.eE+-]+)")
+  message(FATAL_ERROR "${OUT} has no speedup_p99 field")
+endif()
+set(_speedup "${CMAKE_MATCH_1}")
+if(_speedup LESS 1.0)
+  message(FATAL_ERROR
+      "fast DP core is slower than legacy at the p99 (speedup ${_speedup}x)")
+endif()
+
+# >25% p99 regression vs the committed baseline fails the gate.
+# allowed = baseline * 1.25, computed in integral milli-units (math(EXPR)
+# is integer-only).
+string(REGEX MATCH "^[0-9]+" _base_int "${_base_p99}")
+string(REGEX REPLACE "^[0-9]+\\.?" "" _base_frac "${_base_p99}")
+string(SUBSTRING "${_base_frac}000" 0 3 _base_frac)
+math(EXPR _base_milli "${_base_int} * 1000 + ${_base_frac}")
+math(EXPR _allowed_milli "(${_base_milli} * 125) / 100")
+string(REGEX MATCH "^[0-9]+" _now_int "${_now_p99}")
+string(REGEX REPLACE "^[0-9]+\\.?" "" _now_frac "${_now_p99}")
+string(SUBSTRING "${_now_frac}000" 0 3 _now_frac)
+math(EXPR _now_milli "${_now_int} * 1000 + ${_now_frac}")
+if(_now_milli GREATER _allowed_milli)
+  message(FATAL_ERROR
+      "fast DP core p99 regressed: ${_now_p99} ms now vs ${_base_p99} ms "
+      "baseline (limit +25%)")
+endif()
+
+message(STATUS
+    "perf gate OK: fast p99 ${_now_p99} ms (baseline ${_base_p99} ms, "
+    "speedup over legacy ${_speedup}x); wrote ${OUT}")

@@ -13,6 +13,17 @@
 /// nodes are created per *occurrence* so that the same API used in two
 /// rules yields two nodes, as in the paper's Figure 4.
 ///
+/// The grammar is immutable per epoch, so the graph is *frozen* at the
+/// end of construction into cache-friendly read-only form (DESIGN.md
+/// §15): a CSR (struct-of-arrays) copy of the adjacency for the hot
+/// traversals, and the full forward-reachability relation as a flat
+/// uint64_t bitset matrix — descendantSet() is then a lock-free row
+/// pointer instead of the old mutex-guarded per-source BFS memo (which
+/// also let two threads missing the memo run duplicate BFS work). When
+/// nodes² bits exceed the per-domain budget (DGGT_REACH_BUDGET_BYTES),
+/// rows fall back to lazy computation behind an atomically published
+/// row pointer: still lock-free on every hit, computed exactly once.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DGGT_GRAMMAR_GRAMMARGRAPH_H
@@ -20,8 +31,10 @@
 
 #include "grammar/Grammar.h"
 
+#include <atomic>
 #include <cstdint>
-#include <shared_mutex>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -78,17 +91,66 @@ public:
   }
   const std::vector<GgEdge> &inEdges(GgNodeId Id) const { return In[Id]; }
 
+  /// \name Frozen CSR adjacency (hot-path form)
+  /// Neighbor ids only, contiguous per node, same declaration order as
+  /// inEdges()/outEdges(). Predecessors of \p Id are
+  /// csrInNeighbors()[csrInHead()[Id] .. csrInHead()[Id+1]).
+  /// @{
+  const uint32_t *csrInHead() const { return InHead.data(); }
+  const GgNodeId *csrInNeighbors() const { return InList.data(); }
+  const uint32_t *csrOutHead() const { return OutHead.data(); }
+  const GgNodeId *csrOutNeighbors() const { return OutList.data(); }
+  /// @}
+
   /// The non-terminal node owning a derivation node (its unique parent).
   GgNodeId derivationOwner(GgNodeId Derivation) const;
 
+  /// One row of the frozen reachability matrix: a flat bitset of
+  /// numNodes() bits (bit i = node i is a forward-descendant; reflexive).
+  /// Lock-free view into graph-owned storage, valid for the graph's
+  /// lifetime.
+  class ReachRow {
+  public:
+    bool operator[](size_t I) const {
+      return (Words[I >> 6] >> (I & 63)) & 1;
+    }
+    /// Raw words for word-wise OR (reachWordsPerRow() of them).
+    const uint64_t *words() const { return Words; }
+
+  private:
+    friend class GrammarGraph;
+    explicit ReachRow(const uint64_t *Words) : Words(Words) {}
+    const uint64_t *Words;
+  };
+
   /// True if \p Descendant is reachable from \p Ancestor following edges
-  /// forward. Reflexive: reachable(X, X) is true. Memoized per source.
+  /// forward. Reflexive: reachable(X, X) is true. Lock-free bit test.
   bool reachable(GgNodeId Ancestor, GgNodeId Descendant) const;
 
   /// The full forward-reachability set of \p Ancestor (indexed by node
-  /// id, includes \p Ancestor itself). Memoized; the reference stays
-  /// valid for the graph's lifetime.
-  const std::vector<bool> &descendantSet(GgNodeId Ancestor) const;
+  /// id, includes \p Ancestor itself). Lock-free on every call with the
+  /// eager matrix, and on every call after the first per row in lazy
+  /// fallback mode.
+  ReachRow descendantSet(GgNodeId Ancestor) const;
+
+  /// uint64_t words per reachability row (ceil(numNodes() / 64)).
+  size_t reachWordsPerRow() const { return WordsPerRow; }
+
+  /// Frozen kind test: true if \p Id is an API occurrence node. One bit
+  /// load — lets the path walk keep a running API count without touching
+  /// the (string-carrying) node records.
+  bool isApiNode(GgNodeId Id) const {
+    return (ApiBits[Id >> 6] >> (Id & 63)) & 1;
+  }
+
+  /// True once freezeReachability() ran (always, after construction).
+  bool reachabilityFrozen() const { return ReachFrozen; }
+  /// True if the full matrix was materialized eagerly; false in the
+  /// lazy-row fallback (matrix over the DGGT_REACH_BUDGET_BYTES budget).
+  bool reachMatrixEager() const { return !LazyRows; }
+  /// Resident bytes of reachability storage (eager: the whole matrix;
+  /// lazy: rows computed so far).
+  size_t reachBytes() const;
 
   /// Number of API-kind nodes in the graph (occurrences, not names).
   size_t numApiOccurrences() const { return ApiOccurrenceCount; }
@@ -105,6 +167,15 @@ private:
   /// fresh occurrence node.
   GgNodeId symbolNode(const std::string &Sym);
 
+  /// Freezes the CSR adjacency and the reachability representation.
+  /// Called exactly once, at the end of construction (debug-asserted:
+  /// the epoch-frozen contract every lock-free reader relies on).
+  void freezeReachability();
+
+  /// BFS over the frozen CSR out-adjacency, writing \p Source's
+  /// reachability bits into \p Row (WordsPerRow words, pre-zeroed).
+  void computeReachRow(GgNodeId Source, uint64_t *Row) const;
+
   const Grammar &G;
   std::vector<GgNode> Nodes;
   std::vector<std::vector<GgEdge>> Out;
@@ -114,13 +185,25 @@ private:
   GgNodeId StartNode = 0;
   size_t ApiOccurrenceCount = 0;
 
-  /// Memoized descendant sets for reachable(); built lazily per source.
-  /// Guarded by ReachM: const path searches run concurrently from worker
-  /// threads and all race to fill this memo (element references stay
-  /// stable across inserts, so readers keep their references lock-free
-  /// once obtained).
-  mutable std::shared_mutex ReachM;
-  mutable std::unordered_map<GgNodeId, std::vector<bool>> ReachCache;
+  /// CSR adjacency, frozen at construction.
+  std::vector<uint32_t> InHead, OutHead; ///< numNodes()+1 offsets each.
+  std::vector<GgNodeId> InList, OutList; ///< Flat neighbor ids.
+  std::vector<uint64_t> ApiBits;         ///< Bit per node: API kind.
+
+  /// Reachability. Eager mode: Reach holds numNodes() rows of
+  /// WordsPerRow words and RowPtrs is unused. Lazy mode: LazyRows holds
+  /// per-row storage, published through the RowPtrs atomics (acquire
+  /// load on read; computed once under LazyM on first miss).
+  size_t WordsPerRow = 0;
+  bool ReachFrozen = false;
+  std::vector<uint64_t> Reach;
+  struct LazyReach {
+    std::mutex M;
+    std::vector<std::unique_ptr<uint64_t[]>> Rows;
+    std::unique_ptr<std::atomic<const uint64_t *>[]> Ptrs;
+    std::atomic<size_t> ComputedRows{0};
+  };
+  std::unique_ptr<LazyReach> LazyRows;
 };
 
 } // namespace dggt

@@ -4,18 +4,126 @@
 
 #include "grammar/PathCache.h"
 #include "obs/Metrics.h"
+#include "support/Arena.h"
 #include "support/FaultInjection.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cstring>
 #include <unordered_set>
 
 using namespace dggt;
 
 namespace {
 
-/// DFS state for the backward walk. Paths are built dependent-first and
-/// reversed on recording.
+std::atomic<bool> GDpCoreLegacy{false};
+
+inline bool testBit(const uint64_t *Words, GgNodeId I) {
+  return (Words[I >> 6] >> (I & 63)) & 1;
+}
+inline void setBit(uint64_t *Words, GgNodeId I) {
+  Words[I >> 6] |= uint64_t(1) << (I & 63);
+}
+inline void clearBit(uint64_t *Words, GgNodeId I) {
+  Words[I >> 6] &= ~(uint64_t(1) << (I & 63));
+}
+
+/// One suspended level of the iterative walk.
+struct Frame {
+  GgNodeId Node;    ///< The node this frame pushed onto the path.
+  uint32_t EdgeIdx; ///< Next slot of the partitioned in-list to examine.
+  uint32_t EdgeEnd; ///< One past the node's last in-list slot.
+};
+
+/// Per-thread retained workspace of the speed-of-light core. Buffers are
+/// carved from a private arena and kept across searches (the arena is
+/// never reset — superseded carve-outs just stay behind), so a warm
+/// workspace serves every steady-state search with zero heap traffic.
+///
+/// Invariants between searches: TargetBits is all-zero (the epilogue
+/// clears the set bits); Eligible and TgtNbr are rebuilt from scratch
+/// per search.
+struct SearchScratch {
+  Arena A;
+
+  /// Useful & ~OnPath folded into one set: a bit is up iff the node is
+  /// reachable from some target and not currently on the path, i.e. the
+  /// walk may enter it. Cleared on push, restored on pop — one bit op
+  /// where the legacy core pays an OnPath test plus a Useful test per
+  /// edge.
+  uint64_t *Eligible = nullptr;
+  uint64_t *TargetBits = nullptr;
+  /// Bit up iff some in-neighbor of the node is a target: frames of
+  /// nodes with no bit start directly in pass 1, skipping a whole edge
+  /// scan that could not find anything (pass 0 only enters targets).
+  uint64_t *TgtNbr = nullptr;
+  size_t Words = 0;
+
+  /// Per-search stable partition of every node's CSR in-list, target
+  /// in-neighbors first. Ranges are the graph's own csrInHead() (the
+  /// partition permutes within a node's slice), so one linear sweep per
+  /// frame yields exactly the legacy targets-then-rest visit order with
+  /// no per-edge target test and no second pass over the list.
+  GgNodeId *InOrd = nullptr;
+  size_t InOrdCap = 0;
+
+  GgNodeId *StackNodes = nullptr;
+  Frame *Frames = nullptr;
+  unsigned DepthCap = 0;
+
+  RawPathView *Views = nullptr;
+  unsigned ViewCap = 0;
+  GgNodeId *PathNodes = nullptr;
+  size_t PathNodeCap = 0;
+
+  void ensureInList(size_t EdgesNeed) {
+    if (EdgesNeed > InOrdCap) {
+      InOrd = A.allocateArray<GgNodeId>(EdgesNeed);
+      InOrdCap = EdgesNeed;
+    }
+  }
+
+  void ensure(size_t WordsNeed, unsigned DepthNeed, unsigned PathsNeed) {
+    if (WordsNeed > Words) {
+      Eligible = A.allocateArray<uint64_t>(WordsNeed);
+      TargetBits = A.allocateArray<uint64_t>(WordsNeed);
+      TgtNbr = A.allocateArray<uint64_t>(WordsNeed);
+      std::memset(TargetBits, 0, WordsNeed * sizeof(uint64_t));
+      Words = WordsNeed;
+    }
+    if (DepthNeed > DepthCap) {
+      StackNodes = A.allocateArray<GgNodeId>(DepthNeed);
+      Frames = A.allocateArray<Frame>(DepthNeed);
+      DepthCap = DepthNeed;
+    }
+    if (PathsNeed > ViewCap) {
+      Views = A.allocateArray<RawPathView>(PathsNeed);
+      ViewCap = PathsNeed;
+    }
+    size_t NodesNeed = size_t(PathsNeed) * DepthNeed;
+    if (NodesNeed > PathNodeCap) {
+      PathNodes = A.allocateArray<GgNodeId>(NodesNeed);
+      PathNodeCap = NodesNeed;
+    }
+  }
+};
+
+SearchScratch &scratch() {
+  // Leaked on purpose: the workspace must outlive any static-teardown
+  // user on this thread (mirrors queryArena()).
+  thread_local SearchScratch *S = [] {
+    auto *P = new SearchScratch();
+    dggt::lsanIgnoreIntentionalLeak(P);
+    return P;
+  }();
+  return *S;
+}
+
+/// Legacy DP core: the recursive walk with std::vector<bool> sets and a
+/// per-record countApisOnPath() rescan. Kept verbatim (modulo the
+/// ReachRow type of descendantSet) as the bit-identity reference and the
+/// "before" side of the A/B benches.
 class ReversedSearch {
 public:
   ReversedSearch(const GrammarGraph &GG,
@@ -29,8 +137,8 @@ public:
     // tames grammars with heavy non-terminal fan-in.
     Useful.assign(GG.numNodes(), false);
     for (GgNodeId T : Targets) {
-      const std::vector<bool> &Desc = GG.descendantSet(T);
-      for (size_t I = 0; I < Desc.size(); ++I)
+      GrammarGraph::ReachRow Desc = GG.descendantSet(T);
+      for (size_t I = 0; I < GG.numNodes(); ++I)
         if (Desc[I])
           Useful[I] = true;
     }
@@ -108,6 +216,167 @@ private:
 
 } // namespace
 
+void dggt::setDpCoreLegacy(bool Legacy) {
+  GDpCoreLegacy.store(Legacy, std::memory_order_relaxed);
+}
+
+bool dggt::dpCoreLegacy() {
+  return GDpCoreLegacy.load(std::memory_order_relaxed);
+}
+
+RawSearchResult dggt::searchPathsRaw(const GrammarGraph &GG,
+                                     GgNodeId DependentStart,
+                                     const std::vector<GgNodeId> &GovernorTargets,
+                                     const PathSearchLimits &Limits) {
+  assert(GG.reachabilityFrozen() && "search requires a frozen graph");
+  SearchScratch &S = scratch();
+  const size_t Words = GG.reachWordsPerRow();
+  S.ensure(Words, Limits.MaxPathNodes, Limits.MaxPaths);
+
+  // Eligible = word-wise OR of the targets' frozen reachability rows:
+  // the legacy per-node loop over descendantSet() collapses to Words ORs
+  // per target. Exactly the legacy Useful set before any node is pushed.
+  // TgtNbr marks each target's out-neighbors, i.e. exactly the nodes
+  // whose pass-0 edge scan can succeed.
+  std::memset(S.Eligible, 0, Words * sizeof(uint64_t));
+  std::memset(S.TgtNbr, 0, Words * sizeof(uint64_t));
+  const uint32_t *OutHead = GG.csrOutHead();
+  const GgNodeId *OutList = GG.csrOutNeighbors();
+  for (GgNodeId T : GovernorTargets) {
+    const uint64_t *Row = GG.descendantSet(T).words();
+    for (size_t I = 0; I < Words; ++I)
+      S.Eligible[I] |= Row[I];
+    setBit(S.TargetBits, T);
+    for (uint32_t E = OutHead[T]; E < OutHead[T + 1]; ++E)
+      setBit(S.TgtNbr, OutList[E]);
+  }
+
+  const uint32_t *InHead = GG.csrInHead();
+  const GgNodeId *InList = GG.csrInNeighbors();
+  const size_t NumNodes = GG.numNodes();
+
+  // Stable-partition each node's in-list, targets first, into the
+  // per-search scratch: most nodes have no target in-neighbor (TgtNbr
+  // bit down) and take the memcpy fast path. One O(V + E) sweep here
+  // buys a single-pass, target-test-free edge loop below.
+  S.ensureInList(InHead[NumNodes]);
+  for (GgNodeId N = 0; N < NumNodes; ++N) {
+    const uint32_t Lo = InHead[N], Hi = InHead[N + 1];
+    if (!testBit(S.TgtNbr, N)) {
+      std::memcpy(S.InOrd + Lo, InList + Lo, (Hi - Lo) * sizeof(GgNodeId));
+      continue;
+    }
+    uint32_t W = Lo;
+    for (uint32_t E = Lo; E < Hi; ++E)
+      if (testBit(S.TargetBits, InList[E]))
+        S.InOrd[W++] = InList[E];
+    for (uint32_t E = Lo; E < Hi; ++E)
+      if (!testBit(S.TargetBits, InList[E]))
+        S.InOrd[W++] = InList[E];
+  }
+
+  RawSearchResult Result;
+  Result.Paths = S.Views;
+  uint64_t Visits = 0;
+  bool Truncated = false;
+  unsigned Depth = 0;       // Nodes currently on the path.
+  unsigned ApiOnStack = 0;  // Running API count (hoisted countApisOnPath).
+  size_t NumPaths = 0;
+  size_t PathTail = 0;      // Bump offset into S.PathNodes.
+  unsigned FrameTop = 0;
+
+  auto record = [&]() {
+    if (NumPaths >= Limits.MaxPaths) {
+      Truncated = true;
+      return;
+    }
+    // Reverse the stack into flat storage: governor end first, exactly
+    // the legacy Nodes.assign(Stack.rbegin(), Stack.rend()).
+    GgNodeId *Dst = S.PathNodes + PathTail;
+    for (unsigned I = 0; I < Depth; ++I)
+      Dst[I] = S.StackNodes[Depth - 1 - I];
+    S.Views[NumPaths++] = RawPathView{Dst, Depth, ApiOnStack};
+    PathTail += Depth;
+  };
+
+  auto popNode = [&](GgNodeId Node) {
+    assert(Depth > 0 && S.StackNodes[Depth - 1] == Node && "unbalanced pop");
+    setBit(S.Eligible, Node); // Leaves the path: enterable again.
+    --Depth;
+    if (GG.isApiNode(Node))
+      --ApiOnStack;
+  };
+
+  // The recursion's entry checks, in their exact order; returns true iff
+  // a frame was pushed (a subtree is pending).
+  auto tryEnter = [&](GgNodeId Node) -> bool {
+    if (Truncated || Depth >= Limits.MaxPathNodes)
+      return false;
+    // Fault point: a firing stands for a visit/allocation-limit trip and
+    // truncates the search exactly like exceeding MaxVisits.
+    if (++Visits > Limits.MaxVisits || faultFires(faults::PathSearchVisit)) {
+      Truncated = true;
+      return false;
+    }
+    S.StackNodes[Depth++] = Node;
+    if (GG.isApiNode(Node))
+      ++ApiOnStack;
+    // Stop at the first governor target on this branch; do not extend
+    // beyond it. A target only counts once the path is non-trivial.
+    // The leaf is unwound immediately, so its Eligible bit never moves
+    // (the legacy core's set-then-clear of OnPath, folded away).
+    if (Depth > 1 && testBit(S.TargetBits, Node)) {
+      record();
+      --Depth;
+      if (GG.isApiNode(Node))
+        --ApiOnStack;
+      return false;
+    }
+    clearBit(S.Eligible, Node); // On the path now: simple paths only.
+    S.Frames[FrameTop++] = Frame{Node, InHead[Node], InHead[Node + 1]};
+    return true;
+  };
+
+  tryEnter(DependentStart);
+  while (FrameTop != 0) {
+    Frame &F = S.Frames[FrameTop - 1];
+    if (Truncated) {
+      popNode(F.Node);
+      --FrameTop;
+      continue;
+    }
+    bool Descended = false;
+    // The in-list partition puts target predecessors first, so this
+    // single sweep visits candidates in exactly the legacy two-pass
+    // order (shortest paths on record before any visit budget runs out).
+    while (F.EdgeIdx != F.EdgeEnd) {
+      GgNodeId From = S.InOrd[F.EdgeIdx++];
+      if (!testBit(S.Eligible, From))
+        continue; // On the path already, or no target reaches it.
+      if (tryEnter(From)) {
+        Descended = true;
+        break;
+      }
+      if (Truncated)
+        break;
+    }
+    if (Descended)
+      continue;
+    popNode(F.Node);
+    --FrameTop;
+  }
+  assert(Depth == 0 && "walk must unwind completely");
+
+  // Restore the all-zero TargetBits invariant for the next search.
+  for (GgNodeId T : GovernorTargets)
+    clearBit(S.TargetBits, T);
+
+  Result.NumPaths = NumPaths;
+  Result.Truncated = Truncated;
+  Result.Visits = Visits;
+  return Result;
+}
+
 PathSearchResult
 dggt::findPathsBetween(const GrammarGraph &GG, GgNodeId DependentStart,
                        const std::vector<GgNodeId> &GovernorTargets,
@@ -122,8 +391,26 @@ dggt::findPathsBetween(const GrammarGraph &GG, GgNodeId DependentStart,
       return std::move(*Hit);
   }
 
-  ReversedSearch Search(GG, GovernorTargets, Limits);
-  PathSearchResult Result = Search.run(DependentStart);
+  PathSearchResult Result;
+  if (dpCoreLegacy()) {
+    ReversedSearch Search(GG, GovernorTargets, Limits);
+    Result = Search.run(DependentStart);
+  } else {
+    // Speed-of-light core, then materialize owning paths (cache entries
+    // and callers must never hold views into the thread workspace).
+    RawSearchResult Raw =
+        searchPathsRaw(GG, DependentStart, GovernorTargets, Limits);
+    Result.Truncated = Raw.Truncated;
+    Result.Visits = Raw.Visits;
+    Result.Paths.reserve(Raw.NumPaths);
+    for (size_t I = 0; I < Raw.NumPaths; ++I) {
+      const RawPathView &V = Raw.Paths[I];
+      GrammarPath P;
+      P.Nodes.assign(V.Nodes, V.Nodes + V.Len);
+      P.ApiCount = V.ApiCount;
+      Result.Paths.push_back(std::move(P));
+    }
+  }
   // Batched metric adds: one search, three fetch_adds — the per-visit
   // inner loop stays untouched.
   if (obs::metricsEnabled()) {

@@ -8,6 +8,17 @@
 /// over the grammar graph's in-edges, which is why the paper calls it a
 /// reversed all-path search (Section II, step 4).
 ///
+/// Two implementations share these entry points (selected by
+/// setDpCoreLegacy(), bit-identical by construction — DESIGN.md §15):
+/// the speed-of-light core — an explicit-stack iterative walk over the
+/// frozen CSR adjacency with flat uint64_t bitsets for the OnPath /
+/// Useful / Target tests, a running API count maintained on the stack,
+/// and all scratch (bitsets, frames, recorded path nodes) carved from a
+/// per-thread arena-backed workspace that retains its memory, so a
+/// steady-state search does zero global heap traffic — and the legacy
+/// recursive walk it replaced, kept for A/B benches and the bit-identity
+/// sweep.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DGGT_GRAMMAR_PATHSEARCH_H
@@ -41,6 +52,39 @@ struct PathSearchResult {
   uint64_t Visits = 0;            ///< DFS node visits consumed.
 };
 
+/// One recorded path inside the per-thread search workspace: a view into
+/// flat, workspace-owned node storage (governor end first).
+struct RawPathView {
+  const GgNodeId *Nodes = nullptr;
+  uint32_t Len = 0;
+  unsigned ApiCount = 0;
+};
+
+/// Zero-copy result of the speed-of-light core. Views stay valid only
+/// until the next search on the calling thread.
+struct RawSearchResult {
+  const RawPathView *Paths = nullptr;
+  size_t NumPaths = 0;
+  bool Truncated = false;
+  uint64_t Visits = 0;
+};
+
+/// Runs the iterative CSR walk into the calling thread's retained
+/// workspace and returns views over it — the zero-heap steady-state
+/// core (no allocation once the workspace is warm for the graph size).
+/// findPathsBetween() materializes this into an owning PathSearchResult;
+/// call this directly only when the views' lifetime is acceptable
+/// (benches, tests, tight pipelines).
+RawSearchResult searchPathsRaw(const GrammarGraph &GG, GgNodeId DependentStart,
+                               const std::vector<GgNodeId> &GovernorTargets,
+                               const PathSearchLimits &Limits = {});
+
+/// Selects the legacy (recursive, mutex-memo-era) DP core process-wide.
+/// Both cores return bit-identical results; the switch exists for the
+/// before/after benches and the equivalence sweep. Default: off.
+void setDpCoreLegacy(bool Legacy);
+bool dpCoreLegacy();
+
 /// Finds all simple downward paths from any node in \p GovernorTargets to
 /// \p DependentStart by walking in-edges backward from \p DependentStart.
 ///
@@ -51,8 +95,10 @@ struct PathSearchResult {
 ///
 /// With a non-null \p Cache, the search is memoized: an exact-key hit
 /// returns the cached result (bit-identical to re-searching) and a miss
-/// populates the cache. The cache is bypassed entirely while any fault
-/// point is armed, so fault-injection tests exercise the real search.
+/// populates the cache. Cached results are deep copies on the global
+/// heap — never views into a search workspace or arena. The cache is
+/// bypassed entirely while any fault point is armed, so fault-injection
+/// tests exercise the real search.
 PathSearchResult findPathsBetween(const GrammarGraph &GG,
                                   GgNodeId DependentStart,
                                   const std::vector<GgNodeId> &GovernorTargets,

@@ -142,6 +142,18 @@ bool isNumeric(std::string_view S) {
 
 } // namespace
 
+WordToApiMatcher::TokenInfo
+WordToApiMatcher::tokenInfo(const std::string &Token) const {
+  // Exactly the derivations Thesaurus::areSynonyms performs per call on
+  // each side: lower-case, Porter re-stem, thesaurus groups (sorted and
+  // deduped by groupsOf).
+  TokenInfo Info;
+  Info.Lower = toLower(Token);
+  Info.Restem = porterStem(Info.Lower);
+  Info.Groups = Syn.groupsOf(Info.Lower);
+  return Info;
+}
+
 WordToApiMatcher::WordToApiMatcher(const ApiDocument &Doc, const Thesaurus &Syn,
                                    MatcherOptions Opts)
     : Doc(Doc), Syn(Syn), Opts(Opts) {
@@ -156,6 +168,10 @@ WordToApiMatcher::WordToApiMatcher(const ApiDocument &Doc, const Thesaurus &Syn,
         T.NameStems.push_back(porterStem(toLower(Word)));
     }
     T.DescStems = stemTokens(Api.Description);
+    for (const std::string &C : T.NameStems)
+      T.NameInfo.push_back(tokenInfo(C));
+    for (const std::string &C : T.DescStems)
+      T.DescInfo.push_back(tokenInfo(C));
     Tokens.push_back(std::move(T));
   }
 }
@@ -164,17 +180,52 @@ double WordToApiMatcher::scorePhrase(const std::vector<std::string> &Phrase,
                                      const ApiInfo &Api) const {
   int Index = Doc.indexOf(Api.Name);
   assert(Index >= 0 && "API not in this document");
-  const ApiTokens &T = Tokens[Index];
+  std::vector<PhraseWordInfo> Infos;
+  Infos.reserve(Phrase.size());
+  for (const std::string &Word : Phrase) {
+    PhraseWordInfo W;
+    W.Stem = porterStem(toLower(Word));
+    W.Info = tokenInfo(W.Stem);
+    Infos.push_back(std::move(W));
+  }
+  return scorePhraseInfos(Infos, static_cast<unsigned>(Index));
+}
 
-  auto SimilarityTo = [&](const std::string &Stem,
+double
+WordToApiMatcher::scorePhraseInfos(const std::vector<PhraseWordInfo> &Phrase,
+                                   unsigned ApiIndex) const {
+  const ApiTokens &T = Tokens[ApiIndex];
+  const ApiInfo &Api = Doc.api(ApiIndex);
+
+  auto Synonymous = [](const TokenInfo &A, const TokenInfo &B) {
+    if (A.Lower == B.Lower || A.Restem == B.Restem)
+      return true;
+    auto IA = A.Groups.begin();
+    auto IB = B.Groups.begin();
+    while (IA != A.Groups.end() && IB != B.Groups.end()) {
+      if (*IA == *IB)
+        return true;
+      if (*IA < *IB)
+        ++IA;
+      else
+        ++IB;
+    }
+    return false;
+  };
+
+  auto SimilarityTo = [&](const PhraseWordInfo &W,
                           const std::vector<std::string> &Corpus,
-                          double ExactW, double SynW) {
+                          const std::vector<TokenInfo> &Infos, double ExactW,
+                          double SynW) {
+    // Same scan as before: first exact stem hit wins outright, any
+    // synonym hit scores SynW (once one is found, only the exact test
+    // still matters — max(SynW, SynW) is SynW).
     double Best = 0.0;
-    for (const std::string &C : Corpus) {
-      if (C == Stem)
+    for (size_t I = 0; I < Corpus.size(); ++I) {
+      if (Corpus[I] == W.Stem)
         return ExactW;
-      if (Syn.areSynonyms(C, Stem))
-        Best = std::max(Best, SynW);
+      if (Best == 0.0 && Synonymous(Infos[I], W.Info))
+        Best = SynW;
     }
     return Best;
   };
@@ -182,10 +233,9 @@ double WordToApiMatcher::scorePhrase(const std::vector<std::string> &Phrase,
   // Per query-word similarity: name hits dominate description hits.
   double Sum = 0.0;
   unsigned NameHits = 0, ExactNameHits = 0;
-  for (const std::string &Word : Phrase) {
-    std::string Stem = porterStem(toLower(Word));
-    double NameSim = SimilarityTo(Stem, T.NameStems, 2.0, 1.6);
-    double DescSim = SimilarityTo(Stem, T.DescStems, 1.0, 0.6);
+  for (const PhraseWordInfo &W : Phrase) {
+    double NameSim = SimilarityTo(W, T.NameStems, T.NameInfo, 2.0, 1.6);
+    double DescSim = SimilarityTo(W, T.DescStems, T.DescInfo, 1.0, 0.6);
     if (NameSim > 0)
       ++NameHits;
     if (NameSim >= 2.0)
@@ -271,12 +321,24 @@ WordToApiMatcher::candidatesForNode(const DepNode &Node) const {
       (Node.Tag == Pos::Number && Node.Literal && Node.Word == *Node.Literal))
     return literalCandidates(Node);
 
+  // Stem the phrase and derive its synonym-lookup inputs once; the loop
+  // below scores it against every API without re-stemming anything.
+  std::vector<PhraseWordInfo> Infos;
+  Infos.reserve(Node.Phrase.size());
+  for (const std::string &Word : Node.Phrase) {
+    PhraseWordInfo W;
+    W.Stem = porterStem(toLower(Word));
+    W.Info = tokenInfo(W.Stem);
+    Infos.push_back(std::move(W));
+  }
+
   std::vector<ApiCandidate> Scored;
   for (size_t I = 0; I < Doc.size(); ++I) {
     const ApiInfo &Api = Doc.api(I);
     if (Api.LiteralOnly)
       continue;
-    double Score = scorePhrase(Node.Phrase, Api) + contextBoost(Node, Api);
+    double Score = scorePhraseInfos(Infos, static_cast<unsigned>(I)) +
+                   contextBoost(Node, Api);
     if (Score >= Opts.MinScore)
       Scored.push_back({static_cast<unsigned>(I), Score});
   }

@@ -147,10 +147,31 @@ public:
                      const ApiInfo &Api) const;
 
 private:
+  /// Precomputed synonym-lookup inputs of one token, exactly what
+  /// Thesaurus::areSynonyms derives per call: the lower-cased form, its
+  /// Porter re-stem, and the sorted thesaurus group ids. Hoisting them
+  /// out of the per-(word, API) scoring loop is the matcher's main cost
+  /// win; the comparison result is unchanged.
+  struct TokenInfo {
+    std::string Lower;
+    std::string Restem;
+    std::vector<unsigned> Groups;
+  };
+  /// One query-phrase word, pre-stemmed once per node instead of once
+  /// per (node, API) pair.
+  struct PhraseWordInfo {
+    std::string Stem; ///< porterStem(toLower(word)) — the match key.
+    TokenInfo Info;
+  };
+
   std::vector<ApiCandidate> candidatesForNode(const DepNode &Node) const;
   /// Context bonus from the node's case-marking preposition.
   double contextBoost(const DepNode &Node, const ApiInfo &Api) const;
   std::vector<ApiCandidate> literalCandidates(const DepNode &Node) const;
+  /// scorePhrase() against the pre-stemmed phrase, by document index.
+  double scorePhraseInfos(const std::vector<PhraseWordInfo> &Phrase,
+                          unsigned ApiIndex) const;
+  TokenInfo tokenInfo(const std::string &Token) const;
 
   const ApiDocument &Doc;
   const Thesaurus &Syn;
@@ -160,6 +181,8 @@ private:
   struct ApiTokens {
     std::vector<std::string> NameStems;
     std::vector<std::string> DescStems;
+    std::vector<TokenInfo> NameInfo; ///< Parallel to NameStems.
+    std::vector<TokenInfo> DescInfo; ///< Parallel to DescStems.
   };
   std::vector<ApiTokens> Tokens;
 };

@@ -1,0 +1,114 @@
+//===- support/Arena.cpp - Per-query bump allocator -----------------------===//
+
+#include "support/Arena.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstring>
+
+#ifndef __has_feature
+#define __has_feature(x) 0
+#endif
+#if defined(__SANITIZE_ADDRESS__) || __has_feature(address_sanitizer)
+#include <sanitizer/lsan_interface.h>
+#define DGGT_HAVE_LSAN 1
+#endif
+
+void dggt::lsanIgnoreIntentionalLeak(const void *P) {
+#ifdef DGGT_HAVE_LSAN
+  __lsan_ignore_object(P);
+#else
+  (void)P;
+#endif
+}
+
+using namespace dggt;
+
+namespace {
+
+/// Process-wide peak of any arena's high-water mark (relaxed max).
+std::atomic<uint64_t> GProcessHighWater{0};
+
+void raiseProcessHighWater(uint64_t V) {
+  uint64_t Cur = GProcessHighWater.load(std::memory_order_relaxed);
+  while (V > Cur && !GProcessHighWater.compare_exchange_weak(
+                        Cur, V, std::memory_order_relaxed))
+    ;
+}
+
+} // namespace
+
+Arena::Arena(size_t FirstChunkBytes)
+    : NextChunkBytes(FirstChunkBytes < 64 ? 64 : FirstChunkBytes) {}
+
+Arena::~Arena() { publishPeak(); }
+
+void Arena::publishPeak() { raiseProcessHighWater(highWater()); }
+
+uint64_t Arena::processHighWater() {
+  return GProcessHighWater.load(std::memory_order_relaxed);
+}
+
+void *Arena::allocate(size_t Bytes, size_t Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 && "non-power-of-two align");
+  if (Bytes == 0)
+    Bytes = 1;
+  // Find a retained chunk with room, aligning the bump pointer.
+  while (Cur < Chunks.size()) {
+    Chunk &C = Chunks[Cur];
+    uintptr_t Base = reinterpret_cast<uintptr_t>(C.Mem.get());
+    uintptr_t P = (Base + Offset + (Align - 1)) & ~(uintptr_t(Align) - 1);
+    size_t NewOffset = static_cast<size_t>(P - Base) + Bytes;
+    if (NewOffset <= C.Size) {
+      Used += NewOffset - Offset;
+      Offset = NewOffset;
+      return reinterpret_cast<void *>(P);
+    }
+    // Chunk exhausted: charge the tail we skip and move on.
+    Used += C.Size - Offset;
+    ++Cur;
+    Offset = 0;
+  }
+  // Need a fresh chunk. operator new guarantees max_align_t alignment;
+  // over-align larger requests by padding.
+  size_t Pad = Align > alignof(std::max_align_t) ? Align : 0;
+  size_t Want = Bytes + Pad;
+  size_t Size = NextChunkBytes;
+  if (Size < Want)
+    Size = Want;
+  if (NextChunkBytes < MaxChunkBytes)
+    NextChunkBytes = NextChunkBytes * 2 < MaxChunkBytes ? NextChunkBytes * 2
+                                                        : MaxChunkBytes;
+  Chunk C;
+  C.Mem = std::make_unique<char[]>(Size);
+  C.Size = Size;
+  Reserved += Size;
+  Chunks.push_back(std::move(C));
+  Cur = Chunks.size() - 1;
+  uintptr_t Base = reinterpret_cast<uintptr_t>(Chunks[Cur].Mem.get());
+  uintptr_t P = (Base + (Align - 1)) & ~(uintptr_t(Align) - 1);
+  Offset = static_cast<size_t>(P - Base) + Bytes;
+  Used += Offset;
+  return reinterpret_cast<void *>(P);
+}
+
+void Arena::reset() {
+  if (Used > Peak)
+    Peak = Used;
+  publishPeak();
+  Used = 0;
+  Cur = 0;
+  Offset = 0;
+  ++Generation;
+}
+
+Arena &dggt::queryArena() {
+  // Intentionally leaked (thread_local destruction order vs. static
+  // teardown mirrors the obs singletons); one arena per worker thread.
+  thread_local Arena *A = [] {
+    auto *P = new Arena();
+    lsanIgnoreIntentionalLeak(P);
+    return P;
+  }();
+  return *A;
+}

@@ -1,0 +1,107 @@
+//===- support/Arena.h - Per-query bump allocator ----------------*- C++ -*-===//
+///
+/// \file
+/// A monotonic bump allocator for per-query scratch: allocation is a
+/// pointer bump inside the current chunk, deallocation is a no-op, and
+/// reset() recycles every chunk without returning memory to the global
+/// heap — so a warm arena serves an entire steady-state query with zero
+/// malloc/free traffic. Chunks are heap blocks with stable addresses, so
+/// an Arena object may itself be moved without invalidating outstanding
+/// allocations.
+///
+/// The arena is single-threaded by design (one per query / per worker
+/// thread); cross-thread use is a bug. `queryArena()` hands out the
+/// calling thread's per-query arena, reset by the pipeline at each query
+/// boundary (see synth/Pipeline.cpp and DESIGN.md §15 for the lifetime
+/// rules — notably: nothing that outlives the query, such as a PathCache
+/// entry or an exported DynamicGrammarGraph, may point into it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_SUPPORT_ARENA_H
+#define DGGT_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace dggt {
+
+/// Chunked bump allocator. Not thread-safe.
+class Arena {
+public:
+  /// \p FirstChunkBytes sizes the first chunk; later chunks double up to
+  /// MaxChunkBytes (oversized requests get a dedicated chunk).
+  explicit Arena(size_t FirstChunkBytes = 16 * 1024);
+  ~Arena();
+
+  Arena(Arena &&) = default;
+  Arena &operator=(Arena &&) = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Raw allocation, aligned to \p Align (power of two, <= alignof(max_align_t)
+  /// honored via over-allocation for larger requests).
+  void *allocate(size_t Bytes, size_t Align = alignof(std::max_align_t));
+
+  /// Typed array allocation (uninitialized storage).
+  template <typename T> T *allocateArray(size_t N) {
+    return static_cast<T *>(allocate(N * sizeof(T), alignof(T)));
+  }
+
+  /// Recycles every chunk: subsequent allocations reuse the retained
+  /// blocks front to back. Bumps the generation so holders of arena
+  /// pointers can detect staleness; records the high-water mark.
+  void reset();
+
+  /// Bytes handed out since the last reset().
+  size_t bytesUsed() const { return Used; }
+  /// Largest bytesUsed() ever observed at reset() or now.
+  size_t highWater() const { return Used > Peak ? Used : Peak; }
+  /// Bytes of chunk capacity currently retained.
+  size_t bytesReserved() const { return Reserved; }
+  /// Incremented by every reset(); lets cached carve-outs revalidate.
+  uint64_t generation() const { return Generation; }
+
+  /// Process-wide maximum of any arena's highWater(), maintained at
+  /// reset() (and destruction). The throughput bench reports this as the
+  /// per-query scratch footprint.
+  static uint64_t processHighWater();
+
+private:
+  struct Chunk {
+    std::unique_ptr<char[]> Mem;
+    size_t Size = 0;
+  };
+
+  void publishPeak();
+
+  static constexpr size_t MaxChunkBytes = 1 << 20;
+
+  std::vector<Chunk> Chunks;
+  size_t Cur = 0;      ///< Index of the chunk being bumped.
+  size_t Offset = 0;   ///< Bump offset inside Chunks[Cur].
+  size_t Used = 0;     ///< Total bytes handed out since reset().
+  size_t Peak = 0;     ///< High-water of Used across resets.
+  size_t Reserved = 0; ///< Sum of chunk sizes.
+  size_t NextChunkBytes;
+  uint64_t Generation = 1;
+};
+
+/// The calling thread's per-query scratch arena. Reset at each query
+/// boundary by SynthesisFrontEnd::prepare/prepareFromGraph; everything
+/// carved from it dies (logically) at the next query on this thread.
+Arena &queryArena();
+
+/// Registers an intentionally-leaked per-thread singleton with
+/// LeakSanitizer (no-op outside ASan builds). LSan treats registered
+/// objects as reachability roots, so interior allocations (arena
+/// chunks, grown scratch arrays) are suppressed transitively; without
+/// this, every exited worker thread's workspace is reported as a leak.
+void lsanIgnoreIntentionalLeak(const void *P);
+
+} // namespace dggt
+
+#endif // DGGT_SUPPORT_ARENA_H

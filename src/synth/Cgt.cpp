@@ -4,8 +4,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <deque>
-#include <set>
 
 using namespace dggt;
 
@@ -46,19 +44,34 @@ void Cgt::annotateLiteral(GgNodeId Node, const std::string &Literal) {
 void Cgt::setSoloNode(GgNodeId Node) { SoloNode = Node; }
 
 std::vector<GgNodeId> Cgt::nodes() const {
-  std::set<GgNodeId> Set;
+  std::vector<GgNodeId> Ns;
+  Ns.reserve(Edges.size() * 2 + 1);
   for (const auto &[From, To] : Edges) {
-    Set.insert(From);
-    Set.insert(To);
+    Ns.push_back(From);
+    Ns.push_back(To);
   }
   if (SoloNode)
-    Set.insert(*SoloNode);
-  return {Set.begin(), Set.end()};
+    Ns.push_back(*SoloNode);
+  std::sort(Ns.begin(), Ns.end());
+  Ns.erase(std::unique(Ns.begin(), Ns.end()), Ns.end());
+  return Ns;
 }
 
 unsigned Cgt::apiCount(const GrammarGraph &GG) const {
+  // Runs once per merged combination; the node list lives in per-thread
+  // scratch instead of a fresh allocation per call.
+  static thread_local std::vector<GgNodeId> Ns;
+  Ns.clear();
+  for (const auto &[From, To] : Edges) {
+    Ns.push_back(From);
+    Ns.push_back(To);
+  }
+  if (SoloNode)
+    Ns.push_back(*SoloNode);
+  std::sort(Ns.begin(), Ns.end());
+  Ns.erase(std::unique(Ns.begin(), Ns.end()), Ns.end());
   unsigned Count = 0;
-  for (GgNodeId Id : nodes())
+  for (GgNodeId Id : Ns)
     if (GG.node(Id).Kind == GgNodeKind::Api)
       ++Count;
   return Count;
@@ -68,17 +81,34 @@ std::optional<GgNodeId> Cgt::rootIfTree() const {
   if (Edges.empty())
     return SoloNode;
 
-  // Unique-parent check and root discovery.
-  std::set<GgNodeId> Children, All;
+  // This runs once per merged combination, so the checks work on sorted
+  // per-thread scratch vectors instead of per-call node sets.
+  static thread_local std::vector<GgNodeId> Children, All, Work;
+  static thread_local std::vector<std::pair<GgNodeId, GgNodeId>> Sorted;
+  static thread_local std::vector<char> Seen;
+
+  // Unique-parent check: a node appearing twice as a child has two
+  // parents.
+  Children.clear();
+  Children.reserve(Edges.size());
+  for (const auto &[From, To] : Edges)
+    Children.push_back(To);
+  std::sort(Children.begin(), Children.end());
+  if (std::adjacent_find(Children.begin(), Children.end()) != Children.end())
+    return std::nullopt; // Two parents.
+
+  All.clear();
+  All.reserve(Edges.size() * 2);
   for (const auto &[From, To] : Edges) {
-    All.insert(From);
-    All.insert(To);
-    if (!Children.insert(To).second)
-      return std::nullopt; // Two parents.
+    All.push_back(From);
+    All.push_back(To);
   }
+  std::sort(All.begin(), All.end());
+  All.erase(std::unique(All.begin(), All.end()), All.end());
+
   std::optional<GgNodeId> Root;
   for (GgNodeId N : All)
-    if (!Children.count(N)) {
+    if (!std::binary_search(Children.begin(), Children.end(), N)) {
       if (Root)
         return std::nullopt; // Two roots: disconnected.
       Root = N;
@@ -86,31 +116,54 @@ std::optional<GgNodeId> Cgt::rootIfTree() const {
   if (!Root)
     return std::nullopt; // Every node has a parent: a cycle.
 
-  // Connectivity: BFS from the root must reach every node. With unique
-  // parents and a single parentless node, unreached nodes imply a cycle
-  // component.
-  std::set<GgNodeId> Seen{*Root};
-  std::deque<GgNodeId> Work{*Root};
+  // Connectivity: the walk from the root must reach every node. With
+  // unique parents and a single parentless node, unreached nodes imply a
+  // cycle component. The edge list is sorted by source once so each
+  // node's children are a contiguous range (the old walk rescanned the
+  // whole edge list per reached node).
+  Sorted.assign(Edges.begin(), Edges.end());
+  std::sort(Sorted.begin(), Sorted.end());
+  auto IndexOf = [&](GgNodeId N) {
+    return static_cast<size_t>(
+        std::lower_bound(All.begin(), All.end(), N) - All.begin());
+  };
+  Seen.assign(All.size(), 0);
+  Work.assign(1, *Root);
+  Seen[IndexOf(*Root)] = 1;
+  size_t NumSeen = 1;
   while (!Work.empty()) {
-    GgNodeId Cur = Work.front();
-    Work.pop_front();
-    for (const auto &[From, To] : Edges)
-      if (From == Cur && Seen.insert(To).second)
-        Work.push_back(To);
+    GgNodeId Cur = Work.back();
+    Work.pop_back();
+    auto It = std::lower_bound(Sorted.begin(), Sorted.end(),
+                               std::make_pair(Cur, GgNodeId(0)));
+    for (; It != Sorted.end() && It->first == Cur; ++It) {
+      size_t I = IndexOf(It->second);
+      if (!Seen[I]) {
+        Seen[I] = 1;
+        ++NumSeen;
+        Work.push_back(It->second);
+      }
+    }
   }
-  if (Seen.size() != All.size())
+  if (NumSeen != All.size())
     return std::nullopt;
   return Root;
 }
 
 bool Cgt::hasOrConflict(const GrammarGraph &GG) const {
-  // Count derivation children per non-terminal inside the CGT.
-  std::map<GgNodeId, unsigned> DerivChildren;
+  // Two or-edges out of one non-terminal conflict (the edge list is
+  // deduplicated, so a repeated or-edge source implies two different
+  // derivations). CGTs are small; the linear rescan beats the node map
+  // the old check allocated per call.
+  static thread_local std::vector<GgNodeId> OrSources;
+  OrSources.clear();
   for (const auto &[From, To] : Edges) {
     if (GG.node(From).Kind == GgNodeKind::NonTerminal &&
         GG.node(To).Kind == GgNodeKind::Derivation) {
-      if (++DerivChildren[From] > 1)
+      if (std::find(OrSources.begin(), OrSources.end(), From) !=
+          OrSources.end())
         return true;
+      OrSources.push_back(From);
     }
   }
   return false;

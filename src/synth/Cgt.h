@@ -33,6 +33,9 @@ public:
   /// Adds all edges of \p P; duplicate edges fuse.
   void addPath(const GrammarPath &P);
 
+  /// Pre-sizes the edge list (a fusion loop knows its upper bound).
+  void reserveEdges(size_t N) { Edges.reserve(N); }
+
   /// Adds a single grammar edge.
   void addEdge(GgNodeId From, GgNodeId To);
 

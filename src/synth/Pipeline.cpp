@@ -7,6 +7,7 @@
 #include "nlp/GraphPruner.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "support/Arena.h"
 #include "synth/Synthesizer.h"
 
 #include <chrono>
@@ -103,6 +104,12 @@ PreparedQuery SynthesisFrontEnd::prepare(std::string_view Query,
 PreparedQuery
 SynthesisFrontEnd::prepareFromGraph(const DependencyGraph &Pruned,
                                     SharedQueryCaches Caches) const {
+  // Query boundary: recycle this worker's per-query arena. Everything
+  // carved from it during the previous query (notably the dynamic
+  // graph's N_API index) is dead by construction — PreparedQuery and the
+  // caches hold only owning heap storage (DESIGN.md §15). prepare()
+  // funnels through here, so both entry points hit the reset.
+  queryArena().reset();
   PreparedQuery Q;
   Q.GG = &GG;
   Q.Doc = &Doc;

@@ -4,6 +4,7 @@
 
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "support/Arena.h"
 #include "support/FaultInjection.h"
 #include "synth/Expression.h"
 #include "synth/SizeBounds.h"
@@ -25,10 +26,14 @@ namespace {
 /// pruned-graph variant.
 class VariantRun {
 public:
+  /// \p IndexArena backs the dynamic graph's N_API index; null means the
+  /// graph owns its storage (required when the graph is exported past the
+  /// query boundary).
   VariantRun(const PreparedQuery &Q, const DependencyGraph &Graph,
              const EdgeToPathMap &Edges, const DggtSynthesizer::Options &Opts,
-             Budget &B)
-      : Q(Q), GG(*Q.GG), Graph(Graph), Edges(Edges), Opts(Opts), B(B) {}
+             Budget &B, Arena *IndexArena)
+      : Q(Q), GG(*Q.GG), Graph(Graph), Edges(Edges), Opts(Opts), B(B),
+        Dyn(IndexArena) {}
 
   SynthesisResult run() {
     Result.Stats.DepEdges = static_cast<unsigned>(Edges.Edges.size());
@@ -88,6 +93,11 @@ private:
   DynamicGrammarGraph Dyn;
   SynthesisResult Result;
   bool TimedOut = false;
+
+  /// Epoch-marked scratch for comboBounds()'s distinct-API count, sized
+  /// to the grammar graph on first use; a bump of ApiEpoch is a clear.
+  std::vector<uint64_t> ApiMark;
+  uint64_t ApiEpoch = 0;
 
   /// Child synthesis edges grouped by governor dependency node.
   std::map<unsigned, std::vector<const EdgePaths *>> ChildGroups;
@@ -168,23 +178,46 @@ private:
     }
   }
 
-  /// Effective bounds of one sibling combination: the Section V-C path
-  /// bounds plus the (combination-dependent) subtree sizes below each
-  /// chosen endpoint, so pruning can never discard a combination whose
-  /// *overall* tree is the smallest.
-  ComboSizeBounds effectiveBounds(
-      const std::vector<const GrammarPath *> &Combo,
-      const std::vector<const EdgePaths *> &Group) const {
-    ComboSizeBounds BD = computeSizeBounds(GG, Combo);
-    unsigned Extra = 0;
-    for (size_t I = 0; I < Combo.size(); ++I) {
-      DynNodeId D = Dyn.findApiNode(Group[I]->Edge.DepNode,
-                                    Combo[I]->dependentEnd());
-      assert(D != ~0u && "feasible path without dyn node");
-      Extra += Dyn.node(D).minSize() - 1;
+  /// One feasible candidate path at a sibling-group level, with every
+  /// input the combination walk re-reads hoisted out of the DFS: the
+  /// or-edge list (grammar pruning), the API nodes on the path and the
+  /// dependent subtree's size surplus (size bounds). The walk re-offers
+  /// each path once per node of the partial combination above it, so
+  /// deriving these per tryAdd/bounds call dominated the merge stage.
+  struct PathCand {
+    const GrammarPath *P = nullptr;
+    OrChoiceTracker::OrEdgeList OrEdges;
+    std::vector<GgNodeId> ApiNodes;
+    unsigned ExtraMin = 0; ///< Dyn.node(dependent).minSize() - 1.
+  };
+
+  /// Effective bounds of one sibling combination (chosen by per-level
+  /// candidate index): the Section V-C path bounds plus the
+  /// (combination-dependent) subtree sizes below each chosen endpoint,
+  /// so pruning can never discard a combination whose *overall* tree is
+  /// the smallest. Identical to computeSizeBounds() + the dependent
+  /// surplus, with the distinct-API union done by epoch marking instead
+  /// of a per-call std::set.
+  ComboSizeBounds comboBounds(const std::vector<std::vector<PathCand>> &F,
+                              const std::vector<uint32_t> &Choice) {
+    if (ApiMark.size() < GG.numNodes())
+      ApiMark.assign(GG.numNodes(), 0);
+    ++ApiEpoch;
+    unsigned Distinct = 0, SumSizes = 0, Extra = 0;
+    for (size_t L = 0; L < Choice.size(); ++L) {
+      const PathCand &C = F[L][Choice[L]];
+      SumSizes += C.P->ApiCount;
+      Extra += C.ExtraMin;
+      for (GgNodeId N : C.ApiNodes)
+        if (ApiMark[N] != ApiEpoch) {
+          ApiMark[N] = ApiEpoch;
+          ++Distinct;
+        }
     }
-    BD.MinSize += Extra;
-    BD.MaxSize += Extra;
+    ComboSizeBounds BD;
+    unsigned N = static_cast<unsigned>(Choice.size());
+    BD.MinSize = Distinct + Extra;
+    BD.MaxSize = (SumSizes >= N - 1 ? SumSizes - (N - 1) : 0) + Extra;
     return BD;
   }
 
@@ -194,21 +227,105 @@ private:
   /// N_PCGT / N_API nodes.
   void siblingGroup(unsigned Node, GgNodeId Occ,
                     const std::vector<const EdgePaths *> &Group) {
-    std::vector<std::vector<const GrammarPath *>> F(Group.size());
+    // Feasible candidates per child edge (same filter as feasiblePaths),
+    // with the pruning inputs precomputed once per path.
+    std::vector<std::vector<PathCand>> F(Group.size());
     double Total = 1.0;
     for (size_t I = 0; I < Group.size(); ++I) {
-      F[I] = feasiblePaths(*Group[I], Occ);
+      for (const GrammarPath &P : Group[I]->Paths) {
+        if (P.governorEnd() != Occ)
+          continue;
+        DynNodeId D =
+            Dyn.findApiNode(Group[I]->Edge.DepNode, P.dependentEnd());
+        if (D == ~0u || !Dyn.node(D).Reached)
+          continue;
+        PathCand C;
+        C.P = &P;
+        if (Opts.EnableGrammarPruning)
+          C.OrEdges = OrChoiceTracker::orEdges(GG, P);
+        if (Opts.EnableSizePruning) {
+          for (GgNodeId N : P.Nodes)
+            if (GG.node(N).Kind == GgNodeKind::Api)
+              C.ApiNodes.push_back(N);
+          C.ExtraMin = Dyn.node(D).minSize() - 1;
+        }
+        F[I].push_back(std::move(C));
+      }
       if (F[I].empty())
         return; // This occurrence cannot govern all children.
       Total *= static_cast<double>(F[I].size());
     }
     Result.Stats.CombosAfterReloc += Total;
 
+    const size_t Levels = Group.size();
+
+    // Grammar pruning as pairwise conflict bitsets. Committed paths are
+    // always mutually consistent, so a candidate conflicts with the
+    // committed choice state iff it conflicts pairwise with some
+    // committed path — the incremental tracker's per-candidate or-edge
+    // scan collapses to one bit test, with a word-wise OR of the
+    // candidate's conflict rows on each descend.
+    //
+    // ConflictRows[I][J] (I < J) holds, per candidate of F[I], a bitset
+    // over F[J]'s candidates that conflict with it.
+    std::vector<size_t> BitWords(Levels);
+    for (size_t J = 0; J < Levels; ++J)
+      BitWords[J] = (F[J].size() + 63) / 64;
+    std::vector<std::vector<std::vector<uint64_t>>> ConflictRows(Levels);
+    if (Opts.EnableGrammarPruning && Levels > 1) {
+      auto ConflictPair = [](const OrChoiceTracker::OrEdgeList &A,
+                             const OrChoiceTracker::OrEdgeList &B) {
+        for (auto [NtA, DerivA] : A)
+          for (auto [NtB, DerivB] : B)
+            if (NtA == NtB && DerivA != DerivB)
+              return true;
+        return false;
+      };
+      for (size_t I = 0; I + 1 < Levels; ++I) {
+        ConflictRows[I].resize(Levels);
+        for (size_t J = I + 1; J < Levels; ++J) {
+          std::vector<uint64_t> &Rows = ConflictRows[I][J];
+          Rows.assign(F[I].size() * BitWords[J], 0);
+          for (size_t A = 0; A < F[I].size(); ++A)
+            for (size_t C = 0; C < F[J].size(); ++C)
+              if (ConflictPair(F[I][A].OrEdges, F[J][C].OrEdges))
+                Rows[A * BitWords[J] + (C >> 6)] |= uint64_t(1) << (C & 63);
+        }
+      }
+    }
+
+    // Forbidden[J] = OR of the committed candidates' conflict rows for
+    // level J; SaveBuf snapshots the touched levels per descend so a pop
+    // is a copy-back.
+    std::vector<std::vector<uint64_t>> Forbidden(Levels);
+    for (size_t J = 0; J < Levels; ++J)
+      Forbidden[J].assign(BitWords[J], 0);
+    std::vector<uint64_t> SaveBuf;
+
+    auto PushForbid = [&](size_t Level, uint32_t Cand) {
+      for (size_t J = Level + 1; J < Levels; ++J) {
+        SaveBuf.insert(SaveBuf.end(), Forbidden[J].begin(),
+                       Forbidden[J].end());
+        const uint64_t *Row =
+            ConflictRows[Level][J].data() + size_t(Cand) * BitWords[J];
+        for (size_t K = 0; K < BitWords[J]; ++K)
+          Forbidden[J][K] |= Row[K];
+      }
+    };
+    auto PopForbid = [&](size_t Level) {
+      for (size_t J = Levels; J-- > Level + 1;) {
+        std::copy(SaveBuf.end() - BitWords[J], SaveBuf.end(),
+                  Forbidden[J].begin());
+        SaveBuf.resize(SaveBuf.size() - BitWords[J]);
+      }
+    };
+
     // Pass 1: find the smallest max-bound among surviving combinations
-    // (grammar pruning applied during the walk).
+    // (grammar pruning applied during the walk), recording the survivors
+    // so the merge pass below is a linear replay instead of a second
+    // enumeration of the cross product.
     unsigned CMin = ~0u;
-    std::vector<const GrammarPath *> Choice(Group.size());
-    OrChoiceTracker Tracker(GG);
+    std::vector<uint32_t> Choice(Levels);
 
     auto RemainingBelow = [&](size_t Level) {
       double Prod = 1.0;
@@ -217,6 +334,7 @@ private:
       return Prod;
     };
 
+    const bool Pruning = Opts.EnableGrammarPruning;
     auto Walk = [&](auto &&Self, size_t Level, auto &&Visit) -> void {
       if (TimedOut)
         return;
@@ -228,16 +346,18 @@ private:
         Visit();
         return;
       }
-      for (const GrammarPath *P : F[Level]) {
-        Choice[Level] = P;
-        if (Opts.EnableGrammarPruning) {
-          if (!Tracker.tryAdd(*P)) {
-            Result.Stats.PrunedByGrammar +=
-                static_cast<uint64_t>(RemainingBelow(Level));
-            continue;
-          }
+      const uint64_t *Forbid = Forbidden[Level].data();
+      for (uint32_t I = 0; I < F[Level].size(); ++I) {
+        if (Pruning && ((Forbid[I >> 6] >> (I & 63)) & 1)) {
+          Result.Stats.PrunedByGrammar +=
+              static_cast<uint64_t>(RemainingBelow(Level));
+          continue;
+        }
+        Choice[Level] = I;
+        if (Pruning && Level + 1 < Levels) {
+          PushForbid(Level, I);
           Self(Self, Level + 1, Visit);
-          Tracker.pop();
+          PopForbid(Level);
         } else {
           Self(Self, Level + 1, Visit);
         }
@@ -246,25 +366,84 @@ private:
       }
     };
 
+    // Recording cap: an (ablation-sized) enumeration past this many
+    // survivor entries falls back to re-walking the DFS for the merge
+    // pass rather than holding the whole survivor list in memory.
+    const size_t MaxRecorded = size_t(1) << 22;
     uint64_t Survivors = 0;
+    bool Overflow = false;
+    std::vector<uint32_t> Recorded;
+    std::vector<unsigned> RecordedMin;
+    const uint64_t PrunedBefore = Result.Stats.PrunedByGrammar;
+
     Walk(Walk, 0, [&] {
       ++Survivors;
+      unsigned MinSize = 0;
+      if (Opts.EnableSizePruning) {
+        ComboSizeBounds BD = comboBounds(F, Choice);
+        CMin = std::min(CMin, BD.MaxSize);
+        MinSize = BD.MinSize;
+      }
+      if (Overflow)
+        return;
+      if (Recorded.size() + Choice.size() > MaxRecorded) {
+        Overflow = true;
+        Recorded.clear();
+        Recorded.shrink_to_fit();
+        RecordedMin.clear();
+        RecordedMin.shrink_to_fit();
+        return;
+      }
+      Recorded.insert(Recorded.end(), Choice.begin(), Choice.end());
       if (Opts.EnableSizePruning)
-        CMin = std::min(CMin, effectiveBounds(Choice, Group).MaxSize);
+        RecordedMin.push_back(MinSize);
     });
     if (TimedOut || Survivors == 0)
       return;
 
-    // Pass 2: merge the survivors that size-based pruning keeps.
-    Tracker.clear();
+    std::vector<const GrammarPath *> Combo(Group.size());
+    if (!Overflow) {
+      // Pass 2, replayed: merge the recorded survivors that size-based
+      // pruning keeps. The replay visits exactly the sequence the second
+      // walk would have (the tracker is deterministic), so the funnel
+      // counter still accounts the grammar-pruned subtrees of both
+      // passes.
+      Result.Stats.PrunedByGrammar +=
+          Result.Stats.PrunedByGrammar - PrunedBefore;
+      for (uint64_t S = 0; S < Survivors; ++S) {
+        if (TimedOut)
+          return;
+        if (B.expired()) {
+          TimedOut = true;
+          return;
+        }
+        if (Opts.EnableSizePruning && RecordedMin[S] > CMin) {
+          ++Result.Stats.PrunedBySize;
+          continue;
+        }
+        for (size_t L = 0; L < Group.size(); ++L)
+          Combo[L] = F[L][Recorded[S * Group.size() + L]].P;
+        ++Result.Stats.RemainingCombos;
+        mergeCombination(Node, Occ, Group, Combo);
+      }
+      return;
+    }
+
+    // Pass 2, re-walked (recording overflowed): merge the survivors that
+    // size-based pruning keeps.
+    for (auto &Bits : Forbidden)
+      std::fill(Bits.begin(), Bits.end(), 0);
+    SaveBuf.clear();
     Walk(Walk, 0, [&] {
       if (Opts.EnableSizePruning &&
-          effectiveBounds(Choice, Group).MinSize > CMin) {
+          comboBounds(F, Choice).MinSize > CMin) {
         ++Result.Stats.PrunedBySize;
         return;
       }
+      for (size_t L = 0; L < Group.size(); ++L)
+        Combo[L] = F[L][Choice[L]].P;
       ++Result.Stats.RemainingCombos;
-      mergeCombination(Node, Occ, Group, Choice);
+      mergeCombination(Node, Occ, Group, Combo);
     });
   }
 
@@ -282,6 +461,14 @@ private:
     }
     Cgt Full;
     CgtObjective Obj;
+    size_t EdgeBound = 0;
+    for (const GrammarPath *P : Combo)
+      EdgeBound += P->Nodes.size();
+    for (size_t I = 0; I < Combo.size(); ++I)
+      EdgeBound += Dyn.node(Dyn.findApiNode(Group[I]->Edge.DepNode,
+                                            Combo[I]->dependentEnd()))
+                       .MinCgt.numEdges();
+    Full.reserveEdges(EdgeBound);
     for (const GrammarPath *P : Combo) {
       Full.addPath(*P);
       Obj.Score += P->DepScore;
@@ -432,7 +619,11 @@ DggtSynthesizer::synthesizeVariant(const PreparedQuery &Query,
                                    const DependencyGraph &Variant,
                                    const EdgeToPathMap &Edges, Budget &B,
                                    DynamicGrammarGraph *Export) const {
-  VariantRun Run(Query, Variant, Edges, Opts, B);
+  // Pipeline-owned graphs die with the query, so their N_API index lives
+  // in the per-query arena. An exported graph outlives the query: it must
+  // own its index storage (the arena would be reset underneath it).
+  Arena *IndexArena = Export ? nullptr : &queryArena();
+  VariantRun Run(Query, Variant, Edges, Opts, B, IndexArena);
   SynthesisResult R = Run.run();
   if (Export)
     *Export = Run.takeGraph();

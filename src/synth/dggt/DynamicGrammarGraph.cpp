@@ -6,7 +6,22 @@
 
 using namespace dggt;
 
-DynamicGrammarGraph::DynamicGrammarGraph() {
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mix for the packed 64-bit key.
+uint64_t mixKey(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+DynamicGrammarGraph::DynamicGrammarGraph(Arena *IndexArena)
+    : IndexArena(IndexArena) {
+  if (!IndexArena)
+    OwnArena = std::make_unique<Arena>(/*FirstChunkBytes=*/1024);
   DynNode Start;
   Start.Kind = DynNodeKind::Start;
   Start.Reached = true;
@@ -14,26 +29,57 @@ DynamicGrammarGraph::DynamicGrammarGraph() {
   Nodes.push_back(std::move(Start));
 }
 
+DynamicGrammarGraph::IndexSlot *
+DynamicGrammarGraph::probe(uint64_t Key) const {
+  assert(IndexCap != 0 && "probe on empty table");
+  size_t Mask = IndexCap - 1;
+  size_t I = static_cast<size_t>(mixKey(Key)) & Mask;
+  while (Slots[I].Key != Key && Slots[I].Key != EmptyKey)
+    I = (I + 1) & Mask;
+  return &Slots[I];
+}
+
+void DynamicGrammarGraph::rehash(size_t NewCap) {
+  assert((NewCap & (NewCap - 1)) == 0 && "capacity must be a power of two");
+  IndexSlot *Old = Slots;
+  size_t OldCap = IndexCap;
+  Slots = indexArena().allocateArray<IndexSlot>(NewCap);
+  IndexCap = NewCap;
+  for (size_t I = 0; I < NewCap; ++I)
+    Slots[I].Key = EmptyKey;
+  for (size_t I = 0; I < OldCap; ++I)
+    if (Old[I].Key != EmptyKey)
+      *probe(Old[I].Key) = Old[I];
+}
+
 DynNodeId DynamicGrammarGraph::getOrCreateApiNode(unsigned DepNode,
                                                   GgNodeId Occurrence) {
-  auto Key = std::make_pair(DepNode, Occurrence);
-  auto It = ApiIndex.find(Key);
-  if (It != ApiIndex.end())
-    return It->second;
+  uint64_t Key = packKey(DepNode, Occurrence);
+  assert(Key != EmptyKey && "invalid (DepNode, Occurrence) pair");
+  // Grow at 3/4 load, before probing, so probe() always finds a free slot.
+  if (IndexCap == 0 || (IndexCount + 1) * 4 > IndexCap * 3)
+    rehash(IndexCap ? IndexCap * 2 : 16);
+  IndexSlot *S = probe(Key);
+  if (S->Key == Key)
+    return S->Id;
   DynNode N;
   N.Kind = DynNodeKind::Api;
   N.DepNode = DepNode;
   N.GrammarNode = Occurrence;
   Nodes.push_back(std::move(N));
   DynNodeId Id = static_cast<DynNodeId>(Nodes.size() - 1);
-  ApiIndex.emplace(Key, Id);
+  S->Key = Key;
+  S->Id = Id;
+  ++IndexCount;
   return Id;
 }
 
 DynNodeId DynamicGrammarGraph::findApiNode(unsigned DepNode,
                                            GgNodeId Occurrence) const {
-  auto It = ApiIndex.find(std::make_pair(DepNode, Occurrence));
-  return It == ApiIndex.end() ? ~0u : It->second;
+  if (IndexCap == 0)
+    return ~0u;
+  IndexSlot *S = probe(packKey(DepNode, Occurrence));
+  return S->Key == EmptyKey ? ~0u : S->Id;
 }
 
 DynNodeId DynamicGrammarGraph::addPcgtNode(unsigned DepNode, GgNodeId Root) {

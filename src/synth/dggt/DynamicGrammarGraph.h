@@ -19,11 +19,12 @@
 #ifndef DGGT_SYNTH_DGGT_DYNAMICGRAMMARGRAPH_H
 #define DGGT_SYNTH_DGGT_DYNAMICGRAMMARGRAPH_H
 
+#include "support/Arena.h"
 #include "synth/Cgt.h"
 #include "synth/Synthesizer.h"
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <vector>
 
 namespace dggt {
@@ -72,7 +73,12 @@ struct DynEdge {
 /// bottom-up over the pruned dependency graph.
 class DynamicGrammarGraph {
 public:
-  DynamicGrammarGraph();
+  /// \p IndexArena backs the (DepNode, Occurrence) -> N_API hash table.
+  /// Pass the per-query arena for pipeline-owned graphs (the graph then
+  /// dies with the query); pass nullptr for graphs that outlive the query
+  /// (exports, tests) — the graph then owns a private arena on the heap,
+  /// so moving the graph object never invalidates the table.
+  explicit DynamicGrammarGraph(Arena *IndexArena = nullptr);
 
   DynNodeId startNode() const { return 0; }
 
@@ -106,10 +112,41 @@ public:
   /// Count of nodes of \p Kind (test/bench introspection).
   size_t countNodes(DynNodeKind Kind) const;
 
+  /// Load factor and capacity of the N_API index (test introspection).
+  size_t apiIndexCapacity() const { return IndexCap; }
+  size_t apiIndexSize() const { return IndexCount; }
+
 private:
+  /// Open-addressing slot of the N_API index. Keys pack
+  /// (DepNode << 32) | Occurrence; EmptyKey marks a free slot — it can
+  /// never collide with a real key because Occurrence == ~0u is not a
+  /// valid grammar node id.
+  struct IndexSlot {
+    uint64_t Key;
+    DynNodeId Id;
+  };
+  static constexpr uint64_t EmptyKey = ~uint64_t(0);
+
+  static uint64_t packKey(unsigned DepNode, GgNodeId Occurrence) {
+    return (uint64_t(DepNode) << 32) | uint64_t(Occurrence);
+  }
+
+  Arena &indexArena() { return IndexArena ? *IndexArena : *OwnArena; }
+  /// Carves a table of \p NewCap slots and reinserts; old tables stay
+  /// behind in the arena (bump allocators don't free).
+  void rehash(size_t NewCap);
+  /// Linear probe; returns the slot holding \p Key or the empty slot
+  /// where it would go.
+  IndexSlot *probe(uint64_t Key) const;
+
   std::vector<DynNode> Nodes;
   std::vector<DynEdge> Edges;
-  std::map<std::pair<unsigned, GgNodeId>, DynNodeId> ApiIndex;
+
+  Arena *IndexArena = nullptr; ///< Borrowed (per-query) arena, or null.
+  std::unique_ptr<Arena> OwnArena; ///< Fallback when no arena was given.
+  IndexSlot *Slots = nullptr;
+  size_t IndexCap = 0;   ///< Power of two.
+  size_t IndexCount = 0; ///< Occupied slots.
 };
 
 } // namespace dggt

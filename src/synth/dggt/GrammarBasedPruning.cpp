@@ -22,42 +22,55 @@ void forEachOrEdge(const GrammarGraph &GG, const GrammarPath &P,
 
 } // namespace
 
-bool OrChoiceTracker::tryAdd(const GrammarPath &P) {
-  // First a read-only conflict scan so failure leaves no residue.
-  bool Conflict = false;
-  forEachOrEdge(GG, P, [&](GgNodeId Nt, GgNodeId Deriv) {
-    auto It = Chosen.find(Nt);
-    if (It != Chosen.end() && It->second.first != Deriv)
-      Conflict = true;
-  });
-  if (Conflict)
-    return false;
+OrChoiceTracker::OrChoiceTracker(const GrammarGraph &GG)
+    : GG(GG), ChosenDeriv(GG.numNodes(), 0), RefCount(GG.numNodes(), 0) {}
 
-  Frames.emplace_back();
-  forEachOrEdge(GG, P, [&](GgNodeId Nt, GgNodeId Deriv) {
-    auto [It, Fresh] = Chosen.emplace(Nt, std::make_pair(Deriv, 0u));
-    (void)Fresh;
-    assert(It->second.first == Deriv && "scan missed a conflict");
-    ++It->second.second;
-    Frames.back().push_back(Nt);
-  });
+OrChoiceTracker::OrEdgeList
+OrChoiceTracker::orEdges(const GrammarGraph &GG, const GrammarPath &P) {
+  OrEdgeList Edges;
+  forEachOrEdge(GG, P,
+                [&](GgNodeId Nt, GgNodeId Deriv) { Edges.emplace_back(Nt, Deriv); });
+  return Edges;
+}
+
+bool OrChoiceTracker::tryAdd(const GrammarPath &P) {
+  return tryAdd(orEdges(GG, P));
+}
+
+bool OrChoiceTracker::tryAdd(const OrEdgeList &Edges) {
+  // First a read-only conflict scan so failure leaves no residue.
+  for (auto [Nt, Deriv] : Edges)
+    if (RefCount[Nt] != 0 && ChosenDeriv[Nt] != Deriv)
+      return false;
+
+  FrameStart.push_back(static_cast<uint32_t>(FrameNts.size()));
+  for (auto [Nt, Deriv] : Edges) {
+    if (RefCount[Nt]++ == 0)
+      ChosenDeriv[Nt] = Deriv;
+    assert(ChosenDeriv[Nt] == Deriv && "scan missed a conflict");
+    FrameNts.push_back(Nt);
+  }
   return true;
 }
 
 void OrChoiceTracker::pop() {
-  assert(!Frames.empty() && "pop without tryAdd");
-  for (GgNodeId Nt : Frames.back()) {
-    auto It = Chosen.find(Nt);
-    assert(It != Chosen.end() && "unbalanced tracker frame");
-    if (--It->second.second == 0)
-      Chosen.erase(It);
+  assert(!FrameStart.empty() && "pop without tryAdd");
+  uint32_t Start = FrameStart.back();
+  for (size_t I = Start; I < FrameNts.size(); ++I) {
+    assert(RefCount[FrameNts[I]] != 0 && "unbalanced tracker frame");
+    --RefCount[FrameNts[I]];
   }
-  Frames.pop_back();
+  FrameNts.resize(Start);
+  FrameStart.pop_back();
 }
 
 void OrChoiceTracker::clear() {
-  Chosen.clear();
-  Frames.clear();
+  // Only committed NTs can have a nonzero refcount; ChosenDeriv needs no
+  // reset (it is read only under RefCount != 0).
+  for (GgNodeId Nt : FrameNts)
+    RefCount[Nt] = 0;
+  FrameNts.clear();
+  FrameStart.clear();
 }
 
 std::vector<std::pair<unsigned, unsigned>>

@@ -18,20 +18,36 @@
 
 #include "grammar/GrammarPath.h"
 
-#include <unordered_map>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace dggt {
 
 /// Tracks the derivation ("or"-edge) choices of a growing combination.
+///
+/// The state is flat arrays indexed by grammar-node id (the grammar
+/// graph is frozen and small), not a hash map: tryAdd/pop sit on the
+/// innermost edge of the combination DFS, where every committed path is
+/// re-offered once per node of the partial combination above it.
 class OrChoiceTracker {
 public:
-  explicit OrChoiceTracker(const GrammarGraph &GG) : GG(GG) {}
+  explicit OrChoiceTracker(const GrammarGraph &GG);
+
+  /// The (non-terminal, derivation) or-edges along \p P — the only part
+  /// of a path tryAdd reads. Callers that offer the same path to the
+  /// tracker many times (the combination DFS does) precompute this once
+  /// and use the list overload below.
+  using OrEdgeList = std::vector<std::pair<GgNodeId, GgNodeId>>;
+  static OrEdgeList orEdges(const GrammarGraph &GG, const GrammarPath &P);
 
   /// Tries to commit the or-edges of \p P. Returns false (and changes
   /// nothing) if some non-terminal on \p P already committed to a
   /// different derivation — a conflict paths pair with an earlier path.
   bool tryAdd(const GrammarPath &P);
+
+  /// Same, against a precomputed or-edge list.
+  bool tryAdd(const OrEdgeList &Edges);
 
   /// Rolls back the most recent successful tryAdd (LIFO).
   void pop();
@@ -40,15 +56,14 @@ public:
   void clear();
 
 private:
-  struct Commit {
-    GgNodeId Nt;
-    bool Fresh; ///< This path introduced the NT's choice.
-  };
-
   const GrammarGraph &GG;
-  std::unordered_map<GgNodeId, std::pair<GgNodeId, unsigned>>
-      Chosen; ///< NT -> (derivation, refcount).
-  std::vector<std::vector<GgNodeId>> Frames; ///< NTs referenced per path.
+  /// Per node id: the committed derivation (valid iff RefCount != 0) and
+  /// how many live paths reference the choice.
+  std::vector<GgNodeId> ChosenDeriv;
+  std::vector<unsigned> RefCount;
+  /// Flat LIFO of committed NTs; FrameStart[i] is frame i's offset.
+  std::vector<GgNodeId> FrameNts;
+  std::vector<uint32_t> FrameStart;
 };
 
 /// Exhaustively lists the conflicting path-id pairs among \p Paths

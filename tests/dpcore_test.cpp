@@ -1,0 +1,443 @@
+//===- tests/dpcore_test.cpp - Speed-of-light DP core tests ---------------===//
+//
+// Covers the epoch-frozen reachability bitsets and CSR adjacency of
+// GrammarGraph, the iterative PathSearch core (bit-identity against the
+// legacy recursive walk, including every truncation edge), the Arena bump
+// allocator, the arena-backed N_API index of DynamicGrammarGraph, and the
+// zero-heap steady-state property of the search workspace.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/GrammarGraph.h"
+#include "grammar/PathSearch.h"
+#include "support/Arena.h"
+#include "synth/dggt/DynamicGrammarGraph.h"
+
+#include "TestFixtures.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <queue>
+#include <set>
+#include <thread>
+
+using namespace dggt;
+using namespace dggt::test;
+
+// Sanitizer builds intercept operator new; skip the allocation-count test
+// there and leave the global operators untouched.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define DGGT_SANITIZED 1
+#endif
+#if !defined(DGGT_SANITIZED) && defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define DGGT_SANITIZED 1
+#endif
+#endif
+
+#ifndef DGGT_SANITIZED
+namespace {
+std::atomic<uint64_t> GNewCalls{0};
+}
+
+void *operator new(std::size_t Sz) {
+  GNewCalls.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Sz ? Sz : 1))
+    return P;
+  throw std::bad_alloc();
+}
+void *operator new[](std::size_t Sz) { return ::operator new(Sz); }
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+#endif // !DGGT_SANITIZED
+
+namespace {
+
+/// A layered chain grammar with \p Layers two-way branches:
+///   s  ::= ROOT l0
+///   lK ::= AK_A l(K+1) | AK_B l(K+1)
+///   lN ::= LEAF
+/// It has 2^Layers distinct LEAF -> ROOT paths, enough to exercise the
+/// MaxPaths / MaxVisits truncation unwinding in both cores.
+Grammar makeLayeredGrammar(unsigned Layers) {
+  Grammar G;
+  G.addProduction("s", {{"ROOT", "l0"}});
+  for (unsigned L = 0; L < Layers; ++L) {
+    std::string Next = "l" + std::to_string(L + 1);
+    G.addProduction("l" + std::to_string(L),
+                    {{"A" + std::to_string(L) + "A", Next},
+                     {"A" + std::to_string(L) + "B", Next}});
+  }
+  G.addProduction("l" + std::to_string(Layers), {{"LEAF"}});
+  return G;
+}
+
+/// Reference reachability: plain BFS over outEdges(), independent of the
+/// frozen matrix under test.
+std::set<GgNodeId> bfsDescendants(const GrammarGraph &GG, GgNodeId From) {
+  std::set<GgNodeId> Seen{From};
+  std::queue<GgNodeId> Work;
+  Work.push(From);
+  while (!Work.empty()) {
+    GgNodeId Cur = Work.front();
+    Work.pop();
+    for (const GgEdge &E : GG.outEdges(Cur))
+      if (Seen.insert(E.To).second)
+        Work.push(E.To);
+  }
+  return Seen;
+}
+
+/// Runs one search in both cores and requires bit-identical results:
+/// same path sequences, same ApiCounts, same Truncated flag, same Visits.
+void expectCoresAgree(const GrammarGraph &GG, GgNodeId Start,
+                      const std::vector<GgNodeId> &Targets,
+                      const PathSearchLimits &Limits) {
+  setDpCoreLegacy(true);
+  PathSearchResult Legacy = findPathsBetween(GG, Start, Targets, Limits);
+  setDpCoreLegacy(false);
+  PathSearchResult Fast = findPathsBetween(GG, Start, Targets, Limits);
+
+  EXPECT_EQ(Legacy.Truncated, Fast.Truncated);
+  EXPECT_EQ(Legacy.Visits, Fast.Visits);
+  ASSERT_EQ(Legacy.Paths.size(), Fast.Paths.size());
+  for (size_t I = 0; I < Legacy.Paths.size(); ++I) {
+    EXPECT_EQ(Legacy.Paths[I].Nodes, Fast.Paths[I].Nodes) << "path " << I;
+    EXPECT_EQ(Legacy.Paths[I].ApiCount, Fast.Paths[I].ApiCount) << "path " << I;
+  }
+}
+
+/// RAII env-var override (single-threaded test setup only).
+class ScopedEnv {
+public:
+  ScopedEnv(const char *Name, const char *Value) : Name(Name) {
+    const char *Old = std::getenv(Name);
+    if (Old)
+      Saved = Old;
+    ::setenv(Name, Value, 1);
+  }
+  ~ScopedEnv() {
+    if (Saved)
+      ::setenv(Name, Saved->c_str(), 1);
+    else
+      ::unsetenv(Name);
+  }
+
+private:
+  const char *Name;
+  std::optional<std::string> Saved;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Frozen reachability
+//===----------------------------------------------------------------------===//
+
+TEST(DpCoreReach, FreezesOnceAtConstruction) {
+  PaperFragment F;
+  EXPECT_TRUE(F.GG->reachabilityFrozen());
+  EXPECT_TRUE(F.GG->reachMatrixEager());
+  // The whole matrix is resident: numNodes rows of reachWordsPerRow words.
+  EXPECT_EQ(F.GG->reachBytes(),
+            F.GG->numNodes() * F.GG->reachWordsPerRow() * sizeof(uint64_t));
+}
+
+TEST(DpCoreReach, MatrixMatchesBfsReference) {
+  PaperFragment F;
+  const GrammarGraph &GG = *F.GG;
+  for (GgNodeId From = 0; From < GG.numNodes(); ++From) {
+    std::set<GgNodeId> Ref = bfsDescendants(GG, From);
+    GrammarGraph::ReachRow Row = GG.descendantSet(From);
+    for (GgNodeId To = 0; To < GG.numNodes(); ++To) {
+      EXPECT_EQ(Row[To], Ref.count(To) != 0)
+          << "from=" << From << " to=" << To;
+      EXPECT_EQ(GG.reachable(From, To), Ref.count(To) != 0);
+    }
+  }
+}
+
+TEST(DpCoreReach, CsrMirrorsAdjacencyInDeclarationOrder) {
+  PaperFragment F;
+  const GrammarGraph &GG = *F.GG;
+  const uint32_t *InHead = GG.csrInHead();
+  const uint32_t *OutHead = GG.csrOutHead();
+  for (GgNodeId Id = 0; Id < GG.numNodes(); ++Id) {
+    const std::vector<GgEdge> &In = GG.inEdges(Id);
+    ASSERT_EQ(InHead[Id + 1] - InHead[Id], In.size());
+    for (size_t K = 0; K < In.size(); ++K)
+      EXPECT_EQ(GG.csrInNeighbors()[InHead[Id] + K], In[K].From);
+    const std::vector<GgEdge> &Out = GG.outEdges(Id);
+    ASSERT_EQ(OutHead[Id + 1] - OutHead[Id], Out.size());
+    for (size_t K = 0; K < Out.size(); ++K)
+      EXPECT_EQ(GG.csrOutNeighbors()[OutHead[Id] + K], Out[K].To);
+  }
+}
+
+TEST(DpCoreReach, ApiBitsMatchNodeKinds) {
+  PaperFragment F;
+  for (GgNodeId Id = 0; Id < F.GG->numNodes(); ++Id)
+    EXPECT_EQ(F.GG->isApiNode(Id),
+              F.GG->node(Id).Kind == GgNodeKind::Api);
+}
+
+TEST(DpCoreReach, LazyFallbackMatchesEagerMatrix) {
+  // Bare graphs (no query preparation, which would touch rows already).
+  Grammar GEager = makeLayeredGrammar(4);
+  GrammarGraph Eager(GEager);
+  ScopedEnv Budget("DGGT_REACH_BUDGET_BYTES", "1");
+  Grammar GLazy = makeLayeredGrammar(4);
+  GrammarGraph Lazy(GLazy);
+  ASSERT_TRUE(Eager.reachMatrixEager());
+  ASSERT_FALSE(Lazy.reachMatrixEager());
+  EXPECT_EQ(Lazy.reachBytes(), 0u); // Nothing computed yet.
+  for (GgNodeId From = 0; From < Eager.numNodes(); ++From)
+    for (GgNodeId To = 0; To < Eager.numNodes(); ++To)
+      EXPECT_EQ(Lazy.reachable(From, To), Eager.reachable(From, To));
+  // Every row touched exactly once.
+  EXPECT_EQ(Lazy.reachBytes(),
+            Lazy.numNodes() * Lazy.reachWordsPerRow() * sizeof(uint64_t));
+}
+
+TEST(DpCoreReach, LazyRowComputedOnceUnderContention) {
+  // The old shared_mutex memo let two threads missing the same row both
+  // run the BFS; the frozen design computes each row exactly once.
+  // reachBytes() counts computed rows, so duplicates would overshoot.
+  ScopedEnv Budget("DGGT_REACH_BUDGET_BYTES", "1");
+  Grammar G = makeLayeredGrammar(4);
+  GrammarGraph GG(G);
+  ASSERT_FALSE(GG.reachMatrixEager());
+  GgNodeId Row = GG.startNode();
+  constexpr int NumThreads = 8;
+  std::vector<std::thread> Threads;
+  std::vector<const uint64_t *> Seen(NumThreads, nullptr);
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back(
+        [&, T] { Seen[T] = GG.descendantSet(Row).words(); });
+  for (std::thread &T : Threads)
+    T.join();
+  for (int T = 1; T < NumThreads; ++T)
+    EXPECT_EQ(Seen[T], Seen[0]) << "row storage must be unique";
+  EXPECT_EQ(GG.reachBytes(), GG.reachWordsPerRow() * sizeof(uint64_t));
+}
+
+//===----------------------------------------------------------------------===//
+// Iterative core vs. legacy recursion (bit-identity)
+//===----------------------------------------------------------------------===//
+
+class DpCoreParity : public ::testing::Test {
+protected:
+  void TearDown() override { setDpCoreLegacy(false); }
+};
+
+TEST_F(DpCoreParity, PaperFragmentAllPairs) {
+  PaperFragment F;
+  const GrammarGraph &GG = *F.GG;
+  const char *Apis[] = {"INSERT", "STRING", "LIT",  "START", "STARTFROM",
+                        "AFTER",  "ALL",    "FIRST", "LINESCOPE"};
+  for (const char *From : Apis)
+    for (const char *To : Apis) {
+      std::vector<GgNodeId> Targets = {GG.apiOccurrences(To).front()};
+      expectCoresAgree(GG, GG.apiOccurrences(From).front(), Targets, {});
+    }
+  // Multi-target searches including the start node.
+  expectCoresAgree(GG, GG.apiOccurrences("LIT").front(),
+                   {GG.apiOccurrences("INSERT").front(),
+                    GG.apiOccurrences("STRING").front()},
+                   {});
+  expectCoresAgree(GG, GG.apiOccurrences("ALL").front(), {GG.startNode()},
+                   {});
+}
+
+TEST_F(DpCoreParity, LayeredGrammarUnderEveryTruncationEdge) {
+  Grammar G = makeLayeredGrammar(8); // 256 LEAF -> ROOT paths.
+  GrammarGraph GG(G);
+  GgNodeId Leaf = GG.apiOccurrences("LEAF").front();
+  std::vector<GgNodeId> Root = {GG.apiOccurrences("ROOT").front()};
+
+  PathSearchLimits Wide;
+  Wide.MaxPathNodes = 64;
+  Wide.MaxPaths = 100000;
+  Wide.MaxVisits = 1000000;
+  expectCoresAgree(GG, Leaf, Root, Wide);
+
+  // MaxPaths truncation at several cut points (including 0 and an exact
+  // fit), MaxVisits truncation mid-walk, and depth starvation.
+  for (unsigned MaxPaths : {0u, 1u, 7u, 255u, 256u, 257u}) {
+    PathSearchLimits L = Wide;
+    L.MaxPaths = MaxPaths;
+    expectCoresAgree(GG, Leaf, Root, L);
+  }
+  for (unsigned MaxVisits : {1u, 2u, 3u, 10u, 100u, 1000u}) {
+    PathSearchLimits L = Wide;
+    L.MaxVisits = MaxVisits;
+    expectCoresAgree(GG, Leaf, Root, L);
+  }
+  for (unsigned MaxNodes : {1u, 2u, 5u, 16u, 26u}) {
+    PathSearchLimits L = Wide;
+    L.MaxPathNodes = MaxNodes;
+    expectCoresAgree(GG, Leaf, Root, L);
+  }
+}
+
+TEST_F(DpCoreParity, TargetOnStartNodeAndSelfSearch) {
+  PaperFragment F;
+  const GrammarGraph &GG = *F.GG;
+  GgNodeId Insert = GG.apiOccurrences("INSERT").front();
+  // Dependent == target: the non-trivial-path rule must hold in both.
+  expectCoresAgree(GG, Insert, {Insert}, {});
+  // Unreachable direction (INSERT is above ALL, not below).
+  expectCoresAgree(GG, Insert, {GG.apiOccurrences("ALL").front()}, {});
+}
+
+TEST(DpCoreRaw, RawViewsMatchMaterializedResult) {
+  PaperFragment F;
+  const GrammarGraph &GG = *F.GG;
+  GgNodeId Start = GG.apiOccurrences("STARTFROM").front();
+  std::vector<GgNodeId> Targets = {GG.apiOccurrences("INSERT").front()};
+  RawSearchResult Raw = searchPathsRaw(GG, Start, Targets, {});
+  setDpCoreLegacy(false);
+  PathSearchResult Owned = findPathsBetween(GG, Start, Targets, {});
+  ASSERT_EQ(Raw.NumPaths, Owned.Paths.size());
+  EXPECT_EQ(Raw.Truncated, Owned.Truncated);
+  EXPECT_EQ(Raw.Visits, Owned.Visits);
+  for (size_t I = 0; I < Raw.NumPaths; ++I) {
+    const RawPathView &V = Raw.Paths[I];
+    ASSERT_EQ(V.Len, Owned.Paths[I].Nodes.size());
+    for (uint32_t K = 0; K < V.Len; ++K)
+      EXPECT_EQ(V.Nodes[K], Owned.Paths[I].Nodes[K]);
+    EXPECT_EQ(V.ApiCount, Owned.Paths[I].ApiCount);
+    EXPECT_EQ(V.ApiCount, countApisOnPath(GG, Owned.Paths[I].Nodes));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Arena
+//===----------------------------------------------------------------------===//
+
+TEST(Arena, BumpAlignAndGrow) {
+  Arena A(/*FirstChunkBytes=*/64);
+  char *P1 = A.allocateArray<char>(3);
+  ASSERT_NE(P1, nullptr);
+  uint64_t *P2 = A.allocateArray<uint64_t>(4);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P2) % alignof(uint64_t), 0u);
+  // Oversized request gets its own chunk.
+  char *Big = A.allocateArray<char>(1 << 16);
+  ASSERT_NE(Big, nullptr);
+  EXPECT_GE(A.bytesReserved(), size_t(1) << 16);
+  EXPECT_GE(A.bytesUsed(), 3u + 4 * sizeof(uint64_t) + (1 << 16));
+}
+
+TEST(Arena, ResetRetainsChunksAndBumpsGeneration) {
+  Arena A(/*FirstChunkBytes=*/128);
+  (void)A.allocateArray<char>(100);
+  (void)A.allocateArray<char>(5000);
+  size_t Reserved = A.bytesReserved();
+  size_t Used = A.bytesUsed();
+  uint64_t Gen = A.generation();
+  A.reset();
+  EXPECT_EQ(A.bytesUsed(), 0u);
+  EXPECT_EQ(A.bytesReserved(), Reserved); // No memory returned.
+  EXPECT_EQ(A.generation(), Gen + 1);
+  EXPECT_GE(A.highWater(), Used);
+  // A same-sized replay fits entirely in the retained chunks.
+  (void)A.allocateArray<char>(100);
+  (void)A.allocateArray<char>(5000);
+  EXPECT_EQ(A.bytesReserved(), Reserved);
+}
+
+TEST(Arena, ProcessHighWaterTracksPeaks) {
+  uint64_t Before = Arena::processHighWater();
+  {
+    Arena A;
+    (void)A.allocateArray<char>(200000);
+  } // Destructor publishes the peak.
+  EXPECT_GE(Arena::processHighWater(), Before);
+  EXPECT_GE(Arena::processHighWater(), 200000u);
+}
+
+//===----------------------------------------------------------------------===//
+// Arena-backed N_API index
+//===----------------------------------------------------------------------===//
+
+TEST(DynApiIndex, GetOrCreateFindAndGrowth) {
+  Arena A;
+  DynamicGrammarGraph Dyn(&A);
+  // Force several rehash rounds past the 3/4 load factor.
+  std::vector<DynNodeId> Ids;
+  for (unsigned Dep = 0; Dep < 10; ++Dep)
+    for (GgNodeId Occ = 0; Occ < 10; ++Occ)
+      Ids.push_back(Dyn.getOrCreateApiNode(Dep, Occ));
+  EXPECT_EQ(Dyn.apiIndexSize(), 100u);
+  EXPECT_GE(Dyn.apiIndexCapacity(), 100u * 4 / 3);
+  // Lookups survive the rehashes; re-creation is idempotent.
+  size_t I = 0;
+  for (unsigned Dep = 0; Dep < 10; ++Dep)
+    for (GgNodeId Occ = 0; Occ < 10; ++Occ, ++I) {
+      EXPECT_EQ(Dyn.findApiNode(Dep, Occ), Ids[I]);
+      EXPECT_EQ(Dyn.getOrCreateApiNode(Dep, Occ), Ids[I]);
+    }
+  EXPECT_EQ(Dyn.apiIndexSize(), 100u);
+  EXPECT_EQ(Dyn.findApiNode(99, 99), ~0u);
+  // The index lives in the caller's arena.
+  EXPECT_GT(A.bytesUsed(), 0u);
+}
+
+TEST(DynApiIndex, EmptyIndexFindMisses) {
+  DynamicGrammarGraph Dyn;
+  EXPECT_EQ(Dyn.findApiNode(0, 0), ~0u);
+}
+
+TEST(DynApiIndex, SentinelDepNodeKeysWork) {
+  // finalize() indexes the grammar-root pseudo node under DepNode ~0u.
+  DynamicGrammarGraph Dyn;
+  DynNodeId Id = Dyn.getOrCreateApiNode(~0u, 7);
+  EXPECT_EQ(Dyn.findApiNode(~0u, 7), Id);
+  EXPECT_EQ(Dyn.findApiNode(~0u, 8), ~0u);
+}
+
+TEST(DynApiIndex, OwnedArenaSurvivesMove) {
+  // A graph constructed without an external arena owns its index storage;
+  // moving the graph object must not invalidate the table.
+  DynamicGrammarGraph Dyn;
+  DynNodeId Id = Dyn.getOrCreateApiNode(3, 4);
+  DynamicGrammarGraph Moved = std::move(Dyn);
+  EXPECT_EQ(Moved.findApiNode(3, 4), Id);
+  EXPECT_EQ(Moved.getOrCreateApiNode(3, 4), Id);
+}
+
+//===----------------------------------------------------------------------===//
+// Zero-heap steady state
+//===----------------------------------------------------------------------===//
+
+TEST(DpCoreAlloc, SteadyStateSearchDoesNotTouchTheHeap) {
+#ifdef DGGT_SANITIZED
+  GTEST_SKIP() << "operator new is intercepted under sanitizers";
+#else
+  Grammar G = makeLayeredGrammar(8);
+  GrammarGraph GG(G);
+  GgNodeId Leaf = GG.apiOccurrences("LEAF").front();
+  std::vector<GgNodeId> Root = {GG.apiOccurrences("ROOT").front()};
+  PathSearchLimits Limits;
+  Limits.MaxPathNodes = 64;
+  Limits.MaxPaths = 1024;
+
+  // Warm the thread workspace (first call sizes the retained buffers).
+  RawSearchResult Warm = searchPathsRaw(GG, Leaf, Root, Limits);
+  ASSERT_EQ(Warm.NumPaths, 256u);
+
+  uint64_t Before = GNewCalls.load(std::memory_order_relaxed);
+  for (int I = 0; I < 100; ++I) {
+    RawSearchResult R = searchPathsRaw(GG, Leaf, Root, Limits);
+    ASSERT_EQ(R.NumPaths, 256u);
+    ASSERT_FALSE(R.Truncated);
+  }
+  uint64_t After = GNewCalls.load(std::memory_order_relaxed);
+  EXPECT_EQ(After - Before, 0u)
+      << "cache-warm steady-state search must not allocate";
+#endif
+}

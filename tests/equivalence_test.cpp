@@ -9,7 +9,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "domains/Domain.h"
 #include "eval/Synthetic.h"
+#include "grammar/PathSearch.h"
 #include "synth/dggt/DggtSynthesizer.h"
 #include "synth/hisyn/HisynSynthesizer.h"
 
@@ -95,6 +97,49 @@ INSTANTIATE_TEST_SUITE_P(
         Shape{2, 4, 2, 3, 29}, Shape{2, 2, 4, 2, 31}, Shape{4, 2, 2, 1, 37},
         Shape{3, 3, 3, 2, 41}, Shape{2, 3, 4, 3, 43}),
     shapeName);
+
+namespace {
+
+/// Bit-identity sweep of the two DP cores over a full evaluation domain:
+/// every query runs once with the legacy recursive walk and once with the
+/// iterative CSR+bitset core, and everything observable — status,
+/// expression text, CGT size, objective tiers — must match exactly.
+/// Caches are off so both runs execute the real search.
+void sweepDomainBitIdentity(const Domain &D) {
+  struct ResetCore {
+    ~ResetCore() { setDpCoreLegacy(false); }
+  } Reset;
+  const SynthesisFrontEnd &FE = D.frontEnd();
+  DggtSynthesizer Dggt;
+  for (const QueryCase &Case : D.queries()) {
+    setDpCoreLegacy(true);
+    PreparedQuery QL = FE.prepare(Case.Query);
+    Budget BL;
+    SynthesisResult RL = Dggt.synthesize(QL, BL);
+
+    setDpCoreLegacy(false);
+    PreparedQuery QF = FE.prepare(Case.Query);
+    Budget BF;
+    SynthesisResult RF = Dggt.synthesize(QF, BF);
+
+    ASSERT_EQ(RL.St, RF.St) << D.name() << ": " << Case.Query;
+    EXPECT_EQ(RL.Expression, RF.Expression) << D.name() << ": " << Case.Query;
+    EXPECT_EQ(RL.CgtSize, RF.CgtSize) << D.name() << ": " << Case.Query;
+    EXPECT_EQ(RL.Objective.Size, RF.Objective.Size);
+    EXPECT_EQ(RL.Objective.Score, RF.Objective.Score);
+    EXPECT_EQ(RL.Objective.Len, RF.Objective.Len);
+  }
+}
+
+} // namespace
+
+TEST(DpCoreBitIdentity, TextEditingDomainAllQueries) {
+  sweepDomainBitIdentity(*makeTextEditingDomain());
+}
+
+TEST(DpCoreBitIdentity, AstMatcherDomainAllQueries) {
+  sweepDomainBitIdentity(*makeAstMatcherDomain());
+}
 
 TEST(EquivalenceSeedSweep, ManySeedsSmallShape) {
   // A denser sweep over seeds on one shape with randomized path sizes.
