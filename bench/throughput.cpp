@@ -53,6 +53,7 @@
 #include "grammar/PathCache.h"
 #include "grammar/PathSearch.h"
 #include "nlu/WordToApiMatcher.h"
+#include "obs/Cost.h"
 #include "obs/Export.h"
 #include "obs/Metrics.h"
 #include "obs/QueryLog.h"
@@ -524,6 +525,13 @@ struct DpCoreOutcome {
   uint64_t Searches = 0;         ///< Path searches run (counter delta).
   uint64_t Visits = 0;           ///< DFS node visits (counter delta).
   uint64_t ArenaHighWater = 0;   ///< Arena::processHighWater() after.
+  /// Summed pipeline stage latencies across every measured query, in
+  /// the fixed {parse, prune, word_to_api, edge_to_path} order — the
+  /// per-stage breakdown a regressed p99 gets attributed to.
+  double StageMsTotal[4] = {0, 0, 0, 0};
+  /// Summed per-query cost vectors (obs::queryCost(), the same numbers
+  /// the query log records), arena field carrying the per-query max.
+  obs::CostCounters Cost;
   std::vector<std::string> Expressions; ///< Per query, for bit-identity.
 
   double qps() const {
@@ -576,6 +584,11 @@ void runDpCore(const bench::Domains &D, int Rounds, size_t Limit, bool Legacy,
       Budget B;
       SynthesisResult Res = Synth.synthesize(Q, B);
       R.SamplesMs.push_back(T.seconds() * 1000.0);
+      for (size_t St = 0; St < 4; ++St)
+        R.StageMsTotal[St] += Q.StageMs[St];
+      obs::CostCounters C = obs::queryCost();
+      C.ArenaHighWaterBytes = queryArena().bytesUsed();
+      R.Cost.add(C);
       R.Expressions[I] = std::move(Res.Expression);
     }
   }
@@ -698,13 +711,22 @@ int main(int argc, char **argv) {
 
     if (Json) {
       auto PrintMode = [](const char *Name, const DpCoreOutcome &O) {
+        // Scalars first, nested objects last: the perf gate's regex
+        // extracts p99_ms with a [^}]* scan that must not cross into
+        // stage_ms_total/cost (cmake/CheckPerfOutput.cmake).
         std::printf("\"%s\":{\"qps\":%.2f,\"p50_ms\":%.4f,\"p99_ms\":%.4f,"
                     "\"searches\":%llu,\"visits\":%llu,"
-                    "\"arena_high_water_bytes\":%llu}",
+                    "\"arena_high_water_bytes\":%llu,"
+                    "\"stage_ms_total\":{\"parse\":%.4f,\"prune\":%.4f,"
+                    "\"word_to_api\":%.4f,\"edge_to_path\":%.4f},"
+                    "\"cost\":%s}",
                     Name, O.qps(), O.p50Ms(), O.p99Ms(),
                     static_cast<unsigned long long>(O.Searches),
                     static_cast<unsigned long long>(O.Visits),
-                    static_cast<unsigned long long>(O.ArenaHighWater));
+                    static_cast<unsigned long long>(O.ArenaHighWater),
+                    O.StageMsTotal[0], O.StageMsTotal[1], O.StageMsTotal[2],
+                    O.StageMsTotal[3],
+                    obs::costCountersJson(O.Cost).c_str());
       };
       std::printf("{\"bench\":\"throughput_dpcore\",\"queries\":%zu,"
                   "\"rounds\":%d,",
@@ -731,6 +753,16 @@ int main(int argc, char **argv) {
     PrintMode("legacy", Legacy);
     PrintMode("fast", Fast);
     std::printf("speedup: p50 %.2fx   p99 %.2fx\n", SpeedupP50, SpeedupP99);
+    std::printf("fast stage totals: parse %.1f ms   prune %.1f ms   "
+                "word_to_api %.1f ms   edge_to_path %.1f ms\n",
+                Fast.StageMsTotal[0], Fast.StageMsTotal[1],
+                Fast.StageMsTotal[2], Fast.StageMsTotal[3]);
+    std::printf("fast cost: %llu in-edge scans   %llu bitset words   "
+                "%llu conflict checks   %llu fusion ops\n",
+                static_cast<unsigned long long>(Fast.Cost.InEdgeScans),
+                static_cast<unsigned long long>(Fast.Cost.BitsetWordsTouched),
+                static_cast<unsigned long long>(Fast.Cost.ConflictChecks),
+                static_cast<unsigned long long>(Fast.Cost.CgtFusionOps));
     std::printf("arena high-water: %llu bytes per-thread scratch peak\n",
                 static_cast<unsigned long long>(Fast.ArenaHighWater));
     std::printf("expression mismatches (legacy vs fast): %zu\n", Mismatches);

@@ -75,9 +75,25 @@ string(REGEX REPLACE "^[0-9]+\\.?" "" _now_frac "${_now_p99}")
 string(SUBSTRING "${_now_frac}000" 0 3 _now_frac)
 math(EXPR _now_milli "${_now_int} * 1000 + ${_now_frac}")
 if(_now_milli GREATER _allowed_milli)
+  # Attribute the regression before failing: the per-stage and per-cost
+  # breakdowns say where the extra time went (parse vs search vs fusion),
+  # so the failure message is actionable without a rerun.
+  set(_attribution "")
+  if(_now MATCHES "\"fast\":{[^}]*\"stage_ms_total\":({[^}]*})")
+    string(APPEND _attribution "\n  now  stage_ms_total ${CMAKE_MATCH_1}")
+  endif()
+  if(_base MATCHES "\"fast\":{[^}]*\"stage_ms_total\":({[^}]*})")
+    string(APPEND _attribution "\n  base stage_ms_total ${CMAKE_MATCH_1}")
+  endif()
+  if(_now MATCHES "\"fast\":{.*\"cost\":({[^}]*})")
+    string(APPEND _attribution "\n  now  cost ${CMAKE_MATCH_1}")
+  endif()
+  if(_base MATCHES "\"fast\":{.*\"cost\":({[^}]*})")
+    string(APPEND _attribution "\n  base cost ${CMAKE_MATCH_1}")
+  endif()
   message(FATAL_ERROR
       "fast DP core p99 regressed: ${_now_p99} ms now vs ${_base_p99} ms "
-      "baseline (limit +25%)")
+      "baseline (limit +25%)${_attribution}")
 endif()
 
 message(STATUS

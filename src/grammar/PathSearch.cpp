@@ -3,6 +3,7 @@
 #include "grammar/PathSearch.h"
 
 #include "grammar/PathCache.h"
+#include "obs/Cost.h"
 #include "obs/Metrics.h"
 #include "support/Arena.h"
 #include "support/FaultInjection.h"
@@ -149,6 +150,7 @@ public:
     Stack.clear();
     visit(DependentStart);
     Result.Visits = Visits;
+    obs::queryCost().InEdgeScans += EdgeScans;
     return std::move(Result);
   }
 
@@ -161,6 +163,7 @@ private:
   std::vector<GgNodeId> Stack;
   PathSearchResult Result;
   uint64_t Visits = 0;
+  uint64_t EdgeScans = 0;
 
   void record() {
     if (Result.Paths.size() >= Limits.MaxPaths) {
@@ -195,6 +198,7 @@ private:
       // record before any visit budget runs out.
       for (int Pass = 0; Pass < 2 && !Result.Truncated; ++Pass) {
         for (const GgEdge &E : GG.inEdges(Node)) {
+          ++EdgeScans;
           if (OnPath[E.From])
             continue; // Simple paths only (grammar recursion).
           if (!Useful[E.From])
@@ -278,6 +282,7 @@ RawSearchResult dggt::searchPathsRaw(const GrammarGraph &GG,
   RawSearchResult Result;
   Result.Paths = S.Views;
   uint64_t Visits = 0;
+  uint64_t EdgeScans = 0; // In-list slots examined; tallied at frame pop.
   bool Truncated = false;
   unsigned Depth = 0;       // Nodes currently on the path.
   unsigned ApiOnStack = 0;  // Running API count (hoisted countApisOnPath).
@@ -341,6 +346,7 @@ RawSearchResult dggt::searchPathsRaw(const GrammarGraph &GG,
   while (FrameTop != 0) {
     Frame &F = S.Frames[FrameTop - 1];
     if (Truncated) {
+      EdgeScans += F.EdgeIdx - InHead[F.Node];
       popNode(F.Node);
       --FrameTop;
       continue;
@@ -362,6 +368,7 @@ RawSearchResult dggt::searchPathsRaw(const GrammarGraph &GG,
     }
     if (Descended)
       continue;
+    EdgeScans += F.EdgeIdx - InHead[F.Node];
     popNode(F.Node);
     --FrameTop;
   }
@@ -370,6 +377,17 @@ RawSearchResult dggt::searchPathsRaw(const GrammarGraph &GG,
   // Restore the all-zero TargetBits invariant for the next search.
   for (GgNodeId T : GovernorTargets)
     clearBit(S.TargetBits, T);
+
+  // One flush per search into the query's cost vector: the eligibility
+  // setup touches Words words per target plus the two memsets, and every
+  // edge scan tests one Eligible word.
+  {
+    obs::CostCounters &C = obs::queryCost();
+    C.InEdgeScans += EdgeScans;
+    C.BitsetWordsTouched +=
+        static_cast<uint64_t>(Words) * (GovernorTargets.size() + 2) +
+        EdgeScans;
+  }
 
   Result.NumPaths = NumPaths;
   Result.Truncated = Truncated;
@@ -387,8 +405,12 @@ dggt::findPathsBetween(const GrammarGraph &GG, GgNodeId DependentStart,
   bool UseCache = Cache && !FaultInjector::anyArmed();
   if (UseCache) {
     if (std::optional<PathSearchResult> Hit =
-            Cache->lookup(DependentStart, GovernorTargets, Limits))
+            Cache->lookup(DependentStart, GovernorTargets, Limits)) {
+      obs::CostCounters &C = obs::queryCost();
+      ++C.PathSearches;
+      ++C.PathCacheHits;
       return std::move(*Hit);
+    }
   }
 
   PathSearchResult Result;
@@ -410,6 +432,14 @@ dggt::findPathsBetween(const GrammarGraph &GG, GgNodeId DependentStart,
       P.ApiCount = V.ApiCount;
       Result.Paths.push_back(std::move(P));
     }
+  }
+  // Per-query attribution is unconditional (thread-local adds, no
+  // fetch_add): the query log wants a populated cost vector even when
+  // registry metrics are off.
+  {
+    obs::CostCounters &C = obs::queryCost();
+    ++C.PathSearches;
+    C.NodeVisits += Result.Visits;
   }
   // Batched metric adds: one search, three fetch_adds — the per-visit
   // inner loop stays untouched.

@@ -1,0 +1,32 @@
+//===- obs/Cost.cpp - Per-query DP-core cost attribution ------------------===//
+
+#include "obs/Cost.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace dggt::obs;
+
+CostCounters &dggt::obs::queryCost() {
+  // Plain POD thread-local: no heap behind it, so unlike the search
+  // workspace it needs no intentional-leak registration.
+  static thread_local CostCounters C;
+  return C;
+}
+
+std::string dggt::obs::costCountersJson(const CostCounters &C) {
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"populated\":%s,\"path_searches\":%" PRIu64
+      ",\"path_cache_hits\":%" PRIu64 ",\"node_visits\":%" PRIu64
+      ",\"in_edge_scans\":%" PRIu64 ",\"bitset_words\":%" PRIu64
+      ",\"merge_candidates\":%" PRIu64 ",\"merge_survivors\":%" PRIu64
+      ",\"conflict_checks\":%" PRIu64 ",\"cgt_fusion_ops\":%" PRIu64
+      ",\"arena_high_water_bytes\":%" PRIu64 "}",
+      C.Populated ? "true" : "false", C.PathSearches, C.PathCacheHits,
+      C.NodeVisits, C.InEdgeScans, C.BitsetWordsTouched, C.MergeCandidates,
+      C.MergeSurvivors, C.ConflictChecks, C.CgtFusionOps,
+      C.ArenaHighWaterBytes);
+  return Buf;
+}

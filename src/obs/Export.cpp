@@ -4,6 +4,7 @@
 
 #include "obs/BuildInfo.h"
 #include "obs/HttpEndpoint.h"
+#include "obs/Profiler.h"
 #include "obs/QueryLog.h"
 #include "support/FaultInjection.h"
 #include "support/StringUtils.h"
@@ -386,6 +387,31 @@ std::vector<MetricSnapshot> obs::collectMetrics() {
     QlogOver.CounterValue = queryLog().overwritten();
     Snap.push_back(std::move(QlogOver));
   }
+  // Profiler self-accounting, pulled like the tracer counters. The
+  // handler/wall pair is the measured overhead ratio; dashboards alert
+  // when handler_nanos/wall_nanos exceeds the 2% budget.
+  {
+    MetricSnapshot ProfSamples;
+    ProfSamples.K = MetricSnapshot::Kind::Counter;
+    ProfSamples.Name = "dggt_profiler_samples_total";
+    ProfSamples.CounterValue = profiler().samplesTotal();
+    Snap.push_back(std::move(ProfSamples));
+    MetricSnapshot ProfDropped;
+    ProfDropped.K = MetricSnapshot::Kind::Counter;
+    ProfDropped.Name = "dggt_profiler_dropped_total";
+    ProfDropped.CounterValue = profiler().droppedTotal();
+    Snap.push_back(std::move(ProfDropped));
+    MetricSnapshot ProfSelf;
+    ProfSelf.K = MetricSnapshot::Kind::Counter;
+    ProfSelf.Name = "dggt_profiler_handler_nanos_total";
+    ProfSelf.CounterValue = profiler().handlerNanosTotal();
+    Snap.push_back(std::move(ProfSelf));
+    MetricSnapshot ProfWall;
+    ProfWall.K = MetricSnapshot::Kind::Counter;
+    ProfWall.Name = "dggt_profiler_wall_nanos_total";
+    ProfWall.CounterValue = profiler().wallNanosTotal();
+    Snap.push_back(std::move(ProfWall));
+  }
   if (std::shared_ptr<SpanRingSink> Ring = spanRing()) {
     MetricSnapshot Over;
     Over.K = MetricSnapshot::Kind::Counter;
@@ -509,6 +535,9 @@ void stopBackgroundWorkAtExit() {
     Flusher->stopAndJoin();
   if (Http)
     Http->stop();
+  // Disarm the sampling timer: a SIGPROF landing in a half-destructed
+  // static is the one crash the profiler design must rule out.
+  profiler().stop();
 }
 
 } // namespace
@@ -534,6 +563,7 @@ bool obs::configureFromSpec(std::string_view Spec, std::string &Error) {
       QlogRing,
       Tail,
       Qcap,
+      Prof,
     } K;
     std::string Dest;
     uint64_t N = 0; ///< Ring capacity / divisor / interval / port / ms.
@@ -628,6 +658,17 @@ bool obs::configureFromSpec(std::string_view Spec, std::string &Error) {
       }
       Out.K = Entry::Kind::Qcap;
       Out.N = *N;
+    } else if (Key == "prof") {
+      // Continuous sampling-profiler rate in Hz; the practical ceiling
+      // keeps the handler under ~1ms/s of self-time (see obs/Profiler.h).
+      std::optional<uint64_t> N = parseUnsigned(Dest);
+      if (!N || *N == 0 || *N > 1000) {
+        Error = "profiler rate '" + std::string(Dest) +
+                "' is not a sampling rate in Hz (1-1000)";
+        return false;
+      }
+      Out.K = Entry::Kind::Prof;
+      Out.N = *N;
     } else if (Key == "qlog") {
       if (Dest == "ring" || Dest.rfind("ring:", 0) == 0) {
         // In-memory record ring, optional capacity: qlog:ring[:N].
@@ -665,8 +706,8 @@ bool obs::configureFromSpec(std::string_view Spec, std::string &Error) {
     } else {
       Error = "unknown exporter '" + std::string(Key) + "' in '" +
               std::string(E) +
-              "' (want prom:, jsonl:, trace:, qlog:, sample:, tail:, "
-              "qcap:, flush:, http:, on or insecure-bind)";
+              "' (want prom:, jsonl:, trace:, qlog:, prof:, sample:, "
+              "tail:, qcap:, flush:, http:, on or insecure-bind)";
       return false;
     }
     Parsed.push_back(std::move(Out));
@@ -721,6 +762,21 @@ bool obs::configureFromSpec(std::string_view Spec, std::string &Error) {
     case Entry::Kind::QlogRing:
       QueryLog::instance().configureRing(static_cast<size_t>(E.N));
       break;
+    case Entry::Kind::Prof: {
+      // Arms the continuous profiler for the process lifetime (stopped
+      // by the same atexit hook that joins the flusher, so the timer
+      // never fires into static destruction). Already-running is fine:
+      // re-applied specs keep the existing run.
+      Profiler::StartStatus St =
+          profiler().start(static_cast<unsigned>(E.N), /*Seconds=*/0);
+      if (St == Profiler::StartStatus::Error)
+        std::fprintf(stderr, "[obs] cannot start profiler at %" PRIu64
+                             " Hz\n",
+                     E.N);
+      else
+        NeedsStopAtExit = true;
+      break;
+    }
     case Entry::Kind::Flush:
       if (Ex.Flusher)
         Ex.Flusher->setIntervalSeconds(E.N);

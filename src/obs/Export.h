@@ -29,6 +29,10 @@
 ///          | 'qcap:' N             -- byte cap for logged query text
 ///                                     (default 256; see
 ///                                     sanitizeQueryText)
+///          | 'prof:' HZ            -- continuous in-process sampling
+///                                     profiler at HZ samples/s (1-1000;
+///                                     obs/Profiler.h); folded stacks
+///                                     served at /debug/profile
 ///          | 'flush:' SECONDS      -- background flush of the file sinks
 ///                                     every SECONDS s (long runs update
 ///                                     mid-flight, not only at exit)

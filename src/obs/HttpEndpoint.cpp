@@ -5,7 +5,9 @@
 #include "obs/BuildInfo.h"
 #include "obs/Export.h"
 #include "obs/Metrics.h"
+#include "obs/Profiler.h"
 #include "obs/QueryLog.h"
+#include "support/Arena.h"
 #include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 
@@ -16,6 +18,7 @@
 #include <cstring>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <algorithm>
 #include <poll.h>
 #include <sstream>
 #include <sys/socket.h>
@@ -37,6 +40,8 @@ const char *statusText(int Code) {
     return "Not Found";
   case 405:
     return "Method Not Allowed";
+  case 409:
+    return "Conflict";
   case 411:
     return "Length Required";
   case 413:
@@ -119,13 +124,171 @@ parseQuery(std::string_view Query) {
   return Out;
 }
 
+/// Handles POST /debug/profile/start|stop. Status mapping: 200 on a
+/// state change, 409 when the request conflicts with the current state
+/// (already running / not running), 400 for unparseable knobs, 500 when
+/// the OS refuses the timer.
+std::string profilerControl(std::string_view Path, std::string_view Query,
+                            int &Code) {
+  if (Path == "/debug/profile/stop") {
+    if (profiler().stop()) {
+      Code = 200;
+      return "{\"status\":\"stopped\",\"samples_total\":" +
+             std::to_string(profiler().samplesTotal()) + "}";
+    }
+    Code = 409;
+    return "{\"error\":\"profiler is not running\"}";
+  }
+  uint64_t Hz = 99; // The classic just-off-100 rate: avoids lockstep
+                    // with 10ms-periodic work.
+  uint64_t Seconds = 0;
+  for (const auto &[K, V] : parseQuery(Query)) {
+    if (K == "hz") {
+      std::optional<uint64_t> N = parseUnsigned(V);
+      if (!N || *N == 0 || *N > 1000) {
+        Code = 400;
+        return "{\"error\":\"hz must be an integer in 1-1000\"}";
+      }
+      Hz = *N;
+    } else if (K == "seconds") {
+      std::optional<uint64_t> N = parseUnsigned(V);
+      if (!N || *N == 0 || *N > 86400) {
+        Code = 400;
+        return "{\"error\":\"seconds must be an integer in 1-86400\"}";
+      }
+      Seconds = *N;
+    }
+  }
+  switch (profiler().start(static_cast<unsigned>(Hz),
+                           static_cast<double>(Seconds))) {
+  case Profiler::StartStatus::Started:
+    Code = 200;
+    return "{\"status\":\"started\",\"hz\":" + std::to_string(Hz) +
+           ",\"seconds\":" + std::to_string(Seconds) + "}";
+  case Profiler::StartStatus::AlreadyRunning:
+    Code = 409;
+    return "{\"error\":\"profiler already running; stop it first\"}";
+  case Profiler::StartStatus::BadRate:
+    Code = 400;
+    return "{\"error\":\"hz must be an integer in 1-1000\"}";
+  case Profiler::StartStatus::Error:
+    break;
+  }
+  Code = 500;
+  return "{\"error\":\"cannot arm the profiling timer\"}";
+}
+
+/// One (name, value) the explainer ranks. The vocabulary is the record's
+/// latency fields plus the DP-core cost vector — every number a slow
+/// query could blame.
+struct ExplainMetric {
+  const char *Name;
+  double Value;
+};
+
+std::vector<ExplainMetric> explainMetrics(const QueryLogRecord &R) {
+  std::vector<ExplainMetric> M = {
+      {"total_ms", R.TotalMs},
+      {"queue_wait_ms", R.QueueWaitMs},
+      {"stage_parse_ms", R.StageMs[0]},
+      {"stage_prune_ms", R.StageMs[1]},
+      {"stage_word_to_api_ms", R.StageMs[2]},
+      {"stage_edge_to_path_ms", R.StageMs[3]},
+  };
+  if (R.Cost.Populated) {
+    M.push_back({"path_searches", double(R.Cost.PathSearches)});
+    M.push_back({"node_visits", double(R.Cost.NodeVisits)});
+    M.push_back({"in_edge_scans", double(R.Cost.InEdgeScans)});
+    M.push_back({"bitset_words", double(R.Cost.BitsetWordsTouched)});
+    M.push_back({"merge_candidates", double(R.Cost.MergeCandidates)});
+    M.push_back({"merge_survivors", double(R.Cost.MergeSurvivors)});
+    M.push_back({"conflict_checks", double(R.Cost.ConflictChecks)});
+    M.push_back({"cgt_fusion_ops", double(R.Cost.CgtFusionOps)});
+    M.push_back({"arena_high_water_bytes",
+                 double(R.Cost.ArenaHighWaterBytes)});
+  }
+  return M;
+}
+
+/// The slow-query explainer: ranks \p R's latency and cost metrics
+/// against its same-domain peers in the querylog ring. For each metric,
+/// the percentile rank (share of peers at or below R's value) and the
+/// ratio to the peer median; sorted worst-first and capped, so the top
+/// line reads "p99.7 in cgt_fusion_ops, 41x domain median".
+std::string explainJson(const QueryLogRecord &R) {
+  std::vector<QueryLogRecord> Peers = queryLog().snapshot();
+  std::erase_if(Peers, [&](const QueryLogRecord &P) {
+    return P.Domain != R.Domain;
+  });
+  std::ostringstream OS;
+  OS << "{\"domain_peers\":" << Peers.size() << ",\"ranked\":[";
+  if (Peers.empty()) {
+    OS << "]}";
+    return OS.str();
+  }
+  struct Ranked {
+    const char *Name;
+    double Value, Percentile, XMedian;
+  };
+  std::vector<Ranked> Out;
+  for (const ExplainMetric &M : explainMetrics(R)) {
+    std::vector<double> Vals;
+    Vals.reserve(Peers.size());
+    for (const QueryLogRecord &P : Peers)
+      for (const ExplainMetric &PM : explainMetrics(P))
+        if (std::strcmp(PM.Name, M.Name) == 0)
+          Vals.push_back(PM.Value);
+    if (Vals.empty())
+      continue;
+    std::sort(Vals.begin(), Vals.end());
+    size_t AtOrBelow =
+        std::upper_bound(Vals.begin(), Vals.end(), M.Value) - Vals.begin();
+    double Pct = 100.0 * double(AtOrBelow) / double(Vals.size());
+    double Median = Vals.size() % 2
+                        ? Vals[Vals.size() / 2]
+                        : (Vals[Vals.size() / 2 - 1] + Vals[Vals.size() / 2]) / 2;
+    double XMed = Median > 0 ? M.Value / Median : (M.Value > 0 ? -1 : 1);
+    Out.push_back({M.Name, M.Value, Pct, XMed});
+  }
+  // Worst offender first: highest percentile, then largest multiple of
+  // the median as the tie-break (everything above median ties at p100
+  // when the ring is small).
+  std::stable_sort(Out.begin(), Out.end(), [](const Ranked &A,
+                                              const Ranked &B) {
+    if (A.Percentile != B.Percentile)
+      return A.Percentile > B.Percentile;
+    return A.XMedian > B.XMedian;
+  });
+  constexpr size_t Cap = 8;
+  char Buf[64];
+  for (size_t I = 0; I < Out.size() && I < Cap; ++I) {
+    if (I)
+      OS << ",";
+    OS << "{\"metric\":\"" << Out[I].Name << "\",\"value\":";
+    std::snprintf(Buf, sizeof(Buf), "%.6g", Out[I].Value);
+    OS << Buf << ",\"percentile\":";
+    std::snprintf(Buf, sizeof(Buf), "%.4g", Out[I].Percentile);
+    OS << Buf << ",\"x_median\":";
+    if (Out[I].XMedian < 0)
+      OS << "null"; // Peer median is zero: a multiple is meaningless.
+    else {
+      std::snprintf(Buf, sizeof(Buf), "%.4g", Out[I].XMedian);
+      OS << Buf;
+    }
+    OS << "}";
+  }
+  OS << "]}";
+  return OS.str();
+}
+
 /// The bounded label vocabulary of dggt_http_requests_total: known
 /// routes keep their path, everything else collapses to "other" so a
 /// URL-scanning client cannot mint unbounded label values.
 std::string_view routeLabel(std::string_view Path) {
   if (Path == "/metrics" || Path == "/debug/traces" || Path == "/healthz" ||
       Path == "/readyz" || Path == "/statusz" || Path == "/v1/synthesize" ||
-      Path == "/debug/querylog")
+      Path == "/debug/querylog" || Path == "/debug/profile" ||
+      Path == "/debug/profile/start" || Path == "/debug/profile/stop")
     return Path;
   // Trace-id lookups collapse to one label: ids are client-chosen.
   if (Path.rfind("/debug/query/", 0) == 0)
@@ -849,6 +1012,24 @@ HttpEndpoint::ReqAction HttpEndpoint::processHead(Conn &C, std::string &Resp) {
     return ReqAction::NeedBody;
   }
 
+  // On-demand profiler control: POST-only, no body (state changes must
+  // not ride on a cacheable GET).
+  if (Path == "/debug/profile/start" || Path == "/debug/profile/stop") {
+    if (Method != "POST") {
+      Resp = respond(Path, 405, "application/json",
+                     "{\"error\":\"profiler control is POST-only\"}", 0,
+                     "POST");
+      return ReqAction::Respond;
+    }
+    std::string_view Query = Target.size() > Path.size() + 1
+                                 ? Target.substr(Path.size() + 1)
+                                 : std::string_view();
+    int Code = 200;
+    std::string Body = profilerControl(Path, Query, Code);
+    Resp = respond(Path, Code, "application/json", Body);
+    return ReqAction::Respond;
+  }
+
   if (Method != "GET") {
     Resp = respond(Path, 405, "application/json",
                    "{\"error\":\"method not allowed; only /v1/synthesize "
@@ -990,8 +1171,23 @@ std::string HttpEndpoint::dispatch(std::string_view Target, int &Code,
     return OS.str();
   }
 
+  if (Path == "/debug/profile") {
+    // Collapsed/folded stacks ("a;b;c 42" lines), the flamegraph input
+    // format. 404 until the profiler has captured anything: an empty
+    // profile is indistinguishable from a misconfigured one, so say so.
+    std::string Folded = profiler().foldedStacks();
+    if (Folded.empty()) {
+      Code = 404;
+      return "{\"error\":\"no profile samples; start with the prof:HZ "
+             "entry of DGGT_METRICS or POST /debug/profile/start\"}";
+    }
+    ContentType = "text/plain; charset=utf-8";
+    return Folded;
+  }
+
   if (Path == "/debug/querylog") {
     size_t Limit = SIZE_MAX;
+    size_t Slowest = 0;
     std::string DomainF, OutcomeF;
     double MinMs = -1;
     for (const auto &[K, V] : parseQuery(Query)) {
@@ -1005,6 +1201,9 @@ std::string HttpEndpoint::dispatch(std::string_view Target, int &Code,
       } else if (K == "min_ms") {
         if (std::optional<uint64_t> N = parseUnsigned(V))
           MinMs = static_cast<double>(*N);
+      } else if (K == "slowest") {
+        if (std::optional<uint64_t> N = parseUnsigned(V))
+          Slowest = static_cast<size_t>(*N);
       }
     }
     std::vector<QueryLogRecord> Recs = queryLog().snapshot();
@@ -1013,6 +1212,16 @@ std::string HttpEndpoint::dispatch(std::string_view Target, int &Code,
              (!OutcomeF.empty() && R.Outcome != OutcomeF) ||
              (MinMs >= 0 && R.TotalMs < MinMs);
     });
+    if (Slowest > 0) {
+      // Top-N by total latency, slowest first — the "what hurt today"
+      // view. Stable so equal-latency records keep ring (time) order.
+      std::stable_sort(Recs.begin(), Recs.end(),
+                       [](const QueryLogRecord &A, const QueryLogRecord &B) {
+                         return A.TotalMs > B.TotalMs;
+                       });
+      if (Recs.size() > Slowest)
+        Recs.resize(Slowest);
+    }
     std::ostringstream OS;
     OS << "{\"records\":[";
     // ?limit keeps the *newest* N (the snapshot is oldest-first).
@@ -1067,9 +1276,9 @@ std::string HttpEndpoint::dispatch(std::string_view Target, int &Code,
     std::ostringstream OS;
     OS << "{\"trace_id\":\"" << escapeJson(Id) << "\",\"record\":";
     if (Rec)
-      OS << queryLogRecordJson(*Rec);
+      OS << queryLogRecordJson(*Rec) << ",\"explain\":" << explainJson(*Rec);
     else
-      OS << "null";
+      OS << "null,\"explain\":null";
     OS << ",\"spans\":[" << SpansOS.str() << "],\"span_count\":" << SpanCount
        << "}";
     return OS.str();
@@ -1103,6 +1312,31 @@ std::string HttpEndpoint::dispatch(std::string_view Target, int &Code,
        << "\"},\"uptime_seconds\":" << uptimeSeconds()
        << ",\"endpoint\":{\"port\":" << port()
        << ",\"requests_served\":" << requestsServed() << "}";
+    // Per-query scratch footprint: the process-wide arena peak plus the
+    // p50/p99 of the dggt_arena_high_water_bytes histogram (when any
+    // query observed into it yet).
+    OS << ",\"arena\":{\"process_high_water_bytes\":"
+       << Arena::processHighWater();
+    for (const MetricSnapshot &M : registry().snapshot()) {
+      if (M.Name != "dggt_arena_high_water_bytes" ||
+          M.K != MetricSnapshot::Kind::Histogram || M.Count == 0)
+        continue;
+      OS << ",\"query_count\":" << M.Count << ",\"p50_bytes\":"
+         << static_cast<uint64_t>(
+                percentileFromCounts(M.Bounds, M.BucketCounts, 50))
+         << ",\"p99_bytes\":"
+         << static_cast<uint64_t>(
+                percentileFromCounts(M.Bounds, M.BucketCounts, 99));
+      break;
+    }
+    OS << "}";
+    OS << ",\"profiler\":{\"running\":"
+       << (profiler().running() ? "true" : "false")
+       << ",\"hz\":" << profiler().hz()
+       << ",\"samples_total\":" << profiler().samplesTotal()
+       << ",\"dropped_total\":" << profiler().droppedTotal()
+       << ",\"handler_nanos_total\":" << profiler().handlerNanosTotal()
+       << ",\"wall_nanos_total\":" << profiler().wallNanosTotal() << "}";
     {
       std::lock_guard<std::mutex> L(ProvidersM);
       if (Status)
@@ -1116,8 +1350,9 @@ std::string HttpEndpoint::dispatch(std::string_view Target, int &Code,
 
   Code = 404;
   return "{\"error\":\"not found\",\"routes\":[\"/metrics\",\"/debug/traces\","
-         "\"/debug/querylog\",\"/debug/query/<trace-id>\",\"/healthz\","
-         "\"/readyz\",\"/statusz\"]}";
+         "\"/debug/querylog\",\"/debug/query/<trace-id>\","
+         "\"/debug/profile\",\"/debug/profile/start\","
+         "\"/debug/profile/stop\",\"/healthz\",\"/readyz\",\"/statusz\"]}";
 }
 
 //===----------------------------------------------------------------------===//

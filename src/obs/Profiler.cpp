@@ -1,0 +1,323 @@
+//===- obs/Profiler.cpp - In-process sampling profiler --------------------===//
+
+#include "obs/Profiler.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <sched.h>
+#include <time.h>
+
+using namespace dggt;
+using namespace dggt::obs;
+
+namespace {
+
+/// Ring geometry. 8192 slots × 32 PCs × 8 bytes ≈ 2 MiB, allocated once
+/// at the first start() and reused for every later run. At 99 Hz that
+/// is ~80 s of continuous samples between reads; /debug/profile reads
+/// recycle nothing (the ring persists until the next start()).
+constexpr size_t SlotCount = 8192;
+constexpr size_t MaxDepth = 32;
+
+/// One captured stack. Len is the publish flag: the handler fills PCs
+/// first, then release-stores Len, so a reader that acquire-loads a
+/// nonzero Len sees a complete stack.
+struct Slot {
+  void *PCs[MaxDepth];
+  std::atomic<uint32_t> Len{0};
+};
+
+/// The ring. A plain array behind an acquire-published pointer — the
+/// handler never allocates.
+std::atomic<Slot *> Ring{nullptr};
+
+/// The profiler the SIGPROF trampoline dispatches to. Set (release)
+/// before the timer is armed; the singleton is leaked so the pointer
+/// never dangles.
+std::atomic<Profiler *> GProf{nullptr};
+
+uint64_t monotonicNs() {
+  timespec TS;
+  clock_gettime(CLOCK_MONOTONIC, &TS);
+  return static_cast<uint64_t>(TS.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(TS.tv_nsec);
+}
+
+extern "C" void dggtOnSigprof(int, siginfo_t *, void *) {
+  // The handler may interrupt arbitrary code mid-syscall; preserve errno
+  // like any well-behaved signal handler.
+  int SavedErrno = errno;
+  if (Profiler *P = GProf.load(std::memory_order_acquire))
+    P->handleSignal();
+  errno = SavedErrno;
+}
+
+/// Best-effort name for a sampled address: demangled symbol when dladdr
+/// finds one, "module+0xoff" when only the object is known, "0xaddr" as
+/// the last resort. Runs on the control thread only.
+std::string symbolize(void *Addr) {
+  Dl_info Info;
+  char Buf[512];
+  if (dladdr(Addr, &Info) && Info.dli_sname) {
+    int Status = 0;
+    char *Demangled =
+        abi::__cxa_demangle(Info.dli_sname, nullptr, nullptr, &Status);
+    if (Status == 0 && Demangled) {
+      std::string Out(Demangled);
+      std::free(Demangled);
+      return Out;
+    }
+    if (Demangled)
+      std::free(Demangled);
+    return Info.dli_sname;
+  }
+  if (dladdr(Addr, &Info) && Info.dli_fname) {
+    const char *Base = std::strrchr(Info.dli_fname, '/');
+    Base = Base ? Base + 1 : Info.dli_fname;
+    std::snprintf(Buf, sizeof(Buf), "%s+0x%zx", Base,
+                  reinterpret_cast<size_t>(Addr) -
+                      reinterpret_cast<size_t>(Info.dli_fbase));
+    return Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "0x%zx", reinterpret_cast<size_t>(Addr));
+  return Buf;
+}
+
+} // namespace
+
+Profiler &Profiler::instance() {
+  // Leaked, like the metrics registry: the SIGPROF trampoline must never
+  // race a static destructor.
+  static Profiler *P = new Profiler();
+  return *P;
+}
+
+Profiler &dggt::obs::profiler() { return Profiler::instance(); }
+
+void Profiler::handleSignal() {
+  uint64_t T0 = monotonicNs();
+  if (!Armed.load(std::memory_order_acquire) ||
+      Paused.load(std::memory_order_relaxed))
+    return;
+  if (DeadlineNs && T0 > DeadlineNs)
+    return; // Expired; the next control-plane call disarms the timer.
+  // Announce activity, then re-check Paused so a reader that set Paused
+  // and saw Active==0 cannot miss us (the store/load pair on each side
+  // forms the classic two-flag handshake).
+  Active.fetch_add(1, std::memory_order_acquire);
+  if (Paused.load(std::memory_order_acquire)) {
+    Active.fetch_sub(1, std::memory_order_release);
+    return;
+  }
+  Slot *Slots = Ring.load(std::memory_order_acquire);
+  uint64_t Idx = Next.fetch_add(1, std::memory_order_relaxed);
+  if (!Slots || Idx >= SlotCount) {
+    Dropped.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    Slot &S = Slots[Idx];
+    int N = backtrace(S.PCs, MaxDepth);
+    S.Len.store(N > 0 ? static_cast<uint32_t>(N) : 0,
+                std::memory_order_release);
+    Samples.fetch_add(1, std::memory_order_relaxed);
+  }
+  Active.fetch_sub(1, std::memory_order_release);
+  HandlerNs.fetch_add(monotonicNs() - T0, std::memory_order_relaxed);
+}
+
+Profiler::StartStatus Profiler::start(unsigned Hz, double Seconds) {
+  if (Hz == 0 || Hz > 1000)
+    return StartStatus::BadRate;
+  std::lock_guard<std::mutex> L(ControlM);
+  maybeExpireLocked();
+  if (Armed.load(std::memory_order_relaxed))
+    return StartStatus::AlreadyRunning;
+
+  if (!RingReady) {
+    Ring.store(new Slot[SlotCount], std::memory_order_release);
+    RingReady = true;
+  }
+  // Prime backtrace: its first call may dlopen libgcc (malloc, locks).
+  // Do it here, on the control thread, so the handler never does.
+  void *Prime[4];
+  backtrace(Prime, 4);
+
+  // Recycle the ring for this run.
+  Slot *Slots = Ring.load(std::memory_order_relaxed);
+  uint64_t Filled = Next.load(std::memory_order_relaxed);
+  if (Filled > SlotCount)
+    Filled = SlotCount;
+  for (uint64_t I = 0; I < Filled; ++I)
+    Slots[I].Len.store(0, std::memory_order_relaxed);
+  Next.store(0, std::memory_order_relaxed);
+  Paused.store(false, std::memory_order_relaxed);
+  HzVal.store(Hz, std::memory_order_relaxed);
+  DeadlineNs = Seconds > 0
+                   ? monotonicNs() +
+                         static_cast<uint64_t>(Seconds * 1e9)
+                   : 0;
+  GProf.store(this, std::memory_order_release);
+
+  if (!HandlerInstalled) {
+    // Installed once and left in place forever: restoring the default
+    // action in stop() would let one straggler SIGPROF (queued before
+    // timer_delete) terminate the process. A disarmed handler is a
+    // handful of loads.
+    struct sigaction SA;
+    std::memset(&SA, 0, sizeof(SA));
+    SA.sa_sigaction = dggtOnSigprof;
+    SA.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&SA.sa_mask);
+    if (sigaction(SIGPROF, &SA, nullptr) != 0)
+      return StartStatus::Error;
+    HandlerInstalled = true;
+  }
+
+  sigevent SEV;
+  std::memset(&SEV, 0, sizeof(SEV));
+  SEV.sigev_notify = SIGEV_SIGNAL;
+  SEV.sigev_signo = SIGPROF;
+  // CPU-time clock first: samples track where cycles go and the rate
+  // self-throttles when idle. Fall back to wall time where the kernel
+  // refuses a process-CPU timer.
+  if (timer_create(CLOCK_PROCESS_CPUTIME_ID, &SEV, &Timer) != 0 &&
+      timer_create(CLOCK_MONOTONIC, &SEV, &Timer) != 0)
+    return StartStatus::Error;
+
+  itimerspec IT;
+  std::memset(&IT, 0, sizeof(IT));
+  long PeriodNs = 1000000000L / static_cast<long>(Hz);
+  IT.it_interval.tv_sec = PeriodNs / 1000000000L;
+  IT.it_interval.tv_nsec = PeriodNs % 1000000000L;
+  IT.it_value = IT.it_interval;
+  StartWallNs = monotonicNs();
+  Armed.store(true, std::memory_order_release);
+  if (timer_settime(Timer, 0, &IT, nullptr) != 0) {
+    Armed.store(false, std::memory_order_release);
+    timer_delete(Timer);
+    return StartStatus::Error;
+  }
+  return StartStatus::Started;
+}
+
+bool Profiler::stopLocked() {
+  if (!Armed.load(std::memory_order_relaxed))
+    return false;
+  Armed.store(false, std::memory_order_release);
+  timer_delete(Timer);
+  // Drain handlers already past the Armed check before touching shared
+  // control state again.
+  while (Active.load(std::memory_order_acquire) != 0)
+    sched_yield();
+  WallNs.fetch_add(monotonicNs() - StartWallNs, std::memory_order_relaxed);
+  DeadlineNs = 0;
+  return true;
+}
+
+void Profiler::maybeExpireLocked() {
+  if (Armed.load(std::memory_order_relaxed) && DeadlineNs &&
+      monotonicNs() > DeadlineNs)
+    stopLocked();
+}
+
+bool Profiler::stop() {
+  std::lock_guard<std::mutex> L(ControlM);
+  maybeExpireLocked();
+  return stopLocked();
+}
+
+bool Profiler::running() {
+  std::lock_guard<std::mutex> L(ControlM);
+  maybeExpireLocked();
+  return Armed.load(std::memory_order_relaxed);
+}
+
+uint64_t Profiler::wallNanosTotal() const {
+  uint64_t Closed = WallNs.load(std::memory_order_relaxed);
+  // Include the in-progress run so the overhead ratio is meaningful
+  // while profiling (the common case for the continuous prof:HZ mode).
+  if (Armed.load(std::memory_order_acquire))
+    Closed += monotonicNs() - StartWallNs;
+  return Closed;
+}
+
+std::string Profiler::foldedStacks() {
+  std::lock_guard<std::mutex> L(ControlM);
+  maybeExpireLocked();
+  Slot *Slots = Ring.load(std::memory_order_acquire);
+  if (!Slots)
+    return std::string();
+
+  // Quiesce: stop new samples, wait out in-flight handlers, then the
+  // ring is ours to read.
+  Paused.store(true, std::memory_order_release);
+  while (Active.load(std::memory_order_acquire) != 0)
+    sched_yield();
+
+  uint64_t Filled = Next.load(std::memory_order_relaxed);
+  if (Filled > SlotCount)
+    Filled = SlotCount;
+
+  // Aggregate identical raw stacks first so each unique address is
+  // symbolized exactly once, however many samples share it.
+  std::map<std::vector<void *>, uint64_t> Agg;
+  for (uint64_t I = 0; I < Filled; ++I) {
+    uint32_t Len = Slots[I].Len.load(std::memory_order_acquire);
+    if (Len == 0)
+      continue;
+    // Skip the two leading frames — the handler itself and the kernel's
+    // signal trampoline — and reverse to root-first folded order.
+    std::vector<void *> Stack;
+    for (uint32_t F = Len; F > 2; --F)
+      Stack.push_back(Slots[I].PCs[F - 1]);
+    if (!Stack.empty())
+      ++Agg[std::move(Stack)];
+  }
+  Paused.store(false, std::memory_order_release);
+
+  std::map<void *, std::string> Names;
+  std::string Out;
+  for (const auto &KV : Agg) {
+    std::string Line;
+    for (void *Addr : KV.first) {
+      auto It = Names.find(Addr);
+      if (It == Names.end())
+        It = Names.emplace(Addr, symbolize(Addr)).first;
+      if (!Line.empty())
+        Line += ';';
+      Line += It->second;
+    }
+    Out += Line;
+    Out += ' ';
+    Out += std::to_string(KV.second);
+    Out += '\n';
+  }
+  return Out;
+}
+
+void Profiler::resetForTest() {
+  std::lock_guard<std::mutex> L(ControlM);
+  stopLocked();
+  Slot *Slots = Ring.load(std::memory_order_relaxed);
+  if (Slots) {
+    uint64_t Filled = Next.load(std::memory_order_relaxed);
+    if (Filled > SlotCount)
+      Filled = SlotCount;
+    for (uint64_t I = 0; I < Filled; ++I)
+      Slots[I].Len.store(0, std::memory_order_relaxed);
+  }
+  Next.store(0, std::memory_order_relaxed);
+  Samples.store(0, std::memory_order_relaxed);
+  Dropped.store(0, std::memory_order_relaxed);
+  HandlerNs.store(0, std::memory_order_relaxed);
+  WallNs.store(0, std::memory_order_relaxed);
+  HzVal.store(0, std::memory_order_relaxed);
+}

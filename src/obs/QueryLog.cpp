@@ -137,6 +137,8 @@ std::string dggt::obs::queryLogRecordJson(const QueryLogRecord &R) {
   Out += R.PathCacheHit ? "true" : "false";
   Out += ",\"word_cache_hit\":";
   Out += R.WordCacheHit ? "true" : "false";
+  Out += ",\"cost\":";
+  Out += costCountersJson(R.Cost);
   Out += ",\"budget_ms\":";
   Out += std::to_string(R.BudgetMs);
   Out += ",\"trace_kept\":";

@@ -27,6 +27,8 @@
 #ifndef DGGT_OBS_QUERYLOG_H
 #define DGGT_OBS_QUERYLOG_H
 
+#include "obs/Cost.h"
+
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -65,6 +67,10 @@ struct QueryLogRecord {
   double TotalMs = 0.0;
   bool PathCacheHit = false;
   bool WordCacheHit = false;
+  /// The query's DP-core cost vector (DESIGN.md §16) — exactly one per
+  /// record. Unpopulated (all-zero, `populated:false`) for queries
+  /// rejected before the pipeline ran.
+  CostCounters Cost;
   uint64_t BudgetMs = 0;
   bool TraceKept = false; ///< Spans retained (head draw or tail keep).
   /// Unix timestamp of record emission; stamped by QueryLog::record().

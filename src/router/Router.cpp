@@ -315,6 +315,7 @@ void FrontTierRouter::recordCall(Call &C) {
   Rec.TotalMs = static_cast<double>(R.TotalMs);
   Rec.PathCacheHit = R.Report.PathCacheHit;
   Rec.WordCacheHit = R.Report.WordCacheHit;
+  Rec.Cost = R.Report.Cost;
   Rec.BudgetMs = C.Q.BudgetMs;
   Rec.TraceKept = Kept;
   obs::queryLog().record(std::move(Rec));

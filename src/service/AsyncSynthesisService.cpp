@@ -94,6 +94,7 @@ void recordOwnedQuery(const obs::QueryContext &Ctx, std::string_view Domain,
   R.TotalMs = TotalMs;
   R.PathCacheHit = Rep.PathCacheHit;
   R.WordCacheHit = Rep.WordCacheHit;
+  R.Cost = Rep.Cost;
   R.BudgetMs = BudgetMs;
   R.TraceKept = Kept;
   obs::queryLog().record(std::move(R));

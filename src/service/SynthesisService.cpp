@@ -7,6 +7,7 @@
 #include "obs/HttpEndpoint.h"
 #include "obs/Metrics.h"
 #include "obs/QueryLog.h"
+#include "support/Arena.h"
 #include "support/FaultInjection.h"
 #include "synth/EdgeToPath.h"
 #include "text/Warmup.h"
@@ -477,9 +478,20 @@ ServiceReport SynthesisService::query(std::string_view DomainName,
   }
 
   DomainState *DS = findDomain(DomainName);
+  // Flipped once the pipeline ran for *this* query; guards the cost
+  // snapshot so a rejected query never inherits the thread-local cost
+  // vector of the previous query on this worker thread.
+  bool PipelineRan = false;
   auto Finish = [&](ServiceStatus St) -> ServiceReport & {
     Rep.St = St;
     Rep.TotalSeconds = Timer.seconds();
+    if (PipelineRan) {
+      Rep.Cost = obs::queryCost();
+      // The arena is reset at the pipeline's query boundary and only
+      // grows until the next query on this thread, so bytesUsed() here
+      // *is* this query's high-water scratch footprint.
+      Rep.Cost.ArenaHighWaterBytes = queryArena().bytesUsed();
+    }
     if (QSpan.active()) {
       QSpan.attr("status", serviceStatusName(St));
       if (Rep.AnsweredBy)
@@ -502,6 +514,22 @@ ServiceReport SynthesisService::query(std::string_view DomainName,
                                       Ctx.traceIdHex());
         else
           DS->QueryLatencyMs->observe(Rep.TotalSeconds * 1000.0);
+        if (PipelineRan) {
+          // Per-query arena high water, with the trace id as exemplar so
+          // a fat bucket links straight to the query that caused it.
+          // Byte-scaled bounds (1 KiB .. 16 MiB), not the default
+          // latency buckets.
+          static obs::Histogram &ArenaH = obs::registry().histogram(
+              "dggt_arena_high_water_bytes", {},
+              {1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0,
+               4194304.0, 16777216.0});
+          double Bytes =
+              static_cast<double>(Rep.Cost.ArenaHighWaterBytes);
+          if (Ctx.valid())
+            ArenaH.observe(Bytes, Ctx.traceIdHex());
+          else
+            ArenaH.observe(Bytes);
+        }
       }
     }
     return Rep;
@@ -518,6 +546,7 @@ ServiceReport SynthesisService::query(std::string_view DomainName,
 
   SharedQueryCaches Caches{DS->Paths.get(), DS->Words.get()};
   PreparedQuery Full = DS->D->frontEnd().prepare(QueryText, Caches);
+  PipelineRan = true;
   for (size_t I = 0; I < 4; ++I)
     Rep.StageMs[I] = Full.StageMs[I];
   Rep.PathCacheHit = Full.PathCacheHit;

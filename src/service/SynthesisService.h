@@ -29,6 +29,7 @@
 #define DGGT_SERVICE_SYNTHESISSERVICE_H
 
 #include "domains/Domain.h"
+#include "obs/Cost.h"
 #include "obs/Trace.h"
 #include "synth/Synthesizer.h"
 #include "synth/dggt/DggtSynthesizer.h"
@@ -140,6 +141,10 @@ struct ServiceReport {
   /// PreparedQuery).
   bool PathCacheHit = false;
   bool WordCacheHit = false;
+  /// DP-core cost vector accumulated while this query ran its pipeline
+  /// (DESIGN.md §16). Unpopulated when the query never reached the
+  /// pipeline (unknown domain, open breaker).
+  obs::CostCounters Cost;
 
   bool ok() const { return St == ServiceStatus::Ok; }
 };

@@ -5,6 +5,7 @@
 #include "grammar/PathCache.h"
 #include "nlp/DependencyParser.h"
 #include "nlp/GraphPruner.h"
+#include "obs/Cost.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Arena.h"
@@ -110,6 +111,10 @@ SynthesisFrontEnd::prepareFromGraph(const DependencyGraph &Pruned,
   // caches hold only owning heap storage (DESIGN.md §15). prepare()
   // funnels through here, so both entry points hit the reset.
   queryArena().reset();
+  // Same boundary for the cost vector: everything the DP core counts
+  // from here until the service snapshots it belongs to this query.
+  obs::queryCost() = obs::CostCounters{};
+  obs::queryCost().Populated = true;
   PreparedQuery Q;
   Q.GG = &GG;
   Q.Doc = &Doc;

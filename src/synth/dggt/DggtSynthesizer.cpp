@@ -2,6 +2,7 @@
 
 #include "synth/dggt/DggtSynthesizer.h"
 
+#include "obs/Cost.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Arena.h"
@@ -170,6 +171,7 @@ private:
       Obj.Score += P->DepScore;
       Obj.Len += static_cast<unsigned>(P->Nodes.size());
       Cgt Tree = DN.MinCgt;
+      obs::queryCost().CgtFusionOps += P->Nodes.size();
       Tree.addPath(*P);
       annotate(Tree, Node, Occ);
       DynNodeId Id = Dyn.getOrCreateApiNode(Node, Occ);
@@ -256,6 +258,7 @@ private:
       Total *= static_cast<double>(F[I].size());
     }
     Result.Stats.CombosAfterReloc += Total;
+    obs::queryCost().MergeCandidates += static_cast<uint64_t>(Total);
 
     const size_t Levels = Group.size();
 
@@ -290,6 +293,8 @@ private:
             for (size_t C = 0; C < F[J].size(); ++C)
               if (ConflictPair(F[I][A].OrEdges, F[J][C].OrEdges))
                 Rows[A * BitWords[J] + (C >> 6)] |= uint64_t(1) << (C & 63);
+          obs::queryCost().ConflictChecks +=
+              static_cast<uint64_t>(F[I].size()) * F[J].size();
         }
       }
     }
@@ -398,6 +403,7 @@ private:
       if (Opts.EnableSizePruning)
         RecordedMin.push_back(MinSize);
     });
+    obs::queryCost().MergeSurvivors += Survivors;
     if (TimedOut || Survivors == 0)
       return;
 
@@ -469,6 +475,10 @@ private:
                                             Combo[I]->dependentEnd()))
                        .MinCgt.numEdges();
     Full.reserveEdges(EdgeBound);
+    // Fusion work is the addEdge attempts (each pays a containsEdge scan
+    // of the growing tree): every path node pair plus every child-CGT
+    // edge merged below — EdgeBound is exactly that count's upper bound.
+    obs::queryCost().CgtFusionOps += EdgeBound;
     for (const GrammarPath *P : Combo) {
       Full.addPath(*P);
       Obj.Score += P->DepScore;

@@ -16,6 +16,8 @@
 #include "obs/Export.h"
 #include "obs/HttpEndpoint.h"
 #include "obs/Metrics.h"
+#include "obs/Profiler.h"
+#include "obs/QueryLog.h"
 #include "obs/Trace.h"
 #include "service/AsyncSynthesisService.h"
 #include "support/Clock.h"
@@ -164,6 +166,9 @@ protected:
     obs::Tracer::setSampleEvery(1);
     obs::registry().zeroAllForTest();
     obs::setHttpEndpoint(nullptr);
+    obs::profiler().resetForTest();
+    obs::queryLog().resetForTest();
+    obs::queryLog().configureRing(1024);
     FaultInjector::instance().reset();
   }
 
@@ -835,4 +840,162 @@ TEST_F(HttpEndpointTest, DrainFlipsReadyzAndShedsSynthesizePosts) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_TRUE(Complete);
+}
+
+//===----------------------------------------------------------------------===//
+// Profiler control surface and slow-query views
+//===----------------------------------------------------------------------===//
+
+TEST_F(HttpEndpointTest, ProfileRouteIs404UntilSamplesExist) {
+  auto Ep = startEndpoint();
+  Response Rep = get(Ep->port(), "/debug/profile");
+  EXPECT_EQ(Rep.Code, 404);
+  EXPECT_NE(Rep.Body.find("no profile samples"), std::string::npos)
+      << Rep.Body;
+  // Stopping an idle profiler over HTTP conflicts, it does not 200.
+  Response Stop = parseResponse(rawExchange(
+      Ep->port(), "POST /debug/profile/stop HTTP/1.1\r\n\r\n"));
+  EXPECT_EQ(Stop.Code, 409);
+  EXPECT_NE(Stop.Body.find("not running"), std::string::npos) << Stop.Body;
+}
+
+TEST_F(HttpEndpointTest, ProfileStartStopOverHttpServesFoldedStacks) {
+  auto Ep = startEndpoint();
+  uint16_t Port = Ep->port();
+
+  Response Started = parseResponse(rawExchange(
+      Port, "POST /debug/profile/start?hz=500 HTTP/1.1\r\n\r\n"));
+  ASSERT_EQ(Started.Code, 200) << Started.Body;
+  EXPECT_NE(Started.Body.find("\"status\":\"started\""), std::string::npos);
+  EXPECT_NE(Started.Body.find("\"hz\":500"), std::string::npos);
+
+  // A second start conflicts while the first run is live.
+  Response Again = parseResponse(rawExchange(
+      Port, "POST /debug/profile/start HTTP/1.1\r\n\r\n"));
+  EXPECT_EQ(Again.Code, 409);
+  EXPECT_NE(Again.Body.find("already running"), std::string::npos)
+      << Again.Body;
+
+  // Bad knobs are 400s, not silent defaults.
+  EXPECT_EQ(parseResponse(
+                rawExchange(Port, "POST /debug/profile/start?hz=0 "
+                                  "HTTP/1.1\r\n\r\n"))
+                .Code,
+            400);
+  EXPECT_EQ(parseResponse(
+                rawExchange(Port, "POST /debug/profile/start?seconds=x "
+                                  "HTTP/1.1\r\n\r\n"))
+                .Code,
+            400);
+  // Profiler control is POST-only.
+  EXPECT_EQ(get(Port, "/debug/profile/start").Code, 405);
+
+  // Burn CPU so the process-CPU timer fires, then stop and read.
+  auto Until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(400);
+  volatile uint64_t Sink = 0;
+  while (std::chrono::steady_clock::now() < Until)
+    for (int I = 0; I < 1000; ++I)
+      Sink += static_cast<uint64_t>(I) * 2654435761u;
+
+  Response Stopped = parseResponse(rawExchange(
+      Port, "POST /debug/profile/stop HTTP/1.1\r\n\r\n"));
+  EXPECT_EQ(Stopped.Code, 200) << Stopped.Body;
+
+  Response Prof = get(Port, "/debug/profile");
+  ASSERT_EQ(Prof.Code, 200) << Prof.Body;
+  EXPECT_NE(Prof.Head.find("text/plain"), std::string::npos);
+  // Folded shape: first line is "frame(;frame)* count".
+  ASSERT_FALSE(Prof.Body.empty());
+  std::string First = Prof.Body.substr(0, Prof.Body.find('\n'));
+  size_t Space = First.rfind(' ');
+  ASSERT_NE(Space, std::string::npos) << First;
+  EXPECT_GT(std::stoull(First.substr(Space + 1)), 0u) << First;
+
+  // /statusz reflects the profiler's self-accounting.
+  Response St = get(Port, "/statusz");
+  ASSERT_EQ(St.Code, 200);
+  EXPECT_NE(St.Body.find("\"profiler\":{\"running\":false"),
+            std::string::npos)
+      << St.Body;
+}
+
+TEST_F(HttpEndpointTest, QuerylogSlowestReturnsTopNByTotalMs) {
+  auto Ep = startEndpoint();
+  for (int I = 0; I < 6; ++I) {
+    obs::QueryLogRecord R;
+    R.TraceId = std::string(31, 'a') + static_cast<char>('0' + I);
+    R.Domain = "TextEditing";
+    R.Outcome = "ok";
+    R.TotalMs = 10.0 * (I % 3) + I; // 0,11,22,3,14,25
+    obs::queryLog().record(std::move(R));
+  }
+  Response Rep = get(Ep->port(), "/debug/querylog?slowest=2");
+  ASSERT_EQ(Rep.Code, 200);
+  EXPECT_NE(Rep.Body.find("\"count\":2"), std::string::npos) << Rep.Body;
+  // The two slowest (25 then 22), slowest first.
+  size_t P25 = Rep.Body.find("\"total_ms\":25");
+  size_t P22 = Rep.Body.find("\"total_ms\":22");
+  ASSERT_NE(P25, std::string::npos) << Rep.Body;
+  ASSERT_NE(P22, std::string::npos) << Rep.Body;
+  EXPECT_LT(P25, P22);
+  EXPECT_EQ(Rep.Body.find("\"total_ms\":11"), std::string::npos);
+}
+
+TEST_F(HttpEndpointTest, DebugQueryExplainRanksAgainstDomainPeers) {
+  auto Ep = startEndpoint();
+  // Nine cheap peers and one outlier doing 100x the fusion work.
+  for (int I = 0; I < 10; ++I) {
+    obs::QueryLogRecord R;
+    R.TraceId = std::string(31, 'b') + static_cast<char>('0' + I);
+    R.Domain = "TextEditing";
+    R.Outcome = "ok";
+    R.TotalMs = I == 9 ? 80.0 : 2.0;
+    R.Cost.Populated = true;
+    R.Cost.CgtFusionOps = I == 9 ? 10000 : 100;
+    R.Cost.NodeVisits = 50;
+    obs::queryLog().record(std::move(R));
+  }
+  std::string Id = std::string(31, 'b') + "9";
+  Response Rep = get(Ep->port(), "/debug/query/" + Id);
+  ASSERT_EQ(Rep.Code, 200) << Rep.Body;
+  ASSERT_NE(Rep.Body.find("\"explain\":{"), std::string::npos) << Rep.Body;
+  EXPECT_NE(Rep.Body.find("\"domain_peers\":10"), std::string::npos)
+      << Rep.Body;
+  // The outlier metric ranks with a p100 percentile and a 100x median.
+  size_t Fusion = Rep.Body.find("\"metric\":\"cgt_fusion_ops\"");
+  ASSERT_NE(Fusion, std::string::npos) << Rep.Body;
+  std::string Entry = Rep.Body.substr(Fusion, 120);
+  EXPECT_NE(Entry.find("\"percentile\":100"), std::string::npos) << Entry;
+  EXPECT_NE(Entry.find("\"x_median\":100"), std::string::npos) << Entry;
+  // A flat metric (node_visits, identical everywhere) must not outrank
+  // the outlier: the ranked list leads with a 100x entry.
+  size_t RankedStart = Rep.Body.find("\"ranked\":[");
+  ASSERT_NE(RankedStart, std::string::npos);
+  std::string FirstEntry = Rep.Body.substr(RankedStart, 160);
+  EXPECT_EQ(FirstEntry.find("\"metric\":\"node_visits\""),
+            std::string::npos)
+      << FirstEntry;
+}
+
+TEST_F(HttpEndpointTest, StatuszCarriesArenaHighWaterSection) {
+  obs::setMetricsEnabled(true);
+  AsyncOptions Opts;
+  Opts.Workers = 1;
+  Opts.Service.HttpPort = 0;
+  AsyncSynthesisService S(Opts);
+  S.addDomain(textEditing());
+  uint16_t Port = S.service().endpoint()->port();
+
+  ASSERT_TRUE(
+      S.submit("TextEditing", "sort all lines").get().ok());
+
+  Response St = get(Port, "/statusz");
+  ASSERT_EQ(St.Code, 200);
+  size_t Arena = St.Body.find("\"arena\":{\"process_high_water_bytes\":");
+  ASSERT_NE(Arena, std::string::npos) << St.Body;
+  // One query ran: the histogram section is present with percentiles.
+  EXPECT_NE(St.Body.find("\"query_count\":1"), std::string::npos)
+      << St.Body;
+  EXPECT_NE(St.Body.find("\"p99_bytes\":"), std::string::npos) << St.Body;
 }

@@ -261,6 +261,13 @@ TEST_F(ObsQueryLogTest, AsyncServiceWritesOneRecordPerAdmittedQuery) {
   EXPECT_FALSE(R.Rung.empty());
   EXPECT_GT(R.TotalMs, 0.0);
   EXPECT_GT(R.WallSeconds, 0.0);
+  // The cost vector rode along: the pipeline ran, so it is populated
+  // and the DP core counted real work.
+  EXPECT_TRUE(R.Cost.Populated);
+  EXPECT_GT(R.Cost.PathSearches, 0u);
+  EXPECT_GT(R.Cost.NodeVisits, 0u);
+  EXPECT_GT(R.Cost.InEdgeScans, 0u);
+  EXPECT_GT(R.Cost.ArenaHighWaterBytes, 0u);
   EXPECT_FALSE(R.TraceKept); // Tracing is off: nothing to keep.
 
   // The record is addressable by its trace id.
@@ -287,6 +294,10 @@ TEST_F(ObsQueryLogTest, AsyncServiceLogsImmediateRejectionsToo) {
   EXPECT_EQ(Recs[0].Outcome, "unknown-domain");
   EXPECT_EQ(Recs[0].Gate, "unknown-domain");
   EXPECT_EQ(Recs[0].Attempts, 0u);
+  // Rejected before the pipeline: the cost vector must be unpopulated,
+  // not a stale copy of the previous query on that worker thread.
+  EXPECT_FALSE(Recs[0].Cost.Populated);
+  EXPECT_EQ(Recs[0].Cost.NodeVisits, 0u);
 }
 
 // TSan hammer for the record-once contract: concurrent submitters
@@ -362,6 +373,45 @@ TEST_F(ObsQueryLogTest, RecordJsonEscapesHostileQueryText) {
             std::string::npos);
   EXPECT_NE(Json.find("\"stage_ms\""), std::string::npos);
   EXPECT_NE(Json.find("\"trace_kept\":false"), std::string::npos);
+  // Exactly one cost object per record (the record-once contract
+  // extends to the cost vector), unpopulated for this synthetic record.
+  size_t First = Json.find("\"cost\":{");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_EQ(Json.find("\"cost\":{", First + 1), std::string::npos);
+  EXPECT_NE(Json.find("\"populated\":false"), std::string::npos);
+  EXPECT_NE(Json.find("\"cgt_fusion_ops\":0"), std::string::npos);
+}
+
+TEST_F(ObsQueryLogTest, RecordJsonCarriesPopulatedCostCounters) {
+  obs::QueryLogRecord R;
+  R.TraceId = "00000000000000000000000000000abc";
+  R.Domain = "TextEditing";
+  R.Outcome = "ok";
+  R.Cost.Populated = true;
+  R.Cost.PathSearches = 3;
+  R.Cost.PathCacheHits = 1;
+  R.Cost.NodeVisits = 1234;
+  R.Cost.InEdgeScans = 5678;
+  R.Cost.BitsetWordsTouched = 90;
+  R.Cost.MergeCandidates = 12;
+  R.Cost.MergeSurvivors = 4;
+  R.Cost.ConflictChecks = 33;
+  R.Cost.CgtFusionOps = 777;
+  R.Cost.ArenaHighWaterBytes = 8192;
+
+  std::string Json = obs::queryLogRecordJson(R);
+  EXPECT_NE(Json.find("\"cost\":{\"populated\":true"), std::string::npos);
+  EXPECT_NE(Json.find("\"path_searches\":3"), std::string::npos);
+  EXPECT_NE(Json.find("\"path_cache_hits\":1"), std::string::npos);
+  EXPECT_NE(Json.find("\"node_visits\":1234"), std::string::npos);
+  EXPECT_NE(Json.find("\"in_edge_scans\":5678"), std::string::npos);
+  EXPECT_NE(Json.find("\"bitset_words\":90"), std::string::npos);
+  EXPECT_NE(Json.find("\"merge_candidates\":12"), std::string::npos);
+  EXPECT_NE(Json.find("\"merge_survivors\":4"), std::string::npos);
+  EXPECT_NE(Json.find("\"conflict_checks\":33"), std::string::npos);
+  EXPECT_NE(Json.find("\"cgt_fusion_ops\":777"), std::string::npos);
+  EXPECT_NE(Json.find("\"arena_high_water_bytes\":8192"),
+            std::string::npos);
 }
 
 TEST_F(ObsQueryLogTest, RingOverwriteKeepsNewestAndCountsEvictions) {
