@@ -40,6 +40,24 @@
 // token-bucket retry budget bounds amplification; violating either
 // bound exits nonzero (the CI acceptance check).
 
+// --workload runs the accuracy-under-load experiment instead: a seeded
+// WorkloadGenerator expands both ground-truth query sets into
+// production-shaped traffic (thesaurus-synonym paraphrases, Zipf
+// popularity, multi-turn refinement sessions, adversarial near-misses;
+// see eval/Workload.h and DESIGN.md §17), every pool entry verified
+// against the real pipeline at zero load. The stream is replayed
+// open-loop with Poisson arrivals at --load x the calibrated capacity,
+// every response is scored against its entry's expected expression
+// (near-misses must *fail* cleanly), and the headline metric is
+// accuracy-under-load: correct ∧ on-time over offered — what the
+// near-real-time claim actually has to hold at saturation, where
+// goodput alone can look healthy while the degradation ladder serves
+// wrong or shed answers. The run cross-checks the PR 7 query log
+// (exactly one wide-event record per replayed query) and exits nonzero
+// on a mismatch. Seed plumbing: --seed N or DGGT_WORKLOAD_SEED, echoed
+// in the output, same seed ⇒ byte-identical stream (the printed
+// stream_digest).
+
 // --dpcore runs the DP-core A/B instead: the heavy ASTMatcher query set
 // replayed closed-loop through the bare pipeline (caches off, so every
 // query pays the real path search), once with the legacy recursive
@@ -50,6 +68,7 @@
 // holds p99 against the committed baseline.
 
 #include "BenchCommon.h"
+#include "eval/Workload.h"
 #include "grammar/PathCache.h"
 #include "grammar/PathSearch.h"
 #include "nlu/WordToApiMatcher.h"
@@ -62,6 +81,7 @@
 #include "service/AsyncSynthesisService.h"
 #include "support/Arena.h"
 #include "support/FaultInjection.h"
+#include "synth/Expression.h"
 #include "synth/dggt/DggtSynthesizer.h"
 
 #include <algorithm>
@@ -599,6 +619,95 @@ void runDpCore(const bench::Domains &D, int Rounds, size_t Limit, bool Legacy,
   setDpCoreLegacy(false);
 }
 
+/// Offered/correct pair for one slice of the workload replay.
+struct WorkloadTally {
+  uint64_t Offered = 0;
+  uint64_t Correct = 0;
+
+  double accuracy() const {
+    return Offered ? static_cast<double>(Correct) / static_cast<double>(Offered)
+                   : 0.0;
+  }
+};
+
+/// One open-loop workload replay, scored per response.
+struct WorkloadOutcome {
+  double WallSeconds = 0;
+  /// Per stream index: 1 if the response was correct ∧ on-time (positive
+  /// entries: Ok within deadline with the expected expression;
+  /// near-misses: any non-Ok outcome).
+  std::vector<uint8_t> Correct;
+  /// Per stream index: the ServiceStatus, for the on-time breakdown.
+  std::vector<uint8_t> Status;
+};
+
+/// Closed-loop pass over the first \p N stream queries; returns the
+/// sustained rate (the capacity the open-loop replay is scaled from).
+double workloadClosedLoopQps(AsyncSynthesisService &S,
+                             const WorkloadGenerator &Gen,
+                             const std::vector<WorkloadQuery> &Stream,
+                             size_t N, unsigned Workers) {
+  const std::vector<WorkloadEntry> &Pool = Gen.pool();
+  const size_t Window = static_cast<size_t>(Workers) * 4;
+  std::vector<std::future<ServiceReport>> Pending;
+  Pending.reserve(Window);
+  WallTimer Total;
+  for (size_t I = 0; I < N;) {
+    Pending.clear();
+    for (size_t K = 0; K < Window && I < N; ++K, ++I) {
+      const WorkloadEntry &E = Pool[Stream[I].Pool];
+      Pending.push_back(S.submit(Gen.domains()[E.DomainIndex]->name(), E.Text));
+    }
+    for (std::future<ServiceReport> &F : Pending)
+      F.wait();
+  }
+  double Seconds = Total.seconds();
+  return Seconds > 0 ? static_cast<double>(N) / Seconds : 0.0;
+}
+
+/// Open-loop replay of the whole stream at \p OfferedQps: arrivals follow
+/// the generator's deterministic Poisson schedule and never wait on
+/// completions; every response is scored in its completion callback.
+void runWorkloadReplay(AsyncSynthesisService &S, const WorkloadGenerator &Gen,
+                       const std::vector<WorkloadQuery> &Stream,
+                       double OfferedQps, WorkloadOutcome &R) {
+  const std::vector<WorkloadEntry> &Pool = Gen.pool();
+  const size_t N = Stream.size();
+  R.Correct.assign(N, 0);
+  R.Status.assign(N, 0);
+  std::vector<uint64_t> Sched = Gen.arrivalScheduleNs(N, OfferedQps);
+  std::atomic<size_t> Done{0};
+  Budget::Clock::time_point Start = Budget::Clock::now();
+  for (size_t I = 0; I < N; ++I) {
+    std::this_thread::sleep_until(Start + std::chrono::nanoseconds(Sched[I]));
+    const WorkloadEntry &E = Pool[Stream[I].Pool];
+    SubmitOptions SO;
+    (void)S.submit(
+        Gen.domains()[E.DomainIndex]->name(), E.Text, SO,
+        [&R, &Done, I, Ent = &E](const ServiceReport &Rep) {
+          // Correct ∧ on-time. Ok carries the submission-time deadline
+          // semantics (the answer landed inside the budget that started
+          // at submit), so a late answer is already non-Ok here; a
+          // near-miss is correct precisely when it did *not* get an
+          // expression — shed, gated, deadline-missed and no-answer all
+          // count as the clean failure the entry demands.
+          bool Ok = Rep.St == ServiceStatus::Ok;
+          bool Good =
+              Ent->ExpectOk
+                  ? (Ok && normalizeExpression(Rep.Result.Expression) ==
+                               Ent->Expected)
+                  : !Ok;
+          R.Correct[I] = Good ? 1 : 0;
+          R.Status[I] = static_cast<uint8_t>(Rep.St);
+          Done.fetch_add(1, std::memory_order_release);
+        });
+  }
+  while (Done.load(std::memory_order_acquire) < N)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  R.WallSeconds =
+      std::chrono::duration<double>(Budget::Clock::now() - Start).count();
+}
+
 /// Expressions must agree wherever both modes produced an answer; a
 /// nonzero count means the caches or the pool changed semantics.
 size_t countMismatches(const ModeResult &Serial, const ModeResult &Async) {
@@ -625,10 +734,25 @@ int main(int argc, char **argv) {
   double GateOn = 0.8, GateOff = 0.6;
   bool FrontTier = false;
   bool DpCore = false;
+  bool WorkloadMode = false;
+  size_t WorkloadQueries = 100000;
+  uint64_t WorkloadSeed = 0; // 0 = DGGT_WORKLOAD_SEED or the default.
+  double LoadMult = 1.0;
   for (int I = 1; I < argc; ++I) {
     std::string_view Arg = argv[I];
     if (Arg == "--json")
       Json = true;
+    else if (Arg == "--workload")
+      // Accuracy-under-load experiment: generated production-shaped
+      // traffic replayed open-loop, every response scored.
+      WorkloadMode = true;
+    else if (Arg == "--queries" && I + 1 < argc)
+      WorkloadQueries = static_cast<size_t>(std::atoll(argv[++I]));
+    else if (Arg == "--seed" && I + 1 < argc)
+      WorkloadSeed = std::strtoull(argv[++I], nullptr, 10);
+    else if (Arg == "--load" && I + 1 < argc)
+      // Offered rate as a multiple of the calibrated capacity.
+      LoadMult = std::atof(argv[++I]);
     else if (Arg == "--front-tier")
       // Chaos A/B through the FrontTierRouter: clean vs one shard
       // failing 100%, asserting the goodput and retry-budget bounds.
@@ -665,6 +789,8 @@ int main(int argc, char **argv) {
                    "usage: %s [--json] [--workers N] [--rounds N] "
                    "[--limit QUERIES_PER_DOMAIN] [--http-port PORT] "
                    "[--front-tier] [--dpcore] "
+                   "[--workload [--queries N] [--seed N] [--load MULT] "
+                   "[--budget-ms N]] "
                    "[--overload MULT [--budget-ms N] [--gate-on F] "
                    "[--gate-off F]]\n",
                    argv[0]);
@@ -680,8 +806,201 @@ int main(int argc, char **argv) {
     return 2;
   }
 
+  if (WorkloadMode && (WorkloadQueries == 0 || LoadMult < 0.1)) {
+    std::fprintf(stderr,
+                 "--workload needs --queries >= 1 and --load >= 0.1\n");
+    return 2;
+  }
+
   bench::Domains D;
   std::vector<WorkItem> Work = buildWorkload(D, Rounds, Limit);
+
+  if (WorkloadMode) {
+    const uint64_t Seed =
+        WorkloadSeed != 0 ? WorkloadSeed : workloadSeedFromEnv(1);
+    // The querylog cross-check needs the wide-event pipeline hot, and
+    // the replay is meant to be production-shaped anyway.
+    obs::setMetricsEnabled(true);
+
+    WorkloadOptions WO;
+    WO.Seed = Seed;
+    if (Limit != static_cast<size_t>(-1))
+      WO.LimitPerDomain = Limit;
+    std::fprintf(stderr,
+                 "[bench] workload: seed %llu, building zero-load-verified "
+                 "pool (both domains)...\n",
+                 static_cast<unsigned long long>(Seed));
+    WorkloadGenerator Gen(D.all(), WO);
+    const WorkloadPoolStats &PS = Gen.poolStats();
+    if (Gen.pool().empty()) {
+      std::fprintf(stderr, "[bench] workload: empty verified pool\n");
+      return 1;
+    }
+    std::vector<dggt::WorkloadQuery> Stream = Gen.stream(WorkloadQueries);
+    uint64_t Digest = Gen.streamDigest(Stream);
+    std::fprintf(stderr,
+                 "[bench] workload: pool %zu (canonical %zu, synonym %zu, "
+                 "refinement %zu, near-miss %zu; dropped %zu/%zu/%zu), "
+                 "stream digest %016llx\n",
+                 PS.total(), PS.Canonical, PS.Synonym, PS.Refinement,
+                 PS.NearMiss, PS.DroppedCanonical, PS.DroppedMutants,
+                 PS.DroppedNearMisses, static_cast<unsigned long long>(Digest));
+
+    AsyncOptions Opts;
+    Opts.Workers = Workers;
+    Opts.QueueCap = 256;
+    Opts.Service.TotalBudgetMs = BudgetMs;
+    AsyncSynthesisService S(Opts);
+    S.addDomain(*D.TextEditing);
+    S.addDomain(*D.AstMatcher);
+
+    // Capacity calibration: a warm closed-loop pass (parser tables,
+    // shared caches, allocator reach steady state), then a measured one.
+    size_t CalibN =
+        std::min(Stream.size(), std::max<size_t>(Gen.pool().size(), 200));
+    std::fprintf(stderr, "[bench] workload: calibrating capacity...\n");
+    (void)workloadClosedLoopQps(S, Gen, Stream, CalibN, Workers);
+    double CapacityQps = workloadClosedLoopQps(S, Gen, Stream, CalibN, Workers);
+    if (CapacityQps <= 0) {
+      std::fprintf(stderr, "[bench] workload: calibration produced 0 qps\n");
+      return 1;
+    }
+    double OfferedQps = CapacityQps * LoadMult;
+    std::fprintf(stderr,
+                 "[bench] workload: capacity %.1f q/s, replaying %zu queries "
+                 "open-loop at %.1f q/s (%.2fx), budget %llu ms...\n",
+                 CapacityQps, Stream.size(), OfferedQps, LoadMult,
+                 static_cast<unsigned long long>(BudgetMs));
+
+    // Count query-log records from the measured phase only (calibration
+    // wrote its own); the ring is a bounded window but total() counts
+    // every record written.
+    obs::queryLog().resetForTest();
+    obs::queryLog().configureRing(4096);
+    uint64_t Records0 = obs::queryLog().total();
+
+    WorkloadOutcome R;
+    runWorkloadReplay(S, Gen, Stream, OfferedQps, R);
+    uint64_t Records = obs::queryLog().total() - Records0;
+    bool RecordsOk = Records == Stream.size();
+
+    // Aggregate the per-response verdicts.
+    WorkloadTally Overall;
+    std::vector<WorkloadTally> PerDomain(Gen.domains().size());
+    WorkloadTally PerKind[4];
+    uint64_t OnTimeOk = 0;
+    const std::vector<WorkloadEntry> &Pool = Gen.pool();
+    for (size_t I = 0; I < Stream.size(); ++I) {
+      const WorkloadEntry &E = Pool[Stream[I].Pool];
+      ++Overall.Offered;
+      ++PerDomain[E.DomainIndex].Offered;
+      ++PerKind[static_cast<size_t>(E.Kind)].Offered;
+      if (R.Correct[I]) {
+        ++Overall.Correct;
+        ++PerDomain[E.DomainIndex].Correct;
+        ++PerKind[static_cast<size_t>(E.Kind)].Correct;
+      }
+      if (static_cast<ServiceStatus>(R.Status[I]) == ServiceStatus::Ok)
+        ++OnTimeOk;
+    }
+    double GoodputQps = R.WallSeconds > 0
+                            ? static_cast<double>(Overall.Correct) /
+                                  R.WallSeconds
+                            : 0.0;
+
+    if (Json) {
+      std::printf("{\"bench\":\"throughput_workload\",\"queries\":%zu,"
+                  "\"seed\":%llu,\"stream_digest\":\"%016llx\","
+                  "\"workers\":%u,\"load_multiplier\":%.2f,"
+                  "\"capacity_qps\":%.2f,\"offered_qps\":%.2f,"
+                  "\"budget_ms\":%llu,\"wall_s\":%.3f,",
+                  Stream.size(), static_cast<unsigned long long>(Seed),
+                  static_cast<unsigned long long>(Digest), Workers, LoadMult,
+                  CapacityQps, OfferedQps,
+                  static_cast<unsigned long long>(BudgetMs), R.WallSeconds);
+      std::printf("\"pool\":{\"canonical\":%zu,\"synonym\":%zu,"
+                  "\"refinement\":%zu,\"near_miss\":%zu,"
+                  "\"dropped_canonical\":%zu,\"dropped_mutants\":%zu,"
+                  "\"dropped_near_misses\":%zu},",
+                  PS.Canonical, PS.Synonym, PS.Refinement, PS.NearMiss,
+                  PS.DroppedCanonical, PS.DroppedMutants,
+                  PS.DroppedNearMisses);
+      auto PrintTally = [](const WorkloadTally &T) {
+        std::printf("{\"offered\":%llu,\"correct\":%llu,\"accuracy\":%.4f}",
+                    static_cast<unsigned long long>(T.Offered),
+                    static_cast<unsigned long long>(T.Correct), T.accuracy());
+      };
+      std::printf("\"accuracy_under_load\":{\"offered\":%llu,"
+                  "\"correct\":%llu,\"accuracy\":%.4f,\"on_time_ok\":%llu,"
+                  "\"goodput_qps\":%.2f,\"domains\":{",
+                  static_cast<unsigned long long>(Overall.Offered),
+                  static_cast<unsigned long long>(Overall.Correct),
+                  Overall.accuracy(),
+                  static_cast<unsigned long long>(OnTimeOk), GoodputQps);
+      for (size_t DI = 0; DI < PerDomain.size(); ++DI) {
+        std::printf("%s\"%s\":", DI ? "," : "",
+                    Gen.domains()[DI]->name().c_str());
+        PrintTally(PerDomain[DI]);
+      }
+      std::printf("},\"kinds\":{");
+      for (size_t K = 0; K < 4; ++K) {
+        std::printf("%s\"%s\":", K ? "," : "",
+                    std::string(workloadKindName(
+                                    static_cast<WorkloadKind>(K)))
+                        .c_str());
+        PrintTally(PerKind[K]);
+      }
+      std::printf("}},\"querylog\":{\"records\":%llu,\"offered\":%zu,"
+                  "\"match\":%s}}\n",
+                  static_cast<unsigned long long>(Records), Stream.size(),
+                  RecordsOk ? "true" : "false");
+    } else {
+      bench::banner("Accuracy under load: generated production-shaped "
+                    "traffic, open-loop replay",
+                    "correct ∧ on-time over offered; eval/Workload.h");
+      std::printf("seed %llu   stream digest %016llx   %zu queries at "
+                  "%.1f q/s (%.2fx of %.1f q/s capacity), budget %llu ms\n",
+                  static_cast<unsigned long long>(Seed),
+                  static_cast<unsigned long long>(Digest), Stream.size(),
+                  OfferedQps, LoadMult, CapacityQps,
+                  static_cast<unsigned long long>(BudgetMs));
+      std::printf("pool: %zu entries (canonical %zu, synonym %zu, "
+                  "refinement %zu, near-miss %zu; dropped %zu canonical, "
+                  "%zu mutants, %zu near-misses)\n",
+                  PS.total(), PS.Canonical, PS.Synonym, PS.Refinement,
+                  PS.NearMiss, PS.DroppedCanonical, PS.DroppedMutants,
+                  PS.DroppedNearMisses);
+      std::printf("accuracy under load: %.4f (%llu/%llu correct ∧ on-time, "
+                  "%llu answered Ok, goodput %.1f q/s, wall %.1f s)\n",
+                  Overall.accuracy(),
+                  static_cast<unsigned long long>(Overall.Correct),
+                  static_cast<unsigned long long>(Overall.Offered),
+                  static_cast<unsigned long long>(OnTimeOk), GoodputQps,
+                  R.WallSeconds);
+      for (size_t DI = 0; DI < PerDomain.size(); ++DI)
+        std::printf("  %-12s offered %7llu   correct %7llu   accuracy %.4f\n",
+                    Gen.domains()[DI]->name().c_str(),
+                    static_cast<unsigned long long>(PerDomain[DI].Offered),
+                    static_cast<unsigned long long>(PerDomain[DI].Correct),
+                    PerDomain[DI].accuracy());
+      for (size_t K = 0; K < 4; ++K)
+        std::printf("  %-12s offered %7llu   correct %7llu   accuracy %.4f\n",
+                    std::string(workloadKindName(static_cast<WorkloadKind>(K)))
+                        .c_str(),
+                    static_cast<unsigned long long>(PerKind[K].Offered),
+                    static_cast<unsigned long long>(PerKind[K].Correct),
+                    PerKind[K].accuracy());
+      std::printf("query log: %llu records for %zu offered queries (%s)\n",
+                  static_cast<unsigned long long>(Records), Stream.size(),
+                  RecordsOk ? "match" : "MISMATCH");
+    }
+    if (!RecordsOk)
+      std::fprintf(stderr,
+                   "[bench] FAIL: query log != one record per replayed query "
+                   "(%llu records, want %zu)\n",
+                   static_cast<unsigned long long>(Records), Stream.size());
+    return RecordsOk ? 0 : 1;
+  }
 
   if (DpCore) {
     // Counter deltas need the registry live in both passes; honor a

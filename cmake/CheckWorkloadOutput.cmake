@@ -1,0 +1,108 @@
+# Runs the accuracy-under-load replay (`throughput --workload --json`)
+# twice at a small, fixed scale and gates on it:
+#   -DBENCH=<path>     the bench/throughput binary
+#   -DOUT=<path>       where to write BENCH_workload.json
+#   -DBASELINE=<path>  committed baseline (bench/BENCH_workload_baseline.json)
+# Used by the `check-workload` target. Fails the build when
+#   * either replay exits nonzero (the bench itself exits 1 when the
+#     query log does not hold exactly one record per offered query), or
+#   * the two runs disagree on stream_digest — the same seed must yield
+#     a byte-identical query stream through the whole verified pool
+#     build, or
+#   * accuracy-under-load drops more than 10 points below the committed
+#     baseline (the gate runs at half capacity, where accuracy should
+#     be near 1; a bigger drop means load handling or translation
+#     correctness regressed, not noise).
+# The baseline stores an environment-tolerant reference number;
+# regenerate it with the same fixed flags when accuracy legitimately
+# moves:
+#   bench/throughput --workload --queries 4000 --limit 30 --load 0.5 \
+#     --seed 1 --json > bench/BENCH_workload_baseline.json
+
+foreach(var BENCH OUT BASELINE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "CheckWorkloadOutput.cmake needs -D${var}=<path>")
+  endif()
+endforeach()
+if(NOT EXISTS "${BASELINE}")
+  message(FATAL_ERROR "committed baseline '${BASELINE}' is missing")
+endif()
+
+set(_flags --workload --queries 4000 --limit 30 --load 0.5 --seed 1 --json)
+
+execute_process(
+  COMMAND "${BENCH}" ${_flags}
+  OUTPUT_FILE "${OUT}"
+  RESULT_VARIABLE _rc)
+if(NOT _rc EQUAL 0)
+  message(FATAL_ERROR
+      "throughput --workload failed (rc=${_rc}); the query log did not "
+      "match the offered queries or the bench crashed — see ${OUT}")
+endif()
+
+# Replay determinism: a second process with the same seed must produce
+# the identical stream digest (pool verification included).
+execute_process(
+  COMMAND "${BENCH}" ${_flags}
+  OUTPUT_FILE "${OUT}.replay"
+  RESULT_VARIABLE _rc)
+if(NOT _rc EQUAL 0)
+  message(FATAL_ERROR "second --workload replay failed (rc=${_rc})")
+endif()
+
+file(READ "${OUT}" _now)
+file(READ "${OUT}.replay" _replay)
+file(READ "${BASELINE}" _base)
+
+function(extract_digest text outvar src)
+  if(NOT text MATCHES "\"stream_digest\":\"([0-9a-f]+)\"")
+    message(FATAL_ERROR "${src} has no stream_digest field")
+  endif()
+  set(${outvar} "${CMAKE_MATCH_1}" PARENT_SCOPE)
+endfunction()
+extract_digest("${_now}" _digest_a "${OUT}")
+extract_digest("${_replay}" _digest_b "${OUT}.replay")
+if(NOT _digest_a STREQUAL _digest_b)
+  message(FATAL_ERROR
+      "same seed produced different streams: ${_digest_a} vs ${_digest_b} — "
+      "the workload generator is not deterministic")
+endif()
+
+# The bench already exits nonzero on a mismatch; double-check the field
+# so a silent exit-code regression cannot sneak past the gate.
+foreach(_pair "${_now};${OUT}" "${_replay};${OUT}.replay")
+  list(GET _pair 0 _text)
+  list(GET _pair 1 _src)
+  if(NOT _text MATCHES "\"querylog\":{\"records\":([0-9]+),\"offered\":([0-9]+),\"match\":true}")
+    message(FATAL_ERROR "${_src}: querylog records != offered queries")
+  endif()
+endforeach()
+
+# Accuracy-under-load against the committed baseline, in 1e-4 units
+# (math(EXPR) is integer-only).
+function(extract_accuracy text outvar src)
+  if(NOT text MATCHES "\"accuracy_under_load\":{\"offered\":[0-9]+,\"correct\":[0-9]+,\"accuracy\":([0-9.]+)")
+    message(FATAL_ERROR "${src} has no accuracy_under_load.accuracy field")
+  endif()
+  set(_acc "${CMAKE_MATCH_1}")
+  string(REGEX MATCH "^[0-9]+" _int "${_acc}")
+  string(REGEX REPLACE "^[0-9]+\\.?" "" _frac "${_acc}")
+  string(SUBSTRING "${_frac}0000" 0 4 _frac)
+  math(EXPR _units "${_int} * 10000 + ${_frac}")
+  set(${outvar} "${_units}" PARENT_SCOPE)
+endfunction()
+extract_accuracy("${_now}" _now_acc "${OUT}")
+extract_accuracy("${_base}" _base_acc "${BASELINE}")
+
+math(EXPR _floor "${_base_acc} - 1000") # baseline − 0.10
+if(_now_acc LESS _floor)
+  message(FATAL_ERROR
+      "accuracy-under-load regressed: ${_now_acc} now vs ${_base_acc} "
+      "baseline (1e-4 units, limit −0.10) — see ${OUT} for the per-domain "
+      "and per-kind breakdown")
+endif()
+
+message(STATUS
+    "workload gate OK: accuracy ${_now_acc}/10000 (baseline ${_base_acc}), "
+    "stream digest ${_digest_a} stable across replays, querylog matched; "
+    "wrote ${OUT}")

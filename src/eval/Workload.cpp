@@ -1,0 +1,418 @@
+//===- eval/Workload.cpp - Realistic traffic generator --------------------===//
+
+#include "eval/Workload.h"
+
+#include "support/StringUtils.h"
+#include "synth/Expression.h"
+#include "synth/dggt/DggtSynthesizer.h"
+#include "text/Thesaurus.h"
+#include "text/Tokenizer.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dggt;
+
+//===----------------------------------------------------------------------===//
+// Samplers
+//===----------------------------------------------------------------------===//
+
+ZipfSampler::ZipfSampler(size_t N, double Exponent) : S(Exponent) {
+  Cdf.reserve(N);
+  double Sum = 0;
+  for (size_t K = 0; K < N; ++K) {
+    Sum += std::pow(static_cast<double>(K + 1), -S);
+    Cdf.push_back(Sum);
+  }
+  Norm = Sum > 0 ? Sum : 1.0;
+  for (double &C : Cdf)
+    C /= Norm;
+  if (!Cdf.empty())
+    Cdf.back() = 1.0; // Guard the tail against rounding.
+}
+
+double ZipfSampler::probability(size_t Rank) const {
+  if (Rank >= Cdf.size())
+    return 0.0;
+  return std::pow(static_cast<double>(Rank + 1), -S) / Norm;
+}
+
+size_t ZipfSampler::sample(SplitMix64 &Rng) const {
+  assert(!Cdf.empty() && "sampling an empty Zipf table");
+  double U = Rng.nextDouble();
+  // Smallest rank whose cumulative probability exceeds U.
+  size_t Lo = 0, Hi = Cdf.size() - 1;
+  while (Lo < Hi) {
+    size_t Mid = Lo + (Hi - Lo) / 2;
+    if (Cdf[Mid] > U)
+      Hi = Mid;
+    else
+      Lo = Mid + 1;
+  }
+  return Lo;
+}
+
+//===----------------------------------------------------------------------===//
+// Names and seed plumbing
+//===----------------------------------------------------------------------===//
+
+std::string_view dggt::workloadKindName(WorkloadKind K) {
+  switch (K) {
+  case WorkloadKind::Canonical:
+    return "canonical";
+  case WorkloadKind::Synonym:
+    return "synonym";
+  case WorkloadKind::Refinement:
+    return "refinement";
+  case WorkloadKind::NearMiss:
+    return "near_miss";
+  }
+  return "unknown";
+}
+
+uint64_t dggt::workloadSeedFromEnv(uint64_t Default) {
+  if (const char *Env = std::getenv("DGGT_WORKLOAD_SEED")) {
+    std::optional<uint64_t> V = parseUnsigned(Env);
+    if (V && *V != 0)
+      return *V;
+    std::fprintf(stderr,
+                 "[dggt] warning: invalid DGGT_WORKLOAD_SEED='%s' (want a "
+                 "positive integer); using %llu\n",
+                 Env, static_cast<unsigned long long>(Default));
+  }
+  return Default;
+}
+
+//===----------------------------------------------------------------------===//
+// Pool construction
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Stream tags mixed into the seed so the pool shuffle, the query draw
+/// and the arrival schedule consume independent RNG streams (advancing
+/// one never perturbs another).
+constexpr uint64_t PoolTag = 0x706f6f6c00000001ull;    // "pool"
+constexpr uint64_t StreamTag = 0x73747265616d0001ull;  // "stream"
+constexpr uint64_t ArrivalTag = 0x6172726976650001ull; // "arrive"
+
+/// Out-of-vocabulary gibberish for near-miss mutants: no stem of these
+/// appears in either domain's API document or the thesaurus.
+constexpr const char *GibberishWords[] = {"flembic", "zorgulated",
+                                          "quibblexed", "snarfled"};
+
+/// Rebuilds query text from tokens, substituting the token at
+/// \p ReplaceIndex (token index) with \p Replacement when ReplaceIndex
+/// is in range. Literals are re-quoted; spacing is normalized, which the
+/// tokenizer erases again on the way back in.
+std::string rebuildQuery(const std::vector<Token> &Tokens,
+                         size_t ReplaceIndex, std::string_view Replacement) {
+  std::string Out;
+  for (size_t I = 0; I < Tokens.size(); ++I) {
+    if (!Out.empty())
+      Out += ' ';
+    if (I == ReplaceIndex) {
+      Out += Replacement;
+      continue;
+    }
+    const Token &T = Tokens[I];
+    if (T.Kind == TokenKind::Literal) {
+      // Preserve literal spans verbatim; pick the quote the span does
+      // not contain.
+      char Quote = T.Text.find('\'') == std::string::npos ? '\'' : '"';
+      Out += Quote;
+      Out += T.Text;
+      Out += Quote;
+    } else {
+      Out += T.Text;
+    }
+  }
+  return Out;
+}
+
+std::string rebuildQuery(const std::vector<Token> &Tokens) {
+  return rebuildQuery(Tokens, static_cast<size_t>(-1), "");
+}
+
+/// Deterministic in-place Fisher-Yates shuffle.
+template <typename T>
+void shuffle(std::vector<T> &V, SplitMix64 &Rng) {
+  for (size_t I = V.size(); I > 1; --I)
+    std::swap(V[I - 1], V[Rng.nextBelow(I)]);
+}
+
+} // namespace
+
+ZeroLoadResult dggt::zeroLoadSynthesize(const Domain &D, std::string_view Text,
+                                        uint64_t BudgetMs) {
+  ZeroLoadResult Out;
+  PreparedQuery Q = D.frontEnd().prepare(Text);
+  Budget B(BudgetMs);
+  DggtSynthesizer Synth;
+  SynthesisResult Res = Synth.synthesize(Q, B);
+  Out.Ok = Res.ok();
+  if (Out.Ok)
+    Out.NormalizedExpression = normalizeExpression(Res.Expression);
+  return Out;
+}
+
+WorkloadGenerator::WorkloadGenerator(std::vector<const Domain *> Ds,
+                                     WorkloadOptions O)
+    : Domains(std::move(Ds)), Opts(O), DomainZipf(0, O.DomainZipfExponent) {
+  buildPool();
+
+  // Popularity samplers over what survived verification. Domains that
+  // kept no case are excluded from the rank list entirely.
+  for (uint32_t D = 0; D < Slots.size(); ++D) {
+    QueryZipf.emplace_back(Slots[D].size(), Opts.QueryZipfExponent);
+    if (!Slots[D].empty())
+      DomainRanks.push_back(D);
+  }
+  DomainZipf = ZipfSampler(DomainRanks.size(), Opts.DomainZipfExponent);
+}
+
+void WorkloadGenerator::buildPool() {
+  const Thesaurus &Syn = Thesaurus::builtin();
+  SplitMix64 Rng(Opts.Seed ^ PoolTag);
+  Slots.resize(Domains.size());
+
+  auto Verify = [&](const Domain &D, const std::string &Text,
+                    const std::string &NormExpected) {
+    ZeroLoadResult R = zeroLoadSynthesize(D, Text, Opts.VerifyBudgetMs);
+    return R.Ok && R.NormalizedExpression == NormExpected;
+  };
+
+  for (uint32_t DI = 0; DI < Domains.size(); ++DI) {
+    const Domain &D = *Domains[DI];
+    const std::vector<QueryCase> &Cases = D.queries();
+    size_t Limit = Opts.LimitPerDomain ? Opts.LimitPerDomain : Cases.size();
+    size_t NumCases = std::min(Limit, Cases.size());
+
+    for (uint32_t CI = 0; CI < NumCases; ++CI) {
+      const QueryCase &Case = Cases[CI];
+      std::string NormGT = normalizeExpression(Case.GroundTruth);
+      // Ground-truth cases the pipeline cannot reproduce at zero load
+      // (the datasets' intentional error cases) are excluded along with
+      // their mutants: the replay's accuracy metric should isolate what
+      // *load* breaks, not re-measure the zero-load accuracy band.
+      if (Opts.VerifyMutants && !Verify(D, Case.Query, NormGT)) {
+        ++Stats.DroppedCanonical;
+        continue;
+      }
+
+      CanonicalSlot Slot;
+      Slot.DomainIndex = DI;
+      Slot.Entry = static_cast<uint32_t>(Pool.size());
+      Pool.push_back({WorkloadKind::Canonical, DI, Case.Query, NormGT,
+                      /*ExpectOk=*/true, CI, /*Surface=*/""});
+      ++Stats.Canonical;
+
+      std::vector<Token> Tokens = tokenize(Case.Query);
+
+      // Synonym mutants: every (word position, thesaurus synonym) pair
+      // is a candidate; a deterministic shuffle picks the order in which
+      // candidates are verified, and the first MaxSynonymsPerQuery
+      // survivors enter the pool labelled with the unchanged ground
+      // truth.
+      std::vector<std::pair<uint32_t, std::string>> Candidates;
+      for (uint32_t TI = 0; TI < Tokens.size(); ++TI) {
+        if (Tokens[TI].Kind != TokenKind::Word)
+          continue;
+        for (std::string &S : Syn.synonymsOf(Tokens[TI].Text))
+          Candidates.emplace_back(TI, std::move(S));
+      }
+      shuffle(Candidates, Rng);
+      for (const auto &[TI, Replacement] : Candidates) {
+        if (Slot.Synonyms.size() >= Opts.MaxSynonymsPerQuery)
+          break;
+        std::string Mutant = rebuildQuery(Tokens, TI, Replacement);
+        if (Opts.VerifyMutants && !Verify(D, Mutant, NormGT)) {
+          ++Stats.DroppedMutants;
+          continue;
+        }
+        Slot.Synonyms.push_back(static_cast<uint32_t>(Pool.size()));
+        Pool.push_back({WorkloadKind::Synonym, DI, std::move(Mutant), NormGT,
+                        /*ExpectOk=*/true, CI, /*Surface=*/""});
+        ++Stats.Synonym;
+      }
+
+      // Near-misses: replace one content word with out-of-vocabulary
+      // gibberish. Kept only when zero-load synthesis fails — a clean
+      // rejection is this entry's *correct* answer under load.
+      std::vector<uint32_t> ContentWords;
+      for (uint32_t TI = 0; TI < Tokens.size(); ++TI)
+        if (Tokens[TI].Kind == TokenKind::Word && Tokens[TI].Text.size() >= 4)
+          ContentWords.push_back(TI);
+      shuffle(ContentWords, Rng);
+      for (uint32_t TI : ContentWords) {
+        if (Slot.NearMisses.size() >= Opts.MaxNearMissesPerQuery)
+          break;
+        const char *Gibberish =
+            GibberishWords[Rng.nextBelow(std::size(GibberishWords))];
+        std::string Miss = rebuildQuery(Tokens, TI, Gibberish);
+        if (Opts.VerifyMutants && zeroLoadSynthesize(D, Miss,
+                                                     Opts.VerifyBudgetMs).Ok) {
+          ++Stats.DroppedNearMisses;
+          continue;
+        }
+        Slot.NearMisses.push_back(static_cast<uint32_t>(Pool.size()));
+        Pool.push_back({WorkloadKind::NearMiss, DI, std::move(Miss),
+                        /*Expected=*/"", /*ExpectOk=*/false, CI,
+                        /*Surface=*/""});
+        ++Stats.NearMiss;
+      }
+
+      Slots[DI].push_back(std::move(Slot));
+    }
+
+    // Refinement turns: for each verified case, its session partners are
+    // the next verified cases of the same family (same leading verb).
+    // The pool entry carries the *resolved* full query — what a session
+    // front end reconstructs from the ellipsis — plus the elliptical
+    // surface form a user would actually type.
+    std::vector<CanonicalSlot> &DomainSlots = Slots[DI];
+    for (size_t A = 0; A < DomainSlots.size(); ++A) {
+      const WorkloadEntry &Base = Pool[DomainSlots[A].Entry];
+      std::vector<Token> BaseToks = tokenize(Base.Text);
+      for (size_t B = A + 1;
+           B < DomainSlots.size() && DomainSlots[A].Refinements.size() < 2;
+           ++B) {
+        const WorkloadEntry &Partner = Pool[DomainSlots[B].Entry];
+        std::vector<Token> PartToks = tokenize(Partner.Text);
+        if (BaseToks.empty() || PartToks.empty() ||
+            BaseToks[0].Text != PartToks[0].Text ||
+            Base.Text == Partner.Text)
+          continue;
+        size_t Common = 0;
+        while (Common < BaseToks.size() && Common < PartToks.size() &&
+               BaseToks[Common].Kind == PartToks[Common].Kind &&
+               BaseToks[Common].Text == PartToks[Common].Text)
+          ++Common;
+        std::vector<Token> Suffix(PartToks.begin() +
+                                      static_cast<long>(Common),
+                                  PartToks.end());
+        std::string Surface =
+            "no, " + (Suffix.empty() ? Partner.Text : rebuildQuery(Suffix));
+        DomainSlots[A].Refinements.push_back(
+            static_cast<uint32_t>(Pool.size()));
+        Pool.push_back({WorkloadKind::Refinement, DI, Partner.Text,
+                        Partner.Expected, /*ExpectOk=*/true,
+                        Partner.CanonicalIndex, std::move(Surface)});
+        ++Stats.Refinement;
+      }
+    }
+
+    // Popularity ranks are a seeded permutation of dataset order, so
+    // rank 0 ("the hot query") is not systematically the first dataset
+    // row.
+    shuffle(DomainSlots, Rng);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Stream generation
+//===----------------------------------------------------------------------===//
+
+std::vector<WorkloadQuery> WorkloadGenerator::stream(size_t N) const {
+  std::vector<WorkloadQuery> Out;
+  Out.reserve(N);
+  if (DomainRanks.empty())
+    return Out;
+  SplitMix64 Rng(Opts.Seed ^ StreamTag);
+  uint32_t NextSession = 0;
+
+  auto PickRepresentation = [&](const CanonicalSlot &Slot) -> uint32_t {
+    if (!Slot.Synonyms.empty() && Rng.nextDouble() < Opts.SynonymFraction)
+      return Slot.Synonyms[Rng.nextBelow(Slot.Synonyms.size())];
+    return Slot.Entry;
+  };
+
+  while (Out.size() < N) {
+    uint32_t DI = DomainRanks[DomainZipf.sample(Rng)];
+    const CanonicalSlot &Slot = Slots[DI][QueryZipf[DI].sample(Rng)];
+    double ClassDraw = Rng.nextDouble();
+
+    if (ClassDraw < Opts.NearMissFraction && !Slot.NearMisses.empty()) {
+      Out.push_back({Slot.NearMisses[Rng.nextBelow(Slot.NearMisses.size())],
+                     WorkloadQuery::NoSession, 0, WorkloadQuery::NoRef});
+      continue;
+    }
+
+    if (ClassDraw < Opts.NearMissFraction + Opts.SessionFraction &&
+        !Slot.Refinements.empty()) {
+      // A refinement session: the opening query, then 1..k elliptical
+      // follow-ups, each referencing the turn before it.
+      unsigned Turns =
+          2 + (Opts.MaxSessionTurns > 2
+                   ? static_cast<unsigned>(Rng.nextBelow(
+                         Opts.MaxSessionTurns - 1))
+                   : 0);
+      uint32_t Session = NextSession++;
+      uint32_t PrevIndex = static_cast<uint32_t>(Out.size());
+      Out.push_back({PickRepresentation(Slot), Session, 0,
+                     WorkloadQuery::NoRef});
+      for (uint16_t T = 1; T < Turns && Out.size() < N; ++T) {
+        uint32_t Ref =
+            Slot.Refinements[Rng.nextBelow(Slot.Refinements.size())];
+        uint32_t Here = static_cast<uint32_t>(Out.size());
+        Out.push_back({Ref, Session, T, PrevIndex});
+        PrevIndex = Here;
+      }
+      continue;
+    }
+
+    Out.push_back({PickRepresentation(Slot), WorkloadQuery::NoSession, 0,
+                   WorkloadQuery::NoRef});
+  }
+  return Out;
+}
+
+uint64_t WorkloadGenerator::streamDigest(
+    const std::vector<WorkloadQuery> &S) const {
+  uint64_t H = 0xcbf29ce484222325ull; // FNV-1a 64 offset basis.
+  auto Mix = [&H](const void *Data, size_t Len) {
+    const unsigned char *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I < Len; ++I) {
+      H ^= P[I];
+      H *= 0x100000001b3ull;
+    }
+  };
+  auto Mix32 = [&](uint32_t V) {
+    unsigned char B[4] = {static_cast<unsigned char>(V),
+                          static_cast<unsigned char>(V >> 8),
+                          static_cast<unsigned char>(V >> 16),
+                          static_cast<unsigned char>(V >> 24)};
+    Mix(B, sizeof(B));
+  };
+  for (const WorkloadQuery &Q : S) {
+    const WorkloadEntry &E = Pool[Q.Pool];
+    Mix(E.Text.data(), E.Text.size());
+    Mix32(Q.Session);
+    Mix32(Q.Turn);
+    Mix32(Q.RefIndex);
+  }
+  return H;
+}
+
+std::vector<uint64_t> WorkloadGenerator::arrivalScheduleNs(
+    size_t N, double OfferedQps) const {
+  std::vector<uint64_t> Out;
+  Out.reserve(N);
+  if (OfferedQps <= 0) {
+    Out.assign(N, 0);
+    return Out;
+  }
+  SplitMix64 Rng(Opts.Seed ^ ArrivalTag);
+  double Now = 0;
+  for (size_t I = 0; I < N; ++I) {
+    // Exponential inter-arrival times: a Poisson arrival process at the
+    // offered rate, the open-loop shape that actually saturates queues
+    // (fixed-gap arrivals never burst).
+    double U = Rng.nextDouble();
+    Now += -std::log1p(-U) / OfferedQps;
+    Out.push_back(static_cast<uint64_t>(Now * 1e9));
+  }
+  return Out;
+}

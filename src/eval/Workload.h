@@ -1,0 +1,274 @@
+//===- eval/Workload.h - Realistic traffic generator --------------*- C++ -*-===//
+///
+/// \file
+/// Deterministic, seeded generator that expands the ground-truth query
+/// sets into production-shaped traffic, so `bench/throughput --workload`
+/// can replay millions-of-users-style load and score *accuracy under
+/// load* — correct ∧ on-time over offered — instead of goodput alone.
+/// Four mutation classes (DESIGN.md §17):
+///
+///   * Canonical — a ground-truth query verbatim; expected to synthesize
+///     its ground-truth expression.
+///   * Synonym — a paraphrase built by substituting one content word
+///     with a thesaurus synonym (the same tables the WordToAPI matcher
+///     resolves with, so the mutant is still answerable); labelled with
+///     the *unchanged* ground-truth expression.
+///   * Refinement — one turn of a multi-turn session ("…no, at the end
+///     of each line"): the resolved full query of a sibling ground-truth
+///     case, carrying the elliptical surface form and a reference to the
+///     prior turn.
+///   * NearMiss — an adversarial out-of-vocabulary variant expected to
+///     fail *cleanly*: any Ok answer is scored wrong.
+///
+/// Generation is reproducible: the same seed yields a byte-identical
+/// pool and stream on every run and platform (the generator uses its own
+/// splitmix64/Zipf samplers, never std:: distributions, whose outputs
+/// are implementation-defined). By default every pool entry is verified
+/// at zero load against the real pipeline — positive entries must
+/// reproduce their expected expression, near-misses must fail — so the
+/// replay's accuracy metric isolates what *load* breaks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGGT_EVAL_WORKLOAD_H
+#define DGGT_EVAL_WORKLOAD_H
+
+#include "domains/Domain.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dggt {
+
+/// Deterministic 64-bit PRNG (splitmix64): identical streams on every
+/// platform for the same seed, unlike std:: engines + distributions.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform double in [0, 1) with 53 significant bits.
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, Bound); Bound must be nonzero. Modulo bias
+  /// is negligible for the small bounds used here and keeps the mapping
+  /// platform-identical.
+  uint64_t nextBelow(uint64_t Bound) { return next() % Bound; }
+
+private:
+  uint64_t State;
+};
+
+/// Zipf(s) sampler over ranks 0..N-1: P(rank k) ∝ (k+1)^-s. Sampling is
+/// an inverse-CDF binary search over a precomputed table — deterministic
+/// given the RNG stream.
+class ZipfSampler {
+public:
+  ZipfSampler(size_t N, double Exponent);
+
+  size_t size() const { return Cdf.size(); }
+  double exponent() const { return S; }
+
+  /// Target probability of \p Rank (0-based).
+  double probability(size_t Rank) const;
+
+  /// Draws a rank using \p Rng.
+  size_t sample(SplitMix64 &Rng) const;
+
+private:
+  std::vector<double> Cdf; ///< Cumulative probabilities, back() == 1.
+  double S = 1.0;
+  double Norm = 1.0; ///< Generalized harmonic number H_{N,s}.
+};
+
+/// Mutation class of one pool entry.
+enum class WorkloadKind {
+  Canonical,
+  Synonym,
+  Refinement,
+  NearMiss,
+};
+
+/// Short name of \p K ("canonical", "synonym", "refinement", "near_miss").
+std::string_view workloadKindName(WorkloadKind K);
+
+/// One distinct query the generator can replay. The pool is the finite
+/// set of texts; the stream (WorkloadQuery) samples it with Zipf
+/// popularity.
+struct WorkloadEntry {
+  WorkloadKind Kind = WorkloadKind::Canonical;
+  uint32_t DomainIndex = 0; ///< Into the generator's domain list.
+  std::string Text;         ///< Query text sent to the service.
+  /// What a correct response must synthesize (normalized, see
+  /// normalizeExpression); empty for NearMiss entries.
+  std::string Expected;
+  /// False for NearMiss: a correct response *fails or rejects* — any Ok
+  /// answer is scored wrong.
+  bool ExpectOk = true;
+  /// Index of the source ground-truth case in its domain's query set.
+  uint32_t CanonicalIndex = 0;
+  /// Elliptical surface form of a Refinement turn ("no, at the end of
+  /// each line"); what a user would actually type. Text carries the
+  /// resolved full query the session front end would reconstruct.
+  std::string Surface;
+};
+
+/// One element of the replayed stream.
+struct WorkloadQuery {
+  uint32_t Pool = 0;   ///< Index into WorkloadGenerator::pool().
+  /// Session membership: entries of one multi-turn session share an id;
+  /// NoSession for standalone queries.
+  uint32_t Session = 0;
+  uint16_t Turn = 0;   ///< 0-based turn index within the session.
+  /// Stream index of the prior turn this refinement refers back to;
+  /// NoRef for first turns and standalone queries.
+  uint32_t RefIndex = 0;
+
+  static constexpr uint32_t NoSession = 0xffffffffu;
+  static constexpr uint32_t NoRef = 0xffffffffu;
+};
+
+/// Generator tuning. Defaults produce a realistic mix; every knob is
+/// deterministic given Seed.
+struct WorkloadOptions {
+  uint64_t Seed = 1;
+  /// Zipf exponent of query popularity within a domain (1.0 ≈ classic
+  /// web-query skew).
+  double QueryZipfExponent = 1.0;
+  /// Zipf exponent of domain popularity over the domain list order.
+  double DomainZipfExponent = 0.7;
+  /// Synonym mutants kept per ground-truth query (candidates beyond the
+  /// cap are discarded after a deterministic shuffle).
+  unsigned MaxSynonymsPerQuery = 3;
+  /// Near-miss variants attempted per ground-truth query.
+  unsigned MaxNearMissesPerQuery = 1;
+  /// Fraction of stream arrivals that *start* a refinement session.
+  double SessionFraction = 0.08;
+  /// Fraction of stream arrivals drawn from the near-miss pool.
+  double NearMissFraction = 0.05;
+  /// Probability a positive arrival replays a synonym mutant instead of
+  /// the canonical phrasing (given the query has mutants).
+  double SynonymFraction = 0.45;
+  /// Turns per session, drawn uniformly in [2, MaxSessionTurns].
+  unsigned MaxSessionTurns = 3;
+  /// Use at most this many ground-truth cases per domain (bench --limit;
+  /// 0 = all).
+  size_t LimitPerDomain = 0;
+  /// Verify every pool entry at zero load against the real pipeline:
+  /// positive entries must synthesize their expected expression,
+  /// near-misses must fail cleanly; entries that don't are dropped
+  /// (counted in PoolStats). Off only for generator-internal tests.
+  bool VerifyMutants = true;
+  /// Budget per verification run (the interactive default).
+  uint64_t VerifyBudgetMs = 2000;
+};
+
+/// What pool construction produced and dropped, for reporting.
+struct WorkloadPoolStats {
+  size_t Canonical = 0;
+  size_t Synonym = 0;
+  size_t Refinement = 0;
+  size_t NearMiss = 0;
+  /// Ground-truth cases excluded because zero-load synthesis does not
+  /// reproduce their ground truth (the datasets' intentional error
+  /// cases); their mutants are excluded with them.
+  size_t DroppedCanonical = 0;
+  /// Candidate synonym/refinement mutants dropped by verification.
+  size_t DroppedMutants = 0;
+  /// Near-miss candidates dropped because they still synthesized.
+  size_t DroppedNearMisses = 0;
+
+  size_t total() const {
+    return Canonical + Synonym + Refinement + NearMiss;
+  }
+};
+
+/// Builds the pool once at construction (including zero-load
+/// verification when enabled), then serves deterministic streams.
+/// Thread-compatible: construction and stream() are const-correct and
+/// lock-free; share a const generator freely.
+class WorkloadGenerator {
+public:
+  WorkloadGenerator(std::vector<const Domain *> Domains,
+                    WorkloadOptions Opts);
+
+  const WorkloadOptions &options() const { return Opts; }
+  const std::vector<const Domain *> &domains() const { return Domains; }
+  const std::vector<WorkloadEntry> &pool() const { return Pool; }
+  const WorkloadPoolStats &poolStats() const { return Stats; }
+
+  /// Generates the first \p N queries of the seed's infinite stream.
+  /// Pure: same generator + same N ⇒ identical vector, element for
+  /// element.
+  std::vector<WorkloadQuery> stream(size_t N) const;
+
+  /// FNV-1a digest over the stream's replayed texts (pool entry text +
+  /// session/turn framing), the byte-identity fingerprint the property
+  /// tests and the check-workload gate compare across runs.
+  uint64_t streamDigest(const std::vector<WorkloadQuery> &S) const;
+
+  /// Open-loop arrival offsets (ns from replay start) for \p N arrivals
+  /// at \p OfferedQps: exponential inter-arrival times (Poisson
+  /// process), deterministic from the seed, independent of the query
+  /// stream draw.
+  std::vector<uint64_t> arrivalScheduleNs(size_t N, double OfferedQps) const;
+
+private:
+  struct CanonicalSlot {
+    uint32_t DomainIndex = 0;
+    uint32_t Entry = 0; ///< Pool index of the Canonical entry.
+    std::vector<uint32_t> Synonyms;
+    std::vector<uint32_t> NearMisses;
+    /// Refinement pool entries usable as a follow-up turn after this
+    /// query (resolved sibling cases from the same family).
+    std::vector<uint32_t> Refinements;
+  };
+
+  void buildPool();
+
+  std::vector<const Domain *> Domains;
+  WorkloadOptions Opts;
+  std::vector<WorkloadEntry> Pool;
+  WorkloadPoolStats Stats;
+  /// Verified slots per domain, in popularity-rank order (a seeded
+  /// permutation of dataset order, so popularity is not correlated with
+  /// dataset layout).
+  std::vector<std::vector<CanonicalSlot>> Slots;
+  std::vector<ZipfSampler> QueryZipf; ///< Per domain, over its slots.
+  ZipfSampler DomainZipf;             ///< Over domains with slots.
+  std::vector<uint32_t> DomainRanks;  ///< Rank → domain index.
+};
+
+/// Result of one zero-load pipeline run (verification helper, shared by
+/// pool construction and the metamorphic tests).
+struct ZeroLoadResult {
+  bool Ok = false;
+  /// normalizeExpression of the synthesized expression when Ok.
+  std::string NormalizedExpression;
+};
+
+/// Runs \p Text through \p D's full pipeline with a fresh \p BudgetMs
+/// budget and no load — the oracle the generator verifies pool entries
+/// against.
+ZeroLoadResult zeroLoadSynthesize(const Domain &D, std::string_view Text,
+                                  uint64_t BudgetMs);
+
+/// The workload seed: DGGT_WORKLOAD_SEED when set and a valid positive
+/// integer (the DGGT_SOAK_SEED convention), else \p Default. Invalid
+/// values warn to stderr and fall back.
+uint64_t workloadSeedFromEnv(uint64_t Default = 1);
+
+} // namespace dggt
+
+#endif // DGGT_EVAL_WORKLOAD_H

@@ -11,13 +11,33 @@ using namespace dggt;
 
 void Thesaurus::addGroup(const std::vector<std::string> &Words) {
   unsigned Group = NextGroup++;
+  Groups.emplace_back();
   for (const std::string &W : Words) {
     std::string Lower = toLower(W);
     WordToGroups[Lower].push_back(Group);
+    Groups.back().push_back(Lower);
     std::string Stem = porterStem(Lower);
     if (Stem != Lower)
       WordToGroups[Stem].push_back(Group);
   }
+}
+
+const std::vector<std::string> &Thesaurus::groupMembers(unsigned Group) const {
+  static const std::vector<std::string> Empty;
+  return Group < Groups.size() ? Groups[Group] : Empty;
+}
+
+std::vector<std::string> Thesaurus::synonymsOf(std::string_view Word) const {
+  std::string Lower = toLower(Word);
+  std::string Stem = porterStem(Lower);
+  std::vector<std::string> Out;
+  for (unsigned Group : groupsOf(Lower))
+    for (const std::string &Member : groupMembers(Group))
+      if (Member != Lower && porterStem(Member) != Stem)
+        Out.push_back(Member);
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
 }
 
 std::vector<unsigned> Thesaurus::groupsOf(std::string_view Word) const {

@@ -39,8 +39,24 @@ public:
   /// Returns the ids of the groups containing \p Word (empty if none).
   std::vector<unsigned> groupsOf(std::string_view Word) const;
 
+  /// Members of group \p Group as added (lower-cased, insertion order);
+  /// empty for out-of-range ids. The workload generator enumerates these
+  /// to build paraphrase mutants of ground-truth queries.
+  const std::vector<std::string> &groupMembers(unsigned Group) const;
+
+  /// Number of synonym groups added so far.
+  unsigned groupCount() const { return NextGroup; }
+
+  /// All distinct synonyms of \p Word across every group containing it
+  /// (matched verbatim and via Porter stem, like areSynonyms), excluding
+  /// \p Word itself. Sorted and deduplicated, so the enumeration order is
+  /// deterministic — seeded generators can sample from it reproducibly.
+  std::vector<std::string> synonymsOf(std::string_view Word) const;
+
 private:
   std::unordered_map<std::string, std::vector<unsigned>> WordToGroups;
+  /// Group members in insertion order, parallel to group ids.
+  std::vector<std::vector<std::string>> Groups;
   unsigned NextGroup = 0;
 };
 

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 using namespace dggt;
 
 namespace {
@@ -149,4 +151,50 @@ TEST(Thesaurus, CustomGroups) {
   EXPECT_TRUE(T.areSynonyms("bar", "baz"));
   // Transitivity is NOT implied across groups.
   EXPECT_FALSE(T.areSynonyms("foo", "baz"));
+}
+
+TEST(Thesaurus, GroupMembers) {
+  Thesaurus T;
+  T.addGroup({"Foo", "bar"});
+  T.addGroup({"bar", "baz"});
+  ASSERT_EQ(T.groupCount(), 2u);
+  EXPECT_EQ(T.groupMembers(0), (std::vector<std::string>{"foo", "bar"}));
+  EXPECT_EQ(T.groupMembers(1), (std::vector<std::string>{"bar", "baz"}));
+  EXPECT_TRUE(T.groupMembers(2).empty());
+}
+
+TEST(Thesaurus, SynonymsOf) {
+  const Thesaurus &T = Thesaurus::builtin();
+  std::vector<std::string> Syn = T.synonymsOf("add");
+  // Every listed synonym round-trips through areSynonyms, never includes
+  // the word itself, and the list is sorted and duplicate-free — the
+  // deterministic enumeration the workload generator samples from.
+  ASSERT_FALSE(Syn.empty());
+  EXPECT_NE(std::find(Syn.begin(), Syn.end(), "insert"), Syn.end());
+  for (const std::string &S : Syn) {
+    EXPECT_NE(S, "add");
+    EXPECT_TRUE(T.areSynonyms("add", S)) << S;
+  }
+  EXPECT_TRUE(std::is_sorted(Syn.begin(), Syn.end()));
+  EXPECT_EQ(std::adjacent_find(Syn.begin(), Syn.end()), Syn.end());
+
+  // Inflections reach their groups through stemming; same-stem variants
+  // of the input are excluded (they are not paraphrases, just inflections).
+  std::vector<std::string> Inflected = T.synonymsOf("appending");
+  EXPECT_NE(std::find(Inflected.begin(), Inflected.end(), "insert"),
+            Inflected.end());
+  EXPECT_EQ(std::find(Inflected.begin(), Inflected.end(), "append"),
+            Inflected.end());
+
+  EXPECT_TRUE(T.synonymsOf("zzzunknown").empty());
+}
+
+TEST(Thesaurus, SynonymsOfMultiGroup) {
+  // "place" sits in both the insert-action and the position groups; the
+  // union must cover both, deduplicated.
+  const Thesaurus &T = Thesaurus::builtin();
+  std::vector<std::string> Syn = T.synonymsOf("place");
+  EXPECT_NE(std::find(Syn.begin(), Syn.end(), "insert"), Syn.end());
+  EXPECT_NE(std::find(Syn.begin(), Syn.end(), "position"), Syn.end());
+  EXPECT_EQ(std::adjacent_find(Syn.begin(), Syn.end()), Syn.end());
 }
