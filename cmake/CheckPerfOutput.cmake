@@ -64,16 +64,22 @@ endif()
 
 # >25% p99 regression vs the committed baseline fails the gate.
 # allowed = baseline * 1.25, computed in integral milli-units (math(EXPR)
-# is integer-only).
-string(REGEX MATCH "^[0-9]+" _base_int "${_base_p99}")
-string(REGEX REPLACE "^[0-9]+\\.?" "" _base_frac "${_base_p99}")
-string(SUBSTRING "${_base_frac}000" 0 3 _base_frac)
-math(EXPR _base_milli "${_base_int} * 1000 + ${_base_frac}")
+# is integer-only). Integer and fraction are captured in one match:
+# anchored REGEX REPLACE is unreliable here (pre-CMP0186 cmake
+# re-matches "^" after every replacement, eating the whole string), and
+# prefixing the fraction with "1" keeps math(EXPR) off octal parses of
+# leading-zero operands like "083".
+function(p99_to_milli value outvar src)
+  if(NOT value MATCHES "^([0-9]+)\\.?([0-9]*)")
+    message(FATAL_ERROR "${src}: cannot parse p99 '${value}' as a decimal")
+  endif()
+  string(SUBSTRING "${CMAKE_MATCH_2}000" 0 3 _frac)
+  math(EXPR _milli "${CMAKE_MATCH_1} * 1000 + 1${_frac} - 1000")
+  set(${outvar} "${_milli}" PARENT_SCOPE)
+endfunction()
+p99_to_milli("${_base_p99}" _base_milli "${BASELINE}")
 math(EXPR _allowed_milli "(${_base_milli} * 125) / 100")
-string(REGEX MATCH "^[0-9]+" _now_int "${_now_p99}")
-string(REGEX REPLACE "^[0-9]+\\.?" "" _now_frac "${_now_p99}")
-string(SUBSTRING "${_now_frac}000" 0 3 _now_frac)
-math(EXPR _now_milli "${_now_int} * 1000 + ${_now_frac}")
+p99_to_milli("${_now_p99}" _now_milli "${OUT}")
 if(_now_milli GREATER _allowed_milli)
   # Attribute the regression before failing: the per-stage and per-cost
   # breakdowns say where the extra time went (parse vs search vs fusion),

@@ -81,14 +81,18 @@ endforeach()
 # Accuracy-under-load against the committed baseline, in 1e-4 units
 # (math(EXPR) is integer-only).
 function(extract_accuracy text outvar src)
-  if(NOT text MATCHES "\"accuracy_under_load\":{\"offered\":[0-9]+,\"correct\":[0-9]+,\"accuracy\":([0-9.]+)")
+  # Integer and fraction are captured in one match: anchored REGEX
+  # REPLACE is unreliable here (pre-CMP0186 cmake re-matches "^" after
+  # every replacement, eating the whole string).
+  if(NOT text MATCHES "\"accuracy_under_load\":{\"offered\":[0-9]+,\"correct\":[0-9]+,\"accuracy\":([0-9]+)\\.?([0-9]*)")
     message(FATAL_ERROR "${src} has no accuracy_under_load.accuracy field")
   endif()
-  set(_acc "${CMAKE_MATCH_1}")
-  string(REGEX MATCH "^[0-9]+" _int "${_acc}")
-  string(REGEX REPLACE "^[0-9]+\\.?" "" _frac "${_acc}")
-  string(SUBSTRING "${_frac}0000" 0 4 _frac)
-  math(EXPR _units "${_int} * 10000 + ${_frac}")
+  set(_int "${CMAKE_MATCH_1}")
+  # Pad/truncate the fraction to exactly 4 digits, then prefix "1" and
+  # subtract 10000 so math(EXPR) never sees a leading zero (it would
+  # parse "0804" as octal and die on the 8).
+  string(SUBSTRING "${CMAKE_MATCH_2}0000" 0 4 _frac)
+  math(EXPR _units "${_int} * 10000 + 1${_frac} - 10000")
   set(${outvar} "${_units}" PARENT_SCOPE)
 endfunction()
 extract_accuracy("${_now}" _now_acc "${OUT}")

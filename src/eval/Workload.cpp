@@ -12,6 +12,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 
 using namespace dggt;
 
@@ -106,9 +107,13 @@ constexpr const char *GibberishWords[] = {"flembic", "zorgulated",
 /// Rebuilds query text from tokens, substituting the token at
 /// \p ReplaceIndex (token index) with \p Replacement when ReplaceIndex
 /// is in range. Literals are re-quoted; spacing is normalized, which the
-/// tokenizer erases again on the way back in.
-std::string rebuildQuery(const std::vector<Token> &Tokens,
-                         size_t ReplaceIndex, std::string_view Replacement) {
+/// tokenizer erases again on the way back in. Returns std::nullopt when
+/// a literal span contains both quote characters — the tokenizer has no
+/// escape syntax, so such a span cannot be re-quoted without corrupting
+/// the query.
+std::optional<std::string> rebuildQuery(const std::vector<Token> &Tokens,
+                                        size_t ReplaceIndex,
+                                        std::string_view Replacement) {
   std::string Out;
   for (size_t I = 0; I < Tokens.size(); ++I) {
     if (!Out.empty())
@@ -121,7 +126,11 @@ std::string rebuildQuery(const std::vector<Token> &Tokens,
     if (T.Kind == TokenKind::Literal) {
       // Preserve literal spans verbatim; pick the quote the span does
       // not contain.
-      char Quote = T.Text.find('\'') == std::string::npos ? '\'' : '"';
+      bool HasSingle = T.Text.find('\'') != std::string::npos;
+      bool HasDouble = T.Text.find('"') != std::string::npos;
+      if (HasSingle && HasDouble)
+        return std::nullopt;
+      char Quote = HasSingle ? '"' : '\'';
       Out += Quote;
       Out += T.Text;
       Out += Quote;
@@ -132,7 +141,7 @@ std::string rebuildQuery(const std::vector<Token> &Tokens,
   return Out;
 }
 
-std::string rebuildQuery(const std::vector<Token> &Tokens) {
+std::optional<std::string> rebuildQuery(const std::vector<Token> &Tokens) {
   return rebuildQuery(Tokens, static_cast<size_t>(-1), "");
 }
 
@@ -227,13 +236,14 @@ void WorkloadGenerator::buildPool() {
       for (const auto &[TI, Replacement] : Candidates) {
         if (Slot.Synonyms.size() >= Opts.MaxSynonymsPerQuery)
           break;
-        std::string Mutant = rebuildQuery(Tokens, TI, Replacement);
-        if (Opts.VerifyMutants && !Verify(D, Mutant, NormGT)) {
+        std::optional<std::string> Mutant =
+            rebuildQuery(Tokens, TI, Replacement);
+        if (!Mutant || (Opts.VerifyMutants && !Verify(D, *Mutant, NormGT))) {
           ++Stats.DroppedMutants;
           continue;
         }
         Slot.Synonyms.push_back(static_cast<uint32_t>(Pool.size()));
-        Pool.push_back({WorkloadKind::Synonym, DI, std::move(Mutant), NormGT,
+        Pool.push_back({WorkloadKind::Synonym, DI, std::move(*Mutant), NormGT,
                         /*ExpectOk=*/true, CI, /*Surface=*/""});
         ++Stats.Synonym;
       }
@@ -251,14 +261,14 @@ void WorkloadGenerator::buildPool() {
           break;
         const char *Gibberish =
             GibberishWords[Rng.nextBelow(std::size(GibberishWords))];
-        std::string Miss = rebuildQuery(Tokens, TI, Gibberish);
-        if (Opts.VerifyMutants && zeroLoadSynthesize(D, Miss,
-                                                     Opts.VerifyBudgetMs).Ok) {
+        std::optional<std::string> Miss = rebuildQuery(Tokens, TI, Gibberish);
+        if (!Miss || (Opts.VerifyMutants &&
+                      zeroLoadSynthesize(D, *Miss, Opts.VerifyBudgetMs).Ok)) {
           ++Stats.DroppedNearMisses;
           continue;
         }
         Slot.NearMisses.push_back(static_cast<uint32_t>(Pool.size()));
-        Pool.push_back({WorkloadKind::NearMiss, DI, std::move(Miss),
+        Pool.push_back({WorkloadKind::NearMiss, DI, std::move(*Miss),
                         /*Expected=*/"", /*ExpectOk=*/false, CI,
                         /*Surface=*/""});
         ++Stats.NearMiss;
@@ -274,16 +284,18 @@ void WorkloadGenerator::buildPool() {
     // surface form a user would actually type.
     std::vector<CanonicalSlot> &DomainSlots = Slots[DI];
     for (size_t A = 0; A < DomainSlots.size(); ++A) {
-      const WorkloadEntry &Base = Pool[DomainSlots[A].Entry];
-      std::vector<Token> BaseToks = tokenize(Base.Text);
+      // Copy out of Pool: the inner loop push_backs into Pool, which can
+      // reallocate and would dangle any reference held across iterations.
+      const std::string BaseText = Pool[DomainSlots[A].Entry].Text;
+      std::vector<Token> BaseToks = tokenize(BaseText);
       for (size_t B = A + 1;
            B < DomainSlots.size() && DomainSlots[A].Refinements.size() < 2;
            ++B) {
-        const WorkloadEntry &Partner = Pool[DomainSlots[B].Entry];
+        const WorkloadEntry Partner = Pool[DomainSlots[B].Entry];
         std::vector<Token> PartToks = tokenize(Partner.Text);
         if (BaseToks.empty() || PartToks.empty() ||
             BaseToks[0].Text != PartToks[0].Text ||
-            Base.Text == Partner.Text)
+            BaseText == Partner.Text)
           continue;
         size_t Common = 0;
         while (Common < BaseToks.size() && Common < PartToks.size() &&
@@ -293,8 +305,13 @@ void WorkloadGenerator::buildPool() {
         std::vector<Token> Suffix(PartToks.begin() +
                                       static_cast<long>(Common),
                                   PartToks.end());
+        // A suffix whose literal defeats re-quoting falls back to the
+        // full partner query as the surface form.
+        std::optional<std::string> SuffixText;
+        if (!Suffix.empty())
+          SuffixText = rebuildQuery(Suffix);
         std::string Surface =
-            "no, " + (Suffix.empty() ? Partner.Text : rebuildQuery(Suffix));
+            "no, " + (SuffixText ? *SuffixText : Partner.Text);
         DomainSlots[A].Refinements.push_back(
             static_cast<uint32_t>(Pool.size()));
         Pool.push_back({WorkloadKind::Refinement, DI, Partner.Text,
